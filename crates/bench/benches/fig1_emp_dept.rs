@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 1 / Example 1: lazy vs eager on the
+//! Employee ⨝ Department grouped join at paper scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbj_datagen::EmpDeptConfig;
+use gbj_engine::PushdownPolicy;
+
+fn bench(c: &mut Criterion) {
+    let cfg = EmpDeptConfig::paper();
+    let mut db = cfg.build().expect("build");
+    let sql = cfg.query();
+
+    let mut group = c.benchmark_group("fig1_emp_dept");
+    group.sample_size(20);
+    for (policy, name) in [
+        (PushdownPolicy::Never, "lazy"),
+        (PushdownPolicy::Always, "eager"),
+    ] {
+        db.options_mut().policy = policy;
+        // Plan once outside the loop body? No — include planning, as a
+        // real engine would; it is negligible next to execution here.
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| db.query(sql).expect("query"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

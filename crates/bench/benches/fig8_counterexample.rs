@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 8 / Example 4: the adversarial instance
+//! where the (valid) rewrite loses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbj_datagen::AdversarialConfig;
+use gbj_engine::PushdownPolicy;
+
+fn bench(c: &mut Criterion) {
+    let cfg = AdversarialConfig::paper();
+    let mut db = cfg.build().expect("build");
+    let sql = cfg.query();
+
+    let mut group = c.benchmark_group("fig8_counterexample");
+    group.sample_size(20);
+    for (policy, name) in [
+        (PushdownPolicy::Never, "lazy"),
+        (PushdownPolicy::Always, "eager"),
+        (PushdownPolicy::CostBased, "cost_based"),
+    ] {
+        db.options_mut().policy = policy;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| db.query(sql).expect("query"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation over physical operators: the three join algorithms and the
+//! two aggregation algorithms on the Figure 1 workload, for both plan
+//! shapes. Shows that the *logical* transformation dominates the
+//! physical choice — the eager plan wins under every algorithm pairing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbj_datagen::EmpDeptConfig;
+use gbj_engine::PushdownPolicy;
+use gbj_exec::{AggAlgo, JoinAlgo};
+
+fn bench(c: &mut Criterion) {
+    let cfg = EmpDeptConfig {
+        employees: 5_000,
+        departments: 100,
+        null_dept_fraction: 0.0,
+        seed: 3,
+    };
+    let mut db = cfg.build().expect("build");
+    let sql = cfg.query();
+
+    let mut group = c.benchmark_group("physical_algorithms");
+    group.sample_size(10);
+    for (policy, shape) in [
+        (PushdownPolicy::Never, "lazy"),
+        (PushdownPolicy::Always, "eager"),
+    ] {
+        for (join, jname) in [
+            (JoinAlgo::Hash, "hash"),
+            (JoinAlgo::SortMerge, "sortmerge"),
+            (JoinAlgo::NestedLoop, "nlj"),
+        ] {
+            for (agg, aname) in [(AggAlgo::Hash, "hashagg"), (AggAlgo::Sort, "sortagg")] {
+                db.options_mut().policy = policy;
+                db.options_mut().exec.join = join;
+                db.options_mut().exec.agg = agg;
+                group.bench_with_input(
+                    BenchmarkId::new(shape, format!("{jname}_{aname}")),
+                    &(),
+                    |b, ()| {
+                        b.iter(|| db.query(sql).expect("query"));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation: what the decision machinery itself costs — parse + bind +
+//! partition + TestFD + cost estimate — without executing. The paper's
+//! Section 6 argues TestFD is "fast"; this measures it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbj_core::TransformOptions;
+use gbj_datagen::{EmpDeptConfig, PrinterConfig};
+use gbj_engine::Database;
+
+fn plan_only(db: &Database, sql: &str) {
+    let report = db.plan_query(sql).expect("plan");
+    criterion::black_box(report);
+}
+
+fn bench(c: &mut Criterion) {
+    let emp = EmpDeptConfig {
+        employees: 1_000,
+        departments: 100,
+        null_dept_fraction: 0.0,
+        seed: 1,
+    };
+    let emp_db = emp.build().expect("build");
+    let printer = PrinterConfig {
+        users_per_machine: 50,
+        machines: 4,
+        printers: 20,
+        auths_per_user: 3,
+        seed: 1,
+    };
+    let printer_db = printer.build().expect("build");
+
+    let mut group = c.benchmark_group("planning_overhead");
+    group.sample_size(50);
+    group.bench_function(BenchmarkId::from_parameter("two_table"), |b| {
+        b.iter(|| plan_only(&emp_db, emp.query()));
+    });
+    group.bench_function(BenchmarkId::from_parameter("three_table"), |b| {
+        b.iter(|| plan_only(&printer_db, printer.example3_query()));
+    });
+    // Ablation: TestFD without the Theorem-3 constraint atoms.
+    let mut no_constraints = printer.build().expect("build");
+    no_constraints.options_mut().transform = TransformOptions {
+        use_constraint_atoms: false,
+        ..TransformOptions::default()
+    };
+    group.bench_function(
+        BenchmarkId::from_parameter("three_table_no_constraint_atoms"),
+        |b| {
+            b.iter(|| plan_only(&no_constraints, printer.example3_query()));
+        },
+    );
+    // Ablation: no re-partitioning fallback.
+    let mut no_repartition = printer.build().expect("build");
+    no_repartition.options_mut().transform = TransformOptions {
+        try_repartition: false,
+        ..TransformOptions::default()
+    };
+    group.bench_function(
+        BenchmarkId::from_parameter("three_table_no_repartition"),
+        |b| {
+            b.iter(|| plan_only(&no_repartition, printer.example3_query()));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

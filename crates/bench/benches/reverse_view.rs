@@ -1,0 +1,30 @@
+//! Section 8 / Example 5: the aggregated-view query in its written
+//! (materialise-view-then-join) form vs the unfolded
+//! (join-then-group-by) form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbj_datagen::PrinterConfig;
+use gbj_engine::PushdownPolicy;
+
+fn bench(c: &mut Criterion) {
+    let cfg = PrinterConfig::default();
+    let mut db = cfg.build().expect("build");
+    let sql = cfg.example5_query();
+
+    let mut group = c.benchmark_group("reverse_view");
+    group.sample_size(20);
+    for (policy, name) in [
+        (PushdownPolicy::Always, "written_view_form"),
+        (PushdownPolicy::Never, "unfolded_form"),
+        (PushdownPolicy::CostBased, "cost_based"),
+    ] {
+        db.options_mut().policy = policy;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| db.query(sql).expect("query"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

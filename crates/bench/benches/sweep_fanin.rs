@@ -1,0 +1,40 @@
+//! Section 7 sweep: eager-vs-lazy as the rows-per-group fan-in varies.
+//! High fan-in is the Figure 1 regime (eager wins); fan-in ≈ 1 is the
+//! Figure 8 regime (nothing to collapse).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbj_datagen::SweepConfig;
+use gbj_engine::PushdownPolicy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_fanin");
+    group.sample_size(10);
+    for groups in [10usize, 100, 1000, 5000] {
+        let cfg = SweepConfig {
+            fact_rows: 10_000,
+            dim_rows: groups.clamp(100, 5_000),
+            groups,
+            match_fraction: 1.0,
+            ..SweepConfig::default()
+        };
+        let mut db = cfg.build().expect("build");
+        let sql = cfg.query();
+        for (policy, name) in [
+            (PushdownPolicy::Never, "lazy"),
+            (PushdownPolicy::Always, "eager"),
+        ] {
+            db.options_mut().policy = policy;
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("fanin_{:.0}", cfg.fan_in())),
+                &(),
+                |b, ()| {
+                    b.iter(|| db.query(sql).expect("query"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Section 7 sweep: eager-vs-lazy as the join selectivity varies, with
+//! a high group count (the Figure 8 regime at low selectivity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbj_datagen::SweepConfig;
+use gbj_engine::PushdownPolicy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_selectivity");
+    group.sample_size(10);
+    for frac in [1.0, 0.1, 0.01, 0.005] {
+        let cfg = SweepConfig {
+            fact_rows: 10_000,
+            dim_rows: 100,
+            groups: 9_000,
+            match_fraction: frac,
+            ..SweepConfig::default()
+        };
+        let mut db = cfg.build().expect("build");
+        let sql = cfg.query();
+        for (policy, name) in [
+            (PushdownPolicy::Never, "lazy"),
+            (PushdownPolicy::Always, "eager"),
+        ] {
+            db.options_mut().policy = policy;
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("match_{frac}")),
+                &(),
+                |b, ()| {
+                    b.iter(|| db.query(sql).expect("query"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Emits the Section 7 sweep series as CSV for plotting — the data
+//! behind EXPERIMENTS.md's X9 tables, plus a skewed variant.
+//!
+//! ```text
+//! cargo run --release -p gbj-bench --bin sweep_csv > sweeps.csv
+//! ```
+
+use gbj_bench::compare;
+use gbj_datagen::SweepConfig;
+
+fn emit(series: &str, param: f64, cfg: &SweepConfig) {
+    let mut db = cfg.build().expect("build");
+    let c = compare(&mut db, cfg.query(), 3).expect("compare");
+    println!(
+        "{series},{param},{:.6},{:.6},{:.4},{:?}",
+        c.lazy.time.as_secs_f64() * 1e3,
+        c.eager.time.as_secs_f64() * 1e3,
+        c.speedup(),
+        c.engine_choice
+    );
+}
+
+fn main() {
+    println!("series,param,lazy_ms,eager_ms,speedup,engine_choice");
+
+    // Fan-in series: param is rows-per-group.
+    for groups in [1usize, 10, 100, 1_000, 10_000] {
+        let cfg = SweepConfig {
+            fact_rows: 10_000,
+            dim_rows: groups.clamp(100, 5_000),
+            groups,
+            match_fraction: 1.0,
+            ..SweepConfig::default()
+        };
+        emit("fanin", cfg.fan_in(), &cfg);
+    }
+
+    // Selectivity series: param is the match fraction.
+    for frac in [1.0, 0.5, 0.1, 0.05, 0.01, 0.005] {
+        let cfg = SweepConfig {
+            fact_rows: 10_000,
+            dim_rows: 100,
+            groups: 9_000,
+            match_fraction: frac,
+            ..SweepConfig::default()
+        };
+        emit("selectivity", frac, &cfg);
+    }
+
+    // Skew series: param is the Zipf exponent (uniform fan-in 100 base).
+    for skew in [0.0, 0.5, 1.0, 1.5] {
+        let cfg = SweepConfig {
+            fact_rows: 10_000,
+            dim_rows: 100,
+            groups: 100,
+            match_fraction: 1.0,
+            skew,
+        };
+        emit("skew", skew, &cfg);
+    }
+}

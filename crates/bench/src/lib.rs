@@ -1,0 +1,172 @@
+#![warn(missing_docs)]
+
+//! # gbj-bench
+//!
+//! The benchmark harness: timing helpers shared by the Criterion
+//! benches and the `report` binary that regenerates every figure and
+//! experiment table of the paper (see DESIGN.md's experiment index
+//! X1–X13 and EXPERIMENTS.md for recorded results).
+
+use std::time::{Duration, Instant};
+
+use gbj_engine::{Database, PlanChoice, PushdownPolicy, QueryReport};
+use gbj_exec::{ProfileNode, ResultSet};
+use gbj_types::Result;
+use serde::Serialize;
+
+/// One measured plan execution.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Median wall-clock time over the repetitions.
+    pub time: Duration,
+    /// The result rows.
+    pub rows: ResultSet,
+    /// The operator-cardinality profile.
+    pub profile: ProfileNode,
+    /// The planner report.
+    pub report: QueryReport,
+}
+
+/// Lazy-vs-eager comparison for one query on one database.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The lazy (`E1`) measurement.
+    pub lazy: Measured,
+    /// The eager (`E2`, or written view form) measurement.
+    pub eager: Measured,
+    /// What the engine itself would pick cost-based.
+    pub engine_choice: PlanChoice,
+}
+
+impl Comparison {
+    /// `lazy time / eager time` — > 1 means the transformation wins.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.lazy.time.as_secs_f64() / self.eager.time.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Run `sql` under one policy, returning the median of `reps` runs.
+pub fn measure(
+    db: &mut Database,
+    sql: &str,
+    policy: PushdownPolicy,
+    reps: usize,
+) -> Result<Measured> {
+    db.options_mut().policy = policy;
+    let mut times = Vec::with_capacity(reps.max(1));
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = db.query_report(sql)?;
+        times.push(start.elapsed());
+        last = Some(out);
+    }
+    times.sort();
+    let (rows, profile, report) = last.expect("at least one rep");
+    Ok(Measured {
+        time: times[times.len() / 2],
+        rows,
+        profile,
+        report,
+    })
+}
+
+/// Measure both plans and the engine's own choice.
+pub fn compare(db: &mut Database, sql: &str, reps: usize) -> Result<Comparison> {
+    let lazy = measure(db, sql, PushdownPolicy::Never, reps)?;
+    let eager = measure(db, sql, PushdownPolicy::Always, reps)?;
+    db.options_mut().policy = PushdownPolicy::CostBased;
+    let engine_choice = db.plan_query(sql)?.choice;
+    assert!(
+        lazy.rows.multiset_eq(&eager.rows),
+        "plans disagree on {sql}"
+    );
+    Ok(Comparison {
+        lazy,
+        eager,
+        engine_choice,
+    })
+}
+
+/// A machine-readable experiment row (emitted as JSON by the report
+/// binary for EXPERIMENTS.md bookkeeping).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRow {
+    /// Experiment id (`x1` … `x13`).
+    pub experiment: String,
+    /// Free-form parameter description.
+    pub params: String,
+    /// Measured lazy time in milliseconds (when timed).
+    pub lazy_ms: Option<f64>,
+    /// Measured eager time in milliseconds (when timed).
+    pub eager_ms: Option<f64>,
+    /// lazy/eager speedup (when timed).
+    pub speedup: Option<f64>,
+    /// Which plan the engine picks cost-based.
+    pub engine_choice: Option<String>,
+    /// Any additional observation worth recording.
+    pub note: String,
+}
+
+impl ExperimentRow {
+    /// Build a row from a comparison.
+    #[must_use]
+    pub fn from_comparison(
+        experiment: &str,
+        params: &str,
+        c: &Comparison,
+        note: &str,
+    ) -> ExperimentRow {
+        ExperimentRow {
+            experiment: experiment.to_string(),
+            params: params.to_string(),
+            lazy_ms: Some(c.lazy.time.as_secs_f64() * 1e3),
+            eager_ms: Some(c.eager.time.as_secs_f64() * 1e3),
+            speedup: Some(c.speedup()),
+            engine_choice: Some(format!("{:?}", c.engine_choice)),
+            note: note.to_string(),
+        }
+    }
+
+    /// An untimed observation row.
+    #[must_use]
+    pub fn note(experiment: &str, params: &str, note: &str) -> ExperimentRow {
+        ExperimentRow {
+            experiment: experiment.to_string(),
+            params: params.to_string(),
+            lazy_ms: None,
+            eager_ms: None,
+            speedup: None,
+            engine_choice: None,
+            note: note.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_datagen::EmpDeptConfig;
+
+    #[test]
+    fn compare_checks_equivalence_and_times() {
+        let cfg = EmpDeptConfig {
+            employees: 300,
+            departments: 10,
+            null_dept_fraction: 0.0,
+            seed: 2,
+        };
+        let mut db = cfg.build().unwrap();
+        let c = compare(&mut db, cfg.query(), 3).unwrap();
+        assert_eq!(c.lazy.rows.len(), 10);
+        assert!(c.lazy.time > Duration::ZERO);
+        assert!(c.speedup() > 0.0);
+        assert_eq!(c.engine_choice, PlanChoice::Eager);
+        let row = ExperimentRow::from_comparison("x1", "300/10", &c, "test");
+        assert_eq!(row.experiment, "x1");
+        assert!(row.speedup.unwrap() > 0.0);
+        let json = serde_json::to_string(&row).unwrap();
+        assert!(json.contains("\"experiment\":\"x1\""));
+    }
+}

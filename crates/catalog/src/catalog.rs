@@ -1,0 +1,308 @@
+//! The catalog: named tables, domains, views and assertions.
+
+use std::collections::BTreeMap;
+
+use gbj_expr::Expr;
+use gbj_types::{Error, Result};
+
+use crate::constraint::Domain;
+use crate::table::TableDef;
+
+/// A view definition. Views are stored as their defining SQL text and
+/// expanded by the engine at reference time (classic "view folding"),
+/// which is how Section 8's aggregated-view queries arise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewDef {
+    /// View name.
+    pub name: String,
+    /// Declared output column names (the parenthesised list after the
+    /// view name); empty means "inherit from the query".
+    pub columns: Vec<String>,
+    /// The defining `SELECT …` text.
+    pub query_sql: String,
+}
+
+/// An `CREATE ASSERTION` constraint spanning possibly several tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assertion {
+    /// Assertion name.
+    pub name: String,
+    /// The asserted predicate, over qualified column references.
+    pub check: Expr,
+}
+
+/// The system catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableDef>,
+    domains: BTreeMap<String, Domain>,
+    views: BTreeMap<String, ViewDef>,
+    assertions: BTreeMap<String, Assertion>,
+}
+
+fn key(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Catalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a (validated) table definition.
+    pub fn create_table(&mut self, table: TableDef) -> Result<()> {
+        let table = table.validate()?;
+        let k = key(&table.name);
+        if self.tables.contains_key(&k) || self.views.contains_key(&k) {
+            return Err(Error::Catalog(format!(
+                "table or view {} already exists",
+                table.name
+            )));
+        }
+        // Referential integrity targets must exist (self-references OK).
+        for fk in table.foreign_keys() {
+            if let crate::constraint::Constraint::ForeignKey { ref_table, .. } = fk {
+                if !ref_table.eq_ignore_ascii_case(&table.name)
+                    && self.table(ref_table).is_none()
+                {
+                    return Err(Error::Catalog(format!(
+                        "foreign key on {} references unknown table {ref_table}",
+                        table.name
+                    )));
+                }
+            }
+        }
+        self.tables.insert(k, table);
+        Ok(())
+    }
+
+    /// Look up a table by (case-insensitive) name.
+    #[must_use]
+    pub fn table(&self, name: &str) -> Option<&TableDef> {
+        self.tables.get(&key(name))
+    }
+
+    /// Remove a table.
+    pub fn drop_table(&mut self, name: &str) -> Result<TableDef> {
+        self.tables
+            .remove(&key(name))
+            .ok_or_else(|| Error::Catalog(format!("unknown table {name}")))
+    }
+
+    /// All tables, in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &TableDef> {
+        self.tables.values()
+    }
+
+    /// Register a domain.
+    pub fn create_domain(&mut self, domain: Domain) -> Result<()> {
+        let k = key(&domain.name);
+        if self.domains.contains_key(&k) {
+            return Err(Error::Catalog(format!(
+                "domain {} already exists",
+                domain.name
+            )));
+        }
+        self.domains.insert(k, domain);
+        Ok(())
+    }
+
+    /// Look up a domain.
+    #[must_use]
+    pub fn domain(&self, name: &str) -> Option<&Domain> {
+        self.domains.get(&key(name))
+    }
+
+    /// Register a view.
+    pub fn create_view(&mut self, view: ViewDef) -> Result<()> {
+        let k = key(&view.name);
+        if self.tables.contains_key(&k) || self.views.contains_key(&k) {
+            return Err(Error::Catalog(format!(
+                "table or view {} already exists",
+                view.name
+            )));
+        }
+        self.views.insert(k, view);
+        Ok(())
+    }
+
+    /// Look up a view.
+    #[must_use]
+    pub fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.views.get(&key(name))
+    }
+
+    /// Remove a view.
+    pub fn drop_view(&mut self, name: &str) -> Result<ViewDef> {
+        self.views
+            .remove(&key(name))
+            .ok_or_else(|| Error::Catalog(format!("unknown view {name}")))
+    }
+
+    /// Register an assertion.
+    pub fn create_assertion(&mut self, assertion: Assertion) -> Result<()> {
+        let k = key(&assertion.name);
+        if self.assertions.contains_key(&k) {
+            return Err(Error::Catalog(format!(
+                "assertion {} already exists",
+                assertion.name
+            )));
+        }
+        self.assertions.insert(k, assertion);
+        Ok(())
+    }
+
+    /// All assertions.
+    pub fn assertions(&self) -> impl Iterator<Item = &Assertion> {
+        self.assertions.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use crate::table::ColumnDef;
+    use gbj_types::DataType;
+
+    fn dept() -> TableDef {
+        TableDef::new(
+            "Department",
+            vec![
+                ColumnDef::new("DeptID", DataType::Int64),
+                ColumnDef::new("Name", DataType::Utf8),
+            ],
+        )
+        .with_constraint(Constraint::PrimaryKey(vec!["DeptID".into()]))
+    }
+
+    fn emp() -> TableDef {
+        TableDef::new(
+            "Employee",
+            vec![
+                ColumnDef::new("EmpID", DataType::Int64),
+                ColumnDef::new("DeptID", DataType::Int64),
+            ],
+        )
+        .with_constraint(Constraint::PrimaryKey(vec!["EmpID".into()]))
+        .with_constraint(Constraint::ForeignKey {
+            columns: vec!["DeptID".into()],
+            ref_table: "Department".into(),
+            ref_columns: vec![],
+        })
+    }
+
+    #[test]
+    fn create_and_lookup_case_insensitive() {
+        let mut c = Catalog::new();
+        c.create_table(dept()).unwrap();
+        assert!(c.table("department").is_some());
+        assert!(c.table("DEPARTMENT").is_some());
+        assert!(c.table("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = Catalog::new();
+        c.create_table(dept()).unwrap();
+        assert!(c.create_table(dept()).is_err());
+    }
+
+    #[test]
+    fn fk_target_must_exist() {
+        let mut c = Catalog::new();
+        // Employee references Department, which is absent.
+        assert!(c.create_table(emp()).is_err());
+        c.create_table(dept()).unwrap();
+        c.create_table(emp()).unwrap();
+    }
+
+    #[test]
+    fn self_referencing_fk_allowed() {
+        let t = TableDef::new(
+            "Node",
+            vec![
+                ColumnDef::new("Id", DataType::Int64),
+                ColumnDef::new("Parent", DataType::Int64),
+            ],
+        )
+        .with_constraint(Constraint::PrimaryKey(vec!["Id".into()]))
+        .with_constraint(Constraint::ForeignKey {
+            columns: vec!["Parent".into()],
+            ref_table: "Node".into(),
+            ref_columns: vec![],
+        });
+        let mut c = Catalog::new();
+        c.create_table(t).unwrap();
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut c = Catalog::new();
+        c.create_table(dept()).unwrap();
+        c.drop_table("Department").unwrap();
+        assert!(c.table("Department").is_none());
+        assert!(c.drop_table("Department").is_err());
+    }
+
+    #[test]
+    fn domains() {
+        let mut c = Catalog::new();
+        let d = Domain {
+            name: "DepIdType".into(),
+            data_type: DataType::Int64,
+            check: None,
+        };
+        c.create_domain(d.clone()).unwrap();
+        assert_eq!(c.domain("depidtype"), Some(&d));
+        assert!(c.create_domain(d).is_err());
+    }
+
+    #[test]
+    fn views_share_namespace_with_tables() {
+        let mut c = Catalog::new();
+        c.create_table(dept()).unwrap();
+        let v = ViewDef {
+            name: "Department".into(),
+            columns: vec![],
+            query_sql: "SELECT 1".into(),
+        };
+        assert!(c.create_view(v).is_err());
+        let v = ViewDef {
+            name: "DeptView".into(),
+            columns: vec![],
+            query_sql: "SELECT DeptID FROM Department".into(),
+        };
+        c.create_view(v.clone()).unwrap();
+        assert_eq!(c.view("deptview"), Some(&v));
+        // And a table may not shadow the view either.
+        let t = TableDef::new("DeptView", vec![ColumnDef::new("x", DataType::Int64)]);
+        assert!(c.create_table(t).is_err());
+        c.drop_view("DeptView").unwrap();
+        assert!(c.drop_view("DeptView").is_err());
+    }
+
+    #[test]
+    fn assertions() {
+        let mut c = Catalog::new();
+        let a = Assertion {
+            name: "positive_ids".into(),
+            check: Expr::col("Department", "DeptID")
+                .binary(gbj_expr::BinaryOp::Gt, Expr::lit(0i64)),
+        };
+        c.create_assertion(a.clone()).unwrap();
+        assert!(c.create_assertion(a).is_err());
+        assert_eq!(c.assertions().count(), 1);
+    }
+
+    #[test]
+    fn tables_iterates_in_name_order() {
+        let mut c = Catalog::new();
+        c.create_table(dept()).unwrap();
+        c.create_table(emp()).unwrap();
+        let names: Vec<_> = c.tables().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["Department", "Employee"]);
+    }
+}

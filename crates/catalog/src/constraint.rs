@@ -1,0 +1,148 @@
+//! Integrity constraints (paper Section 6.1).
+
+use std::fmt;
+
+use gbj_expr::Expr;
+use gbj_types::DataType;
+
+/// A named domain with an optional CHECK constraint, as created by
+/// `CREATE DOMAIN DepIdType SMALLINT CHECK (VALUE > 0 AND VALUE < 100)`.
+///
+/// The check expression refers to the value under test with the
+/// unqualified pseudo-column `VALUE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Domain {
+    /// Domain name.
+    pub name: String,
+    /// Underlying data type.
+    pub data_type: DataType,
+    /// Optional CHECK over the pseudo-column `VALUE`.
+    pub check: Option<Expr>,
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DOMAIN {} {}", self.name, self.data_type)?;
+        if let Some(check) = &self.check {
+            write!(f, " CHECK {check}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A table-level integrity constraint.
+///
+/// Column names inside constraints are stored unqualified; they refer to
+/// the owning table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// `PRIMARY KEY (c1, …)` — unique, and no column may be NULL.
+    PrimaryKey(Vec<String>),
+    /// `UNIQUE (c1, …)` — a candidate key; columns may be NULL.
+    /// SQL2's UNIQUE predicate uses "NULL ≠ NULL" semantics (the paper
+    /// notes this explicitly), so rows with NULL key parts never
+    /// conflict.
+    Unique(Vec<String>),
+    /// `CHECK (expr)` at table level; `expr` references this table's
+    /// columns unqualified. Per SQL2, a row satisfies the constraint
+    /// unless the expression is *false* (unknown passes — `⌈·⌉`).
+    Check {
+        /// Optional constraint name.
+        name: Option<String>,
+        /// The checked predicate.
+        expr: Expr,
+    },
+    /// `FOREIGN KEY (c1, …) REFERENCES t (r1, …)` — each non-NULL
+    /// combination must match a row of the referenced key.
+    ForeignKey {
+        /// Referencing columns in this table.
+        columns: Vec<String>,
+        /// Referenced table.
+        ref_table: String,
+        /// Referenced key columns; empty means "the primary key of
+        /// `ref_table`" (resolved at validation time).
+        ref_columns: Vec<String>,
+    },
+}
+
+impl Constraint {
+    /// Whether this constraint declares a candidate key (PRIMARY KEY or
+    /// UNIQUE).
+    #[must_use]
+    pub fn is_key(&self) -> bool {
+        matches!(self, Constraint::PrimaryKey(_) | Constraint::Unique(_))
+    }
+
+    /// The key columns, for key constraints.
+    #[must_use]
+    pub fn key_columns(&self) -> Option<&[String]> {
+        match self {
+            Constraint::PrimaryKey(cols) | Constraint::Unique(cols) => Some(cols),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::PrimaryKey(cols) => write!(f, "PRIMARY KEY ({})", cols.join(", ")),
+            Constraint::Unique(cols) => write!(f, "UNIQUE ({})", cols.join(", ")),
+            Constraint::Check { name, expr } => {
+                if let Some(n) = name {
+                    write!(f, "CONSTRAINT {n} ")?;
+                }
+                write!(f, "CHECK {expr}")
+            }
+            Constraint::ForeignKey {
+                columns,
+                ref_table,
+                ref_columns,
+            } => {
+                write!(f, "FOREIGN KEY ({}) REFERENCES {ref_table}", columns.join(", "))?;
+                if !ref_columns.is_empty() {
+                    write!(f, " ({})", ref_columns.join(", "))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_detection() {
+        let pk = Constraint::PrimaryKey(vec!["EmpID".into()]);
+        let uq = Constraint::Unique(vec!["EmpSID".into()]);
+        let ck = Constraint::Check {
+            name: None,
+            expr: Expr::bare("EmpID").eq(Expr::lit(1i64)),
+        };
+        assert!(pk.is_key());
+        assert!(uq.is_key());
+        assert!(!ck.is_key());
+        assert_eq!(pk.key_columns().unwrap(), &["EmpID".to_string()]);
+        assert!(ck.key_columns().is_none());
+    }
+
+    #[test]
+    fn display() {
+        let pk = Constraint::PrimaryKey(vec!["a".into(), "b".into()]);
+        assert_eq!(pk.to_string(), "PRIMARY KEY (a, b)");
+        let fk = Constraint::ForeignKey {
+            columns: vec!["DeptID".into()],
+            ref_table: "Dept".into(),
+            ref_columns: vec![],
+        };
+        assert_eq!(fk.to_string(), "FOREIGN KEY (DeptID) REFERENCES Dept");
+        let d = Domain {
+            name: "DepIdType".into(),
+            data_type: DataType::Int64,
+            check: Some(Expr::bare("VALUE").binary(gbj_expr::BinaryOp::Gt, Expr::lit(0i64))),
+        };
+        assert_eq!(d.to_string(), "DOMAIN DepIdType INTEGER CHECK (VALUE > 0)");
+    }
+}

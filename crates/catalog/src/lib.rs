@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # gbj-catalog
+//!
+//! The system catalog: table definitions, domains, views, and the five
+//! classes of SQL2 semantic integrity constraints the paper enumerates
+//! in Section 6.1:
+//!
+//! 1. **column constraints** — `NOT NULL`, per-column `CHECK`;
+//! 2. **domain constraints** — `CREATE DOMAIN … CHECK`, equivalent to a
+//!    column constraint on every column defined over the domain;
+//! 3. **key constraints** — `PRIMARY KEY` (no NULLs) and `UNIQUE`
+//!    (candidate key, NULLs permitted);
+//! 4. **referential integrity** — `FOREIGN KEY … REFERENCES`;
+//! 5. **assertions** — `CREATE ASSERTION` over possibly several tables.
+//!
+//! The optimizer (`gbj-core`) reads these to derive the functional
+//! dependencies `TestFD` needs; the storage layer (`gbj-storage`)
+//! enforces them on data changes, so that — as Section 6 argues — every
+//! valid database instance satisfies them and they can be conjoined to
+//! any WHERE clause without changing query results.
+
+pub mod catalog;
+pub mod constraint;
+pub mod table;
+
+pub use catalog::{Assertion, Catalog, ViewDef};
+pub use constraint::{Constraint, Domain};
+pub use table::{ColumnDef, TableDef};

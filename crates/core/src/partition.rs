@@ -1,0 +1,573 @@
+//! Partitioning the FROM clause into `R1` and `R2` (paper Section 3).
+//!
+//! `R1` is the side holding every *aggregation column* (column used as
+//! an aggregate argument); `R2` holds none. Technically each side is the
+//! Cartesian product of its member tables. Given the partition, the
+//! WHERE clause splits into `C1 ∧ C0 ∧ C2` and the grouping columns
+//! into `GA1/GA2`, from which the join-participating supersets
+//!
+//! * `GA1+ = GA1 ∪ (α(C0) − R2)` — `R1` columns in grouping *or* join,
+//! * `GA2+ = GA2 ∪ (α(C0) − R1)`
+//!
+//! are formed. Section 9 notes that tables without aggregation columns
+//! may be placed on either side; [`Partition::candidates`] enumerates
+//! the minimal partition first and then the alternatives, which is the
+//! paper's re-partitioning fallback.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use gbj_expr::{classify_conjuncts, Expr, PredicateParts};
+use gbj_plan::QueryBlock;
+use gbj_types::ColumnRef;
+
+/// Why a block cannot be partitioned into the paper's form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The block has no aggregates, so there is nothing to push down.
+    NoAggregates,
+    /// Every relation contributes an aggregation column, leaving `R2`
+    /// empty ("the transformation cannot be applied unless at least one
+    /// table contains no aggregation columns").
+    AllRelationsAggregate,
+    /// The block does not group (scalar aggregate) — outside the query
+    /// class of Section 3 ("GA1 and GA2 cannot both be empty").
+    NoGroupBy,
+    /// A FROM relation is itself a derived table; the forward
+    /// transformation only handles base relations (Section 8's reverse
+    /// transformation handles aggregated views).
+    DerivedRelation(String),
+    /// Some predicate or grouping column could not be attributed to one
+    /// side (unqualified, unknown, or ambiguous qualifier).
+    UnattributableColumn(String),
+    /// `GA1+` is empty — the degenerate Case 1 of the Main Theorem
+    /// (Cartesian-product query); we refuse to rewrite it (see
+    /// DESIGN.md).
+    EmptyGa1Plus,
+    /// `GA2+` is empty — the degenerate Case 2; likewise refused.
+    EmptyGa2Plus,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::NoAggregates => f.write_str("query has no aggregate functions"),
+            PartitionError::AllRelationsAggregate => {
+                f.write_str("every FROM relation contributes an aggregation column")
+            }
+            PartitionError::NoGroupBy => f.write_str("query has no GROUP BY clause"),
+            PartitionError::DerivedRelation(q) => {
+                write!(f, "FROM relation {q} is a derived table")
+            }
+            PartitionError::UnattributableColumn(c) => {
+                write!(f, "column {c} cannot be attributed to R1 or R2")
+            }
+            PartitionError::EmptyGa1Plus => f.write_str("GA1+ is empty (degenerate case 1)"),
+            PartitionError::EmptyGa2Plus => f.write_str("GA2+ is empty (degenerate case 2)"),
+        }
+    }
+}
+
+/// A concrete `R1 / R2` split of a query block, with the derived
+/// predicate and grouping-column decomposition.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Qualifiers of the aggregation side `R1`.
+    pub r1: BTreeSet<String>,
+    /// Qualifiers of the other side `R2`.
+    pub r2: BTreeSet<String>,
+    /// The `C1 / C0 / C2` predicate split.
+    pub parts: PredicateParts,
+    /// Grouping columns from `R1`.
+    pub ga1: BTreeSet<ColumnRef>,
+    /// Grouping columns from `R2`.
+    pub ga2: BTreeSet<ColumnRef>,
+    /// `GA1+ = GA1 ∪ (α(C0) − R2)`.
+    pub ga1_plus: BTreeSet<ColumnRef>,
+    /// `GA2+ = GA2 ∪ (α(C0) − R1)`.
+    pub ga2_plus: BTreeSet<ColumnRef>,
+}
+
+fn qualifier_in(set: &BTreeSet<String>, q: &str) -> bool {
+    set.iter().any(|s| s.eq_ignore_ascii_case(q))
+}
+
+impl Partition {
+    /// Build the partition that places exactly the relations in
+    /// `r1_qualifiers` on the aggregation side.
+    pub fn with_r1(
+        block: &QueryBlock,
+        r1_qualifiers: BTreeSet<String>,
+    ) -> Result<Partition, PartitionError> {
+        if block.aggregates.is_empty() {
+            return Err(PartitionError::NoAggregates);
+        }
+        if block.group_by.is_empty() {
+            return Err(PartitionError::NoGroupBy);
+        }
+        for rel in &block.relations {
+            if rel.is_derived() {
+                return Err(PartitionError::DerivedRelation(
+                    rel.qualifier().to_string(),
+                ));
+            }
+        }
+        let all = block.qualifiers();
+        let r2: BTreeSet<String> = all
+            .iter()
+            .filter(|q| !qualifier_in(&r1_qualifiers, q))
+            .cloned()
+            .collect();
+        if r2.is_empty() {
+            return Err(PartitionError::AllRelationsAggregate);
+        }
+        // Aggregation columns must all live in R1 (definition of the
+        // partition).
+        for col in block.aggregation_columns() {
+            match &col.table {
+                Some(t) if qualifier_in(&r1_qualifiers, t) => {}
+                _ => {
+                    return Err(PartitionError::UnattributableColumn(col.to_string()));
+                }
+            }
+        }
+        // Split the predicate.
+        let parts = match block.predicate_expr() {
+            None => PredicateParts::default(),
+            Some(pred) => classify_conjuncts(&pred, &r1_qualifiers, &r2).ok_or_else(|| {
+                PartitionError::UnattributableColumn(pred.to_string())
+            })?,
+        };
+        // Split the grouping columns.
+        let mut ga1 = BTreeSet::new();
+        let mut ga2 = BTreeSet::new();
+        for g in &block.group_by {
+            match &g.table {
+                Some(t) if qualifier_in(&r1_qualifiers, t) => {
+                    ga1.insert(g.clone());
+                }
+                Some(t) if qualifier_in(&r2, t) => {
+                    ga2.insert(g.clone());
+                }
+                _ => return Err(PartitionError::UnattributableColumn(g.to_string())),
+            }
+        }
+        // GA1+ / GA2+.
+        let mut ga1_plus = ga1.clone();
+        let mut ga2_plus = ga2.clone();
+        for col in parts.c0_columns() {
+            match &col.table {
+                Some(t) if qualifier_in(&r1_qualifiers, t) => {
+                    ga1_plus.insert(col);
+                }
+                Some(t) if qualifier_in(&r2, t) => {
+                    ga2_plus.insert(col);
+                }
+                _ => return Err(PartitionError::UnattributableColumn(col.to_string())),
+            }
+        }
+        if ga1_plus.is_empty() {
+            return Err(PartitionError::EmptyGa1Plus);
+        }
+        if ga2_plus.is_empty() {
+            return Err(PartitionError::EmptyGa2Plus);
+        }
+        Ok(Partition {
+            r1: r1_qualifiers,
+            r2,
+            parts,
+            ga1,
+            ga2,
+            ga1_plus,
+            ga2_plus,
+        })
+    }
+
+    /// The *minimal* partition: `R1` = exactly the relations that
+    /// contribute aggregation columns (for pure `COUNT(*)` queries,
+    /// which have none, the lexicographically-first relation).
+    pub fn minimal(block: &QueryBlock) -> Result<Partition, PartitionError> {
+        if block.aggregates.is_empty() {
+            return Err(PartitionError::NoAggregates);
+        }
+        let mut r1 = Partition::aggregation_qualifiers(block)?;
+        if r1.is_empty() {
+            // COUNT(*)-only queries: no aggregation columns pin a side;
+            // default to the lexicographically-first relation.
+            if let Some(first) = block.qualifiers().iter().next() {
+                r1.insert(first.clone());
+            }
+        }
+        Partition::with_r1(block, r1)
+    }
+
+    /// The qualifiers of the relations contributing aggregation columns
+    /// — the mandatory core of any `R1` side. Empty for pure `COUNT(*)`
+    /// queries, where *any* relation may serve as `R1`. Errors when
+    /// some aggregation column is unattributable.
+    fn aggregation_qualifiers(block: &QueryBlock) -> Result<BTreeSet<String>, PartitionError> {
+        let mut r1 = BTreeSet::new();
+        for col in block.aggregation_columns() {
+            match &col.table {
+                Some(t) => {
+                    r1.insert(t.clone());
+                }
+                None => {
+                    return Err(PartitionError::UnattributableColumn(col.to_string()))
+                }
+            }
+        }
+        Ok(r1)
+    }
+
+    /// Enumerate candidate partitions for the Section 9 fallback: the
+    /// minimal one first (when it forms), then every strict superset of
+    /// the minimal `R1` set in increasing size, capped to blocks with at
+    /// most `max_relations` relations to keep the enumeration small.
+    ///
+    /// Note the minimal partition *failing* (e.g. an empty `GA1+` on a
+    /// degenerate split) does not abort the enumeration: a superset `R1`
+    /// can still form a valid partition.
+    #[must_use]
+    pub fn candidates(block: &QueryBlock, max_relations: usize) -> Vec<Partition> {
+        let Ok(base_r1) = Partition::aggregation_qualifiers(block) else {
+            return vec![];
+        };
+        let all: Vec<String> = block.qualifiers().into_iter().collect();
+        let mut out = vec![];
+        if all.len() <= max_relations {
+            let movable: Vec<String> = all
+                .iter()
+                .filter(|q| !qualifier_in(&base_r1, q))
+                .cloned()
+                .collect();
+            // Subsets of the movable relations, smallest first; the full
+            // set is skipped implicitly (R2 would be empty and with_r1
+            // errors).
+            let mut subsets: Vec<Vec<String>> = (0..(1u32 << movable.len()))
+                .map(|mask| {
+                    movable
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, q)| q.clone())
+                        .collect()
+                })
+                .collect();
+            subsets.sort_by_key(Vec::len);
+            for subset in subsets {
+                let mut r1 = base_r1.clone();
+                r1.extend(subset);
+                if r1.is_empty() {
+                    continue; // COUNT(*)-only: skip the empty R1
+                }
+                if let Ok(p) = Partition::with_r1(block, r1) {
+                    out.push(p);
+                }
+            }
+        } else if let Ok(p) = Partition::minimal(block) {
+            out.push(p);
+        }
+        out
+    }
+
+    /// All original columns the transformed `R1'` side must output: the
+    /// grouping/join columns `GA1+`.
+    #[must_use]
+    pub fn ga1_plus_ordered(&self) -> Vec<ColumnRef> {
+        self.ga1_plus.iter().cloned().collect()
+    }
+
+    /// `GA1 ∪ GA2` — the original grouping set, seed of TestFD's
+    /// closures.
+    #[must_use]
+    pub fn grouping_columns(&self) -> BTreeSet<ColumnRef> {
+        self.ga1.union(&self.ga2).cloned().collect()
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_q = |s: &BTreeSet<String>| s.iter().cloned().collect::<Vec<_>>().join(", ");
+        let fmt_c = |s: &BTreeSet<ColumnRef>| {
+            s.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        writeln!(f, "R1 = {{{}}}, R2 = {{{}}}", fmt_q(&self.r1), fmt_q(&self.r2))?;
+        writeln!(f, "GA1 = {{{}}}, GA2 = {{{}}}", fmt_c(&self.ga1), fmt_c(&self.ga2))?;
+        writeln!(
+            f,
+            "GA1+ = {{{}}}, GA2+ = {{{}}}",
+            fmt_c(&self.ga1_plus),
+            fmt_c(&self.ga2_plus)
+        )?;
+        let fmt_e = |v: &[Expr]| {
+            v.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" AND ")
+        };
+        write!(
+            f,
+            "C1 = [{}], C0 = [{}], C2 = [{}]",
+            fmt_e(&self.parts.c1),
+            fmt_e(&self.parts.c0),
+            fmt_e(&self.parts.c2)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_expr::{AggregateCall, AggregateFunction};
+    use gbj_plan::{BlockRelation, SelectItem};
+    use gbj_types::{DataType, Field, Schema};
+
+    fn base(table: &str, qualifier: &str, cols: &[(&str, DataType)]) -> BlockRelation {
+        BlockRelation::Base {
+            table: table.into(),
+            qualifier: qualifier.into(),
+            schema: Schema::new(
+                cols.iter()
+                    .map(|(n, t)| Field::new(*n, *t, true).with_qualifier(qualifier))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Example 3's query block: UserAccount U, PrinterAuth A, Printer P.
+    fn example3_block() -> QueryBlock {
+        let mut b = QueryBlock::new(vec![
+            base(
+                "UserAccount",
+                "U",
+                &[
+                    ("UserId", DataType::Int64),
+                    ("Machine", DataType::Utf8),
+                    ("UserName", DataType::Utf8),
+                ],
+            ),
+            base(
+                "PrinterAuth",
+                "A",
+                &[
+                    ("UserId", DataType::Int64),
+                    ("Machine", DataType::Utf8),
+                    ("PNo", DataType::Int64),
+                    ("Usage", DataType::Int64),
+                ],
+            ),
+            base(
+                "Printer",
+                "P",
+                &[
+                    ("PNo", DataType::Int64),
+                    ("Speed", DataType::Int64),
+                    ("Make", DataType::Utf8),
+                ],
+            ),
+        ]);
+        b.predicate = vec![
+            Expr::col("U", "UserId").eq(Expr::col("A", "UserId")),
+            Expr::col("U", "Machine").eq(Expr::col("A", "Machine")),
+            Expr::col("A", "PNo").eq(Expr::col("P", "PNo")),
+            Expr::col("U", "Machine").eq(Expr::lit("dragon")),
+        ];
+        b.group_by = vec![
+            ColumnRef::qualified("U", "UserId"),
+            ColumnRef::qualified("U", "UserName"),
+        ];
+        b.aggregates = vec![
+            (
+                AggregateCall::new(AggregateFunction::Sum, Expr::col("A", "Usage")),
+                "TotUsage".into(),
+            ),
+            (
+                AggregateCall::new(AggregateFunction::Max, Expr::col("P", "Speed")),
+                "MaxSpeed".into(),
+            ),
+            (
+                AggregateCall::new(AggregateFunction::Min, Expr::col("P", "Speed")),
+                "MinSpeed".into(),
+            ),
+        ];
+        b.select = vec![
+            SelectItem::Column {
+                col: ColumnRef::qualified("U", "UserId"),
+                alias: "UserId".into(),
+            },
+            SelectItem::Column {
+                col: ColumnRef::qualified("U", "UserName"),
+                alias: "UserName".into(),
+            },
+            SelectItem::Aggregate { index: 0 },
+            SelectItem::Aggregate { index: 1 },
+            SelectItem::Aggregate { index: 2 },
+        ];
+        b
+    }
+
+    /// The paper computes for Example 3:
+    /// R1 = (A, P), R2 = (U), SGA1 = GA1 = ∅,
+    /// GA2 = (U.UserId, U.UserName),
+    /// GA1+ = (A.UserId, A.Machine), GA2+ = (U.UserId, U.Machine, U.UserName),
+    /// C0 = U↔A equalities, C1 = A.PNo = P.PNo, C2 = U.Machine = 'dragon'.
+    #[test]
+    fn example3_partition_matches_paper() {
+        let b = example3_block();
+        let p = Partition::minimal(&b).unwrap();
+
+        let q: Vec<&str> = p.r1.iter().map(String::as_str).collect();
+        assert_eq!(q, vec!["A", "P"]);
+        let q: Vec<&str> = p.r2.iter().map(String::as_str).collect();
+        assert_eq!(q, vec!["U"]);
+
+        assert!(p.ga1.is_empty());
+        assert_eq!(
+            p.ga2,
+            [
+                ColumnRef::qualified("U", "UserId"),
+                ColumnRef::qualified("U", "UserName")
+            ]
+            .into_iter()
+            .collect()
+        );
+        assert_eq!(
+            p.ga1_plus,
+            [
+                ColumnRef::qualified("A", "UserId"),
+                ColumnRef::qualified("A", "Machine")
+            ]
+            .into_iter()
+            .collect()
+        );
+        assert_eq!(
+            p.ga2_plus,
+            [
+                ColumnRef::qualified("U", "UserId"),
+                ColumnRef::qualified("U", "Machine"),
+                ColumnRef::qualified("U", "UserName")
+            ]
+            .into_iter()
+            .collect()
+        );
+        assert_eq!(p.parts.c0.len(), 2);
+        assert_eq!(p.parts.c1.len(), 1);
+        assert_eq!(p.parts.c2.len(), 1);
+    }
+
+    #[test]
+    fn no_aggregates_refused() {
+        let mut b = example3_block();
+        b.aggregates.clear();
+        b.select.retain(|s| matches!(s, SelectItem::Column { .. }));
+        assert_eq!(Partition::minimal(&b).unwrap_err(), PartitionError::NoAggregates);
+    }
+
+    #[test]
+    fn no_group_by_refused() {
+        let mut b = example3_block();
+        b.group_by.clear();
+        b.select.retain(|s| matches!(s, SelectItem::Aggregate { .. }));
+        assert!(matches!(
+            Partition::minimal(&b),
+            Err(PartitionError::NoGroupBy)
+        ));
+    }
+
+    #[test]
+    fn all_relations_aggregating_refused() {
+        let mut b = example3_block();
+        // Add an aggregate over U too — every relation now aggregates.
+        b.aggregates.push((
+            AggregateCall::new(AggregateFunction::Count, Expr::col("U", "UserId")),
+            "n".into(),
+        ));
+        assert_eq!(
+            Partition::minimal(&b).unwrap_err(),
+            PartitionError::AllRelationsAggregate
+        );
+    }
+
+    #[test]
+    fn count_star_only_still_partitions() {
+        let mut b = example3_block();
+        b.aggregates = vec![(AggregateCall::count_star(), "n".into())];
+        b.select = vec![
+            SelectItem::Column {
+                col: ColumnRef::qualified("U", "UserId"),
+                alias: "UserId".into(),
+            },
+            SelectItem::Aggregate { index: 0 },
+        ];
+        let p = Partition::minimal(&b).unwrap();
+        // No aggregation columns: the first relation (alphabetically,
+        // "A") lands in R1.
+        assert!(p.r1.contains("A"));
+        assert_eq!(p.r1.len(), 1);
+    }
+
+    #[test]
+    fn explicit_partition_moves_relations() {
+        let b = example3_block();
+        let p = Partition::with_r1(
+            &b,
+            ["A", "P", "U"].iter().map(|s| s.to_string()).collect(),
+        );
+        // Moving U to R1 empties R2.
+        assert_eq!(p.unwrap_err(), PartitionError::AllRelationsAggregate);
+    }
+
+    #[test]
+    fn candidates_start_with_minimal() {
+        let b = example3_block();
+        let cands = Partition::candidates(&b, 8);
+        assert!(!cands.is_empty());
+        assert_eq!(cands[0].r1, Partition::minimal(&b).unwrap().r1);
+        // U cannot move to R1 here (R2 would be empty), so exactly one
+        // candidate exists.
+        assert_eq!(cands.len(), 1);
+    }
+
+    #[test]
+    fn degenerate_cartesian_cases_are_refused() {
+        // Group only by R2 columns, no join predicate: GA1+ empty.
+        let mut b = example3_block();
+        b.predicate = vec![Expr::col("U", "Machine").eq(Expr::lit("dragon"))];
+        b.group_by = vec![ColumnRef::qualified("U", "UserId")];
+        b.select = vec![
+            SelectItem::Column {
+                col: ColumnRef::qualified("U", "UserId"),
+                alias: "UserId".into(),
+            },
+            SelectItem::Aggregate { index: 0 },
+        ];
+        assert_eq!(Partition::minimal(&b).unwrap_err(), PartitionError::EmptyGa1Plus);
+
+        // Group only by R1 columns, no join predicate: GA2+ empty.
+        let mut b = example3_block();
+        b.predicate = vec![];
+        b.group_by = vec![ColumnRef::qualified("A", "UserId")];
+        b.select = vec![
+            SelectItem::Column {
+                col: ColumnRef::qualified("A", "UserId"),
+                alias: "UserId".into(),
+            },
+            SelectItem::Aggregate { index: 0 },
+        ];
+        assert_eq!(Partition::minimal(&b).unwrap_err(), PartitionError::EmptyGa2Plus);
+    }
+
+    #[test]
+    fn display_mentions_all_parts() {
+        let b = example3_block();
+        let p = Partition::minimal(&b).unwrap();
+        let text = p.to_string();
+        assert!(text.contains("R1 = {A, P}"));
+        assert!(text.contains("GA1+"));
+        assert!(text.contains("C0"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Column substitution (paper Section 9, concluding remarks).
+//!
+//! > "Column substitution can be used to improve the chance of a query
+//! > being tested transformable. First, column substitution can be
+//! > employed to obtain a set of equivalent queries. Based on this set,
+//! > all possible partitions of the tables can be performed and the
+//! > resulting queries can all be tested."
+//!
+//! A top-level WHERE conjunct `a = b` guarantees that on every
+//! surviving row the two columns are equal **and non-NULL** (equality
+//! with a NULL is `unknown`, and `WHERE` keeps only `true`). Any
+//! aggregate argument may therefore reference either column without
+//! changing `F(AA)` — but the choice changes which tables carry
+//! *aggregation columns*, and with it the R1/R2 partition. The classic
+//! beneficiary: `COUNT(D.DeptID)` over an `E.DeptID = D.DeptID` join
+//! can be rewritten to `COUNT(E.DeptID)`, freeing `D` to be the `R2`
+//! side.
+
+use std::collections::BTreeMap;
+
+use gbj_expr::{AtomClass, Expr};
+use gbj_plan::QueryBlock;
+use gbj_types::ColumnRef;
+
+/// Cap on the number of substituted variants generated per query, to
+/// bound the (testable) search space.
+const MAX_VARIANTS: usize = 8;
+
+/// The equivalence classes induced by the top-level Type-2 equality
+/// conjuncts of a block's WHERE clause.
+#[must_use]
+pub fn equality_classes(block: &QueryBlock) -> Vec<Vec<ColumnRef>> {
+    // Union-find over columns, small-scale.
+    let mut parent: BTreeMap<ColumnRef, ColumnRef> = BTreeMap::new();
+    fn find(parent: &mut BTreeMap<ColumnRef, ColumnRef>, c: &ColumnRef) -> ColumnRef {
+        let p = parent.entry(c.clone()).or_insert_with(|| c.clone()).clone();
+        if &p == c {
+            return p;
+        }
+        let root = find(parent, &p);
+        parent.insert(c.clone(), root.clone());
+        root
+    }
+    for conjunct in &block.predicate {
+        if let AtomClass::ColumnEqColumn(a, b) = AtomClass::of(conjunct) {
+            let ra = find(&mut parent, &a);
+            let rb = find(&mut parent, &b);
+            if ra != rb {
+                parent.insert(ra, rb);
+            }
+        }
+    }
+    let mut classes: BTreeMap<ColumnRef, Vec<ColumnRef>> = BTreeMap::new();
+    let keys: Vec<ColumnRef> = parent.keys().cloned().collect();
+    for c in keys {
+        let root = find(&mut parent, &c);
+        classes.entry(root).or_default().push(c);
+    }
+    classes.into_values().filter(|v| v.len() > 1).collect()
+}
+
+/// Generate equivalent blocks by substituting aggregate-argument
+/// columns along the equality classes. The original block is *not*
+/// included. Variants differ from the original in at least one
+/// aggregation column; at most eight variants are generated.
+#[must_use]
+pub fn substitution_candidates(block: &QueryBlock) -> Vec<QueryBlock> {
+    let classes = equality_classes(block);
+    if classes.is_empty() {
+        return vec![];
+    }
+    let class_of = |c: &ColumnRef| -> Option<&Vec<ColumnRef>> {
+        classes.iter().find(|cls| cls.contains(c))
+    };
+
+    // For each aggregation column that has alternatives, list the
+    // substitutions (original first).
+    let agg_cols: Vec<ColumnRef> = block.aggregation_columns().into_iter().collect();
+    let mut choices: Vec<(ColumnRef, Vec<ColumnRef>)> = Vec::new();
+    for col in agg_cols {
+        if let Some(cls) = class_of(&col) {
+            let alts: Vec<ColumnRef> =
+                cls.iter().filter(|c| **c != col).cloned().collect();
+            if !alts.is_empty() {
+                choices.push((col, alts));
+            }
+        }
+    }
+    if choices.is_empty() {
+        return vec![];
+    }
+
+    // Enumerate assignments (original or an alternative per column),
+    // skipping the all-original assignment.
+    let mut variants = Vec::new();
+    let total: usize = choices
+        .iter()
+        .map(|(_, alts)| alts.len() + 1)
+        .product();
+    for idx in 1..total {
+        if variants.len() >= MAX_VARIANTS {
+            break;
+        }
+        let mut rest = idx;
+        let mut mapping: BTreeMap<ColumnRef, ColumnRef> = BTreeMap::new();
+        for (col, alts) in &choices {
+            let n = alts.len() + 1;
+            let pick = rest % n;
+            rest /= n;
+            if pick > 0 {
+                mapping.insert(col.clone(), alts[pick - 1].clone());
+            }
+        }
+        if mapping.is_empty() {
+            continue;
+        }
+        let mut variant = block.clone();
+        for (call, _) in &mut variant.aggregates {
+            if let Some(arg) = &call.arg {
+                let substituted = arg.map_columns(&|c| {
+                    mapping.get(c).cloned().unwrap_or_else(|| c.clone())
+                });
+                call.arg = Some(substituted);
+            }
+        }
+        if variant.validate().is_ok() {
+            variants.push(variant);
+        }
+    }
+    variants
+}
+
+/// Convenience used by `eager_aggregate`: does the expression reference
+/// any column in `cols`?
+#[must_use]
+pub fn references_any(expr: &Expr, cols: &[ColumnRef]) -> bool {
+    expr.columns().iter().any(|c| cols.contains(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_expr::{AggregateCall, AggregateFunction};
+    use gbj_plan::{BlockRelation, SelectItem};
+    use gbj_types::{DataType, Field, Schema};
+
+    fn base(table: &str, q: &str, cols: &[&str]) -> BlockRelation {
+        BlockRelation::Base {
+            table: table.into(),
+            qualifier: q.into(),
+            schema: Schema::new(
+                cols.iter()
+                    .map(|n| Field::new(*n, DataType::Int64, true).with_qualifier(q))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn block_with_r2_aggregate() -> QueryBlock {
+        let mut b = QueryBlock::new(vec![
+            base("Employee", "E", &["EmpID", "DeptID"]),
+            base("Department", "D", &["DeptID", "Budget"]),
+        ]);
+        b.predicate = vec![Expr::col("E", "DeptID").eq(Expr::col("D", "DeptID"))];
+        b.group_by = vec![ColumnRef::qualified("D", "DeptID")];
+        b.aggregates = vec![(
+            AggregateCall::new(AggregateFunction::Count, Expr::col("D", "DeptID")),
+            "n".into(),
+        )];
+        b.select = vec![
+            SelectItem::Column {
+                col: ColumnRef::qualified("D", "DeptID"),
+                alias: "DeptID".into(),
+            },
+            SelectItem::Aggregate { index: 0 },
+        ];
+        b
+    }
+
+    #[test]
+    fn equality_classes_from_conjuncts() {
+        let b = block_with_r2_aggregate();
+        let classes = equality_classes(&b);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].len(), 2);
+        assert!(classes[0].contains(&ColumnRef::qualified("E", "DeptID")));
+        assert!(classes[0].contains(&ColumnRef::qualified("D", "DeptID")));
+    }
+
+    #[test]
+    fn transitive_equalities_merge_classes() {
+        let mut b = block_with_r2_aggregate();
+        b.relations.push(base("Third", "T", &["DeptID"]));
+        b.predicate
+            .push(Expr::col("D", "DeptID").eq(Expr::col("T", "DeptID")));
+        let classes = equality_classes(&b);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].len(), 3);
+    }
+
+    #[test]
+    fn substitution_rewrites_the_aggregate_argument() {
+        let b = block_with_r2_aggregate();
+        let variants = substitution_candidates(&b);
+        assert_eq!(variants.len(), 1);
+        let call = &variants[0].aggregates[0].0;
+        assert_eq!(
+            call.arg.as_ref().unwrap(),
+            &Expr::col("E", "DeptID"),
+            "COUNT(D.DeptID) becomes COUNT(E.DeptID)"
+        );
+        // Everything else is untouched.
+        assert_eq!(variants[0].group_by, b.group_by);
+        assert_eq!(variants[0].select, b.select);
+    }
+
+    #[test]
+    fn no_equalities_no_variants() {
+        let mut b = block_with_r2_aggregate();
+        b.predicate = vec![Expr::col("E", "DeptID")
+            .binary(gbj_expr::BinaryOp::Lt, Expr::col("D", "DeptID"))];
+        assert!(substitution_candidates(&b).is_empty());
+        assert!(equality_classes(&b).is_empty());
+    }
+
+    #[test]
+    fn aggregates_without_class_members_yield_nothing() {
+        let mut b = block_with_r2_aggregate();
+        // Aggregate over Budget, which is in no equality class.
+        b.aggregates = vec![(
+            AggregateCall::new(AggregateFunction::Sum, Expr::col("D", "Budget")),
+            "s".into(),
+        )];
+        assert!(substitution_candidates(&b).is_empty());
+    }
+
+    #[test]
+    fn variant_cap_is_respected() {
+        // Five aggregation columns each with one alternative → 2^5 - 1
+        // assignments, capped at MAX_VARIANTS.
+        let mut b = QueryBlock::new(vec![
+            base("L", "L", &["a", "b", "c", "d", "e", "k"]),
+            base("R", "R", &["a", "b", "c", "d", "e", "k"]),
+        ]);
+        b.predicate = vec![
+            Expr::col("L", "a").eq(Expr::col("R", "a")),
+            Expr::col("L", "b").eq(Expr::col("R", "b")),
+            Expr::col("L", "c").eq(Expr::col("R", "c")),
+            Expr::col("L", "d").eq(Expr::col("R", "d")),
+            Expr::col("L", "e").eq(Expr::col("R", "e")),
+            Expr::col("L", "k").eq(Expr::col("R", "k")),
+        ];
+        b.group_by = vec![ColumnRef::qualified("R", "k")];
+        b.aggregates = ["a", "b", "c", "d", "e"]
+            .iter()
+            .enumerate()
+            .map(|(i, col)| {
+                (
+                    AggregateCall::new(AggregateFunction::Sum, Expr::col("L", *col)),
+                    format!("s{i}"),
+                )
+            })
+            .collect();
+        b.select = vec![SelectItem::Column {
+            col: ColumnRef::qualified("R", "k"),
+            alias: "k".into(),
+        }];
+        b.select
+            .extend((0..5).map(|index| SelectItem::Aggregate { index }));
+        let variants = substitution_candidates(&b);
+        assert_eq!(variants.len(), MAX_VARIANTS);
+    }
+
+    #[test]
+    fn references_any_helper() {
+        let e = Expr::col("A", "x").eq(Expr::col("B", "y"));
+        assert!(references_any(&e, &[ColumnRef::qualified("A", "x")]));
+        assert!(!references_any(&e, &[ColumnRef::qualified("C", "z")]));
+    }
+}

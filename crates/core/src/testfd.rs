@@ -1,0 +1,701 @@
+//! The `TestFD` algorithm (paper Section 6.3).
+//!
+//! A fast, sufficient test for the Main Theorem's conditions. It
+//! exploits only primary/candidate keys and the equality atoms of the
+//! WHERE clause plus column/domain constraints:
+//!
+//! 1. Convert `C1 ∧ C0 ∧ C2 ∧ T1 ∧ T2` into CNF `D1 ∧ … ∧ Dm`.
+//! 2. Delete every `Di` containing an atom that is not Type 1
+//!    (`column = constant`) or Type 2 (`column = column`).
+//! 3. If nothing remains, answer NO; otherwise convert to DNF
+//!    `E1 ∨ … ∨ En`.
+//! 4. For each disjunct `Ei`: seed a set `S` with `GA1 ∪ GA2` and the
+//!    Type-1 constant columns, close it transitively over the Type-2
+//!    equalities and the key dependencies, then require
+//!    (d) a candidate key of every `R2` relation in `S`  — proves FD2 —
+//!    (h) `GA1+ ⊆ S`                                     — proves FD1.
+//! 5. If every disjunct passes, answer YES.
+//!
+//! YES is sound (Theorem 4: the FDs then hold in the join result); NO
+//! is *not* a proof of invalidity — the transformation might still be
+//! valid, TestFD just cannot see it.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use gbj_expr::{conjuncts, from_cnf, to_cnf, to_dnf, AtomClass, Expr};
+use gbj_fd::{ClosureTrace, FdContext};
+use gbj_types::ColumnRef;
+
+use crate::partition::Partition;
+
+/// The per-disjunct record of TestFD's Step 4, rich enough to print the
+/// paper's Example 3 walk-through verbatim.
+#[derive(Debug, Clone)]
+pub struct DisjunctTrace {
+    /// The atoms of this disjunct `Ei`.
+    pub atoms: Vec<Expr>,
+    /// Step (a)/(e): the seed `GA1 ∪ GA2`.
+    pub seed: BTreeSet<ColumnRef>,
+    /// Step (b)/(f): the seed plus Type-1 constant columns.
+    pub after_constants: BTreeSet<ColumnRef>,
+    /// Step (c)/(g): the transitive closure, with provenance.
+    pub closure: ClosureTrace,
+    /// Step (d): for each `R2` relation, whether one of its candidate
+    /// keys is contained in the closure.
+    pub key_checks: Vec<(String, bool)>,
+    /// Step (h): whether `GA1+` is contained in the closure.
+    pub ga1_plus_contained: bool,
+}
+
+impl DisjunctTrace {
+    /// Whether this disjunct passes both checks.
+    #[must_use]
+    pub fn passes(&self) -> bool {
+        self.ga1_plus_contained && self.key_checks.iter().all(|(_, ok)| *ok)
+    }
+}
+
+/// The full trace of one TestFD run.
+#[derive(Debug, Clone, Default)]
+pub struct TestFdTrace {
+    /// CNF clauses dropped in Step 2 (contained non-equality atoms).
+    pub dropped_clauses: Vec<String>,
+    /// CNF clauses kept after Step 2.
+    pub kept_clauses: Vec<String>,
+    /// Step-4 traces, one per DNF disjunct.
+    pub disjuncts: Vec<DisjunctTrace>,
+    /// Why the answer is NO, when it is.
+    pub failure: Option<String>,
+}
+
+impl fmt::Display for TestFdTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.dropped_clauses.is_empty() {
+            writeln!(f, "dropped clauses: {}", self.dropped_clauses.join("; "))?;
+        }
+        writeln!(f, "kept clauses: {}", self.kept_clauses.join("; "))?;
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            writeln!(f, "disjunct E{}:", i + 1)?;
+            writeln!(f, "{}", d.closure)?;
+            for (rel, ok) in &d.key_checks {
+                writeln!(f, "  key of {rel} in S: {}", if *ok { "yes" } else { "NO" })?;
+            }
+            writeln!(
+                f,
+                "  GA1+ in S: {}",
+                if d.ga1_plus_contained { "yes" } else { "NO" }
+            )?;
+        }
+        if let Some(reason) = &self.failure {
+            writeln!(f, "answer: NO ({reason})")?;
+        } else {
+            writeln!(f, "answer: YES")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of running TestFD.
+#[derive(Debug, Clone)]
+pub struct TestFdOutcome {
+    /// YES — FD1 and FD2 are guaranteed to hold in the join result.
+    pub valid: bool,
+    /// Full trace for diagnostics / the experiment reports.
+    pub trace: TestFdTrace,
+}
+
+/// Run TestFD for a partitioned query.
+///
+/// `constraint_conjuncts` carries the paper's `T1 ∧ T2` — Boolean
+/// renderings of the column/domain/assertion constraints, qualified
+/// like the query's columns (see [`crate::theorem3`]). Pass an empty
+/// slice to use only the WHERE clause.
+#[must_use]
+pub fn test_fd(
+    partition: &Partition,
+    fd_ctx: &FdContext,
+    constraint_conjuncts: &[Expr],
+) -> TestFdOutcome {
+    let mut trace = TestFdTrace::default();
+
+    // Step 1: CNF of C1 ∧ C0 ∧ C2 ∧ T1 ∧ T2. Each stored conjunct may
+    // itself contain ORs, so normalise individually and concatenate.
+    let mut clauses: Vec<Vec<Expr>> = Vec::new();
+    let all_conjuncts = partition
+        .parts
+        .c1
+        .iter()
+        .chain(&partition.parts.c0)
+        .chain(&partition.parts.c2)
+        .chain(constraint_conjuncts);
+    for conjunct in all_conjuncts {
+        match to_cnf(conjunct) {
+            Ok(cs) => clauses.extend(cs),
+            Err(_) => {
+                // Too irregular to normalise: conservatively treat the
+                // whole conjunct as a non-equality clause and drop it.
+                trace.dropped_clauses.push(conjunct.to_string());
+            }
+        }
+    }
+
+    // Step 2: drop clauses containing a non-Type-1/2 atom.
+    let mut kept: Vec<Vec<Expr>> = Vec::new();
+    for clause in clauses {
+        let usable = clause.iter().all(|atom| AtomClass::of(atom).is_usable());
+        let rendered = clause
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" OR ");
+        if usable {
+            trace.kept_clauses.push(rendered);
+            kept.push(clause);
+        } else {
+            trace.dropped_clauses.push(rendered);
+        }
+    }
+
+    // Step 3: empty ⇒ NO; otherwise DNF.
+    if kept.is_empty() {
+        trace.failure = Some("no usable equality clauses remain (Step 3)".into());
+        return TestFdOutcome {
+            valid: false,
+            trace,
+        };
+    }
+    let Some(kept_expr) = from_cnf(&kept) else {
+        trace.failure = Some("internal: empty CNF reconstruction".into());
+        return TestFdOutcome {
+            valid: false,
+            trace,
+        };
+    };
+    let dnf = match to_dnf(&kept_expr) {
+        Ok(d) => d,
+        Err(_) => {
+            trace.failure = Some("DNF conversion exceeded the clause budget".into());
+            return TestFdOutcome {
+                valid: false,
+                trace,
+            };
+        }
+    };
+
+    // Step 4: per-disjunct closure and checks.
+    let seed = partition.grouping_columns();
+    let mut valid = true;
+    for atoms in dnf {
+        let fds = fd_ctx.fd_set(&atoms);
+        let closure = fds.closure_traced(&seed);
+
+        let mut after_constants = seed.clone();
+        for atom in &atoms {
+            if let AtomClass::ColumnEqConstant(c, _) = AtomClass::of(atom) {
+                after_constants.insert(c);
+            }
+        }
+
+        // Step (d): a candidate key of each R2 relation must be in S.
+        let mut key_checks = Vec::new();
+        for rel in &partition.r2 {
+            let keys = fd_ctx.keys_of(rel);
+            let ok = !keys.is_empty()
+                && keys
+                    .iter()
+                    .any(|key| key.iter().all(|c| closure.result.contains(c)));
+            key_checks.push((rel.clone(), ok));
+        }
+
+        // Step (h): GA1+ ⊆ S.
+        let ga1_plus_contained = partition
+            .ga1_plus
+            .iter()
+            .all(|c| closure.result.contains(c));
+
+        let disjunct = DisjunctTrace {
+            atoms,
+            seed: seed.clone(),
+            after_constants,
+            closure,
+            key_checks,
+            ga1_plus_contained,
+        };
+        if !disjunct.passes() {
+            valid = false;
+            let why = if disjunct.ga1_plus_contained {
+                "a candidate key of R2 is not derivable (Step 4d)"
+            } else {
+                "GA1+ is not derivable from (GA1, GA2) (Step 4h)"
+            };
+            trace.failure = Some(why.into());
+        }
+        trace.disjuncts.push(disjunct);
+        if !valid {
+            break; // the paper stops at the first failing disjunct
+        }
+    }
+
+    TestFdOutcome { valid, trace }
+}
+
+/// Convenience: the atoms of a conjunction, for building contexts.
+#[must_use]
+pub fn conjunct_atoms(expr: &Expr) -> Vec<Expr> {
+    conjuncts(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_catalog::{ColumnDef, Constraint, TableDef};
+    use gbj_expr::{AggregateCall, AggregateFunction};
+    use gbj_plan::{BlockRelation, QueryBlock, SelectItem};
+    use gbj_types::{DataType, Field, Schema};
+
+    fn base(table: &str, qualifier: &str, cols: &[(&str, DataType)]) -> BlockRelation {
+        BlockRelation::Base {
+            table: table.into(),
+            qualifier: qualifier.into(),
+            schema: Schema::new(
+                cols.iter()
+                    .map(|(n, t)| Field::new(*n, *t, true).with_qualifier(qualifier))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn user_account_def() -> TableDef {
+        TableDef::new(
+            "UserAccount",
+            vec![
+                ColumnDef::new("UserId", DataType::Int64),
+                ColumnDef::new("Machine", DataType::Utf8),
+                ColumnDef::new("UserName", DataType::Utf8),
+            ],
+        )
+        .with_constraint(Constraint::PrimaryKey(vec![
+            "UserId".into(),
+            "Machine".into(),
+        ]))
+        .validate()
+        .unwrap()
+    }
+
+    fn printer_auth_def() -> TableDef {
+        TableDef::new(
+            "PrinterAuth",
+            vec![
+                ColumnDef::new("UserId", DataType::Int64),
+                ColumnDef::new("Machine", DataType::Utf8),
+                ColumnDef::new("PNo", DataType::Int64),
+                ColumnDef::new("Usage", DataType::Int64),
+            ],
+        )
+        .with_constraint(Constraint::PrimaryKey(vec![
+            "UserId".into(),
+            "Machine".into(),
+            "PNo".into(),
+        ]))
+        .validate()
+        .unwrap()
+    }
+
+    fn printer_def() -> TableDef {
+        TableDef::new(
+            "Printer",
+            vec![
+                ColumnDef::new("PNo", DataType::Int64),
+                ColumnDef::new("Speed", DataType::Int64),
+                ColumnDef::new("Make", DataType::Utf8),
+            ],
+        )
+        .with_constraint(Constraint::PrimaryKey(vec!["PNo".into()]))
+        .validate()
+        .unwrap()
+    }
+
+    fn example3_block() -> QueryBlock {
+        let mut b = QueryBlock::new(vec![
+            base(
+                "UserAccount",
+                "U",
+                &[
+                    ("UserId", DataType::Int64),
+                    ("Machine", DataType::Utf8),
+                    ("UserName", DataType::Utf8),
+                ],
+            ),
+            base(
+                "PrinterAuth",
+                "A",
+                &[
+                    ("UserId", DataType::Int64),
+                    ("Machine", DataType::Utf8),
+                    ("PNo", DataType::Int64),
+                    ("Usage", DataType::Int64),
+                ],
+            ),
+            base(
+                "Printer",
+                "P",
+                &[
+                    ("PNo", DataType::Int64),
+                    ("Speed", DataType::Int64),
+                    ("Make", DataType::Utf8),
+                ],
+            ),
+        ]);
+        b.predicate = vec![
+            Expr::col("U", "UserId").eq(Expr::col("A", "UserId")),
+            Expr::col("U", "Machine").eq(Expr::col("A", "Machine")),
+            Expr::col("A", "PNo").eq(Expr::col("P", "PNo")),
+            Expr::col("U", "Machine").eq(Expr::lit("dragon")),
+        ];
+        b.group_by = vec![
+            ColumnRef::qualified("U", "UserId"),
+            ColumnRef::qualified("U", "UserName"),
+        ];
+        b.aggregates = vec![
+            (
+                AggregateCall::new(AggregateFunction::Sum, Expr::col("A", "Usage")),
+                "TotUsage".into(),
+            ),
+            (
+                AggregateCall::new(AggregateFunction::Max, Expr::col("P", "Speed")),
+                "MaxSpeed".into(),
+            ),
+        ];
+        b.select = vec![
+            SelectItem::Column {
+                col: ColumnRef::qualified("U", "UserId"),
+                alias: "UserId".into(),
+            },
+            SelectItem::Column {
+                col: ColumnRef::qualified("U", "UserName"),
+                alias: "UserName".into(),
+            },
+            SelectItem::Aggregate { index: 0 },
+            SelectItem::Aggregate { index: 1 },
+        ];
+        b
+    }
+
+    fn example3_ctx() -> FdContext {
+        let mut ctx = FdContext::new();
+        ctx.add_table("U", user_account_def());
+        ctx.add_table("A", printer_auth_def());
+        ctx.add_table("P", printer_def());
+        ctx
+    }
+
+    /// The paper's Example 3 runs TestFD and answers YES, with
+    /// S = {A.UserId, A.Machine, U.UserName, U.Machine, U.UserId}
+    /// after the transitive closure of Step (c) (plus P's columns once
+    /// the key of PrinterAuth fires — the paper elides those).
+    #[test]
+    fn example3_testfd_says_yes() {
+        let b = example3_block();
+        let p = Partition::minimal(&b).unwrap();
+        let out = test_fd(&p, &example3_ctx(), &[]);
+        assert!(out.valid, "trace:\n{}", out.trace);
+        assert_eq!(out.trace.disjuncts.len(), 1);
+        let d = &out.trace.disjuncts[0];
+
+        // Step a/e: seed = GA1 ∪ GA2 = {U.UserId, U.UserName}.
+        assert_eq!(
+            d.seed,
+            [
+                ColumnRef::qualified("U", "UserId"),
+                ColumnRef::qualified("U", "UserName")
+            ]
+            .into_iter()
+            .collect()
+        );
+        // Step b/f: + U.Machine via U.Machine = 'dragon'.
+        assert!(d
+            .after_constants
+            .contains(&ColumnRef::qualified("U", "Machine")));
+        assert_eq!(d.after_constants.len(), 3);
+        // Step c/g: closure contains the paper's S.
+        for (t, c) in [
+            ("A", "UserId"),
+            ("A", "Machine"),
+            ("U", "UserName"),
+            ("U", "Machine"),
+            ("U", "UserId"),
+        ] {
+            assert!(
+                d.closure.result.contains(&ColumnRef::qualified(t, c)),
+                "{t}.{c} missing from closure"
+            );
+        }
+        // Step d: the key of U is in S.
+        assert_eq!(d.key_checks, vec![("U".to_string(), true)]);
+        // Step h: GA1+ = (A.UserId, A.Machine) ⊆ S.
+        assert!(d.ga1_plus_contained);
+        // Trace renders.
+        let text = out.trace.to_string();
+        assert!(text.contains("answer: YES"));
+    }
+
+    /// Without the constant `U.Machine = 'dragon'`, the key
+    /// (UserId, Machine) of U is not derivable from (U.UserId,
+    /// U.UserName): TestFD must answer NO.
+    #[test]
+    fn missing_constant_makes_testfd_say_no() {
+        let mut b = example3_block();
+        b.predicate.pop(); // drop U.Machine = 'dragon'
+        let p = Partition::minimal(&b).unwrap();
+        let out = test_fd(&p, &example3_ctx(), &[]);
+        assert!(!out.valid);
+        assert!(out.trace.failure.is_some());
+        let text = out.trace.to_string();
+        assert!(text.contains("answer: NO"));
+    }
+
+    /// If grouping includes U.Machine instead of relying on the
+    /// constant, the key is again derivable.
+    #[test]
+    fn grouping_by_key_also_passes() {
+        let mut b = example3_block();
+        b.predicate.pop(); // no constant
+        b.group_by = vec![
+            ColumnRef::qualified("U", "UserId"),
+            ColumnRef::qualified("U", "Machine"),
+        ];
+        b.select = vec![
+            SelectItem::Column {
+                col: ColumnRef::qualified("U", "UserId"),
+                alias: "UserId".into(),
+            },
+            SelectItem::Column {
+                col: ColumnRef::qualified("U", "Machine"),
+                alias: "Machine".into(),
+            },
+            SelectItem::Aggregate { index: 0 },
+        ];
+        let p = Partition::minimal(&b).unwrap();
+        let out = test_fd(&p, &example3_ctx(), &[]);
+        assert!(out.valid, "trace:\n{}", out.trace);
+    }
+
+    /// R2 without any declared key can never satisfy FD2 via TestFD.
+    #[test]
+    fn keyless_r2_fails_step_d() {
+        let mut ctx = FdContext::new();
+        ctx.add_table(
+            "U",
+            TableDef::new(
+                "UserAccount",
+                vec![
+                    ColumnDef::new("UserId", DataType::Int64),
+                    ColumnDef::new("Machine", DataType::Utf8),
+                    ColumnDef::new("UserName", DataType::Utf8),
+                ],
+            )
+            .validate()
+            .unwrap(),
+        );
+        ctx.add_table("A", printer_auth_def());
+        ctx.add_table("P", printer_def());
+        let b = example3_block();
+        let p = Partition::minimal(&b).unwrap();
+        let out = test_fd(&p, &ctx, &[]);
+        assert!(!out.valid);
+        assert_eq!(out.trace.disjuncts[0].key_checks, vec![("U".into(), false)]);
+    }
+
+    /// Non-equality conjuncts are dropped (Step 2) without breaking the
+    /// algorithm when the equalities suffice.
+    #[test]
+    fn non_equality_clauses_are_dropped_but_answer_stays_yes() {
+        let mut b = example3_block();
+        b.predicate.push(
+            Expr::col("P", "Speed").binary(gbj_expr::BinaryOp::Gt, Expr::lit(100i64)),
+        );
+        let p = Partition::minimal(&b).unwrap();
+        let out = test_fd(&p, &example3_ctx(), &[]);
+        assert!(out.valid);
+        assert_eq!(out.trace.dropped_clauses.len(), 1);
+        assert!(out.trace.dropped_clauses[0].contains("P.Speed"));
+    }
+
+    /// A disjunctive constant predicate splits into DNF disjuncts and
+    /// every disjunct must pass Step 4.
+    #[test]
+    fn disjunctive_predicate_checks_every_disjunct() {
+        let mut b = example3_block();
+        b.predicate.pop();
+        b.predicate.push(
+            Expr::col("U", "Machine")
+                .eq(Expr::lit("dragon"))
+                .or(Expr::col("U", "Machine").eq(Expr::lit("tiger"))),
+        );
+        let p = Partition::minimal(&b).unwrap();
+        let out = test_fd(&p, &example3_ctx(), &[]);
+        assert!(out.valid, "both disjuncts pin U.Machine to a constant");
+        assert_eq!(out.trace.disjuncts.len(), 2);
+
+        // Mixed disjunction where one branch gives no constant: the
+        // whole clause is dropped in Step 2 (it still contains only
+        // equality atoms, so it is kept — but the disjunct without the
+        // constant fails Step d).
+        let mut b2 = example3_block();
+        b2.predicate.pop();
+        b2.predicate.push(
+            Expr::col("U", "Machine")
+                .eq(Expr::lit("dragon"))
+                .or(Expr::col("U", "UserName").eq(Expr::lit("root"))),
+        );
+        let p2 = Partition::minimal(&b2).unwrap();
+        let out2 = test_fd(&p2, &example3_ctx(), &[]);
+        assert!(!out2.valid, "the UserName branch cannot derive the key");
+    }
+
+    /// Constraint conjuncts (T1/T2) participate: pinning U.Machine via a
+    /// CHECK-style equality makes the query without the WHERE constant
+    /// pass.
+    #[test]
+    fn constraint_conjuncts_participate() {
+        let mut b = example3_block();
+        b.predicate.pop(); // remove the WHERE constant
+        let p = Partition::minimal(&b).unwrap();
+        let t2 = vec![Expr::col("U", "Machine").eq(Expr::lit("dragon"))];
+        let out = test_fd(&p, &example3_ctx(), &t2);
+        assert!(out.valid);
+    }
+
+    /// Example 1 (Employee ⋈ Department grouped by D.DeptID, D.Name):
+    /// the key DeptID of Department is in GA, so TestFD says YES.
+    #[test]
+    fn example1_passes() {
+        let mut ctx = FdContext::new();
+        ctx.add_table(
+            "E",
+            TableDef::new(
+                "Employee",
+                vec![
+                    ColumnDef::new("EmpID", DataType::Int64),
+                    ColumnDef::new("DeptID", DataType::Int64),
+                ],
+            )
+            .with_constraint(Constraint::PrimaryKey(vec!["EmpID".into()]))
+            .validate()
+            .unwrap(),
+        );
+        ctx.add_table(
+            "D",
+            TableDef::new(
+                "Department",
+                vec![
+                    ColumnDef::new("DeptID", DataType::Int64),
+                    ColumnDef::new("Name", DataType::Utf8),
+                ],
+            )
+            .with_constraint(Constraint::PrimaryKey(vec!["DeptID".into()]))
+            .validate()
+            .unwrap(),
+        );
+
+        let mut b = QueryBlock::new(vec![
+            base(
+                "Employee",
+                "E",
+                &[("EmpID", DataType::Int64), ("DeptID", DataType::Int64)],
+            ),
+            base(
+                "Department",
+                "D",
+                &[("DeptID", DataType::Int64), ("Name", DataType::Utf8)],
+            ),
+        ]);
+        b.predicate = vec![Expr::col("E", "DeptID").eq(Expr::col("D", "DeptID"))];
+        b.group_by = vec![
+            ColumnRef::qualified("D", "DeptID"),
+            ColumnRef::qualified("D", "Name"),
+        ];
+        b.aggregates = vec![(
+            AggregateCall::new(AggregateFunction::Count, Expr::col("E", "EmpID")),
+            "cnt".into(),
+        )];
+        b.select = vec![
+            SelectItem::Column {
+                col: ColumnRef::qualified("D", "DeptID"),
+                alias: "DeptID".into(),
+            },
+            SelectItem::Column {
+                col: ColumnRef::qualified("D", "Name"),
+                alias: "Name".into(),
+            },
+            SelectItem::Aggregate { index: 0 },
+        ];
+
+        let p = Partition::minimal(&b).unwrap();
+        // GA1+ = {E.DeptID}, derivable via E.DeptID = D.DeptID.
+        let out = test_fd(&p, &ctx, &[]);
+        assert!(out.valid, "trace:\n{}", out.trace);
+    }
+
+    /// Grouping an Employee-side query by a non-key of Department must
+    /// fail: two departments can share a Name, FD2 is not derivable.
+    #[test]
+    fn grouping_by_non_key_of_r2_fails() {
+        let mut ctx = FdContext::new();
+        ctx.add_table(
+            "E",
+            TableDef::new(
+                "Employee",
+                vec![
+                    ColumnDef::new("EmpID", DataType::Int64),
+                    ColumnDef::new("DeptID", DataType::Int64),
+                ],
+            )
+            .with_constraint(Constraint::PrimaryKey(vec!["EmpID".into()]))
+            .validate()
+            .unwrap(),
+        );
+        ctx.add_table(
+            "D",
+            TableDef::new(
+                "Department",
+                vec![
+                    ColumnDef::new("DeptID", DataType::Int64),
+                    ColumnDef::new("Name", DataType::Utf8),
+                ],
+            )
+            .with_constraint(Constraint::PrimaryKey(vec!["DeptID".into()]))
+            .validate()
+            .unwrap(),
+        );
+        let mut b = QueryBlock::new(vec![
+            base(
+                "Employee",
+                "E",
+                &[("EmpID", DataType::Int64), ("DeptID", DataType::Int64)],
+            ),
+            base(
+                "Department",
+                "D",
+                &[("DeptID", DataType::Int64), ("Name", DataType::Utf8)],
+            ),
+        ]);
+        b.predicate = vec![Expr::col("E", "DeptID").eq(Expr::col("D", "DeptID"))];
+        b.group_by = vec![ColumnRef::qualified("D", "Name")];
+        b.aggregates = vec![(
+            AggregateCall::new(AggregateFunction::Count, Expr::col("E", "EmpID")),
+            "cnt".into(),
+        )];
+        b.select = vec![
+            SelectItem::Column {
+                col: ColumnRef::qualified("D", "Name"),
+                alias: "Name".into(),
+            },
+            SelectItem::Aggregate { index: 0 },
+        ];
+        let p = Partition::minimal(&b).unwrap();
+        let out = test_fd(&p, &ctx, &[]);
+        assert!(!out.valid);
+    }
+}

@@ -1,0 +1,173 @@
+//! The Figure 8 / Example 4 counter-example workload.
+//!
+//! The paper's adversarial instance: table `A` has 10000 rows whose
+//! join column takes ~9000 distinct values, but only 50 rows actually
+//! join with `B` (100 rows), and the join result groups into 10 groups.
+//! The transformation is *valid* (the query groups by `B`'s key) but
+//! unprofitable: eager grouping processes 10000 rows into 9000 groups
+//! where the lazy plan groups just 50 join rows.
+
+use gbj_engine::Database;
+use gbj_types::{Result, Value};
+
+/// Configuration for the counter-example.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversarialConfig {
+    /// Rows in the fact-side table `A` (paper: 10000).
+    pub a_rows: usize,
+    /// Rows in `B` (paper: 100).
+    pub b_rows: usize,
+    /// Join-result size (paper: 50).
+    pub join_rows: usize,
+    /// Final group count (paper: 10).
+    pub final_groups: usize,
+    /// Distinct values of the join column in `A` (paper: ~9000).
+    pub a_groups: usize,
+}
+
+impl Default for AdversarialConfig {
+    fn default() -> AdversarialConfig {
+        AdversarialConfig {
+            a_rows: 10_000,
+            b_rows: 100,
+            join_rows: 50,
+            final_groups: 10,
+            a_groups: 9_000,
+        }
+    }
+}
+
+impl AdversarialConfig {
+    /// The paper's exact Figure 8 numbers.
+    #[must_use]
+    pub fn paper() -> AdversarialConfig {
+        AdversarialConfig::default()
+    }
+
+    /// Build the instance. Construction is deterministic:
+    ///
+    /// * the first `join_rows` rows of `A` use join keys
+    ///   `0..final_groups` (cyclically), so exactly `join_rows` rows
+    ///   join, landing on `final_groups` distinct `B` keys;
+    /// * the remaining rows cycle through keys `final_groups..a_groups`,
+    ///   none of which exist in `B`;
+    /// * `B` holds keys `0..final_groups` plus fillers far outside `A`'s
+    ///   key range.
+    pub fn build(&self) -> Result<Database> {
+        assert!(self.final_groups <= self.join_rows);
+        assert!(self.final_groups <= self.b_rows);
+        assert!(self.a_groups <= self.a_rows);
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE B (BId INTEGER PRIMARY KEY, Tag VARCHAR(20) NOT NULL); \
+             CREATE TABLE A (AId INTEGER PRIMARY KEY, K INTEGER, V INTEGER);",
+        )?;
+        let filler_base = (self.a_rows + self.a_groups) as i64 + 1_000_000;
+        db.insert_rows(
+            "B",
+            (0..self.b_rows).map(|i| {
+                let id = if i < self.final_groups {
+                    i as i64
+                } else {
+                    filler_base + i as i64
+                };
+                vec![Value::Int(id), Value::str(format!("tag{i}"))]
+            }),
+        )?;
+        db.insert_rows(
+            "A",
+            (0..self.a_rows).map(|i| {
+                let k = if i < self.join_rows {
+                    (i % self.final_groups) as i64
+                } else {
+                    // Non-matching keys spread over the remaining
+                    // distinct values.
+                    let span = (self.a_groups - self.final_groups).max(1);
+                    (self.final_groups + (i - self.join_rows) % span) as i64
+                };
+                vec![Value::Int(i as i64), Value::Int(k), Value::Int((i % 97) as i64)]
+            }),
+        )?;
+        Ok(db)
+    }
+
+    /// The grouped-join query (valid for the transformation: grouping
+    /// includes `B`'s key).
+    #[must_use]
+    pub fn query(&self) -> &'static str {
+        "SELECT B.BId, B.Tag, SUM(A.V) \
+         FROM A, B \
+         WHERE A.K = B.BId \
+         GROUP BY B.BId, B.Tag"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_engine::{PlanChoice, PushdownPolicy};
+
+    fn small() -> AdversarialConfig {
+        AdversarialConfig {
+            a_rows: 1000,
+            b_rows: 50,
+            join_rows: 20,
+            final_groups: 5,
+            a_groups: 900,
+        }
+    }
+
+    #[test]
+    fn cardinalities_match_the_construction() {
+        let cfg = small();
+        let db = cfg.build().unwrap();
+        // The join result has exactly join_rows rows in final_groups
+        // groups.
+        let rows = db
+            .query("SELECT B.BId, COUNT(A.AId) FROM A, B WHERE A.K = B.BId GROUP BY B.BId")
+            .unwrap();
+        assert_eq!(rows.len(), 5);
+        let total: i64 = rows
+            .rows
+            .iter()
+            .map(|r| match r[1] {
+                Value::Int(n) => n,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn transformation_is_valid_but_cost_model_declines() {
+        let cfg = small();
+        let db = cfg.build().unwrap();
+        let report = db.plan_query(cfg.query()).unwrap();
+        // Valid (TestFD ran and both plans exist) …
+        assert!(report.testfd.is_some());
+        assert!(report.alternative.is_some());
+        // … but the cost-based policy keeps the lazy plan.
+        assert_eq!(report.choice, PlanChoice::Lazy);
+        assert!(report.reason.contains("cost-based"));
+    }
+
+    #[test]
+    fn both_plans_agree_on_the_answer() {
+        let cfg = small();
+        let mut db = cfg.build().unwrap();
+        db.options_mut().policy = PushdownPolicy::Never;
+        let lazy = db.query(cfg.query()).unwrap();
+        db.options_mut().policy = PushdownPolicy::Always;
+        let eager = db.query(cfg.query()).unwrap();
+        assert!(lazy.multiset_eq(&eager));
+    }
+
+    #[test]
+    fn paper_scale_figures() {
+        let cfg = AdversarialConfig::paper();
+        assert_eq!(cfg.a_rows, 10_000);
+        assert_eq!(cfg.join_rows, 50);
+        assert_eq!(cfg.a_groups, 9_000);
+        assert_eq!(cfg.final_groups, 10);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # gbj-datagen
+//!
+//! Deterministic synthetic workload generators for the paper's
+//! examples and evaluation scenarios. Every generator is seeded, so a
+//! given configuration always produces the same database.
+//!
+//! * [`emp_dept`] — Example 1 / Figure 1: the Employee ⨝ Department
+//!   query where eager aggregation wins.
+//! * [`adversarial`] — Example 4 / Figure 8: the counter-example where
+//!   the join is highly selective and eager grouping is a loss.
+//! * [`printer`] — Examples 3 & 5: UserAccount / PrinterAuth / Printer,
+//!   including the `UserInfo` aggregated view.
+//! * [`part_supplier`] — Example 2: the Part / Supplier derived-key
+//!   schema.
+//! * [`sweep`] — the parameterised two-table workload used by the
+//!   Section 7 trade-off sweeps (fan-in per group, join selectivity).
+
+pub mod adversarial;
+pub mod emp_dept;
+pub mod part_supplier;
+pub mod printer;
+pub mod sweep;
+
+pub use adversarial::AdversarialConfig;
+pub use emp_dept::EmpDeptConfig;
+pub use part_supplier::PartSupplierConfig;
+pub use printer::PrinterConfig;
+pub use sweep::SweepConfig;

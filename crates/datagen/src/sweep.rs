@@ -1,0 +1,266 @@
+//! The parameterised two-table workload for the Section 7 trade-off
+//! sweeps.
+//!
+//! Schema: `Fact(FactId PK, DimId, V)` joining `Dim(DimId PK, Cat)`,
+//! with the grouped query
+//!
+//! ```sql
+//! SELECT D.DimId, COUNT(F.FactId), SUM(F.V)
+//! FROM Fact F, Dim D
+//! WHERE F.DimId = D.DimId
+//! GROUP BY D.DimId
+//! ```
+//!
+//! Two knobs reproduce the paper's discussion:
+//!
+//! * **`groups`** — the number of distinct `Fact.DimId` values. The
+//!   *fan-in* `fact_rows / groups` is what eager aggregation collapses
+//!   before the join (Figure 1 has fan-in 100; Figure 8 fan-in ≈ 1.1).
+//! * **`match_fraction`** — the fraction of fact rows whose key exists
+//!   in `Dim` (the join selectivity). Low values reproduce Figure 8's
+//!   "join keeps only 50 of 10000 rows".
+
+use gbj_engine::Database;
+use gbj_types::{Result, Value};
+
+/// Configuration for one sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Rows in the fact table.
+    pub fact_rows: usize,
+    /// Rows in the dimension table.
+    pub dim_rows: usize,
+    /// Distinct `Fact.DimId` values (≥ 1, ≤ `fact_rows`).
+    pub groups: usize,
+    /// Fraction of fact rows that join (0.0 – 1.0).
+    pub match_fraction: f64,
+    /// Skew exponent for the key distribution over *matching* rows:
+    /// `0.0` is uniform; larger values concentrate rows on low-ranked
+    /// keys Zipf-style (group k receives weight `1/(k+1)^skew`).
+    pub skew: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            fact_rows: 10_000,
+            dim_rows: 100,
+            groups: 100,
+            match_fraction: 1.0,
+            skew: 0.0,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The fan-in the eager aggregate collapses.
+    #[must_use]
+    pub fn fan_in(&self) -> f64 {
+        self.fact_rows as f64 / self.groups.max(1) as f64
+    }
+
+    /// Number of distinct *matching* keys.
+    fn matched_keys(&self) -> usize {
+        let m = (self.groups as f64 * self.match_fraction.clamp(0.0, 1.0)).round() as usize;
+        m.min(self.dim_rows).min(self.groups)
+    }
+
+    /// The deterministic skewed key for matched-row index `i` of
+    /// `matched_rows`, over `matched_keys` keys: the row's quantile is
+    /// looked up in the cumulative `1/(k+1)^skew` weight distribution.
+    fn skewed_key(&self, i: usize, matched_rows: usize, matched_keys: usize) -> i64 {
+        debug_assert!(matched_keys > 0);
+        if self.skew <= 0.0 || matched_keys == 1 {
+            return (i % matched_keys) as i64;
+        }
+        let weights: Vec<f64> = (0..matched_keys)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(self.skew))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let quantile = (i as f64 + 0.5) / matched_rows.max(1) as f64;
+        let mut cum = 0.0;
+        for (k, w) in weights.iter().enumerate() {
+            cum += w / total;
+            if quantile <= cum {
+                return k as i64;
+            }
+        }
+        (matched_keys - 1) as i64
+    }
+
+    /// Build the instance deterministically.
+    ///
+    /// Matching fact rows cover keys `0..matched_keys` (which all exist
+    /// in `Dim`) — uniformly, or Zipf-skewed per [`SweepConfig::skew`];
+    /// the rest cycle over keys `dim_rows..` which never match.
+    pub fn build(&self) -> Result<Database> {
+        assert!(self.groups >= 1 && self.groups <= self.fact_rows);
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE Dim (DimId INTEGER PRIMARY KEY, Cat VARCHAR(20) NOT NULL); \
+             CREATE TABLE Fact (FactId INTEGER PRIMARY KEY, DimId INTEGER, V INTEGER);",
+        )?;
+        db.insert_rows(
+            "Dim",
+            (0..self.dim_rows).map(|d| {
+                vec![Value::Int(d as i64), Value::str(format!("cat{}", d % 17))]
+            }),
+        )?;
+        let matched_keys = self.matched_keys();
+        let unmatched_keys = self.groups - matched_keys;
+        let matched_rows =
+            (self.fact_rows as f64 * self.match_fraction.clamp(0.0, 1.0)).round() as usize;
+        db.insert_rows(
+            "Fact",
+            (0..self.fact_rows).map(|i| {
+                let key = if i < matched_rows && matched_keys > 0 {
+                    self.skewed_key(i, matched_rows, matched_keys)
+                } else if unmatched_keys > 0 {
+                    (self.dim_rows + (i % unmatched_keys)) as i64
+                } else {
+                    // Everything matches but match_fraction < 1 rounded
+                    // away: fall back to a non-existent key.
+                    (self.dim_rows + 1_000_000) as i64
+                };
+                vec![
+                    Value::Int(i as i64),
+                    Value::Int(key),
+                    Value::Int((i % 1000) as i64),
+                ]
+            }),
+        )?;
+        Ok(db)
+    }
+
+    /// The sweep query.
+    #[must_use]
+    pub fn query(&self) -> &'static str {
+        "SELECT D.DimId, COUNT(F.FactId), SUM(F.V) \
+         FROM Fact F, Dim D \
+         WHERE F.DimId = D.DimId \
+         GROUP BY D.DimId"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_engine::PushdownPolicy;
+
+    #[test]
+    fn fan_in_computation() {
+        let cfg = SweepConfig {
+            fact_rows: 1000,
+            groups: 10,
+            ..SweepConfig::default()
+        };
+        assert_eq!(cfg.fan_in(), 100.0);
+    }
+
+    #[test]
+    fn full_match_joins_everything() {
+        let cfg = SweepConfig {
+            fact_rows: 300,
+            dim_rows: 30,
+            groups: 30,
+            match_fraction: 1.0,
+            ..SweepConfig::default()
+        };
+        let db = cfg.build().unwrap();
+        let rows = db
+            .query("SELECT D.DimId, COUNT(F.FactId) FROM Fact F, Dim D \
+                    WHERE F.DimId = D.DimId GROUP BY D.DimId")
+            .unwrap();
+        assert_eq!(rows.len(), 30);
+        let total: i64 = rows
+            .rows
+            .iter()
+            .map(|r| match r[1] {
+                Value::Int(n) => n,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn low_match_fraction_shrinks_the_join() {
+        let cfg = SweepConfig {
+            fact_rows: 1000,
+            dim_rows: 50,
+            groups: 800,
+            match_fraction: 0.02,
+            ..SweepConfig::default()
+        };
+        let db = cfg.build().unwrap();
+        let rows = db
+            .query("SELECT D.DimId, COUNT(F.FactId) FROM Fact F, Dim D \
+                    WHERE F.DimId = D.DimId GROUP BY D.DimId")
+            .unwrap();
+        let total: i64 = rows
+            .rows
+            .iter()
+            .map(|r| match r[1] {
+                Value::Int(n) => n,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 20, "2% of 1000 rows join");
+    }
+
+    #[test]
+    fn skew_concentrates_rows_on_low_keys() {
+        let uniform = SweepConfig {
+            fact_rows: 1000,
+            dim_rows: 20,
+            groups: 20,
+            match_fraction: 1.0,
+            skew: 0.0,
+        };
+        let skewed = SweepConfig {
+            skew: 1.2,
+            ..uniform
+        };
+        let count_sql = "SELECT D.DimId, COUNT(F.FactId) FROM Fact F, Dim D \
+                         WHERE F.DimId = D.DimId GROUP BY D.DimId ORDER BY DimId";
+        let u = uniform.build().unwrap().query(count_sql).unwrap();
+        let s = skewed.build().unwrap().query(count_sql).unwrap();
+        let count_of = |rows: &[Vec<Value>], i: usize| match rows[i][1] {
+            Value::Int(n) => n,
+            _ => 0,
+        };
+        let u0 = count_of(&u.rows, 0);
+        let s0 = count_of(&s.rows, 0);
+        assert_eq!(u.len(), 20);
+        assert!(s.len() <= 20);
+        // Key 0 gets far more rows under skew than under uniform.
+        assert!(s0 > 2 * u0, "skewed head {s0} vs uniform head {u0}");
+        // Totals conserved.
+        let total_u: i64 = (0..u.len()).map(|i| count_of(&u.rows, i)).sum();
+        let total_s: i64 = (0..s.len()).map(|i| count_of(&s.rows, i)).sum();
+        assert_eq!(total_u, 1000);
+        assert_eq!(total_s, 1000);
+    }
+
+    #[test]
+    fn plans_agree_across_the_knobs() {
+        for (groups, frac) in [(10usize, 1.0), (400, 0.05), (500, 1.0)] {
+            let cfg = SweepConfig {
+                fact_rows: 500,
+                dim_rows: 25,
+                groups,
+                match_fraction: frac,
+                ..SweepConfig::default()
+            };
+            let mut db = cfg.build().unwrap();
+            db.options_mut().policy = PushdownPolicy::Never;
+            let lazy = db.query(cfg.query()).unwrap();
+            db.options_mut().policy = PushdownPolicy::Always;
+            let eager = db.query(cfg.query()).unwrap();
+            assert!(
+                lazy.multiset_eq(&eager),
+                "groups={groups} frac={frac}"
+            );
+        }
+    }
+}

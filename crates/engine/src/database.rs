@@ -1,0 +1,880 @@
+//! The [`Database`] facade.
+
+use gbj_catalog::{Assertion, Catalog};
+use gbj_core::{
+    eager_aggregate, reverse_transform, CostModel, EagerOutcome, Partition, PlanCost,
+    ReverseOutcome, Stats, TransformOptions,
+};
+use gbj_exec::{ExecOptions, Executor, ProfileNode, ResultSet};
+use gbj_expr::Expr;
+use gbj_fd::FdContext;
+use gbj_optimizer::Optimizer;
+use gbj_plan::{BlockRelation, LogicalPlan, QueryBlock};
+use gbj_sql::{parse_statements, Binder, BoundSelect, Statement};
+use gbj_storage::Storage;
+use gbj_types::{ColumnRef, Error, Result};
+
+use crate::stats::Estimator;
+
+/// When to apply a *valid* group-by-before-join transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PushdownPolicy {
+    /// Compare the Section 7 cost model's estimates and pick the
+    /// cheaper plan (the default).
+    #[default]
+    CostBased,
+    /// Always take the eager (group-by first) plan when valid.
+    Always,
+    /// Never take the eager plan (always lazy / unfolded).
+    Never,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Eager-aggregation policy.
+    pub policy: PushdownPolicy,
+    /// Options for the core transformation.
+    pub transform: TransformOptions,
+    /// The cost model used by [`PushdownPolicy::CostBased`].
+    pub cost_model: CostModel,
+    /// Physical execution options.
+    pub exec: ExecOptions,
+}
+
+/// Which plan shape the engine chose for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanChoice {
+    /// The standard order: joins first, then group-by (`E1`).
+    Lazy,
+    /// Group-by pushed below the join (`E2`).
+    Eager,
+    /// An aggregated view unfolded into the single-block form
+    /// (Section 8's reverse transformation).
+    Unfolded,
+}
+
+/// Everything the planner decided about one query.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// The chosen shape.
+    pub choice: PlanChoice,
+    /// Why (validity + policy/cost reasoning).
+    pub reason: String,
+    /// The TestFD trace, when the transformation was examined.
+    pub testfd: Option<String>,
+    /// The partition display, when one was formed.
+    pub partition: Option<String>,
+    /// Estimated cardinalities, when a cost decision was made.
+    pub stats: Option<Stats>,
+    /// Estimated cost of the lazy plan.
+    pub lazy_cost: Option<PlanCost>,
+    /// Estimated cost of the eager plan.
+    pub eager_cost: Option<PlanCost>,
+    /// The chosen, optimized plan.
+    pub plan: LogicalPlan,
+    /// The optimized alternative plan (when a valid alternative exists).
+    pub alternative: Option<LogicalPlan>,
+}
+
+impl QueryReport {
+    /// Render the EXPLAIN text.
+    #[must_use]
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("choice: {:?}\nreason: {}\n", self.choice, self.reason));
+        if let Some(p) = &self.partition {
+            out.push_str(&format!("partition:\n{p}\n"));
+        }
+        if let Some(s) = &self.stats {
+            out.push_str(&format!(
+                "estimates: |R1|={:.0} |R2|={:.0} groups(R1)={:.0} join={:.0} groups={:.0}\n",
+                s.r1_rows, s.r2_rows, s.r1_groups, s.join_rows, s.final_groups
+            ));
+        }
+        if let (Some(l), Some(e)) = (&self.lazy_cost, &self.eager_cost) {
+            out.push_str(&format!(
+                "cost: lazy={:.0} eager={:.0}\n",
+                l.total, e.total
+            ));
+        }
+        if let Some(t) = &self.testfd {
+            out.push_str("TestFD:\n");
+            out.push_str(t);
+        }
+        out.push_str("plan:\n");
+        out.push_str(&self.plan.display_tree());
+        if let Some(alt) = &self.alternative {
+            out.push_str("alternative plan:\n");
+            out.push_str(&alt.display_tree());
+        }
+        out
+    }
+}
+
+/// The output of executing one statement.
+#[derive(Debug, Clone)]
+pub enum QueryOutput {
+    /// Rows from a SELECT.
+    Rows(ResultSet),
+    /// EXPLAIN text.
+    Explain(String),
+    /// Rows affected by INSERT.
+    Affected(usize),
+    /// DDL acknowledgement.
+    Ddl(String),
+}
+
+impl QueryOutput {
+    /// The rows, if this output carries any.
+    #[must_use]
+    pub fn rows(&self) -> Option<&ResultSet> {
+        match self {
+            QueryOutput::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// An embedded `gbj` database.
+///
+/// ```
+/// use gbj_engine::Database;
+///
+/// let mut db = Database::new();
+/// db.run_script(
+///     "CREATE TABLE Department (DeptID INTEGER PRIMARY KEY, Name VARCHAR(30));
+///      CREATE TABLE Employee (EmpID INTEGER PRIMARY KEY,
+///                             DeptID INTEGER REFERENCES Department);
+///      INSERT INTO Department VALUES (1, 'Research'), (2, 'Sales');
+///      INSERT INTO Employee VALUES (1, 1), (2, 1), (3, 2);",
+/// )?;
+/// let rows = db.query(
+///     "SELECT D.Name, COUNT(E.EmpID) FROM Employee E, Department D
+///      WHERE E.DeptID = D.DeptID GROUP BY D.DeptID, D.Name",
+/// )?;
+/// assert_eq!(rows.len(), 2);
+/// # Ok::<(), gbj_types::Error>(())
+/// ```
+#[derive(Default)]
+pub struct Database {
+    storage: Storage,
+    options: EngineOptions,
+}
+
+impl Database {
+    /// An empty database with default options.
+    #[must_use]
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// An empty database with explicit options.
+    #[must_use]
+    pub fn with_options(options: EngineOptions) -> Database {
+        Database {
+            storage: Storage::new(),
+            options,
+        }
+    }
+
+    /// The engine options (mutable, e.g. to switch policies between
+    /// queries).
+    pub fn options_mut(&mut self) -> &mut EngineOptions {
+        &mut self.options
+    }
+
+    /// The underlying storage.
+    #[must_use]
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// The catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        self.storage.catalog()
+    }
+
+    /// Bulk-insert pre-built rows (bypasses SQL parsing but not
+    /// constraint checking) — the fast path for data generators.
+    pub fn insert_rows(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Vec<gbj_types::Value>>,
+    ) -> Result<usize> {
+        self.storage.insert_many(table, rows)
+    }
+
+    /// Execute a script of `;`-separated statements.
+    pub fn run_script(&mut self, sql: &str) -> Result<Vec<QueryOutput>> {
+        let stmts = parse_statements(sql)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in stmts {
+            out.push(self.execute_statement(stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryOutput> {
+        let mut outputs = self.run_script(sql)?;
+        match outputs.len() {
+            1 => Ok(outputs.remove(0)),
+            n => Err(Error::Parse(format!("expected one statement, found {n}"))),
+        }
+    }
+
+    /// Run a SELECT and return its rows.
+    pub fn query(&self, sql: &str) -> Result<ResultSet> {
+        Ok(self.query_report(sql)?.0)
+    }
+
+    /// Run a SELECT, returning rows, the execution profile and the
+    /// planning report.
+    pub fn query_report(&self, sql: &str) -> Result<(ResultSet, ProfileNode, QueryReport)> {
+        let stmt = gbj_sql::parse_sql(sql)?;
+        let Statement::Select(select) = stmt else {
+            return Err(Error::Unsupported("query() expects a SELECT".into()));
+        };
+        let binder = Binder::new(self.storage.catalog());
+        let bound = binder.bind_select(&select)?;
+        let report = self.plan_bound(&bound)?;
+        let executor = Executor::with_options(&self.storage, self.options.exec);
+        let (rows, profile) = executor.execute(&report.plan)?;
+        Ok((rows, profile, report))
+    }
+
+    /// Plan a SELECT without executing it.
+    pub fn plan_query(&self, sql: &str) -> Result<QueryReport> {
+        let stmt = gbj_sql::parse_sql(sql)?;
+        let Statement::Select(select) = stmt else {
+            return Err(Error::Unsupported("plan_query() expects a SELECT".into()));
+        };
+        let binder = Binder::new(self.storage.catalog());
+        let bound = binder.bind_select(&select)?;
+        self.plan_bound(&bound)
+    }
+
+    fn execute_statement(&mut self, stmt: Statement) -> Result<QueryOutput> {
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                constraints,
+            } => {
+                let def = Binder::new(self.storage.catalog())
+                    .bind_create_table(&name, &columns, &constraints)?;
+                self.storage.create_table(def)?;
+                Ok(QueryOutput::Ddl(format!("created table {name}")))
+            }
+            Statement::CreateDomain {
+                name,
+                data_type,
+                check,
+            } => {
+                let domain = Binder::new(self.storage.catalog())
+                    .bind_create_domain(&name, data_type, check.as_ref())?;
+                self.storage.create_domain(domain)?;
+                Ok(QueryOutput::Ddl(format!("created domain {name}")))
+            }
+            Statement::CreateView {
+                name,
+                columns,
+                query_sql,
+            } => {
+                let view = Binder::new(self.storage.catalog())
+                    .bind_create_view(&name, &columns, &query_sql)?;
+                self.storage.create_view(view)?;
+                Ok(QueryOutput::Ddl(format!("created view {name}")))
+            }
+            Statement::CreateAssertion { name, check } => {
+                // Assertions are stated over table names; store the raw
+                // expression for the optimizer's Theorem-3 use.
+                let expr = raw_assertion_expr(&check)?;
+                self.storage.create_assertion(Assertion {
+                    name: name.clone(),
+                    check: expr,
+                })?;
+                Ok(QueryOutput::Ddl(format!("created assertion {name}")))
+            }
+            Statement::Insert { table, rows } => {
+                let values = Binder::new(self.storage.catalog()).bind_values(&rows)?;
+                let n = self.storage.insert_many(&table, values)?;
+                Ok(QueryOutput::Affected(n))
+            }
+            Statement::Select(select) => {
+                let binder = Binder::new(self.storage.catalog());
+                let bound = binder.bind_select(&select)?;
+                let report = self.plan_bound(&bound)?;
+                let executor = Executor::with_options(&self.storage, self.options.exec);
+                let (rows, _) = executor.execute(&report.plan)?;
+                Ok(QueryOutput::Rows(rows))
+            }
+            Statement::Explain { analyze, statement } => {
+                let Statement::Select(select) = *statement else {
+                    return Err(Error::Unsupported("EXPLAIN expects a SELECT".into()));
+                };
+                let binder = Binder::new(self.storage.catalog());
+                let bound = binder.bind_select(&select)?;
+                let report = self.plan_bound(&bound)?;
+                let mut text = report.explain();
+                if analyze {
+                    let executor = Executor::with_options(&self.storage, self.options.exec);
+                    let start = std::time::Instant::now();
+                    let (rows, profile) = executor.execute(&report.plan)?;
+                    let elapsed = start.elapsed();
+                    text.push_str(&format!(
+                        "measured ({} rows in {elapsed:?}):\n{}",
+                        rows.len(),
+                        profile.display_tree()
+                    ));
+                }
+                Ok(QueryOutput::Explain(text))
+            }
+            Statement::Delete { table, predicate } => {
+                let binder = Binder::new(self.storage.catalog());
+                let bound = predicate
+                    .as_ref()
+                    .map(|p| binder.bind_table_expr(&table, p))
+                    .transpose()?;
+                let n = self.storage.delete(&table, bound.as_ref())?;
+                Ok(QueryOutput::Affected(n))
+            }
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
+                let binder = Binder::new(self.storage.catalog());
+                let bound_assignments: Vec<(String, Expr)> = assignments
+                    .iter()
+                    .map(|(c, e)| Ok((c.clone(), binder.bind_table_expr(&table, e)?)))
+                    .collect::<Result<_>>()?;
+                let bound_pred = predicate
+                    .as_ref()
+                    .map(|p| binder.bind_table_expr(&table, p))
+                    .transpose()?;
+                let n = self
+                    .storage
+                    .update(&table, &bound_assignments, bound_pred.as_ref())?;
+                Ok(QueryOutput::Affected(n))
+            }
+            Statement::DropTable(name) => {
+                self.storage.drop_table(&name)?;
+                Ok(QueryOutput::Ddl(format!("dropped table {name}")))
+            }
+            Statement::DropView(name) => {
+                self.storage.drop_view(&name)?;
+                Ok(QueryOutput::Ddl(format!("dropped view {name}")))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ planning
+
+    fn plan_bound(&self, bound: &BoundSelect) -> Result<QueryReport> {
+        let block = &bound.block;
+        let fd_ctx = self.build_fd_context(block);
+        let assertion_exprs: Vec<Expr> = self
+            .storage
+            .catalog()
+            .assertions()
+            .map(|a| a.check.clone())
+            .collect();
+        let mut transform_opts = self.options.transform.clone();
+        transform_opts.extra_conjuncts =
+            gbj_core::theorem3::assertion_conjuncts(&fd_ctx, &assertion_exprs);
+
+        // Section 8: a non-aggregating query over one aggregated view —
+        // the written form is the eager shape; unfolding gives the lazy
+        // candidate.
+        let aggregated_views = block
+            .relations
+            .iter()
+            .filter(|r| match r {
+                BlockRelation::Derived { block, .. } => block.is_aggregating(),
+                BlockRelation::Base { .. } => false,
+            })
+            .count();
+        if !block.is_aggregating() && aggregated_views == 1 {
+            match reverse_transform(block, &fd_ctx)? {
+                ReverseOutcome::Unfolded {
+                    block: merged,
+                    testfd,
+                } => {
+                    return self.choose_plans(
+                        &merged,
+                        block,
+                        &fd_ctx,
+                        Some(testfd.to_string()),
+                        PlanChoice::Unfolded,
+                        bound,
+                    );
+                }
+                ReverseOutcome::NotApplicable { reason } => {
+                    let plan = self.lower(block, &bound.order_by)?;
+                    return Ok(QueryReport {
+                        choice: PlanChoice::Lazy,
+                        reason: format!("view not unfolded: {reason}"),
+                        testfd: None,
+                        partition: None,
+                        stats: None,
+                        lazy_cost: None,
+                        eager_cost: None,
+                        plan,
+                        alternative: None,
+                    });
+                }
+            }
+        }
+
+        // The forward transformation.
+        match eager_aggregate(block, &fd_ctx, &transform_opts)? {
+            EagerOutcome::Rewritten {
+                block: eager_block,
+                partition,
+                testfd,
+            } => self.choose_with_partition(
+                block,
+                &eager_block,
+                &partition,
+                Some(testfd.to_string()),
+                PlanChoice::Eager,
+                bound,
+            ),
+            EagerOutcome::NotApplicable { reason, testfd } => {
+                let plan = self.lower(block, &bound.order_by)?;
+                Ok(QueryReport {
+                    choice: PlanChoice::Lazy,
+                    reason: format!("transformation not applied: {reason}"),
+                    testfd: testfd.map(|t| t.to_string()),
+                    partition: None,
+                    stats: None,
+                    lazy_cost: None,
+                    eager_cost: None,
+                    plan,
+                    alternative: None,
+                })
+            }
+        }
+    }
+
+    /// Decide between a lazy (merged) and the written (eager) shape for
+    /// an unfolded view query.
+    fn choose_plans(
+        &self,
+        lazy_block: &QueryBlock,
+        eager_block: &QueryBlock,
+        _fd_ctx: &FdContext,
+        testfd: Option<String>,
+        eager_choice: PlanChoice,
+        bound: &BoundSelect,
+    ) -> Result<QueryReport> {
+        // Partition the merged (lazy) block to estimate stats: R1 = the
+        // relations of the view side = relations not present in the
+        // eager block's base list.
+        let eager_bases: std::collections::BTreeSet<String> = eager_block
+            .relations
+            .iter()
+            .filter(|r| !r.is_derived())
+            .map(|r| r.qualifier().to_ascii_lowercase())
+            .collect();
+        let r1: std::collections::BTreeSet<String> = lazy_block
+            .qualifiers()
+            .into_iter()
+            .filter(|q| !eager_bases.contains(&q.to_ascii_lowercase()))
+            .collect();
+        let partition = Partition::with_r1(lazy_block, r1)
+            .map_err(|e| Error::Plan(format!("cannot partition unfolded query: {e}")))?;
+        self.decide(
+            lazy_block,
+            eager_block,
+            &partition,
+            testfd,
+            eager_choice,
+            bound,
+        )
+    }
+
+    fn choose_with_partition(
+        &self,
+        lazy_block: &QueryBlock,
+        eager_block: &QueryBlock,
+        partition: &Partition,
+        testfd: Option<String>,
+        eager_choice: PlanChoice,
+        bound: &BoundSelect,
+    ) -> Result<QueryReport> {
+        self.decide(lazy_block, eager_block, partition, testfd, eager_choice, bound)
+    }
+
+    fn decide(
+        &self,
+        lazy_block: &QueryBlock,
+        eager_block: &QueryBlock,
+        partition: &Partition,
+        testfd: Option<String>,
+        eager_choice: PlanChoice,
+        bound: &BoundSelect,
+    ) -> Result<QueryReport> {
+        let tables = base_tables(lazy_block);
+        let estimator = Estimator::new(&self.storage);
+        let stats = estimator.estimate(partition, &tables);
+        let lazy_cost = self.options.cost_model.lazy(&stats);
+        let eager_cost = self.options.cost_model.eager(&stats);
+
+        let (pick_eager, why) = match self.options.policy {
+            PushdownPolicy::Always => (true, "policy = Always".to_string()),
+            PushdownPolicy::Never => (false, "policy = Never".to_string()),
+            PushdownPolicy::CostBased => {
+                let pick = eager_cost.total < lazy_cost.total;
+                (
+                    pick,
+                    format!(
+                        "cost-based: eager={:.0} {} lazy={:.0}",
+                        eager_cost.total,
+                        if pick { "<" } else { ">=" },
+                        lazy_cost.total
+                    ),
+                )
+            }
+        };
+
+        let lazy_plan = self.lower(lazy_block, &bound.order_by)?;
+        let eager_plan = self.lower(eager_block, &bound.order_by)?;
+        let (choice, plan, alternative) = if pick_eager {
+            (eager_choice, eager_plan, Some(lazy_plan))
+        } else {
+            (PlanChoice::Lazy, lazy_plan, Some(eager_plan))
+        };
+        Ok(QueryReport {
+            choice,
+            reason: format!("transformation valid; {why}"),
+            testfd,
+            partition: Some(partition.to_string()),
+            stats: Some(stats),
+            lazy_cost: Some(lazy_cost),
+            eager_cost: Some(eager_cost),
+            plan,
+            alternative,
+        })
+    }
+
+    /// Lower a block to an optimized plan, with presentation ORDER BY.
+    fn lower(&self, block: &QueryBlock, order_by: &[(ColumnRef, bool)]) -> Result<LogicalPlan> {
+        let mut plan = block.to_plan()?;
+        if !order_by.is_empty() {
+            // Order keys are output columns; reference them by bare name
+            // so both the lazy and eager shapes resolve them.
+            let keys = order_by
+                .iter()
+                .map(|(c, asc)| (Expr::bare(c.column.clone()), *asc))
+                .collect();
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
+        }
+        Optimizer::standard().optimize(&plan)
+    }
+
+    fn build_fd_context(&self, block: &QueryBlock) -> FdContext {
+        let mut ctx = FdContext::new();
+        collect_tables(block, self.storage.catalog(), &mut ctx);
+        ctx
+    }
+}
+
+/// Register every base relation (including those inside derived blocks,
+/// for the reverse transformation) under its qualifier.
+fn collect_tables(block: &QueryBlock, catalog: &Catalog, ctx: &mut FdContext) {
+    for rel in &block.relations {
+        match rel {
+            BlockRelation::Base {
+                table, qualifier, ..
+            } => {
+                if let Some(def) = catalog.table(table) {
+                    ctx.add_table(qualifier.clone(), def.clone());
+                }
+            }
+            BlockRelation::Derived { block, .. } => {
+                collect_tables(block, catalog, ctx);
+            }
+        }
+    }
+}
+
+/// The (qualifier, base table) pairs of a block, recursively.
+fn base_tables(block: &QueryBlock) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    fn walk(block: &QueryBlock, out: &mut Vec<(String, String)>) {
+        for rel in &block.relations {
+            match rel {
+                BlockRelation::Base {
+                    table, qualifier, ..
+                } => out.push((qualifier.clone(), table.clone())),
+                BlockRelation::Derived { block, .. } => walk(block, out),
+            }
+        }
+    }
+    walk(block, &mut out);
+    out
+}
+
+/// Convert an assertion AST into a raw (table-name-qualified) expression.
+fn raw_assertion_expr(ast: &gbj_sql::AstExpr) -> Result<Expr> {
+    use gbj_sql::AstExpr;
+    Ok(match ast {
+        AstExpr::Name(parts) => match parts.as_slice() {
+            [col] => Expr::Column(ColumnRef::bare(col.clone())),
+            [table, col] => Expr::Column(ColumnRef::qualified(table.clone(), col.clone())),
+            _ => {
+                return Err(Error::Bind(format!(
+                    "invalid assertion column {}",
+                    parts.join(".")
+                )))
+            }
+        },
+        AstExpr::Literal(v) => Expr::Literal(v.clone()),
+        AstExpr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(raw_assertion_expr(left)?),
+            op: *op,
+            right: Box::new(raw_assertion_expr(right)?),
+        },
+        AstExpr::Not(e) => Expr::Not(Box::new(raw_assertion_expr(e)?)),
+        AstExpr::Neg(e) => Expr::Neg(Box::new(raw_assertion_expr(e)?)),
+        AstExpr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(raw_assertion_expr(expr)?),
+            negated: *negated,
+        },
+        AstExpr::Func { name, .. } => {
+            return Err(Error::Unsupported(format!(
+                "aggregate {name} in assertion"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_types::Value;
+
+    /// Example 1 end to end, small scale.
+    fn example1_db() -> Database {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE Department (DeptID INT PRIMARY KEY, Name VARCHAR(30)); \
+             CREATE TABLE Employee (EmpID INT PRIMARY KEY, LastName VARCHAR(30), \
+                 FirstName VARCHAR(30), DeptID INT REFERENCES Department);",
+        )
+        .unwrap();
+        for d in 1..=4 {
+            db.execute(&format!(
+                "INSERT INTO Department VALUES ({d}, 'dept{d}')"
+            ))
+            .unwrap();
+        }
+        for e in 1..=20 {
+            let d = e % 4 + 1;
+            db.execute(&format!(
+                "INSERT INTO Employee VALUES ({e}, 'last{e}', 'first{e}', {d})"
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    const EXAMPLE1_SQL: &str = "SELECT D.DeptID, D.Name, COUNT(E.EmpID) \
+         FROM Employee E, Department D \
+         WHERE E.DeptID = D.DeptID \
+         GROUP BY D.DeptID, D.Name";
+
+    #[test]
+    fn example1_end_to_end_transforms_and_answers() {
+        let db = example1_db();
+        let (rows, profile, report) = db.query_report(EXAMPLE1_SQL).unwrap();
+        assert_eq!(rows.len(), 4);
+        let sorted = rows.sorted();
+        assert_eq!(
+            sorted.rows[0],
+            vec![Value::Int(1), Value::str("dept1"), Value::Int(5)]
+        );
+        // The transformation is valid and (cost-based) chosen.
+        assert_eq!(report.choice, PlanChoice::Eager);
+        assert!(report.testfd.is_some());
+        // The profile shows aggregation below the join.
+        let tree = profile.display_tree();
+        let agg_pos = tree.find("Aggregate").unwrap();
+        let join_pos = tree.find("Join").unwrap();
+        assert!(agg_pos > join_pos, "{tree}");
+    }
+
+    #[test]
+    fn policies_agree_on_results() {
+        let mut db = example1_db();
+        let mut results = Vec::new();
+        for policy in [
+            PushdownPolicy::CostBased,
+            PushdownPolicy::Always,
+            PushdownPolicy::Never,
+        ] {
+            db.options_mut().policy = policy;
+            results.push(db.query(EXAMPLE1_SQL).unwrap());
+        }
+        assert!(results[0].multiset_eq(&results[1]));
+        assert!(results[0].multiset_eq(&results[2]));
+    }
+
+    #[test]
+    fn never_policy_keeps_lazy_plan() {
+        let mut db = example1_db();
+        db.options_mut().policy = PushdownPolicy::Never;
+        let report = db.plan_query(EXAMPLE1_SQL).unwrap();
+        assert_eq!(report.choice, PlanChoice::Lazy);
+        assert!(report.alternative.is_some(), "eager plan still reported");
+    }
+
+    #[test]
+    fn explain_mentions_everything() {
+        let mut db = example1_db();
+        let out = db.execute(&format!("EXPLAIN {EXAMPLE1_SQL}")).unwrap();
+        let QueryOutput::Explain(text) = out else { panic!() };
+        assert!(text.contains("choice: Eager"), "{text}");
+        assert!(text.contains("TestFD"));
+        assert!(text.contains("partition"));
+        assert!(text.contains("alternative plan:"));
+        assert!(text.contains("cost:"));
+    }
+
+    #[test]
+    fn ungrouped_query_stays_lazy() {
+        let db = example1_db();
+        let (rows, _, report) = db
+            .query_report("SELECT E.LastName FROM Employee E WHERE E.DeptID = 1")
+            .unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(report.choice, PlanChoice::Lazy);
+        assert!(report.reason.contains("not applied"));
+    }
+
+    #[test]
+    fn order_by_applies_to_both_shapes() {
+        let mut db = example1_db();
+        for policy in [PushdownPolicy::Always, PushdownPolicy::Never] {
+            db.options_mut().policy = policy;
+            let rows = db
+                .query(&format!("{EXAMPLE1_SQL} ORDER BY DeptID DESC"))
+                .unwrap();
+            assert_eq!(rows.rows[0][0], Value::Int(4));
+            assert_eq!(rows.rows[3][0], Value::Int(1));
+        }
+    }
+
+    #[test]
+    fn constraint_violations_surface() {
+        let mut db = example1_db();
+        let err = db
+            .execute("INSERT INTO Employee VALUES (1, 'dup', 'dup', 1)")
+            .unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+        let err = db
+            .execute("INSERT INTO Employee VALUES (99, 'x', 'y', 42)")
+            .unwrap_err();
+        assert!(err.message().contains("foreign key"));
+    }
+
+    #[test]
+    fn aggregated_view_is_unfolded_or_kept_by_policy() {
+        let mut db = example1_db();
+        db.execute(
+            "CREATE VIEW DeptStats (DeptID, Cnt) AS \
+             SELECT E.DeptID, COUNT(E.EmpID) FROM Employee E GROUP BY E.DeptID",
+        )
+        .unwrap();
+        let sql = "SELECT D.Name, V.Cnt FROM DeptStats V, Department D \
+                   WHERE V.DeptID = D.DeptID";
+        let (rows, _, report) = db.query_report(sql).unwrap();
+        assert_eq!(rows.len(), 4);
+        // Under the default cost model the merged form may win or lose;
+        // the report must say the transformation was valid either way.
+        assert!(report.testfd.is_some());
+        assert!(matches!(
+            report.choice,
+            PlanChoice::Unfolded | PlanChoice::Eager
+        ));
+
+        // Policy Never forces the unfolded (lazy) shape.
+        db.options_mut().policy = PushdownPolicy::Never;
+        let report = db.plan_query(sql).unwrap();
+        assert_eq!(report.choice, PlanChoice::Lazy);
+        let rows2 = db.query(sql).unwrap();
+        assert!(rows.multiset_eq(&rows2));
+
+        // Policy Always keeps the written (eager) shape.
+        db.options_mut().policy = PushdownPolicy::Always;
+        let report = db.plan_query(sql).unwrap();
+        assert_eq!(report.choice, PlanChoice::Unfolded);
+        let rows3 = db.query(sql).unwrap();
+        assert!(rows.multiset_eq(&rows3));
+    }
+
+    #[test]
+    fn ddl_outputs() {
+        let mut db = Database::new();
+        let out = db.execute("CREATE TABLE T (x INT)").unwrap();
+        assert!(matches!(out, QueryOutput::Ddl(_)));
+        let out = db.execute("INSERT INTO T VALUES (1), (2)").unwrap();
+        assert!(matches!(out, QueryOutput::Affected(2)));
+        let out = db.execute("DROP TABLE T").unwrap();
+        assert!(matches!(out, QueryOutput::Ddl(_)));
+        assert!(db.execute("SELECT * FROM T").is_err());
+    }
+
+    #[test]
+    fn assertion_rescues_the_transformation() {
+        // Grouping by D.Name (a non-key of Department) normally fails
+        // TestFD: two departments could share a name.
+        let by_name = "SELECT D.Name, COUNT(E.EmpID) FROM Employee E, Department D \
+                 WHERE E.DeptID = D.DeptID GROUP BY D.Name";
+        let mut db = example1_db();
+        let report = db.plan_query(by_name).unwrap();
+        assert_eq!(report.choice, PlanChoice::Lazy);
+
+        // An assertion pinning E.DeptID to a constant makes the key of
+        // Department derivable (Theorem 3): the rewrite becomes valid.
+        db.execute("CREATE ASSERTION all_in_one CHECK (Employee.DeptID = 1)")
+            .unwrap();
+        db.options_mut().policy = PushdownPolicy::Always;
+        let report = db.plan_query(by_name).unwrap();
+        assert_eq!(report.choice, PlanChoice::Eager);
+    }
+
+    #[test]
+    fn count_distinct_runs_end_to_end() {
+        let db = example1_db();
+        let rows = db
+            .query(
+                "SELECT D.DeptID, COUNT(DISTINCT E.LastName) FROM Employee E, Department D \
+                 WHERE E.DeptID = D.DeptID GROUP BY D.DeptID",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn having_query_executes_unrewritten() {
+        let mut db = example1_db();
+        // Give dept 1 a sixth member so HAVING > 5 is selective.
+        db.execute("INSERT INTO Employee VALUES (21, 'extra', 'e', 1)")
+            .unwrap();
+        let (rows, _, report) = db
+            .query_report(&format!("{EXAMPLE1_SQL} HAVING COUNT(E.EmpID) > 5"))
+            .unwrap();
+        assert_eq!(report.choice, PlanChoice::Lazy);
+        assert!(report.reason.contains("HAVING"));
+        assert_eq!(rows.len(), 1, "only dept1 now has 6 members");
+        assert_eq!(rows.rows[0][2], Value::Int(6));
+    }
+}

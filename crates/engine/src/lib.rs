@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # gbj-engine
+//!
+//! The end-to-end engine facade: [`Database`] owns the storage and
+//! drives parse → bind → (eager-aggregation decision) → logical
+//! optimization → execution.
+//!
+//! The decision point is the paper's contribution: for every grouped
+//! join query the engine attempts the group-by-before-join rewrite
+//! (`gbj-core`), and — when `TestFD` proves it valid — chooses between
+//! the lazy (`E1`) and eager (`E2`) plans with the Section 7 cost model
+//! over estimated cardinalities ([`stats`]). Queries over aggregated
+//! views additionally get the Section 8 reverse transformation as a
+//! candidate. `EXPLAIN` prints both candidate plans, the TestFD trace
+//! and the cost comparison.
+
+pub mod database;
+pub mod stats;
+
+pub use database::{Database, EngineOptions, PlanChoice, PushdownPolicy, QueryOutput, QueryReport};
+pub use stats::Estimator;

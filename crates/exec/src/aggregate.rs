@@ -1,0 +1,288 @@
+//! Grouping and aggregation: hash and sort implementations.
+//!
+//! Grouping uses SQL2's duplicate semantics — rows with NULL grouping
+//! values form a group of their own ("NULL equals NULL", Section 4.2 of
+//! the paper) — via [`GroupKey`]. With an empty grouping list this is a
+//! scalar aggregate producing exactly one row (standard SQL); the
+//! optimizer refuses the degenerate transformations where this
+//! distinction would matter (see DESIGN.md).
+
+use std::collections::HashMap;
+
+use gbj_expr::{AggregateCall, Accumulator, BoundExpr};
+use gbj_types::{Error, GroupKey, Result, Value};
+
+/// A compiled aggregate: the call (for accumulator construction) plus
+/// its bound argument.
+pub struct CompiledAggregate {
+    /// The logical call.
+    pub call: AggregateCall,
+    /// The bound argument; `None` for `COUNT(*)`.
+    pub arg: Option<BoundExpr>,
+}
+
+impl CompiledAggregate {
+    fn update(&self, acc: &mut Accumulator, row: &[Value]) -> Result<()> {
+        match &self.arg {
+            Some(expr) => acc.update(&expr.eval(row)?),
+            // COUNT(*): feed a non-NULL dummy once per row.
+            None => acc.update(&Value::Int(1)),
+        }
+    }
+}
+
+/// Hash aggregation: one pass, grouping by the bound key expressions.
+///
+/// Output rows are `group key values ++ aggregate results`, in
+/// first-seen group order (deterministic for a given input order).
+pub fn hash_aggregate(
+    input: &[Vec<Value>],
+    group_exprs: &[BoundExpr],
+    aggregates: &[CompiledAggregate],
+) -> Result<Vec<Vec<Value>>> {
+    let mut order: Vec<GroupKey> = Vec::new();
+    let mut groups: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
+
+    if group_exprs.is_empty() {
+        // Scalar aggregate: exactly one group, even over empty input.
+        let mut accs: Vec<Accumulator> =
+            aggregates.iter().map(|a| a.call.accumulator()).collect();
+        for row in input {
+            for (agg, acc) in aggregates.iter().zip(&mut accs) {
+                agg.update(acc, row)?;
+            }
+        }
+        return Ok(vec![accs.iter().map(Accumulator::finish).collect()]);
+    }
+
+    for row in input {
+        let key_vals: Vec<Value> = group_exprs
+            .iter()
+            .map(|e| e.eval(row))
+            .collect::<Result<_>>()?;
+        let key = GroupKey(key_vals);
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            aggregates.iter().map(|a| a.call.accumulator()).collect()
+        });
+        for (agg, acc) in aggregates.iter().zip(accs.iter_mut()) {
+            agg.update(acc, row)?;
+        }
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups
+            .remove(&key)
+            .ok_or_else(|| Error::Internal("group vanished".into()))?;
+        let mut row = key.0;
+        row.extend(accs.iter().map(Accumulator::finish));
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Sort-based aggregation: sort rows by the grouping key (under the
+/// total order, NULLs last and equal) and stream group boundaries.
+///
+/// This is the classic implementation the paper's Section 2 alludes to
+/// ("grouping … is usually implemented by sorting"); it also leaves the
+/// output sorted on the grouping columns, the property Section 7's last
+/// bullet says later joins can exploit.
+pub fn sort_aggregate(
+    input: &[Vec<Value>],
+    group_exprs: &[BoundExpr],
+    aggregates: &[CompiledAggregate],
+) -> Result<Vec<Vec<Value>>> {
+    if group_exprs.is_empty() {
+        return hash_aggregate(input, group_exprs, aggregates);
+    }
+    let mut keyed: Vec<(Vec<Value>, &Vec<Value>)> = input
+        .iter()
+        .map(|row| {
+            let key: Vec<Value> = group_exprs
+                .iter()
+                .map(|e| e.eval(row))
+                .collect::<Result<_>>()?;
+            Ok((key, row))
+        })
+        .collect::<Result<_>>()?;
+    keyed.sort_by(|(a, _), (b, _)| {
+        for (x, y) in a.iter().zip(b) {
+            let ord = x.total_cmp(y);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+
+    let mut out = Vec::new();
+    let mut current: Option<(Vec<Value>, Vec<Accumulator>)> = None;
+    for (key, row) in keyed {
+        let same = current
+            .as_ref()
+            .is_some_and(|(k, _)| k.iter().zip(&key).all(|(a, b)| a.null_eq(b)));
+        if !same {
+            if let Some((k, accs)) = current.take() {
+                let mut r = k;
+                r.extend(accs.iter().map(Accumulator::finish));
+                out.push(r);
+            }
+            current = Some((
+                key,
+                aggregates.iter().map(|a| a.call.accumulator()).collect(),
+            ));
+        }
+        if let Some((_, accs)) = &mut current {
+            for (agg, acc) in aggregates.iter().zip(accs.iter_mut()) {
+                agg.update(acc, row)?;
+            }
+        }
+    }
+    if let Some((k, accs)) = current {
+        let mut r = k;
+        r.extend(accs.iter().map(Accumulator::finish));
+        out.push(r);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_expr::{AggregateFunction, Expr};
+    use gbj_types::{DataType, Field, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("g", DataType::Int64, true),
+            Field::new("v", DataType::Int64, true),
+        ])
+    }
+
+    fn compile(call: AggregateCall) -> CompiledAggregate {
+        let arg = call.arg.as_ref().map(|e| e.bind(&schema()).unwrap());
+        CompiledAggregate { call, arg }
+    }
+
+    fn group_exprs() -> Vec<BoundExpr> {
+        vec![Expr::bare("g").bind(&schema()).unwrap()]
+    }
+
+    fn rows(data: &[(Option<i64>, Option<i64>)]) -> Vec<Vec<Value>> {
+        data.iter()
+            .map(|(g, v)| {
+                vec![
+                    g.map_or(Value::Null, Value::Int),
+                    v.map_or(Value::Null, Value::Int),
+                ]
+            })
+            .collect()
+    }
+
+    fn sum_call() -> CompiledAggregate {
+        compile(AggregateCall::new(AggregateFunction::Sum, Expr::bare("v")))
+    }
+
+    fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        rows
+    }
+
+    #[test]
+    fn hash_and_sort_agree() {
+        let input = rows(&[
+            (Some(1), Some(10)),
+            (Some(2), Some(20)),
+            (Some(1), Some(5)),
+            (None, Some(7)),
+            (None, Some(3)),
+        ]);
+        let h = hash_aggregate(&input, &group_exprs(), &[sum_call()]).unwrap();
+        let s = sort_aggregate(&input, &group_exprs(), &[sum_call()]).unwrap();
+        assert_eq!(sorted(h.clone()), sorted(s));
+        assert_eq!(h.len(), 3, "1, 2, and the NULL group");
+        let by_key = sorted(h);
+        assert_eq!(by_key[0], vec![Value::Int(1), Value::Int(15)]);
+        assert_eq!(by_key[1], vec![Value::Int(2), Value::Int(20)]);
+        assert_eq!(by_key[2], vec![Value::Null, Value::Int(10)]);
+    }
+
+    #[test]
+    fn null_group_values_form_one_group() {
+        let input = rows(&[(None, Some(1)), (None, Some(2))]);
+        for f in [hash_aggregate, sort_aggregate] {
+            let out = f(&input, &group_exprs(), &[sum_call()]).unwrap();
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0], vec![Value::Null, Value::Int(3)]);
+        }
+    }
+
+    #[test]
+    fn scalar_aggregate_always_one_row() {
+        let empty: Vec<Vec<Value>> = vec![];
+        for f in [hash_aggregate, sort_aggregate] {
+            let out = f(&empty, &[], &[sum_call()]).unwrap();
+            assert_eq!(out, vec![vec![Value::Null]], "SUM over empty is NULL");
+        }
+        let input = rows(&[(Some(1), Some(4)), (Some(2), Some(6))]);
+        let out = hash_aggregate(&input, &[], &[sum_call()]).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(10)]]);
+    }
+
+    #[test]
+    fn count_star_counts_all_rows_per_group() {
+        let star = compile(AggregateCall::count_star());
+        let input = rows(&[(Some(1), None), (Some(1), Some(2)), (Some(2), None)]);
+        let out = hash_aggregate(&input, &group_exprs(), &[star]).unwrap();
+        let by_key = sorted(out);
+        assert_eq!(by_key[0], vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(by_key[1], vec![Value::Int(2), Value::Int(1)]);
+    }
+
+    #[test]
+    fn multiple_aggregates_in_one_pass() {
+        let calls = vec![
+            compile(AggregateCall::new(AggregateFunction::Min, Expr::bare("v"))),
+            compile(AggregateCall::new(AggregateFunction::Max, Expr::bare("v"))),
+            compile(AggregateCall::count_star()),
+        ];
+        let input = rows(&[(Some(1), Some(5)), (Some(1), Some(9)), (Some(1), None)]);
+        let out = sort_aggregate(&input, &group_exprs(), &calls).unwrap();
+        assert_eq!(
+            out,
+            vec![vec![
+                Value::Int(1),
+                Value::Int(5),
+                Value::Int(9),
+                Value::Int(3)
+            ]]
+        );
+    }
+
+    #[test]
+    fn empty_grouped_input_yields_no_groups() {
+        let empty: Vec<Vec<Value>> = vec![];
+        for f in [hash_aggregate, sort_aggregate] {
+            let out = f(&empty, &group_exprs(), &[sum_call()]).unwrap();
+            assert!(out.is_empty(), "no rows → no groups when GROUP BY present");
+        }
+    }
+
+    #[test]
+    fn sort_aggregate_output_is_sorted_on_keys() {
+        let input = rows(&[
+            (Some(3), Some(1)),
+            (Some(1), Some(1)),
+            (None, Some(1)),
+            (Some(2), Some(1)),
+        ]);
+        let out = sort_aggregate(&input, &group_exprs(), &[sum_call()]).unwrap();
+        let keys: Vec<&Value> = out.iter().map(|r| &r[0]).collect();
+        assert_eq!(
+            keys,
+            vec![&Value::Int(1), &Value::Int(2), &Value::Int(3), &Value::Null]
+        );
+    }
+}

@@ -1,0 +1,577 @@
+//! The recursive plan executor.
+
+use std::collections::HashSet;
+
+use gbj_expr::Expr;
+use gbj_plan::LogicalPlan;
+use gbj_storage::Storage;
+use gbj_types::{Error, GroupKey, Result, Truth, Value};
+
+use crate::aggregate::{hash_aggregate, sort_aggregate, CompiledAggregate};
+use crate::join::{hash_join, nested_loop_join, sort_merge_join, split_equi_keys};
+use crate::result::{ProfileNode, ResultSet};
+
+/// Join algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinAlgo {
+    /// Hash join when equi keys exist, nested loops otherwise.
+    #[default]
+    Auto,
+    /// Always nested loops.
+    NestedLoop,
+    /// Hash join (falls back to nested loops without equi keys).
+    Hash,
+    /// Sort-merge join (falls back to nested loops without equi keys).
+    SortMerge,
+}
+
+/// Aggregation algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggAlgo {
+    /// Hash aggregation.
+    #[default]
+    Hash,
+    /// Sort-based aggregation (output sorted on the grouping columns).
+    Sort,
+}
+
+/// Executor options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Which join algorithm to use.
+    pub join: JoinAlgo,
+    /// Which aggregation algorithm to use.
+    pub agg: AggAlgo,
+}
+
+/// Executes logical plans against a [`Storage`].
+pub struct Executor<'a> {
+    storage: &'a Storage,
+    options: ExecOptions,
+}
+
+impl<'a> Executor<'a> {
+    /// An executor with default options.
+    #[must_use]
+    pub fn new(storage: &'a Storage) -> Executor<'a> {
+        Executor {
+            storage,
+            options: ExecOptions::default(),
+        }
+    }
+
+    /// An executor with explicit options.
+    #[must_use]
+    pub fn with_options(storage: &'a Storage, options: ExecOptions) -> Executor<'a> {
+        Executor { storage, options }
+    }
+
+    /// Execute a plan, returning the result and the per-operator
+    /// cardinality profile.
+    pub fn execute(&self, plan: &LogicalPlan) -> Result<(ResultSet, ProfileNode)> {
+        let (rows, profile) = self.run(plan)?;
+        Ok((
+            ResultSet {
+                schema: plan.schema()?,
+                rows,
+            },
+            profile,
+        ))
+    }
+
+    fn run(&self, plan: &LogicalPlan) -> Result<(Vec<Vec<Value>>, ProfileNode)> {
+        match plan {
+            LogicalPlan::Scan { table, schema, .. } => {
+                let data = self.storage.table_data(table).ok_or_else(|| {
+                    Error::Catalog(format!("unknown table {table} at execution time"))
+                })?;
+                if data.schema().len() != schema.len() {
+                    return Err(Error::Internal(format!(
+                        "scan schema arity mismatch for {table}"
+                    )));
+                }
+                let rows: Vec<Vec<Value>> =
+                    data.value_rows().map(<[Value]>::to_vec).collect();
+                let profile = ProfileNode::new(plan.label(), "Scan", rows.len(), vec![]);
+                Ok((rows, profile))
+            }
+
+            LogicalPlan::Filter { input, predicate } => {
+                let (in_rows, child) = self.run(input)?;
+                let bound = predicate.bind(&input.schema()?)?;
+                let mut rows = Vec::new();
+                for row in in_rows {
+                    if bound.eval_truth(&row)? == Truth::True {
+                        rows.push(row);
+                    }
+                }
+                let profile =
+                    ProfileNode::new(plan.label(), "Filter", rows.len(), vec![child]);
+                Ok((rows, profile))
+            }
+
+            LogicalPlan::Project {
+                input,
+                exprs,
+                distinct,
+            } => {
+                let (in_rows, child) = self.run(input)?;
+                let in_schema = input.schema()?;
+                let bound: Vec<_> = exprs
+                    .iter()
+                    .map(|(e, _)| e.bind(&in_schema))
+                    .collect::<Result<_>>()?;
+                let mut rows = Vec::with_capacity(in_rows.len());
+                if *distinct {
+                    let mut seen: HashSet<GroupKey> = HashSet::new();
+                    for row in &in_rows {
+                        let out: Vec<Value> = bound
+                            .iter()
+                            .map(|b: &gbj_expr::BoundExpr| b.eval(row))
+                            .collect::<Result<_>>()?;
+                        if seen.insert(GroupKey(out.clone())) {
+                            rows.push(out);
+                        }
+                    }
+                } else {
+                    for row in &in_rows {
+                        rows.push(
+                            bound
+                                .iter()
+                                .map(|b| b.eval(row))
+                                .collect::<Result<_>>()?,
+                        );
+                    }
+                }
+                let op = if *distinct {
+                    "ProjectDistinct"
+                } else {
+                    "Project"
+                };
+                let profile = ProfileNode::new(plan.label(), op, rows.len(), vec![child]);
+                Ok((rows, profile))
+            }
+
+            LogicalPlan::CrossJoin { left, right } => {
+                let (l, lp) = self.run(left)?;
+                let (r, rp) = self.run(right)?;
+                let mut rows = Vec::with_capacity(l.len() * r.len());
+                for a in &l {
+                    for b in &r {
+                        let mut row = a.clone();
+                        row.extend(b.iter().cloned());
+                        rows.push(row);
+                    }
+                }
+                let profile =
+                    ProfileNode::new(plan.label(), "CrossJoin", rows.len(), vec![lp, rp]);
+                Ok((rows, profile))
+            }
+
+            LogicalPlan::Join {
+                left,
+                right,
+                condition,
+            } => {
+                let (l, lp) = self.run(left)?;
+                let (r, rp) = self.run(right)?;
+                let lschema = left.schema()?;
+                let rschema = right.schema()?;
+                let joined_schema = lschema.join(&rschema);
+                let (keys, residual) = split_equi_keys(condition, &lschema, &rschema);
+                let residual_bound = Expr::conjunction(residual)
+                    .map(|e| e.bind(&joined_schema))
+                    .transpose()?;
+
+                let algo = match (self.options.join, keys.is_empty()) {
+                    (JoinAlgo::NestedLoop, _) | (_, true) => JoinAlgo::NestedLoop,
+                    (JoinAlgo::Auto | JoinAlgo::Hash, false) => JoinAlgo::Hash,
+                    (JoinAlgo::SortMerge, false) => JoinAlgo::SortMerge,
+                };
+                let (rows, op) = match algo {
+                    JoinAlgo::NestedLoop => {
+                        let bound = condition.bind(&joined_schema)?;
+                        (nested_loop_join(&l, &r, &bound)?, "NestedLoopJoin")
+                    }
+                    JoinAlgo::Hash | JoinAlgo::Auto => {
+                        (hash_join(&l, &r, &keys, &residual_bound)?, "HashJoin")
+                    }
+                    JoinAlgo::SortMerge => (
+                        sort_merge_join(&l, &r, &keys, &residual_bound)?,
+                        "SortMergeJoin",
+                    ),
+                };
+                let profile = ProfileNode::new(plan.label(), op, rows.len(), vec![lp, rp]);
+                Ok((rows, profile))
+            }
+
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
+                let (in_rows, child) = self.run(input)?;
+                let in_schema = input.schema()?;
+                let group_bound: Vec<_> = group_by
+                    .iter()
+                    .map(|e| e.bind(&in_schema))
+                    .collect::<Result<_>>()?;
+                let compiled: Vec<CompiledAggregate> = aggregates
+                    .iter()
+                    .map(|(call, _)| {
+                        let arg = call
+                            .arg
+                            .as_ref()
+                            .map(|e| e.bind(&in_schema))
+                            .transpose()?;
+                        Ok(CompiledAggregate {
+                            call: call.clone(),
+                            arg,
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let (rows, op) = match self.options.agg {
+                    AggAlgo::Hash => (
+                        hash_aggregate(&in_rows, &group_bound, &compiled)?,
+                        "HashAggregate",
+                    ),
+                    AggAlgo::Sort => (
+                        sort_aggregate(&in_rows, &group_bound, &compiled)?,
+                        "SortAggregate",
+                    ),
+                };
+                let profile = ProfileNode::new(plan.label(), op, rows.len(), vec![child]);
+                Ok((rows, profile))
+            }
+
+            LogicalPlan::SubqueryAlias { input, .. } => {
+                let (rows, child) = self.run(input)?;
+                let n = rows.len();
+                Ok((
+                    rows,
+                    ProfileNode::new(plan.label(), "SubqueryAlias", n, vec![child]),
+                ))
+            }
+
+            LogicalPlan::Sort { input, keys } => {
+                let (mut rows, child) = self.run(input)?;
+                let in_schema = input.schema()?;
+                let bound: Vec<(gbj_expr::BoundExpr, bool)> = keys
+                    .iter()
+                    .map(|(e, asc)| Ok((e.bind(&in_schema)?, *asc)))
+                    .collect::<Result<_>>()?;
+                // Precompute keys to avoid re-evaluating during sort.
+                let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = rows
+                    .drain(..)
+                    .map(|row| {
+                        let k: Vec<Value> = bound
+                            .iter()
+                            .map(|(e, _)| e.eval(&row))
+                            .collect::<Result<_>>()?;
+                        Ok((k, row))
+                    })
+                    .collect::<Result<_>>()?;
+                keyed.sort_by(|(a, _), (b, _)| {
+                    for ((x, y), (_, asc)) in a.iter().zip(b).zip(&bound) {
+                        let ord = x.total_cmp(y);
+                        let ord = if *asc { ord } else { ord.reverse() };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                let rows: Vec<Vec<Value>> = keyed.into_iter().map(|(_, r)| r).collect();
+                let n = rows.len();
+                Ok((
+                    rows,
+                    ProfileNode::new(plan.label(), "Sort", n, vec![child]),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_catalog::{ColumnDef, Constraint, TableDef};
+    use gbj_expr::{AggregateCall, AggregateFunction};
+    use gbj_types::{ColumnRef, DataType};
+
+    /// Storage with the paper's Example 1 schema and a small instance:
+    /// 3 departments, 7 employees (one with NULL DeptID).
+    fn setup() -> Storage {
+        let mut s = Storage::new();
+        s.create_table(
+            TableDef::new(
+                "Department",
+                vec![
+                    ColumnDef::new("DeptID", DataType::Int64),
+                    ColumnDef::new("Name", DataType::Utf8),
+                ],
+            )
+            .with_constraint(Constraint::PrimaryKey(vec!["DeptID".into()])),
+        )
+        .unwrap();
+        s.create_table(
+            TableDef::new(
+                "Employee",
+                vec![
+                    ColumnDef::new("EmpID", DataType::Int64),
+                    ColumnDef::new("DeptID", DataType::Int64),
+                ],
+            )
+            .with_constraint(Constraint::PrimaryKey(vec!["EmpID".into()])),
+        )
+        .unwrap();
+        for (id, name) in [(1, "R&D"), (2, "Sales"), (3, "HR")] {
+            s.insert("Department", vec![Value::Int(id), Value::str(name)])
+                .unwrap();
+        }
+        let depts = [Some(1), Some(1), Some(1), Some(2), Some(2), None, Some(3)];
+        for (i, d) in depts.iter().enumerate() {
+            s.insert(
+                "Employee",
+                vec![
+                    Value::Int(i as i64 + 1),
+                    d.map_or(Value::Null, Value::Int),
+                ],
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    fn scan(s: &Storage, table: &str, alias: &str) -> LogicalPlan {
+        let def = s.catalog().table(table).unwrap();
+        LogicalPlan::Scan {
+            table: table.into(),
+            qualifier: alias.into(),
+            schema: def.schema(alias),
+        }
+    }
+
+    /// Example 1's Plan 1 (lazy).
+    fn plan1(s: &Storage) -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan(s, "Employee", "E")),
+                right: Box::new(scan(s, "Department", "D")),
+                condition: Expr::col("E", "DeptID").eq(Expr::col("D", "DeptID")),
+            }),
+            group_by: vec![Expr::col("D", "DeptID"), Expr::col("D", "Name")],
+            aggregates: vec![(
+                AggregateCall::new(AggregateFunction::Count, Expr::col("E", "EmpID")),
+                "cnt".into(),
+            )],
+        }
+    }
+
+    /// Example 1's Plan 2 (eager).
+    fn plan2(s: &Storage) -> LogicalPlan {
+        let grouped = LogicalPlan::Aggregate {
+            input: Box::new(scan(s, "Employee", "E")),
+            group_by: vec![Expr::col("E", "DeptID")],
+            aggregates: vec![(
+                AggregateCall::new(AggregateFunction::Count, Expr::col("E", "EmpID")),
+                "cnt".into(),
+            )],
+        };
+        LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(grouped),
+                right: Box::new(scan(s, "Department", "D")),
+                condition: Expr::col("E", "DeptID").eq(Expr::col("D", "DeptID")),
+            }),
+            exprs: vec![
+                (Expr::col("D", "DeptID"), "DeptID".into()),
+                (Expr::col("D", "Name"), "Name".into()),
+                (Expr::bare("cnt"), "cnt".into()),
+            ],
+            distinct: false,
+        }
+    }
+
+    #[test]
+    fn lazy_and_eager_plans_agree() {
+        let s = setup();
+        let exec = Executor::new(&s);
+        let (lazy, _) = exec.execute(&plan1(&s)).unwrap();
+        let (eager, _) = exec.execute(&plan2(&s)).unwrap();
+        // Project the lazy result's columns for comparison (same shape).
+        assert_eq!(lazy.len(), 3, "NULL-DeptID employee joins nothing");
+        assert!(lazy.multiset_eq(&eager));
+        let sorted = lazy.sorted();
+        assert_eq!(
+            sorted.rows[0],
+            vec![Value::Int(1), Value::str("R&D"), Value::Int(3)]
+        );
+        assert_eq!(
+            sorted.rows[2],
+            vec![Value::Int(3), Value::str("HR"), Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn profile_reports_cardinalities() {
+        let s = setup();
+        let exec = Executor::new(&s);
+        let (_, profile) = exec.execute(&plan1(&s)).unwrap();
+        // Join: 6 of 7 employees match; aggregate: 3 groups.
+        assert_eq!(profile.operator, "HashAggregate");
+        assert_eq!(profile.rows_out, 3);
+        let join = profile.find_operator("HashJoin").unwrap();
+        assert_eq!(join.rows_out, 6);
+        assert_eq!(join.rows_in(), 10, "7 employees + 3 departments");
+    }
+
+    #[test]
+    fn all_join_algorithms_give_same_result() {
+        let s = setup();
+        let mut results = Vec::new();
+        for join in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::SortMerge] {
+            let exec = Executor::with_options(
+                &s,
+                ExecOptions {
+                    join,
+                    agg: AggAlgo::Hash,
+                },
+            );
+            let (r, p) = exec.execute(&plan1(&s)).unwrap();
+            let expected_op = match join {
+                JoinAlgo::NestedLoop => "NestedLoopJoin",
+                JoinAlgo::Hash => "HashJoin",
+                JoinAlgo::SortMerge => "SortMergeJoin",
+                JoinAlgo::Auto => unreachable!(),
+            };
+            assert!(p.find_operator(expected_op).is_some());
+            results.push(r);
+        }
+        assert!(results[0].multiset_eq(&results[1]));
+        assert!(results[0].multiset_eq(&results[2]));
+    }
+
+    #[test]
+    fn sort_aggregation_matches_hash() {
+        let s = setup();
+        let hash = Executor::with_options(
+            &s,
+            ExecOptions {
+                join: JoinAlgo::Auto,
+                agg: AggAlgo::Hash,
+            },
+        );
+        let sort = Executor::with_options(
+            &s,
+            ExecOptions {
+                join: JoinAlgo::Auto,
+                agg: AggAlgo::Sort,
+            },
+        );
+        let (h, _) = hash.execute(&plan1(&s)).unwrap();
+        let (so, p) = sort.execute(&plan1(&s)).unwrap();
+        assert!(h.multiset_eq(&so));
+        assert!(p.find_operator("SortAggregate").is_some());
+    }
+
+    #[test]
+    fn filter_and_distinct_project() {
+        let s = setup();
+        let exec = Executor::new(&s);
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan(&s, "Employee", "E")),
+                predicate: Expr::IsNull {
+                    expr: Box::new(Expr::col("E", "DeptID")),
+                    negated: true,
+                },
+            }),
+            exprs: vec![(Expr::col("E", "DeptID"), "DeptID".into())],
+            distinct: true,
+        };
+        let (r, p) = exec.execute(&plan).unwrap();
+        assert_eq!(r.len(), 3, "distinct non-NULL DeptIDs");
+        assert!(p.find_operator("ProjectDistinct").is_some());
+        assert_eq!(p.find_operator("Filter").unwrap().rows_out, 6);
+    }
+
+    #[test]
+    fn cross_join_cardinality() {
+        let s = setup();
+        let exec = Executor::new(&s);
+        let plan = LogicalPlan::CrossJoin {
+            left: Box::new(scan(&s, "Employee", "E")),
+            right: Box::new(scan(&s, "Department", "D")),
+        };
+        let (r, _) = exec.execute(&plan).unwrap();
+        assert_eq!(r.len(), 21);
+    }
+
+    #[test]
+    fn non_equi_join_falls_back_to_nested_loops() {
+        let s = setup();
+        let exec = Executor::with_options(
+            &s,
+            ExecOptions {
+                join: JoinAlgo::Hash,
+                agg: AggAlgo::Hash,
+            },
+        );
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan(&s, "Employee", "E")),
+            right: Box::new(scan(&s, "Department", "D")),
+            condition: Expr::col("E", "DeptID")
+                .binary(gbj_expr::BinaryOp::Lt, Expr::col("D", "DeptID")),
+        };
+        let (_, p) = exec.execute(&plan).unwrap();
+        assert!(p.find_operator("NestedLoopJoin").is_some());
+    }
+
+    #[test]
+    fn sort_orders_rows() {
+        let s = setup();
+        let exec = Executor::new(&s);
+        let plan = LogicalPlan::Sort {
+            input: Box::new(scan(&s, "Employee", "E")),
+            keys: vec![(Expr::col("E", "DeptID"), false)],
+        };
+        let (r, _) = exec.execute(&plan).unwrap();
+        // Descending with NULLs: total order puts NULL greatest, so
+        // descending puts the NULL row first.
+        assert_eq!(r.rows[0][1], Value::Null);
+        assert_eq!(r.rows[1][1], Value::Int(3));
+    }
+
+    #[test]
+    fn subquery_alias_renames_for_outer_references() {
+        let s = setup();
+        let exec = Executor::new(&s);
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::SubqueryAlias {
+                input: Box::new(scan(&s, "Department", "D")),
+                alias: "V".into(),
+            }),
+            exprs: vec![(Expr::col("V", "Name"), "Name".into())],
+            distinct: false,
+        };
+        let (r, _) = exec.execute(&plan).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(
+            r.schema.field(0).column_ref(),
+            ColumnRef::qualified("V", "Name")
+        );
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let s = setup();
+        let exec = Executor::new(&s);
+        let plan = LogicalPlan::Scan {
+            table: "Missing".into(),
+            qualifier: "M".into(),
+            schema: gbj_types::Schema::empty(),
+        };
+        assert!(exec.execute(&plan).is_err());
+    }
+}

@@ -1,0 +1,372 @@
+//! Join algorithms: nested-loop, hash, and sort-merge.
+//!
+//! All three implement the inner join `σ[condition](L × R)` with SQL's
+//! search-condition semantics: a pair qualifies only when the condition
+//! evaluates to *true*, so NULL join keys never match (unlike the `=ⁿ`
+//! duplicate semantics used by grouping).
+
+use std::collections::HashMap;
+
+use gbj_expr::{conjuncts, BoundExpr, Expr};
+use gbj_types::{GroupKey, Result, Schema, Truth, Value};
+
+/// An equi-join key pair: ordinal in the left schema, ordinal in the
+/// right schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquiKey {
+    /// Left-side column ordinal.
+    pub left: usize,
+    /// Right-side column ordinal.
+    pub right: usize,
+}
+
+/// Split a join condition into equi-key pairs and a residual predicate.
+///
+/// A conjunct `a = b` becomes an [`EquiKey`] when one side resolves in
+/// the left schema and the other in the right schema; everything else
+/// stays in the residual.
+pub fn split_equi_keys(
+    condition: &Expr,
+    left: &Schema,
+    right: &Schema,
+) -> (Vec<EquiKey>, Vec<Expr>) {
+    let mut keys = Vec::new();
+    let mut residual = Vec::new();
+    for conjunct in conjuncts(condition) {
+        if let Expr::Binary {
+            left: l,
+            op: gbj_expr::BinaryOp::Eq,
+            right: r,
+        } = &conjunct
+        {
+            if let (Expr::Column(lc), Expr::Column(rc)) = (l.as_ref(), r.as_ref()) {
+                match (left.index_of(lc), right.index_of(rc)) {
+                    (Ok(li), Ok(ri)) => {
+                        keys.push(EquiKey { left: li, right: ri });
+                        continue;
+                    }
+                    _ => {
+                        // Try the flipped orientation.
+                        if let (Ok(li), Ok(ri)) = (left.index_of(rc), right.index_of(lc)) {
+                            keys.push(EquiKey { left: li, right: ri });
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        residual.push(conjunct);
+    }
+    (keys, residual)
+}
+
+fn concat(l: &[Value], r: &[Value]) -> Vec<Value> {
+    let mut row = Vec::with_capacity(l.len() + r.len());
+    row.extend_from_slice(l);
+    row.extend_from_slice(r);
+    row
+}
+
+fn residual_passes(residual: &Option<BoundExpr>, row: &[Value]) -> Result<bool> {
+    match residual {
+        None => Ok(true),
+        Some(p) => Ok(p.eval_truth(row)? == Truth::True),
+    }
+}
+
+/// Nested-loop join: evaluate the full bound condition on every pair.
+pub fn nested_loop_join(
+    left: &[Vec<Value>],
+    right: &[Vec<Value>],
+    condition: &BoundExpr,
+) -> Result<Vec<Vec<Value>>> {
+    let mut out = Vec::new();
+    for l in left {
+        for r in right {
+            let row = concat(l, r);
+            if condition.eval_truth(&row)? == Truth::True {
+                out.push(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Hash join on the given equi keys, with an optional bound residual
+/// predicate over the concatenated row.
+///
+/// Builds on the right side, probes with the left. Rows whose key
+/// contains NULL are skipped on both sides — `NULL = NULL` is `unknown`
+/// in a search condition, so they can never join.
+pub fn hash_join(
+    left: &[Vec<Value>],
+    right: &[Vec<Value>],
+    keys: &[EquiKey],
+    residual: &Option<BoundExpr>,
+) -> Result<Vec<Vec<Value>>> {
+    let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+    for (i, r) in right.iter().enumerate() {
+        let kv: Vec<Value> = keys.iter().map(|k| r[k.right].clone()).collect();
+        if kv.iter().any(Value::is_null) {
+            continue;
+        }
+        table.entry(GroupKey(kv)).or_default().push(i);
+    }
+    let mut out = Vec::new();
+    for l in left {
+        let kv: Vec<Value> = keys.iter().map(|k| l[k.left].clone()).collect();
+        if kv.iter().any(Value::is_null) {
+            continue;
+        }
+        if let Some(matches) = table.get(&GroupKey(kv)) {
+            for &ri in matches {
+                let row = concat(l, &right[ri]);
+                if residual_passes(residual, &row)? {
+                    out.push(row);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sort-merge join on the given equi keys.
+///
+/// Sorts both inputs on their key columns (NULLs last), then merges;
+/// NULL-keyed rows are skipped for the same reason as in [`hash_join`].
+pub fn sort_merge_join(
+    left: &[Vec<Value>],
+    right: &[Vec<Value>],
+    keys: &[EquiKey],
+    residual: &Option<BoundExpr>,
+) -> Result<Vec<Vec<Value>>> {
+    use std::cmp::Ordering;
+    let key_of = |row: &[Value], side: fn(&EquiKey) -> usize| -> Vec<Value> {
+        keys.iter().map(|k| row[side(k)].clone()).collect()
+    };
+    let cmp_keys = |a: &[Value], b: &[Value]| -> Ordering {
+        for (x, y) in a.iter().zip(b) {
+            let ord = x.total_cmp(y);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    };
+
+    let mut ls: Vec<&Vec<Value>> = left
+        .iter()
+        .filter(|r| !keys.iter().any(|k| r[k.left].is_null()))
+        .collect();
+    let mut rs: Vec<&Vec<Value>> = right
+        .iter()
+        .filter(|r| !keys.iter().any(|k| r[k.right].is_null()))
+        .collect();
+    ls.sort_by(|a, b| cmp_keys(&key_of(a, |k| k.left), &key_of(b, |k| k.left)));
+    rs.sort_by(|a, b| cmp_keys(&key_of(a, |k| k.right), &key_of(b, |k| k.right)));
+
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ls.len() && j < rs.len() {
+        let lk = key_of(ls[i], |k| k.left);
+        let rk = key_of(rs[j], |k| k.right);
+        match cmp_keys(&lk, &rk) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                // Find the right-side run with this key.
+                let mut j_end = j;
+                while j_end < rs.len()
+                    && cmp_keys(&key_of(rs[j_end], |k| k.right), &lk) == Ordering::Equal
+                {
+                    j_end += 1;
+                }
+                // Emit the cross product of the matching runs.
+                let mut i_run = i;
+                while i_run < ls.len()
+                    && cmp_keys(&key_of(ls[i_run], |k| k.left), &lk) == Ordering::Equal
+                {
+                    for r in &rs[j..j_end] {
+                        let row = concat(ls[i_run], r);
+                        if residual_passes(residual, &row)? {
+                            out.push(row);
+                        }
+                    }
+                    i_run += 1;
+                }
+                i = i_run;
+                j = j_end;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_types::{DataType, Field};
+
+    fn lschema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64, true).with_qualifier("L"),
+            Field::new("x", DataType::Int64, true).with_qualifier("L"),
+        ])
+    }
+
+    fn rschema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64, true).with_qualifier("R"),
+            Field::new("y", DataType::Int64, true).with_qualifier("R"),
+        ])
+    }
+
+    fn rows(data: &[(Option<i64>, i64)]) -> Vec<Vec<Value>> {
+        data.iter()
+            .map(|(a, b)| {
+                vec![
+                    a.map_or(Value::Null, Value::Int),
+                    Value::Int(*b),
+                ]
+            })
+            .collect()
+    }
+
+    fn condition() -> Expr {
+        Expr::col("L", "id").eq(Expr::col("R", "id"))
+    }
+
+    fn all_join_outputs(
+        left: &[Vec<Value>],
+        right: &[Vec<Value>],
+        cond: &Expr,
+    ) -> Vec<Vec<Vec<Value>>> {
+        let ls = lschema();
+        let rs = rschema();
+        let joined = ls.join(&rs);
+        let bound = cond.bind(&joined).unwrap();
+        let (keys, residual) = split_equi_keys(cond, &ls, &rs);
+        assert!(!keys.is_empty());
+        let resid_bound = Expr::conjunction(residual.clone())
+            .map(|e| e.bind(&joined).unwrap());
+        vec![
+            nested_loop_join(left, right, &bound).unwrap(),
+            hash_join(left, right, &keys, &resid_bound).unwrap(),
+            sort_merge_join(left, right, &keys, &resid_bound).unwrap(),
+        ]
+    }
+
+    fn as_multiset(rows: &[Vec<Value>]) -> std::collections::HashMap<GroupKey, usize> {
+        let mut m = std::collections::HashMap::new();
+        for r in rows {
+            *m.entry(GroupKey(r.clone())).or_default() += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_fk_join() {
+        let left = rows(&[(Some(1), 10), (Some(2), 20), (Some(1), 11), (None, 99)]);
+        let right = rows(&[(Some(1), 100), (Some(2), 200), (Some(3), 300)]);
+        let outs = all_join_outputs(&left, &right, &condition());
+        assert_eq!(outs[0].len(), 3, "1 joins twice, 2 once, NULL never");
+        let m0 = as_multiset(&outs[0]);
+        assert_eq!(m0, as_multiset(&outs[1]));
+        assert_eq!(m0, as_multiset(&outs[2]));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let left = rows(&[(None, 1)]);
+        let right = rows(&[(None, 2)]);
+        for out in all_join_outputs(&left, &right, &condition()) {
+            assert!(out.is_empty(), "NULL = NULL is unknown, no match");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_produce_cross_products() {
+        let left = rows(&[(Some(1), 10), (Some(1), 11)]);
+        let right = rows(&[(Some(1), 100), (Some(1), 101), (Some(1), 102)]);
+        for out in all_join_outputs(&left, &right, &condition()) {
+            assert_eq!(out.len(), 6);
+        }
+    }
+
+    #[test]
+    fn residual_predicate_filters_pairs() {
+        // L.id = R.id AND L.x < R.y
+        let cond = condition().and(
+            Expr::col("L", "x").binary(gbj_expr::BinaryOp::Lt, Expr::col("R", "y")),
+        );
+        let left = rows(&[(Some(1), 10), (Some(1), 200)]);
+        let right = rows(&[(Some(1), 100)]);
+        for out in all_join_outputs(&left, &right, &cond) {
+            assert_eq!(out.len(), 1, "only x=10 < y=100 passes");
+            assert_eq!(out[0][1], Value::Int(10));
+        }
+    }
+
+    #[test]
+    fn split_equi_keys_both_orientations() {
+        let ls = lschema();
+        let rs = rschema();
+        let cond = Expr::col("R", "id").eq(Expr::col("L", "id"));
+        let (keys, residual) = split_equi_keys(&cond, &ls, &rs);
+        assert_eq!(keys, vec![EquiKey { left: 0, right: 0 }]);
+        assert!(residual.is_empty());
+    }
+
+    #[test]
+    fn split_equi_keys_keeps_non_equi_residual() {
+        let ls = lschema();
+        let rs = rschema();
+        let cond = condition().and(
+            Expr::col("L", "x").binary(gbj_expr::BinaryOp::Lt, Expr::col("R", "y")),
+        );
+        let (keys, residual) = split_equi_keys(&cond, &ls, &rs);
+        assert_eq!(keys.len(), 1);
+        assert_eq!(residual.len(), 1);
+        // A single-side equality is residual, not a key.
+        let cond = Expr::col("L", "id").eq(Expr::col("L", "x"));
+        let (keys, residual) = split_equi_keys(&cond, &ls, &rs);
+        assert!(keys.is_empty());
+        assert_eq!(residual.len(), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let left = rows(&[]);
+        let right = rows(&[(Some(1), 100)]);
+        for out in all_join_outputs(&left, &right, &condition()) {
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn composite_keys() {
+        let ls = Schema::new(vec![
+            Field::new("a", DataType::Int64, true).with_qualifier("L"),
+            Field::new("b", DataType::Int64, true).with_qualifier("L"),
+        ]);
+        let rs = Schema::new(vec![
+            Field::new("a", DataType::Int64, true).with_qualifier("R"),
+            Field::new("b", DataType::Int64, true).with_qualifier("R"),
+        ]);
+        let cond = Expr::col("L", "a")
+            .eq(Expr::col("R", "a"))
+            .and(Expr::col("L", "b").eq(Expr::col("R", "b")));
+        let (keys, residual) = split_equi_keys(&cond, &ls, &rs);
+        assert_eq!(keys.len(), 2);
+        assert!(residual.is_empty());
+        let left = vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(2)],
+        ];
+        let right = vec![vec![Value::Int(1), Value::Int(1)]];
+        let out = hash_join(&left, &right, &keys, &None).unwrap();
+        assert_eq!(out.len(), 1);
+        let out = sort_merge_join(&left, &right, &keys, &None).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

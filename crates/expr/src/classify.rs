@@ -1,0 +1,293 @@
+//! Predicate classification for the paper's framework.
+//!
+//! Section 3 writes the WHERE clause as `C1 ∧ C0 ∧ C2` where `C1`
+//! mentions only columns of `R1`, `C2` only columns of `R2`, and every
+//! conjunct of `C0` mentions both. [`classify_conjuncts`] performs that
+//! split given the qualifier sets of the two sides.
+//!
+//! Section 6.3 defines the two atom shapes `TestFD` exploits:
+//! *Type 1* — `column = constant` (host variables count as constants),
+//! *Type 2* — `column = column`. [`AtomClass::of`] recognises them.
+
+use std::collections::BTreeSet;
+
+use gbj_types::{ColumnRef, Value};
+
+use crate::expr::{BinaryOp, Expr};
+use crate::normalize::conjuncts;
+
+/// The result of splitting a WHERE clause into the paper's three parts.
+#[derive(Debug, Clone, Default)]
+pub struct PredicateParts {
+    /// Conjuncts over `R1` columns only (paper's `C1`).
+    pub c1: Vec<Expr>,
+    /// Conjuncts mentioning columns of both sides (paper's `C0`,
+    /// e.g. join predicates).
+    pub c0: Vec<Expr>,
+    /// Conjuncts over `R2` columns only (paper's `C2`).
+    pub c2: Vec<Expr>,
+    /// Conjuncts with no column references at all (constant folds);
+    /// kept separate so nothing is silently dropped.
+    pub constant: Vec<Expr>,
+}
+
+impl PredicateParts {
+    /// Rebuild `C1` as a single conjunction (`None` when empty).
+    #[must_use]
+    pub fn c1_expr(&self) -> Option<Expr> {
+        Expr::conjunction(self.c1.iter().cloned())
+    }
+
+    /// Rebuild `C0` as a single conjunction (`None` when empty).
+    #[must_use]
+    pub fn c0_expr(&self) -> Option<Expr> {
+        Expr::conjunction(self.c0.iter().cloned())
+    }
+
+    /// Rebuild `C2` as a single conjunction (`None` when empty).
+    #[must_use]
+    pub fn c2_expr(&self) -> Option<Expr> {
+        Expr::conjunction(self.c2.iter().cloned())
+    }
+
+    /// The columns of `C0` — the paper's `α(C0)`, from which
+    /// `GA1+ = GA1 ∪ (α(C0) − R2)` and `GA2+` are formed.
+    #[must_use]
+    pub fn c0_columns(&self) -> BTreeSet<ColumnRef> {
+        let mut out = BTreeSet::new();
+        for e in &self.c0 {
+            out.extend(e.columns());
+        }
+        out
+    }
+}
+
+/// Which side of the `R1 × R2` partition a qualifier belongs to.
+fn side(col: &ColumnRef, r1: &BTreeSet<String>, r2: &BTreeSet<String>) -> Option<Side> {
+    let t = col.table.as_deref()?;
+    let hit1 = r1.iter().any(|q| q.eq_ignore_ascii_case(t));
+    let hit2 = r2.iter().any(|q| q.eq_ignore_ascii_case(t));
+    match (hit1, hit2) {
+        (true, false) => Some(Side::R1),
+        (false, true) => Some(Side::R2),
+        _ => None,
+    }
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Side {
+    R1,
+    R2,
+}
+
+/// Split `predicate` into the paper's `C1 ∧ C0 ∧ C2` given the table
+/// qualifiers that make up each side.
+///
+/// Returns `None` when some conjunct references a column whose qualifier
+/// is in neither side (or is unqualified) — the caller then cannot apply
+/// the transformation safely.
+#[must_use]
+pub fn classify_conjuncts(
+    predicate: &Expr,
+    r1_tables: &BTreeSet<String>,
+    r2_tables: &BTreeSet<String>,
+) -> Option<PredicateParts> {
+    let mut parts = PredicateParts::default();
+    for conjunct in conjuncts(predicate) {
+        let cols = conjunct.columns();
+        let mut saw_r1 = false;
+        let mut saw_r2 = false;
+        for c in &cols {
+            match side(c, r1_tables, r2_tables)? {
+                Side::R1 => saw_r1 = true,
+                Side::R2 => saw_r2 = true,
+            }
+        }
+        match (saw_r1, saw_r2) {
+            (true, true) => parts.c0.push(conjunct),
+            (true, false) => parts.c1.push(conjunct),
+            (false, true) => parts.c2.push(conjunct),
+            (false, false) => parts.constant.push(conjunct),
+        }
+    }
+    Some(parts)
+}
+
+/// Classification of an atomic condition per Section 6.3.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtomClass {
+    /// Type 1: `column = constant` (constant may be a host variable).
+    ColumnEqConstant(ColumnRef, Value),
+    /// Type 2: `column = column`.
+    ColumnEqColumn(ColumnRef, ColumnRef),
+    /// Anything else (non-equality comparison, IS NULL, arithmetic
+    /// equality, …) — TestFD discards clauses containing these.
+    Other,
+}
+
+impl AtomClass {
+    /// Classify one atom. Both operand orders are recognised
+    /// (`c = 5` and `5 = c`).
+    #[must_use]
+    pub fn of(atom: &Expr) -> AtomClass {
+        let Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = atom
+        else {
+            return AtomClass::Other;
+        };
+        match (left.as_ref(), right.as_ref()) {
+            (Expr::Column(c), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(c)) => {
+                // `c = NULL` is never true; treat as Other so TestFD
+                // ignores it rather than inferring "c is constant".
+                if v.is_null() {
+                    AtomClass::Other
+                } else {
+                    AtomClass::ColumnEqConstant(c.clone(), v.clone())
+                }
+            }
+            (Expr::Column(a), Expr::Column(b)) => {
+                AtomClass::ColumnEqColumn(a.clone(), b.clone())
+            }
+            _ => AtomClass::Other,
+        }
+    }
+
+    /// Whether the atom is Type 1 or Type 2 (usable by TestFD).
+    #[must_use]
+    pub fn is_usable(&self) -> bool {
+        !matches!(self, AtomClass::Other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    /// Example 3's split: R1 = {A, P}, R2 = {U};
+    /// C0 = the U↔A equalities, C1 = A.PNo = P.PNo, C2 = U.Machine = 'dragon'.
+    #[test]
+    fn example3_partition() {
+        let pred = Expr::col("U", "UserId")
+            .eq(Expr::col("A", "UserId"))
+            .and(Expr::col("U", "Machine").eq(Expr::col("A", "Machine")))
+            .and(Expr::col("A", "PNo").eq(Expr::col("P", "PNo")))
+            .and(Expr::col("U", "Machine").eq(Expr::lit("dragon")));
+
+        let parts =
+            classify_conjuncts(&pred, &set(&["A", "P"]), &set(&["U"])).unwrap();
+        assert_eq!(parts.c0.len(), 2, "two join predicates cross the sides");
+        assert_eq!(parts.c1.len(), 1);
+        assert_eq!(parts.c1[0].to_string(), "(A.PNo = P.PNo)");
+        assert_eq!(parts.c2.len(), 1);
+        assert_eq!(parts.c2[0].to_string(), "(U.Machine = 'dragon')");
+        assert!(parts.constant.is_empty());
+
+        // α(C0) is the four columns in the crossing predicates.
+        let c0_cols = parts.c0_columns();
+        assert_eq!(c0_cols.len(), 4);
+        assert!(c0_cols.contains(&ColumnRef::qualified("A", "UserId")));
+        assert!(c0_cols.contains(&ColumnRef::qualified("U", "Machine")));
+    }
+
+    #[test]
+    fn unknown_qualifier_fails_classification() {
+        let pred = Expr::col("X", "a").eq(Expr::lit(1i64));
+        assert!(classify_conjuncts(&pred, &set(&["A"]), &set(&["B"])).is_none());
+    }
+
+    #[test]
+    fn unqualified_column_fails_classification() {
+        let pred = Expr::bare("a").eq(Expr::lit(1i64));
+        assert!(classify_conjuncts(&pred, &set(&["A"]), &set(&["B"])).is_none());
+    }
+
+    #[test]
+    fn qualifier_in_both_sides_fails() {
+        let pred = Expr::col("A", "a").eq(Expr::lit(1i64));
+        assert!(classify_conjuncts(&pred, &set(&["A"]), &set(&["A"])).is_none());
+    }
+
+    #[test]
+    fn constant_conjunct_is_kept_separately() {
+        let pred = Expr::lit(1i64)
+            .eq(Expr::lit(1i64))
+            .and(Expr::col("A", "x").eq(Expr::col("B", "y")));
+        let parts = classify_conjuncts(&pred, &set(&["A"]), &set(&["B"])).unwrap();
+        assert_eq!(parts.constant.len(), 1);
+        assert_eq!(parts.c0.len(), 1);
+    }
+
+    #[test]
+    fn rebuilt_expressions() {
+        let pred = Expr::col("A", "x")
+            .eq(Expr::lit(1i64))
+            .and(Expr::col("A", "y").eq(Expr::lit(2i64)));
+        let parts = classify_conjuncts(&pred, &set(&["A"]), &set(&["B"])).unwrap();
+        assert_eq!(
+            parts.c1_expr().unwrap().to_string(),
+            "((A.x = 1) AND (A.y = 2))"
+        );
+        assert!(parts.c0_expr().is_none());
+        assert!(parts.c2_expr().is_none());
+    }
+
+    #[test]
+    fn atom_type1_both_orders() {
+        let a = Expr::col("T", "c").eq(Expr::lit(5i64));
+        assert_eq!(
+            AtomClass::of(&a),
+            AtomClass::ColumnEqConstant(ColumnRef::qualified("T", "c"), Value::Int(5))
+        );
+        let b = Expr::lit(5i64).eq(Expr::col("T", "c"));
+        assert_eq!(
+            AtomClass::of(&b),
+            AtomClass::ColumnEqConstant(ColumnRef::qualified("T", "c"), Value::Int(5))
+        );
+    }
+
+    #[test]
+    fn atom_type2() {
+        let a = Expr::col("A", "x").eq(Expr::col("B", "y"));
+        assert_eq!(
+            AtomClass::of(&a),
+            AtomClass::ColumnEqColumn(
+                ColumnRef::qualified("A", "x"),
+                ColumnRef::qualified("B", "y")
+            )
+        );
+        assert!(AtomClass::of(&a).is_usable());
+    }
+
+    #[test]
+    fn atom_other_shapes() {
+        // Non-equality comparison.
+        assert_eq!(
+            AtomClass::of(&Expr::col("T", "c").binary(BinaryOp::Lt, Expr::lit(5i64))),
+            AtomClass::Other
+        );
+        // Arithmetic inside equality.
+        let e = Expr::col("T", "c")
+            .binary(BinaryOp::Add, Expr::lit(1i64))
+            .eq(Expr::lit(5i64));
+        assert_eq!(AtomClass::of(&e), AtomClass::Other);
+        // Equality with NULL literal is useless (never true).
+        assert_eq!(
+            AtomClass::of(&Expr::col("T", "c").eq(Expr::lit(Value::Null))),
+            AtomClass::Other
+        );
+        // IS NULL.
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::col("T", "c")),
+            negated: false,
+        };
+        assert_eq!(AtomClass::of(&e), AtomClass::Other);
+        assert!(!AtomClass::of(&e).is_usable());
+    }
+}

@@ -1,0 +1,375 @@
+//! Predicate normal forms: NNF, CNF and DNF.
+//!
+//! The `TestFD` algorithm (paper Section 6.3) needs the WHERE clause and
+//! constraint conjunction in *conjunctive* normal form (step 1), and —
+//! after non-equality conjuncts are dropped — in *disjunctive* normal
+//! form (step 3). De Morgan's laws and distributivity hold in SQL2's
+//! three-valued logic (verified by exhaustive tests in `gbj-types`), so
+//! the classical rewriting is semantics-preserving here too.
+
+use gbj_types::{Error, Result};
+
+use crate::expr::{BinaryOp, Expr};
+
+/// Upper bound on the number of clauses a normal-form conversion may
+/// produce before we give up. Distribution is worst-case exponential;
+/// TestFD simply answers NO (conservatively) when a predicate is too
+/// irregular to normalise, so a modest cap is safe.
+pub const MAX_CLAUSES: usize = 4096;
+
+/// Split an expression into its top-level conjuncts (`AND` operands).
+#[must_use]
+pub fn conjuncts(expr: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    collect(expr, BinaryOp::And, &mut out);
+    out
+}
+
+/// Split an expression into its top-level disjuncts (`OR` operands).
+#[must_use]
+pub fn disjuncts(expr: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    collect(expr, BinaryOp::Or, &mut out);
+    out
+}
+
+fn collect(expr: &Expr, op: BinaryOp, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Binary {
+            left,
+            op: eop,
+            right,
+        } if *eop == op => {
+            collect(left, op, out);
+            collect(right, op, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Push `NOT` down to the atoms (negation normal form).
+///
+/// `NOT` over comparisons is folded into the complementary comparison
+/// operator — valid in three-valued logic because both sides are
+/// `unknown` exactly when an operand is NULL.
+#[must_use]
+pub fn to_nnf(expr: &Expr) -> Expr {
+    nnf(expr, false)
+}
+
+fn nnf(expr: &Expr, negate: bool) -> Expr {
+    match expr {
+        Expr::Not(inner) => nnf(inner, !negate),
+        Expr::Binary { left, op, right } if op.is_logical() => {
+            let new_op = match (op, negate) {
+                (BinaryOp::And, false) | (BinaryOp::Or, true) => BinaryOp::And,
+                _ => BinaryOp::Or,
+            };
+            Expr::Binary {
+                left: Box::new(nnf(left, negate)),
+                op: new_op,
+                right: Box::new(nnf(right, negate)),
+            }
+        }
+        Expr::Binary { left, op, right } if op.is_comparison() && negate => Expr::Binary {
+            left: left.clone(),
+            op: complement(*op),
+            right: right.clone(),
+        },
+        Expr::IsNull { expr: inner, negated } if negate => Expr::IsNull {
+            expr: inner.clone(),
+            negated: !negated,
+        },
+        other => {
+            if negate {
+                Expr::Not(Box::new(other.clone()))
+            } else {
+                other.clone()
+            }
+        }
+    }
+}
+
+fn complement(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Eq => BinaryOp::NotEq,
+        BinaryOp::NotEq => BinaryOp::Eq,
+        BinaryOp::Lt => BinaryOp::GtEq,
+        BinaryOp::GtEq => BinaryOp::Lt,
+        BinaryOp::Gt => BinaryOp::LtEq,
+        BinaryOp::LtEq => BinaryOp::Gt,
+        other => other,
+    }
+}
+
+/// Convert to conjunctive normal form: a list of clauses, each clause a
+/// list of atoms understood as a disjunction. Errors if the result would
+/// exceed [`MAX_CLAUSES`].
+pub fn to_cnf(expr: &Expr) -> Result<Vec<Vec<Expr>>> {
+    let nnf = to_nnf(expr);
+    cnf(&nnf)
+}
+
+fn cnf(expr: &Expr) -> Result<Vec<Vec<Expr>>> {
+    match expr {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            let mut l = cnf(left)?;
+            let r = cnf(right)?;
+            l.extend(r);
+            check_size(l.len())?;
+            Ok(l)
+        }
+        Expr::Binary {
+            left,
+            op: BinaryOp::Or,
+            right,
+        } => {
+            // (A1∧…∧Am) ∨ (B1∧…∧Bn)  →  ∧_{i,j} (Ai ∨ Bj)
+            let l = cnf(left)?;
+            let r = cnf(right)?;
+            check_size(l.len().saturating_mul(r.len()))?;
+            let mut out = Vec::with_capacity(l.len() * r.len());
+            for lc in &l {
+                for rc in &r {
+                    let mut clause = lc.clone();
+                    clause.extend(rc.iter().cloned());
+                    out.push(clause);
+                }
+            }
+            Ok(out)
+        }
+        atom => Ok(vec![vec![atom.clone()]]),
+    }
+}
+
+/// Convert to disjunctive normal form: a list of disjuncts, each a list
+/// of atoms understood as a conjunction. Errors if the result would
+/// exceed [`MAX_CLAUSES`].
+pub fn to_dnf(expr: &Expr) -> Result<Vec<Vec<Expr>>> {
+    let nnf = to_nnf(expr);
+    dnf(&nnf)
+}
+
+fn dnf(expr: &Expr) -> Result<Vec<Vec<Expr>>> {
+    match expr {
+        Expr::Binary {
+            left,
+            op: BinaryOp::Or,
+            right,
+        } => {
+            let mut l = dnf(left)?;
+            let r = dnf(right)?;
+            l.extend(r);
+            check_size(l.len())?;
+            Ok(l)
+        }
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            let l = dnf(left)?;
+            let r = dnf(right)?;
+            check_size(l.len().saturating_mul(r.len()))?;
+            let mut out = Vec::with_capacity(l.len() * r.len());
+            for ld in &l {
+                for rd in &r {
+                    let mut term = ld.clone();
+                    term.extend(rd.iter().cloned());
+                    out.push(term);
+                }
+            }
+            Ok(out)
+        }
+        atom => Ok(vec![vec![atom.clone()]]),
+    }
+}
+
+fn check_size(n: usize) -> Result<()> {
+    if n > MAX_CLAUSES {
+        Err(Error::Plan(format!(
+            "normal-form conversion exceeded {MAX_CLAUSES} clauses"
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// Rebuild an expression from CNF clause lists (for display/round trips).
+#[must_use]
+pub fn from_cnf(clauses: &[Vec<Expr>]) -> Option<Expr> {
+    Expr::conjunction(
+        clauses
+            .iter()
+            .filter_map(|c| c.iter().cloned().reduce(Expr::or)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_types::{DataType, Field, Schema, Truth, Value};
+
+    fn a() -> Expr {
+        Expr::bare("a").eq(Expr::lit(1i64))
+    }
+    fn b() -> Expr {
+        Expr::bare("b").eq(Expr::lit(2i64))
+    }
+    fn c() -> Expr {
+        Expr::bare("c").eq(Expr::lit(3i64))
+    }
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let e = a().and(b()).and(c());
+        let cs = conjuncts(&e);
+        assert_eq!(cs, vec![a(), b(), c()]);
+        // A single atom is its own conjunct list.
+        assert_eq!(conjuncts(&a()), vec![a()]);
+    }
+
+    #[test]
+    fn disjuncts_flatten_nested_ors() {
+        let e = a().or(b()).or(c());
+        assert_eq!(disjuncts(&e), vec![a(), b(), c()]);
+    }
+
+    #[test]
+    fn nnf_pushes_not_through_de_morgan() {
+        let e = Expr::Not(Box::new(a().and(b())));
+        let n = to_nnf(&e);
+        // NOT(a=1 AND b=2) → a<>1 OR b<>2
+        let expected = Expr::bare("a")
+            .binary(BinaryOp::NotEq, Expr::lit(1i64))
+            .or(Expr::bare("b").binary(BinaryOp::NotEq, Expr::lit(2i64)));
+        assert_eq!(n, expected);
+    }
+
+    #[test]
+    fn nnf_double_negation() {
+        let e = Expr::Not(Box::new(Expr::Not(Box::new(a()))));
+        assert_eq!(to_nnf(&e), a());
+    }
+
+    #[test]
+    fn nnf_complements_comparisons_and_isnull() {
+        let lt = Expr::bare("a").binary(BinaryOp::Lt, Expr::lit(5i64));
+        let n = to_nnf(&Expr::Not(Box::new(lt)));
+        assert_eq!(
+            n,
+            Expr::bare("a").binary(BinaryOp::GtEq, Expr::lit(5i64))
+        );
+        let isnull = Expr::IsNull {
+            expr: Box::new(Expr::bare("a")),
+            negated: false,
+        };
+        let n = to_nnf(&Expr::Not(Box::new(isnull)));
+        assert_eq!(
+            n,
+            Expr::IsNull {
+                expr: Box::new(Expr::bare("a")),
+                negated: true
+            }
+        );
+    }
+
+    #[test]
+    fn cnf_distributes_or_over_and() {
+        // a ∨ (b ∧ c) → (a ∨ b) ∧ (a ∨ c)
+        let e = a().or(b().and(c()));
+        let clauses = to_cnf(&e).unwrap();
+        assert_eq!(clauses, vec![vec![a(), b()], vec![a(), c()]]);
+    }
+
+    #[test]
+    fn dnf_distributes_and_over_or() {
+        // a ∧ (b ∨ c) → (a ∧ b) ∨ (a ∧ c)
+        let e = a().and(b().or(c()));
+        let terms = to_dnf(&e).unwrap();
+        assert_eq!(terms, vec![vec![a(), b()], vec![a(), c()]]);
+    }
+
+    #[test]
+    fn already_normal_forms_pass_through() {
+        let e = a().and(b());
+        assert_eq!(to_cnf(&e).unwrap(), vec![vec![a()], vec![b()]]);
+        assert_eq!(to_dnf(&e).unwrap(), vec![vec![a(), b()]]);
+    }
+
+    #[test]
+    fn explosion_is_capped() {
+        // Build (a1∧b1) ∨ (a2∧b2) ∨ … — CNF of this grows exponentially.
+        let mut e = Expr::bare("x0").eq(Expr::lit(0i64)).and(Expr::bare("y0").eq(Expr::lit(0i64)));
+        for i in 1..16 {
+            let t = Expr::bare(format!("x{i}"))
+                .eq(Expr::lit(i as i64))
+                .and(Expr::bare(format!("y{i}")).eq(Expr::lit(i as i64)));
+            e = e.or(t);
+        }
+        assert!(to_cnf(&e).is_err());
+    }
+
+    #[test]
+    fn from_cnf_round_trip_semantics() {
+        let s = Schema::new(vec![
+            Field::new("a", DataType::Int64, true),
+            Field::new("b", DataType::Int64, true),
+            Field::new("c", DataType::Int64, true),
+        ]);
+        let e = a().or(b().and(c()));
+        let back = from_cnf(&to_cnf(&e).unwrap()).unwrap();
+        // Semantically equal on a grid of rows (including NULLs).
+        let vals = [Value::Null, Value::Int(1), Value::Int(2), Value::Int(3)];
+        for va in &vals {
+            for vb in &vals {
+                for vc in &vals {
+                    let row = vec![va.clone(), vb.clone(), vc.clone()];
+                    assert_eq!(
+                        e.eval_truth(&row, &s).unwrap(),
+                        back.eval_truth(&row, &s).unwrap(),
+                        "row {row:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// NNF preserves three-valued semantics on NULL-bearing rows.
+    #[test]
+    fn nnf_semantics_preserved_with_nulls() {
+        let s = Schema::new(vec![
+            Field::new("a", DataType::Int64, true),
+            Field::new("b", DataType::Int64, true),
+        ]);
+        let exprs = [
+            Expr::Not(Box::new(a().and(b()))),
+            Expr::Not(Box::new(a().or(b()))),
+            Expr::Not(Box::new(Expr::bare("a").binary(BinaryOp::Lt, Expr::bare("b")))),
+            Expr::Not(Box::new(Expr::Not(Box::new(a())))),
+        ];
+        let vals = [Value::Null, Value::Int(1), Value::Int(2)];
+        for e in &exprs {
+            let n = to_nnf(e);
+            for va in &vals {
+                for vb in &vals {
+                    let row = vec![va.clone(), vb.clone()];
+                    assert_eq!(
+                        e.eval_truth(&row, &s).unwrap(),
+                        n.eval_truth(&row, &s).unwrap(),
+                        "expr {e} vs nnf {n} on {row:?}"
+                    );
+                }
+            }
+        }
+        // Spot-check a genuinely unknown case survives conversion.
+        let e = Expr::Not(Box::new(a().and(b())));
+        let n = to_nnf(&e);
+        let row = vec![Value::Null, Value::Int(2)];
+        assert_eq!(n.eval_truth(&row, &s).unwrap(), Truth::Unknown);
+    }
+}

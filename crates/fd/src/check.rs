@@ -1,0 +1,109 @@
+//! Brute-force verification of a functional dependency on concrete data.
+//!
+//! Definition 2 of the paper, executably: `A → B` holds in an instance
+//! when every pair of rows that agree on `A` under `=ⁿ` also agree on
+//! `B` under `=ⁿ`. Used by the property-based tests that validate the
+//! Main Theorem against random instances, and available to users who
+//! want to audit a `TestFD` answer on real data.
+
+use std::collections::HashMap;
+
+use gbj_types::{GroupKey, Value};
+
+/// Check whether the dependency `lhs → rhs` (given as column ordinals)
+/// holds in `rows` under SQL2's `=ⁿ` duplicate semantics.
+///
+/// Runs in `O(n)` expected time by bucketing rows on their `lhs` key.
+#[must_use]
+pub fn fd_holds_in<'a>(
+    rows: impl IntoIterator<Item = &'a [Value]>,
+    lhs: &[usize],
+    rhs: &[usize],
+) -> bool {
+    let mut witness: HashMap<GroupKey, Vec<Value>> = HashMap::new();
+    for row in rows {
+        let key = GroupKey(lhs.iter().map(|&i| row[i].clone()).collect());
+        let rhs_vals: Vec<Value> = rhs.iter().map(|&i| row[i].clone()).collect();
+        match witness.get(&key) {
+            None => {
+                witness.insert(key, rhs_vals);
+            }
+            Some(existing) => {
+                let agrees = existing
+                    .iter()
+                    .zip(&rhs_vals)
+                    .all(|(a, b)| a.null_eq(b));
+                if !agrees {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(data: &[&[i64]]) -> Vec<Vec<Value>> {
+        data.iter()
+            .map(|r| r.iter().map(|&v| Value::Int(v)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn holds_on_functional_data() {
+        let data = rows(&[&[1, 10], &[2, 20], &[1, 10]]);
+        assert!(fd_holds_in(data.iter().map(Vec::as_slice), &[0], &[1]));
+    }
+
+    #[test]
+    fn fails_on_conflicting_rows() {
+        let data = rows(&[&[1, 10], &[1, 11]]);
+        assert!(!fd_holds_in(data.iter().map(Vec::as_slice), &[0], &[1]));
+    }
+
+    #[test]
+    fn null_lhs_values_group_together() {
+        // Two rows with NULL key and different rhs: under "NULL =ⁿ NULL"
+        // they are the same group, so the FD fails.
+        let data = [vec![Value::Null, Value::Int(1)],
+            vec![Value::Null, Value::Int(2)]];
+        assert!(!fd_holds_in(data.iter().map(Vec::as_slice), &[0], &[1]));
+        // …but matching NULL rhs values agree.
+        let data = [vec![Value::Null, Value::Null],
+            vec![Value::Null, Value::Null]];
+        assert!(fd_holds_in(data.iter().map(Vec::as_slice), &[0], &[1]));
+    }
+
+    #[test]
+    fn empty_and_singleton_instances_always_satisfy() {
+        let empty: Vec<Vec<Value>> = vec![];
+        assert!(fd_holds_in(empty.iter().map(Vec::as_slice), &[0], &[1]));
+        let one = rows(&[&[1, 2]]);
+        assert!(fd_holds_in(one.iter().map(Vec::as_slice), &[0], &[1]));
+    }
+
+    #[test]
+    fn composite_lhs() {
+        let data = rows(&[&[1, 1, 5], &[1, 2, 6], &[1, 1, 5]]);
+        assert!(fd_holds_in(data.iter().map(Vec::as_slice), &[0, 1], &[2]));
+        // A alone does not determine C.
+        assert!(!fd_holds_in(data.iter().map(Vec::as_slice), &[0], &[2]));
+    }
+
+    #[test]
+    fn empty_lhs_means_rhs_constant_everywhere() {
+        let constant = rows(&[&[1, 7], &[2, 7]]);
+        assert!(fd_holds_in(constant.iter().map(Vec::as_slice), &[], &[1]));
+        let varying = rows(&[&[1, 7], &[2, 8]]);
+        assert!(!fd_holds_in(varying.iter().map(Vec::as_slice), &[], &[1]));
+    }
+
+    #[test]
+    fn empty_rhs_trivially_holds() {
+        let data = rows(&[&[1, 7], &[1, 8]]);
+        assert!(fd_holds_in(data.iter().map(Vec::as_slice), &[0], &[]));
+    }
+}

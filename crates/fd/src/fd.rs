@@ -1,0 +1,332 @@
+//! Functional-dependency sets and attribute closures.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use gbj_types::ColumnRef;
+
+/// A functional dependency `lhs → rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fd {
+    /// Determinant columns.
+    pub lhs: BTreeSet<ColumnRef>,
+    /// Determined columns.
+    pub rhs: BTreeSet<ColumnRef>,
+    /// Human-readable provenance ("key of Supplier", "A.PNo = P.PNo",
+    /// …) surfaced in closure traces.
+    pub reason: String,
+}
+
+impl Fd {
+    /// Build a dependency.
+    pub fn new(
+        lhs: impl IntoIterator<Item = ColumnRef>,
+        rhs: impl IntoIterator<Item = ColumnRef>,
+        reason: impl Into<String>,
+    ) -> Fd {
+        Fd {
+            lhs: lhs.into_iter().collect(),
+            rhs: rhs.into_iter().collect(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_set = |s: &BTreeSet<ColumnRef>| {
+            s.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        write!(f, "({}) -> ({})", fmt_set(&self.lhs), fmt_set(&self.rhs))
+    }
+}
+
+/// One step of a closure computation: which columns were added and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosureStep {
+    /// Columns added by this step.
+    pub added: BTreeSet<ColumnRef>,
+    /// The provenance of the rule that fired.
+    pub reason: String,
+}
+
+/// A full closure trace: the seed set plus every productive step, in
+/// firing order. Reproduces the paper's Figure 7 walk-through.
+#[derive(Debug, Clone, Default)]
+pub struct ClosureTrace {
+    /// The starting attribute set.
+    pub seed: BTreeSet<ColumnRef>,
+    /// Steps that added at least one column.
+    pub steps: Vec<ClosureStep>,
+    /// The final closed set.
+    pub result: BTreeSet<ColumnRef>,
+}
+
+impl fmt::Display for ClosureTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_set = |s: &BTreeSet<ColumnRef>| {
+            s.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        writeln!(f, "seed: {{{}}}", fmt_set(&self.seed))?;
+        for step in &self.steps {
+            writeln!(f, "  + {{{}}} via {}", fmt_set(&step.added), step.reason)?;
+        }
+        write!(f, "closure: {{{}}}", fmt_set(&self.result))
+    }
+}
+
+/// A collection of functional dependencies plus constant columns, with
+/// closure computation.
+///
+/// The paper's Figure 7, executably:
+///
+/// ```
+/// use gbj_fd::{Fd, FdSet};
+/// use gbj_types::ColumnRef;
+///
+/// let col = |n: &str| ColumnRef::qualified("T", n);
+/// let mut fds = FdSet::new();
+/// fds.add_constant(col("A1"), "A1 = 25");
+/// fds.add(Fd::new([col("A1")], [col("A3")], "A1 -> A3"));
+/// fds.add_equality(col("A3"), col("A4"), "A3 = A4");
+///
+/// // Conclusion: A2 -> A4.
+/// assert!(fds.implies(
+///     &[col("A2")].into_iter().collect(),
+///     &[col("A4")].into_iter().collect(),
+/// ));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FdSet {
+    fds: Vec<Fd>,
+    /// Columns pinned to a constant by a Type-1 atom; every attribute
+    /// set functionally determines these.
+    constants: Vec<(ColumnRef, String)>,
+}
+
+impl FdSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> FdSet {
+        FdSet::default()
+    }
+
+    /// Add a dependency.
+    pub fn add(&mut self, fd: Fd) {
+        self.fds.push(fd);
+    }
+
+    /// Record that `col` is constant (with a provenance string).
+    pub fn add_constant(&mut self, col: ColumnRef, reason: impl Into<String>) {
+        self.constants.push((col, reason.into()));
+    }
+
+    /// Add a bidirectional equality `a = b` (two dependencies).
+    pub fn add_equality(&mut self, a: ColumnRef, b: ColumnRef, reason: impl Into<String>) {
+        let reason = reason.into();
+        self.fds.push(Fd::new(
+            [a.clone()],
+            [b.clone()],
+            reason.clone(),
+        ));
+        self.fds.push(Fd::new([b], [a], reason));
+    }
+
+    /// The registered dependencies.
+    #[must_use]
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// The registered constant columns.
+    pub fn constants(&self) -> impl Iterator<Item = &ColumnRef> {
+        self.constants.iter().map(|(c, _)| c)
+    }
+
+    /// Compute the attribute closure of `seed` with a trace.
+    ///
+    /// This is Step 4(c)/(g) of the TestFD algorithm: repeatedly add the
+    /// right-hand side of any dependency whose left-hand side is
+    /// contained in the set, until a fixpoint. Constants are added
+    /// up-front (any set determines a constant).
+    #[must_use]
+    pub fn closure_traced(&self, seed: &BTreeSet<ColumnRef>) -> ClosureTrace {
+        let mut trace = ClosureTrace {
+            seed: seed.clone(),
+            ..ClosureTrace::default()
+        };
+        let mut set = seed.clone();
+        for (c, reason) in &self.constants {
+            if set.insert(c.clone()) {
+                trace.steps.push(ClosureStep {
+                    added: [c.clone()].into_iter().collect(),
+                    reason: format!("constant: {reason}"),
+                });
+            }
+        }
+        loop {
+            let mut changed = false;
+            for fd in &self.fds {
+                if fd.lhs.is_subset(&set) {
+                    let added: BTreeSet<ColumnRef> =
+                        fd.rhs.difference(&set).cloned().collect();
+                    if !added.is_empty() {
+                        set.extend(added.iter().cloned());
+                        trace.steps.push(ClosureStep {
+                            added,
+                            reason: fd.reason.clone(),
+                        });
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        trace.result = set;
+        trace
+    }
+
+    /// The attribute closure of `seed` (no trace).
+    #[must_use]
+    pub fn closure(&self, seed: &BTreeSet<ColumnRef>) -> BTreeSet<ColumnRef> {
+        self.closure_traced(seed).result
+    }
+
+    /// Whether `lhs → rhs` is implied by the set.
+    #[must_use]
+    pub fn implies(
+        &self,
+        lhs: &BTreeSet<ColumnRef>,
+        rhs: &BTreeSet<ColumnRef>,
+    ) -> bool {
+        let closure = self.closure(lhs);
+        rhs.is_subset(&closure)
+    }
+}
+
+impl fmt::Display for FdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (c, reason) in &self.constants {
+            writeln!(f, "{c} = const ({reason})")?;
+        }
+        for fd in &self.fds {
+            writeln!(f, "{fd} ({})", fd.reason)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(name: &str) -> ColumnRef {
+        ColumnRef::qualified("T", name)
+    }
+
+    fn set(names: &[&str]) -> BTreeSet<ColumnRef> {
+        names.iter().map(|n| col(n)).collect()
+    }
+
+    /// The paper's Figure 7: from {A1 = 25, A1 → A3, A3 = A4} conclude
+    /// A2 → A4.
+    #[test]
+    fn figure7_closure() {
+        let mut fds = FdSet::new();
+        fds.add_constant(col("A1"), "a: A1 = 25");
+        fds.add(Fd::new([col("A1")], [col("A3")], "b: A1 -> A3"));
+        fds.add_equality(col("A3"), col("A4"), "c: A3 = A4");
+
+        // closure({A2}) must contain A4.
+        let closure = fds.closure(&set(&["A2"]));
+        assert!(closure.contains(&col("A4")), "A2 -> A4 must be derived");
+        assert!(fds.implies(&set(&["A2"]), &set(&["A4"])));
+        // And in fact A2 determines everything here.
+        assert_eq!(closure, set(&["A1", "A2", "A3", "A4"]));
+    }
+
+    #[test]
+    fn figure7_trace_records_reasons() {
+        let mut fds = FdSet::new();
+        fds.add_constant(col("A1"), "a: A1 = 25");
+        fds.add(Fd::new([col("A1")], [col("A3")], "b: A1 -> A3"));
+        fds.add_equality(col("A3"), col("A4"), "c: A3 = A4");
+        let trace = fds.closure_traced(&set(&["A2"]));
+        assert_eq!(trace.seed, set(&["A2"]));
+        assert_eq!(trace.result, set(&["A1", "A2", "A3", "A4"]));
+        let reasons: Vec<&str> = trace.steps.iter().map(|s| s.reason.as_str()).collect();
+        assert!(reasons[0].starts_with("constant"));
+        assert!(reasons.iter().any(|r| r.contains("A1 -> A3")));
+        assert!(reasons.iter().any(|r| r.contains("A3 = A4")));
+        // Display renders without panicking and mentions the seed.
+        let text = trace.to_string();
+        assert!(text.contains("seed"));
+        assert!(text.contains("closure"));
+    }
+
+    #[test]
+    fn closure_without_applicable_fds_is_seed_plus_constants() {
+        let mut fds = FdSet::new();
+        fds.add_constant(col("K"), "k = 1");
+        fds.add(Fd::new([col("X")], [col("Y")], "X -> Y"));
+        let closure = fds.closure(&set(&["Z"]));
+        assert_eq!(closure, set(&["Z", "K"]));
+    }
+
+    #[test]
+    fn multi_column_lhs_requires_full_subset() {
+        let mut fds = FdSet::new();
+        fds.add(Fd::new(
+            [col("A"), col("B")],
+            [col("C")],
+            "(A,B) -> C",
+        ));
+        assert!(!fds.implies(&set(&["A"]), &set(&["C"])));
+        assert!(fds.implies(&set(&["A", "B"]), &set(&["C"])));
+    }
+
+    #[test]
+    fn transitive_chain() {
+        let mut fds = FdSet::new();
+        fds.add(Fd::new([col("A")], [col("B")], "A->B"));
+        fds.add(Fd::new([col("B")], [col("C")], "B->C"));
+        fds.add(Fd::new([col("C")], [col("D")], "C->D"));
+        assert!(fds.implies(&set(&["A"]), &set(&["D"])));
+        assert!(!fds.implies(&set(&["D"]), &set(&["A"])));
+    }
+
+    #[test]
+    fn reflexivity_is_implicit() {
+        let fds = FdSet::new();
+        assert!(fds.implies(&set(&["A", "B"]), &set(&["A"])));
+        assert!(fds.implies(&set(&["A"]), &set(&[])));
+    }
+
+    #[test]
+    fn equality_is_bidirectional() {
+        let mut fds = FdSet::new();
+        fds.add_equality(col("X"), col("Y"), "X = Y");
+        assert!(fds.implies(&set(&["X"]), &set(&["Y"])));
+        assert!(fds.implies(&set(&["Y"]), &set(&["X"])));
+    }
+
+    #[test]
+    fn display_formats() {
+        let fd = Fd::new([col("A")], [col("B"), col("C")], "test");
+        assert_eq!(fd.to_string(), "(T.A) -> (T.B, T.C)");
+        let mut fds = FdSet::new();
+        fds.add_constant(col("K"), "K = 5");
+        fds.add(fd);
+        let s = fds.to_string();
+        assert!(s.contains("T.K = const"));
+        assert!(s.contains("(T.A) -> (T.B, T.C)"));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # gbj-fd
+//!
+//! Functional dependencies under SQL2 semantics (paper Section 4.3) and
+//! the closure computation that powers `TestFD` (Section 6.3).
+//!
+//! A functional dependency `A → B` holds in a table instance when any
+//! two rows that agree on `A` under the null-tolerant equality `=ⁿ`
+//! also agree on `B` under `=ⁿ` (Definition 2). Three sources of
+//! dependencies matter to the paper:
+//!
+//! * **key dependencies** — a declared PRIMARY KEY / UNIQUE key
+//!   functionally determines every column of its table (and the
+//!   implicit RowID);
+//! * **constant columns** — a Type-1 atom `c = 25` in the WHERE clause
+//!   makes `c` constant in the result, so *every* column set determines
+//!   `c` (illustrated by the paper's Figure 7);
+//! * **column equalities** — a Type-2 atom `a = b` makes `a` and `b`
+//!   determine one another.
+//!
+//! [`FdSet`] stores these and computes attribute-set closures with an
+//! optional step-by-step [`ClosureTrace`] used to reproduce Figure 7 and
+//! the TestFD trace of Example 3. [`mod@derive`] builds an [`FdSet`] from a
+//! catalog context plus predicate atoms, and [`check`] verifies a
+//! dependency against concrete data (used by the property tests that
+//! validate the Main Theorem).
+
+pub mod check;
+pub mod derive;
+pub mod fd;
+
+pub use check::fd_holds_in;
+pub use derive::{row_id_col, FdContext};
+pub use fd::{ClosureStep, ClosureTrace, Fd, FdSet};

@@ -1,0 +1,375 @@
+//! Connectivity-based join ordering.
+//!
+//! The lowered plan joins FROM-clause relations in textual order, so
+//! `FROM P, U, A WHERE U.x = A.x AND A.y = P.y` would build the
+//! Cartesian product `P × U` before any predicate applies. This rule
+//! flattens a `Filter`-over-join-tree region into (leaves, conjuncts)
+//! and rebuilds a left-deep tree greedily: always join next a relation
+//! *connected* to the current prefix by some conjunct, falling back to
+//! a cross product only when the query graph is genuinely disconnected.
+//!
+//! The paper's Section 7 notes the transformation "restricts the choice
+//! of join orders" (all of `R1` must join before the grouping); this
+//! rule is the complementary freedom — ordering the remaining joins —
+//! and applies identically to the lazy and eager shapes.
+
+use gbj_expr::{conjuncts, Expr};
+use gbj_plan::LogicalPlan;
+use gbj_types::{Result, Schema};
+
+use crate::optimizer::OptimizerRule;
+
+/// The join-ordering rule. Run it before [`crate::PredicatePushdown`];
+/// pushdown then routes the remaining single-sided conjuncts.
+pub struct JoinOrdering;
+
+impl OptimizerRule for JoinOrdering {
+    fn name(&self) -> &'static str {
+        "join_ordering"
+    }
+
+    fn apply(&self, plan: &LogicalPlan) -> Result<Option<LogicalPlan>> {
+        let out = rewrite(plan)?;
+        Ok((out != *plan).then_some(out))
+    }
+}
+
+fn rewrite(plan: &LogicalPlan) -> Result<LogicalPlan> {
+    // A join region: a maximal subtree of Filter/Join/CrossJoin nodes.
+    if is_region_root(plan) {
+        let mut leaves = Vec::new();
+        let mut preds = Vec::new();
+        flatten(plan, &mut leaves, &mut preds)?;
+        if leaves.len() >= 2 {
+            // Recurse into the leaves first (they may contain nested
+            // regions below aggregates/aliases).
+            let leaves = leaves
+                .iter()
+                .map(rewrite_children)
+                .collect::<Result<Vec<_>>>()?;
+            return rebuild_region(leaves, preds);
+        }
+    }
+    rewrite_children(plan)
+}
+
+/// Rewrite a node's children (descending through non-region nodes).
+fn rewrite_children(plan: &LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Scan { .. } => plan.clone(),
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(rewrite(input)?),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            distinct,
+        } => LogicalPlan::Project {
+            input: Box::new(rewrite(input)?),
+            exprs: exprs.clone(),
+            distinct: *distinct,
+        },
+        LogicalPlan::CrossJoin { left, right } => LogicalPlan::CrossJoin {
+            left: Box::new(rewrite(left)?),
+            right: Box::new(rewrite(right)?),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            condition,
+        } => LogicalPlan::Join {
+            left: Box::new(rewrite(left)?),
+            right: Box::new(rewrite(right)?),
+            condition: condition.clone(),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(rewrite(input)?),
+            group_by: group_by.clone(),
+            aggregates: aggregates.clone(),
+        },
+        LogicalPlan::SubqueryAlias { input, alias } => LogicalPlan::SubqueryAlias {
+            input: Box::new(rewrite(input)?),
+            alias: alias.clone(),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(rewrite(input)?),
+            keys: keys.clone(),
+        },
+    })
+}
+
+/// A region root is a Filter above a join, or a join itself whose
+/// parent is not part of the region (callers only test at that point).
+fn is_region_root(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Filter { input, .. } => matches!(
+            input.as_ref(),
+            LogicalPlan::CrossJoin { .. } | LogicalPlan::Join { .. }
+        ),
+        LogicalPlan::CrossJoin { .. } | LogicalPlan::Join { .. } => true,
+        _ => false,
+    }
+}
+
+/// Collect the leaves and conjuncts of a join region.
+fn flatten(
+    plan: &LogicalPlan,
+    leaves: &mut Vec<LogicalPlan>,
+    preds: &mut Vec<Expr>,
+) -> Result<()> {
+    match plan {
+        LogicalPlan::Filter { input, predicate }
+            if matches!(
+                input.as_ref(),
+                LogicalPlan::CrossJoin { .. } | LogicalPlan::Join { .. }
+            ) =>
+        {
+            preds.extend(conjuncts(predicate));
+            flatten(input, leaves, preds)
+        }
+        LogicalPlan::CrossJoin { left, right } => {
+            flatten(left, leaves, preds)?;
+            flatten(right, leaves, preds)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            condition,
+        } => {
+            preds.extend(conjuncts(condition));
+            flatten(left, leaves, preds)?;
+            flatten(right, leaves, preds)
+        }
+        other => {
+            leaves.push(other.clone());
+            Ok(())
+        }
+    }
+}
+
+fn refers_only_to(e: &Expr, schema: &Schema) -> bool {
+    let cols = e.columns();
+    !cols.is_empty() && cols.iter().all(|c| schema.contains(c))
+}
+
+/// Rebuild the region as a left-deep tree, joining connected relations
+/// first.
+fn rebuild_region(leaves: Vec<LogicalPlan>, preds: Vec<Expr>) -> Result<LogicalPlan> {
+    let mut unused: Vec<Expr> = Vec::new();
+    let mut pending: Vec<Expr> = preds;
+
+    // Attach single-leaf conjuncts directly to their leaf.
+    let mut leaves: Vec<(LogicalPlan, Schema)> = leaves
+        .into_iter()
+        .map(|l| {
+            let s = l.schema()?;
+            Ok((l, s))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let mut remaining: Vec<Expr> = Vec::new();
+    for p in pending.drain(..) {
+        if p.columns().is_empty() {
+            unused.push(p); // constant: applied at the top
+            continue;
+        }
+        if let Some((leaf, schema)) = leaves
+            .iter_mut()
+            .find(|(_, s)| refers_only_to(&p, s))
+        {
+            *leaf = LogicalPlan::Filter {
+                input: Box::new(leaf.clone()),
+                predicate: p,
+            };
+            let _ = schema;
+        } else {
+            remaining.push(p);
+        }
+    }
+
+    // Greedy left-deep construction.
+    let (mut current, mut current_schema) = {
+        let (l, s) = leaves.remove(0);
+        (l, s)
+    };
+    while !leaves.is_empty() {
+        // Prefer a leaf connected to the current prefix.
+        let pick = leaves.iter().position(|(_, s)| {
+            remaining.iter().any(|p| {
+                let joined = current_schema.join(s);
+                refers_only_to(p, &joined)
+                    && !refers_only_to(p, &current_schema)
+                    && !refers_only_to(p, s)
+            })
+        });
+        let (leaf, leaf_schema) = match pick {
+            Some(i) => leaves.remove(i),
+            None => leaves.remove(0), // disconnected: unavoidable ×
+        };
+        let joined_schema = current_schema.join(&leaf_schema);
+        // Conditions now evaluable over the joined prefix.
+        let mut conds = Vec::new();
+        let mut still = Vec::new();
+        for p in remaining.drain(..) {
+            if refers_only_to(&p, &joined_schema) {
+                conds.push(p);
+            } else {
+                still.push(p);
+            }
+        }
+        remaining = still;
+        current = match Expr::conjunction(conds) {
+            Some(c) => LogicalPlan::Join {
+                left: Box::new(current),
+                right: Box::new(leaf),
+                condition: c,
+            },
+            None => LogicalPlan::CrossJoin {
+                left: Box::new(current),
+                right: Box::new(leaf),
+            },
+        };
+        current_schema = joined_schema;
+    }
+    unused.extend(remaining);
+    Ok(match Expr::conjunction(unused) {
+        Some(p) => LogicalPlan::Filter {
+            input: Box::new(current),
+            predicate: p,
+        },
+        None => current,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_types::{DataType, Field};
+
+    fn scan(q: &str, cols: &[&str]) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: q.to_string(),
+            qualifier: q.to_string(),
+            schema: Schema::new(
+                cols.iter()
+                    .map(|c| Field::new(*c, DataType::Int64, true).with_qualifier(q))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// FROM P, U, A with U↔A and A↔P predicates: the naive order makes
+    /// P × U first; the rule reorders so every join has a condition.
+    #[test]
+    fn avoids_cartesian_products_when_connected() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::CrossJoin {
+                left: Box::new(LogicalPlan::CrossJoin {
+                    left: Box::new(scan("P", &["pno"])),
+                    right: Box::new(scan("U", &["uid"])),
+                }),
+                right: Box::new(scan("A", &["uid", "pno"])),
+            }),
+            predicate: Expr::col("U", "uid")
+                .eq(Expr::col("A", "uid"))
+                .and(Expr::col("A", "pno").eq(Expr::col("P", "pno"))),
+        };
+        let out = JoinOrdering.apply(&plan).unwrap().unwrap();
+        let tree = out.display_tree();
+        assert!(!tree.contains("CrossJoin"), "{tree}");
+        assert_eq!(tree.matches("Join on").count(), 2, "{tree}");
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn disconnected_graph_keeps_one_cross_product() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::CrossJoin {
+                left: Box::new(LogicalPlan::CrossJoin {
+                    left: Box::new(scan("A", &["x"])),
+                    right: Box::new(scan("B", &["x"])),
+                }),
+                right: Box::new(scan("C", &["y"])),
+            }),
+            predicate: Expr::col("A", "x").eq(Expr::col("B", "x")),
+        };
+        let out = JoinOrdering.apply(&plan).unwrap().unwrap();
+        let tree = out.display_tree();
+        assert_eq!(tree.matches("CrossJoin").count(), 1, "{tree}");
+        assert_eq!(tree.matches("Join on").count(), 1, "{tree}");
+    }
+
+    #[test]
+    fn single_sided_conjuncts_land_on_their_leaf() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::CrossJoin {
+                left: Box::new(scan("A", &["x", "v"])),
+                right: Box::new(scan("B", &["x"])),
+            }),
+            predicate: Expr::col("A", "x")
+                .eq(Expr::col("B", "x"))
+                .and(Expr::col("A", "v").binary(gbj_expr::BinaryOp::Gt, Expr::lit(0i64))),
+        };
+        let out = JoinOrdering.apply(&plan).unwrap().unwrap();
+        let tree = out.display_tree();
+        assert!(tree.contains("Filter (A.v > 0)"), "{tree}");
+        assert!(tree.starts_with("Join on (A.x = B.x)"), "{tree}");
+    }
+
+    #[test]
+    fn idempotent() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::CrossJoin {
+                left: Box::new(LogicalPlan::CrossJoin {
+                    left: Box::new(scan("P", &["pno"])),
+                    right: Box::new(scan("U", &["uid"])),
+                }),
+                right: Box::new(scan("A", &["uid", "pno"])),
+            }),
+            predicate: Expr::col("U", "uid")
+                .eq(Expr::col("A", "uid"))
+                .and(Expr::col("A", "pno").eq(Expr::col("P", "pno"))),
+        };
+        let once = JoinOrdering.apply(&plan).unwrap().unwrap();
+        assert!(JoinOrdering.apply(&once).unwrap().is_none(), "fixpoint");
+    }
+
+    #[test]
+    fn does_not_touch_non_join_plans() {
+        let plan = scan("A", &["x"]);
+        assert!(JoinOrdering.apply(&plan).unwrap().is_none());
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan("A", &["x"])),
+            predicate: Expr::col("A", "x").eq(Expr::lit(1i64)),
+        };
+        assert!(JoinOrdering.apply(&plan).unwrap().is_none());
+    }
+
+    #[test]
+    fn regions_below_aggregates_are_reordered_too() {
+        let region = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::CrossJoin {
+                left: Box::new(LogicalPlan::CrossJoin {
+                    left: Box::new(scan("P", &["pno"])),
+                    right: Box::new(scan("U", &["uid"])),
+                }),
+                right: Box::new(scan("A", &["uid", "pno"])),
+            }),
+            predicate: Expr::col("U", "uid")
+                .eq(Expr::col("A", "uid"))
+                .and(Expr::col("A", "pno").eq(Expr::col("P", "pno"))),
+        };
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(region),
+            group_by: vec![Expr::col("U", "uid")],
+            aggregates: vec![(gbj_expr::AggregateCall::count_star(), "n".into())],
+        };
+        let out = JoinOrdering.apply(&plan).unwrap().unwrap();
+        assert!(!out.display_tree().contains("CrossJoin"));
+        out.validate().unwrap();
+    }
+}

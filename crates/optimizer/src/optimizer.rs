@@ -1,0 +1,115 @@
+//! The rule driver.
+
+use gbj_plan::LogicalPlan;
+use gbj_types::Result;
+
+/// A logical rewrite rule.
+pub trait OptimizerRule {
+    /// Rule name, for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Apply the rule; return `Some(new_plan)` if anything changed.
+    fn apply(&self, plan: &LogicalPlan) -> Result<Option<LogicalPlan>>;
+}
+
+/// Drives a list of rules to a fixpoint (bounded, to guard against
+/// oscillating rules).
+pub struct Optimizer {
+    rules: Vec<Box<dyn OptimizerRule>>,
+    max_passes: usize,
+}
+
+impl Default for Optimizer {
+    fn default() -> Optimizer {
+        Optimizer::standard()
+    }
+}
+
+impl Optimizer {
+    /// An optimizer with the standard rule set.
+    #[must_use]
+    pub fn standard() -> Optimizer {
+        Optimizer {
+            rules: vec![
+                Box::new(crate::rules::MergeFilters),
+                Box::new(crate::join_order::JoinOrdering),
+                Box::new(crate::rules::PredicatePushdown),
+                Box::new(crate::rules::ColumnPruning),
+            ],
+            max_passes: 8,
+        }
+    }
+
+    /// An optimizer with an explicit rule list.
+    #[must_use]
+    pub fn with_rules(rules: Vec<Box<dyn OptimizerRule>>) -> Optimizer {
+        Optimizer {
+            rules,
+            max_passes: 8,
+        }
+    }
+
+    /// Optimize a plan to a fixpoint.
+    pub fn optimize(&self, plan: &LogicalPlan) -> Result<LogicalPlan> {
+        let mut current = plan.clone();
+        for _ in 0..self.max_passes {
+            let mut changed = false;
+            for rule in &self.rules {
+                if let Some(next) = rule.apply(&current)? {
+                    current = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        current.validate()?;
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_expr::Expr;
+    use gbj_types::{DataType, Field, Schema};
+
+    struct NoopRule;
+    impl OptimizerRule for NoopRule {
+        fn name(&self) -> &'static str {
+            "noop"
+        }
+        fn apply(&self, _plan: &LogicalPlan) -> Result<Option<LogicalPlan>> {
+            Ok(None)
+        }
+    }
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "T".into(),
+            qualifier: "T".into(),
+            schema: Schema::new(vec![
+                Field::new("a", DataType::Int64, true).with_qualifier("T")
+            ]),
+        }
+    }
+
+    #[test]
+    fn noop_rules_leave_plan_unchanged() {
+        let opt = Optimizer::with_rules(vec![Box::new(NoopRule)]);
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: Expr::col("T", "a").eq(Expr::lit(1i64)),
+        };
+        let out = opt.optimize(&plan).unwrap();
+        assert_eq!(out, plan);
+    }
+
+    #[test]
+    fn standard_optimizer_validates_output() {
+        let opt = Optimizer::standard();
+        let out = opt.optimize(&scan()).unwrap();
+        out.validate().unwrap();
+    }
+}

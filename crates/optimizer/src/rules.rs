@@ -1,0 +1,604 @@
+//! The standard rewrite rules.
+
+use std::collections::BTreeSet;
+
+use gbj_expr::{conjuncts, Expr};
+use gbj_plan::LogicalPlan;
+use gbj_types::{Result, Schema};
+
+use crate::optimizer::OptimizerRule;
+
+/// Collapse adjacent filters into one.
+pub struct MergeFilters;
+
+impl OptimizerRule for MergeFilters {
+    fn name(&self) -> &'static str {
+        "merge_filters"
+    }
+
+    fn apply(&self, plan: &LogicalPlan) -> Result<Option<LogicalPlan>> {
+        let (out, changed) = merge_filters(plan);
+        Ok(changed.then_some(out))
+    }
+}
+
+fn merge_filters(plan: &LogicalPlan) -> (LogicalPlan, bool) {
+    if let LogicalPlan::Filter { input, predicate } = plan {
+        if let LogicalPlan::Filter {
+            input: inner,
+            predicate: inner_pred,
+        } = input.as_ref()
+        {
+            let merged = LogicalPlan::Filter {
+                input: inner.clone(),
+                predicate: predicate.clone().and(inner_pred.clone()),
+            };
+            let (out, _) = merge_filters(&merged);
+            return (out, true);
+        }
+    }
+    rebuild(plan, merge_filters)
+}
+
+/// Route filter conjuncts below cross joins and joins: single-sided
+/// conjuncts become filters on their side, crossing conjuncts become
+/// the join condition. This is what turns the lowered
+/// `Filter(CrossJoin(…))` shape into executable hash joins.
+pub struct PredicatePushdown;
+
+impl OptimizerRule for PredicatePushdown {
+    fn name(&self) -> &'static str {
+        "predicate_pushdown"
+    }
+
+    fn apply(&self, plan: &LogicalPlan) -> Result<Option<LogicalPlan>> {
+        let (out, changed) = pushdown(plan)?;
+        Ok(changed.then_some(out))
+    }
+}
+
+fn refers_only_to(e: &Expr, schema: &Schema) -> bool {
+    e.columns().iter().all(|c| schema.contains(c))
+}
+
+fn pushdown(plan: &LogicalPlan) -> Result<(LogicalPlan, bool)> {
+    if let LogicalPlan::Filter { input, predicate } = plan {
+        let (left, right, mut crossing) = match input.as_ref() {
+            LogicalPlan::CrossJoin { left, right } => (left, right, vec![]),
+            LogicalPlan::Join {
+                left,
+                right,
+                condition,
+            } => (left, right, conjuncts(condition)),
+            _ => {
+                return rebuild_result(plan, pushdown);
+            }
+        };
+        let lschema = left.schema()?;
+        let rschema = right.schema()?;
+        let mut to_left = vec![];
+        let mut to_right = vec![];
+        for c in conjuncts(predicate) {
+            if c.columns().is_empty() {
+                crossing.push(c); // constant predicate: keep at the join
+            } else if refers_only_to(&c, &lschema) {
+                to_left.push(c);
+            } else if refers_only_to(&c, &rschema) {
+                to_right.push(c);
+            } else {
+                crossing.push(c);
+            }
+        }
+        let wrap = |side: &LogicalPlan, preds: Vec<Expr>| -> LogicalPlan {
+            match Expr::conjunction(preds) {
+                None => side.clone(),
+                Some(p) => LogicalPlan::Filter {
+                    input: Box::new(side.clone()),
+                    predicate: p,
+                },
+            }
+        };
+        let new_left = wrap(left, to_left);
+        let new_right = wrap(right, to_right);
+        let joined = match Expr::conjunction(crossing) {
+            Some(cond) => LogicalPlan::Join {
+                left: Box::new(new_left),
+                right: Box::new(new_right),
+                condition: cond,
+            },
+            None => LogicalPlan::CrossJoin {
+                left: Box::new(new_left),
+                right: Box::new(new_right),
+            },
+        };
+        // Recurse into the new tree (children may themselves be
+        // Filter-over-CrossJoin after the push).
+        let (out, _) = pushdown(&joined)?;
+        return Ok((out, true));
+    }
+    rebuild_result(plan, pushdown)
+}
+
+/// Insert projections above scans so only columns needed upstream flow
+/// through joins — the paper's Lemma 1 (`π[GA2+]σ[C2]R2`) generalised.
+pub struct ColumnPruning;
+
+impl OptimizerRule for ColumnPruning {
+    fn name(&self) -> &'static str {
+        "column_pruning"
+    }
+
+    fn apply(&self, plan: &LogicalPlan) -> Result<Option<LogicalPlan>> {
+        let (out, changed) = prune(plan, None)?;
+        Ok(changed.then_some(out))
+    }
+}
+
+/// Needed column *names* (lower-cased). `None` means "everything".
+type Needed = Option<BTreeSet<String>>;
+
+fn names_of(exprs: impl IntoIterator<Item = Expr>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for e in exprs {
+        for c in e.columns() {
+            out.insert(c.column.to_ascii_lowercase());
+        }
+    }
+    out
+}
+
+fn prune(plan: &LogicalPlan, needed: Needed) -> Result<(LogicalPlan, bool)> {
+    match plan {
+        LogicalPlan::Scan { schema, .. } => {
+            let Some(needed) = needed else {
+                return Ok((plan.clone(), false));
+            };
+            let keep: Vec<_> = schema
+                .fields()
+                .iter()
+                .filter(|f| needed.contains(&f.name.to_ascii_lowercase()))
+                .collect();
+            if keep.is_empty() || keep.len() == schema.len() {
+                return Ok((plan.clone(), false));
+            }
+            let exprs: Vec<(Expr, String)> = keep
+                .iter()
+                .map(|f| (Expr::Column(f.column_ref()), f.name.clone()))
+                .collect();
+            Ok((
+                LogicalPlan::Project {
+                    input: Box::new(plan.clone()),
+                    exprs,
+                    distinct: false,
+                },
+                true,
+            ))
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            distinct,
+        } => {
+            // A projection directly above a scan *is* the pruning
+            // projection — recursing would wrap the scan again forever.
+            if matches!(input.as_ref(), LogicalPlan::Scan { .. }) {
+                return Ok((plan.clone(), false));
+            }
+            let child_needed = Some(names_of(exprs.iter().map(|(e, _)| e.clone())));
+            let (new_input, changed) = prune(input, child_needed)?;
+            Ok((
+                LogicalPlan::Project {
+                    input: Box::new(new_input),
+                    exprs: exprs.clone(),
+                    distinct: *distinct,
+                },
+                changed,
+            ))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let child_needed = needed.map(|mut n| {
+                n.extend(names_of([predicate.clone()]));
+                n
+            });
+            let (new_input, changed) = prune(input, child_needed)?;
+            Ok((
+                LogicalPlan::Filter {
+                    input: Box::new(new_input),
+                    predicate: predicate.clone(),
+                },
+                changed,
+            ))
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let mut n = names_of(group_by.iter().cloned());
+            for (call, _) in aggregates {
+                if let Some(arg) = &call.arg {
+                    n.extend(names_of([arg.clone()]));
+                }
+            }
+            // COUNT(*)-only aggregates still need at least one column to
+            // count rows over; keep everything in that case.
+            let child_needed = if n.is_empty() { None } else { Some(n) };
+            let (new_input, changed) = prune(input, child_needed)?;
+            Ok((
+                LogicalPlan::Aggregate {
+                    input: Box::new(new_input),
+                    group_by: group_by.clone(),
+                    aggregates: aggregates.clone(),
+                },
+                changed,
+            ))
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            condition,
+        } => {
+            let child_needed = needed.map(|mut n| {
+                n.extend(names_of([condition.clone()]));
+                n
+            });
+            let (new_left, c1) = prune(left, child_needed.clone())?;
+            let (new_right, c2) = prune(right, child_needed)?;
+            Ok((
+                LogicalPlan::Join {
+                    left: Box::new(new_left),
+                    right: Box::new(new_right),
+                    condition: condition.clone(),
+                },
+                c1 || c2,
+            ))
+        }
+        LogicalPlan::CrossJoin { left, right } => {
+            let (new_left, c1) = prune(left, needed.clone())?;
+            let (new_right, c2) = prune(right, needed)?;
+            Ok((
+                LogicalPlan::CrossJoin {
+                    left: Box::new(new_left),
+                    right: Box::new(new_right),
+                },
+                c1 || c2,
+            ))
+        }
+        LogicalPlan::SubqueryAlias { input, alias } => {
+            let (new_input, changed) = prune(input, needed)?;
+            Ok((
+                LogicalPlan::SubqueryAlias {
+                    input: Box::new(new_input),
+                    alias: alias.clone(),
+                },
+                changed,
+            ))
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let child_needed = needed.map(|mut n| {
+                n.extend(names_of(keys.iter().map(|(e, _)| e.clone())));
+                n
+            });
+            let (new_input, changed) = prune(input, child_needed)?;
+            Ok((
+                LogicalPlan::Sort {
+                    input: Box::new(new_input),
+                    keys: keys.clone(),
+                },
+                changed,
+            ))
+        }
+    }
+}
+
+// ------------------------------------------------------------ helpers
+
+/// Rebuild a node with children rewritten by `f` (infallible variant).
+fn rebuild(
+    plan: &LogicalPlan,
+    f: impl Fn(&LogicalPlan) -> (LogicalPlan, bool),
+) -> (LogicalPlan, bool) {
+    match plan {
+        LogicalPlan::Scan { .. } => (plan.clone(), false),
+        LogicalPlan::Filter { input, predicate } => {
+            let (i, c) = f(input);
+            (
+                LogicalPlan::Filter {
+                    input: Box::new(i),
+                    predicate: predicate.clone(),
+                },
+                c,
+            )
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            distinct,
+        } => {
+            let (i, c) = f(input);
+            (
+                LogicalPlan::Project {
+                    input: Box::new(i),
+                    exprs: exprs.clone(),
+                    distinct: *distinct,
+                },
+                c,
+            )
+        }
+        LogicalPlan::CrossJoin { left, right } => {
+            let (l, c1) = f(left);
+            let (r, c2) = f(right);
+            (
+                LogicalPlan::CrossJoin {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                },
+                c1 || c2,
+            )
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            condition,
+        } => {
+            let (l, c1) = f(left);
+            let (r, c2) = f(right);
+            (
+                LogicalPlan::Join {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    condition: condition.clone(),
+                },
+                c1 || c2,
+            )
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let (i, c) = f(input);
+            (
+                LogicalPlan::Aggregate {
+                    input: Box::new(i),
+                    group_by: group_by.clone(),
+                    aggregates: aggregates.clone(),
+                },
+                c,
+            )
+        }
+        LogicalPlan::SubqueryAlias { input, alias } => {
+            let (i, c) = f(input);
+            (
+                LogicalPlan::SubqueryAlias {
+                    input: Box::new(i),
+                    alias: alias.clone(),
+                },
+                c,
+            )
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let (i, c) = f(input);
+            (
+                LogicalPlan::Sort {
+                    input: Box::new(i),
+                    keys: keys.clone(),
+                },
+                c,
+            )
+        }
+    }
+}
+
+/// Rebuild with a fallible rewriter.
+fn rebuild_result(
+    plan: &LogicalPlan,
+    f: impl Fn(&LogicalPlan) -> Result<(LogicalPlan, bool)>,
+) -> Result<(LogicalPlan, bool)> {
+    let err = std::cell::RefCell::new(None);
+    let (out, changed) = rebuild(plan, |p| match f(p) {
+        Ok(r) => r,
+        Err(e) => {
+            *err.borrow_mut() = Some(e);
+            (p.clone(), false)
+        }
+    });
+    match err.into_inner() {
+        Some(e) => Err(e),
+        None => Ok((out, changed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Optimizer;
+    use gbj_expr::{AggregateCall, AggregateFunction};
+    use gbj_types::{DataType, Field};
+
+    fn emp() -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "Employee".into(),
+            qualifier: "E".into(),
+            schema: Schema::new(vec![
+                Field::new("EmpID", DataType::Int64, false).with_qualifier("E"),
+                Field::new("DeptID", DataType::Int64, true).with_qualifier("E"),
+                Field::new("Name", DataType::Utf8, true).with_qualifier("E"),
+            ]),
+        }
+    }
+
+    fn dept() -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "Department".into(),
+            qualifier: "D".into(),
+            schema: Schema::new(vec![
+                Field::new("DeptID", DataType::Int64, false).with_qualifier("D"),
+                Field::new("Budget", DataType::Int64, true).with_qualifier("D"),
+            ]),
+        }
+    }
+
+    #[test]
+    fn pushdown_splits_sides_and_builds_join() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::CrossJoin {
+                left: Box::new(emp()),
+                right: Box::new(dept()),
+            }),
+            predicate: Expr::col("E", "DeptID")
+                .eq(Expr::col("D", "DeptID"))
+                .and(Expr::col("E", "EmpID").binary(gbj_expr::BinaryOp::Gt, Expr::lit(0i64)))
+                .and(Expr::col("D", "Budget").binary(gbj_expr::BinaryOp::Gt, Expr::lit(10i64))),
+        };
+        let out = PredicatePushdown.apply(&plan).unwrap().unwrap();
+        let tree = out.display_tree();
+        assert!(tree.starts_with("Join on (E.DeptID = D.DeptID)"), "{tree}");
+        assert!(tree.contains("Filter (E.EmpID > 0)"));
+        assert!(tree.contains("Filter (D.Budget > 10)"));
+        assert!(!tree.contains("CrossJoin"));
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn pushdown_without_crossing_conjuncts_keeps_cross_join() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::CrossJoin {
+                left: Box::new(emp()),
+                right: Box::new(dept()),
+            }),
+            predicate: Expr::col("E", "EmpID").eq(Expr::lit(1i64)),
+        };
+        let out = PredicatePushdown.apply(&plan).unwrap().unwrap();
+        let tree = out.display_tree();
+        assert!(tree.starts_with("CrossJoin"));
+        assert!(tree.contains("Filter (E.EmpID = 1)"));
+    }
+
+    #[test]
+    fn pushdown_recurses_into_join_chains() {
+        // Filter over CrossJoin(CrossJoin(E, D), D2).
+        let d2 = LogicalPlan::SubqueryAlias {
+            input: Box::new(dept()),
+            alias: "D2".into(),
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::CrossJoin {
+                left: Box::new(LogicalPlan::CrossJoin {
+                    left: Box::new(emp()),
+                    right: Box::new(dept()),
+                }),
+                right: Box::new(d2),
+            }),
+            predicate: Expr::col("E", "DeptID")
+                .eq(Expr::col("D", "DeptID"))
+                .and(Expr::col("D", "DeptID").eq(Expr::col("D2", "DeptID"))),
+        };
+        let opt = Optimizer::standard();
+        let out = opt.optimize(&plan).unwrap();
+        let tree = out.display_tree();
+        assert_eq!(tree.matches("Join on").count(), 2, "{tree}");
+        assert!(!tree.contains("CrossJoin"));
+    }
+
+    #[test]
+    fn merge_filters_collapses() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(emp()),
+                predicate: Expr::col("E", "EmpID").eq(Expr::lit(1i64)),
+            }),
+            predicate: Expr::col("E", "DeptID").eq(Expr::lit(2i64)),
+        };
+        let out = MergeFilters.apply(&plan).unwrap().unwrap();
+        assert_eq!(out.node_count(), 2);
+        assert!(out.label().contains("AND"));
+    }
+
+    #[test]
+    fn pruning_inserts_projections_above_scans() {
+        // A projection directly above a scan is already minimal.
+        let direct = LogicalPlan::Project {
+            input: Box::new(emp()),
+            exprs: vec![(Expr::col("E", "DeptID"), "DeptID".into())],
+            distinct: false,
+        };
+        assert!(ColumnPruning.apply(&direct).unwrap().is_none());
+
+        // With a filter in between, the scan gets a pruning projection
+        // keeping only the filter + select columns (Name is dropped).
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(emp()),
+                predicate: Expr::col("E", "EmpID").binary(gbj_expr::BinaryOp::Gt, Expr::lit(0i64)),
+            }),
+            exprs: vec![(Expr::col("E", "DeptID"), "DeptID".into())],
+            distinct: false,
+        };
+        let out = ColumnPruning.apply(&plan).unwrap().unwrap();
+        let tree = out.display_tree();
+        assert!(tree.contains("Project E.DeptID, E.EmpID") || tree.contains("Project E.EmpID, E.DeptID"), "{tree}");
+        assert!(!tree.contains("Name"), "{tree}");
+        out.validate().unwrap();
+        // Idempotent: no further change.
+        assert!(ColumnPruning.apply(&out).unwrap().is_none());
+    }
+
+    #[test]
+    fn pruning_respects_lemma1_shape() {
+        // Aggregate over a join: the D side only needs DeptID (join key),
+        // not Budget — Lemma 1's π[GA2+].
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Aggregate {
+                input: Box::new(LogicalPlan::Join {
+                    left: Box::new(emp()),
+                    right: Box::new(dept()),
+                    condition: Expr::col("E", "DeptID").eq(Expr::col("D", "DeptID")),
+                }),
+                group_by: vec![Expr::col("D", "DeptID")],
+                aggregates: vec![(
+                    AggregateCall::new(AggregateFunction::Count, Expr::col("E", "EmpID")),
+                    "cnt".into(),
+                )],
+            }),
+            exprs: vec![
+                (Expr::col("D", "DeptID"), "DeptID".into()),
+                (Expr::bare("cnt"), "cnt".into()),
+            ],
+            distinct: false,
+        };
+        let out = ColumnPruning.apply(&plan).unwrap().unwrap();
+        let tree = out.display_tree();
+        // The Department scan is trimmed to DeptID (Budget dropped);
+        // Employee keeps EmpID + DeptID but drops Name.
+        assert!(tree.contains("Project D.DeptID"), "{tree}");
+        assert!(tree.contains("Project E.EmpID, E.DeptID"), "{tree}");
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn full_pipeline_produces_executable_shape() {
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Aggregate {
+                input: Box::new(LogicalPlan::Filter {
+                    input: Box::new(LogicalPlan::CrossJoin {
+                        left: Box::new(emp()),
+                        right: Box::new(dept()),
+                    }),
+                    predicate: Expr::col("E", "DeptID").eq(Expr::col("D", "DeptID")),
+                }),
+                group_by: vec![Expr::col("D", "DeptID")],
+                aggregates: vec![(AggregateCall::count_star(), "n".into())],
+            }),
+            exprs: vec![
+                (Expr::col("D", "DeptID"), "DeptID".into()),
+                (Expr::bare("n"), "n".into()),
+            ],
+            distinct: false,
+        };
+        let out = Optimizer::standard().optimize(&plan).unwrap();
+        let tree = out.display_tree();
+        assert!(tree.contains("Join on"), "{tree}");
+        assert!(!tree.contains("CrossJoin"));
+    }
+}

@@ -1,0 +1,257 @@
+//! The abstract syntax tree produced by the parser.
+
+use gbj_types::{DataType, Value};
+
+/// A parsed scalar expression (names still unresolved).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// A possibly-qualified name: `x`, `t.x`.
+    Name(Vec<String>),
+    /// A literal.
+    Literal(Value),
+    /// Binary operation (comparison, logical, arithmetic).
+    Binary {
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Operator, as in [`gbj_expr::BinaryOp`].
+        op: gbj_expr::BinaryOp,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// `NOT expr`.
+    Not(Box<AstExpr>),
+    /// Unary minus.
+    Neg(Box<AstExpr>),
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// `IS NOT NULL`.
+        negated: bool,
+    },
+    /// A function call — in this dialect always an aggregate:
+    /// `COUNT(*)`, `SUM(DISTINCT x)`, `MIN(a + b)`.
+    Func {
+        /// Function name (upper/lower case as written).
+        name: String,
+        /// `DISTINCT` argument flag.
+        distinct: bool,
+        /// `*` argument (`COUNT(*)`).
+        star: bool,
+        /// Ordinary arguments.
+        args: Vec<AstExpr>,
+    },
+}
+
+impl AstExpr {
+    /// Whether any aggregate function call occurs in the tree.
+    #[must_use]
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            AstExpr::Func { .. } => true,
+            AstExpr::Name(_) | AstExpr::Literal(_) => false,
+            AstExpr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            AstExpr::Not(e) | AstExpr::Neg(e) => e.contains_aggregate(),
+            AstExpr::IsNull { expr, .. } => expr.contains_aggregate(),
+        }
+    }
+}
+
+/// One item of a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItemAst {
+    /// `*` — every column of every FROM relation.
+    Wildcard,
+    /// An expression with an optional `AS alias`.
+    Expr {
+        /// The expression.
+        expr: AstExpr,
+        /// Output alias, if given.
+        alias: Option<String>,
+    },
+}
+
+/// A FROM-clause table reference: `name [AS] alias`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table or view name.
+    pub name: String,
+    /// Alias, defaulting to the name.
+    pub alias: Option<String>,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `DISTINCT` flag (`ALL` is the default).
+    pub distinct: bool,
+    /// Select list.
+    pub items: Vec<SelectItemAst>,
+    /// FROM relations (comma join).
+    pub from: Vec<TableRef>,
+    /// WHERE clause.
+    pub where_clause: Option<AstExpr>,
+    /// GROUP BY column names.
+    pub group_by: Vec<Vec<String>>,
+    /// HAVING clause.
+    pub having: Option<AstExpr>,
+    /// ORDER BY: (name, ascending).
+    pub order_by: Vec<(Vec<String>, bool)>,
+}
+
+/// A column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDefAst {
+    /// Column name.
+    pub name: String,
+    /// Resolved type, or a domain name to resolve at bind time.
+    pub data_type: TypeRef,
+    /// `NOT NULL` given.
+    pub not_null: bool,
+    /// Column is `PRIMARY KEY` (single-column shorthand).
+    pub primary_key: bool,
+    /// Column is `UNIQUE`.
+    pub unique: bool,
+    /// Column-level CHECK expressions.
+    pub checks: Vec<AstExpr>,
+    /// `REFERENCES table [(col)]`.
+    pub references: Option<(String, Vec<String>)>,
+}
+
+/// A type reference: a built-in type or a domain name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeRef {
+    /// Built-in type.
+    Builtin(DataType),
+    /// A `CREATE DOMAIN` name, resolved against the catalog.
+    Domain(String),
+}
+
+/// A table-level constraint in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableConstraintAst {
+    /// `PRIMARY KEY (…)`.
+    PrimaryKey(Vec<String>),
+    /// `UNIQUE (…)`.
+    Unique(Vec<String>),
+    /// `CHECK (…)`.
+    Check(AstExpr),
+    /// `FOREIGN KEY (…) REFERENCES t [(…)]`.
+    ForeignKey {
+        /// Local columns.
+        columns: Vec<String>,
+        /// Referenced table.
+        ref_table: String,
+        /// Referenced columns (empty = primary key).
+        ref_columns: Vec<String>,
+    },
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Columns.
+        columns: Vec<ColumnDefAst>,
+        /// Table constraints.
+        constraints: Vec<TableConstraintAst>,
+    },
+    /// `CREATE DOMAIN name type [CHECK (…)]`.
+    CreateDomain {
+        /// Domain name.
+        name: String,
+        /// Underlying type.
+        data_type: DataType,
+        /// CHECK over `VALUE`.
+        check: Option<AstExpr>,
+    },
+    /// `CREATE VIEW name [(cols)] AS select-text`.
+    CreateView {
+        /// View name.
+        name: String,
+        /// Declared output columns (may be empty).
+        columns: Vec<String>,
+        /// The raw text of the defining query.
+        query_sql: String,
+    },
+    /// `CREATE ASSERTION name CHECK (…)`.
+    CreateAssertion {
+        /// Assertion name.
+        name: String,
+        /// The asserted predicate.
+        check: AstExpr,
+    },
+    /// `INSERT INTO t VALUES (…), (…)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Row literals.
+        rows: Vec<Vec<AstExpr>>,
+    },
+    /// A query.
+    Select(SelectStmt),
+    /// `EXPLAIN [ANALYZE] <select>`.
+    Explain {
+        /// Execute the query and annotate the plan with measured
+        /// cardinalities and wall-clock time.
+        analyze: bool,
+        /// The explained statement.
+        statement: Box<Statement>,
+    },
+    /// `DELETE FROM t [WHERE expr]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional predicate.
+        predicate: Option<AstExpr>,
+    },
+    /// `UPDATE t SET c = e [, …] [WHERE expr]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Column assignments.
+        assignments: Vec<(String, AstExpr)>,
+        /// Optional predicate.
+        predicate: Option<AstExpr>,
+    },
+    /// `DROP TABLE name`.
+    DropTable(String),
+    /// `DROP VIEW name`.
+    DropView(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_aggregate_walks_the_tree() {
+        let agg = AstExpr::Func {
+            name: "COUNT".into(),
+            distinct: false,
+            star: true,
+            args: vec![],
+        };
+        assert!(agg.contains_aggregate());
+        let nested = AstExpr::Binary {
+            left: Box::new(AstExpr::Literal(Value::Int(1))),
+            op: gbj_expr::BinaryOp::Add,
+            right: Box::new(agg),
+        };
+        assert!(nested.contains_aggregate());
+        let plain = AstExpr::Name(vec!["t".into(), "x".into()]);
+        assert!(!plain.contains_aggregate());
+        let not = AstExpr::Not(Box::new(plain.clone()));
+        assert!(!not.contains_aggregate());
+        let isnull = AstExpr::IsNull {
+            expr: Box::new(plain),
+            negated: false,
+        };
+        assert!(!isnull.contains_aggregate());
+    }
+}

@@ -1,0 +1,435 @@
+//! The SQL lexer.
+
+use gbj_types::{Error, Result};
+
+/// A lexical token with its byte offset in the source (offsets let the
+/// parser capture raw text spans, used to store view definitions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub start: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognised by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// String literal (single quotes, `''` escapes a quote).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Whether the token is the given keyword (case-insensitive).
+    #[must_use]
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenise `input`, appending a final [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    start,
+                    end: i + 1,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    start,
+                    end: i + 1,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    start,
+                    end: i + 1,
+                });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    start,
+                    end: i + 1,
+                });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    start,
+                    end: i + 1,
+                });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    start,
+                    end: i + 1,
+                });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    start,
+                    end: i + 1,
+                });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    start,
+                    end: i + 1,
+                });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    start,
+                    end: i + 1,
+                });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    start,
+                    end: i + 1,
+                });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token {
+                    kind: TokenKind::NotEq,
+                    start,
+                    end: i + 2,
+                });
+                i += 2;
+            }
+            '<' => {
+                let (kind, len) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::LtEq, 2),
+                    Some(b'>') => (TokenKind::NotEq, 2),
+                    _ => (TokenKind::Lt, 1),
+                };
+                tokens.push(Token {
+                    kind,
+                    start,
+                    end: i + len,
+                });
+                i += len;
+            }
+            '>' => {
+                let (kind, len) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::GtEq, 2),
+                    _ => (TokenKind::Gt, 1),
+                };
+                tokens.push(Token {
+                    kind,
+                    start,
+                    end: i + len,
+                });
+                i += len;
+            }
+            '\'' => {
+                // String literal with '' escape.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::Parse(format!(
+                                "unterminated string literal at byte {start}"
+                            )))
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    start,
+                    end: i,
+                });
+            }
+            '"' => {
+                // Delimited identifier.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::Parse(format!(
+                                "unterminated delimited identifier at byte {start}"
+                            )))
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    start,
+                    end: i,
+                });
+            }
+            '0'..='9' => {
+                let mut end = i;
+                let mut is_float = false;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                if end < bytes.len()
+                    && bytes[end] == b'.'
+                    && end + 1 < bytes.len()
+                    && bytes[end + 1].is_ascii_digit()
+                {
+                    is_float = true;
+                    end += 1;
+                    while end < bytes.len() && bytes[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                }
+                if end < bytes.len() && (bytes[end] == b'e' || bytes[end] == b'E') {
+                    let mut j = end + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        end = j;
+                        while end < bytes.len() && bytes[end].is_ascii_digit() {
+                            end += 1;
+                        }
+                    }
+                }
+                let text = &input[i..end];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|e| {
+                        Error::Parse(format!("bad float literal {text}: {e}"))
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|e| {
+                        Error::Parse(format!("bad integer literal {text}: {e}"))
+                    })?)
+                };
+                tokens.push(Token {
+                    kind,
+                    start,
+                    end,
+                });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '#' => {
+                let mut end = i + 1;
+                while end < bytes.len()
+                    && ((bytes[end] as char).is_ascii_alphanumeric()
+                        || bytes[end] == b'_'
+                        || bytes[end] == b'#')
+                {
+                    end += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[i..end].to_string()),
+                    start,
+                    end,
+                });
+                i = end;
+            }
+            other => {
+                return Err(Error::Parse(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )))
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        start: input.len(),
+        end: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_select_tokens() {
+        let ks = kinds("SELECT a.b, COUNT(*) FROM t WHERE x = 'y';");
+        assert_eq!(ks[0], TokenKind::Ident("SELECT".into()));
+        assert_eq!(ks[1], TokenKind::Ident("a".into()));
+        assert_eq!(ks[2], TokenKind::Dot);
+        assert!(ks.contains(&TokenKind::Star));
+        assert!(ks.contains(&TokenKind::Str("y".into())));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.5 1e3 2E-2")[..4],
+            [
+                TokenKind::Int(42),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.02)
+            ]
+        );
+        // A dot not followed by a digit is a Dot token (qualified name).
+        let ks = kinds("t.1");
+        assert_eq!(ks[1], TokenKind::Dot);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >= + - * /")[..11],
+            [
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds("'it''s'")[0], TokenKind::Str("it's".into()));
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn delimited_identifiers() {
+        assert_eq!(kinds("\"Weird Name\"")[0], TokenKind::Ident("Weird Name".into()));
+        assert!(tokenize("\"open").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("SELECT -- the select list\n 1");
+        assert_eq!(ks[0], TokenKind::Ident("SELECT".into()));
+        assert_eq!(ks[1], TokenKind::Int(1));
+    }
+
+    #[test]
+    fn offsets_support_text_slicing() {
+        let sql = "CREATE VIEW v AS SELECT 1";
+        let toks = tokenize(sql).unwrap();
+        let as_tok = toks
+            .iter()
+            .find(|t| t.kind.is_keyword("AS"))
+            .unwrap();
+        assert_eq!(&sql[as_tok.end..].trim_start(), &"SELECT 1");
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let ks = kinds("select");
+        assert!(ks[0].is_keyword("SELECT"));
+        assert!(ks[0].is_keyword("select"));
+        assert!(!ks[0].is_keyword("FROM"));
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(tokenize("SELECT @x").is_err());
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # gbj-sql
+//!
+//! SQL front end for the `gbj` engine: lexer, recursive-descent parser
+//! and binder for the dialect the paper needs —
+//!
+//! * `CREATE TABLE` with all five constraint classes of Section 6.1
+//!   (column NOT NULL / CHECK, domains, PRIMARY KEY / UNIQUE,
+//!   FOREIGN KEY, assertions);
+//! * `CREATE DOMAIN … CHECK (VALUE …)`;
+//! * `CREATE VIEW … AS SELECT …` (how Section 8's aggregated views
+//!   enter the system);
+//! * `INSERT INTO … VALUES …`;
+//! * `SELECT [ALL|DISTINCT] … FROM … WHERE … GROUP BY … [HAVING …]
+//!   [ORDER BY …]` over base tables and views;
+//! * `EXPLAIN <select>` and `DROP TABLE/VIEW`.
+//!
+//! The binder resolves names against the catalog, fully qualifies every
+//! column reference (the optimizer's predicate classification depends
+//! on qualifiers), expands views into nested derived blocks, and emits
+//! the [`QueryBlock`](gbj_plan::QueryBlock) canonical form.
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AstExpr, SelectStmt, Statement, TableRef};
+pub use binder::{BoundSelect, Binder};
+pub use parser::{parse_sql, parse_statements};

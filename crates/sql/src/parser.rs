@@ -1,0 +1,1031 @@
+//! Recursive-descent parser.
+
+use gbj_expr::BinaryOp;
+use gbj_types::{DataType, Error, Result, Value};
+
+use crate::ast::{
+    AstExpr, ColumnDefAst, SelectItemAst, SelectStmt, Statement, TableConstraintAst, TableRef,
+    TypeRef,
+};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Identifiers that terminate an implicit table alias.
+const RESERVED_AFTER_TABLE: &[&str] = &[
+    "WHERE", "GROUP", "HAVING", "ORDER", "UNION", "ON", "INNER", "LEFT", "RIGHT", "JOIN",
+    "AS", "SELECT", "FROM", "LIMIT",
+];
+
+/// Parse a source string into statements.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser {
+        src: sql,
+        tokens,
+        pos: 0,
+    };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_kind(&TokenKind::Semicolon) {}
+        if p.peek_kind() == &TokenKind::Eof {
+            break;
+        }
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+/// Parse exactly one statement.
+pub fn parse_sql(sql: &str) -> Result<Statement> {
+    let stmts = parse_statements(sql)?;
+    match stmts.len() {
+        1 => Ok(stmts.into_iter().next().expect("len checked")),
+        n => Err(Error::Parse(format!("expected one statement, found {n}"))),
+    }
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kind(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_kind().is_keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("keyword {kw}")))
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.eat_kind(kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn unexpected(&self, what: &str) -> Error {
+        Error::Parse(format!(
+            "expected {what}, found {:?} at byte {}",
+            self.peek_kind(),
+            self.peek().start
+        ))
+    }
+
+    // ---------------------------------------------------------- statements
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.peek_kind().is_keyword("SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_keyword("EXPLAIN") {
+            let analyze = self.eat_keyword("ANALYZE");
+            let inner = self.statement()?;
+            return Ok(Statement::Explain {
+                analyze,
+                statement: Box::new(inner),
+            });
+        }
+        if self.eat_keyword("CREATE") {
+            if self.eat_keyword("TABLE") {
+                return self.create_table();
+            }
+            if self.eat_keyword("DOMAIN") {
+                return self.create_domain();
+            }
+            if self.eat_keyword("VIEW") {
+                return self.create_view();
+            }
+            if self.eat_keyword("ASSERTION") {
+                let name = self.expect_ident("assertion name")?;
+                self.expect_keyword("CHECK")?;
+                let check = self.paren_or_bare_expr()?;
+                return Ok(Statement::CreateAssertion { name, check });
+            }
+            return Err(self.unexpected("TABLE, DOMAIN, VIEW or ASSERTION"));
+        }
+        if self.eat_keyword("INSERT") {
+            self.expect_keyword("INTO")?;
+            let table = self.expect_ident("table name")?;
+            self.expect_keyword("VALUES")?;
+            let mut rows = Vec::new();
+            loop {
+                self.expect_kind(&TokenKind::LParen, "(")?;
+                let mut row = Vec::new();
+                if self.peek_kind() != &TokenKind::RParen {
+                    loop {
+                        row.push(self.expr()?);
+                        if !self.eat_kind(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect_kind(&TokenKind::RParen, ")")?;
+                rows.push(row);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            return Ok(Statement::Insert { table, rows });
+        }
+        if self.eat_keyword("DELETE") {
+            self.expect_keyword("FROM")?;
+            let table = self.expect_ident("table name")?;
+            let predicate = if self.eat_keyword("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete { table, predicate });
+        }
+        if self.eat_keyword("UPDATE") {
+            let table = self.expect_ident("table name")?;
+            self.expect_keyword("SET")?;
+            let mut assignments = Vec::new();
+            loop {
+                let col = self.expect_ident("column name")?;
+                self.expect_kind(&TokenKind::Eq, "=")?;
+                let value = self.expr()?;
+                assignments.push((col, value));
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            let predicate = if self.eat_keyword("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Update {
+                table,
+                assignments,
+                predicate,
+            });
+        }
+        if self.eat_keyword("DROP") {
+            if self.eat_keyword("TABLE") {
+                return Ok(Statement::DropTable(self.expect_ident("table name")?));
+            }
+            if self.eat_keyword("VIEW") {
+                return Ok(Statement::DropView(self.expect_ident("view name")?));
+            }
+            return Err(self.unexpected("TABLE or VIEW"));
+        }
+        Err(self.unexpected("a statement"))
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword("SELECT")?;
+        let distinct = if self.eat_keyword("DISTINCT") {
+            true
+        } else {
+            let _ = self.eat_keyword("ALL");
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            if self.eat_kind(&TokenKind::Star) {
+                items.push(SelectItemAst::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = self.optional_alias()?;
+                items.push(SelectItemAst::Expr { expr, alias });
+            }
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let name = self.expect_ident("table name")?;
+            let alias = self.optional_alias()?;
+            from.push(TableRef { name, alias });
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.qualified_name()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let name = self.qualified_name()?;
+                let asc = if self.eat_keyword("DESC") {
+                    false
+                } else {
+                    let _ = self.eat_keyword("ASC");
+                    true
+                };
+                order_by.push((name, asc));
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+        })
+    }
+
+    fn optional_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_keyword("AS") {
+            return Ok(Some(self.expect_ident("alias")?));
+        }
+        if let TokenKind::Ident(s) = self.peek_kind() {
+            if !RESERVED_AFTER_TABLE
+                .iter()
+                .any(|kw| s.eq_ignore_ascii_case(kw))
+            {
+                let s = s.clone();
+                self.advance();
+                return Ok(Some(s));
+            }
+        }
+        Ok(None)
+    }
+
+    fn qualified_name(&mut self) -> Result<Vec<String>> {
+        let mut parts = vec![self.expect_ident("name")?];
+        while self.eat_kind(&TokenKind::Dot) {
+            parts.push(self.expect_ident("name part")?);
+        }
+        Ok(parts)
+    }
+
+    // ----------------------------------------------------------------- DDL
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.expect_ident("table name")?;
+        self.expect_kind(&TokenKind::LParen, "(")?;
+        let mut columns = Vec::new();
+        let mut constraints = Vec::new();
+        loop {
+            if self.peek_kind().is_keyword("PRIMARY") {
+                self.advance();
+                self.expect_keyword("KEY")?;
+                constraints.push(TableConstraintAst::PrimaryKey(self.column_list()?));
+            } else if self.peek_kind().is_keyword("UNIQUE") {
+                self.advance();
+                constraints.push(TableConstraintAst::Unique(self.column_list()?));
+            } else if self.peek_kind().is_keyword("CHECK") {
+                self.advance();
+                constraints.push(TableConstraintAst::Check(self.paren_or_bare_expr()?));
+            } else if self.peek_kind().is_keyword("FOREIGN") {
+                self.advance();
+                self.expect_keyword("KEY")?;
+                let columns = self.column_list()?;
+                self.expect_keyword("REFERENCES")?;
+                let ref_table = self.expect_ident("referenced table")?;
+                let ref_columns = if self.peek_kind() == &TokenKind::LParen {
+                    self.column_list()?
+                } else {
+                    vec![]
+                };
+                constraints.push(TableConstraintAst::ForeignKey {
+                    columns,
+                    ref_table,
+                    ref_columns,
+                });
+            } else if self.peek_kind().is_keyword("CONSTRAINT") {
+                self.advance();
+                let _name = self.expect_ident("constraint name")?;
+                self.expect_keyword("CHECK")?;
+                constraints.push(TableConstraintAst::Check(self.paren_or_bare_expr()?));
+            } else {
+                columns.push(self.column_def()?);
+            }
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kind(&TokenKind::RParen, ")")?;
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            constraints,
+        })
+    }
+
+    fn column_list(&mut self) -> Result<Vec<String>> {
+        self.expect_kind(&TokenKind::LParen, "(")?;
+        let mut cols = Vec::new();
+        loop {
+            cols.push(self.expect_ident("column name")?);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kind(&TokenKind::RParen, ")")?;
+        Ok(cols)
+    }
+
+    fn column_def(&mut self) -> Result<ColumnDefAst> {
+        let name = self.expect_ident("column name")?;
+        let data_type = self.type_ref()?;
+        let mut def = ColumnDefAst {
+            name,
+            data_type,
+            not_null: false,
+            primary_key: false,
+            unique: false,
+            checks: vec![],
+            references: None,
+        };
+        loop {
+            if self.eat_keyword("NOT") {
+                self.expect_keyword("NULL")?;
+                def.not_null = true;
+            } else if self.eat_keyword("PRIMARY") {
+                self.expect_keyword("KEY")?;
+                def.primary_key = true;
+            } else if self.eat_keyword("UNIQUE") {
+                def.unique = true;
+            } else if self.eat_keyword("CHECK") {
+                def.checks.push(self.paren_or_bare_expr()?);
+            } else if self.eat_keyword("REFERENCES") {
+                let ref_table = self.expect_ident("referenced table")?;
+                let ref_columns = if self.peek_kind() == &TokenKind::LParen {
+                    self.column_list()?
+                } else {
+                    vec![]
+                };
+                def.references = Some((ref_table, ref_columns));
+            } else {
+                break;
+            }
+        }
+        Ok(def)
+    }
+
+    fn type_ref(&mut self) -> Result<TypeRef> {
+        let name = self.expect_ident("type name")?;
+        let upper = name.to_ascii_uppercase();
+        let builtin = match upper.as_str() {
+            "INT" | "INTEGER" | "SMALLINT" | "BIGINT" => Some(DataType::Int64),
+            "FLOAT" | "REAL" => Some(DataType::Float64),
+            "DOUBLE" => {
+                let _ = self.eat_keyword("PRECISION");
+                Some(DataType::Float64)
+            }
+            "BOOLEAN" | "BOOL" => Some(DataType::Boolean),
+            "CHAR" | "CHARACTER" | "VARCHAR" | "TEXT" => {
+                // Optional length.
+                if self.eat_kind(&TokenKind::LParen) {
+                    match self.peek_kind() {
+                        TokenKind::Int(_) => {
+                            self.advance();
+                        }
+                        _ => return Err(self.unexpected("a length")),
+                    }
+                    self.expect_kind(&TokenKind::RParen, ")")?;
+                }
+                Some(DataType::Utf8)
+            }
+            _ => None,
+        };
+        Ok(match builtin {
+            Some(t) => TypeRef::Builtin(t),
+            None => TypeRef::Domain(name),
+        })
+    }
+
+    fn create_domain(&mut self) -> Result<Statement> {
+        let name = self.expect_ident("domain name")?;
+        let data_type = match self.type_ref()? {
+            TypeRef::Builtin(t) => t,
+            TypeRef::Domain(d) => {
+                return Err(Error::Parse(format!(
+                    "domain {name} must use a built-in type, found {d}"
+                )))
+            }
+        };
+        let check = if self.eat_keyword("CHECK") {
+            Some(self.paren_or_bare_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::CreateDomain {
+            name,
+            data_type,
+            check,
+        })
+    }
+
+    fn create_view(&mut self) -> Result<Statement> {
+        let name = self.expect_ident("view name")?;
+        let columns = if self.peek_kind() == &TokenKind::LParen {
+            self.column_list()?
+        } else {
+            vec![]
+        };
+        self.expect_keyword("AS")?;
+        // Capture the raw query text: from here to the statement end.
+        let start = self.peek().start;
+        let mut depth = 0usize;
+        let mut end = start;
+        while !matches!(self.peek_kind(), TokenKind::Eof)
+            && (depth != 0 || self.peek_kind() != &TokenKind::Semicolon)
+        {
+            match self.peek_kind() {
+                TokenKind::LParen => depth += 1,
+                TokenKind::RParen => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            end = self.peek().end;
+            self.advance();
+        }
+        let query_sql = self.src[start..end].trim().to_string();
+        if query_sql.is_empty() {
+            return Err(Error::Parse(format!("view {name} has an empty body")));
+        }
+        Ok(Statement::CreateView {
+            name,
+            columns,
+            query_sql,
+        })
+    }
+
+    /// `CHECK (expr)` or, as in the paper's Figure 5 domain example,
+    /// `CHECK VALUE > 0 AND VALUE < 100` without parentheses.
+    fn paren_or_bare_expr(&mut self) -> Result<AstExpr> {
+        self.expr()
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> Result<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = AstExpr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr> {
+        if self.eat_keyword("NOT") {
+            return Ok(AstExpr::Not(Box::new(self.not_expr()?)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<AstExpr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL postfix.
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(AstExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let op = match self.peek_kind() {
+            TokenKind::Eq => Some(BinaryOp::Eq),
+            TokenKind::NotEq => Some(BinaryOp::NotEq),
+            TokenKind::Lt => Some(BinaryOp::Lt),
+            TokenKind::LtEq => Some(BinaryOp::LtEq),
+            TokenKind::Gt => Some(BinaryOp::Gt),
+            TokenKind::GtEq => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.additive()?;
+            return Ok(AstExpr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<AstExpr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = AstExpr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<AstExpr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = AstExpr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<AstExpr> {
+        if self.eat_kind(&TokenKind::Minus) {
+            return Ok(AstExpr::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat_kind(&TokenKind::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<AstExpr> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(AstExpr::Literal(Value::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(AstExpr::Literal(Value::Float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(AstExpr::Literal(Value::Str(s)))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect_kind(&TokenKind::RParen, ")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if name.eq_ignore_ascii_case("NULL") {
+                    self.advance();
+                    return Ok(AstExpr::Literal(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    self.advance();
+                    return Ok(AstExpr::Literal(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    self.advance();
+                    return Ok(AstExpr::Literal(Value::Bool(false)));
+                }
+                self.advance();
+                // Function call?
+                if self.peek_kind() == &TokenKind::LParen {
+                    self.advance();
+                    let distinct = self.eat_keyword("DISTINCT");
+                    if self.eat_kind(&TokenKind::Star) {
+                        self.expect_kind(&TokenKind::RParen, ")")?;
+                        return Ok(AstExpr::Func {
+                            name,
+                            distinct,
+                            star: true,
+                            args: vec![],
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if self.peek_kind() != &TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_kind(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_kind(&TokenKind::RParen, ")")?;
+                    return Ok(AstExpr::Func {
+                        name,
+                        distinct,
+                        star: false,
+                        args,
+                    });
+                }
+                // Qualified name.
+                let mut parts = vec![name];
+                while self.eat_kind(&TokenKind::Dot) {
+                    parts.push(self.expect_ident("name part")?);
+                }
+                Ok(AstExpr::Name(parts))
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::SelectItemAst;
+
+    #[test]
+    fn parses_example1_query() {
+        let stmt = parse_sql(
+            "SELECT D.DeptID, D.Name, COUNT(E.EmpID) \
+             FROM Employee E, Department D \
+             WHERE E.DeptID = D.DeptID \
+             GROUP BY D.DeptID, D.Name",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        assert!(!s.distinct);
+        assert_eq!(s.items.len(), 3);
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.from[0].alias.as_deref(), Some("E"));
+        assert!(s.where_clause.is_some());
+        assert_eq!(
+            s.group_by,
+            vec![
+                vec!["D".to_string(), "DeptID".to_string()],
+                vec!["D".to_string(), "Name".to_string()]
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_aggregates_with_distinct_and_star() {
+        let Statement::Select(s) =
+            parse_sql("SELECT COUNT(*), COUNT(DISTINCT x), SUM(a + b) FROM t").unwrap()
+        else {
+            panic!()
+        };
+        let SelectItemAst::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
+        assert_eq!(
+            *expr,
+            AstExpr::Func {
+                name: "COUNT".into(),
+                distinct: false,
+                star: true,
+                args: vec![]
+            }
+        );
+        let SelectItemAst::Expr { expr, .. } = &s.items[1] else {
+            panic!()
+        };
+        assert!(matches!(expr, AstExpr::Func { distinct: true, .. }));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let Statement::Select(s) =
+            parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap()
+        else {
+            panic!()
+        };
+        // OR binds loosest: (a=1) OR ((b=2) AND (c=3)).
+        let AstExpr::Binary { op, right, .. } = s.where_clause.unwrap() else {
+            panic!()
+        };
+        assert_eq!(op, BinaryOp::Or);
+        assert!(matches!(
+            *right,
+            AstExpr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let Statement::Select(s) = parse_sql("SELECT * FROM t WHERE a + b * 2 = 7").unwrap()
+        else {
+            panic!()
+        };
+        let AstExpr::Binary { left, .. } = s.where_clause.unwrap() else {
+            panic!()
+        };
+        // a + (b * 2)
+        let AstExpr::Binary { op, right, .. } = *left else { panic!() };
+        assert_eq!(op, BinaryOp::Add);
+        assert!(matches!(
+            *right,
+            AstExpr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let Statement::Select(s) =
+            parse_sql("SELECT * FROM t WHERE x IS NOT NULL AND NOT y IS NULL").unwrap()
+        else {
+            panic!()
+        };
+        let w = s.where_clause.unwrap();
+        let AstExpr::Binary { left, right, .. } = w else { panic!() };
+        assert!(matches!(*left, AstExpr::IsNull { negated: true, .. }));
+        assert!(matches!(*right, AstExpr::Not(_)));
+    }
+
+    #[test]
+    fn parses_figure5_create_table() {
+        let stmt = parse_sql(
+            "CREATE TABLE Employee ( \
+               EmpID INTEGER CHECK (EmpID > 0), \
+               EmpSID INTEGER UNIQUE, \
+               LastName CHARACTER(30) NOT NULL, \
+               FirstName CHARACTER(30), \
+               DeptID DepIdType CHECK (DeptID > 5), \
+               PRIMARY KEY (EmpID), \
+               FOREIGN KEY (DeptID) REFERENCES Dept)",
+        )
+        .unwrap();
+        let Statement::CreateTable {
+            name,
+            columns,
+            constraints,
+        } = stmt
+        else {
+            panic!()
+        };
+        assert_eq!(name, "Employee");
+        assert_eq!(columns.len(), 5);
+        assert!(columns[2].not_null);
+        assert!(columns[1].unique);
+        assert_eq!(columns[4].data_type, TypeRef::Domain("DepIdType".into()));
+        assert_eq!(columns[0].checks.len(), 1);
+        assert_eq!(constraints.len(), 2);
+        assert!(matches!(
+            &constraints[1],
+            TableConstraintAst::ForeignKey { ref_table, .. } if ref_table == "Dept"
+        ));
+    }
+
+    #[test]
+    fn parses_figure5_create_domain_without_parens() {
+        let stmt =
+            parse_sql("CREATE DOMAIN DepIdType SMALLINT CHECK VALUE > 0 AND VALUE < 100")
+                .unwrap();
+        let Statement::CreateDomain {
+            name,
+            data_type,
+            check,
+        } = stmt
+        else {
+            panic!()
+        };
+        assert_eq!(name, "DepIdType");
+        assert_eq!(data_type, DataType::Int64);
+        assert!(matches!(
+            check.unwrap(),
+            AstExpr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_create_view_capturing_raw_text() {
+        let stmt = parse_sql(
+            "CREATE VIEW UserInfo (UserId, Machine, TotUsage) AS \
+             SELECT A.UserId, A.Machine, SUM(A.Usage) \
+             FROM PrinterAuth A GROUP BY A.UserId, A.Machine",
+        )
+        .unwrap();
+        let Statement::CreateView {
+            name,
+            columns,
+            query_sql,
+        } = stmt
+        else {
+            panic!()
+        };
+        assert_eq!(name, "UserInfo");
+        assert_eq!(columns, vec!["UserId", "Machine", "TotUsage"]);
+        assert!(query_sql.starts_with("SELECT"));
+        assert!(query_sql.ends_with("A.Machine"));
+        // The captured text must itself parse.
+        assert!(matches!(
+            parse_sql(&query_sql).unwrap(),
+            Statement::Select(_)
+        ));
+    }
+
+    #[test]
+    fn parses_insert_with_multiple_rows_and_negatives() {
+        let stmt =
+            parse_sql("INSERT INTO t VALUES (1, 'a', NULL), (-2, 'b', 3.5)").unwrap();
+        let Statement::Insert { table, rows } = stmt else { panic!() };
+        assert_eq!(table, "t");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][2], AstExpr::Literal(Value::Null));
+        assert!(matches!(rows[1][0], AstExpr::Neg(_)));
+    }
+
+    #[test]
+    fn parses_explain_and_drop() {
+        assert!(matches!(
+            parse_sql("EXPLAIN SELECT * FROM t").unwrap(),
+            Statement::Explain { analyze: false, .. }
+        ));
+        assert!(matches!(
+            parse_sql("EXPLAIN ANALYZE SELECT * FROM t").unwrap(),
+            Statement::Explain { analyze: true, .. }
+        ));
+        assert_eq!(
+            parse_sql("DROP TABLE t").unwrap(),
+            Statement::DropTable("t".into())
+        );
+        assert_eq!(
+            parse_sql("DROP VIEW v").unwrap(),
+            Statement::DropView("v".into())
+        );
+    }
+
+    #[test]
+    fn parses_multiple_statements() {
+        let stmts =
+            parse_statements("CREATE TABLE t (x INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn parses_having_and_order_by() {
+        let Statement::Select(s) = parse_sql(
+            "SELECT d, COUNT(*) FROM t GROUP BY d HAVING COUNT(*) > 5 ORDER BY d DESC, e",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert!(s.having.is_some());
+        assert_eq!(s.order_by.len(), 2);
+        assert!(!s.order_by[0].1, "DESC");
+        assert!(s.order_by[1].1, "default ASC");
+    }
+
+    #[test]
+    fn parses_distinct_select() {
+        let Statement::Select(s) = parse_sql("SELECT DISTINCT a FROM t").unwrap() else {
+            panic!()
+        };
+        assert!(s.distinct);
+        let Statement::Select(s) = parse_sql("SELECT ALL a FROM t").unwrap() else {
+            panic!()
+        };
+        assert!(!s.distinct);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_sql("SELECT FROM t").is_err());
+        assert!(parse_sql("SELECT * FROM").is_err());
+        assert!(parse_sql("CREATE NONSENSE x").is_err());
+        assert!(parse_sql("SELECT * FROM t; SELECT * FROM u").is_err()); // parse_sql wants one
+        assert!(parse_sql("").is_err());
+        assert!(parse_sql("INSERT INTO t VALUES 1").is_err());
+    }
+
+    #[test]
+    fn parses_delete_and_update() {
+        let stmt = parse_sql("DELETE FROM t WHERE x = 1").unwrap();
+        let Statement::Delete { table, predicate } = stmt else { panic!() };
+        assert_eq!(table, "t");
+        assert!(predicate.is_some());
+        let stmt = parse_sql("DELETE FROM t").unwrap();
+        assert!(matches!(stmt, Statement::Delete { predicate: None, .. }));
+
+        let stmt = parse_sql("UPDATE t SET a = a + 1, b = 'x' WHERE c IS NULL").unwrap();
+        let Statement::Update {
+            table,
+            assignments,
+            predicate,
+        } = stmt
+        else {
+            panic!()
+        };
+        assert_eq!(table, "t");
+        assert_eq!(assignments.len(), 2);
+        assert_eq!(assignments[1].0, "b");
+        assert!(predicate.is_some());
+        assert!(parse_sql("UPDATE t SET").is_err());
+        assert!(parse_sql("DELETE t").is_err());
+    }
+
+    #[test]
+    fn parses_create_assertion() {
+        let stmt =
+            parse_sql("CREATE ASSERTION positive CHECK (Employee.EmpID > 0)").unwrap();
+        let Statement::CreateAssertion { name, .. } = stmt else { panic!() };
+        assert_eq!(name, "positive");
+    }
+
+    #[test]
+    fn keywords_do_not_become_aliases() {
+        let Statement::Select(s) = parse_sql("SELECT * FROM t WHERE x = 1").unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.from[0].alias, None);
+    }
+}

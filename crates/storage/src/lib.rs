@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # gbj-storage
+//!
+//! In-memory storage for base tables.
+//!
+//! Tables are **multisets** of rows (paper Section 4.3: "a table may
+//! contain duplicate rows"); every stored row carries an implicit
+//! `RowID` that uniquely identifies it, realising the paper's assumption
+//! that "there always exists a column in each table called RowID".
+//!
+//! [`Storage`] couples the data with the [`Catalog`](gbj_catalog::Catalog)
+//! and enforces every declared constraint on insert — NOT NULL, CHECK
+//! (with SQL2's `⌈·⌉` semantics: a check passes unless *false*), domain
+//! checks, PRIMARY KEY / UNIQUE (the latter with "NULL ≠ NULL"
+//! semantics, as the paper notes for the UNIQUE predicate), and FOREIGN
+//! KEY. Section 6's reasoning depends on this: *because* constraints
+//! hold in every valid instance, they may be conjoined to any WHERE
+//! clause, which is what lets `TestFD` use them to derive functional
+//! dependencies.
+
+mod storage;
+mod table;
+
+pub use storage::Storage;
+pub use table::{Row, Table};

@@ -1,0 +1,778 @@
+//! The storage engine: catalog + data, with constraint enforcement.
+
+use std::collections::BTreeMap;
+
+use gbj_catalog::{Catalog, Constraint, Domain, TableDef, ViewDef};
+use gbj_expr::Expr;
+use gbj_types::{DataType, Error, Field, Result, Schema, Truth, Value};
+
+use crate::table::Table;
+
+/// The in-memory database: a [`Catalog`] plus one [`Table`] of data per
+/// base table, with every declared constraint enforced on insert.
+#[derive(Debug, Clone, Default)]
+pub struct Storage {
+    catalog: Catalog,
+    data: BTreeMap<String, Table>,
+}
+
+fn key(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Storage {
+    /// An empty database.
+    #[must_use]
+    pub fn new() -> Storage {
+        Storage::default()
+    }
+
+    /// The catalog (read-only; mutate through the `create_*` methods so
+    /// data structures stay in sync).
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Create a base table: registers the definition and initialises
+    /// the data container with its key indexes.
+    pub fn create_table(&mut self, def: TableDef) -> Result<()> {
+        let def = def.validate()?;
+        let name = def.name.clone();
+        // Build the data table first (so we fail before touching the
+        // catalog on errors).
+        let schema = def.schema(&name);
+        let mut table = Table::new(schema);
+        for cons in &def.constraints {
+            match cons {
+                Constraint::PrimaryKey(cols) => {
+                    table.add_key_index(self.ordinals(&def, cols)?, false);
+                }
+                Constraint::Unique(cols) => {
+                    table.add_key_index(self.ordinals(&def, cols)?, true);
+                }
+                _ => {}
+            }
+        }
+        self.catalog.create_table(def)?;
+        self.data.insert(key(&name), table);
+        Ok(())
+    }
+
+    fn ordinals(&self, def: &TableDef, cols: &[String]) -> Result<Vec<usize>> {
+        cols.iter()
+            .map(|c| {
+                def.column(c)
+                    .map(|(i, _)| i)
+                    .ok_or_else(|| Error::Catalog(format!("unknown column {c}")))
+            })
+            .collect()
+    }
+
+    /// Create a domain.
+    pub fn create_domain(&mut self, domain: Domain) -> Result<()> {
+        self.catalog.create_domain(domain)
+    }
+
+    /// Create a view.
+    pub fn create_view(&mut self, view: ViewDef) -> Result<()> {
+        self.catalog.create_view(view)
+    }
+
+    /// Create an assertion. Assertions are trusted invariants used by
+    /// the optimizer's Theorem-3 reasoning; cross-table assertions are
+    /// not re-validated on inserts (documented limitation).
+    pub fn create_assertion(&mut self, assertion: gbj_catalog::Assertion) -> Result<()> {
+        self.catalog.create_assertion(assertion)
+    }
+
+    /// Drop a view.
+    pub fn drop_view(&mut self, name: &str) -> Result<()> {
+        self.catalog.drop_view(name)?;
+        Ok(())
+    }
+
+    /// Drop a table and its data.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.catalog.drop_table(name)?;
+        self.data.remove(&key(name));
+        Ok(())
+    }
+
+    /// The stored data of a table.
+    #[must_use]
+    pub fn table_data(&self, name: &str) -> Option<&Table> {
+        self.data.get(&key(name))
+    }
+
+    /// Validate types, NOT NULL, column/domain CHECKs and table CHECKs
+    /// for one row, returning the (Int→Float coerced) values. Key and
+    /// foreign-key checks are separate (they depend on table state).
+    fn validate_row(def: &TableDef, values: Vec<Value>) -> Result<Vec<Value>> {
+        if values.len() != def.columns.len() {
+            return Err(Error::Constraint(format!(
+                "table {} expects {} values, got {}",
+                def.name,
+                def.columns.len(),
+                values.len()
+            )));
+        }
+
+        // Per-column checks: type, NOT NULL, CHECK.
+        let mut coerced = values;
+        for (i, col) in def.columns.iter().enumerate() {
+            let v = &mut coerced[i];
+            if v.is_null() {
+                if !col.nullable {
+                    return Err(Error::Constraint(format!(
+                        "NULL in NOT NULL column {}.{}",
+                        def.name, col.name
+                    )));
+                }
+                continue;
+            }
+            // Type check with Int→Float coercion.
+            match (v.data_type(), col.data_type) {
+                (Some(t), ct) if t == ct => {}
+                (Some(DataType::Int64), DataType::Float64) => {
+                    if let Value::Int(i) = *v {
+                        *v = Value::Float(i as f64);
+                    }
+                }
+                (Some(t), ct) => {
+                    return Err(Error::Constraint(format!(
+                        "type mismatch for column {}.{}: expected {ct}, got {t}",
+                        def.name, col.name
+                    )));
+                }
+                (None, _) => unreachable!("non-null value has a type"),
+            }
+            // Column + domain CHECKs over the single value, exposed both
+            // under the column's own name and the DOMAIN pseudo-column
+            // VALUE. SQL2 check semantics: violated only when *false*.
+            for check in &col.checks {
+                let schema = Schema::new(vec![
+                    Field::new(col.name.clone(), col.data_type, true),
+                    Field::new("VALUE", col.data_type, true),
+                ]);
+                let row = vec![v.clone(), v.clone()];
+                if check.eval_truth(&row, &schema)? == Truth::False {
+                    return Err(Error::Constraint(format!(
+                        "CHECK {check} violated by column {}.{} value {v}",
+                        def.name, col.name
+                    )));
+                }
+            }
+        }
+
+        // Table-level CHECK constraints, over the whole row.
+        let schema = def.schema(&def.name);
+        for cons in &def.constraints {
+            if let Constraint::Check { name, expr } = cons {
+                if expr.eval_truth(&coerced, &schema)? == Truth::False {
+                    let label = name.clone().unwrap_or_else(|| expr.to_string());
+                    return Err(Error::Constraint(format!(
+                        "table CHECK {label} violated on {}",
+                        def.name
+                    )));
+                }
+            }
+        }
+
+        Ok(coerced)
+    }
+
+    /// Check the outgoing foreign keys of one (validated) row: any NULL
+    /// component passes; otherwise the combo must exist under the
+    /// referenced key.
+    fn check_outgoing_fks(&mut self, def: &TableDef, coerced: &[Value]) -> Result<()> {
+        for cons in &def.constraints {
+            let Constraint::ForeignKey {
+                columns,
+                ref_table,
+                ref_columns,
+            } = cons
+            else {
+                continue;
+            };
+            let fk_ords = self.ordinals(def, columns)?;
+            let fk_vals: Vec<Value> = fk_ords.iter().map(|&i| coerced[i].clone()).collect();
+            if fk_vals.iter().any(Value::is_null) {
+                continue;
+            }
+            let ref_def = self
+                .catalog
+                .table(ref_table)
+                .ok_or_else(|| Error::Catalog(format!("unknown table {ref_table}")))?
+                .clone();
+            let ref_cols: Vec<String> = if ref_columns.is_empty() {
+                ref_def
+                    .primary_key()
+                    .ok_or_else(|| {
+                        Error::Catalog(format!(
+                            "foreign key references {ref_table} which has no primary key"
+                        ))
+                    })?
+                    .to_vec()
+            } else {
+                ref_columns.clone()
+            };
+            let ref_ords = self.ordinals(&ref_def, &ref_cols)?;
+            let ref_data = self
+                .data
+                .get_mut(&key(ref_table))
+                .ok_or_else(|| Error::Internal(format!("missing data for {ref_table}")))?;
+            if !ref_data.contains_key_value(&ref_ords, &fk_vals) {
+                return Err(Error::Constraint(format!(
+                    "foreign key violation: {}({}) -> {ref_table}({}) value {:?} not found",
+                    def.name,
+                    columns.join(","),
+                    ref_cols.join(","),
+                    fk_vals
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert one row, enforcing NOT NULL, CHECK (column, domain and
+    /// table level), key and foreign-key constraints. Returns the
+    /// assigned RowID.
+    pub fn insert(&mut self, table_name: &str, values: Vec<Value>) -> Result<u64> {
+        let def = self
+            .catalog
+            .table(table_name)
+            .ok_or_else(|| Error::Catalog(format!("unknown table {table_name}")))?
+            .clone();
+        let coerced = Self::validate_row(&def, values)?;
+        // Key constraints against the current contents.
+        {
+            let table = self
+                .data
+                .get(&key(&def.name))
+                .ok_or_else(|| Error::Internal(format!("missing data for {}", def.name)))?;
+            table.check_keys(&coerced)?;
+        }
+        self.check_outgoing_fks(&def, &coerced)?;
+        let table = self
+            .data
+            .get_mut(&key(&def.name))
+            .ok_or_else(|| Error::Internal(format!("missing data for {}", def.name)))?;
+        Ok(table.push(coerced))
+    }
+
+    /// Evaluate a predicate against one row of a table (WHERE-clause
+    /// semantics: rows qualify only when the predicate is *true*).
+    fn row_matches(schema: &Schema, predicate: Option<&Expr>, row: &[Value]) -> Result<bool> {
+        match predicate {
+            None => Ok(true),
+            Some(p) => Ok(p.eval_truth(row, schema)? == Truth::True),
+        }
+    }
+
+    /// Incoming referential-integrity check (RESTRICT semantics): every
+    /// non-NULL foreign-key combo in every referencing table must still
+    /// resolve against `final_rows` of `def`'s table.
+    fn check_incoming_fks(
+        &self,
+        def: &TableDef,
+        final_rows: &[crate::table::Row],
+    ) -> Result<()> {
+        let referencing: Vec<TableDef> = self
+            .catalog
+            .tables()
+            .filter(|t| {
+                t.foreign_keys().any(|fk| {
+                    matches!(fk, Constraint::ForeignKey { ref_table, .. }
+                        if ref_table.eq_ignore_ascii_case(&def.name))
+                })
+            })
+            .cloned()
+            .collect();
+        for other in referencing {
+            for fk in other.foreign_keys() {
+                let Constraint::ForeignKey {
+                    columns,
+                    ref_table,
+                    ref_columns,
+                } = fk
+                else {
+                    continue;
+                };
+                if !ref_table.eq_ignore_ascii_case(&def.name) {
+                    continue;
+                }
+                let ref_cols: Vec<String> = if ref_columns.is_empty() {
+                    def.primary_key()
+                        .ok_or_else(|| {
+                            Error::Catalog(format!(
+                                "foreign key references {} which has no primary key",
+                                def.name
+                            ))
+                        })?
+                        .to_vec()
+                } else {
+                    ref_columns.clone()
+                };
+                let ref_ords = self.ordinals(def, &ref_cols)?;
+                let remaining: std::collections::HashSet<gbj_types::GroupKey> = final_rows
+                    .iter()
+                    .filter_map(|row| {
+                        let vals: Vec<Value> =
+                            ref_ords.iter().map(|&i| row.values[i].clone()).collect();
+                        (!vals.iter().any(Value::is_null))
+                            .then_some(gbj_types::GroupKey(vals))
+                    })
+                    .collect();
+                let fk_ords = self.ordinals(&other, columns)?;
+                let other_data = self
+                    .data
+                    .get(&key(&other.name))
+                    .ok_or_else(|| Error::Internal(format!("missing data for {}", other.name)))?;
+                for row in other_data.rows() {
+                    let vals: Vec<Value> =
+                        fk_ords.iter().map(|&i| row.values[i].clone()).collect();
+                    if vals.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    if !remaining.contains(&gbj_types::GroupKey(vals.clone())) {
+                        return Err(Error::Constraint(format!(
+                            "cannot modify {}: row {:?} of {} still references it",
+                            def.name, vals, other.name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete the rows matching `predicate` (all rows when `None`),
+    /// enforcing incoming foreign keys with RESTRICT semantics. Returns
+    /// the number of rows deleted.
+    pub fn delete(&mut self, table_name: &str, predicate: Option<&Expr>) -> Result<usize> {
+        let def = self
+            .catalog
+            .table(table_name)
+            .ok_or_else(|| Error::Catalog(format!("unknown table {table_name}")))?
+            .clone();
+        let schema = def.schema(&def.name);
+        let table = self
+            .data
+            .get(&key(&def.name))
+            .ok_or_else(|| Error::Internal(format!("missing data for {}", def.name)))?;
+        let mut kept = Vec::new();
+        let mut deleted = 0usize;
+        for row in table.rows() {
+            if Self::row_matches(&schema, predicate, &row.values)? {
+                deleted += 1;
+            } else {
+                kept.push(row.clone());
+            }
+        }
+        if deleted == 0 {
+            return Ok(0);
+        }
+        self.check_incoming_fks(&def, &kept)?;
+        let table = self
+            .data
+            .get_mut(&key(&def.name))
+            .ok_or_else(|| Error::Internal(format!("missing data for {}", def.name)))?;
+        table.replace_rows(kept);
+        Ok(deleted)
+    }
+
+    /// Update the rows matching `predicate`, applying `assignments`
+    /// (column name, expression over the old row). Re-validates every
+    /// constraint class on the final state: types, NOT NULL, CHECKs,
+    /// keys, and both directions of referential integrity. Returns the
+    /// number of rows updated.
+    pub fn update(
+        &mut self,
+        table_name: &str,
+        assignments: &[(String, Expr)],
+        predicate: Option<&Expr>,
+    ) -> Result<usize> {
+        let def = self
+            .catalog
+            .table(table_name)
+            .ok_or_else(|| Error::Catalog(format!("unknown table {table_name}")))?
+            .clone();
+        let schema = def.schema(&def.name);
+        let assign_ords: Vec<(usize, &Expr)> = assignments
+            .iter()
+            .map(|(col, e)| {
+                def.column(col)
+                    .map(|(i, _)| (i, e))
+                    .ok_or_else(|| Error::Bind(format!("unknown column {col} in UPDATE")))
+            })
+            .collect::<Result<_>>()?;
+
+        let table = self
+            .data
+            .get(&key(&def.name))
+            .ok_or_else(|| Error::Internal(format!("missing data for {}", def.name)))?;
+        let mut final_rows = Vec::with_capacity(table.len());
+        let mut updated = 0usize;
+        for row in table.rows() {
+            if Self::row_matches(&schema, predicate, &row.values)? {
+                let mut new_values = row.values.clone();
+                for (i, e) in &assign_ords {
+                    new_values[*i] = e.eval(&row.values, &schema)?;
+                }
+                let validated = Self::validate_row(&def, new_values)?;
+                final_rows.push(crate::table::Row {
+                    row_id: row.row_id,
+                    values: validated,
+                });
+                updated += 1;
+            } else {
+                final_rows.push(row.clone());
+            }
+        }
+        if updated == 0 {
+            return Ok(0);
+        }
+        // Keys over the final multiset.
+        {
+            let table = self
+                .data
+                .get(&key(&def.name))
+                .ok_or_else(|| Error::Internal(format!("missing data for {}", def.name)))?;
+            table.check_keys_over(&final_rows)?;
+        }
+        // Outgoing FKs for the new values.
+        let new_values: Vec<Vec<Value>> = final_rows.iter().map(|r| r.values.clone()).collect();
+        for values in &new_values {
+            self.check_outgoing_fks(&def, values)?;
+        }
+        // Incoming FKs against the final state.
+        self.check_incoming_fks(&def, &final_rows)?;
+        let table = self
+            .data
+            .get_mut(&key(&def.name))
+            .ok_or_else(|| Error::Internal(format!("missing data for {}", def.name)))?;
+        table.replace_rows(final_rows);
+        Ok(updated)
+    }
+
+    /// Insert several rows, stopping on the first constraint violation.
+    pub fn insert_many(
+        &mut self,
+        table_name: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<usize> {
+        let mut n = 0;
+        for row in rows {
+            self.insert(table_name, row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_catalog::ColumnDef;
+    use gbj_expr::{BinaryOp, Expr};
+
+    fn dept_def() -> TableDef {
+        TableDef::new(
+            "Department",
+            vec![
+                ColumnDef::new("DeptID", DataType::Int64),
+                ColumnDef::new("Name", DataType::Utf8),
+            ],
+        )
+        .with_constraint(Constraint::PrimaryKey(vec!["DeptID".into()]))
+    }
+
+    fn emp_def() -> TableDef {
+        TableDef::new(
+            "Employee",
+            vec![
+                ColumnDef::new("EmpID", DataType::Int64)
+                    .with_check(Expr::bare("EmpID").binary(BinaryOp::Gt, Expr::lit(0i64))),
+                ColumnDef::new("LastName", DataType::Utf8).not_null(),
+                ColumnDef::new("DeptID", DataType::Int64),
+            ],
+        )
+        .with_constraint(Constraint::PrimaryKey(vec!["EmpID".into()]))
+        .with_constraint(Constraint::ForeignKey {
+            columns: vec!["DeptID".into()],
+            ref_table: "Department".into(),
+            ref_columns: vec![],
+        })
+    }
+
+    fn setup() -> Storage {
+        let mut s = Storage::new();
+        s.create_table(dept_def()).unwrap();
+        s.create_table(emp_def()).unwrap();
+        s.insert("Department", vec![Value::Int(1), Value::str("R&D")])
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn basic_insert_and_read() {
+        let mut s = setup();
+        let id = s
+            .insert(
+                "Employee",
+                vec![Value::Int(10), Value::str("Yan"), Value::Int(1)],
+            )
+            .unwrap();
+        assert_eq!(id, 0);
+        let t = s.table_data("employee").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows().next().unwrap().values[1], Value::str("Yan"));
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut s = setup();
+        let err = s
+            .insert("Employee", vec![Value::Int(10), Value::Null, Value::Int(1)])
+            .unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+        assert!(err.message().contains("LastName"));
+    }
+
+    #[test]
+    fn primary_key_uniqueness_enforced() {
+        let mut s = setup();
+        s.insert(
+            "Employee",
+            vec![Value::Int(10), Value::str("Yan"), Value::Int(1)],
+        )
+        .unwrap();
+        let err = s
+            .insert(
+                "Employee",
+                vec![Value::Int(10), Value::str("Larson"), Value::Int(1)],
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+    }
+
+    #[test]
+    fn null_pk_rejected() {
+        let mut s = setup();
+        let err = s
+            .insert(
+                "Employee",
+                vec![Value::Null, Value::str("Yan"), Value::Int(1)],
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+    }
+
+    #[test]
+    fn check_constraint_enforced_with_ceil_semantics() {
+        let mut s = setup();
+        // EmpID > 0 violated.
+        let err = s
+            .insert(
+                "Employee",
+                vec![Value::Int(-1), Value::str("Yan"), Value::Int(1)],
+            )
+            .unwrap_err();
+        assert!(err.message().contains("CHECK"));
+        // NULL DeptID makes the FK vacuous; checks on EmpID still run.
+        s.insert(
+            "Employee",
+            vec![Value::Int(5), Value::str("Yan"), Value::Null],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn foreign_key_enforced_and_null_passes() {
+        let mut s = setup();
+        let err = s
+            .insert(
+                "Employee",
+                vec![Value::Int(10), Value::str("Yan"), Value::Int(99)],
+            )
+            .unwrap_err();
+        assert!(err.message().contains("foreign key violation"));
+        // NULL FK is fine ("must either be NULL or match").
+        s.insert(
+            "Employee",
+            vec![Value::Int(10), Value::str("Yan"), Value::Null],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn type_mismatch_rejected_and_int_coerces_to_float() {
+        let mut s = Storage::new();
+        s.create_table(TableDef::new(
+            "M",
+            vec![
+                ColumnDef::new("f", DataType::Float64),
+                ColumnDef::new("s", DataType::Utf8),
+            ],
+        ))
+        .unwrap();
+        s.insert("M", vec![Value::Int(3), Value::str("ok")]).unwrap();
+        assert_eq!(
+            s.table_data("M").unwrap().rows().next().unwrap().values[0],
+            Value::Float(3.0)
+        );
+        let err = s
+            .insert("M", vec![Value::str("no"), Value::str("x")])
+            .unwrap_err();
+        assert!(err.message().contains("type mismatch"));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut s = setup();
+        assert!(s.insert("Employee", vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn domain_style_value_check() {
+        // CREATE DOMAIN DepIdType CHECK (VALUE > 0 AND VALUE < 100):
+        // the DDL layer copies the check onto the column with the VALUE
+        // pseudo-column; storage resolves it against the value itself.
+        let mut s = Storage::new();
+        let check = Expr::bare("VALUE")
+            .binary(BinaryOp::Gt, Expr::lit(0i64))
+            .and(Expr::bare("VALUE").binary(BinaryOp::Lt, Expr::lit(100i64)));
+        s.create_table(TableDef::new(
+            "T",
+            vec![ColumnDef::new("DeptID", DataType::Int64).with_check(check)],
+        ))
+        .unwrap();
+        s.insert("T", vec![Value::Int(50)]).unwrap();
+        assert!(s.insert("T", vec![Value::Int(100)]).is_err());
+        assert!(s.insert("T", vec![Value::Int(0)]).is_err());
+        // NULL passes a CHECK (unknown is not false).
+        s.insert("T", vec![Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn table_level_check() {
+        let mut s = Storage::new();
+        s.create_table(
+            TableDef::new(
+                "Range",
+                vec![
+                    ColumnDef::new("lo", DataType::Int64),
+                    ColumnDef::new("hi", DataType::Int64),
+                ],
+            )
+            .with_constraint(Constraint::Check {
+                name: Some("lo_le_hi".into()),
+                expr: Expr::bare("lo").binary(BinaryOp::LtEq, Expr::bare("hi")),
+            }),
+        )
+        .unwrap();
+        s.insert("Range", vec![Value::Int(1), Value::Int(2)]).unwrap();
+        let err = s
+            .insert("Range", vec![Value::Int(3), Value::Int(2)])
+            .unwrap_err();
+        assert!(err.message().contains("lo_le_hi"));
+        // Unknown passes.
+        s.insert("Range", vec![Value::Null, Value::Int(2)]).unwrap();
+    }
+
+    #[test]
+    fn unique_allows_duplicate_nulls() {
+        let mut s = Storage::new();
+        s.create_table(
+            TableDef::new(
+                "U",
+                vec![
+                    ColumnDef::new("id", DataType::Int64),
+                    ColumnDef::new("sid", DataType::Int64),
+                ],
+            )
+            .with_constraint(Constraint::PrimaryKey(vec!["id".into()]))
+            .with_constraint(Constraint::Unique(vec!["sid".into()])),
+        )
+        .unwrap();
+        s.insert("U", vec![Value::Int(1), Value::Null]).unwrap();
+        s.insert("U", vec![Value::Int(2), Value::Null]).unwrap();
+        s.insert("U", vec![Value::Int(3), Value::Int(7)]).unwrap();
+        assert!(s.insert("U", vec![Value::Int(4), Value::Int(7)]).is_err());
+    }
+
+    #[test]
+    fn insert_many_counts_and_stops_on_error() {
+        let mut s = setup();
+        let rows = vec![
+            vec![Value::Int(1), Value::str("a"), Value::Int(1)],
+            vec![Value::Int(2), Value::str("b"), Value::Int(1)],
+            vec![Value::Int(1), Value::str("dup"), Value::Int(1)],
+        ];
+        let err = s.insert_many("Employee", rows).unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+        assert_eq!(s.table_data("Employee").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn drop_table_removes_data() {
+        let mut s = setup();
+        s.drop_table("Employee").unwrap();
+        assert!(s.table_data("Employee").is_none());
+        assert!(s.catalog().table("Employee").is_none());
+    }
+
+    #[test]
+    fn composite_foreign_key() {
+        let mut s = Storage::new();
+        s.create_table(
+            TableDef::new(
+                "UserAccount",
+                vec![
+                    ColumnDef::new("UserId", DataType::Int64),
+                    ColumnDef::new("Machine", DataType::Utf8),
+                ],
+            )
+            .with_constraint(Constraint::PrimaryKey(vec![
+                "UserId".into(),
+                "Machine".into(),
+            ])),
+        )
+        .unwrap();
+        s.create_table(
+            TableDef::new(
+                "PrinterAuth",
+                vec![
+                    ColumnDef::new("UserId", DataType::Int64),
+                    ColumnDef::new("Machine", DataType::Utf8),
+                    ColumnDef::new("PNo", DataType::Int64),
+                ],
+            )
+            .with_constraint(Constraint::PrimaryKey(vec![
+                "UserId".into(),
+                "Machine".into(),
+                "PNo".into(),
+            ]))
+            .with_constraint(Constraint::ForeignKey {
+                columns: vec!["UserId".into(), "Machine".into()],
+                ref_table: "UserAccount".into(),
+                ref_columns: vec![],
+            }),
+        )
+        .unwrap();
+        s.insert("UserAccount", vec![Value::Int(1), Value::str("dragon")])
+            .unwrap();
+        s.insert(
+            "PrinterAuth",
+            vec![Value::Int(1), Value::str("dragon"), Value::Int(7)],
+        )
+        .unwrap();
+        assert!(s
+            .insert(
+                "PrinterAuth",
+                vec![Value::Int(1), Value::str("tiger"), Value::Int(7)],
+            )
+            .is_err());
+    }
+}

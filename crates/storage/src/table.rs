@@ -1,0 +1,314 @@
+//! The stored table: a multiset of rows with implicit RowIDs and
+//! hash indexes over declared keys.
+
+use std::collections::{HashMap, HashSet};
+
+use gbj_types::{Error, GroupKey, Result, Schema, Value};
+
+/// A stored row: its implicit RowID plus the column values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// The implicit unique row identifier (paper §4.3).
+    pub row_id: u64,
+    /// Column values in schema order.
+    pub values: Vec<Value>,
+}
+
+/// An index over one candidate key of a table.
+///
+/// PRIMARY KEY entries always participate; UNIQUE entries with any NULL
+/// component are *not* indexed because SQL2's UNIQUE uses "NULL ≠ NULL"
+/// semantics — such rows can never conflict.
+#[derive(Debug, Clone)]
+struct KeyIndex {
+    columns: Vec<usize>,
+    /// Whether NULLs are allowed in the key (UNIQUE yes, PRIMARY KEY no).
+    allows_null: bool,
+    entries: HashSet<GroupKey>,
+}
+
+/// An in-memory base table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Row>,
+    next_row_id: u64,
+    /// Bumped on every mutation; invalidates lazy lookup sets.
+    generation: u64,
+    key_indexes: Vec<KeyIndex>,
+    /// Lookup sets for foreign keys *into* this table, keyed by the
+    /// referenced column ordinals, tagged with the generation they were
+    /// built at. Built lazily, maintained incrementally on insert.
+    ref_lookups: HashMap<Vec<usize>, (u64, HashSet<GroupKey>)>,
+}
+
+impl Table {
+    /// An empty table with the given (unqualified or table-qualified)
+    /// schema.
+    #[must_use]
+    pub fn new(schema: Schema) -> Table {
+        Table {
+            schema,
+            rows: Vec::new(),
+            next_row_id: 0,
+            generation: 0,
+            key_indexes: Vec::new(),
+            ref_lookups: HashMap::new(),
+        }
+    }
+
+    /// Declare a key over column ordinals; `allows_null` is true for
+    /// UNIQUE, false for PRIMARY KEY.
+    pub(crate) fn add_key_index(&mut self, columns: Vec<usize>, allows_null: bool) {
+        self.key_indexes.push(KeyIndex {
+            columns,
+            allows_null,
+            entries: HashSet::new(),
+        });
+    }
+
+    /// The table schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate the stored rows.
+    pub fn rows(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+
+    /// The raw value vectors, for the executor's scan.
+    pub fn value_rows(&self) -> impl Iterator<Item = &[Value]> {
+        self.rows.iter().map(|r| r.values.as_slice())
+    }
+
+    /// Check key uniqueness for a candidate row (without inserting).
+    pub(crate) fn check_keys(&self, values: &[Value]) -> Result<()> {
+        for idx in &self.key_indexes {
+            let key_vals: Vec<Value> =
+                idx.columns.iter().map(|&c| values[c].clone()).collect();
+            let has_null = key_vals.iter().any(Value::is_null);
+            if has_null {
+                if idx.allows_null {
+                    continue; // UNIQUE: NULL ≠ NULL, never conflicts
+                }
+                return Err(Error::Constraint(format!(
+                    "NULL in primary key column of key ({:?})",
+                    idx.columns
+                )));
+            }
+            if idx.entries.contains(&GroupKey(key_vals)) {
+                return Err(Error::Constraint(format!(
+                    "duplicate key value for key on columns {:?}",
+                    idx.columns
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Append a row, updating indexes. The caller (Storage) has already
+    /// validated constraints.
+    pub(crate) fn push(&mut self, values: Vec<Value>) -> u64 {
+        for idx in &mut self.key_indexes {
+            let key_vals: Vec<Value> =
+                idx.columns.iter().map(|&c| values[c].clone()).collect();
+            if !key_vals.iter().any(Value::is_null) {
+                idx.entries.insert(GroupKey(key_vals));
+            }
+        }
+        self.generation += 1;
+        // Keep current lookup sets current (incremental maintenance).
+        for (cols, (gen, set)) in &mut self.ref_lookups {
+            let key_vals: Vec<Value> = cols.iter().map(|&c| values[c].clone()).collect();
+            if !key_vals.iter().any(Value::is_null) {
+                set.insert(GroupKey(key_vals));
+            }
+            *gen = self.generation;
+        }
+        let id = self.next_row_id;
+        self.next_row_id += 1;
+        self.rows.push(Row {
+            row_id: id,
+            values,
+        });
+        id
+    }
+
+    /// Replace the stored rows wholesale (DELETE / UPDATE), rebuilding
+    /// key indexes and invalidating lookup sets. Surviving rows keep
+    /// their RowIDs; `next_row_id` never goes backwards, so IDs are
+    /// never reused.
+    pub(crate) fn replace_rows(&mut self, rows: Vec<Row>) {
+        for idx in &mut self.key_indexes {
+            idx.entries.clear();
+        }
+        self.ref_lookups.clear();
+        for row in &rows {
+            for idx in &mut self.key_indexes {
+                let key_vals: Vec<Value> = idx
+                    .columns
+                    .iter()
+                    .map(|&c| row.values[c].clone())
+                    .collect();
+                if !key_vals.iter().any(Value::is_null) {
+                    idx.entries.insert(GroupKey(key_vals));
+                }
+            }
+        }
+        self.generation += 1;
+        self.rows = rows;
+    }
+
+    /// Key-uniqueness check over an arbitrary candidate row multiset
+    /// (used by UPDATE, which must validate the *final* state).
+    pub(crate) fn check_keys_over(&self, rows: &[Row]) -> Result<()> {
+        for idx in &self.key_indexes {
+            let mut seen: HashSet<GroupKey> = HashSet::with_capacity(rows.len());
+            for row in rows {
+                let key_vals: Vec<Value> = idx
+                    .columns
+                    .iter()
+                    .map(|&c| row.values[c].clone())
+                    .collect();
+                if key_vals.iter().any(Value::is_null) {
+                    if idx.allows_null {
+                        continue;
+                    }
+                    return Err(Error::Constraint(format!(
+                        "NULL in primary key column of key ({:?})",
+                        idx.columns
+                    )));
+                }
+                if !seen.insert(GroupKey(key_vals)) {
+                    return Err(Error::Constraint(format!(
+                        "duplicate key value for key on columns {:?}",
+                        idx.columns
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a (fully non-NULL) key value exists under the given
+    /// referenced columns — used for foreign-key validation. Builds a
+    /// lookup set on first use.
+    pub(crate) fn contains_key_value(&mut self, columns: &[usize], key: &[Value]) -> bool {
+        // Fast path: an existing key index over exactly these columns.
+        if let Some(idx) = self.key_indexes.iter().find(|i| i.columns == columns) {
+            return idx.entries.contains(&GroupKey(key.to_vec()));
+        }
+        let generation = self.generation;
+        let (gen, set) = self
+            .ref_lookups
+            .entry(columns.to_vec())
+            .or_insert_with(|| (0, HashSet::new()));
+        if *gen != generation {
+            // (Re)build for the current generation; push() maintains it
+            // incrementally afterwards.
+            set.clear();
+            for row in &self.rows {
+                let vals: Vec<Value> =
+                    columns.iter().map(|&c| row.values[c].clone()).collect();
+                if !vals.iter().any(Value::is_null) {
+                    set.insert(GroupKey(vals));
+                }
+            }
+            *gen = generation;
+        }
+        set.contains(&GroupKey(key.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_types::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("x", DataType::Int64, true),
+        ])
+    }
+
+    #[test]
+    fn row_ids_are_sequential_and_unique() {
+        let mut t = Table::new(schema());
+        let a = t.push(vec![Value::Int(1), Value::Null]);
+        let b = t.push(vec![Value::Int(2), Value::Null]);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        let ids: Vec<u64> = t.rows().map(|r| r.row_id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_rows_are_allowed_as_multiset() {
+        let mut t = Table::new(schema());
+        t.push(vec![Value::Int(1), Value::Int(5)]);
+        t.push(vec![Value::Int(1), Value::Int(5)]);
+        assert_eq!(t.len(), 2, "tables are multisets");
+    }
+
+    #[test]
+    fn primary_key_index_rejects_duplicates_and_nulls() {
+        let mut t = Table::new(schema());
+        t.add_key_index(vec![0], false);
+        t.check_keys(&[Value::Int(1), Value::Null]).unwrap();
+        t.push(vec![Value::Int(1), Value::Null]);
+        assert!(t.check_keys(&[Value::Int(1), Value::Int(9)]).is_err());
+        assert!(t.check_keys(&[Value::Null, Value::Int(9)]).is_err());
+        t.check_keys(&[Value::Int(2), Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn unique_index_allows_multiple_nulls() {
+        let mut t = Table::new(schema());
+        t.add_key_index(vec![1], true);
+        t.push(vec![Value::Int(1), Value::Null]);
+        // A second NULL never conflicts (UNIQUE uses NULL ≠ NULL).
+        t.check_keys(&[Value::Int(2), Value::Null]).unwrap();
+        t.push(vec![Value::Int(2), Value::Null]);
+        t.push(vec![Value::Int(3), Value::Int(7)]);
+        assert!(t.check_keys(&[Value::Int(4), Value::Int(7)]).is_err());
+    }
+
+    #[test]
+    fn contains_key_value_lookup() {
+        let mut t = Table::new(schema());
+        t.push(vec![Value::Int(1), Value::Int(10)]);
+        t.push(vec![Value::Int(2), Value::Int(20)]);
+        assert!(t.contains_key_value(&[0], &[Value::Int(1)]));
+        assert!(!t.contains_key_value(&[0], &[Value::Int(3)]));
+        // Lookup set stays correct across later pushes.
+        t.push(vec![Value::Int(3), Value::Int(30)]);
+        assert!(t.contains_key_value(&[0], &[Value::Int(3)]));
+        // Composite lookup.
+        assert!(t.contains_key_value(&[0, 1], &[Value::Int(2), Value::Int(20)]));
+        assert!(!t.contains_key_value(&[0, 1], &[Value::Int(2), Value::Int(99)]));
+    }
+
+    #[test]
+    fn contains_key_value_uses_key_index_fast_path() {
+        let mut t = Table::new(schema());
+        t.add_key_index(vec![0], false);
+        t.push(vec![Value::Int(5), Value::Null]);
+        assert!(t.contains_key_value(&[0], &[Value::Int(5)]));
+        assert!(!t.contains_key_value(&[0], &[Value::Int(6)]));
+    }
+}

@@ -1,0 +1,106 @@
+//! SQL data types supported by the engine.
+
+use std::fmt;
+
+/// The data type of a column or expression.
+///
+/// The paper's queries need integers, character strings, and the numeric
+/// results of aggregates; we also carry booleans (for completeness of the
+/// expression language) and double-precision floats (`AVG`, arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean truth value (two-valued at rest; `NULL` represents unknown).
+    Boolean,
+    /// 64-bit signed integer (`INTEGER`, `SMALLINT`, `BIGINT`).
+    Int64,
+    /// 64-bit IEEE-754 float (`DOUBLE PRECISION`, `FLOAT`, `REAL`).
+    Float64,
+    /// Variable-length character string (`CHARACTER(n)`, `VARCHAR`).
+    Utf8,
+}
+
+impl DataType {
+    /// Whether the type is numeric (valid operand for `+ - * /`,
+    /// `SUM`, `AVG`).
+    #[must_use]
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64)
+    }
+
+    /// The common type two numeric operands are coerced to, if any.
+    ///
+    /// Integer op Float yields Float, mirroring SQL numeric precedence.
+    #[must_use]
+    pub fn numeric_common(self, other: DataType) -> Option<DataType> {
+        use DataType::{Float64, Int64};
+        match (self, other) {
+            (Int64, Int64) => Some(Int64),
+            (Int64, Float64) | (Float64, Int64) | (Float64, Float64) => Some(Float64),
+            _ => None,
+        }
+    }
+
+    /// Whether values of the two types can be compared with `< = >`.
+    #[must_use]
+    pub fn comparable_with(self, other: DataType) -> bool {
+        self == other || (self.is_numeric() && other.is_numeric())
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Boolean => "BOOLEAN",
+            DataType::Int64 => "INTEGER",
+            DataType::Float64 => "DOUBLE",
+            DataType::Utf8 => "VARCHAR",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Int64.is_numeric());
+        assert!(DataType::Float64.is_numeric());
+        assert!(!DataType::Utf8.is_numeric());
+        assert!(!DataType::Boolean.is_numeric());
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(
+            DataType::Int64.numeric_common(DataType::Int64),
+            Some(DataType::Int64)
+        );
+        assert_eq!(
+            DataType::Int64.numeric_common(DataType::Float64),
+            Some(DataType::Float64)
+        );
+        assert_eq!(
+            DataType::Float64.numeric_common(DataType::Int64),
+            Some(DataType::Float64)
+        );
+        assert_eq!(DataType::Utf8.numeric_common(DataType::Int64), None);
+    }
+
+    #[test]
+    fn comparability() {
+        assert!(DataType::Int64.comparable_with(DataType::Float64));
+        assert!(DataType::Utf8.comparable_with(DataType::Utf8));
+        assert!(!DataType::Utf8.comparable_with(DataType::Int64));
+        assert!(!DataType::Boolean.comparable_with(DataType::Int64));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataType::Int64.to_string(), "INTEGER");
+        assert_eq!(DataType::Utf8.to_string(), "VARCHAR");
+        assert_eq!(DataType::Boolean.to_string(), "BOOLEAN");
+        assert_eq!(DataType::Float64.to_string(), "DOUBLE");
+    }
+}

@@ -1,0 +1,115 @@
+//! The shared error type for all `gbj` crates.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// An error raised anywhere in the engine.
+///
+/// One enum is shared by every crate so errors compose without a
+/// conversion-trait web; the variants partition by pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexing or parsing failed.
+    Parse(String),
+    /// Name resolution / semantic analysis failed (unknown table or
+    /// column, ambiguous reference, select column not in GROUP BY, …).
+    Bind(String),
+    /// Static typing failed (comparing a string to an integer, SUM over
+    /// a non-numeric column, …).
+    Type(String),
+    /// Catalog manipulation failed (duplicate table, unknown domain, …).
+    Catalog(String),
+    /// A declared integrity constraint was violated by a data change.
+    Constraint(String),
+    /// A plan was structurally invalid or an optimizer invariant broke.
+    Plan(String),
+    /// Runtime evaluation failed (division by zero, overflow, …).
+    Execution(String),
+    /// The requested feature is recognised but not implemented.
+    Unsupported(String),
+    /// An internal invariant was violated — always a bug in the engine.
+    Internal(String),
+}
+
+impl Error {
+    /// Short machine-readable category name.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::Bind(_) => "bind",
+            Error::Type(_) => "type",
+            Error::Catalog(_) => "catalog",
+            Error::Constraint(_) => "constraint",
+            Error::Plan(_) => "plan",
+            Error::Execution(_) => "execution",
+            Error::Unsupported(_) => "unsupported",
+            Error::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        match self {
+            Error::Parse(m)
+            | Error::Bind(m)
+            | Error::Type(m)
+            | Error::Catalog(m)
+            | Error::Constraint(m)
+            | Error::Plan(m)
+            | Error::Execution(m)
+            | Error::Unsupported(m)
+            | Error::Internal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Build an [`Error::Internal`] with `format!` syntax.
+#[macro_export]
+macro_rules! internal_err {
+    ($($arg:tt)*) => {
+        $crate::Error::Internal(format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_messages() {
+        let e = Error::Parse("unexpected token".into());
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected token");
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+
+        let e = Error::Constraint("NOT NULL violated".into());
+        assert_eq!(e.kind(), "constraint");
+
+        let e = Error::Execution("division by zero".into());
+        assert_eq!(e.to_string(), "execution error: division by zero");
+    }
+
+    #[test]
+    fn internal_macro_formats() {
+        let e = internal_err!("bad index {}", 7);
+        assert_eq!(e, Error::Internal("bad index 7".into()));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Bind("x".into()));
+    }
+}

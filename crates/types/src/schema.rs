@@ -1,0 +1,338 @@
+//! Schemas and column references.
+//!
+//! A [`Schema`] is an ordered list of [`Field`]s. Fields carry an
+//! optional *qualifier* (the table name or alias they came from) so that
+//! `E.DeptID` and `D.DeptID` coexist in a join schema and unqualified
+//! references can be rejected as ambiguous, as SQL requires.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::datatype::DataType;
+use crate::error::{Error, Result};
+
+/// A (possibly qualified) reference to a column, e.g. `E.DeptID` or
+/// `DeptID`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    /// Table name or alias; `None` when the reference is unqualified.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// An unqualified reference.
+    pub fn bare(column: impl Into<String>) -> ColumnRef {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// A qualified reference `table.column`.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> ColumnRef {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Qualifier (table name or alias), if any.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Whether the column may hold `NULL`.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A new nullable field without qualifier.
+    pub fn new(name: impl Into<String>, data_type: DataType, nullable: bool) -> Field {
+        Field {
+            qualifier: None,
+            name: name.into(),
+            data_type,
+            nullable,
+        }
+    }
+
+    /// The same field under a (new) qualifier.
+    #[must_use]
+    pub fn with_qualifier(mut self, qualifier: impl Into<String>) -> Field {
+        self.qualifier = Some(qualifier.into());
+        self
+    }
+
+    /// The qualified reference naming this field.
+    #[must_use]
+    pub fn column_ref(&self) -> ColumnRef {
+        ColumnRef {
+            table: self.qualifier.clone(),
+            column: self.name.clone(),
+        }
+    }
+
+    /// Whether the given reference names this field (qualifier must
+    /// match when the reference carries one).
+    #[must_use]
+    pub fn matches(&self, r: &ColumnRef) -> bool {
+        if !self.name.eq_ignore_ascii_case(&r.column) {
+            return false;
+        }
+        match (&r.table, &self.qualifier) {
+            (None, _) => true,
+            (Some(rt), Some(q)) => rt.eq_ignore_ascii_case(q),
+            (Some(_), None) => false,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.column_ref(), self.data_type)?;
+        if !self.nullable {
+            f.write_str(" NOT NULL")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of fields describing a row shape.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Schemas are widely shared between plan nodes; an `Arc` alias keeps
+/// cloning cheap.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema from fields.
+    #[must_use]
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// The empty schema.
+    #[must_use]
+    pub fn empty() -> Schema {
+        Schema { fields: vec![] }
+    }
+
+    /// The fields, in order.
+    #[must_use]
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at ordinal `i`.
+    #[must_use]
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Resolve a column reference to its ordinal, rejecting unknown and
+    /// ambiguous references.
+    pub fn index_of(&self, r: &ColumnRef) -> Result<usize> {
+        let mut found: Option<usize> = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.matches(r) {
+                if let Some(prev) = found {
+                    return Err(Error::Bind(format!(
+                        "ambiguous column reference {r}: matches both {} and {}",
+                        self.fields[prev].column_ref(),
+                        f.column_ref()
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| Error::Bind(format!("unknown column {r}")))
+    }
+
+    /// Resolve, returning the field as well.
+    pub fn resolve(&self, r: &ColumnRef) -> Result<(usize, &Field)> {
+        let i = self.index_of(r)?;
+        Ok((i, &self.fields[i]))
+    }
+
+    /// Whether the reference resolves (unambiguously) in this schema.
+    #[must_use]
+    pub fn contains(&self, r: &ColumnRef) -> bool {
+        self.index_of(r).is_ok()
+    }
+
+    /// Concatenate two schemas (the schema of a Cartesian product /
+    /// join: R1's columns then R2's).
+    #[must_use]
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Re-qualify every field (used when a table gets an alias: `FROM
+    /// Employee E` renames qualifiers to `E`).
+    #[must_use]
+    pub fn with_qualifier(&self, qualifier: &str) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| f.clone().with_qualifier(qualifier))
+                .collect(),
+        }
+    }
+
+    /// Project onto the given ordinals.
+    #[must_use]
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+
+    /// All fields whose qualifier equals `qualifier`.
+    #[must_use]
+    pub fn fields_with_qualifier(&self, qualifier: &str) -> Vec<(usize, &Field)> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.qualifier
+                    .as_deref()
+                    .is_some_and(|q| q.eq_ignore_ascii_case(qualifier))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emp_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("EmpID", DataType::Int64, false).with_qualifier("E"),
+            Field::new("LastName", DataType::Utf8, false).with_qualifier("E"),
+            Field::new("DeptID", DataType::Int64, true).with_qualifier("E"),
+        ])
+    }
+
+    fn dept_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("DeptID", DataType::Int64, false).with_qualifier("D"),
+            Field::new("Name", DataType::Utf8, true).with_qualifier("D"),
+        ])
+    }
+
+    #[test]
+    fn qualified_resolution() {
+        let s = emp_schema();
+        assert_eq!(s.index_of(&ColumnRef::qualified("E", "EmpID")).unwrap(), 0);
+        assert_eq!(s.index_of(&ColumnRef::bare("DeptID")).unwrap(), 2);
+        assert!(s.index_of(&ColumnRef::qualified("D", "EmpID")).is_err());
+        assert!(s.index_of(&ColumnRef::bare("Salary")).is_err());
+    }
+
+    #[test]
+    fn case_insensitive_resolution() {
+        let s = emp_schema();
+        assert_eq!(s.index_of(&ColumnRef::qualified("e", "empid")).unwrap(), 0);
+        assert_eq!(s.index_of(&ColumnRef::bare("DEPTID")).unwrap(), 2);
+    }
+
+    #[test]
+    fn ambiguity_detected_in_join_schema() {
+        let j = emp_schema().join(&dept_schema());
+        assert_eq!(j.len(), 5);
+        // Unqualified DeptID matches both E.DeptID and D.DeptID.
+        let err = j.index_of(&ColumnRef::bare("DeptID")).unwrap_err();
+        assert_eq!(err.kind(), "bind");
+        // Qualified references disambiguate.
+        assert_eq!(j.index_of(&ColumnRef::qualified("E", "DeptID")).unwrap(), 2);
+        assert_eq!(j.index_of(&ColumnRef::qualified("D", "DeptID")).unwrap(), 3);
+    }
+
+    #[test]
+    fn requalification() {
+        let s = emp_schema().with_qualifier("Emp2");
+        assert!(s.contains(&ColumnRef::qualified("Emp2", "EmpID")));
+        assert!(!s.contains(&ColumnRef::qualified("E", "EmpID")));
+    }
+
+    #[test]
+    fn projection() {
+        let s = emp_schema().project(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.field(0).name, "DeptID");
+        assert_eq!(s.field(1).name, "EmpID");
+    }
+
+    #[test]
+    fn fields_with_qualifier_filters() {
+        let j = emp_schema().join(&dept_schema());
+        let d_fields = j.fields_with_qualifier("D");
+        assert_eq!(d_fields.len(), 2);
+        assert_eq!(d_fields[0].0, 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        let f = Field::new("EmpID", DataType::Int64, false).with_qualifier("E");
+        assert_eq!(f.to_string(), "E.EmpID: INTEGER NOT NULL");
+        assert_eq!(ColumnRef::bare("x").to_string(), "x");
+        assert_eq!(ColumnRef::qualified("T", "x").to_string(), "T.x");
+        let s = Schema::new(vec![Field::new("a", DataType::Int64, true)]);
+        assert_eq!(s.to_string(), "[a: INTEGER]");
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! SQL2 three-valued logic.
+//!
+//! SQL2 evaluates search conditions to one of three truth values:
+//! `true`, `false`, or `unknown` (the result of comparing anything with
+//! `NULL`). The paper's Figure 2 gives the `AND`/`OR` truth tables and
+//! Figure 3 defines two *interpretation operators* that collapse the
+//! three-valued result back to two values:
+//!
+//! * `⌊P⌋` ("floor") interprets `unknown` as `false` — this is how the
+//!   `WHERE` clause admits rows (a row qualifies only when the condition
+//!   is *true*).
+//! * `⌈P⌉` ("ceil") interprets `unknown` as `true`.
+
+use std::fmt;
+
+/// A truth value in SQL2's three-valued logic.
+///
+/// ```
+/// use gbj_types::Truth;
+///
+/// // Figure 2: unknown AND false = false, unknown OR false = unknown.
+/// assert_eq!(Truth::Unknown.and(Truth::False), Truth::False);
+/// assert_eq!(Truth::Unknown.or(Truth::False), Truth::Unknown);
+/// // Figure 3: the WHERE clause interprets unknown as false.
+/// assert!(!Truth::Unknown.floor());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Truth {
+    /// The condition holds.
+    True,
+    /// The condition does not hold.
+    False,
+    /// The condition involves `NULL` and cannot be decided.
+    Unknown,
+}
+
+impl Truth {
+    /// Three-valued `AND`, exactly the left table of the paper's Figure 2.
+    ///
+    /// `unknown AND false = false`; `unknown AND true = unknown`.
+    #[must_use]
+    pub fn and(self, other: Truth) -> Truth {
+        use Truth::{False, True, Unknown};
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Three-valued `OR`, exactly the right table of the paper's Figure 2.
+    ///
+    /// `unknown OR true = true`; `unknown OR false = unknown`.
+    #[must_use]
+    pub fn or(self, other: Truth) -> Truth {
+        use Truth::{False, True, Unknown};
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// Three-valued negation: `NOT unknown = unknown`.
+    ///
+    /// Also available through the `!` operator via [`std::ops::Not`].
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// The interpretation operator `⌊P⌋` of Figure 3: `unknown ↦ false`.
+    ///
+    /// This is the semantics of the `WHERE` clause: a row qualifies only
+    /// if the search condition is *true*.
+    #[must_use]
+    pub fn floor(self) -> bool {
+        self == Truth::True
+    }
+
+    /// The interpretation operator `⌈P⌉` of Figure 3: `unknown ↦ true`.
+    #[must_use]
+    pub fn ceil(self) -> bool {
+        self != Truth::False
+    }
+
+    /// Lift a two-valued boolean into the three-valued domain.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Whether this value is `Unknown`.
+    #[must_use]
+    pub fn is_unknown(self) -> bool {
+        self == Truth::Unknown
+    }
+
+    /// All three truth values, in the order the paper's Figure 2 lists
+    /// them (true, unknown, false). Useful for exhaustive table checks.
+    pub const ALL: [Truth; 3] = [Truth::True, Truth::Unknown, Truth::False];
+}
+
+impl std::ops::Not for Truth {
+    type Output = Truth;
+
+    fn not(self) -> Truth {
+        Truth::not(self)
+    }
+}
+
+impl fmt::Display for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Truth::True => "true",
+            Truth::False => "false",
+            Truth::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Truth {
+        Truth::from_bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Truth::{False, True, Unknown};
+
+    /// The AND table of Figure 2, row-major in the paper's order
+    /// (true, unknown, false).
+    #[test]
+    fn figure2_and_table() {
+        let expected = [
+            [True, Unknown, False],
+            [Unknown, Unknown, False],
+            [False, False, False],
+        ];
+        for (i, &a) in Truth::ALL.iter().enumerate() {
+            for (j, &b) in Truth::ALL.iter().enumerate() {
+                assert_eq!(a.and(b), expected[i][j], "{a} AND {b}");
+            }
+        }
+    }
+
+    /// The OR table of Figure 2.
+    #[test]
+    fn figure2_or_table() {
+        let expected = [
+            [True, True, True],
+            [True, Unknown, Unknown],
+            [True, Unknown, False],
+        ];
+        for (i, &a) in Truth::ALL.iter().enumerate() {
+            for (j, &b) in Truth::ALL.iter().enumerate() {
+                assert_eq!(a.or(b), expected[i][j], "{a} OR {b}");
+            }
+        }
+    }
+
+    /// Figure 3: `⌊P⌋` maps (true, unknown, false) to (true, false, false)
+    /// and `⌈P⌉` maps them to (true, true, false).
+    #[test]
+    fn figure3_interpretation_operators() {
+        assert!(True.floor());
+        assert!(!Unknown.floor());
+        assert!(!False.floor());
+
+        assert!(True.ceil());
+        assert!(Unknown.ceil());
+        assert!(!False.ceil());
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+        assert_eq!(Unknown.not(), Unknown);
+        for t in Truth::ALL {
+            assert_eq!(t.not().not(), t, "double negation");
+        }
+    }
+
+    #[test]
+    fn and_or_are_commutative_and_associative() {
+        for a in Truth::ALL {
+            for b in Truth::ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                for c in Truth::ALL {
+                    assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+                    assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds_in_three_valued_logic() {
+        for a in Truth::ALL {
+            for b in Truth::ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity() {
+        for a in Truth::ALL {
+            for b in Truth::ALL {
+                for c in Truth::ALL {
+                    assert_eq!(a.and(b.or(c)), a.and(b).or(a.and(c)));
+                    assert_eq!(a.or(b.and(c)), a.or(b).and(a.or(c)));
+                }
+            }
+        }
+    }
+
+    /// `unknown` is *not* idempotent under excluded middle: `P OR NOT P`
+    /// is `unknown` when `P` is `unknown`. This is what makes SQL's NULL
+    /// semantics subtle and is relied on by the paper's proofs.
+    #[test]
+    fn no_excluded_middle_for_unknown() {
+        assert_eq!(Unknown.or(Unknown.not()), Unknown);
+        assert_eq!(Unknown.and(Unknown.not()), Unknown);
+    }
+
+    #[test]
+    fn display_and_from_bool() {
+        assert_eq!(True.to_string(), "true");
+        assert_eq!(Unknown.to_string(), "unknown");
+        assert_eq!(Truth::from(true), True);
+        assert_eq!(Truth::from(false), False);
+        assert!(Unknown.is_unknown());
+        assert!(!True.is_unknown());
+    }
+}

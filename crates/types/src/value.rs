@@ -1,0 +1,545 @@
+//! SQL values, including `NULL`, with the paper's two equality notions.
+//!
+//! Section 4.2 of the paper distinguishes:
+//!
+//! * **Search-condition comparison** — `X = Y` returns `unknown` when
+//!   either side is `NULL` ([`Value::sql_eq`], [`Value::sql_cmp`]). The
+//!   `WHERE` clause then interprets `unknown` as `false` (`⌊·⌋`).
+//! * **Duplicate detection** (`DISTINCT`, `GROUP BY`, `UNION`, …) — two
+//!   values are duplicates when they are equal and both non-NULL, *or*
+//!   both NULL. The paper writes this `X =ⁿ Y` ([`Value::null_eq`]).
+//!
+//! [`GroupKey`] packages a vector of values with `Eq`/`Hash` that follow
+//! `=ⁿ`, so hash grouping and duplicate elimination implement SQL2
+//! semantics by construction.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::datatype::DataType;
+use crate::error::{Error, Result};
+use crate::truth::Truth;
+
+/// A single SQL value.
+///
+/// ```
+/// use gbj_types::{Truth, Value};
+///
+/// // Search-condition equality: NULL = NULL is unknown …
+/// assert_eq!(Value::Null.sql_eq(&Value::Null), Truth::Unknown);
+/// // … while duplicate detection treats NULLs as equal (the paper's =ⁿ).
+/// assert!(Value::Null.null_eq(&Value::Null));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The SQL `NULL` marker ("value unknown / missing").
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Character string.
+    Str(String),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Whether the value is `NULL`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The dynamic type of the value; `None` for `NULL` (typeless marker).
+    #[must_use]
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Boolean),
+            Value::Int(_) => Some(DataType::Int64),
+            Value::Float(_) => Some(DataType::Float64),
+            Value::Str(_) => Some(DataType::Utf8),
+        }
+    }
+
+    /// Three-valued equality for search conditions: `NULL = x` is
+    /// `Unknown` for every `x` (including `NULL`).
+    #[must_use]
+    pub fn sql_eq(&self, other: &Value) -> Truth {
+        match self.sql_cmp(other) {
+            None => Truth::Unknown,
+            Some(ord) => Truth::from_bool(ord == Ordering::Equal),
+        }
+    }
+
+    /// Three-valued ordering comparison for search conditions.
+    ///
+    /// Returns `None` when either operand is `NULL` (the comparison is
+    /// `unknown`) or the operands are incomparable types — the binder
+    /// rejects ill-typed comparisons before execution, so in practice
+    /// `None` means NULL-involvement.
+    #[must_use]
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::{Bool, Float, Int, Null, Str};
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// The duplicate-detection equality `=ⁿ` of Section 4.2: equal and
+    /// both non-NULL, or both NULL ("NULL equals NULL").
+    #[must_use]
+    pub fn null_eq(&self, other: &Value) -> bool {
+        use Value::{Float, Int, Null};
+        match (self, other) {
+            (Null, Null) => true,
+            (Null, _) | (_, Null) => false,
+            // Mixed numeric comparison participates in grouping after
+            // coercion; compare numerically so Int(1) groups with
+            // Float(1.0) the way a coerced comparison would.
+            (Int(a), Float(b)) => (*a as f64) == *b,
+            (Float(a), Int(b)) => *a == (*b as f64),
+            (a, b) => a == b,
+        }
+    }
+
+    /// Total ordering used by ORDER BY and sort-based grouping: `NULL`
+    /// sorts *last* and equal to other `NULL`s (the `=ⁿ` convention);
+    /// floats use IEEE `totalOrder`, so NaN sorts consistently (after
+    /// every finite value) instead of breaking sort invariants.
+    #[must_use]
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => {
+                // Numeric pairs: IEEE total order over f64 (handles NaN).
+                let as_float = |v: &Value| match v {
+                    Value::Int(i) => Some(*i as f64),
+                    Value::Float(f) => Some(*f),
+                    _ => None,
+                };
+                if let (Some(a), Some(b)) = (as_float(self), as_float(other)) {
+                    return a.total_cmp(&b);
+                }
+                self.sql_cmp(other)
+                    .unwrap_or_else(|| self.type_rank().cmp(&other.type_rank()))
+            }
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 4,
+            Value::Bool(_) => 0,
+            Value::Int(_) | Value::Float(_) => 1,
+            Value::Str(_) => 2,
+        }
+    }
+
+    /// SQL addition with NULL propagation and overflow checking.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        self.numeric_binop(other, "+", |a, b| a.checked_add(b), |a, b| a + b)
+    }
+
+    /// SQL subtraction with NULL propagation and overflow checking.
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        self.numeric_binop(other, "-", |a, b| a.checked_sub(b), |a, b| a - b)
+    }
+
+    /// SQL multiplication with NULL propagation and overflow checking.
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        self.numeric_binop(other, "*", |a, b| a.checked_mul(b), |a, b| a * b)
+    }
+
+    /// SQL division. Integer division by zero is an execution error;
+    /// `NULL` operands propagate.
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        match (self, other) {
+            (Value::Int(_), Value::Int(0)) => {
+                Err(Error::Execution("division by zero".into()))
+            }
+            _ => self.numeric_binop(other, "/", |a, b| a.checked_div(b), |a, b| a / b),
+        }
+    }
+
+    /// Arithmetic negation with NULL propagation.
+    pub fn neg(&self) -> Result<Value> {
+        match self {
+            Value::Null => Ok(Value::Null),
+            Value::Int(a) => a
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or_else(|| Error::Execution("integer overflow in negation".into())),
+            Value::Float(a) => Ok(Value::Float(-a)),
+            other => Err(Error::Type(format!(
+                "cannot negate non-numeric value {other}"
+            ))),
+        }
+    }
+
+    fn numeric_binop(
+        &self,
+        other: &Value,
+        op: &str,
+        int_op: impl Fn(i64, i64) -> Option<i64>,
+        float_op: impl Fn(f64, f64) -> f64,
+    ) -> Result<Value> {
+        use Value::{Float, Int, Null};
+        match (self, other) {
+            (Null, _) | (_, Null) => Ok(Null),
+            (Int(a), Int(b)) => int_op(*a, *b).map(Value::Int).ok_or_else(|| {
+                Error::Execution(format!("integer overflow evaluating {a} {op} {b}"))
+            }),
+            (Int(a), Float(b)) => Ok(Float(float_op(*a as f64, *b))),
+            (Float(a), Int(b)) => Ok(Float(float_op(*a, *b as f64))),
+            (Float(a), Float(b)) => Ok(Float(float_op(*a, *b))),
+            (a, b) => Err(Error::Type(format!(
+                "invalid operands for {op}: {a} and {b}"
+            ))),
+        }
+    }
+
+    /// Coerce to `f64` for aggregate arithmetic; `None` for `NULL`.
+    pub fn as_f64(&self) -> Result<Option<f64>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Int(i) => Ok(Some(*i as f64)),
+            Value::Float(f) => Ok(Some(*f)),
+            other => Err(Error::Type(format!("expected numeric value, got {other}"))),
+        }
+    }
+
+    /// Extract an `i64`, erroring on other non-NULL types.
+    pub fn as_i64(&self) -> Result<Option<i64>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Int(i) => Ok(Some(*i)),
+            other => Err(Error::Type(format!("expected integer value, got {other}"))),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// A grouping / duplicate-detection key: a row of values compared and
+/// hashed under the `=ⁿ` semantics ("NULL equals NULL", floats by their
+/// numeric value with `-0.0 = 0.0` and NaN self-equal).
+#[derive(Debug, Clone)]
+pub struct GroupKey(pub Vec<Value>);
+
+impl PartialEq for GroupKey {
+    fn eq(&self, other: &GroupKey) -> bool {
+        self.0.len() == other.0.len()
+            && self
+                .0
+                .iter()
+                .zip(&other.0)
+                .all(|(a, b)| group_value_eq(a, b))
+    }
+}
+
+impl Eq for GroupKey {}
+
+impl Hash for GroupKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for v in &self.0 {
+            hash_group_value(v, state);
+        }
+    }
+}
+
+/// `=ⁿ` extended to a full equivalence relation for hashing: NaN is
+/// treated as equal to NaN so that `Eq`'s reflexivity holds.
+fn group_value_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) if x.is_nan() && y.is_nan() => true,
+        _ => a.null_eq(b),
+    }
+}
+
+fn hash_group_value<H: Hasher>(v: &Value, state: &mut H) {
+    match v {
+        Value::Null => state.write_u8(0),
+        Value::Bool(b) => {
+            state.write_u8(1);
+            state.write_u8(u8::from(*b));
+        }
+        // Int and Float that compare `=ⁿ`-equal must hash equal: hash
+        // every numeric through the f64 bit pattern of its value, with
+        // -0.0 normalised to 0.0 and NaN to one canonical NaN.
+        Value::Int(i) => {
+            state.write_u8(2);
+            state.write_u64(canonical_f64_bits(*i as f64));
+        }
+        Value::Float(f) => {
+            state.write_u8(2);
+            state.write_u64(canonical_f64_bits(*f));
+        }
+        Value::Str(s) => {
+            state.write_u8(3);
+            state.write(s.as_bytes());
+            state.write_u8(0xFF);
+        }
+    }
+}
+
+fn canonical_f64_bits(f: f64) -> u64 {
+    if f.is_nan() {
+        f64::NAN.to_bits()
+    } else if f == 0.0 {
+        0.0_f64.to_bits()
+    } else {
+        f.to_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn sql_eq_null_is_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Null), Truth::Unknown);
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), Truth::Unknown);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), Truth::Unknown);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Truth::True);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Truth::False);
+    }
+
+    #[test]
+    fn null_eq_treats_null_as_equal_to_null() {
+        assert!(Value::Null.null_eq(&Value::Null));
+        assert!(!Value::Null.null_eq(&Value::Int(1)));
+        assert!(!Value::Int(1).null_eq(&Value::Null));
+        assert!(Value::Int(1).null_eq(&Value::Int(1)));
+        assert!(!Value::Int(1).null_eq(&Value::Int(2)));
+    }
+
+    /// Figure 3 bottom table: `X =ⁿ Y` is true when both NULL, and
+    /// otherwise equals `⌊X = Y⌋`.
+    #[test]
+    fn figure3_null_eq_definition() {
+        let vals = [Value::Null, Value::Int(1), Value::Int(2), Value::str("a")];
+        for x in &vals {
+            for y in &vals {
+                let expected = if x.is_null() && y.is_null() {
+                    true
+                } else {
+                    x.sql_eq(y).floor()
+                };
+                assert_eq!(x.null_eq(y), expected, "{x} =n {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(Value::Int(1).sql_eq(&Value::Float(1.0)), Truth::True);
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert!(Value::Int(3).null_eq(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn string_comparison() {
+        assert_eq!(Value::str("abc").sql_eq(&Value::str("abc")), Truth::True);
+        assert_eq!(
+            Value::str("abc").sql_cmp(&Value::str("abd")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn incomparable_types_are_none() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::str("1")), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_cmp_puts_nulls_last_and_equal() {
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+        assert_eq!(Value::Null.total_cmp(&Value::Int(5)), Ordering::Greater);
+        assert_eq!(Value::Int(5).total_cmp(&Value::Null), Ordering::Less);
+        assert_eq!(Value::Int(1).total_cmp(&Value::Int(2)), Ordering::Less);
+    }
+
+    #[test]
+    fn total_cmp_handles_nan_consistently() {
+        let nan = Value::Float(f64::NAN);
+        let one = Value::Int(1);
+        let fone = Value::Float(1.0);
+        // NaN sorts after every finite value, consistently both ways.
+        assert_eq!(nan.total_cmp(&one), Ordering::Greater);
+        assert_eq!(one.total_cmp(&nan), Ordering::Less);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+        assert_eq!(fone.total_cmp(&one), Ordering::Equal);
+        // And still before NULL? NULL is greatest by convention.
+        assert_eq!(nan.total_cmp(&Value::Null), Ordering::Less);
+    }
+
+    #[test]
+    fn arithmetic_null_propagation() {
+        assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(Value::Int(1).mul(&Value::Null).unwrap(), Value::Null);
+        assert_eq!(Value::Null.div(&Value::Int(0)).unwrap(), Value::Null);
+        assert_eq!(Value::Null.neg().unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(Value::Int(2).sub(&Value::Int(3)).unwrap(), Value::Int(-1));
+        assert_eq!(Value::Int(4).mul(&Value::Int(5)).unwrap(), Value::Int(20));
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(
+            Value::Int(1).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(1.5)
+        );
+        assert_eq!(Value::Int(3).neg().unwrap(), Value::Int(-3));
+    }
+
+    #[test]
+    fn arithmetic_errors() {
+        assert!(Value::Int(1).div(&Value::Int(0)).is_err());
+        assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_err());
+        assert!(Value::str("x").add(&Value::Int(1)).is_err());
+        assert!(Value::str("x").neg().is_err());
+        assert!(Value::Int(i64::MIN).neg().is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::Int(3).as_f64().unwrap(), Some(3.0));
+        assert_eq!(Value::Null.as_f64().unwrap(), None);
+        assert!(Value::str("x").as_f64().is_err());
+        assert_eq!(Value::Int(3).as_i64().unwrap(), Some(3));
+        assert!(Value::Float(1.0).as_i64().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Float(1.0).to_string(), "1.0");
+        assert_eq!(Value::Float(1.25).to_string(), "1.25");
+        assert_eq!(Value::str("hi").to_string(), "'hi'");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn group_key_null_groups_together() {
+        let mut groups: HashMap<GroupKey, usize> = HashMap::new();
+        for v in [Value::Null, Value::Null, Value::Int(1), Value::Int(1)] {
+            *groups.entry(GroupKey(vec![v])).or_default() += 1;
+        }
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&GroupKey(vec![Value::Null])], 2);
+        assert_eq!(groups[&GroupKey(vec![Value::Int(1)])], 2);
+    }
+
+    #[test]
+    fn group_key_mixed_numeric_hash_consistency() {
+        let a = GroupKey(vec![Value::Int(1)]);
+        let b = GroupKey(vec![Value::Float(1.0)]);
+        assert_eq!(a, b);
+        let mut m = HashMap::new();
+        m.insert(a, ());
+        assert!(m.contains_key(&b));
+    }
+
+    #[test]
+    fn group_key_zero_and_nan_canonicalisation() {
+        let plus = GroupKey(vec![Value::Float(0.0)]);
+        let minus = GroupKey(vec![Value::Float(-0.0)]);
+        assert_eq!(plus, minus);
+        let mut m = HashMap::new();
+        m.insert(plus, ());
+        assert!(m.contains_key(&minus));
+
+        let nan1 = GroupKey(vec![Value::Float(f64::NAN)]);
+        let nan2 = GroupKey(vec![Value::Float(f64::NAN)]);
+        assert_eq!(nan1, nan2, "NaN must self-group for Eq reflexivity");
+    }
+
+    #[test]
+    fn group_key_length_mismatch_not_equal() {
+        let a = GroupKey(vec![Value::Int(1)]);
+        let b = GroupKey(vec![Value::Int(1), Value::Int(2)]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn group_key_string_boundary_hashing() {
+        // ("ab","c") must not hash-collide-and-equal ("a","bc").
+        let a = GroupKey(vec![Value::str("ab"), Value::str("c")]);
+        let b = GroupKey(vec![Value::str("a"), Value::str("bc")]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 8 / Example 4: the counter-example where pushing the group-by
+//! down is valid but *slower*. The cost model must decline it.
+//!
+//! Run with: `cargo run --release --example adversarial_figure8`
+
+use std::time::Instant;
+
+use gbj::datagen::AdversarialConfig;
+use gbj::engine::{PlanChoice, PushdownPolicy};
+
+fn main() -> gbj::Result<()> {
+    let cfg = AdversarialConfig::paper();
+    println!(
+        "building Figure 8 instance: |A|={}, |B|={}, join={}, groups(A)≈{} …",
+        cfg.a_rows, cfg.b_rows, cfg.join_rows, cfg.a_groups
+    );
+    let mut db = cfg.build()?;
+    let sql = cfg.query();
+
+    for (policy, label) in [
+        (PushdownPolicy::Never, "Plan 1 (lazy)"),
+        (PushdownPolicy::Always, "Plan 2 (eager)"),
+    ] {
+        db.options_mut().policy = policy;
+        let start = Instant::now();
+        let (rows, profile, _) = db.query_report(sql)?;
+        let elapsed = start.elapsed();
+        println!("\n=== {label} ===");
+        println!("{}", profile.display_tree());
+        println!("rows: {}, time: {elapsed:?}", rows.len());
+    }
+
+    db.options_mut().policy = PushdownPolicy::CostBased;
+    let report = db.plan_query(sql)?;
+    println!(
+        "\n=== engine decision ===\nchoice: {:?}\nreason: {}",
+        report.choice, report.reason
+    );
+    assert_eq!(
+        report.choice,
+        PlanChoice::Lazy,
+        "the cost model must decline the unprofitable rewrite"
+    );
+    println!("cost model correctly keeps the lazy plan ✓");
+    Ok(())
+}

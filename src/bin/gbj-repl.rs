@@ -1,0 +1,109 @@
+//! A small interactive shell for the `gbj` engine.
+//!
+//! ```text
+//! cargo run --bin gbj-repl              # interactive
+//! cargo run --bin gbj-repl script.sql   # run a file, then drop to the prompt
+//! ```
+//!
+//! Statements end with `;`. Meta commands:
+//!
+//! * `\q` — quit
+//! * `\tables` — list tables and views
+//! * `\policy cost|eager|lazy` — set the pushdown policy
+//! * `\help` — this text
+
+use std::io::{BufRead, Write};
+
+use gbj::engine::{PushdownPolicy, QueryOutput};
+use gbj::Database;
+
+fn print_output(out: &QueryOutput) {
+    match out {
+        QueryOutput::Rows(rows) => println!("{rows}"),
+        QueryOutput::Explain(text) => println!("{text}"),
+        QueryOutput::Affected(n) => println!("INSERT {n}"),
+        QueryOutput::Ddl(msg) => println!("{msg}"),
+    }
+}
+
+fn run_buffer(db: &mut Database, sql: &str) {
+    match db.run_script(sql) {
+        Ok(outputs) => {
+            for out in outputs {
+                print_output(&out);
+            }
+        }
+        Err(e) => eprintln!("{e}"),
+    }
+}
+
+fn handle_meta(db: &mut Database, line: &str) -> bool {
+    let mut parts = line.split_whitespace();
+    match parts.next() {
+        Some("\\q") | Some("\\quit") => return false,
+        Some("\\help") => {
+            println!(
+                "statements end with ';'. SELECT / INSERT / UPDATE / DELETE / \
+                 CREATE TABLE|DOMAIN|VIEW|ASSERTION / DROP / EXPLAIN [ANALYZE].\n\
+                 \\q quit | \\tables list | \\policy cost|eager|lazy"
+            );
+        }
+        Some("\\tables") => {
+            for t in db.catalog().tables() {
+                println!("table {} ({} columns)", t.name, t.columns.len());
+            }
+        }
+        Some("\\policy") => match parts.next() {
+            Some("cost") => db.options_mut().policy = PushdownPolicy::CostBased,
+            Some("eager") => db.options_mut().policy = PushdownPolicy::Always,
+            Some("lazy") => db.options_mut().policy = PushdownPolicy::Never,
+            other => eprintln!("unknown policy {other:?} (cost|eager|lazy)"),
+        },
+        other => eprintln!("unknown meta command {other:?} (try \\help)"),
+    }
+    true
+}
+
+fn main() {
+    let mut db = Database::new();
+    println!("gbj — group-by before join (Yan & Larson, ICDE 1994). \\help for help.");
+
+    for path in std::env::args().skip(1) {
+        match std::fs::read_to_string(&path) {
+            Ok(sql) => {
+                println!("-- running {path}");
+                run_buffer(&mut db, &sql);
+            }
+            Err(e) => eprintln!("cannot read {path}: {e}"),
+        }
+    }
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        let prompt = if buffer.trim().is_empty() { "gbj> " } else { "...> " };
+        print!("{prompt}");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.trim().is_empty() && trimmed.starts_with('\\') {
+            if !handle_meta(&mut db, trimmed) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if trimmed.ends_with(';') {
+            let sql = std::mem::take(&mut buffer);
+            run_buffer(&mut db, &sql);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # gbj — Group-By before Join
+//!
+//! Root facade crate re-exporting the whole workspace. See the crate-level
+//! documentation of [`gbj_engine`] for the end-to-end API, and
+//! [`gbj_core`] for the paper's transformation and the `TestFD`
+//! algorithm.
+//!
+//! This is a from-scratch Rust reproduction of Weipeng P. Yan and
+//! Per-Åke Larson, *Performing Group-By before Join*, ICDE 1994.
+
+pub use gbj_catalog as catalog;
+pub use gbj_core as core;
+pub use gbj_datagen as datagen;
+pub use gbj_engine as engine;
+pub use gbj_exec as exec;
+pub use gbj_expr as expr;
+pub use gbj_fd as fd;
+pub use gbj_optimizer as optimizer;
+pub use gbj_plan as plan;
+pub use gbj_sql as sql;
+pub use gbj_storage as storage;
+pub use gbj_types as types;
+
+pub use gbj_engine::Database;
+pub use gbj_types::{Error, Result, Value};

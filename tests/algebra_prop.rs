@@ -1,0 +1,217 @@
+//! Property-based tests for the formal machinery underneath the
+//! transformation: predicate normal forms preserve three-valued
+//! semantics on NULL-bearing rows, `GroupKey` is a lawful hash key
+//! under `=ⁿ`, and FD closures satisfy the closure laws the TestFD
+//! proof relies on.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+use gbj::expr::{from_cnf, to_cnf, to_dnf, to_nnf, BinaryOp, Expr};
+use gbj::fd::{Fd, FdSet};
+use gbj::types::{ColumnRef, DataType, Field, GroupKey, Schema, Value};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("a", DataType::Int64, true),
+        Field::new("b", DataType::Int64, true),
+        Field::new("c", DataType::Int64, true),
+    ])
+}
+
+/// Random predicate trees over columns a/b/c with comparisons, logical
+/// connectives, NOT and IS NULL.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let col = proptest::sample::select(vec!["a", "b", "c"]);
+    let leaf = (col, -2i64..3, 0..6u8).prop_map(|(c, k, op)| {
+        let column = Expr::bare(c);
+        let lit = Expr::lit(k);
+        let op = [
+            BinaryOp::Eq,
+            BinaryOp::NotEq,
+            BinaryOp::Lt,
+            BinaryOp::LtEq,
+            BinaryOp::Gt,
+            BinaryOp::GtEq,
+        ][op as usize];
+        column.binary(op, lit)
+    });
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.or(r)),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner, any::<bool>()).prop_map(|(e, negated)| {
+                // IS NULL over a column inside the tree: wrap a leaf.
+                let _ = e;
+                Expr::IsNull {
+                    expr: Box::new(Expr::bare("a")),
+                    negated,
+                }
+            }),
+        ]
+    })
+}
+
+fn row_strategy() -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(
+        proptest::option::weighted(0.7, -2i64..3).prop_map(|o| o.map_or(Value::Null, Value::Int)),
+        3,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// NNF conversion preserves three-valued semantics.
+    #[test]
+    fn nnf_preserves_semantics(e in expr_strategy(), row in row_strategy()) {
+        let s = schema();
+        let n = to_nnf(&e);
+        prop_assert_eq!(
+            e.eval_truth(&row, &s).unwrap(),
+            n.eval_truth(&row, &s).unwrap(),
+            "expr {} vs nnf {}", e, n
+        );
+    }
+
+    /// CNF round trip preserves semantics (when within the clause cap).
+    #[test]
+    fn cnf_preserves_semantics(e in expr_strategy(), row in row_strategy()) {
+        let s = schema();
+        if let Ok(clauses) = to_cnf(&e) {
+            let back = from_cnf(&clauses).expect("non-empty");
+            prop_assert_eq!(
+                e.eval_truth(&row, &s).unwrap(),
+                back.eval_truth(&row, &s).unwrap()
+            );
+        }
+    }
+
+    /// DNF terms, reassembled as a disjunction of conjunctions, are
+    /// semantically equal to the original.
+    #[test]
+    fn dnf_preserves_semantics(e in expr_strategy(), row in row_strategy()) {
+        let s = schema();
+        if let Ok(terms) = to_dnf(&e) {
+            let back = terms
+                .into_iter()
+                .filter_map(Expr::conjunction)
+                .reduce(Expr::or)
+                .expect("non-empty");
+            prop_assert_eq!(
+                e.eval_truth(&row, &s).unwrap(),
+                back.eval_truth(&row, &s).unwrap()
+            );
+        }
+    }
+
+    /// Double negation is the identity under three-valued evaluation.
+    #[test]
+    fn double_negation(e in expr_strategy(), row in row_strategy()) {
+        let s = schema();
+        let nn = Expr::Not(Box::new(Expr::Not(Box::new(e.clone()))));
+        prop_assert_eq!(
+            e.eval_truth(&row, &s).unwrap(),
+            nn.eval_truth(&row, &s).unwrap()
+        );
+    }
+
+    /// GroupKey: equality is reflexive/symmetric and consistent with
+    /// hashing (equal keys land in the same bucket).
+    #[test]
+    fn group_key_laws(
+        xs in proptest::collection::vec(
+            proptest::option::weighted(0.7, -3i64..4), 1..4),
+        ys in proptest::collection::vec(
+            proptest::option::weighted(0.7, -3i64..4), 1..4),
+    ) {
+        let to_key = |v: &Vec<Option<i64>>| {
+            GroupKey(v.iter().map(|o| o.map_or(Value::Null, Value::Int)).collect())
+        };
+        let kx = to_key(&xs);
+        let ky = to_key(&ys);
+        prop_assert_eq!(&kx, &kx, "reflexivity");
+        prop_assert_eq!(kx == ky, ky == kx, "symmetry");
+        let mut m: HashMap<GroupKey, usize> = HashMap::new();
+        m.insert(kx.clone(), 1);
+        if kx == ky {
+            prop_assert!(m.contains_key(&ky), "Eq implies same bucket");
+        }
+        // Int/Float coercion consistency.
+        let fx = GroupKey(
+            xs.iter()
+                .map(|o| o.map_or(Value::Null, |i| Value::Float(i as f64)))
+                .collect(),
+        );
+        prop_assert_eq!(&kx, &fx);
+        prop_assert!(m.contains_key(&fx));
+    }
+
+    /// FD closures: extensive (S ⊆ S⁺), monotone, idempotent.
+    #[test]
+    fn closure_laws(
+        fd_spec in proptest::collection::vec(
+            (proptest::collection::btree_set(0u8..6, 1..3),
+             proptest::collection::btree_set(0u8..6, 1..3)),
+            0..6),
+        seed in proptest::collection::btree_set(0u8..6, 0..4),
+        extra in proptest::collection::btree_set(0u8..6, 0..3),
+    ) {
+        let col = |i: &u8| ColumnRef::qualified("T", format!("c{i}"));
+        let mut fds = FdSet::new();
+        for (lhs, rhs) in &fd_spec {
+            fds.add(Fd::new(
+                lhs.iter().map(col),
+                rhs.iter().map(col),
+                "prop",
+            ));
+        }
+        let seed_cols: BTreeSet<ColumnRef> = seed.iter().map(col).collect();
+        let closure = fds.closure(&seed_cols);
+        // Extensive.
+        prop_assert!(seed_cols.is_subset(&closure));
+        // Idempotent.
+        prop_assert_eq!(&fds.closure(&closure), &closure);
+        // Monotone: a superset seed has a superset closure.
+        let mut bigger = seed_cols.clone();
+        bigger.extend(extra.iter().map(col));
+        let bigger_closure = fds.closure(&bigger);
+        prop_assert!(closure.is_subset(&bigger_closure));
+        // implies() is consistent with the closure.
+        for c in &closure {
+            prop_assert!(fds.implies(&seed_cols, &[c.clone()].into_iter().collect()));
+        }
+    }
+
+    /// Value::total_cmp is a total order (antisymmetric + transitive on
+    /// the sampled values), as the sort operators require.
+    #[test]
+    fn total_cmp_is_a_total_order(
+        raw in proptest::collection::vec(
+            proptest::option::weighted(0.8, -5i64..6), 3..6),
+    ) {
+        let vals: Vec<Value> = raw
+            .iter()
+            .map(|o| o.map_or(Value::Null, Value::Int))
+            .collect();
+        for a in &vals {
+            prop_assert_eq!(a.total_cmp(a), std::cmp::Ordering::Equal);
+            for b in &vals {
+                prop_assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse());
+                for c in &vals {
+                    if a.total_cmp(b) != std::cmp::Ordering::Greater
+                        && b.total_cmp(c) != std::cmp::Ordering::Greater
+                    {
+                        prop_assert_ne!(
+                            a.total_cmp(c),
+                            std::cmp::Ordering::Greater,
+                            "transitivity"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

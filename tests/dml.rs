@@ -1,0 +1,189 @@
+//! DELETE / UPDATE end to end: constraint re-validation on data
+//! changes (the premise of Section 6 — constraints hold in every valid
+//! instance *because* the system enforces them on every change), and
+//! the transformation staying correct across mutations.
+
+use gbj::engine::{PushdownPolicy, QueryOutput};
+use gbj::{Database, Value};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE Department (DeptID INTEGER PRIMARY KEY, Name VARCHAR(20), \
+             Budget INTEGER CHECK (Budget >= 0)); \
+         CREATE TABLE Employee (EmpID INTEGER PRIMARY KEY, \
+             DeptID INTEGER REFERENCES Department, Salary INTEGER); \
+         INSERT INTO Department VALUES (1, 'Eng', 100), (2, 'Ops', 50), (3, 'HR', 10); \
+         INSERT INTO Employee VALUES (1,1,10),(2,1,20),(3,2,30),(4,3,40),(5,NULL,50);",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn delete_with_predicate() {
+    let mut d = db();
+    let out = d.execute("DELETE FROM Employee WHERE Salary > 25").unwrap();
+    assert!(matches!(out, QueryOutput::Affected(3)));
+    let rows = d.query("SELECT COUNT(*) FROM Employee").unwrap();
+    assert_eq!(rows.rows[0][0], Value::Int(2));
+    // Deleting everything.
+    let out = d.execute("DELETE FROM Employee").unwrap();
+    assert!(matches!(out, QueryOutput::Affected(2)));
+    assert!(d.storage().table_data("Employee").unwrap().is_empty());
+}
+
+#[test]
+fn delete_respects_incoming_foreign_keys() {
+    let mut d = db();
+    // Department 1 is referenced by employees 1 and 2: RESTRICT.
+    let err = d
+        .execute("DELETE FROM Department WHERE DeptID = 1")
+        .unwrap_err();
+    assert_eq!(err.kind(), "constraint");
+    assert!(err.message().contains("Employee"), "{}", err.message());
+
+    // After removing its employees, the delete succeeds.
+    d.execute("DELETE FROM Employee WHERE DeptID = 1").unwrap();
+    let out = d.execute("DELETE FROM Department WHERE DeptID = 1").unwrap();
+    assert!(matches!(out, QueryOutput::Affected(1)));
+}
+
+#[test]
+fn delete_where_unknown_keeps_rows() {
+    let mut d = db();
+    // DeptID = 1 is unknown for the NULL-department employee: kept.
+    d.execute("DELETE FROM Employee WHERE DeptID = DeptID").unwrap();
+    let rows = d.query("SELECT EmpID FROM Employee").unwrap();
+    assert_eq!(rows.len(), 1, "only the NULL-DeptID row survives");
+    assert_eq!(rows.rows[0][0], Value::Int(5));
+}
+
+#[test]
+fn update_values_and_arithmetic() {
+    let mut d = db();
+    let out = d
+        .execute("UPDATE Employee SET Salary = Salary * 2 WHERE DeptID = 1")
+        .unwrap();
+    assert!(matches!(out, QueryOutput::Affected(2)));
+    let rows = d
+        .query("SELECT Salary FROM Employee WHERE DeptID = 1 ORDER BY Salary")
+        .unwrap();
+    assert_eq!(rows.rows[0][0], Value::Int(20));
+    assert_eq!(rows.rows[1][0], Value::Int(40));
+    // Multi-assignment, including setting to NULL.
+    d.execute("UPDATE Employee SET DeptID = NULL, Salary = 0 WHERE EmpID = 3")
+        .unwrap();
+    let rows = d.query("SELECT DeptID, Salary FROM Employee WHERE EmpID = 3").unwrap();
+    assert_eq!(rows.rows[0], vec![Value::Null, Value::Int(0)]);
+}
+
+#[test]
+fn update_revalidates_constraints() {
+    let mut d = db();
+    // CHECK violation.
+    let err = d
+        .execute("UPDATE Department SET Budget = -1 WHERE DeptID = 1")
+        .unwrap_err();
+    assert_eq!(err.kind(), "constraint");
+    // Primary-key collision.
+    let err = d
+        .execute("UPDATE Employee SET EmpID = 2 WHERE EmpID = 1")
+        .unwrap_err();
+    assert!(err.message().contains("duplicate key"), "{}", err.message());
+    // Outgoing FK: moving an employee to a non-existent department.
+    let err = d
+        .execute("UPDATE Employee SET DeptID = 99 WHERE EmpID = 1")
+        .unwrap_err();
+    assert!(err.message().contains("foreign key"), "{}", err.message());
+    // Incoming FK: renumbering a referenced department key.
+    let err = d
+        .execute("UPDATE Department SET DeptID = 9 WHERE DeptID = 1")
+        .unwrap_err();
+    assert_eq!(err.kind(), "constraint");
+    // But renumbering an unreferenced one works.
+    d.execute("DELETE FROM Employee WHERE DeptID = 3").unwrap();
+    let out = d
+        .execute("UPDATE Department SET DeptID = 9 WHERE DeptID = 3")
+        .unwrap();
+    assert!(matches!(out, QueryOutput::Affected(1)));
+}
+
+#[test]
+fn update_type_checking() {
+    let mut d = db();
+    let err = d
+        .execute("UPDATE Department SET Name = 5 WHERE DeptID = 1")
+        .unwrap_err();
+    assert_eq!(err.kind(), "constraint");
+    // NOT NULL via PK column.
+    let err = d
+        .execute("UPDATE Employee SET EmpID = NULL WHERE EmpID = 1")
+        .unwrap_err();
+    assert_eq!(err.kind(), "constraint");
+}
+
+/// The eager/lazy equivalence is preserved across mutations (indexes
+/// and NDV estimates are rebuilt correctly).
+#[test]
+fn transformation_stays_correct_after_mutation() {
+    let mut d = db();
+    d.execute("UPDATE Employee SET Salary = Salary + 5").unwrap();
+    d.execute("DELETE FROM Employee WHERE EmpID = 4").unwrap();
+    d.execute("INSERT INTO Employee VALUES (6, 2, 60)").unwrap();
+
+    let sql = "SELECT D.DeptID, D.Name, COUNT(E.EmpID), SUM(E.Salary) \
+               FROM Employee E, Department D \
+               WHERE E.DeptID = D.DeptID GROUP BY D.DeptID, D.Name";
+    d.options_mut().policy = PushdownPolicy::Always;
+    let eager = d.query(sql).unwrap();
+    d.options_mut().policy = PushdownPolicy::Never;
+    let lazy = d.query(sql).unwrap();
+    assert!(eager.multiset_eq(&lazy));
+    let sorted = lazy.sorted();
+    assert_eq!(
+        sorted.rows[0],
+        vec![
+            Value::Int(1),
+            Value::str("Eng"),
+            Value::Int(2),
+            Value::Int(40)
+        ]
+    );
+    assert_eq!(
+        sorted.rows[1],
+        vec![
+            Value::Int(2),
+            Value::str("Ops"),
+            Value::Int(2),
+            Value::Int(95)
+        ]
+    );
+}
+
+/// UPDATE matching zero rows is a no-op, and row identity is preserved
+/// for untouched rows.
+#[test]
+fn update_zero_rows_and_row_identity() {
+    let mut d = db();
+    let before: Vec<u64> = d
+        .storage()
+        .table_data("Employee")
+        .unwrap()
+        .rows()
+        .map(|r| r.row_id)
+        .collect();
+    let out = d
+        .execute("UPDATE Employee SET Salary = 0 WHERE EmpID = 999")
+        .unwrap();
+    assert!(matches!(out, QueryOutput::Affected(0)));
+    d.execute("UPDATE Employee SET Salary = 1 WHERE EmpID = 1").unwrap();
+    let after: Vec<u64> = d
+        .storage()
+        .table_data("Employee")
+        .unwrap()
+        .rows()
+        .map(|r| r.row_id)
+        .collect();
+    assert_eq!(before, after, "RowIDs survive updates");
+}

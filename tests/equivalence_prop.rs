@@ -1,0 +1,163 @@
+//! Property-based validation of the Main Theorem (experiment X12):
+//! on randomly generated instances and a family of grouped join
+//! queries, whenever the engine's `TestFD` proves the transformation
+//! valid, the lazy (`E1`) and eager (`E2`) plans must return identical
+//! multisets — including instances with NULLs, duplicates, empty
+//! tables, and dangling join keys.
+
+use gbj::engine::{PlanChoice, PushdownPolicy};
+use gbj::{Database, Value};
+use proptest::prelude::*;
+
+/// A randomly generated Fact/Dim instance.
+#[derive(Debug, Clone)]
+struct Instance {
+    dims: Vec<(i64, String)>,
+    facts: Vec<(Option<i64>, Option<i64>)>, // (join key, value)
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    let dim = proptest::collection::btree_set(0i64..12, 0..8).prop_flat_map(|keys| {
+        let keys: Vec<i64> = keys.into_iter().collect();
+        proptest::collection::vec(proptest::sample::select(vec!["a", "b", "c"]), keys.len())
+            .prop_map(move |cats| {
+                keys.iter()
+                    .cloned()
+                    .zip(cats.into_iter().map(str::to_string))
+                    .collect::<Vec<_>>()
+            })
+    });
+    let facts = proptest::collection::vec(
+        (
+            proptest::option::weighted(0.85, 0i64..15),
+            proptest::option::weighted(0.85, -5i64..20),
+        ),
+        0..40,
+    );
+    (dim, facts).prop_map(|(dims, facts)| Instance { dims, facts })
+}
+
+fn build_db(inst: &Instance) -> Database {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE Dim (DimId INTEGER PRIMARY KEY, Cat VARCHAR(5) NOT NULL); \
+         CREATE TABLE Fact (FId INTEGER PRIMARY KEY, K INTEGER, V INTEGER);",
+    )
+    .unwrap();
+    db.insert_rows(
+        "Dim",
+        inst.dims
+            .iter()
+            .map(|(k, c)| vec![Value::Int(*k), Value::Str(c.clone())]),
+    )
+    .unwrap();
+    db.insert_rows(
+        "Fact",
+        inst.facts.iter().enumerate().map(|(i, (k, v))| {
+            vec![
+                Value::Int(i as i64),
+                k.map_or(Value::Null, Value::Int),
+                v.map_or(Value::Null, Value::Int),
+            ]
+        }),
+    )
+    .unwrap();
+    db
+}
+
+/// The query family exercised (all in the paper's class).
+const QUERIES: &[&str] = &[
+    "SELECT D.DimId, COUNT(F.FId) FROM Fact F, Dim D \
+     WHERE F.K = D.DimId GROUP BY D.DimId",
+    "SELECT D.DimId, D.Cat, SUM(F.V), MIN(F.V), MAX(F.V) FROM Fact F, Dim D \
+     WHERE F.K = D.DimId GROUP BY D.DimId, D.Cat",
+    "SELECT D.DimId, COUNT(*) FROM Fact F, Dim D \
+     WHERE F.K = D.DimId GROUP BY D.DimId",
+    "SELECT D.DimId, AVG(F.V), COUNT(DISTINCT F.V) FROM Fact F, Dim D \
+     WHERE F.K = D.DimId GROUP BY D.DimId",
+    // Local predicates on both sides.
+    "SELECT D.DimId, SUM(F.V) FROM Fact F, Dim D \
+     WHERE F.K = D.DimId AND F.V > 0 AND D.Cat = 'a' GROUP BY D.DimId",
+    // DISTINCT projection (Theorem 2).
+    "SELECT DISTINCT D.Cat, COUNT(F.FId) FROM Fact F, Dim D \
+     WHERE F.K = D.DimId GROUP BY D.DimId, D.Cat",
+    // Subset projection (Theorem 2).
+    "SELECT D.Cat, SUM(F.V) FROM Fact F, Dim D \
+     WHERE F.K = D.DimId GROUP BY D.DimId, D.Cat",
+    // Constant pinning the group (degenerate-ish but valid).
+    "SELECT D.DimId, COUNT(F.FId) FROM Fact F, Dim D \
+     WHERE F.K = D.DimId AND D.DimId = 3 GROUP BY D.DimId",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whenever TestFD answers YES, E1 ≡ E2 on the generated instance.
+    #[test]
+    fn main_theorem_equivalence(inst in instance_strategy()) {
+        let mut db = build_db(&inst);
+        for sql in QUERIES {
+            db.options_mut().policy = PushdownPolicy::Always;
+            let report = db.plan_query(sql).unwrap();
+            let eager_valid = report.choice == PlanChoice::Eager;
+            let eager = db.query(sql).unwrap();
+
+            db.options_mut().policy = PushdownPolicy::Never;
+            let lazy = db.query(sql).unwrap();
+
+            if eager_valid {
+                prop_assert!(
+                    lazy.multiset_eq(&eager),
+                    "E1 != E2 for {sql}\nlazy:\n{lazy}\neager:\n{eager}\ninstance: {inst:?}"
+                );
+            } else {
+                // Both policies must still agree (both ran lazily).
+                prop_assert!(lazy.multiset_eq(&eager));
+            }
+        }
+    }
+
+    /// All three join algorithms and both aggregation algorithms agree.
+    #[test]
+    fn physical_algorithms_agree(inst in instance_strategy()) {
+        use gbj::exec::{AggAlgo, JoinAlgo};
+        let mut db = build_db(&inst);
+        let sql = QUERIES[1];
+        let mut results = Vec::new();
+        for join in [JoinAlgo::Hash, JoinAlgo::NestedLoop, JoinAlgo::SortMerge] {
+            for agg in [AggAlgo::Hash, AggAlgo::Sort] {
+                db.options_mut().exec.join = join;
+                db.options_mut().exec.agg = agg;
+                results.push(db.query(sql).unwrap());
+            }
+        }
+        for r in &results[1..] {
+            prop_assert!(results[0].multiset_eq(r));
+        }
+    }
+
+    /// The eager plan's join input never exceeds the lazy plan's
+    /// (paper §7, first bullet) — measured, not estimated.
+    #[test]
+    fn eager_never_increases_join_input(inst in instance_strategy()) {
+        let mut db = build_db(&inst);
+        let sql = QUERIES[0];
+        db.options_mut().policy = PushdownPolicy::Always;
+        let report = db.plan_query(sql).unwrap();
+        if report.choice != PlanChoice::Eager {
+            return Ok(());
+        }
+        let (_, eager_profile, _) = db.query_report(sql).unwrap();
+        db.options_mut().policy = PushdownPolicy::Never;
+        let (_, lazy_profile, _) = db.query_report(sql).unwrap();
+        let join_in = |p: &gbj::exec::ProfileNode| {
+            ["HashJoin", "NestedLoopJoin", "SortMergeJoin", "CrossJoin"]
+                .iter()
+                .find_map(|op| p.find_operator(op))
+                .map(gbj::exec::ProfileNode::rows_in)
+        };
+        if let (Some(e), Some(l)) = (join_in(&eager_profile), join_in(&lazy_profile)) {
+            prop_assert!(e <= l, "eager join input {e} > lazy {l}");
+        }
+    }
+}

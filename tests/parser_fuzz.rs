@@ -1,0 +1,65 @@
+//! Robustness fuzzing of the SQL front end: arbitrary input must never
+//! panic the lexer, parser, binder, or engine — only return errors.
+
+use gbj::Database;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary printable garbage never panics the parser.
+    #[test]
+    fn parser_never_panics_on_garbage(input in "[ -~]{0,120}") {
+        let _ = gbj::sql::parse_statements(&input);
+    }
+
+    /// SQL-ish token soup never panics the parser either.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+                "INSERT", "INTO", "VALUES", "CREATE", "TABLE", "VIEW", "DOMAIN",
+                "UPDATE", "SET", "DELETE", "DROP", "EXPLAIN", "ANALYZE",
+                "AND", "OR", "NOT", "IS", "NULL", "DISTINCT", "AS",
+                "COUNT", "SUM", "MIN", "MAX", "AVG",
+                "t", "u", "a", "b", "x", "1", "2", "3.5", "'s'",
+                "(", ")", ",", ".", ";", "*", "=", "<", ">", "<=", ">=", "<>",
+                "+", "-", "/",
+            ]),
+            0..40,
+        )
+    ) {
+        let sql = tokens.join(" ");
+        let _ = gbj::sql::parse_statements(&sql);
+    }
+
+    /// Statements that *parse* still never panic downstream: binding /
+    /// execution against a small catalog returns errors at worst.
+    #[test]
+    fn engine_never_panics_on_parsed_garbage(
+        tokens in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER",
+                "AND", "OR", "NOT", "IS", "NULL", "DISTINCT",
+                "COUNT", "SUM", "MIN", "MAX", "AVG",
+                "T", "U", "a", "b", "g", "v", "1", "2", "'s'",
+                "(", ")", ",", ".", "*", "=", "<", ">",
+            ]),
+            0..25,
+        )
+    ) {
+        let sql = tokens.join(" ");
+        if gbj::sql::parse_statements(&sql).is_ok() {
+            let mut db = Database::new();
+            db.run_script(
+                "CREATE TABLE T (a INTEGER PRIMARY KEY, g INTEGER, v INTEGER); \
+                 CREATE TABLE U (b INTEGER PRIMARY KEY, g INTEGER); \
+                 INSERT INTO T VALUES (1, 1, 10), (2, NULL, 20); \
+                 INSERT INTO U VALUES (1, 1);",
+            )
+            .unwrap();
+            let _ = db.run_script(&sql);
+        }
+    }
+}

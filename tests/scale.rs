@@ -1,0 +1,129 @@
+//! Larger-scale end-to-end checks, plus a machine-independent test of
+//! the cost model's *decision quality*: across the Section 7 sweep
+//! grid, the engine's cost-based choice must match the plan that
+//! demonstrably does less work — measured as total rows produced by all
+//! operators (deterministic, unlike wall-clock time).
+
+use gbj::datagen::{EmpDeptConfig, SweepConfig};
+use gbj::engine::{PlanChoice, PushdownPolicy};
+use gbj::exec::ProfileNode;
+use gbj::Value;
+
+fn total_rows_produced(p: &ProfileNode) -> usize {
+    p.rows_out + p.children.iter().map(total_rows_produced).sum::<usize>()
+}
+
+#[test]
+fn emp_dept_at_20k_scale() {
+    let cfg = EmpDeptConfig {
+        employees: 20_000,
+        departments: 200,
+        null_dept_fraction: 0.01,
+        seed: 99,
+    };
+    let mut db = cfg.build().unwrap();
+    db.options_mut().policy = PushdownPolicy::Always;
+    let (eager, eager_profile, _) = db.query_report(cfg.query()).unwrap();
+    db.options_mut().policy = PushdownPolicy::Never;
+    let (lazy, lazy_profile, _) = db.query_report(cfg.query()).unwrap();
+
+    assert_eq!(lazy.len(), 200);
+    assert!(lazy.multiset_eq(&eager));
+    // Sanity on the totals: ~99% of employees are counted.
+    let total: i64 = lazy
+        .rows
+        .iter()
+        .map(|r| match r[2] {
+            Value::Int(n) => n,
+            _ => 0,
+        })
+        .sum();
+    assert!(total > 19_000 && total <= 20_000, "total = {total}");
+    // The eager plan does meaningfully less work here (both plans pay
+    // the 20k-row scan; the lazy plan additionally pushes 20k rows
+    // through the join).
+    let we = total_rows_produced(&eager_profile);
+    let wl = total_rows_produced(&lazy_profile);
+    assert!(
+        (we as f64) < 0.8 * wl as f64,
+        "eager work {we} should be at least 20% under lazy work {wl}"
+    );
+}
+
+/// Decision quality across the sweep grid: wherever the two plans'
+/// work differs by ≥ 30%, the engine's cost-based choice picks the
+/// lighter one.
+#[test]
+fn cost_based_choice_tracks_actual_work() {
+    let grid = [
+        // (groups, match_fraction) spanning both regimes.
+        (10usize, 1.0f64),
+        (100, 1.0),
+        (2_000, 1.0),
+        (4_000, 0.5),
+        (4_000, 0.05),
+        (4_000, 0.01),
+    ];
+    for (groups, frac) in grid {
+        let cfg = SweepConfig {
+            fact_rows: 5_000,
+            dim_rows: 100.max(groups.min(1_000)),
+            groups,
+            match_fraction: frac,
+            ..SweepConfig::default()
+        };
+        let mut db = cfg.build().unwrap();
+
+        db.options_mut().policy = PushdownPolicy::Always;
+        let (_, ep, _) = db.query_report(cfg.query()).unwrap();
+        db.options_mut().policy = PushdownPolicy::Never;
+        let (_, lp, _) = db.query_report(cfg.query()).unwrap();
+        let (we, wl) = (total_rows_produced(&ep), total_rows_produced(&lp));
+
+        db.options_mut().policy = PushdownPolicy::CostBased;
+        let choice = db.plan_query(cfg.query()).unwrap().choice;
+
+        let clear_cut = we.max(wl) as f64 / we.min(wl).max(1) as f64 >= 1.3;
+        if clear_cut {
+            let should_be_eager = we < wl;
+            let picked_eager = choice == PlanChoice::Eager;
+            assert_eq!(
+                picked_eager, should_be_eager,
+                "groups={groups} frac={frac}: work eager={we} lazy={wl}, choice={choice:?}"
+            );
+        }
+    }
+}
+
+/// The §7 invariant at scale, measured: eager join input ≤ lazy join
+/// input at every grid point.
+#[test]
+fn join_input_invariant_at_scale() {
+    for (groups, frac) in [(50usize, 1.0f64), (4_500, 0.02), (5_000, 1.0)] {
+        let cfg = SweepConfig {
+            fact_rows: 5_000,
+            dim_rows: 100,
+            groups,
+            match_fraction: frac,
+            ..SweepConfig::default()
+        };
+        let mut db = cfg.build().unwrap();
+        let join_in = |p: &ProfileNode| {
+            ["HashJoin", "NestedLoopJoin", "SortMergeJoin", "CrossJoin"]
+                .iter()
+                .find_map(|op| p.find_operator(op))
+                .map(ProfileNode::rows_in)
+                .unwrap_or(0)
+        };
+        db.options_mut().policy = PushdownPolicy::Always;
+        let (_, ep, _) = db.query_report(cfg.query()).unwrap();
+        db.options_mut().policy = PushdownPolicy::Never;
+        let (_, lp, _) = db.query_report(cfg.query()).unwrap();
+        assert!(
+            join_in(&ep) <= join_in(&lp),
+            "groups={groups} frac={frac}: {} > {}",
+            join_in(&ep),
+            join_in(&lp)
+        );
+    }
+}
