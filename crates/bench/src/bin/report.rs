@@ -62,8 +62,11 @@ fn main() {
         }
     }
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&rows).expect("serialise rows");
-        std::fs::write(&path, json).expect("write json");
+        let json = gbj_bench::rows_to_json(&rows);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
         println!("\nwrote {} rows to {path}", rows.len());
     }
 }
@@ -497,25 +500,25 @@ fn x12_random_equivalence() -> Vec<ExperimentRow> {
              CREATE TABLE Fact (FId INTEGER PRIMARY KEY, K INTEGER, V INTEGER);",
         )
         .expect("ddl");
-        let dims = rng.gen_range(0..10);
+        let dims = rng.gen_range(0i64..10);
         for d in 0..dims {
             db.execute(&format!(
                 "INSERT INTO Dim VALUES ({d}, 'c{}')",
-                rng.gen_range(0..3)
+                rng.gen_range(0i64..3)
             ))
             .expect("dim");
         }
-        let facts = rng.gen_range(0..50);
+        let facts = rng.gen_range(0i64..50);
         for f in 0..facts {
             let k = if rng.gen_bool(0.15) {
                 "NULL".to_string()
             } else {
-                rng.gen_range(0..15).to_string()
+                rng.gen_range(0i64..15).to_string()
             };
             let v = if rng.gen_bool(0.15) {
                 "NULL".to_string()
             } else {
-                rng.gen_range(-5..20).to_string()
+                rng.gen_range(-5i64..20).to_string()
             };
             db.execute(&format!("INSERT INTO Fact VALUES ({f}, {k}, {v})"))
                 .expect("fact");

@@ -12,7 +12,6 @@ use std::time::{Duration, Instant};
 use gbj_engine::{Database, PlanChoice, PushdownPolicy, QueryReport};
 use gbj_exec::{ProfileNode, ResultSet};
 use gbj_types::Result;
-use serde::Serialize;
 
 /// One measured plan execution.
 #[derive(Debug, Clone)]
@@ -91,7 +90,7 @@ pub fn compare(db: &mut Database, sql: &str, reps: usize) -> Result<Comparison> 
 
 /// A machine-readable experiment row (emitted as JSON by the report
 /// binary for EXPERIMENTS.md bookkeeping).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRow {
     /// Experiment id (`x1` … `x13`).
     pub experiment: String,
@@ -142,6 +141,54 @@ impl ExperimentRow {
             note: note.to_string(),
         }
     }
+
+    /// Serialise the row as a JSON object (hand-rolled — serde is not
+    /// available in the offline build environment).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn num(v: Option<f64>) -> String {
+            match v {
+                Some(f) if f.is_finite() => format!("{f}"),
+                _ => "null".to_string(),
+            }
+        }
+        let choice = match &self.engine_choice {
+            Some(c) => format!("\"{}\"", esc(c)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"experiment\":\"{}\",\"params\":\"{}\",\"lazy_ms\":{},\"eager_ms\":{},\"speedup\":{},\"engine_choice\":{},\"note\":\"{}\"}}",
+            esc(&self.experiment),
+            esc(&self.params),
+            num(self.lazy_ms),
+            num(self.eager_ms),
+            num(self.speedup),
+            choice,
+            esc(&self.note),
+        )
+    }
+}
+
+/// Serialise rows as a pretty-printed JSON array.
+#[must_use]
+pub fn rows_to_json(rows: &[ExperimentRow]) -> String {
+    let body: Vec<String> = rows.iter().map(|r| format!("  {}", r.to_json())).collect();
+    format!("[\n{}\n]", body.join(",\n"))
 }
 
 #[cfg(test)]
@@ -166,7 +213,7 @@ mod tests {
         let row = ExperimentRow::from_comparison("x1", "300/10", &c, "test");
         assert_eq!(row.experiment, "x1");
         assert!(row.speedup.unwrap() > 0.0);
-        let json = serde_json::to_string(&row).unwrap();
+        let json = row.to_json();
         assert!(json.contains("\"experiment\":\"x1\""));
     }
 }

@@ -84,7 +84,7 @@ impl PrinterConfig {
             (0..self.printers).map(|p| {
                 vec![
                     Value::Int(p as i64),
-                    Value::Int(rng.gen_range(1..=100) * 10),
+                    Value::Int(rng.gen_range(1i64..=100) * 10),
                     Value::str(format!("Make{}", p % 7)),
                 ]
             }),
@@ -95,14 +95,14 @@ impl PrinterConfig {
             for u in 0..self.users_per_machine {
                 // Distinct printers per user: a random starting offset
                 // and stride keeps the PK unique.
-                let start = rng.gen_range(0..self.printers);
+                let start = rng.gen_range(0usize..self.printers);
                 for a in 0..self.auths_per_user.min(self.printers) {
                     let p = (start + a) % self.printers;
                     auths.push(vec![
                         Value::Int(u as i64),
                         Value::str(Self::machine_name(m)),
                         Value::Int(p as i64),
-                        Value::Int(rng.gen_range(0..10_000)),
+                        Value::Int(rng.gen_range(0i64..10_000)),
                     ]);
                 }
             }

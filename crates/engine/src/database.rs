@@ -190,6 +190,20 @@ impl Database {
         &self.storage
     }
 
+    /// Install (or clear) a deterministic fault injector on the storage
+    /// layer. Subsequent scans observe the configured faults; planning
+    /// and constraint checking are unaffected.
+    pub fn set_fault_injector(&mut self, injector: Option<gbj_storage::FaultInjector>) {
+        self.storage.set_fault_injector(injector);
+    }
+
+    /// The currently installed fault injector, if any (to read its
+    /// counters or reset it between differential runs).
+    #[must_use]
+    pub fn fault_injector(&self) -> Option<&gbj_storage::FaultInjector> {
+        self.storage.fault_injector()
+    }
+
     /// The catalog.
     #[must_use]
     pub fn catalog(&self) -> &Catalog {
@@ -849,6 +863,62 @@ mod tests {
         db.options_mut().policy = PushdownPolicy::Always;
         let report = db.plan_query(by_name).unwrap();
         assert_eq!(report.choice, PlanChoice::Eager);
+    }
+
+    #[test]
+    fn missing_tables_are_typed_errors_on_every_entry_point() {
+        let mut db = example1_db();
+        // Every DML/query entry point over an unknown table must come
+        // back as a catalog or bind error — never a panic, never an
+        // internal error.
+        let cases = [
+            "SELECT * FROM Nope",
+            "SELECT N.x FROM Nope N WHERE N.x = 1",
+            "INSERT INTO Nope VALUES (1)",
+            "DELETE FROM Nope",
+            "DELETE FROM Nope WHERE x = 1",
+            "UPDATE Nope SET x = 1",
+            "UPDATE Nope SET x = 1 WHERE x = 2",
+            "DROP TABLE Nope",
+            "EXPLAIN SELECT * FROM Nope",
+        ];
+        for sql in cases {
+            let err = db.execute(sql).unwrap_err();
+            assert!(
+                matches!(err.kind(), "catalog" | "bind"),
+                "{sql}: kind {} ({err})",
+                err.kind()
+            );
+        }
+        // Unknown columns on a known table are bind errors.
+        let err = db.execute("UPDATE Employee SET Nope = 1").unwrap_err();
+        assert!(
+            matches!(err.kind(), "catalog" | "bind"),
+            "unknown column: kind {} ({err})",
+            err.kind()
+        );
+        let err = db
+            .execute("SELECT E.Nope FROM Employee E")
+            .unwrap_err();
+        assert_eq!(err.kind(), "bind");
+    }
+
+    #[test]
+    fn fault_injector_is_installable_and_observable() {
+        use gbj_storage::{FaultConfig, FaultInjector};
+        let mut db = example1_db();
+        assert!(db.fault_injector().is_none());
+        db.set_fault_injector(Some(FaultInjector::new(FaultConfig {
+            seed: 7,
+            fail_nth_batch: Some(0),
+            ..FaultConfig::default()
+        })));
+        let err = db.query(EXAMPLE1_SQL).unwrap_err();
+        assert_eq!(err.kind(), "execution");
+        assert!(err.message().contains("injected fault"), "{err}");
+        assert!(db.fault_injector().unwrap().failures_injected() >= 1);
+        db.set_fault_injector(None);
+        assert_eq!(db.query(EXAMPLE1_SQL).unwrap().len(), 4);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::collections::HashSet;
 use gbj_core::{Partition, Stats};
 use gbj_expr::{AtomClass, Expr};
 use gbj_storage::Storage;
-use gbj_types::{ColumnRef, GroupKey};
+use gbj_types::{ColumnRef, GroupKey, Value};
 
 /// Selectivity assumed for predicates the estimator cannot analyse.
 const DEFAULT_SELECTIVITY: f64 = 1.0 / 3.0;
@@ -57,7 +57,8 @@ impl<'a> Estimator<'a> {
         };
         let mut seen = HashSet::new();
         for row in data.value_rows() {
-            seen.insert(GroupKey(vec![row[idx].clone()]));
+            let v = row.get(idx).cloned().unwrap_or(Value::Null);
+            seen.insert(GroupKey(vec![v]));
         }
         (seen.len() as f64).max(1.0)
     }

@@ -12,6 +12,12 @@ use std::collections::HashMap;
 use gbj_expr::{AggregateCall, Accumulator, BoundExpr};
 use gbj_types::{Error, GroupKey, Result, Value};
 
+use crate::guard::{row_bytes, ResourceGuard};
+
+/// Estimated bytes of one aggregation-table entry beyond its key
+/// (accumulator enum + table bookkeeping).
+const ACC_ENTRY_BYTES: u64 = 48;
+
 /// A compiled aggregate: the call (for accumulator construction) plus
 /// its bound argument.
 pub struct CompiledAggregate {
@@ -39,6 +45,7 @@ pub fn hash_aggregate(
     input: &[Vec<Value>],
     group_exprs: &[BoundExpr],
     aggregates: &[CompiledAggregate],
+    guard: &ResourceGuard,
 ) -> Result<Vec<Vec<Value>>> {
     let mut order: Vec<GroupKey> = Vec::new();
     let mut groups: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
@@ -48,6 +55,7 @@ pub fn hash_aggregate(
         let mut accs: Vec<Accumulator> =
             aggregates.iter().map(|a| a.call.accumulator()).collect();
         for row in input {
+            guard.tick()?;
             for (agg, acc) in aggregates.iter().zip(&mut accs) {
                 agg.update(acc, row)?;
             }
@@ -55,31 +63,45 @@ pub fn hash_aggregate(
         return Ok(vec![accs.iter().map(Accumulator::finish).collect()]);
     }
 
-    for row in input {
-        let key_vals: Vec<Value> = group_exprs
-            .iter()
-            .map(|e| e.eval(row))
-            .collect::<Result<_>>()?;
-        let key = GroupKey(key_vals);
-        let accs = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key);
-            aggregates.iter().map(|a| a.call.accumulator()).collect()
-        });
-        for (agg, acc) in aggregates.iter().zip(accs.iter_mut()) {
-            agg.update(acc, row)?;
+    let mut table_bytes = 0u64;
+    let filled = (|| -> Result<()> {
+        for row in input {
+            guard.tick()?;
+            let key_vals: Vec<Value> = group_exprs
+                .iter()
+                .map(|e| e.eval(row))
+                .collect::<Result<_>>()?;
+            let key = GroupKey(key_vals);
+            if !groups.contains_key(&key) {
+                let entry_bytes =
+                    row_bytes(&key.0) + ACC_ENTRY_BYTES * aggregates.len().max(1) as u64;
+                table_bytes += entry_bytes;
+                guard.charge_memory(entry_bytes)?;
+            }
+            let accs = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                aggregates.iter().map(|a| a.call.accumulator()).collect()
+            });
+            for (agg, acc) in aggregates.iter().zip(accs.iter_mut()) {
+                agg.update(acc, row)?;
+            }
         }
-    }
-
-    let mut out = Vec::with_capacity(order.len());
-    for key in order {
-        let accs = groups
-            .remove(&key)
-            .ok_or_else(|| Error::Internal("group vanished".into()))?;
-        let mut row = key.0;
-        row.extend(accs.iter().map(Accumulator::finish));
-        out.push(row);
-    }
-    Ok(out)
+        Ok(())
+    })();
+    let out = filled.and_then(|()| {
+        let mut out = Vec::with_capacity(order.len());
+        for key in order.drain(..) {
+            let accs = groups
+                .remove(&key)
+                .ok_or_else(|| Error::Internal("group vanished".into()))?;
+            let mut row = key.0;
+            row.extend(accs.iter().map(Accumulator::finish));
+            out.push(row);
+        }
+        Ok(out)
+    });
+    guard.release_memory(table_bytes);
+    out
 }
 
 /// Sort-based aggregation: sort rows by the grouping key (under the
@@ -93,20 +115,33 @@ pub fn sort_aggregate(
     input: &[Vec<Value>],
     group_exprs: &[BoundExpr],
     aggregates: &[CompiledAggregate],
+    guard: &ResourceGuard,
 ) -> Result<Vec<Vec<Value>>> {
     if group_exprs.is_empty() {
-        return hash_aggregate(input, group_exprs, aggregates);
+        return hash_aggregate(input, group_exprs, aggregates, guard);
     }
-    let mut keyed: Vec<(Vec<Value>, &Vec<Value>)> = input
+    let mut sort_bytes = 0u64;
+    let keyed: Result<Vec<(Vec<Value>, &Vec<Value>)>> = input
         .iter()
         .map(|row| {
+            guard.tick()?;
             let key: Vec<Value> = group_exprs
                 .iter()
                 .map(|e| e.eval(row))
                 .collect::<Result<_>>()?;
+            let entry_bytes = row_bytes(&key) + std::mem::size_of::<&Vec<Value>>() as u64;
+            sort_bytes += entry_bytes;
+            guard.charge_memory(entry_bytes)?;
             Ok((key, row))
         })
-        .collect::<Result<_>>()?;
+        .collect();
+    let mut keyed = match keyed {
+        Ok(k) => k,
+        Err(e) => {
+            guard.release_memory(sort_bytes);
+            return Err(e);
+        }
+    };
     keyed.sort_by(|(a, _), (b, _)| {
         for (x, y) in a.iter().zip(b) {
             let ord = x.total_cmp(y);
@@ -117,35 +152,40 @@ pub fn sort_aggregate(
         std::cmp::Ordering::Equal
     });
 
-    let mut out = Vec::new();
-    let mut current: Option<(Vec<Value>, Vec<Accumulator>)> = None;
-    for (key, row) in keyed {
-        let same = current
-            .as_ref()
-            .is_some_and(|(k, _)| k.iter().zip(&key).all(|(a, b)| a.null_eq(b)));
-        if !same {
-            if let Some((k, accs)) = current.take() {
-                let mut r = k;
-                r.extend(accs.iter().map(Accumulator::finish));
-                out.push(r);
+    let streamed = (|| -> Result<Vec<Vec<Value>>> {
+        let mut out = Vec::new();
+        let mut current: Option<(Vec<Value>, Vec<Accumulator>)> = None;
+        for (key, row) in keyed {
+            guard.tick()?;
+            let same = current
+                .as_ref()
+                .is_some_and(|(k, _)| k.iter().zip(&key).all(|(a, b)| a.null_eq(b)));
+            if !same {
+                if let Some((k, accs)) = current.take() {
+                    let mut r = k;
+                    r.extend(accs.iter().map(Accumulator::finish));
+                    out.push(r);
+                }
+                current = Some((
+                    key,
+                    aggregates.iter().map(|a| a.call.accumulator()).collect(),
+                ));
             }
-            current = Some((
-                key,
-                aggregates.iter().map(|a| a.call.accumulator()).collect(),
-            ));
-        }
-        if let Some((_, accs)) = &mut current {
-            for (agg, acc) in aggregates.iter().zip(accs.iter_mut()) {
-                agg.update(acc, row)?;
+            if let Some((_, accs)) = &mut current {
+                for (agg, acc) in aggregates.iter().zip(accs.iter_mut()) {
+                    agg.update(acc, row)?;
+                }
             }
         }
-    }
-    if let Some((k, accs)) = current {
-        let mut r = k;
-        r.extend(accs.iter().map(Accumulator::finish));
-        out.push(r);
-    }
-    Ok(out)
+        if let Some((k, accs)) = current {
+            let mut r = k;
+            r.extend(accs.iter().map(Accumulator::finish));
+            out.push(r);
+        }
+        Ok(out)
+    })();
+    guard.release_memory(sort_bytes);
+    streamed
 }
 
 #[cfg(test)]
@@ -168,6 +208,10 @@ mod tests {
 
     fn group_exprs() -> Vec<BoundExpr> {
         vec![Expr::bare("g").bind(&schema()).unwrap()]
+    }
+
+    fn g() -> ResourceGuard {
+        ResourceGuard::unlimited()
     }
 
     fn rows(data: &[(Option<i64>, Option<i64>)]) -> Vec<Vec<Value>> {
@@ -199,8 +243,8 @@ mod tests {
             (None, Some(7)),
             (None, Some(3)),
         ]);
-        let h = hash_aggregate(&input, &group_exprs(), &[sum_call()]).unwrap();
-        let s = sort_aggregate(&input, &group_exprs(), &[sum_call()]).unwrap();
+        let h = hash_aggregate(&input, &group_exprs(), &[sum_call()], &g()).unwrap();
+        let s = sort_aggregate(&input, &group_exprs(), &[sum_call()], &g()).unwrap();
         assert_eq!(sorted(h.clone()), sorted(s));
         assert_eq!(h.len(), 3, "1, 2, and the NULL group");
         let by_key = sorted(h);
@@ -213,7 +257,7 @@ mod tests {
     fn null_group_values_form_one_group() {
         let input = rows(&[(None, Some(1)), (None, Some(2))]);
         for f in [hash_aggregate, sort_aggregate] {
-            let out = f(&input, &group_exprs(), &[sum_call()]).unwrap();
+            let out = f(&input, &group_exprs(), &[sum_call()], &g()).unwrap();
             assert_eq!(out.len(), 1);
             assert_eq!(out[0], vec![Value::Null, Value::Int(3)]);
         }
@@ -223,11 +267,11 @@ mod tests {
     fn scalar_aggregate_always_one_row() {
         let empty: Vec<Vec<Value>> = vec![];
         for f in [hash_aggregate, sort_aggregate] {
-            let out = f(&empty, &[], &[sum_call()]).unwrap();
+            let out = f(&empty, &[], &[sum_call()], &g()).unwrap();
             assert_eq!(out, vec![vec![Value::Null]], "SUM over empty is NULL");
         }
         let input = rows(&[(Some(1), Some(4)), (Some(2), Some(6))]);
-        let out = hash_aggregate(&input, &[], &[sum_call()]).unwrap();
+        let out = hash_aggregate(&input, &[], &[sum_call()], &g()).unwrap();
         assert_eq!(out, vec![vec![Value::Int(10)]]);
     }
 
@@ -235,7 +279,7 @@ mod tests {
     fn count_star_counts_all_rows_per_group() {
         let star = compile(AggregateCall::count_star());
         let input = rows(&[(Some(1), None), (Some(1), Some(2)), (Some(2), None)]);
-        let out = hash_aggregate(&input, &group_exprs(), &[star]).unwrap();
+        let out = hash_aggregate(&input, &group_exprs(), &[star], &g()).unwrap();
         let by_key = sorted(out);
         assert_eq!(by_key[0], vec![Value::Int(1), Value::Int(2)]);
         assert_eq!(by_key[1], vec![Value::Int(2), Value::Int(1)]);
@@ -249,7 +293,7 @@ mod tests {
             compile(AggregateCall::count_star()),
         ];
         let input = rows(&[(Some(1), Some(5)), (Some(1), Some(9)), (Some(1), None)]);
-        let out = sort_aggregate(&input, &group_exprs(), &calls).unwrap();
+        let out = sort_aggregate(&input, &group_exprs(), &calls, &g()).unwrap();
         assert_eq!(
             out,
             vec![vec![
@@ -265,7 +309,7 @@ mod tests {
     fn empty_grouped_input_yields_no_groups() {
         let empty: Vec<Vec<Value>> = vec![];
         for f in [hash_aggregate, sort_aggregate] {
-            let out = f(&empty, &group_exprs(), &[sum_call()]).unwrap();
+            let out = f(&empty, &group_exprs(), &[sum_call()], &g()).unwrap();
             assert!(out.is_empty(), "no rows → no groups when GROUP BY present");
         }
     }
@@ -278,11 +322,69 @@ mod tests {
             (None, Some(1)),
             (Some(2), Some(1)),
         ]);
-        let out = sort_aggregate(&input, &group_exprs(), &[sum_call()]).unwrap();
+        let out = sort_aggregate(&input, &group_exprs(), &[sum_call()], &g()).unwrap();
         let keys: Vec<&Value> = out.iter().map(|r| &r[0]).collect();
         assert_eq!(
             keys,
             vec![&Value::Int(1), &Value::Int(2), &Value::Int(3), &Value::Null]
         );
+    }
+
+    #[test]
+    fn sum_overflow_is_an_execution_error_not_a_panic() {
+        // Two values near i64::MAX in one group: the running SUM
+        // overflows and must surface as Error::Execution.
+        let input = rows(&[
+            (Some(1), Some(i64::MAX - 1)),
+            (Some(1), Some(i64::MAX - 1)),
+        ]);
+        for f in [hash_aggregate, sort_aggregate] {
+            let err = f(&input, &group_exprs(), &[sum_call()], &g()).unwrap_err();
+            assert_eq!(err.kind(), "execution", "got {err}");
+            assert!(err.message().contains("overflow"), "got {err}");
+        }
+        // A single near-MAX value is fine.
+        let input = rows(&[(Some(1), Some(i64::MAX - 1))]);
+        let out = hash_aggregate(&input, &group_exprs(), &[sum_call()], &g()).unwrap();
+        assert_eq!(out[0][1], Value::Int(i64::MAX - 1));
+    }
+
+    #[test]
+    fn avg_over_empty_and_all_null_groups_is_null() {
+        let avg = || compile(AggregateCall::new(AggregateFunction::Avg, Expr::bare("v")));
+        // Scalar AVG over an empty input: one row, NULL (no division by
+        // the zero count).
+        let empty: Vec<Vec<Value>> = vec![];
+        for f in [hash_aggregate, sort_aggregate] {
+            let out = f(&empty, &[], &[avg()], &g()).unwrap();
+            assert_eq!(out, vec![vec![Value::Null]], "AVG over empty is NULL");
+        }
+        // A group whose every argument is NULL also averages to NULL.
+        let input = rows(&[(Some(1), None), (Some(1), None)]);
+        for f in [hash_aggregate, sort_aggregate] {
+            let out = f(&input, &group_exprs(), &[avg()], &g()).unwrap();
+            assert_eq!(out, vec![vec![Value::Int(1), Value::Null]]);
+        }
+    }
+
+    #[test]
+    fn aggregate_memory_budget_aborts_table_growth() {
+        use crate::guard::{ResourceGuard, ResourceLimits};
+        // 1000 distinct groups against a tiny memory budget.
+        let input: Vec<Vec<Value>> = (0..1000)
+            .map(|i| vec![Value::Int(i), Value::Int(1)])
+            .collect();
+        let tight = ResourceGuard::new(ResourceLimits {
+            max_memory_bytes: Some(512),
+            ..ResourceLimits::default()
+        });
+        let err = hash_aggregate(&input, &group_exprs(), &[sum_call()], &tight).unwrap_err();
+        assert_eq!(err.kind(), "resource");
+        assert_eq!(err.message(), "memory budget exceeded");
+        // The failed run released what it had charged.
+        assert_eq!(tight.memory_used(), 0, "memory released after abort");
+        let relieved = ResourceGuard::new(ResourceLimits::default());
+        hash_aggregate(&input, &group_exprs(), &[sum_call()], &relieved).unwrap();
+        assert_eq!(relieved.memory_used(), 0, "memory released after success");
     }
 }

@@ -5,9 +5,10 @@ use std::collections::HashSet;
 use gbj_expr::Expr;
 use gbj_plan::LogicalPlan;
 use gbj_storage::Storage;
-use gbj_types::{Error, GroupKey, Result, Truth, Value};
+use gbj_types::{internal_err, GroupKey, Result, Truth, Value};
 
 use crate::aggregate::{hash_aggregate, sort_aggregate, CompiledAggregate};
+use crate::guard::{ResourceGuard, ResourceLimits};
 use crate::join::{hash_join, nested_loop_join, sort_merge_join, split_equi_keys};
 use crate::result::{ProfileNode, ResultSet};
 
@@ -42,6 +43,8 @@ pub struct ExecOptions {
     pub join: JoinAlgo,
     /// Which aggregation algorithm to use.
     pub agg: AggAlgo,
+    /// Resource budgets enforced during execution (default: unlimited).
+    pub limits: ResourceLimits,
 }
 
 /// Executes logical plans against a [`Storage`].
@@ -69,7 +72,8 @@ impl<'a> Executor<'a> {
     /// Execute a plan, returning the result and the per-operator
     /// cardinality profile.
     pub fn execute(&self, plan: &LogicalPlan) -> Result<(ResultSet, ProfileNode)> {
-        let (rows, profile) = self.run(plan)?;
+        let guard = ResourceGuard::new(self.options.limits);
+        let (rows, profile) = self.run(plan, &guard)?;
         Ok((
             ResultSet {
                 schema: plan.schema()?,
@@ -79,32 +83,40 @@ impl<'a> Executor<'a> {
         ))
     }
 
-    fn run(&self, plan: &LogicalPlan) -> Result<(Vec<Vec<Value>>, ProfileNode)> {
+    fn run(
+        &self,
+        plan: &LogicalPlan,
+        guard: &ResourceGuard,
+    ) -> Result<(Vec<Vec<Value>>, ProfileNode)> {
         match plan {
             LogicalPlan::Scan { table, schema, .. } => {
-                let data = self.storage.table_data(table).ok_or_else(|| {
-                    Error::Catalog(format!("unknown table {table} at execution time"))
-                })?;
-                if data.schema().len() != schema.len() {
-                    return Err(Error::Internal(format!(
-                        "scan schema arity mismatch for {table}"
-                    )));
+                // The batched cursor is the fault-injection seam (short
+                // batches, injected failures, NULL flips) and gives the
+                // guard a cancellation point between batches.
+                let mut cursor = self.storage.open_scan(table)?;
+                if cursor.arity() != schema.len() {
+                    return Err(internal_err!("scan schema arity mismatch for {table}"));
                 }
-                let rows: Vec<Vec<Value>> =
-                    data.value_rows().map(<[Value]>::to_vec).collect();
+                let mut rows: Vec<Vec<Value>> = Vec::with_capacity(cursor.total_rows());
+                while let Some(batch) = cursor.next_batch()? {
+                    guard.charge_rows(batch.len())?;
+                    rows.extend(batch);
+                }
                 let profile = ProfileNode::new(plan.label(), "Scan", rows.len(), vec![]);
                 Ok((rows, profile))
             }
 
             LogicalPlan::Filter { input, predicate } => {
-                let (in_rows, child) = self.run(input)?;
+                let (in_rows, child) = self.run(input, guard)?;
                 let bound = predicate.bind(&input.schema()?)?;
                 let mut rows = Vec::new();
                 for row in in_rows {
+                    guard.tick()?;
                     if bound.eval_truth(&row)? == Truth::True {
                         rows.push(row);
                     }
                 }
+                guard.charge_rows(rows.len())?;
                 let profile =
                     ProfileNode::new(plan.label(), "Filter", rows.len(), vec![child]);
                 Ok((rows, profile))
@@ -115,7 +127,7 @@ impl<'a> Executor<'a> {
                 exprs,
                 distinct,
             } => {
-                let (in_rows, child) = self.run(input)?;
+                let (in_rows, child) = self.run(input, guard)?;
                 let in_schema = input.schema()?;
                 let bound: Vec<_> = exprs
                     .iter()
@@ -125,6 +137,7 @@ impl<'a> Executor<'a> {
                 if *distinct {
                     let mut seen: HashSet<GroupKey> = HashSet::new();
                     for row in &in_rows {
+                        guard.tick()?;
                         let out: Vec<Value> = bound
                             .iter()
                             .map(|b: &gbj_expr::BoundExpr| b.eval(row))
@@ -135,6 +148,7 @@ impl<'a> Executor<'a> {
                     }
                 } else {
                     for row in &in_rows {
+                        guard.tick()?;
                         rows.push(
                             bound
                                 .iter()
@@ -143,6 +157,7 @@ impl<'a> Executor<'a> {
                         );
                     }
                 }
+                guard.charge_rows(rows.len())?;
                 let op = if *distinct {
                     "ProjectDistinct"
                 } else {
@@ -153,11 +168,14 @@ impl<'a> Executor<'a> {
             }
 
             LogicalPlan::CrossJoin { left, right } => {
-                let (l, lp) = self.run(left)?;
-                let (r, rp) = self.run(right)?;
-                let mut rows = Vec::with_capacity(l.len() * r.len());
+                let (l, lp) = self.run(left, guard)?;
+                let (r, rp) = self.run(right, guard)?;
+                let mut rows = Vec::with_capacity(l.len().saturating_mul(r.len()));
                 for a in &l {
                     for b in &r {
+                        // Charge eagerly: a runaway cross product must
+                        // abort mid-loop, not after materialising.
+                        guard.charge_rows(1)?;
                         let mut row = a.clone();
                         row.extend(b.iter().cloned());
                         rows.push(row);
@@ -173,8 +191,8 @@ impl<'a> Executor<'a> {
                 right,
                 condition,
             } => {
-                let (l, lp) = self.run(left)?;
-                let (r, rp) = self.run(right)?;
+                let (l, lp) = self.run(left, guard)?;
+                let (r, rp) = self.run(right, guard)?;
                 let lschema = left.schema()?;
                 let rschema = right.schema()?;
                 let joined_schema = lschema.join(&rschema);
@@ -191,16 +209,18 @@ impl<'a> Executor<'a> {
                 let (rows, op) = match algo {
                     JoinAlgo::NestedLoop => {
                         let bound = condition.bind(&joined_schema)?;
-                        (nested_loop_join(&l, &r, &bound)?, "NestedLoopJoin")
+                        (nested_loop_join(&l, &r, &bound, guard)?, "NestedLoopJoin")
                     }
-                    JoinAlgo::Hash | JoinAlgo::Auto => {
-                        (hash_join(&l, &r, &keys, &residual_bound)?, "HashJoin")
-                    }
+                    JoinAlgo::Hash | JoinAlgo::Auto => (
+                        hash_join(&l, &r, &keys, &residual_bound, guard)?,
+                        "HashJoin",
+                    ),
                     JoinAlgo::SortMerge => (
-                        sort_merge_join(&l, &r, &keys, &residual_bound)?,
+                        sort_merge_join(&l, &r, &keys, &residual_bound, guard)?,
                         "SortMergeJoin",
                     ),
                 };
+                guard.charge_rows(rows.len())?;
                 let profile = ProfileNode::new(plan.label(), op, rows.len(), vec![lp, rp]);
                 Ok((rows, profile))
             }
@@ -210,7 +230,7 @@ impl<'a> Executor<'a> {
                 group_by,
                 aggregates,
             } => {
-                let (in_rows, child) = self.run(input)?;
+                let (in_rows, child) = self.run(input, guard)?;
                 let in_schema = input.schema()?;
                 let group_bound: Vec<_> = group_by
                     .iter()
@@ -232,20 +252,21 @@ impl<'a> Executor<'a> {
                     .collect::<Result<_>>()?;
                 let (rows, op) = match self.options.agg {
                     AggAlgo::Hash => (
-                        hash_aggregate(&in_rows, &group_bound, &compiled)?,
+                        hash_aggregate(&in_rows, &group_bound, &compiled, guard)?,
                         "HashAggregate",
                     ),
                     AggAlgo::Sort => (
-                        sort_aggregate(&in_rows, &group_bound, &compiled)?,
+                        sort_aggregate(&in_rows, &group_bound, &compiled, guard)?,
                         "SortAggregate",
                     ),
                 };
+                guard.charge_rows(rows.len())?;
                 let profile = ProfileNode::new(plan.label(), op, rows.len(), vec![child]);
                 Ok((rows, profile))
             }
 
             LogicalPlan::SubqueryAlias { input, .. } => {
-                let (rows, child) = self.run(input)?;
+                let (rows, child) = self.run(input, guard)?;
                 let n = rows.len();
                 Ok((
                     rows,
@@ -254,7 +275,7 @@ impl<'a> Executor<'a> {
             }
 
             LogicalPlan::Sort { input, keys } => {
-                let (mut rows, child) = self.run(input)?;
+                let (mut rows, child) = self.run(input, guard)?;
                 let in_schema = input.schema()?;
                 let bound: Vec<(gbj_expr::BoundExpr, bool)> = keys
                     .iter()
@@ -264,6 +285,7 @@ impl<'a> Executor<'a> {
                 let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = rows
                     .drain(..)
                     .map(|row| {
+                        guard.tick()?;
                         let k: Vec<Value> = bound
                             .iter()
                             .map(|(e, _)| e.eval(&row))
@@ -436,6 +458,7 @@ mod tests {
                 ExecOptions {
                     join,
                     agg: AggAlgo::Hash,
+                    limits: ResourceLimits::default(),
                 },
             );
             let (r, p) = exec.execute(&plan1(&s)).unwrap();
@@ -460,6 +483,7 @@ mod tests {
             ExecOptions {
                 join: JoinAlgo::Auto,
                 agg: AggAlgo::Hash,
+                limits: ResourceLimits::default(),
             },
         );
         let sort = Executor::with_options(
@@ -467,6 +491,7 @@ mod tests {
             ExecOptions {
                 join: JoinAlgo::Auto,
                 agg: AggAlgo::Sort,
+                limits: ResourceLimits::default(),
             },
         );
         let (h, _) = hash.execute(&plan1(&s)).unwrap();
@@ -516,6 +541,7 @@ mod tests {
             ExecOptions {
                 join: JoinAlgo::Hash,
                 agg: AggAlgo::Hash,
+                limits: ResourceLimits::default(),
             },
         );
         let plan = LogicalPlan::Join {

@@ -1,0 +1,262 @@
+//! Resource governance for query execution.
+//!
+//! A [`ResourceGuard`] is created per [`Executor::execute`] call from
+//! the [`ResourceLimits`] in [`ExecOptions`] and threaded by reference
+//! through every operator. Operators charge produced rows and operator
+//! state (hash/sort tables) against it and poll it cooperatively inside
+//! their row loops, so a query that exceeds its row, memory, or
+//! wall-clock budget aborts promptly with
+//! [`Error::ResourceExhausted`] instead of running away.
+//!
+//! [`Executor::execute`]: crate::Executor::execute
+//! [`ExecOptions`]: crate::ExecOptions
+//! [`Error::ResourceExhausted`]: gbj_types::Error::ResourceExhausted
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+use gbj_types::{Error, ResourceKind, Result, Value};
+
+/// How often (in cooperative ticks) the wall clock is polled. Reading
+/// `Instant::now` per row would dominate tight loops; every 256 rows is
+/// prompt enough for cancellation and cheap enough to leave on.
+const TICKS_PER_CLOCK_POLL: u64 = 256;
+
+/// Optional execution budgets. `None` in every field (the default)
+/// means unlimited — the guard then never fires.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Maximum total rows produced across all operators in one query.
+    pub max_rows: Option<u64>,
+    /// Maximum estimated bytes held in operator state (hash-join build
+    /// tables, aggregation tables, sort buffers) at any one time.
+    pub max_memory_bytes: Option<u64>,
+    /// Maximum wall-clock execution time.
+    pub time_budget: Option<Duration>,
+}
+
+impl ResourceLimits {
+    /// True when no budget is configured at all.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.max_rows.is_none() && self.max_memory_bytes.is_none() && self.time_budget.is_none()
+    }
+}
+
+/// Per-query enforcement state for [`ResourceLimits`].
+///
+/// Interior mutability (`Cell`) keeps the guard shareable by `&`
+/// reference down the recursive operator tree.
+#[derive(Debug)]
+pub struct ResourceGuard {
+    limits: ResourceLimits,
+    rows: Cell<u64>,
+    memory: Cell<u64>,
+    ticks: Cell<u64>,
+    started: Instant,
+}
+
+impl ResourceGuard {
+    /// A guard enforcing `limits`, with the clock starting now.
+    #[must_use]
+    pub fn new(limits: ResourceLimits) -> ResourceGuard {
+        ResourceGuard {
+            limits,
+            rows: Cell::new(0),
+            memory: Cell::new(0),
+            ticks: Cell::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// A guard that never fires.
+    #[must_use]
+    pub fn unlimited() -> ResourceGuard {
+        ResourceGuard::new(ResourceLimits::default())
+    }
+
+    /// Total rows charged so far.
+    #[must_use]
+    pub fn rows_used(&self) -> u64 {
+        self.rows.get()
+    }
+
+    /// Estimated operator-state bytes currently held.
+    #[must_use]
+    pub fn memory_used(&self) -> u64 {
+        self.memory.get()
+    }
+
+    /// Charge `n` produced rows against the row budget (also polls the
+    /// deadline so row-producing loops stay cancellable).
+    pub fn charge_rows(&self, n: usize) -> Result<()> {
+        self.rows.set(self.rows.get().saturating_add(n as u64));
+        if let Some(limit) = self.limits.max_rows {
+            let used = self.rows.get();
+            if used > limit {
+                return Err(Error::ResourceExhausted {
+                    kind: ResourceKind::Rows,
+                    limit,
+                    used,
+                });
+            }
+        }
+        self.check_deadline()
+    }
+
+    /// Reserve `bytes` of operator state against the memory budget.
+    pub fn charge_memory(&self, bytes: u64) -> Result<()> {
+        self.memory.set(self.memory.get().saturating_add(bytes));
+        if let Some(limit) = self.limits.max_memory_bytes {
+            let used = self.memory.get();
+            if used > limit {
+                return Err(Error::ResourceExhausted {
+                    kind: ResourceKind::Memory,
+                    limit,
+                    used,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Return `bytes` of operator state (an operator finished and
+    /// dropped its table/buffer).
+    pub fn release_memory(&self, bytes: u64) {
+        self.memory.set(self.memory.get().saturating_sub(bytes));
+    }
+
+    /// Cooperative cancellation point for inner loops: cheap counter
+    /// bump, with the wall clock polled every [`TICKS_PER_CLOCK_POLL`]
+    /// calls.
+    pub fn tick(&self) -> Result<()> {
+        let t = self.ticks.get().wrapping_add(1);
+        self.ticks.set(t);
+        if self.limits.time_budget.is_some() && t.is_multiple_of(TICKS_PER_CLOCK_POLL) {
+            return self.check_deadline_now();
+        }
+        Ok(())
+    }
+
+    /// Poll the deadline (no-op when no time budget is set; throttled
+    /// through the tick counter otherwise).
+    pub fn check_deadline(&self) -> Result<()> {
+        if self.limits.time_budget.is_none() {
+            return Ok(());
+        }
+        self.check_deadline_now()
+    }
+
+    fn check_deadline_now(&self) -> Result<()> {
+        if let Some(budget) = self.limits.time_budget {
+            let elapsed = self.started.elapsed();
+            if elapsed > budget {
+                return Err(Error::ResourceExhausted {
+                    kind: ResourceKind::Time,
+                    limit: budget.as_millis().min(u128::from(u64::MAX)) as u64,
+                    used: elapsed.as_millis().min(u128::from(u64::MAX)) as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rough heap footprint of one row, for memory budgeting. This is an
+/// estimate (enum discriminants, `Vec` headers and string heap bytes),
+/// not an allocator measurement — budgets should be read as orders of
+/// magnitude, not exact byte counts.
+#[must_use]
+pub fn row_bytes(row: &[Value]) -> u64 {
+    let base =
+        (std::mem::size_of::<Vec<Value>>() + std::mem::size_of_val(row)) as u64;
+    let heap: u64 = row
+        .iter()
+        .map(|v| match v {
+            Value::Str(s) => s.len() as u64,
+            _ => 0,
+        })
+        .sum();
+    base + heap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_fires() {
+        let g = ResourceGuard::unlimited();
+        for _ in 0..10_000 {
+            g.tick().unwrap();
+        }
+        g.charge_rows(1_000_000).unwrap();
+        g.charge_memory(u64::MAX / 2).unwrap();
+        g.check_deadline().unwrap();
+    }
+
+    #[test]
+    fn row_budget_fires_with_counts() {
+        let g = ResourceGuard::new(ResourceLimits {
+            max_rows: Some(10),
+            ..ResourceLimits::default()
+        });
+        g.charge_rows(10).unwrap();
+        let err = g.charge_rows(5).unwrap_err();
+        match err {
+            Error::ResourceExhausted { kind, limit, used } => {
+                assert_eq!(kind, ResourceKind::Rows);
+                assert_eq!(limit, 10);
+                assert_eq!(used, 15);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn memory_budget_fires_and_releases() {
+        let g = ResourceGuard::new(ResourceLimits {
+            max_memory_bytes: Some(1_000),
+            ..ResourceLimits::default()
+        });
+        g.charge_memory(900).unwrap();
+        g.release_memory(900);
+        g.charge_memory(999).unwrap();
+        let err = g.charge_memory(2).unwrap_err();
+        assert_eq!(err.kind(), "resource");
+        assert_eq!(err.message(), "memory budget exceeded");
+    }
+
+    #[test]
+    fn zero_time_budget_fires() {
+        let g = ResourceGuard::new(ResourceLimits {
+            time_budget: Some(Duration::ZERO),
+            ..ResourceLimits::default()
+        });
+        // Any elapsed time exceeds a zero budget.
+        std::thread::sleep(Duration::from_millis(2));
+        let err = g.check_deadline().unwrap_err();
+        assert!(matches!(
+            err,
+            Error::ResourceExhausted {
+                kind: ResourceKind::Time,
+                ..
+            }
+        ));
+        // tick() also reaches the deadline once the poll interval hits.
+        let g = ResourceGuard::new(ResourceLimits {
+            time_budget: Some(Duration::ZERO),
+            ..ResourceLimits::default()
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        let fired = (0..10_000).any(|_| g.tick().is_err());
+        assert!(fired);
+    }
+
+    #[test]
+    fn row_bytes_counts_string_heap() {
+        let short = row_bytes(&[Value::Int(1), Value::Null]);
+        let long = row_bytes(&[Value::Int(1), Value::str("x".repeat(100))]);
+        assert!(long >= short + 100);
+    }
+}

@@ -8,7 +8,16 @@
 use std::collections::HashMap;
 
 use gbj_expr::{conjuncts, BoundExpr, Expr};
-use gbj_types::{GroupKey, Result, Schema, Truth, Value};
+use gbj_types::{internal_err, GroupKey, Result, Schema, Truth, Value};
+
+use crate::guard::{row_bytes, ResourceGuard};
+
+/// Checked column access: a bad ordinal is an optimizer/binder bug, so
+/// it surfaces as `Error::Internal` instead of a panic.
+fn col(row: &[Value], idx: usize) -> Result<&Value> {
+    row.get(idx)
+        .ok_or_else(|| internal_err!("column ordinal {idx} out of bounds for row of arity {}", row.len()))
+}
 
 /// An equi-join key pair: ordinal in the left schema, ordinal in the
 /// right schema.
@@ -79,10 +88,12 @@ pub fn nested_loop_join(
     left: &[Vec<Value>],
     right: &[Vec<Value>],
     condition: &BoundExpr,
+    guard: &ResourceGuard,
 ) -> Result<Vec<Vec<Value>>> {
     let mut out = Vec::new();
     for l in left {
         for r in right {
+            guard.tick()?;
             let row = concat(l, r);
             if condition.eval_truth(&row)? == Truth::True {
                 out.push(row);
@@ -103,31 +114,55 @@ pub fn hash_join(
     right: &[Vec<Value>],
     keys: &[EquiKey],
     residual: &Option<BoundExpr>,
+    guard: &ResourceGuard,
 ) -> Result<Vec<Vec<Value>>> {
     let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
-    for (i, r) in right.iter().enumerate() {
-        let kv: Vec<Value> = keys.iter().map(|k| r[k.right].clone()).collect();
-        if kv.iter().any(Value::is_null) {
-            continue;
+    let mut build_bytes = 0u64;
+    let build_result = (|| -> Result<()> {
+        for (i, r) in right.iter().enumerate() {
+            guard.tick()?;
+            let kv: Vec<Value> = keys
+                .iter()
+                .map(|k| col(r, k.right).cloned())
+                .collect::<Result<_>>()?;
+            if kv.iter().any(Value::is_null) {
+                continue;
+            }
+            let entry_bytes = row_bytes(&kv) + std::mem::size_of::<usize>() as u64;
+            build_bytes += entry_bytes;
+            guard.charge_memory(entry_bytes)?;
+            table.entry(GroupKey(kv)).or_default().push(i);
         }
-        table.entry(GroupKey(kv)).or_default().push(i);
-    }
-    let mut out = Vec::new();
-    for l in left {
-        let kv: Vec<Value> = keys.iter().map(|k| l[k.left].clone()).collect();
-        if kv.iter().any(Value::is_null) {
-            continue;
-        }
-        if let Some(matches) = table.get(&GroupKey(kv)) {
-            for &ri in matches {
-                let row = concat(l, &right[ri]);
-                if residual_passes(residual, &row)? {
-                    out.push(row);
+        Ok(())
+    })();
+    let probe = build_result.and_then(|()| {
+        let mut out = Vec::new();
+        for l in left {
+            guard.tick()?;
+            let kv: Vec<Value> = keys
+                .iter()
+                .map(|k| col(l, k.left).cloned())
+                .collect::<Result<_>>()?;
+            if kv.iter().any(Value::is_null) {
+                continue;
+            }
+            if let Some(matches) = table.get(&GroupKey(kv)) {
+                for &ri in matches {
+                    guard.tick()?;
+                    let r = right.get(ri).ok_or_else(|| {
+                        internal_err!("hash-join build index {ri} out of bounds")
+                    })?;
+                    let row = concat(l, r);
+                    if residual_passes(residual, &row)? {
+                        out.push(row);
+                    }
                 }
             }
         }
-    }
-    Ok(out)
+        Ok(out)
+    });
+    guard.release_memory(build_bytes);
+    probe
 }
 
 /// Sort-merge join on the given equi keys.
@@ -139,10 +174,16 @@ pub fn sort_merge_join(
     right: &[Vec<Value>],
     keys: &[EquiKey],
     residual: &Option<BoundExpr>,
+    guard: &ResourceGuard,
 ) -> Result<Vec<Vec<Value>>> {
     use std::cmp::Ordering;
+    // Null-key rows are filtered first, so the ordinals are known good
+    // for the sort/merge below; key_of still uses checked access to
+    // honour the no-indexing invariant.
     let key_of = |row: &[Value], side: fn(&EquiKey) -> usize| -> Vec<Value> {
-        keys.iter().map(|k| row[side(k)].clone()).collect()
+        keys.iter()
+            .map(|k| row.get(side(k)).cloned().unwrap_or(Value::Null))
+            .collect()
     };
     let cmp_keys = |a: &[Value], b: &[Value]| -> Ordering {
         for (x, y) in a.iter().zip(b) {
@@ -154,52 +195,77 @@ pub fn sort_merge_join(
         Ordering::Equal
     };
 
+    // Reject bad ordinals up front (checked once; the loops below can
+    // then treat misses as impossible).
+    for k in keys {
+        if let Some(r) = left.first() {
+            col(r, k.left)?;
+        }
+        if let Some(r) = right.first() {
+            col(r, k.right)?;
+        }
+    }
+
     let mut ls: Vec<&Vec<Value>> = left
         .iter()
-        .filter(|r| !keys.iter().any(|k| r[k.left].is_null()))
+        .filter(|r| !keys.iter().any(|k| r.get(k.left).is_none_or(Value::is_null)))
         .collect();
     let mut rs: Vec<&Vec<Value>> = right
         .iter()
-        .filter(|r| !keys.iter().any(|k| r[k.right].is_null()))
+        .filter(|r| !keys.iter().any(|k| r.get(k.right).is_none_or(Value::is_null)))
         .collect();
+    // The sort buffers hold references; charge the reference arrays.
+    let sort_bytes = ((ls.len() + rs.len()) * std::mem::size_of::<&Vec<Value>>()) as u64;
+    guard.charge_memory(sort_bytes)?;
     ls.sort_by(|a, b| cmp_keys(&key_of(a, |k| k.left), &key_of(b, |k| k.left)));
     rs.sort_by(|a, b| cmp_keys(&key_of(a, |k| k.right), &key_of(b, |k| k.right)));
 
-    let mut out = Vec::new();
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < ls.len() && j < rs.len() {
-        let lk = key_of(ls[i], |k| k.left);
-        let rk = key_of(rs[j], |k| k.right);
-        match cmp_keys(&lk, &rk) {
-            Ordering::Less => i += 1,
-            Ordering::Greater => j += 1,
-            Ordering::Equal => {
-                // Find the right-side run with this key.
-                let mut j_end = j;
-                while j_end < rs.len()
-                    && cmp_keys(&key_of(rs[j_end], |k| k.right), &lk) == Ordering::Equal
-                {
-                    j_end += 1;
-                }
-                // Emit the cross product of the matching runs.
-                let mut i_run = i;
-                while i_run < ls.len()
-                    && cmp_keys(&key_of(ls[i_run], |k| k.left), &lk) == Ordering::Equal
-                {
-                    for r in &rs[j..j_end] {
-                        let row = concat(ls[i_run], r);
-                        if residual_passes(residual, &row)? {
-                            out.push(row);
-                        }
+    let merge = (|| -> Result<Vec<Vec<Value>>> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ls.len() && j < rs.len() {
+            guard.tick()?;
+            let (Some(li), Some(rj)) = (ls.get(i), rs.get(j)) else {
+                break;
+            };
+            let lk = key_of(li, |k| k.left);
+            let rk = key_of(rj, |k| k.right);
+            match cmp_keys(&lk, &rk) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
+                    // Find the right-side run with this key.
+                    let mut j_end = j;
+                    while rs
+                        .get(j_end)
+                        .is_some_and(|r| cmp_keys(&key_of(r, |k| k.right), &lk) == Ordering::Equal)
+                    {
+                        j_end += 1;
                     }
-                    i_run += 1;
+                    // Emit the cross product of the matching runs.
+                    let mut i_run = i;
+                    while let Some(l) = ls
+                        .get(i_run)
+                        .filter(|l| cmp_keys(&key_of(l, |k| k.left), &lk) == Ordering::Equal)
+                    {
+                        for r in rs.get(j..j_end).unwrap_or_default() {
+                            guard.tick()?;
+                            let row = concat(l, r);
+                            if residual_passes(residual, &row)? {
+                                out.push(row);
+                            }
+                        }
+                        i_run += 1;
+                    }
+                    i = i_run;
+                    j = j_end;
                 }
-                i = i_run;
-                j = j_end;
             }
         }
-    }
-    Ok(out)
+        Ok(out)
+    })();
+    guard.release_memory(sort_bytes);
+    merge
 }
 
 #[cfg(test)]
@@ -249,10 +315,11 @@ mod tests {
         assert!(!keys.is_empty());
         let resid_bound = Expr::conjunction(residual.clone())
             .map(|e| e.bind(&joined).unwrap());
+        let g = ResourceGuard::unlimited();
         vec![
-            nested_loop_join(left, right, &bound).unwrap(),
-            hash_join(left, right, &keys, &resid_bound).unwrap(),
-            sort_merge_join(left, right, &keys, &resid_bound).unwrap(),
+            nested_loop_join(left, right, &bound, &g).unwrap(),
+            hash_join(left, right, &keys, &resid_bound, &g).unwrap(),
+            sort_merge_join(left, right, &keys, &resid_bound, &g).unwrap(),
         ]
     }
 
@@ -364,9 +431,10 @@ mod tests {
             vec![Value::Int(1), Value::Int(2)],
         ];
         let right = vec![vec![Value::Int(1), Value::Int(1)]];
-        let out = hash_join(&left, &right, &keys, &None).unwrap();
+        let g = ResourceGuard::unlimited();
+        let out = hash_join(&left, &right, &keys, &None, &g).unwrap();
         assert_eq!(out.len(), 1);
-        let out = sort_merge_join(&left, &right, &keys, &None).unwrap();
+        let out = sort_merge_join(&left, &right, &keys, &None, &g).unwrap();
         assert_eq!(out.len(), 1);
     }
 }

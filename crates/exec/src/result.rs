@@ -131,10 +131,8 @@ impl fmt::Display for ResultSet {
             .map(|r| r.iter().map(ToString::to_string).collect())
             .collect();
         for row in &rendered {
-            for (i, cell) in row.iter().enumerate() {
-                if i < widths.len() {
-                    widths[i] = widths[i].max(cell.len());
-                }
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
             }
         }
         let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {

@@ -22,6 +22,7 @@ pub fn parse_statements(sql: &str) -> Result<Vec<Statement>> {
         src: sql,
         tokens,
         pos: 0,
+        depth: 0,
     };
     let mut out = Vec::new();
     loop {
@@ -37,16 +38,24 @@ pub fn parse_statements(sql: &str) -> Result<Vec<Statement>> {
 /// Parse exactly one statement.
 pub fn parse_sql(sql: &str) -> Result<Statement> {
     let stmts = parse_statements(sql)?;
-    match stmts.len() {
-        1 => Ok(stmts.into_iter().next().expect("len checked")),
-        n => Err(Error::Parse(format!("expected one statement, found {n}"))),
+    let n = stmts.len();
+    match (n, stmts.into_iter().next()) {
+        (1, Some(stmt)) => Ok(stmt),
+        _ => Err(Error::Parse(format!("expected one statement, found {n}"))),
     }
 }
+
+/// Maximum recursion depth across nested expressions and statements.
+/// Recursive-descent parsing consumes native stack per nesting level,
+/// so unbounded `((((…))))` or `NOT NOT …` input would overflow the
+/// stack; beyond this depth the parser returns `Error::Parse` instead.
+const MAX_DEPTH: usize = 200;
 
 struct Parser<'a> {
     src: &'a str,
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -110,6 +119,25 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Enter one recursion level; errors out past [`MAX_DEPTH`]. Every
+    /// self-recursive production calls this (paired with
+    /// [`Parser::leave`]) so pathological nesting is a parse error,
+    /// never a stack overflow.
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::Parse(format!(
+                "nesting exceeds the maximum depth of {MAX_DEPTH} at byte {}",
+                self.peek().start
+            )));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
+    }
+
     fn unexpected(&self, what: &str) -> Error {
         Error::Parse(format!(
             "expected {what}, found {:?} at byte {}",
@@ -121,6 +149,13 @@ impl<'a> Parser<'a> {
     // ---------------------------------------------------------- statements
 
     fn statement(&mut self) -> Result<Statement> {
+        self.enter()?;
+        let out = self.statement_inner();
+        self.leave();
+        out
+    }
+
+    fn statement_inner(&mut self) -> Result<Statement> {
         if self.peek_kind().is_keyword("SELECT") {
             return Ok(Statement::Select(self.select()?));
         }
@@ -526,7 +561,10 @@ impl<'a> Parser<'a> {
     // ---------------------------------------------------------- expressions
 
     fn expr(&mut self) -> Result<AstExpr> {
-        self.or_expr()
+        self.enter()?;
+        let out = self.or_expr();
+        self.leave();
+        out
     }
 
     fn or_expr(&mut self) -> Result<AstExpr> {
@@ -557,7 +595,10 @@ impl<'a> Parser<'a> {
 
     fn not_expr(&mut self) -> Result<AstExpr> {
         if self.eat_keyword("NOT") {
-            return Ok(AstExpr::Not(Box::new(self.not_expr()?)));
+            self.enter()?;
+            let inner = self.not_expr();
+            self.leave();
+            return Ok(AstExpr::Not(Box::new(inner?)));
         }
         self.comparison()
     }
@@ -634,10 +675,16 @@ impl<'a> Parser<'a> {
 
     fn unary(&mut self) -> Result<AstExpr> {
         if self.eat_kind(&TokenKind::Minus) {
-            return Ok(AstExpr::Neg(Box::new(self.unary()?)));
+            self.enter()?;
+            let inner = self.unary();
+            self.leave();
+            return Ok(AstExpr::Neg(Box::new(inner?)));
         }
         if self.eat_kind(&TokenKind::Plus) {
-            return self.unary();
+            self.enter()?;
+            let inner = self.unary();
+            self.leave();
+            return inner;
         }
         self.primary()
     }

@@ -1,4 +1,13 @@
 #![warn(missing_docs)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )
+)]
 
 //! # gbj-storage
 //!
@@ -19,8 +28,10 @@
 //! clause, which is what lets `TestFD` use them to derive functional
 //! dependencies.
 
+pub mod fault;
 mod storage;
 mod table;
 
-pub use storage::Storage;
+pub use fault::{FaultConfig, FaultInjector};
+pub use storage::{ScanCursor, Storage};
 pub use table::{Row, Table};

@@ -6,6 +6,7 @@ use gbj_catalog::{Catalog, Constraint, Domain, TableDef, ViewDef};
 use gbj_expr::Expr;
 use gbj_types::{DataType, Error, Field, Result, Schema, Truth, Value};
 
+use crate::fault::FaultInjector;
 use crate::table::Table;
 
 /// The in-memory database: a [`Catalog`] plus one [`Table`] of data per
@@ -14,6 +15,9 @@ use crate::table::Table;
 pub struct Storage {
     catalog: Catalog,
     data: BTreeMap<String, Table>,
+    /// Optional read-path fault injection (testing only; `None` in
+    /// normal operation).
+    fault: Option<FaultInjector>,
 }
 
 fn key(name: &str) -> String {
@@ -105,6 +109,124 @@ impl Storage {
         self.data.get(&key(name))
     }
 
+    /// Install (or with `None`, remove) a read-path fault injector.
+    /// Scans opened through [`Storage::open_scan`] consult it.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.fault = injector;
+    }
+
+    /// The installed fault injector, if any.
+    #[must_use]
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Open a batched scan cursor over a table. This is the executor's
+    /// read path: it honours the installed [`FaultInjector`] (short
+    /// batches, injected batch failures, NULL flips on nullable
+    /// columns), while [`Storage::table_data`] stays a faithful view of
+    /// the stored bytes.
+    pub fn open_scan(&self, name: &str) -> Result<ScanCursor<'_>> {
+        let table = self
+            .data
+            .get(&key(name))
+            .ok_or_else(|| Error::Catalog(format!("unknown table {name} at execution time")))?;
+        let nullable: Vec<bool> = table.schema().fields().iter().map(|f| f.nullable).collect();
+        let batch_size = self
+            .fault
+            .as_ref()
+            .and_then(FaultInjector::batch_size)
+            .unwrap_or(DEFAULT_SCAN_BATCH);
+        Ok(ScanCursor {
+            name: key(name),
+            table,
+            injector: self.fault.as_ref(),
+            nullable,
+            pos: 0,
+            batch_size,
+        })
+    }
+}
+
+/// Rows per [`ScanCursor::next_batch`] call when no injector overrides
+/// it.
+const DEFAULT_SCAN_BATCH: usize = 1024;
+
+/// A batched cursor over one table's rows, produced by
+/// [`Storage::open_scan`]. The executor drains it with
+/// [`ScanCursor::next_batch`], giving fault injection a real seam and
+/// the resource guard a cooperative cancellation point between batches.
+#[derive(Debug)]
+pub struct ScanCursor<'a> {
+    name: String,
+    table: &'a Table,
+    injector: Option<&'a FaultInjector>,
+    nullable: Vec<bool>,
+    pos: usize,
+    batch_size: usize,
+}
+
+impl ScanCursor<'_> {
+    /// Total rows in the underlying table (for pre-sizing).
+    #[must_use]
+    pub fn total_rows(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The scan's output arity.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.nullable.len()
+    }
+
+    /// The next batch of rows, `None` once exhausted.
+    ///
+    /// With a fault injector installed this is where faults land: the
+    /// globally-Nth batch returns `Error::Execution`, and nullable
+    /// cells flip to NULL keyed by `(seed, table, row_id, column)` so
+    /// every plan shape observes identical data.
+    pub fn next_batch(&mut self) -> Result<Option<Vec<Vec<Value>>>> {
+        let rows = self.table.raw_rows();
+        if self.pos >= rows.len() {
+            return Ok(None);
+        }
+        if let Some(inj) = self.injector {
+            if let Err(ordinal) = inj.claim_batch() {
+                return Err(Error::Execution(format!(
+                    "injected fault: scan batch {ordinal} of table {} failed",
+                    self.name
+                )));
+            }
+        }
+        let end = self.pos.saturating_add(self.batch_size).min(rows.len());
+        let slice = rows.get(self.pos..end).unwrap_or_default();
+        let mut out = Vec::with_capacity(slice.len());
+        for row in slice {
+            let values = match self.injector {
+                Some(inj) if inj.config().null_flip_one_in.is_some() => row
+                    .values
+                    .iter()
+                    .enumerate()
+                    .map(|(c, v)| {
+                        if self.nullable.get(c).copied().unwrap_or(false)
+                            && inj.flips_to_null(&self.name, row.row_id, c)
+                        {
+                            Value::Null
+                        } else {
+                            v.clone()
+                        }
+                    })
+                    .collect(),
+                _ => row.values.clone(),
+            };
+            out.push(values);
+        }
+        self.pos = end;
+        Ok(Some(out))
+    }
+}
+
+impl Storage {
     /// Validate types, NOT NULL, column/domain CHECKs and table CHECKs
     /// for one row, returning the (Int→Float coerced) values. Key and
     /// foreign-key checks are separate (they depend on table state).
@@ -120,8 +242,7 @@ impl Storage {
 
         // Per-column checks: type, NOT NULL, CHECK.
         let mut coerced = values;
-        for (i, col) in def.columns.iter().enumerate() {
-            let v = &mut coerced[i];
+        for (col, v) in def.columns.iter().zip(coerced.iter_mut()) {
             if v.is_null() {
                 if !col.nullable {
                     return Err(Error::Constraint(format!(
@@ -145,7 +266,11 @@ impl Storage {
                         def.name, col.name
                     )));
                 }
-                (None, _) => unreachable!("non-null value has a type"),
+                (None, _) => {
+                    return Err(Error::Internal(
+                        "non-null value without a type".to_string(),
+                    ))
+                }
             }
             // Column + domain CHECKs over the single value, exposed both
             // under the column's own name and the DOMAIN pseudo-column
@@ -196,7 +321,10 @@ impl Storage {
                 continue;
             };
             let fk_ords = self.ordinals(def, columns)?;
-            let fk_vals: Vec<Value> = fk_ords.iter().map(|&i| coerced[i].clone()).collect();
+            let fk_vals: Vec<Value> = fk_ords
+                .iter()
+                .map(|&i| coerced.get(i).cloned().unwrap_or(Value::Null))
+                .collect();
             if fk_vals.iter().any(Value::is_null) {
                 continue;
             }
@@ -318,8 +446,10 @@ impl Storage {
                 let remaining: std::collections::HashSet<gbj_types::GroupKey> = final_rows
                     .iter()
                     .filter_map(|row| {
-                        let vals: Vec<Value> =
-                            ref_ords.iter().map(|&i| row.values[i].clone()).collect();
+                        let vals: Vec<Value> = ref_ords
+                            .iter()
+                            .map(|&i| row.values.get(i).cloned().unwrap_or(Value::Null))
+                            .collect();
                         (!vals.iter().any(Value::is_null))
                             .then_some(gbj_types::GroupKey(vals))
                     })
@@ -330,8 +460,10 @@ impl Storage {
                     .get(&key(&other.name))
                     .ok_or_else(|| Error::Internal(format!("missing data for {}", other.name)))?;
                 for row in other_data.rows() {
-                    let vals: Vec<Value> =
-                        fk_ords.iter().map(|&i| row.values[i].clone()).collect();
+                    let vals: Vec<Value> = fk_ords
+                        .iter()
+                        .map(|&i| row.values.get(i).cloned().unwrap_or(Value::Null))
+                        .collect();
                     if vals.iter().any(Value::is_null) {
                         continue;
                     }
@@ -418,7 +550,10 @@ impl Storage {
             if Self::row_matches(&schema, predicate, &row.values)? {
                 let mut new_values = row.values.clone();
                 for (i, e) in &assign_ords {
-                    new_values[*i] = e.eval(&row.values, &schema)?;
+                    let slot = new_values.get_mut(*i).ok_or_else(|| {
+                        Error::Internal(format!("assignment ordinal {i} out of range"))
+                    })?;
+                    *slot = e.eval(&row.values, &schema)?;
                 }
                 let validated = Self::validate_row(&def, new_values)?;
                 final_rows.push(crate::table::Row {

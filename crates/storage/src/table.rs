@@ -42,6 +42,15 @@ pub struct Table {
     ref_lookups: HashMap<Vec<usize>, (u64, HashSet<GroupKey>)>,
 }
 
+
+/// Clone the value at column ordinal `c`, treating a (never-expected)
+/// out-of-range ordinal as NULL. Storage validates row arity before any
+/// row reaches `Table`, so the fallback exists only to keep this module
+/// panic-free under the `indexing_slicing` lint.
+fn val_at(values: &[Value], c: usize) -> Value {
+    values.get(c).cloned().unwrap_or(Value::Null)
+}
+
 impl Table {
     /// An empty table with the given (unqualified or table-qualified)
     /// schema.
@@ -95,11 +104,16 @@ impl Table {
         self.rows.iter().map(|r| r.values.as_slice())
     }
 
+    /// The stored rows as a slice (for batched scan cursors).
+    pub(crate) fn raw_rows(&self) -> &[Row] {
+        &self.rows
+    }
+
     /// Check key uniqueness for a candidate row (without inserting).
     pub(crate) fn check_keys(&self, values: &[Value]) -> Result<()> {
         for idx in &self.key_indexes {
             let key_vals: Vec<Value> =
-                idx.columns.iter().map(|&c| values[c].clone()).collect();
+                idx.columns.iter().map(|&c| val_at(values, c)).collect();
             let has_null = key_vals.iter().any(Value::is_null);
             if has_null {
                 if idx.allows_null {
@@ -125,7 +139,7 @@ impl Table {
     pub(crate) fn push(&mut self, values: Vec<Value>) -> u64 {
         for idx in &mut self.key_indexes {
             let key_vals: Vec<Value> =
-                idx.columns.iter().map(|&c| values[c].clone()).collect();
+                idx.columns.iter().map(|&c| val_at(&values, c)).collect();
             if !key_vals.iter().any(Value::is_null) {
                 idx.entries.insert(GroupKey(key_vals));
             }
@@ -133,7 +147,7 @@ impl Table {
         self.generation += 1;
         // Keep current lookup sets current (incremental maintenance).
         for (cols, (gen, set)) in &mut self.ref_lookups {
-            let key_vals: Vec<Value> = cols.iter().map(|&c| values[c].clone()).collect();
+            let key_vals: Vec<Value> = cols.iter().map(|&c| val_at(&values, c)).collect();
             if !key_vals.iter().any(Value::is_null) {
                 set.insert(GroupKey(key_vals));
             }
@@ -162,7 +176,7 @@ impl Table {
                 let key_vals: Vec<Value> = idx
                     .columns
                     .iter()
-                    .map(|&c| row.values[c].clone())
+                    .map(|&c| val_at(&row.values, c))
                     .collect();
                 if !key_vals.iter().any(Value::is_null) {
                     idx.entries.insert(GroupKey(key_vals));
@@ -182,7 +196,7 @@ impl Table {
                 let key_vals: Vec<Value> = idx
                     .columns
                     .iter()
-                    .map(|&c| row.values[c].clone())
+                    .map(|&c| val_at(&row.values, c))
                     .collect();
                 if key_vals.iter().any(Value::is_null) {
                     if idx.allows_null {
@@ -223,7 +237,7 @@ impl Table {
             set.clear();
             for row in &self.rows {
                 let vals: Vec<Value> =
-                    columns.iter().map(|&c| row.values[c].clone()).collect();
+                    columns.iter().map(|&c| val_at(&row.values, c)).collect();
                 if !vals.iter().any(Value::is_null) {
                     set.insert(GroupKey(vals));
                 }

@@ -31,6 +31,59 @@ pub enum Error {
     Unsupported(String),
     /// An internal invariant was violated — always a bug in the engine.
     Internal(String),
+    /// A configured resource budget (rows, memory, wall-clock time) was
+    /// exceeded during execution and the query was aborted cooperatively.
+    ResourceExhausted {
+        /// Which budget was exhausted.
+        kind: ResourceKind,
+        /// The configured limit (rows, bytes, or milliseconds).
+        limit: u64,
+        /// The observed usage when the guard fired.
+        used: u64,
+    },
+}
+
+/// The resource dimension a [`Error::ResourceExhausted`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Total rows produced across all operators.
+    Rows,
+    /// Estimated bytes held in operator state (hash/sort tables).
+    Memory,
+    /// Wall-clock execution time.
+    Time,
+}
+
+impl ResourceKind {
+    /// Human-readable noun for messages (`rows` / `bytes` / `ms`).
+    #[must_use]
+    pub fn unit(self) -> &'static str {
+        match self {
+            ResourceKind::Rows => "rows",
+            ResourceKind::Memory => "bytes",
+            ResourceKind::Time => "ms",
+        }
+    }
+
+    /// Static description of the budget.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            ResourceKind::Rows => "row budget exceeded",
+            ResourceKind::Memory => "memory budget exceeded",
+            ResourceKind::Time => "time budget exceeded",
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResourceKind::Rows => "rows",
+            ResourceKind::Memory => "memory",
+            ResourceKind::Time => "time",
+        })
+    }
 }
 
 impl Error {
@@ -47,6 +100,7 @@ impl Error {
             Error::Execution(_) => "execution",
             Error::Unsupported(_) => "unsupported",
             Error::Internal(_) => "internal",
+            Error::ResourceExhausted { .. } => "resource",
         }
     }
 
@@ -63,13 +117,24 @@ impl Error {
             | Error::Execution(m)
             | Error::Unsupported(m)
             | Error::Internal(m) => m,
+            // No owned String to borrow: the static description stands
+            // in; `Display` renders limit/used in full.
+            Error::ResourceExhausted { kind, .. } => kind.describe(),
         }
     }
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} error: {}", self.kind(), self.message())
+        match self {
+            Error::ResourceExhausted { kind, limit, used } => write!(
+                f,
+                "resource error: {} (limit {limit} {u}, used {used} {u})",
+                kind.describe(),
+                u = kind.unit()
+            ),
+            _ => write!(f, "{} error: {}", self.kind(), self.message()),
+        }
     }
 }
 
@@ -99,6 +164,33 @@ mod tests {
 
         let e = Error::Execution("division by zero".into());
         assert_eq!(e.to_string(), "execution error: division by zero");
+    }
+
+    #[test]
+    fn resource_exhausted_shape() {
+        let e = Error::ResourceExhausted {
+            kind: ResourceKind::Rows,
+            limit: 100,
+            used: 101,
+        };
+        assert_eq!(e.kind(), "resource");
+        assert_eq!(e.message(), "row budget exceeded");
+        assert_eq!(
+            e.to_string(),
+            "resource error: row budget exceeded (limit 100 rows, used 101 rows)"
+        );
+        let m = Error::ResourceExhausted {
+            kind: ResourceKind::Memory,
+            limit: 1024,
+            used: 2048,
+        };
+        assert_eq!(m.message(), "memory budget exceeded");
+        let t = Error::ResourceExhausted {
+            kind: ResourceKind::Time,
+            limit: 5,
+            used: 9,
+        };
+        assert!(t.to_string().contains("limit 5 ms"));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod truth;
 pub mod value;
 
 pub use datatype::DataType;
-pub use error::{Error, Result};
+pub use error::{Error, ResourceKind, Result};
 pub use schema::{ColumnRef, Field, Schema};
 pub use truth::Truth;
 pub use value::{GroupKey, Value};

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, tests, and the panic-freedom lint gate.
+#
+# The clippy step enforces the workspace lint gate: gbj-exec,
+# gbj-storage and gbj-engine deny unwrap_used / expect_used / panic /
+# indexing_slicing outside test code (see [workspace.lints.clippy] in
+# Cargo.toml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --all-targets
+echo "verify: OK"

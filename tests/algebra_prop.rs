@@ -3,6 +3,9 @@
 //! semantics on NULL-bearing rows, `GroupKey` is a lawful hash key
 //! under `=ⁿ`, and FD closures satisfy the closure laws the TestFD
 //! proof relies on.
+//!
+//! Offline build note: proptest is unavailable, so inputs are drawn
+//! from the local deterministic `rand` shim in seeded loops.
 
 use std::collections::BTreeSet;
 use std::collections::HashMap;
@@ -10,7 +13,8 @@ use std::collections::HashMap;
 use gbj::expr::{from_cnf, to_cnf, to_dnf, to_nnf, BinaryOp, Expr};
 use gbj::fd::{Fd, FdSet};
 use gbj::types::{ColumnRef, DataType, Field, GroupKey, Schema, Value};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -21,12 +25,11 @@ fn schema() -> Schema {
 }
 
 /// Random predicate trees over columns a/b/c with comparisons, logical
-/// connectives, NOT and IS NULL.
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let col = proptest::sample::select(vec!["a", "b", "c"]);
-    let leaf = (col, -2i64..3, 0..6u8).prop_map(|(c, k, op)| {
-        let column = Expr::bare(c);
-        let lit = Expr::lit(k);
+/// connectives, NOT and IS NULL, bounded in depth.
+fn random_expr(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.35) {
+        let col = ["a", "b", "c"][rng.gen_range(0usize..3)];
+        let k = rng.gen_range(-2i64..3);
         let op = [
             BinaryOp::Eq,
             BinaryOp::NotEq,
@@ -34,65 +37,78 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             BinaryOp::LtEq,
             BinaryOp::Gt,
             BinaryOp::GtEq,
-        ][op as usize];
-        column.binary(op, lit)
-    });
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.or(r)),
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner, any::<bool>()).prop_map(|(e, negated)| {
-                // IS NULL over a column inside the tree: wrap a leaf.
-                let _ = e;
-                Expr::IsNull {
-                    expr: Box::new(Expr::bare("a")),
-                    negated,
-                }
-            }),
-        ]
-    })
+        ][rng.gen_range(0usize..6)];
+        return Expr::bare(col).binary(op, Expr::lit(k));
+    }
+    match rng.gen_range(0u8..4) {
+        0 => random_expr(rng, depth - 1).and(random_expr(rng, depth - 1)),
+        1 => random_expr(rng, depth - 1).or(random_expr(rng, depth - 1)),
+        2 => Expr::Not(Box::new(random_expr(rng, depth - 1))),
+        _ => Expr::IsNull {
+            expr: Box::new(Expr::bare("a")),
+            negated: rng.gen_bool(0.5),
+        },
+    }
 }
 
-fn row_strategy() -> impl Strategy<Value = Vec<Value>> {
-    proptest::collection::vec(
-        proptest::option::weighted(0.7, -2i64..3).prop_map(|o| o.map_or(Value::Null, Value::Int)),
-        3,
-    )
+fn random_row(rng: &mut StdRng) -> Vec<Value> {
+    (0..3)
+        .map(|_| {
+            if rng.gen_bool(0.7) {
+                Value::Int(rng.gen_range(-2i64..3))
+            } else {
+                Value::Null
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: usize = 256;
 
-    /// NNF conversion preserves three-valued semantics.
-    #[test]
-    fn nnf_preserves_semantics(e in expr_strategy(), row in row_strategy()) {
+/// NNF conversion preserves three-valued semantics.
+#[test]
+fn nnf_preserves_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xa1_0001);
+    for case in 0..CASES {
+        let e = random_expr(&mut rng, 4);
+        let row = random_row(&mut rng);
         let s = schema();
         let n = to_nnf(&e);
-        prop_assert_eq!(
+        assert_eq!(
             e.eval_truth(&row, &s).unwrap(),
             n.eval_truth(&row, &s).unwrap(),
-            "expr {} vs nnf {}", e, n
+            "case {case}: expr {e} vs nnf {n}"
         );
     }
+}
 
-    /// CNF round trip preserves semantics (when within the clause cap).
-    #[test]
-    fn cnf_preserves_semantics(e in expr_strategy(), row in row_strategy()) {
+/// CNF round trip preserves semantics (when within the clause cap).
+#[test]
+fn cnf_preserves_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xa1_0002);
+    for case in 0..CASES {
+        let e = random_expr(&mut rng, 4);
+        let row = random_row(&mut rng);
         let s = schema();
         if let Ok(clauses) = to_cnf(&e) {
             let back = from_cnf(&clauses).expect("non-empty");
-            prop_assert_eq!(
+            assert_eq!(
                 e.eval_truth(&row, &s).unwrap(),
-                back.eval_truth(&row, &s).unwrap()
+                back.eval_truth(&row, &s).unwrap(),
+                "case {case}: {e}"
             );
         }
     }
+}
 
-    /// DNF terms, reassembled as a disjunction of conjunctions, are
-    /// semantically equal to the original.
-    #[test]
-    fn dnf_preserves_semantics(e in expr_strategy(), row in row_strategy()) {
+/// DNF terms, reassembled as a disjunction of conjunctions, are
+/// semantically equal to the original.
+#[test]
+fn dnf_preserves_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xa1_0003);
+    for case in 0..CASES {
+        let e = random_expr(&mut rng, 4);
+        let row = random_row(&mut rng);
         let s = schema();
         if let Ok(terms) = to_dnf(&e) {
             let back = terms
@@ -100,44 +116,58 @@ proptest! {
                 .filter_map(Expr::conjunction)
                 .reduce(Expr::or)
                 .expect("non-empty");
-            prop_assert_eq!(
+            assert_eq!(
                 e.eval_truth(&row, &s).unwrap(),
-                back.eval_truth(&row, &s).unwrap()
+                back.eval_truth(&row, &s).unwrap(),
+                "case {case}: {e}"
             );
         }
     }
+}
 
-    /// Double negation is the identity under three-valued evaluation.
-    #[test]
-    fn double_negation(e in expr_strategy(), row in row_strategy()) {
+/// Double negation is the identity under three-valued evaluation.
+#[test]
+fn double_negation() {
+    let mut rng = StdRng::seed_from_u64(0xa1_0004);
+    for case in 0..CASES {
+        let e = random_expr(&mut rng, 4);
+        let row = random_row(&mut rng);
         let s = schema();
         let nn = Expr::Not(Box::new(Expr::Not(Box::new(e.clone()))));
-        prop_assert_eq!(
+        assert_eq!(
             e.eval_truth(&row, &s).unwrap(),
-            nn.eval_truth(&row, &s).unwrap()
+            nn.eval_truth(&row, &s).unwrap(),
+            "case {case}: {e}"
         );
     }
+}
 
-    /// GroupKey: equality is reflexive/symmetric and consistent with
-    /// hashing (equal keys land in the same bucket).
-    #[test]
-    fn group_key_laws(
-        xs in proptest::collection::vec(
-            proptest::option::weighted(0.7, -3i64..4), 1..4),
-        ys in proptest::collection::vec(
-            proptest::option::weighted(0.7, -3i64..4), 1..4),
-    ) {
+fn random_opt_vec(rng: &mut StdRng, len_range: std::ops::Range<usize>) -> Vec<Option<i64>> {
+    let len = rng.gen_range(len_range);
+    (0..len)
+        .map(|_| rng.gen_bool(0.7).then(|| rng.gen_range(-3i64..4)))
+        .collect()
+}
+
+/// GroupKey: equality is reflexive/symmetric and consistent with
+/// hashing (equal keys land in the same bucket).
+#[test]
+fn group_key_laws() {
+    let mut rng = StdRng::seed_from_u64(0xa1_0005);
+    for case in 0..CASES {
+        let xs = random_opt_vec(&mut rng, 1..4);
+        let ys = random_opt_vec(&mut rng, 1..4);
         let to_key = |v: &Vec<Option<i64>>| {
             GroupKey(v.iter().map(|o| o.map_or(Value::Null, Value::Int)).collect())
         };
         let kx = to_key(&xs);
         let ky = to_key(&ys);
-        prop_assert_eq!(&kx, &kx, "reflexivity");
-        prop_assert_eq!(kx == ky, ky == kx, "symmetry");
+        assert_eq!(&kx, &kx, "case {case}: reflexivity");
+        assert_eq!(kx == ky, ky == kx, "case {case}: symmetry");
         let mut m: HashMap<GroupKey, usize> = HashMap::new();
         m.insert(kx.clone(), 1);
         if kx == ky {
-            prop_assert!(m.contains_key(&ky), "Eq implies same bucket");
+            assert!(m.contains_key(&ky), "case {case}: Eq implies same bucket");
         }
         // Int/Float coercion consistency.
         let fx = GroupKey(
@@ -145,69 +175,89 @@ proptest! {
                 .map(|o| o.map_or(Value::Null, |i| Value::Float(i as f64)))
                 .collect(),
         );
-        prop_assert_eq!(&kx, &fx);
-        prop_assert!(m.contains_key(&fx));
+        assert_eq!(&kx, &fx, "case {case}");
+        assert!(m.contains_key(&fx), "case {case}");
     }
+}
 
-    /// FD closures: extensive (S ⊆ S⁺), monotone, idempotent.
-    #[test]
-    fn closure_laws(
-        fd_spec in proptest::collection::vec(
-            (proptest::collection::btree_set(0u8..6, 1..3),
-             proptest::collection::btree_set(0u8..6, 1..3)),
-            0..6),
-        seed in proptest::collection::btree_set(0u8..6, 0..4),
-        extra in proptest::collection::btree_set(0u8..6, 0..3),
-    ) {
+fn random_col_set(rng: &mut StdRng, len_range: std::ops::Range<usize>) -> BTreeSet<u8> {
+    let len = rng.gen_range(len_range);
+    let mut s = BTreeSet::new();
+    for _ in 0..len {
+        s.insert(rng.gen_range(0u8..6));
+    }
+    s
+}
+
+/// FD closures: extensive (S ⊆ S⁺), monotone, idempotent.
+#[test]
+fn closure_laws() {
+    let mut rng = StdRng::seed_from_u64(0xa1_0006);
+    for case in 0..CASES {
+        let n_fds = rng.gen_range(0usize..6);
+        let fd_spec: Vec<(BTreeSet<u8>, BTreeSet<u8>)> = (0..n_fds)
+            .map(|_| (random_col_set(&mut rng, 1..3), random_col_set(&mut rng, 1..3)))
+            .collect();
+        let seed = random_col_set(&mut rng, 0..4);
+        let extra = random_col_set(&mut rng, 0..3);
+
         let col = |i: &u8| ColumnRef::qualified("T", format!("c{i}"));
         let mut fds = FdSet::new();
         for (lhs, rhs) in &fd_spec {
-            fds.add(Fd::new(
-                lhs.iter().map(col),
-                rhs.iter().map(col),
-                "prop",
-            ));
+            if lhs.is_empty() || rhs.is_empty() {
+                continue;
+            }
+            fds.add(Fd::new(lhs.iter().map(col), rhs.iter().map(col), "prop"));
         }
         let seed_cols: BTreeSet<ColumnRef> = seed.iter().map(col).collect();
         let closure = fds.closure(&seed_cols);
         // Extensive.
-        prop_assert!(seed_cols.is_subset(&closure));
+        assert!(seed_cols.is_subset(&closure), "case {case}");
         // Idempotent.
-        prop_assert_eq!(&fds.closure(&closure), &closure);
+        assert_eq!(&fds.closure(&closure), &closure, "case {case}");
         // Monotone: a superset seed has a superset closure.
         let mut bigger = seed_cols.clone();
         bigger.extend(extra.iter().map(col));
         let bigger_closure = fds.closure(&bigger);
-        prop_assert!(closure.is_subset(&bigger_closure));
+        assert!(closure.is_subset(&bigger_closure), "case {case}");
         // implies() is consistent with the closure.
         for c in &closure {
-            prop_assert!(fds.implies(&seed_cols, &[c.clone()].into_iter().collect()));
+            assert!(
+                fds.implies(&seed_cols, &[c.clone()].into_iter().collect()),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// Value::total_cmp is a total order (antisymmetric + transitive on
-    /// the sampled values), as the sort operators require.
-    #[test]
-    fn total_cmp_is_a_total_order(
-        raw in proptest::collection::vec(
-            proptest::option::weighted(0.8, -5i64..6), 3..6),
-    ) {
-        let vals: Vec<Value> = raw
-            .iter()
-            .map(|o| o.map_or(Value::Null, Value::Int))
+/// Value::total_cmp is a total order (antisymmetric + transitive on
+/// the sampled values), as the sort operators require.
+#[test]
+fn total_cmp_is_a_total_order() {
+    let mut rng = StdRng::seed_from_u64(0xa1_0007);
+    for case in 0..CASES {
+        let len = rng.gen_range(3usize..6);
+        let vals: Vec<Value> = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.8) {
+                    Value::Int(rng.gen_range(-5i64..6))
+                } else {
+                    Value::Null
+                }
+            })
             .collect();
         for a in &vals {
-            prop_assert_eq!(a.total_cmp(a), std::cmp::Ordering::Equal);
+            assert_eq!(a.total_cmp(a), std::cmp::Ordering::Equal, "case {case}");
             for b in &vals {
-                prop_assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse());
+                assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse(), "case {case}");
                 for c in &vals {
                     if a.total_cmp(b) != std::cmp::Ordering::Greater
                         && b.total_cmp(c) != std::cmp::Ordering::Greater
                     {
-                        prop_assert_ne!(
+                        assert_ne!(
                             a.total_cmp(c),
                             std::cmp::Ordering::Greater,
-                            "transitivity"
+                            "case {case}: transitivity"
                         );
                     }
                 }

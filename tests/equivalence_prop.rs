@@ -4,10 +4,17 @@
 //! valid, the lazy (`E1`) and eager (`E2`) plans must return identical
 //! multisets — including instances with NULLs, duplicates, empty
 //! tables, and dangling join keys.
+//!
+//! Offline build note: proptest is unavailable, so instances are drawn
+//! from the local deterministic `rand` shim in a seeded loop; failure
+//! messages carry the case number so any instance replays exactly.
+
+use std::collections::BTreeSet;
 
 use gbj::engine::{PlanChoice, PushdownPolicy};
 use gbj::{Database, Value};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A randomly generated Fact/Dim instance.
 #[derive(Debug, Clone)]
@@ -16,25 +23,26 @@ struct Instance {
     facts: Vec<(Option<i64>, Option<i64>)>, // (join key, value)
 }
 
-fn instance_strategy() -> impl Strategy<Value = Instance> {
-    let dim = proptest::collection::btree_set(0i64..12, 0..8).prop_flat_map(|keys| {
-        let keys: Vec<i64> = keys.into_iter().collect();
-        proptest::collection::vec(proptest::sample::select(vec!["a", "b", "c"]), keys.len())
-            .prop_map(move |cats| {
-                keys.iter()
-                    .cloned()
-                    .zip(cats.into_iter().map(str::to_string))
-                    .collect::<Vec<_>>()
-            })
-    });
-    let facts = proptest::collection::vec(
-        (
-            proptest::option::weighted(0.85, 0i64..15),
-            proptest::option::weighted(0.85, -5i64..20),
-        ),
-        0..40,
-    );
-    (dim, facts).prop_map(|(dims, facts)| Instance { dims, facts })
+fn random_instance(rng: &mut StdRng) -> Instance {
+    let n_dims = rng.gen_range(0usize..8);
+    let mut keys = BTreeSet::new();
+    for _ in 0..n_dims {
+        keys.insert(rng.gen_range(0i64..12));
+    }
+    let cats = ["a", "b", "c"];
+    let dims = keys
+        .into_iter()
+        .map(|k| (k, cats[rng.gen_range(0usize..cats.len())].to_string()))
+        .collect();
+    let n_facts = rng.gen_range(0usize..40);
+    let facts = (0..n_facts)
+        .map(|_| {
+            let k = rng.gen_bool(0.85).then(|| rng.gen_range(0i64..15));
+            let v = rng.gen_bool(0.85).then(|| rng.gen_range(-5i64..20));
+            (k, v)
+        })
+        .collect();
+    Instance { dims, facts }
 }
 
 fn build_db(inst: &Instance) -> Database {
@@ -89,12 +97,12 @@ const QUERIES: &[&str] = &[
      WHERE F.K = D.DimId AND D.DimId = 3 GROUP BY D.DimId",
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Whenever TestFD answers YES, E1 ≡ E2 on the generated instance.
-    #[test]
-    fn main_theorem_equivalence(inst in instance_strategy()) {
+/// Whenever TestFD answers YES, E1 ≡ E2 on the generated instance.
+#[test]
+fn main_theorem_equivalence() {
+    let mut rng = StdRng::seed_from_u64(0xe9_5eed);
+    for case in 0..64 {
+        let inst = random_instance(&mut rng);
         let mut db = build_db(&inst);
         for sql in QUERIES {
             db.options_mut().policy = PushdownPolicy::Always;
@@ -106,21 +114,25 @@ proptest! {
             let lazy = db.query(sql).unwrap();
 
             if eager_valid {
-                prop_assert!(
+                assert!(
                     lazy.multiset_eq(&eager),
-                    "E1 != E2 for {sql}\nlazy:\n{lazy}\neager:\n{eager}\ninstance: {inst:?}"
+                    "case {case}: E1 != E2 for {sql}\nlazy:\n{lazy}\neager:\n{eager}\ninstance: {inst:?}"
                 );
             } else {
                 // Both policies must still agree (both ran lazily).
-                prop_assert!(lazy.multiset_eq(&eager));
+                assert!(lazy.multiset_eq(&eager), "case {case}: {sql}");
             }
         }
     }
+}
 
-    /// All three join algorithms and both aggregation algorithms agree.
-    #[test]
-    fn physical_algorithms_agree(inst in instance_strategy()) {
-        use gbj::exec::{AggAlgo, JoinAlgo};
+/// All three join algorithms and both aggregation algorithms agree.
+#[test]
+fn physical_algorithms_agree() {
+    use gbj::exec::{AggAlgo, JoinAlgo};
+    let mut rng = StdRng::seed_from_u64(0xa190_5eed);
+    for case in 0..64 {
+        let inst = random_instance(&mut rng);
         let mut db = build_db(&inst);
         let sql = QUERIES[1];
         let mut results = Vec::new();
@@ -132,20 +144,24 @@ proptest! {
             }
         }
         for r in &results[1..] {
-            prop_assert!(results[0].multiset_eq(r));
+            assert!(results[0].multiset_eq(r), "case {case}: {inst:?}");
         }
     }
+}
 
-    /// The eager plan's join input never exceeds the lazy plan's
-    /// (paper §7, first bullet) — measured, not estimated.
-    #[test]
-    fn eager_never_increases_join_input(inst in instance_strategy()) {
+/// The eager plan's join input never exceeds the lazy plan's
+/// (paper §7, first bullet) — measured, not estimated.
+#[test]
+fn eager_never_increases_join_input() {
+    let mut rng = StdRng::seed_from_u64(0x301d_5eed);
+    for case in 0..64 {
+        let inst = random_instance(&mut rng);
         let mut db = build_db(&inst);
         let sql = QUERIES[0];
         db.options_mut().policy = PushdownPolicy::Always;
         let report = db.plan_query(sql).unwrap();
         if report.choice != PlanChoice::Eager {
-            return Ok(());
+            continue;
         }
         let (_, eager_profile, _) = db.query_report(sql).unwrap();
         db.options_mut().policy = PushdownPolicy::Never;
@@ -157,7 +173,7 @@ proptest! {
                 .map(gbj::exec::ProfileNode::rows_in)
         };
         if let (Some(e), Some(l)) = (join_in(&eager_profile), join_in(&lazy_profile)) {
-            prop_assert!(e <= l, "eager join input {e} > lazy {l}");
+            assert!(e <= l, "case {case}: eager join input {e} > lazy {l}");
         }
     }
 }

@@ -1,65 +1,137 @@
 //! Robustness fuzzing of the SQL front end: arbitrary input must never
 //! panic the lexer, parser, binder, or engine — only return errors.
+//!
+//! Offline build note: proptest is unavailable, so these are
+//! seed-driven loops over the local deterministic `rand` shim. Every
+//! failure message prints the seed/iteration so cases replay exactly.
 
 use gbj::Database;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+const CASES: usize = 512;
 
-    /// Arbitrary printable garbage never panics the parser.
-    #[test]
-    fn parser_never_panics_on_garbage(input in "[ -~]{0,120}") {
-        let _ = gbj::sql::parse_statements(&input);
+/// Arbitrary printable garbage never panics the parser.
+#[test]
+fn parser_never_panics_on_garbage() {
+    let mut rng = StdRng::seed_from_u64(0x9a5e_0001);
+    for case in 0..CASES {
+        let len = rng.gen_range(0usize..=120);
+        let input: String = (0..len)
+            .map(|_| rng.gen_range(0x20u8..=0x7e) as char)
+            .collect();
+        let caught = std::panic::catch_unwind(|| {
+            let _ = gbj::sql::parse_statements(&input);
+        });
+        assert!(caught.is_ok(), "parser panicked on case {case}: {input:?}");
     }
+}
 
-    /// SQL-ish token soup never panics the parser either.
-    #[test]
-    fn parser_never_panics_on_token_soup(
-        tokens in proptest::collection::vec(
-            proptest::sample::select(vec![
-                "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
-                "INSERT", "INTO", "VALUES", "CREATE", "TABLE", "VIEW", "DOMAIN",
-                "UPDATE", "SET", "DELETE", "DROP", "EXPLAIN", "ANALYZE",
-                "AND", "OR", "NOT", "IS", "NULL", "DISTINCT", "AS",
-                "COUNT", "SUM", "MIN", "MAX", "AVG",
-                "t", "u", "a", "b", "x", "1", "2", "3.5", "'s'",
-                "(", ")", ",", ".", ";", "*", "=", "<", ">", "<=", ">=", "<>",
-                "+", "-", "/",
-            ]),
-            0..40,
-        )
-    ) {
-        let sql = tokens.join(" ");
-        let _ = gbj::sql::parse_statements(&sql);
+/// Completely arbitrary bytes (run through lossy UTF-8 decoding, plus
+/// the raw-ASCII subset fed directly) never panic the parser.
+#[test]
+fn parser_never_panics_on_arbitrary_bytes() {
+    let mut rng = StdRng::seed_from_u64(0x9a5e_0002);
+    for case in 0..CASES {
+        let len = rng.gen_range(0usize..=160);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        let caught = std::panic::catch_unwind(|| {
+            let _ = gbj::sql::parse_statements(&input);
+        });
+        assert!(caught.is_ok(), "parser panicked on case {case}: {bytes:?}");
     }
+}
 
-    /// Statements that *parse* still never panic downstream: binding /
-    /// execution against a small catalog returns errors at worst.
-    #[test]
-    fn engine_never_panics_on_parsed_garbage(
-        tokens in proptest::collection::vec(
-            proptest::sample::select(vec![
-                "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER",
-                "AND", "OR", "NOT", "IS", "NULL", "DISTINCT",
-                "COUNT", "SUM", "MIN", "MAX", "AVG",
-                "T", "U", "a", "b", "g", "v", "1", "2", "'s'",
-                "(", ")", ",", ".", "*", "=", "<", ">",
-            ]),
-            0..25,
-        )
-    ) {
-        let sql = tokens.join(" ");
+const TOKENS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "INSERT", "INTO", "VALUES",
+    "CREATE", "TABLE", "VIEW", "DOMAIN", "UPDATE", "SET", "DELETE", "DROP", "EXPLAIN", "ANALYZE",
+    "AND", "OR", "NOT", "IS", "NULL", "DISTINCT", "AS", "COUNT", "SUM", "MIN", "MAX", "AVG", "t",
+    "u", "a", "b", "x", "1", "2", "3.5", "'s'", "(", ")", ",", ".", ";", "*", "=", "<", ">", "<=",
+    ">=", "<>", "+", "-", "/",
+];
+
+/// SQL-ish token soup never panics the parser either.
+#[test]
+fn parser_never_panics_on_token_soup() {
+    let mut rng = StdRng::seed_from_u64(0x9a5e_0003);
+    for case in 0..CASES {
+        let n = rng.gen_range(0usize..40);
+        let sql: Vec<&str> = (0..n)
+            .map(|_| TOKENS[rng.gen_range(0usize..TOKENS.len())])
+            .collect();
+        let sql = sql.join(" ");
+        let caught = std::panic::catch_unwind(|| {
+            let _ = gbj::sql::parse_statements(&sql);
+        });
+        assert!(caught.is_ok(), "parser panicked on case {case}: {sql}");
+    }
+}
+
+const ENGINE_TOKENS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "AND", "OR", "NOT", "IS", "NULL",
+    "DISTINCT", "COUNT", "SUM", "MIN", "MAX", "AVG", "T", "U", "a", "b", "g", "v", "1", "2", "'s'",
+    "(", ")", ",", ".", "*", "=", "<", ">",
+];
+
+/// Statements that *parse* still never panic downstream: binding /
+/// execution against a small catalog returns errors at worst.
+#[test]
+fn engine_never_panics_on_parsed_garbage() {
+    let mut rng = StdRng::seed_from_u64(0x9a5e_0004);
+    for case in 0..CASES {
+        let n = rng.gen_range(0usize..25);
+        let sql: Vec<&str> = (0..n)
+            .map(|_| ENGINE_TOKENS[rng.gen_range(0usize..ENGINE_TOKENS.len())])
+            .collect();
+        let sql = sql.join(" ");
         if gbj::sql::parse_statements(&sql).is_ok() {
-            let mut db = Database::new();
-            db.run_script(
-                "CREATE TABLE T (a INTEGER PRIMARY KEY, g INTEGER, v INTEGER); \
-                 CREATE TABLE U (b INTEGER PRIMARY KEY, g INTEGER); \
-                 INSERT INTO T VALUES (1, 1, 10), (2, NULL, 20); \
-                 INSERT INTO U VALUES (1, 1);",
-            )
-            .unwrap();
-            let _ = db.run_script(&sql);
+            let caught = std::panic::catch_unwind(|| {
+                let mut db = Database::new();
+                db.run_script(
+                    "CREATE TABLE T (a INTEGER PRIMARY KEY, g INTEGER, v INTEGER); \
+                     CREATE TABLE U (b INTEGER PRIMARY KEY, g INTEGER); \
+                     INSERT INTO T VALUES (1, 1, 10), (2, NULL, 20); \
+                     INSERT INTO U VALUES (1, 1);",
+                )
+                .unwrap();
+                let _ = db.run_script(&sql);
+            });
+            assert!(caught.is_ok(), "engine panicked on case {case}: {sql}");
         }
     }
+}
+
+/// Deeply nested expressions hit the parser's recursion-depth limit and
+/// come back as `Error::Parse` instead of blowing the stack.
+#[test]
+fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+    for depth in [10usize, 100, 1_000, 20_000] {
+        let sql = format!(
+            "SELECT {}1{} FROM T",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        let res = std::panic::catch_unwind(|| gbj::sql::parse_statements(&sql));
+        let res = res.expect("parser must not panic on deep nesting");
+        if depth >= 1_000 {
+            let err = res.expect_err("deep nesting must be rejected");
+            assert_eq!(err.kind(), "parse", "unexpected error: {err}");
+        }
+    }
+    // Deep unary chains exercise the prefix-operator recursion path.
+    for (prefix, depth) in [("NOT ", 20_000usize), ("-", 20_000)] {
+        let sql = format!("SELECT {}1 FROM T", prefix.repeat(depth));
+        let res = std::panic::catch_unwind(|| gbj::sql::parse_statements(&sql))
+            .expect("parser must not panic on deep prefix chains");
+        let err = res.expect_err("deep prefix chain must be rejected");
+        assert_eq!(err.kind(), "parse", "unexpected error: {err}");
+    }
+}
+
+/// Shallow nesting (well under the limit) still parses fine.
+#[test]
+fn moderate_nesting_still_parses() {
+    let sql = format!("SELECT {}1{} FROM T", "(".repeat(20), ")".repeat(20));
+    gbj::sql::parse_statements(&sql).expect("20 levels of parens should parse");
 }
