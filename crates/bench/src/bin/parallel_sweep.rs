@@ -1,0 +1,65 @@
+//! Thread-scaling sweep for the morsel-driven parallel operators — the
+//! data behind EXPERIMENTS.md's X14 table.
+//!
+//! Runs the 100k-row grouped-aggregation workload (hash join + hash
+//! aggregate) at 1/2/4/8 worker threads, checks the results are
+//! byte-identical at every thread count, and reports the median times
+//! and speedups versus the serial executor.
+//!
+//! ```text
+//! cargo run --release -p gbj-bench --bin parallel_sweep
+//! ```
+
+use std::num::NonZeroUsize;
+
+use gbj_bench::{measure, rows_to_json, ExperimentRow};
+use gbj_datagen::SweepConfig;
+use gbj_engine::PushdownPolicy;
+
+fn main() {
+    let cfg = SweepConfig {
+        fact_rows: 100_000,
+        dim_rows: 100,
+        groups: 100,
+        match_fraction: 1.0,
+        skew: 0.0,
+    };
+    let mut db = cfg.build().expect("build workload");
+
+    println!("threads,median_ms,speedup_vs_serial");
+    let mut rows = Vec::new();
+    let mut serial_ms = 0.0_f64;
+    let mut baseline: Option<Vec<Vec<gbj_types::Value>>> = None;
+    for threads in [1_usize, 2, 4, 8] {
+        db.set_threads(NonZeroUsize::new(threads).expect("nonzero"));
+        // Lazy policy keeps the full join + aggregate on the 100k rows
+        // (the eager plan would shrink the work this sweep measures).
+        let m = measure(&mut db, cfg.query(), PushdownPolicy::Never, 5).expect("measure");
+        match &baseline {
+            None => baseline = Some(m.rows.rows.clone()),
+            Some(expect) => assert_eq!(
+                &m.rows.rows, expect,
+                "results diverge at {threads} threads"
+            ),
+        }
+        let ms = m.time.as_secs_f64() * 1e3;
+        if threads == 1 {
+            serial_ms = ms;
+        }
+        let speedup = serial_ms / ms.max(1e-9);
+        println!("{threads},{ms:.3},{speedup:.2}");
+        rows.push(ExperimentRow {
+            experiment: "x14".to_string(),
+            params: format!(
+                "threads={threads} fact_rows={} groups={}",
+                cfg.fact_rows, cfg.groups
+            ),
+            lazy_ms: Some(ms),
+            eager_ms: None,
+            speedup: Some(speedup),
+            engine_choice: None,
+            note: "parallel sweep; speedup is serial_ms/median_ms".to_string(),
+        });
+    }
+    println!("{}", rows_to_json(&rows));
+}

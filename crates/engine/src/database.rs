@@ -30,7 +30,7 @@ pub enum PushdownPolicy {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineOptions {
     /// Eager-aggregation policy.
     pub policy: PushdownPolicy,
@@ -40,6 +40,26 @@ pub struct EngineOptions {
     pub cost_model: CostModel,
     /// Physical execution options.
     pub exec: ExecOptions,
+}
+
+impl Default for EngineOptions {
+    /// Defaults everywhere, except that the `GBJ_TEST_THREADS`
+    /// environment variable (when set to a positive integer) overrides
+    /// the executor thread count — the hook `scripts/verify.sh` uses to
+    /// push the whole engine-level test suite through the parallel
+    /// operators without touching each test.
+    fn default() -> EngineOptions {
+        let mut exec = ExecOptions::default();
+        if let Some(threads) = gbj_exec::threads_from_env() {
+            exec.threads = threads;
+        }
+        EngineOptions {
+            policy: PushdownPolicy::default(),
+            transform: TransformOptions::default(),
+            cost_model: CostModel::default(),
+            exec,
+        }
+    }
 }
 
 /// Which plan shape the engine chose for a query.
@@ -182,6 +202,12 @@ impl Database {
     /// queries).
     pub fn options_mut(&mut self) -> &mut EngineOptions {
         &mut self.options
+    }
+
+    /// Set the executor worker-thread count for subsequent queries
+    /// (`1` = serial operators; results are identical either way).
+    pub fn set_threads(&mut self, threads: std::num::NonZeroUsize) {
+        self.options.exec.threads = threads;
     }
 
     /// The underlying storage.

@@ -16,7 +16,7 @@ use crate::guard::{row_bytes, ResourceGuard};
 
 /// Estimated bytes of one aggregation-table entry beyond its key
 /// (accumulator enum + table bookkeeping).
-const ACC_ENTRY_BYTES: u64 = 48;
+pub(crate) const ACC_ENTRY_BYTES: u64 = 48;
 
 /// A compiled aggregate: the call (for accumulator construction) plus
 /// its bound argument.
@@ -28,7 +28,7 @@ pub struct CompiledAggregate {
 }
 
 impl CompiledAggregate {
-    fn update(&self, acc: &mut Accumulator, row: &[Value]) -> Result<()> {
+    pub(crate) fn update(&self, acc: &mut Accumulator, row: &[Value]) -> Result<()> {
         match &self.arg {
             Some(expr) => acc.update(&expr.eval(row)?),
             // COUNT(*): feed a non-NULL dummy once per row.

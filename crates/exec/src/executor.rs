@@ -1,6 +1,7 @@
 //! The recursive plan executor.
 
 use std::collections::HashSet;
+use std::num::NonZeroUsize;
 
 use gbj_expr::Expr;
 use gbj_plan::LogicalPlan;
@@ -10,6 +11,7 @@ use gbj_types::{internal_err, GroupKey, Result, Truth, Value};
 use crate::aggregate::{hash_aggregate, sort_aggregate, CompiledAggregate};
 use crate::guard::{ResourceGuard, ResourceLimits};
 use crate::join::{hash_join, nested_loop_join, sort_merge_join, split_equi_keys};
+use crate::parallel::{parallel_hash_aggregate, parallel_hash_join};
 use crate::result::{ProfileNode, ResultSet};
 
 /// Join algorithm selection.
@@ -37,7 +39,7 @@ pub enum AggAlgo {
 }
 
 /// Executor options.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
     /// Which join algorithm to use.
     pub join: JoinAlgo,
@@ -45,6 +47,21 @@ pub struct ExecOptions {
     pub agg: AggAlgo,
     /// Resource budgets enforced during execution (default: unlimited).
     pub limits: ResourceLimits,
+    /// Worker threads for the morsel-driven parallel operators. `1`
+    /// (the default) keeps the serial operators; results are
+    /// byte-identical at every value (see `crate::parallel`).
+    pub threads: NonZeroUsize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            join: JoinAlgo::default(),
+            agg: AggAlgo::default(),
+            limits: ResourceLimits::default(),
+            threads: NonZeroUsize::MIN,
+        }
+    }
 }
 
 /// Executes logical plans against a [`Storage`].
@@ -211,6 +228,17 @@ impl<'a> Executor<'a> {
                         let bound = condition.bind(&joined_schema)?;
                         (nested_loop_join(&l, &r, &bound, guard)?, "NestedLoopJoin")
                     }
+                    JoinAlgo::Hash | JoinAlgo::Auto if self.options.threads.get() > 1 => (
+                        parallel_hash_join(
+                            &l,
+                            &r,
+                            &keys,
+                            &residual_bound,
+                            guard,
+                            self.options.threads,
+                        )?,
+                        "ParallelHashJoin",
+                    ),
                     JoinAlgo::Hash | JoinAlgo::Auto => (
                         hash_join(&l, &r, &keys, &residual_bound, guard)?,
                         "HashJoin",
@@ -251,6 +279,16 @@ impl<'a> Executor<'a> {
                     })
                     .collect::<Result<_>>()?;
                 let (rows, op) = match self.options.agg {
+                    AggAlgo::Hash if self.options.threads.get() > 1 => (
+                        parallel_hash_aggregate(
+                            &in_rows,
+                            &group_bound,
+                            &compiled,
+                            guard,
+                            self.options.threads,
+                        )?,
+                        "ParallelHashAggregate",
+                    ),
                     AggAlgo::Hash => (
                         hash_aggregate(&in_rows, &group_bound, &compiled, guard)?,
                         "HashAggregate",
@@ -457,8 +495,7 @@ mod tests {
                 &s,
                 ExecOptions {
                     join,
-                    agg: AggAlgo::Hash,
-                    limits: ResourceLimits::default(),
+                    ..ExecOptions::default()
                 },
             );
             let (r, p) = exec.execute(&plan1(&s)).unwrap();
@@ -481,23 +518,46 @@ mod tests {
         let hash = Executor::with_options(
             &s,
             ExecOptions {
-                join: JoinAlgo::Auto,
                 agg: AggAlgo::Hash,
-                limits: ResourceLimits::default(),
+                ..ExecOptions::default()
             },
         );
         let sort = Executor::with_options(
             &s,
             ExecOptions {
-                join: JoinAlgo::Auto,
                 agg: AggAlgo::Sort,
-                limits: ResourceLimits::default(),
+                ..ExecOptions::default()
             },
         );
         let (h, _) = hash.execute(&plan1(&s)).unwrap();
         let (so, p) = sort.execute(&plan1(&s)).unwrap();
         assert!(h.multiset_eq(&so));
         assert!(p.find_operator("SortAggregate").is_some());
+    }
+
+    #[test]
+    fn parallel_threads_match_serial_and_rename_operators() {
+        let s = setup();
+        let serial = Executor::new(&s);
+        let (expect_lazy, _) = serial.execute(&plan1(&s)).unwrap();
+        let (expect_eager, _) = serial.execute(&plan2(&s)).unwrap();
+        for threads in [2usize, 4, 8] {
+            let exec = Executor::with_options(
+                &s,
+                ExecOptions {
+                    threads: NonZeroUsize::new(threads).unwrap(),
+                    ..ExecOptions::default()
+                },
+            );
+            let (lazy, p) = exec.execute(&plan1(&s)).unwrap();
+            // Byte-identical, not just multiset-equal.
+            assert_eq!(lazy.rows, expect_lazy.rows, "threads={threads}");
+            assert_eq!(p.operator, "ParallelHashAggregate");
+            assert!(p.find_operator("ParallelHashJoin").is_some());
+            assert!(p.find_operator("HashJoin").is_none());
+            let (eager, _) = exec.execute(&plan2(&s)).unwrap();
+            assert_eq!(eager.rows, expect_eager.rows, "threads={threads}");
+        }
     }
 
     #[test]
@@ -540,8 +600,7 @@ mod tests {
             &s,
             ExecOptions {
                 join: JoinAlgo::Hash,
-                agg: AggAlgo::Hash,
-                limits: ResourceLimits::default(),
+                ..ExecOptions::default()
             },
         );
         let plan = LogicalPlan::Join {

@@ -8,11 +8,17 @@
 //! wall-clock budget aborts promptly with
 //! [`Error::ResourceExhausted`] instead of running away.
 //!
+//! The counters are atomics, so one guard is shared by every worker of
+//! the morsel-driven parallel operators (see [`crate::parallel`]): the
+//! row/memory/time budgets are **global per query**, not per thread,
+//! and the first worker to cross a limit surfaces the typed error while
+//! the others drain cooperatively.
+//!
 //! [`Executor::execute`]: crate::Executor::execute
 //! [`ExecOptions`]: crate::ExecOptions
 //! [`Error::ResourceExhausted`]: gbj_types::Error::ResourceExhausted
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use gbj_types::{Error, ResourceKind, Result, Value};
@@ -45,14 +51,15 @@ impl ResourceLimits {
 
 /// Per-query enforcement state for [`ResourceLimits`].
 ///
-/// Interior mutability (`Cell`) keeps the guard shareable by `&`
-/// reference down the recursive operator tree.
+/// Atomic counters keep the guard shareable by `&` reference both down
+/// the recursive operator tree and across the worker threads of the
+/// parallel operators (`ResourceGuard` is `Sync`).
 #[derive(Debug)]
 pub struct ResourceGuard {
     limits: ResourceLimits,
-    rows: Cell<u64>,
-    memory: Cell<u64>,
-    ticks: Cell<u64>,
+    rows: AtomicU64,
+    memory: AtomicU64,
+    ticks: AtomicU64,
     started: Instant,
 }
 
@@ -62,9 +69,9 @@ impl ResourceGuard {
     pub fn new(limits: ResourceLimits) -> ResourceGuard {
         ResourceGuard {
             limits,
-            rows: Cell::new(0),
-            memory: Cell::new(0),
-            ticks: Cell::new(0),
+            rows: AtomicU64::new(0),
+            memory: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -78,21 +85,21 @@ impl ResourceGuard {
     /// Total rows charged so far.
     #[must_use]
     pub fn rows_used(&self) -> u64 {
-        self.rows.get()
+        self.rows.load(Ordering::Relaxed)
     }
 
     /// Estimated operator-state bytes currently held.
     #[must_use]
     pub fn memory_used(&self) -> u64 {
-        self.memory.get()
+        self.memory.load(Ordering::Relaxed)
     }
 
     /// Charge `n` produced rows against the row budget (also polls the
     /// deadline so row-producing loops stay cancellable).
     pub fn charge_rows(&self, n: usize) -> Result<()> {
-        self.rows.set(self.rows.get().saturating_add(n as u64));
+        let before = self.rows.fetch_add(n as u64, Ordering::Relaxed);
         if let Some(limit) = self.limits.max_rows {
-            let used = self.rows.get();
+            let used = before.saturating_add(n as u64);
             if used > limit {
                 return Err(Error::ResourceExhausted {
                     kind: ResourceKind::Rows,
@@ -106,9 +113,9 @@ impl ResourceGuard {
 
     /// Reserve `bytes` of operator state against the memory budget.
     pub fn charge_memory(&self, bytes: u64) -> Result<()> {
-        self.memory.set(self.memory.get().saturating_add(bytes));
+        let before = self.memory.fetch_add(bytes, Ordering::Relaxed);
         if let Some(limit) = self.limits.max_memory_bytes {
-            let used = self.memory.get();
+            let used = before.saturating_add(bytes);
             if used > limit {
                 return Err(Error::ResourceExhausted {
                     kind: ResourceKind::Memory,
@@ -123,15 +130,28 @@ impl ResourceGuard {
     /// Return `bytes` of operator state (an operator finished and
     /// dropped its table/buffer).
     pub fn release_memory(&self, bytes: u64) {
-        self.memory.set(self.memory.get().saturating_sub(bytes));
+        // Saturating decrement: release must never underflow even if an
+        // operator double-releases after an error path.
+        let mut cur = self.memory.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.memory.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
     }
 
     /// Cooperative cancellation point for inner loops: cheap counter
     /// bump, with the wall clock polled every [`TICKS_PER_CLOCK_POLL`]
     /// calls.
     pub fn tick(&self) -> Result<()> {
-        let t = self.ticks.get().wrapping_add(1);
-        self.ticks.set(t);
+        let t = self.ticks.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
         if self.limits.time_budget.is_some() && t.is_multiple_of(TICKS_PER_CLOCK_POLL) {
             return self.check_deadline_now();
         }
@@ -228,6 +248,14 @@ mod tests {
     }
 
     #[test]
+    fn release_never_underflows() {
+        let g = ResourceGuard::unlimited();
+        g.charge_memory(10).unwrap();
+        g.release_memory(100);
+        assert_eq!(g.memory_used(), 0);
+    }
+
+    #[test]
     fn zero_time_budget_fires() {
         let g = ResourceGuard::new(ResourceLimits {
             time_budget: Some(Duration::ZERO),
@@ -251,6 +279,28 @@ mod tests {
         std::thread::sleep(Duration::from_millis(2));
         let fired = (0..10_000).any(|_| g.tick().is_err());
         assert!(fired);
+    }
+
+    #[test]
+    fn guard_is_shareable_across_threads() {
+        let g = ResourceGuard::new(ResourceLimits {
+            max_rows: Some(100_000),
+            ..ResourceLimits::default()
+        });
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        g.charge_rows(1).unwrap();
+                        g.tick().unwrap();
+                    }
+                    g.charge_memory(64).unwrap();
+                    g.release_memory(64);
+                });
+            }
+        });
+        assert_eq!(g.rows_used(), 4_000);
+        assert_eq!(g.memory_used(), 0);
     }
 
     #[test]

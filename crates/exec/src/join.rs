@@ -14,7 +14,7 @@ use crate::guard::{row_bytes, ResourceGuard};
 
 /// Checked column access: a bad ordinal is an optimizer/binder bug, so
 /// it surfaces as `Error::Internal` instead of a panic.
-fn col(row: &[Value], idx: usize) -> Result<&Value> {
+pub(crate) fn col(row: &[Value], idx: usize) -> Result<&Value> {
     row.get(idx)
         .ok_or_else(|| internal_err!("column ordinal {idx} out of bounds for row of arity {}", row.len()))
 }
@@ -69,14 +69,14 @@ pub fn split_equi_keys(
     (keys, residual)
 }
 
-fn concat(l: &[Value], r: &[Value]) -> Vec<Value> {
+pub(crate) fn concat(l: &[Value], r: &[Value]) -> Vec<Value> {
     let mut row = Vec::with_capacity(l.len() + r.len());
     row.extend_from_slice(l);
     row.extend_from_slice(r);
     row
 }
 
-fn residual_passes(residual: &Option<BoundExpr>, row: &[Value]) -> Result<bool> {
+pub(crate) fn residual_passes(residual: &Option<BoundExpr>, row: &[Value]) -> Result<bool> {
     match residual {
         None => Ok(true),
         Some(p) => Ok(p.eval_truth(row)? == Truth::True),

@@ -266,6 +266,103 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Merge another accumulator of the same call into this one, as if
+    /// the other's inputs had been fed to `self` after its own. This is
+    /// the combine path partitioned parallel aggregation uses to fold
+    /// per-morsel partial states together.
+    ///
+    /// Exactness caveat: for `SUM`/`AVG` over floats the merged total is
+    /// `self + other` rather than a replay of the original input order,
+    /// so it can differ from serial in the last ulp when inputs are not
+    /// exactly representable. Integer inputs (including `AVG`'s `f64`
+    /// sums of integers below 2^53) are exact and order-insensitive.
+    pub fn merge(&mut self, other: &Accumulator) -> Result<()> {
+        if self.func != other.func || self.seen.is_some() != other.seen.is_some() {
+            return Err(Error::Internal(
+                "cannot merge accumulators of different aggregate calls".into(),
+            ));
+        }
+        if let Some(other_seen) = &other.seen {
+            // DISTINCT: the state only ever saw deduped values, so
+            // replay the other's distinct set through `update`, which
+            // re-dedupes against our own `seen`. Replay in sorted order:
+            // `HashSet` iteration order is unstable and must not leak
+            // into results.
+            let mut vals: Vec<&Value> = other_seen.iter().filter_map(|k| k.0.first()).collect();
+            vals.sort_by(|a, b| a.total_cmp(b));
+            for v in vals {
+                self.update(v)?;
+            }
+            return Ok(());
+        }
+        match (&mut self.state, &other.state) {
+            (AggState::Count(n), AggState::Count(m)) => *n += m,
+            (AggState::SumInt { sum, any }, AggState::SumInt { sum: s, any: a }) => {
+                if *a {
+                    *sum = sum.checked_add(*s).ok_or_else(|| {
+                        Error::Execution("integer overflow in SUM".into())
+                    })?;
+                    *any = true;
+                }
+            }
+            (AggState::SumInt { sum, any }, AggState::SumFloat { sum: s, any: a }) => {
+                self.state = AggState::SumFloat {
+                    sum: *sum as f64 + s,
+                    any: *any || *a,
+                };
+            }
+            (AggState::SumFloat { sum, any }, AggState::SumInt { sum: s, any: a }) => {
+                if *a {
+                    *sum += *s as f64;
+                    *any = true;
+                }
+            }
+            (AggState::SumFloat { sum, any }, AggState::SumFloat { sum: s, any: a }) => {
+                if *a {
+                    *sum += s;
+                    *any = true;
+                }
+            }
+            (AggState::MinMax(cur), AggState::MinMax(theirs)) => {
+                if let Some(v) = theirs {
+                    let keep_new = match &*cur {
+                        None => true,
+                        Some(best) => {
+                            let ord = v.sql_cmp(best).ok_or_else(|| {
+                                Error::Type(format!(
+                                    "incomparable values in {}: {v} vs {best}",
+                                    self.func.name()
+                                ))
+                            })?;
+                            match self.func {
+                                AggregateFunction::Min => ord == std::cmp::Ordering::Less,
+                                AggregateFunction::Max => ord == std::cmp::Ordering::Greater,
+                                _ => {
+                                    return Err(Error::Internal(
+                                        "MinMax state on a non-MIN/MAX call".into(),
+                                    ))
+                                }
+                            }
+                        }
+                    };
+                    if keep_new {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            (AggState::Avg { sum, count }, AggState::Avg { sum: s, count: c }) => {
+                *sum += s;
+                *count += c;
+            }
+            _ => {
+                return Err(Error::Internal(
+                    "cannot merge accumulators in mismatched states".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     /// The aggregate result for the group.
     #[must_use]
     pub fn finish(&self) -> Value {
@@ -470,5 +567,108 @@ mod tests {
         let mut acc = c.accumulator();
         acc.update(&Value::Int(1)).unwrap();
         assert!(acc.update(&Value::str("a")).is_err());
+    }
+
+    /// `merge` must agree with feeding the concatenated input serially,
+    /// for every function, split point, and NULL placement.
+    #[test]
+    fn merge_equals_serial_feed() {
+        let calls: Vec<AggregateCall> = vec![
+            AggregateCall::count_star(),
+            AggregateCall::new(AggregateFunction::Count, Expr::bare("x")),
+            AggregateCall::new(AggregateFunction::Sum, Expr::bare("x")),
+            AggregateCall::new(AggregateFunction::Min, Expr::bare("x")),
+            AggregateCall::new(AggregateFunction::Max, Expr::bare("x")),
+            AggregateCall::new(AggregateFunction::Avg, Expr::bare("x")),
+            AggregateCall::new(AggregateFunction::Count, Expr::bare("x")).with_distinct(),
+            AggregateCall::new(AggregateFunction::Sum, Expr::bare("x")).with_distinct(),
+            AggregateCall::new(AggregateFunction::Avg, Expr::bare("x")).with_distinct(),
+        ];
+        let vals = [
+            Value::Int(3),
+            Value::Null,
+            Value::Int(-1),
+            Value::Int(3),
+            Value::Int(7),
+            Value::Null,
+            Value::Int(0),
+        ];
+        for call in &calls {
+            for split in 0..=vals.len() {
+                let (a, b) = vals.split_at(split);
+                let serial = feed(call, &vals);
+                let mut left = call.accumulator();
+                for v in a {
+                    left.update(v).unwrap();
+                }
+                let mut right = call.accumulator();
+                for v in b {
+                    right.update(v).unwrap();
+                }
+                left.merge(&right).unwrap();
+                assert_eq!(
+                    left.finish(),
+                    serial,
+                    "{call} split at {split}: merge differs from serial"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_promotes_int_and_float_sums_both_ways() {
+        let c = AggregateCall::new(AggregateFunction::Sum, Expr::bare("x"));
+        // int-state ⊕ float-state
+        let mut a = c.accumulator();
+        a.update(&Value::Int(2)).unwrap();
+        let mut b = c.accumulator();
+        b.update(&Value::Float(0.5)).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.finish(), Value::Float(2.5));
+        // float-state ⊕ int-state
+        let mut a = c.accumulator();
+        a.update(&Value::Float(0.5)).unwrap();
+        let mut b = c.accumulator();
+        b.update(&Value::Int(2)).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.finish(), Value::Float(2.5));
+        // empty ⊕ empty stays NULL regardless of state flavour
+        let a2 = c.accumulator();
+        let mut b2 = c.accumulator();
+        b2.merge(&a2).unwrap();
+        assert_eq!(b2.finish(), Value::Null);
+    }
+
+    #[test]
+    fn merge_overflow_is_an_error() {
+        let c = AggregateCall::new(AggregateFunction::Sum, Expr::bare("x"));
+        let mut a = c.accumulator();
+        a.update(&Value::Int(i64::MAX)).unwrap();
+        let mut b = c.accumulator();
+        b.update(&Value::Int(1)).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn merge_distinct_dedupes_across_partitions() {
+        let c = AggregateCall::new(AggregateFunction::Sum, Expr::bare("x")).with_distinct();
+        let mut a = c.accumulator();
+        a.update(&Value::Int(5)).unwrap();
+        a.update(&Value::Int(3)).unwrap();
+        let mut b = c.accumulator();
+        b.update(&Value::Int(5)).unwrap();
+        b.update(&Value::Int(2)).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.finish(), Value::Int(10), "5 must count once across parts");
+    }
+
+    #[test]
+    fn merge_mismatched_calls_is_internal_error() {
+        let sum = AggregateCall::new(AggregateFunction::Sum, Expr::bare("x"));
+        let cnt = AggregateCall::new(AggregateFunction::Count, Expr::bare("x"));
+        let mut a = sum.accumulator();
+        assert!(a.merge(&cnt.accumulator()).is_err());
+        let distinct = sum.clone().with_distinct();
+        assert!(a.merge(&distinct.accumulator()).is_err());
     }
 }

@@ -167,6 +167,24 @@ pub struct ScanCursor<'a> {
 }
 
 impl ScanCursor<'_> {
+    /// Override the rows-per-batch size, e.g. to align scan batches
+    /// with the executor's morsel size so downstream parallel operators
+    /// consume whole batches as morsels. An installed fault injector's
+    /// batch-size override always wins — short-batch faults must stay
+    /// observable — and the size is clamped to at least one row so the
+    /// cursor always makes progress.
+    #[must_use]
+    pub fn with_batch_size(mut self, rows_per_batch: usize) -> Self {
+        if self
+            .injector
+            .and_then(FaultInjector::batch_size)
+            .is_none()
+        {
+            self.batch_size = rows_per_batch.max(1);
+        }
+        self
+    }
+
     /// Total rows in the underlying table (for pre-sizing).
     #[must_use]
     pub fn total_rows(&self) -> usize {
@@ -663,6 +681,37 @@ mod tests {
         let t = s.table_data("employee").unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.rows().next().unwrap().values[1], Value::str("Yan"));
+    }
+
+    #[test]
+    fn with_batch_size_overrides_unless_injector_pins_it() {
+        let mut s = setup();
+        for i in 0..10 {
+            s.insert(
+                "Employee",
+                vec![Value::Int(i + 1), Value::str("E"), Value::Int(1)],
+            )
+            .unwrap();
+        }
+        // Morsel-aligned batching: 10 rows at 3 per batch → 4 batches.
+        let mut cursor = s.open_scan("Employee").unwrap().with_batch_size(3);
+        let mut batches = 0;
+        let mut rows = 0;
+        while let Some(b) = cursor.next_batch().unwrap() {
+            batches += 1;
+            rows += b.len();
+        }
+        assert_eq!((batches, rows), (4, 10));
+        // Zero is clamped so the cursor still makes progress.
+        let mut cursor = s.open_scan("Employee").unwrap().with_batch_size(0);
+        assert_eq!(cursor.next_batch().unwrap().unwrap().len(), 1);
+        // An injector's short-batch override wins over the caller's.
+        s.set_fault_injector(Some(crate::FaultInjector::new(crate::FaultConfig {
+            batch_size: Some(2),
+            ..crate::FaultConfig::default()
+        })));
+        let mut cursor = s.open_scan("Employee").unwrap().with_batch_size(5);
+        assert_eq!(cursor.next_batch().unwrap().unwrap().len(), 2);
     }
 
     #[test]

@@ -3,12 +3,18 @@
 #
 # The clippy step enforces the workspace lint gate: gbj-exec,
 # gbj-storage and gbj-engine deny unwrap_used / expect_used / panic /
-# indexing_slicing outside test code (see [workspace.lints.clippy] in
-# Cargo.toml).
+# indexing_slicing outside test code — including the morsel-driven
+# parallel module crates/exec/src/parallel.rs (see
+# [workspace.lints.clippy] in Cargo.toml).
+#
+# The GBJ_TEST_THREADS=4 pass re-runs the whole suite with the engine
+# defaulting to 4 worker threads, pushing every engine-level test
+# through the parallel hash join / hash aggregate operators.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q --workspace
+GBJ_TEST_THREADS=4 cargo test -q --workspace
 cargo clippy --all-targets
 echo "verify: OK"

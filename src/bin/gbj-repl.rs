@@ -1,8 +1,9 @@
 //! A small interactive shell for the `gbj` engine.
 //!
 //! ```text
-//! cargo run --bin gbj-repl              # interactive
-//! cargo run --bin gbj-repl script.sql   # run a file, then drop to the prompt
+//! cargo run --bin gbj-repl                  # interactive
+//! cargo run --bin gbj-repl script.sql       # run a file, then drop to the prompt
+//! cargo run --bin gbj-repl -- --threads 4   # parallel executor (4 workers)
 //! ```
 //!
 //! Statements end with `;`. Meta commands:
@@ -10,6 +11,7 @@
 //! * `\q` — quit
 //! * `\tables` — list tables and views
 //! * `\policy cost|eager|lazy` — set the pushdown policy
+//! * `\threads n` — set the executor worker-thread count
 //! * `\help` — this text
 
 use std::io::{BufRead, Write};
@@ -45,7 +47,7 @@ fn handle_meta(db: &mut Database, line: &str) -> bool {
             println!(
                 "statements end with ';'. SELECT / INSERT / UPDATE / DELETE / \
                  CREATE TABLE|DOMAIN|VIEW|ASSERTION / DROP / EXPLAIN [ANALYZE].\n\
-                 \\q quit | \\tables list | \\policy cost|eager|lazy"
+                 \\q quit | \\tables list | \\policy cost|eager|lazy | \\threads n"
             );
         }
         Some("\\tables") => {
@@ -59,6 +61,13 @@ fn handle_meta(db: &mut Database, line: &str) -> bool {
             Some("lazy") => db.options_mut().policy = PushdownPolicy::Never,
             other => eprintln!("unknown policy {other:?} (cost|eager|lazy)"),
         },
+        Some("\\threads") => match parts.next().and_then(|n| n.parse().ok()) {
+            Some(n) => {
+                db.set_threads(n);
+                println!("executor threads = {n}");
+            }
+            None => eprintln!("usage: \\threads <positive integer>"),
+        },
         other => eprintln!("unknown meta command {other:?} (try \\help)"),
     }
     true
@@ -68,13 +77,24 @@ fn main() {
     let mut db = Database::new();
     println!("gbj — group-by before join (Yan & Larson, ICDE 1994). \\help for help.");
 
-    for path in std::env::args().skip(1) {
-        match std::fs::read_to_string(&path) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => {
+                    db.set_threads(n);
+                    println!("executor threads = {n}");
+                }
+                None => eprintln!("usage: --threads <positive integer>"),
+            }
+            continue;
+        }
+        match std::fs::read_to_string(&arg) {
             Ok(sql) => {
-                println!("-- running {path}");
+                println!("-- running {arg}");
                 run_buffer(&mut db, &sql);
             }
-            Err(e) => eprintln!("cannot read {path}: {e}"),
+            Err(e) => eprintln!("cannot read {arg}: {e}"),
         }
     }
 

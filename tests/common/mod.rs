@@ -1,0 +1,69 @@
+//! Shared helpers for the integration tests.
+//!
+//! Centralises two things every differential test needs:
+//!
+//! * **order-insensitive comparison** — plan shapes, physical
+//!   algorithms, and thread counts are all free to emit rows in any
+//!   order, so results are canonicalised (sorted by the engine's total
+//!   order, NULLs last) before comparing instead of each test rolling
+//!   its own sort;
+//! * **operator matching that tolerates the parallel executor** — at
+//!   `threads > 1` the profile says `ParallelHashJoin` /
+//!   `ParallelHashAggregate` where the serial executor says `HashJoin`
+//!   / `HashAggregate`, so tests that pin cardinalities (not names)
+//!   look operators up through [`find_join`] / [`find_agg`].
+//!
+//! Each integration-test binary compiles its own copy of this module,
+//! so not every binary uses every helper.
+#![allow(dead_code)]
+
+use std::num::NonZeroUsize;
+
+use gbj::exec::{ProfileNode, ResultSet};
+use gbj::Value;
+
+/// Canonical, order-insensitive form of a result: rows sorted by the
+/// engine's total order (`Value::total_cmp`, NULLs last). Two results
+/// are the same multiset iff their canonical forms are equal.
+pub fn canon(rows: &ResultSet) -> Vec<Vec<Value>> {
+    rows.sorted().rows
+}
+
+/// Assert two results are equal as multisets, with a context label.
+pub fn assert_same_rows(a: &ResultSet, b: &ResultSet, ctx: &str) {
+    assert!(
+        a.multiset_eq(b),
+        "{ctx}: results differ as multisets\nleft:\n{a}\nright:\n{b}"
+    );
+}
+
+/// Every operator name a join can report, serial or parallel.
+pub const JOIN_OPERATORS: &[&str] = &[
+    "HashJoin",
+    "ParallelHashJoin",
+    "NestedLoopJoin",
+    "SortMergeJoin",
+    "CrossJoin",
+];
+
+/// Every operator name a group-by can report, serial or parallel.
+pub const AGG_OPERATORS: &[&str] =
+    &["HashAggregate", "ParallelHashAggregate", "SortAggregate"];
+
+/// The first join operator in the profile, whatever its algorithm or
+/// thread count.
+pub fn find_join(profile: &ProfileNode) -> Option<&ProfileNode> {
+    JOIN_OPERATORS.iter().find_map(|op| profile.find_operator(op))
+}
+
+/// The first aggregate operator in the profile, serial or parallel.
+pub fn find_agg(profile: &ProfileNode) -> Option<&ProfileNode> {
+    AGG_OPERATORS.iter().find_map(|op| profile.find_operator(op))
+}
+
+/// The `GBJ_TEST_THREADS` override the engine default picks up (see
+/// `gbj_exec::threads_from_env`), for tests that want to know whether
+/// the suite is running its parallel pass.
+pub fn test_threads() -> Option<NonZeroUsize> {
+    gbj::exec::threads_from_env()
+}

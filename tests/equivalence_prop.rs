@@ -16,6 +16,8 @@ use gbj::{Database, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+mod common;
+
 /// A randomly generated Fact/Dim instance.
 #[derive(Debug, Clone)]
 struct Instance {
@@ -166,12 +168,8 @@ fn eager_never_increases_join_input() {
         let (_, eager_profile, _) = db.query_report(sql).unwrap();
         db.options_mut().policy = PushdownPolicy::Never;
         let (_, lazy_profile, _) = db.query_report(sql).unwrap();
-        let join_in = |p: &gbj::exec::ProfileNode| {
-            ["HashJoin", "NestedLoopJoin", "SortMergeJoin", "CrossJoin"]
-                .iter()
-                .find_map(|op| p.find_operator(op))
-                .map(gbj::exec::ProfileNode::rows_in)
-        };
+        let join_in =
+            |p: &gbj::exec::ProfileNode| common::find_join(p).map(gbj::exec::ProfileNode::rows_in);
         if let (Some(e), Some(l)) = (join_in(&eager_profile), join_in(&lazy_profile)) {
             assert!(e <= l, "case {case}: eager join input {e} > lazy {l}");
         }

@@ -19,6 +19,8 @@ use gbj_storage::{FaultConfig, FaultInjector};
 use gbj_types::Value;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
+mod common;
+
 /// The paper's Example-1 shape with nullable join and grouping columns,
 /// so NULL injection has somewhere to land.
 fn build_db(rng: &mut StdRng) -> Database {
@@ -59,8 +61,9 @@ fn build_db(rng: &mut StdRng) -> Database {
 const JOIN_AGG_SQL: &str = "SELECT D.DimId, D.Cat, COUNT(F.FId), SUM(F.V) \
      FROM Fact F, Dim D WHERE F.K = D.DimId GROUP BY D.DimId, D.Cat";
 
-/// Run one query under a plan policy, returning the sorted rows or the
-/// error kind. Panics (which must not happen) are reported distinctly.
+/// Run one query under a plan policy, returning the canonically ordered
+/// rows or the error kind. Panics (which must not happen) are reported
+/// distinctly.
 fn run_under(
     db: &mut Database,
     policy: PushdownPolicy,
@@ -72,7 +75,7 @@ fn run_under(
     }
     let outcome = catch_unwind(AssertUnwindSafe(|| db.query(sql)));
     match outcome {
-        Ok(Ok(rows)) => Ok(rows.sorted().rows),
+        Ok(Ok(rows)) => Ok(common::canon(&rows)),
         Ok(Err(e)) => Err(e.kind().to_string()),
         Err(_) => Err("PANIC".to_string()),
     }

@@ -7,6 +7,8 @@ use gbj::datagen::{AdversarialConfig, EmpDeptConfig, PrinterConfig};
 use gbj::engine::{PlanChoice, PushdownPolicy};
 use gbj::Database;
 
+mod common;
+
 /// Figure 1 at 1/10 scale (the shape is scale-free; the full scale runs
 /// in the benches): lazy joins every employee row, eager joins one row
 /// per department.
@@ -23,18 +25,18 @@ fn figure1_plan_cardinalities() {
     db.options_mut().policy = PushdownPolicy::Never;
     let (rows, profile, _) = db.query_report(cfg.query()).unwrap();
     assert_eq!(rows.len(), 10);
-    let join = profile.find_operator("HashJoin").unwrap();
+    let join = common::find_join(&profile).unwrap();
     assert_eq!(join.rows_out, 1000, "lazy join emits every employee");
-    let agg = profile.find_operator("HashAggregate").unwrap();
+    let agg = common::find_agg(&profile).unwrap();
     assert_eq!(agg.rows_in(), 1000);
     assert_eq!(agg.rows_out, 10);
 
     db.options_mut().policy = PushdownPolicy::Always;
     let (rows2, profile, _) = db.query_report(cfg.query()).unwrap();
     assert!(rows.multiset_eq(&rows2));
-    let agg = profile.find_operator("HashAggregate").unwrap();
+    let agg = common::find_agg(&profile).unwrap();
     assert_eq!(agg.rows_out, 10, "eager groups first");
-    let join = profile.find_operator("HashJoin").unwrap();
+    let join = common::find_join(&profile).unwrap();
     assert_eq!(join.rows_out, 10, "eager join emits one row per group");
     assert!(
         join.rows_in() <= 10 + 10 + 1,
@@ -53,16 +55,16 @@ fn figure8_counterexample_cardinalities() {
     db.options_mut().policy = PushdownPolicy::Never;
     let (rows, profile, _) = db.query_report(cfg.query()).unwrap();
     assert_eq!(rows.len(), 10);
-    let join = profile.find_operator("HashJoin").unwrap();
+    let join = common::find_join(&profile).unwrap();
     assert_eq!(join.rows_out, 50, "the paper's 50-row join result");
-    let agg = profile.find_operator("HashAggregate").unwrap();
+    let agg = common::find_agg(&profile).unwrap();
     assert_eq!(agg.rows_in(), 50);
     assert_eq!(agg.rows_out, 10);
 
     db.options_mut().policy = PushdownPolicy::Always;
     let (rows2, profile, _) = db.query_report(cfg.query()).unwrap();
     assert!(rows.multiset_eq(&rows2));
-    let agg = profile.find_operator("HashAggregate").unwrap();
+    let agg = common::find_agg(&profile).unwrap();
     assert_eq!(agg.rows_in(), 10_000, "eager grouping sees all of A");
     assert_eq!(agg.rows_out, 9_000, "the paper's 9000 groups");
 

@@ -1,0 +1,284 @@
+//! Single-thread vs multi-thread differential tests.
+//!
+//! The morsel-driven parallel operators promise results **byte-identical
+//! to serial execution** after the engine's canonical ordering, at every
+//! thread count, for both plan shapes (E1 lazy / E2 eager), and under
+//! deterministic fault injection — same seed ⇒ same rows or the same
+//! typed error at 1, 2, 4 and 8 threads. These tests hold the executor
+//! to that promise over the same query family and randomized instances
+//! the serial differential oracle uses, and additionally pin the
+//! resource-governance contract: a shared memory budget exhausts at the
+//! same `{limit, used}` snapshot (±one morsel) regardless of thread
+//! count, and errors raised while workers are in flight always join the
+//! team and surface as typed `Err`s.
+
+use std::num::NonZeroUsize;
+
+use gbj_engine::{Database, PushdownPolicy};
+use gbj_exec::ResourceLimits;
+use gbj_storage::{FaultConfig, FaultInjector};
+use gbj_types::Error;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+mod common;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The differential oracle's query family (mirrors the serial E1/E2
+/// oracle in `equivalence_prop.rs` / `fault_injection.rs`).
+const QUERIES: &[&str] = &[
+    "SELECT D.DimId, COUNT(F.FId) FROM Fact F, Dim D \
+     WHERE F.K = D.DimId GROUP BY D.DimId",
+    "SELECT D.DimId, D.Cat, SUM(F.V), MIN(F.V), MAX(F.V) FROM Fact F, Dim D \
+     WHERE F.K = D.DimId GROUP BY D.DimId, D.Cat",
+    "SELECT D.DimId, COUNT(*) FROM Fact F, Dim D \
+     WHERE F.K = D.DimId GROUP BY D.DimId",
+    "SELECT D.DimId, AVG(F.V), COUNT(DISTINCT F.V) FROM Fact F, Dim D \
+     WHERE F.K = D.DimId GROUP BY D.DimId",
+    "SELECT D.DimId, SUM(F.V) FROM Fact F, Dim D \
+     WHERE F.K = D.DimId AND F.V > 0 AND D.Cat = 'c1' GROUP BY D.DimId",
+    "SELECT DISTINCT D.Cat, COUNT(F.FId) FROM Fact F, Dim D \
+     WHERE F.K = D.DimId GROUP BY D.DimId, D.Cat",
+    "SELECT D.DimId, D.Cat, COUNT(F.FId), SUM(F.V) FROM Fact F, Dim D \
+     WHERE F.K = D.DimId GROUP BY D.DimId, D.Cat",
+    "SELECT F.K, COUNT(F.FId), SUM(F.V) FROM Fact F GROUP BY F.K",
+];
+
+/// Randomized Example-1-shaped instance with nullable join, grouping,
+/// and aggregate columns (NULL-heavy on purpose).
+fn build_db(rng: &mut StdRng) -> Database {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE Dim (DimId INTEGER PRIMARY KEY, Cat VARCHAR(5)); \
+         CREATE TABLE Fact (FId INTEGER PRIMARY KEY, K INTEGER, V INTEGER);",
+    )
+    .expect("ddl");
+    let dims = rng.gen_range(1i64..10);
+    for d in 0..dims {
+        let cat = if rng.gen_bool(0.25) {
+            "NULL".to_string()
+        } else {
+            format!("'c{}'", rng.gen_range(0i64..3))
+        };
+        db.execute(&format!("INSERT INTO Dim VALUES ({d}, {cat})"))
+            .expect("dim row");
+    }
+    let facts = rng.gen_range(0i64..60);
+    for f in 0..facts {
+        let k = if rng.gen_bool(0.2) {
+            "NULL".to_string()
+        } else {
+            rng.gen_range(0i64..12).to_string()
+        };
+        let v = if rng.gen_bool(0.2) {
+            "NULL".to_string()
+        } else {
+            rng.gen_range(-5i64..20).to_string()
+        };
+        db.execute(&format!("INSERT INTO Fact VALUES ({f}, {k}, {v})"))
+            .expect("fact row");
+    }
+    db
+}
+
+fn nz(n: usize) -> NonZeroUsize {
+    NonZeroUsize::new(n).expect("nonzero")
+}
+
+/// One run's observable outcome: canonical rows, or the typed error's
+/// kind and message.
+fn run_at(
+    db: &mut Database,
+    threads: usize,
+    policy: PushdownPolicy,
+    sql: &str,
+) -> Result<Vec<Vec<gbj_types::Value>>, String> {
+    db.set_threads(nz(threads));
+    db.options_mut().policy = policy;
+    if let Some(inj) = db.fault_injector() {
+        inj.reset();
+    }
+    match db.query(sql) {
+        Ok(rows) => Ok(common::canon(&rows)),
+        Err(e) => Err(format!("{}: {}", e.kind(), e.message())),
+    }
+}
+
+/// Every oracle query, both plan shapes: results at 1/2/4/8 threads are
+/// identical to each other and to the serial path.
+#[test]
+fn all_thread_counts_agree_with_serial_for_both_plans() {
+    let mut rng = StdRng::seed_from_u64(0x9a11_0001);
+    for case in 0..24u64 {
+        let mut db = build_db(&mut rng);
+        for sql in QUERIES {
+            for policy in [PushdownPolicy::Never, PushdownPolicy::Always] {
+                let serial = run_at(&mut db, 1, policy, sql);
+                for threads in THREAD_COUNTS {
+                    let got = run_at(&mut db, threads, policy, sql);
+                    assert_eq!(
+                        got, serial,
+                        "case {case} threads={threads} policy={policy:?}: {sql}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Seeded fault injection: at every thread count the same seed yields
+/// the same typed error or the same rows — scan-level faults (batch
+/// failures, short batches, NULL flips) are thread-count independent.
+#[test]
+fn fault_seeds_are_thread_count_independent() {
+    let mut rng = StdRng::seed_from_u64(0x9a11_0002);
+    let mut disagreements = Vec::new();
+    for case in 0..24u64 {
+        let mut db = build_db(&mut rng);
+        let config = FaultConfig {
+            seed: rng.gen_range(0u64..1 << 40),
+            fail_nth_batch: rng.gen_bool(0.4).then(|| rng.gen_range(0u64..6)),
+            batch_size: rng.gen_bool(0.5).then(|| rng.gen_range(1usize..5)),
+            null_flip_one_in: rng.gen_bool(0.6).then(|| rng.gen_range(1u64..6)),
+        };
+        db.set_fault_injector(Some(FaultInjector::new(config)));
+        for sql in [QUERIES[1], QUERIES[6], QUERIES[7]] {
+            for policy in [PushdownPolicy::Never, PushdownPolicy::Always] {
+                let serial = run_at(&mut db, 1, policy, sql);
+                for threads in THREAD_COUNTS {
+                    let got = run_at(&mut db, threads, policy, sql);
+                    if got != serial {
+                        disagreements.push(format!(
+                            "case {case} threads={threads} policy={policy:?} under \
+                             {config:?}:\n  serial={serial:?}\n  got={got:?}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        disagreements.is_empty(),
+        "thread counts disagreed under faults:\n{}",
+        disagreements.join("\n")
+    );
+}
+
+/// A shared memory budget exhausts at the same `{limit, used}` snapshot
+/// (±one morsel's worth of table entries) at every thread count.
+///
+/// Group keys are unique so serial and parallel build the same number
+/// of table entries (duplicate keys spanning morsels transiently
+/// double-charge in the parallel operator — see DESIGN.md §9).
+#[test]
+fn memory_budget_snapshot_is_stable_across_thread_counts() {
+    let mut db = Database::new();
+    db.run_script("CREATE TABLE Fact (FId INTEGER PRIMARY KEY, K INTEGER, V INTEGER);")
+        .expect("ddl");
+    db.insert_rows(
+        "Fact",
+        (0..2_000i64).map(|i| {
+            vec![
+                gbj_types::Value::Int(i),
+                gbj_types::Value::Int(i), // unique group key
+                gbj_types::Value::Int(i % 97),
+            ]
+        }),
+    )
+    .expect("rows");
+    let sql = "SELECT F.K, SUM(F.V) FROM Fact F GROUP BY F.K";
+    const LIMIT: u64 = 50_000;
+    // One morsel of aggregation-table entries: 2000 rows split into
+    // 250-row morsels; ~104 bytes per (Int key, one accumulator) entry.
+    const ONE_MORSEL_BYTES: u64 = 250 * 104;
+
+    let mut snapshots = Vec::new();
+    for threads in THREAD_COUNTS {
+        db.set_threads(nz(threads));
+        db.options_mut().exec.limits = ResourceLimits {
+            max_memory_bytes: Some(LIMIT),
+            ..ResourceLimits::default()
+        };
+        let err = db.query(sql).expect_err("budget must fire");
+        match err {
+            Error::ResourceExhausted { limit, used, .. } => {
+                assert_eq!(limit, LIMIT, "threads={threads}");
+                assert!(used > limit, "threads={threads}: snapshot below limit");
+                snapshots.push((threads, used));
+            }
+            other => panic!("threads={threads}: expected resource error, got {other}"),
+        }
+    }
+    let (_, serial_used) = snapshots[0];
+    for (threads, used) in &snapshots[1..] {
+        let delta = used.abs_diff(serial_used);
+        assert!(
+            delta <= ONE_MORSEL_BYTES,
+            "threads={threads}: used {used} is {delta} B from serial {serial_used} \
+             (more than one morsel = {ONE_MORSEL_BYTES} B)"
+        );
+    }
+    // Budgets restore cleanly at every thread count.
+    db.options_mut().exec.limits = ResourceLimits::default();
+    assert_eq!(db.query(sql).expect("unlimited rerun").len(), 2_000);
+}
+
+/// Errors raised while a worker team is in flight (here: the shared
+/// budget tripping mid-aggregation, and injected scan failures) always
+/// come back as typed `Err`s with every thread joined — the test
+/// completing at all is the no-deadlock/no-leak proof, and repeated
+/// runs would surface a leaked worker as a panic on a dropped scope.
+#[test]
+fn mid_flight_errors_join_all_workers_and_stay_typed() {
+    let mut db = Database::new();
+    db.run_script("CREATE TABLE Fact (FId INTEGER PRIMARY KEY, K INTEGER, V INTEGER);")
+        .expect("ddl");
+    db.insert_rows(
+        "Fact",
+        (0..4_000i64).map(|i| {
+            vec![
+                gbj_types::Value::Int(i),
+                gbj_types::Value::Int(i),
+                gbj_types::Value::Int(1),
+            ]
+        }),
+    )
+    .expect("rows");
+    let sql = "SELECT F.K, SUM(F.V) FROM Fact F GROUP BY F.K";
+
+    // Budget trips while all 8 workers are claiming morsels.
+    db.set_threads(nz(8));
+    for round in 0..20 {
+        db.options_mut().exec.limits = ResourceLimits {
+            max_memory_bytes: Some(10_000),
+            ..ResourceLimits::default()
+        };
+        let err = db.query(sql).expect_err("budget must fire");
+        assert_eq!(err.kind(), "resource", "round {round}");
+        assert_eq!(err.message(), "memory budget exceeded", "round {round}");
+    }
+
+    // Injected batch failures surface identically at every thread count.
+    db.options_mut().exec.limits = ResourceLimits::default();
+    db.set_fault_injector(Some(FaultInjector::new(FaultConfig {
+        seed: 3,
+        fail_nth_batch: Some(1),
+        batch_size: Some(512),
+        ..FaultConfig::default()
+    })));
+    let mut outcomes = Vec::new();
+    for threads in THREAD_COUNTS {
+        outcomes.push(run_at(&mut db, threads, PushdownPolicy::Never, sql));
+    }
+    let serial = &outcomes[0];
+    match serial {
+        Err(msg) => assert!(
+            msg.starts_with("execution: injected fault"),
+            "typed execution error expected, got {msg}"
+        ),
+        Ok(_) => panic!("the injected batch failure must surface"),
+    }
+    for (threads, outcome) in THREAD_COUNTS.iter().zip(&outcomes) {
+        assert_eq!(outcome, serial, "threads={threads}");
+    }
+}

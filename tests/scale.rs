@@ -9,6 +9,8 @@ use gbj::engine::{PlanChoice, PushdownPolicy};
 use gbj::exec::ProfileNode;
 use gbj::Value;
 
+mod common;
+
 fn total_rows_produced(p: &ProfileNode) -> usize {
     p.rows_out + p.children.iter().map(total_rows_produced).sum::<usize>()
 }
@@ -95,6 +97,93 @@ fn cost_based_choice_tracks_actual_work() {
     }
 }
 
+/// Adversarial parallel-vs-serial stress at ≥100k rows: one seeded
+/// Fact table mixing the three regimes that break naive partitioned
+/// aggregation — Zipf-skewed groups (some morsels all one key),
+/// all-NULL group keys (every morsel contributes to the `=ⁿ` NULL
+/// group), and a single mega-group (maximum cross-morsel merging) —
+/// plus dangling and matching join keys. The parallel results must be
+/// byte-identical to serial after canonical ordering, for both plan
+/// shapes. Row counts are `--release`-friendly: one build, a handful of
+/// queries.
+#[test]
+fn parallel_stress_at_100k_rows_matches_serial() {
+    use gbj::engine::Database;
+    use std::num::NonZeroUsize;
+
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE Dim (DimId INTEGER PRIMARY KEY, Cat VARCHAR(5) NOT NULL); \
+         CREATE TABLE Fact (FId INTEGER PRIMARY KEY, K INTEGER, V INTEGER);",
+    )
+    .unwrap();
+    db.insert_rows(
+        "Dim",
+        (0..64i64).map(|d| vec![Value::Int(d), Value::Str(format!("c{}", d % 5))]),
+    )
+    .unwrap();
+    // Deterministic xorshift so the instance is seeded and replayable.
+    let mut state = 0x5ca1_e100u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    const N: i64 = 120_000;
+    db.insert_rows(
+        "Fact",
+        (0..N).map(|i| {
+            let k = match i % 3 {
+                // Regime 1: Zipf-ish skew — key 0 gets ~half the rows,
+                // the tail spreads over 64 keys (some dangling: >= 64
+                // never matches Dim).
+                0 => {
+                    let r = next();
+                    if r % 2 == 0 {
+                        Value::Int(0)
+                    } else {
+                        Value::Int((r % 80) as i64)
+                    }
+                }
+                // Regime 2: all-NULL group keys — one `=ⁿ` group.
+                1 => Value::Null,
+                // Regime 3: single mega-group.
+                _ => Value::Int(7),
+            };
+            let v = if next() % 11 == 0 {
+                Value::Null
+            } else {
+                Value::Int((next() % 1_000) as i64 - 500)
+            };
+            vec![Value::Int(i), k, v]
+        }),
+    )
+    .unwrap();
+
+    let queries = [
+        "SELECT F.K, COUNT(F.FId), SUM(F.V), MIN(F.V), MAX(F.V) FROM Fact F GROUP BY F.K",
+        "SELECT D.DimId, D.Cat, COUNT(F.FId), SUM(F.V) FROM Fact F, Dim D \
+         WHERE F.K = D.DimId GROUP BY D.DimId, D.Cat",
+    ];
+    for sql in queries {
+        for policy in [PushdownPolicy::Never, PushdownPolicy::Always] {
+            db.options_mut().policy = policy;
+            db.set_threads(NonZeroUsize::new(1).unwrap());
+            let serial = db.query(sql).unwrap();
+            for threads in [4usize, 8] {
+                db.set_threads(NonZeroUsize::new(threads).unwrap());
+                let got = db.query(sql).unwrap();
+                // Byte-identical rows, not just multiset equality.
+                assert_eq!(
+                    got.rows, serial.rows,
+                    "threads={threads} policy={policy:?}: {sql}"
+                );
+            }
+        }
+    }
+}
+
 /// The §7 invariant at scale, measured: eager join input ≤ lazy join
 /// input at every grid point.
 #[test]
@@ -109,11 +198,7 @@ fn join_input_invariant_at_scale() {
         };
         let mut db = cfg.build().unwrap();
         let join_in = |p: &ProfileNode| {
-            ["HashJoin", "NestedLoopJoin", "SortMergeJoin", "CrossJoin"]
-                .iter()
-                .find_map(|op| p.find_operator(op))
-                .map(ProfileNode::rows_in)
-                .unwrap_or(0)
+            common::find_join(p).map(ProfileNode::rows_in).unwrap_or(0)
         };
         db.options_mut().policy = PushdownPolicy::Always;
         let (_, ep, _) = db.query_report(cfg.query()).unwrap();
