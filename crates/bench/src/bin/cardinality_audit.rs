@@ -1,0 +1,99 @@
+//! Estimate-vs-actual cardinality audit over the datagen workloads.
+//!
+//! Sweeps the Section 7 two-table workload across fan-in, join
+//! selectivity and skew (plus the Example 1 Emp/Dept instance with and
+//! without NULL group keys), runs each grouped query under both the
+//! lazy and cost-based policies, and emits one JSON object per run with
+//! the per-node estimate-vs-actual table ([`gbj_engine::audit_nodes`])
+//! and its max/median Q-error. This is the data the estimator-accuracy
+//! test suite bounds; regenerate it after touching `gbj_engine::stats`.
+//!
+//! ```text
+//! cargo run --release -p gbj-bench --bin cardinality_audit
+//! ```
+
+use gbj_datagen::{EmpDeptConfig, SweepConfig};
+use gbj_engine::{audits_to_json, max_q, median_q, Database, PushdownPolicy};
+
+/// Run `sql` on `db` under `policy` and print one JSON audit line.
+fn audit_one(db: &mut Database, workload: &str, params: &str, sql: &str, policy: PushdownPolicy) {
+    db.options_mut().policy = policy;
+    db.query(sql).expect("query runs");
+    let metrics = db.last_query_metrics().expect("metrics recorded");
+    let audits = metrics.audits();
+    let policy_name = match policy {
+        PushdownPolicy::Never => "lazy",
+        PushdownPolicy::Always => "eager",
+        PushdownPolicy::CostBased => "cost",
+    };
+    println!(
+        "{{\"workload\":\"{}\",\"params\":\"{}\",\"policy\":\"{}\",\"max_q\":{:.3},\"median_q\":{:.3},\"nodes\":{}}}",
+        workload,
+        params,
+        policy_name,
+        max_q(&audits),
+        median_q(&audits),
+        audits_to_json(&audits)
+    );
+}
+
+fn main() {
+    // Fan-in sweep: how many fact rows collapse into each group.
+    for groups in [10_usize, 100, 1000] {
+        let cfg = SweepConfig {
+            fact_rows: 10_000,
+            dim_rows: 1000,
+            groups,
+            match_fraction: 1.0,
+            skew: 0.0,
+        };
+        let mut db = cfg.build().expect("build sweep workload");
+        let params = format!("fact_rows=10000 groups={groups} match=1.0");
+        audit_one(&mut db, "sweep_fan_in", &params, cfg.query(), PushdownPolicy::Never);
+        audit_one(&mut db, "sweep_fan_in", &params, cfg.query(), PushdownPolicy::CostBased);
+    }
+
+    // Selectivity sweep: the fraction of fact rows surviving the join.
+    for match_fraction in [0.01_f64, 0.1, 0.5, 1.0] {
+        let cfg = SweepConfig {
+            fact_rows: 10_000,
+            dim_rows: 100,
+            groups: 100,
+            match_fraction,
+            skew: 0.0,
+        };
+        let mut db = cfg.build().expect("build sweep workload");
+        let params = format!("fact_rows=10000 groups=100 match={match_fraction}");
+        audit_one(&mut db, "sweep_selectivity", &params, cfg.query(), PushdownPolicy::Never);
+    }
+
+    // Skewed key distribution: uniform-frequency assumption stressed.
+    let cfg = SweepConfig {
+        fact_rows: 10_000,
+        dim_rows: 100,
+        groups: 100,
+        match_fraction: 1.0,
+        skew: 1.5,
+    };
+    let mut db = cfg.build().expect("build sweep workload");
+    audit_one(
+        &mut db,
+        "sweep_skew",
+        "fact_rows=10000 groups=100 skew=1.5",
+        cfg.query(),
+        PushdownPolicy::Never,
+    );
+
+    // Example 1 Emp/Dept, with and without NULL group keys.
+    for null_fraction in [0.0_f64, 0.3] {
+        let cfg = EmpDeptConfig {
+            employees: 5000,
+            departments: 50,
+            null_dept_fraction: null_fraction,
+            seed: 42,
+        };
+        let mut db = cfg.build().expect("build emp/dept workload");
+        let params = format!("employees=5000 departments=50 null_frac={null_fraction}");
+        audit_one(&mut db, "emp_dept", &params, cfg.query(), PushdownPolicy::CostBased);
+    }
+}

@@ -1,5 +1,8 @@
 //! The [`Database`] facade.
 
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
 use gbj_catalog::{Assertion, Catalog};
 use gbj_core::{
     eager_aggregate, reverse_transform, CostModel, EagerOutcome, Partition, PlanCost,
@@ -14,7 +17,8 @@ use gbj_sql::{parse_statements, Binder, BoundSelect, Statement};
 use gbj_storage::Storage;
 use gbj_types::{ColumnRef, Error, Result};
 
-use crate::stats::Estimator;
+use crate::audit::{annotated_tree, audit_nodes, NodeAudit};
+use crate::stats::{Estimator, PlanEstimate};
 
 /// When to apply a *valid* group-by-before-join transformation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -132,6 +136,56 @@ impl QueryReport {
     }
 }
 
+/// Everything measured while running one query: separate planning and
+/// execution wall times, whole-query resource measurements, the
+/// per-operator profile and the estimator's per-node predictions.
+/// Retrieved after the fact via [`Database::last_query_metrics`]
+/// (the REPL's `\metrics` command).
+#[derive(Debug, Clone)]
+pub struct QueryMetrics {
+    /// The SQL that ran.
+    pub sql_kind: &'static str,
+    /// The plan shape the engine chose.
+    pub choice: PlanChoice,
+    /// Wall time spent in parse → bind → transform → optimize.
+    pub planning: Duration,
+    /// Wall time spent executing the physical plan.
+    pub execution: Duration,
+    /// Rows the query returned.
+    pub rows: usize,
+    /// Memory high-water mark across all operator state (bytes).
+    pub peak_memory_bytes: u64,
+    /// The measured per-operator profile (with counters and timings).
+    pub profile: ProfileNode,
+    /// The estimator's per-node cardinality predictions.
+    pub estimates: PlanEstimate,
+}
+
+impl QueryMetrics {
+    /// The per-node estimate-vs-actual audit (pre-order).
+    #[must_use]
+    pub fn audits(&self) -> Vec<NodeAudit> {
+        audit_nodes(&self.estimates, &self.profile)
+    }
+
+    /// Render the full metrics view: timings, resource high-water, the
+    /// estimate-vs-actual tree and the raw counter/timing tree.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("choice: {:?}\n", self.choice));
+        out.push_str(&format!("planning time: {:?}\n", self.planning));
+        out.push_str(&format!("execution time: {:?}\n", self.execution));
+        out.push_str(&format!("rows: {}\n", self.rows));
+        out.push_str(&format!("peak memory: {} B\n", self.peak_memory_bytes));
+        out.push_str("estimate vs actual:\n");
+        out.push_str(&annotated_tree(&self.audits()));
+        out.push_str("operator metrics:\n");
+        out.push_str(&self.profile.display_tree_with_metrics());
+        out
+    }
+}
+
 /// The output of executing one statement.
 #[derive(Debug, Clone)]
 pub enum QueryOutput {
@@ -180,6 +234,9 @@ impl QueryOutput {
 pub struct Database {
     storage: Storage,
     options: EngineOptions,
+    /// Metrics of the most recent query (SELECT or EXPLAIN ANALYZE),
+    /// behind a mutex so the read-only query path can record them.
+    last_metrics: Mutex<Option<QueryMetrics>>,
 }
 
 impl Database {
@@ -195,7 +252,25 @@ impl Database {
         Database {
             storage: Storage::new(),
             options,
+            last_metrics: Mutex::default(),
         }
+    }
+
+    /// Metrics of the most recent query (SELECT or `EXPLAIN ANALYZE`)
+    /// on this database, if any ran yet.
+    #[must_use]
+    pub fn last_query_metrics(&self) -> Option<QueryMetrics> {
+        self.last_metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn record_metrics(&self, metrics: QueryMetrics) {
+        *self
+            .last_metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(metrics);
     }
 
     /// The engine options (mutable, e.g. to switch policies between
@@ -279,9 +354,35 @@ impl Database {
         };
         let binder = Binder::new(self.storage.catalog());
         let bound = binder.bind_select(&select)?;
-        let report = self.plan_bound(&bound)?;
+        self.run_select(&bound, "query")
+    }
+
+    /// The shared SELECT path: plan (timed), execute (timed and
+    /// metered), and record [`QueryMetrics`] for
+    /// [`Database::last_query_metrics`].
+    fn run_select(
+        &self,
+        bound: &BoundSelect,
+        sql_kind: &'static str,
+    ) -> Result<(ResultSet, ProfileNode, QueryReport)> {
+        let plan_start = Instant::now();
+        let report = self.plan_bound(bound)?;
+        let planning = plan_start.elapsed();
         let executor = Executor::with_options(&self.storage, self.options.exec);
-        let (rows, profile) = executor.execute(&report.plan)?;
+        let exec_start = Instant::now();
+        let (rows, profile, summary) = executor.execute_metered(&report.plan)?;
+        let execution = exec_start.elapsed();
+        let estimates = Estimator::new(&self.storage).estimate_plan(&report.plan);
+        self.record_metrics(QueryMetrics {
+            sql_kind,
+            choice: report.choice,
+            planning,
+            execution,
+            rows: rows.len(),
+            peak_memory_bytes: summary.peak_memory_bytes,
+            profile: profile.clone(),
+            estimates,
+        });
         Ok((rows, profile, report))
     }
 
@@ -346,9 +447,7 @@ impl Database {
             Statement::Select(select) => {
                 let binder = Binder::new(self.storage.catalog());
                 let bound = binder.bind_select(&select)?;
-                let report = self.plan_bound(&bound)?;
-                let executor = Executor::with_options(&self.storage, self.options.exec);
-                let (rows, _) = executor.execute(&report.plan)?;
+                let (rows, _, _) = self.run_select(&bound, "select")?;
                 Ok(QueryOutput::Rows(rows))
             }
             Statement::Explain { analyze, statement } => {
@@ -357,20 +456,27 @@ impl Database {
                 };
                 let binder = Binder::new(self.storage.catalog());
                 let bound = binder.bind_select(&select)?;
-                let report = self.plan_bound(&bound)?;
-                let mut text = report.explain();
                 if analyze {
-                    let executor = Executor::with_options(&self.storage, self.options.exec);
-                    let start = std::time::Instant::now();
-                    let (rows, profile) = executor.execute(&report.plan)?;
-                    let elapsed = start.elapsed();
-                    text.push_str(&format!(
-                        "measured ({} rows in {elapsed:?}):\n{}",
-                        rows.len(),
-                        profile.display_tree()
-                    ));
+                    let (rows, _, report) = self.run_select(&bound, "explain analyze")?;
+                    let mut text = report.explain();
+                    // The run just recorded its metrics; render the
+                    // measured section from them. Planning and execution
+                    // time are separate labeled lines — planning can
+                    // dominate on small data and would otherwise hide
+                    // inside one combined number.
+                    if let Some(m) = self.last_query_metrics() {
+                        text.push_str(&format!("planning time: {:?}\n", m.planning));
+                        text.push_str(&format!("execution time: {:?}\n", m.execution));
+                        text.push_str(&format!("actual rows: {}\n", rows.len()));
+                        text.push_str(&format!("peak memory: {} B\n", m.peak_memory_bytes));
+                        text.push_str("estimate vs actual:\n");
+                        text.push_str(&annotated_tree(&m.audits()));
+                    }
+                    Ok(QueryOutput::Explain(text))
+                } else {
+                    let report = self.plan_bound(&bound)?;
+                    Ok(QueryOutput::Explain(report.explain()))
                 }
-                Ok(QueryOutput::Explain(text))
             }
             Statement::Delete { table, predicate } => {
                 let binder = Binder::new(self.storage.catalog());
@@ -786,6 +892,51 @@ mod tests {
         assert!(text.contains("partition"));
         assert!(text.contains("alternative plan:"));
         assert!(text.contains("cost:"));
+    }
+
+    #[test]
+    fn explain_analyze_reports_times_and_estimate_audit() {
+        let mut db = example1_db();
+        let out = db
+            .execute(&format!("EXPLAIN ANALYZE {EXAMPLE1_SQL}"))
+            .unwrap();
+        let QueryOutput::Explain(text) = out else { panic!() };
+        // Bugfix: planning and execution are separate labeled lines.
+        assert!(text.contains("planning time: "), "{text}");
+        assert!(text.contains("execution time: "), "{text}");
+        assert!(text.contains("actual rows: 4"), "{text}");
+        assert!(text.contains("peak memory: "), "{text}");
+        // Each measured node carries est/actual/q columns.
+        assert!(text.contains("estimate vs actual:"), "{text}");
+        assert!(text.contains("est="), "{text}");
+        assert!(text.contains("actual="), "{text}");
+        assert!(text.contains("q="), "{text}");
+    }
+
+    #[test]
+    fn last_query_metrics_registry_updates_per_query() {
+        let db = example1_db();
+        assert!(db.last_query_metrics().is_none(), "nothing ran yet");
+        db.query(EXAMPLE1_SQL).unwrap();
+        let m = db.last_query_metrics().expect("query recorded metrics");
+        assert_eq!(m.rows, 4);
+        assert_eq!(m.choice, PlanChoice::Eager);
+        assert!(m.peak_memory_bytes > 0);
+        let audits = m.audits();
+        assert!(!audits.is_empty());
+        assert!(crate::audit::max_q(&audits) >= 1.0);
+        // A different query overwrites the registry.
+        db.query("SELECT E.LastName FROM Employee E WHERE E.DeptID = 1")
+            .unwrap();
+        let m2 = db.last_query_metrics().unwrap();
+        assert_eq!(m2.rows, 5);
+        // The render mentions every section.
+        let text = m2.render();
+        assert!(text.contains("planning time: "), "{text}");
+        assert!(text.contains("execution time: "), "{text}");
+        assert!(text.contains("estimate vs actual:"), "{text}");
+        assert!(text.contains("operator metrics:"), "{text}");
+        assert!(text.contains("batches="), "{text}");
     }
 
     #[test]

@@ -24,8 +24,12 @@
 //! candidate. `EXPLAIN` prints both candidate plans, the TestFD trace
 //! and the cost comparison.
 
+pub mod audit;
 pub mod database;
 pub mod stats;
 
-pub use database::{Database, EngineOptions, PlanChoice, PushdownPolicy, QueryOutput, QueryReport};
-pub use stats::Estimator;
+pub use audit::{annotated_tree, audit_nodes, audits_to_json, max_q, median_q, NodeAudit};
+pub use database::{
+    Database, EngineOptions, PlanChoice, PushdownPolicy, QueryMetrics, QueryOutput, QueryReport,
+};
+pub use stats::{q_error, Estimator, PlanEstimate};

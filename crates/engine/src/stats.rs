@@ -15,12 +15,36 @@
 use std::collections::HashSet;
 
 use gbj_core::{Partition, Stats};
-use gbj_expr::{AtomClass, Expr};
+use gbj_expr::{conjuncts, AtomClass, Expr};
+use gbj_plan::LogicalPlan;
 use gbj_storage::Storage;
 use gbj_types::{ColumnRef, GroupKey, Value};
 
 /// Selectivity assumed for predicates the estimator cannot analyse.
 const DEFAULT_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// The Q-error of an estimate: `max(est, actual) / min(est, actual)`,
+/// with both sides floored at one row so empty results don't divide by
+/// zero. Always ≥ 1; 1.0 means a perfect estimate.
+#[must_use]
+pub fn q_error(estimated: f64, actual: f64) -> f64 {
+    let e = estimated.max(1.0);
+    let a = actual.max(1.0);
+    e.max(a) / e.min(a)
+}
+
+/// Estimated output cardinality for one plan node; mirrors the
+/// [`LogicalPlan`] tree shape exactly, so it can be zipped against the
+/// measured [`ProfileNode`](gbj_exec::ProfileNode) tree node by node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanEstimate {
+    /// The plan node's label (same as the profile node's label).
+    pub label: String,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Child estimates, in plan order.
+    pub children: Vec<PlanEstimate>,
+}
 
 /// Estimates cardinalities against live storage.
 pub struct Estimator<'a> {
@@ -157,6 +181,155 @@ impl<'a> Estimator<'a> {
             final_groups,
         }
     }
+
+    /// Estimate the output cardinality of every node in a physical-ready
+    /// logical plan, mirroring the tree shape. The same System-R rules
+    /// as [`Estimator::estimate`] apply per node: scans report table
+    /// rows, filters and joins multiply conjunct selectivities, and
+    /// grouping is capped by `min(input, Π ndv)`.
+    #[must_use]
+    pub fn estimate_plan(&self, plan: &LogicalPlan) -> PlanEstimate {
+        let mut tables = Vec::new();
+        collect_plan_tables(plan, &mut tables);
+        self.node_estimate(plan, &tables)
+    }
+
+    fn node_estimate(&self, plan: &LogicalPlan, tables: &[(String, String)]) -> PlanEstimate {
+        let label = plan.label();
+        match plan {
+            LogicalPlan::Scan { table, .. } => PlanEstimate {
+                label,
+                rows: self.table_rows(table),
+                children: vec![],
+            },
+            LogicalPlan::Filter { input, predicate } => {
+                let child = self.node_estimate(input, tables);
+                let mut rows = child.rows;
+                for c in conjuncts(predicate) {
+                    rows *= self.selectivity(&c, tables);
+                }
+                PlanEstimate {
+                    label,
+                    rows,
+                    children: vec![child],
+                }
+            }
+            LogicalPlan::Project {
+                input,
+                exprs,
+                distinct,
+            } => {
+                let child = self.node_estimate(input, tables);
+                let rows = if *distinct {
+                    let cols: std::collections::BTreeSet<ColumnRef> =
+                        exprs.iter().flat_map(|(e, _)| e.columns()).collect();
+                    self.column_set_groups(&cols, child.rows, tables)
+                } else {
+                    child.rows
+                };
+                PlanEstimate {
+                    label,
+                    rows,
+                    children: vec![child],
+                }
+            }
+            LogicalPlan::CrossJoin { left, right } => {
+                let l = self.node_estimate(left, tables);
+                let r = self.node_estimate(right, tables);
+                PlanEstimate {
+                    label,
+                    rows: l.rows * r.rows,
+                    children: vec![l, r],
+                }
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                condition,
+            } => {
+                let l = self.node_estimate(left, tables);
+                let r = self.node_estimate(right, tables);
+                let mut rows = l.rows * r.rows;
+                for c in conjuncts(condition) {
+                    rows *= self.selectivity(&c, tables);
+                }
+                PlanEstimate {
+                    label,
+                    rows,
+                    children: vec![l, r],
+                }
+            }
+            LogicalPlan::Aggregate {
+                input, group_by, ..
+            } => {
+                let child = self.node_estimate(input, tables);
+                let rows = if group_by.is_empty() {
+                    1.0
+                } else {
+                    let cols: std::collections::BTreeSet<ColumnRef> =
+                        group_by.iter().flat_map(Expr::columns).collect();
+                    self.column_set_groups(&cols, child.rows, tables)
+                };
+                PlanEstimate {
+                    label,
+                    rows,
+                    children: vec![child],
+                }
+            }
+            LogicalPlan::SubqueryAlias { input, .. } | LogicalPlan::Sort { input, .. } => {
+                let child = self.node_estimate(input, tables);
+                PlanEstimate {
+                    label,
+                    rows: child.rows,
+                    children: vec![child],
+                }
+            }
+        }
+    }
+
+    /// `min(rows, Π ndv(col))` over a column set (independence-assuming
+    /// distinct-group estimate), never below one row.
+    fn column_set_groups(
+        &self,
+        cols: &std::collections::BTreeSet<ColumnRef>,
+        rows: f64,
+        tables: &[(String, String)],
+    ) -> f64 {
+        let mut ndv = 1.0;
+        for c in cols {
+            ndv *= self.ndv_of(c, tables).max(1.0);
+        }
+        ndv.min(rows).max(1.0)
+    }
+}
+
+/// Collect `(qualifier, base table)` pairs from a plan's scans. A
+/// `SubqueryAlias` whose subtree reads exactly one base table also maps
+/// its alias to that table, so estimates survive the rename that
+/// re-qualifies the eager plan's aggregated side.
+fn collect_plan_tables(plan: &LogicalPlan, out: &mut Vec<(String, String)>) {
+    match plan {
+        LogicalPlan::Scan {
+            table, qualifier, ..
+        } => out.push((qualifier.clone(), table.clone())),
+        LogicalPlan::SubqueryAlias { input, alias } => {
+            let before = out.len();
+            collect_plan_tables(input, out);
+            if out.len() == before + 1 {
+                if let Some((_, table)) = out.last() {
+                    out.push((alias.clone(), table.clone()));
+                }
+            }
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. } => collect_plan_tables(input, out),
+        LogicalPlan::CrossJoin { left, right } | LogicalPlan::Join { left, right, .. } => {
+            collect_plan_tables(left, out);
+            collect_plan_tables(right, out);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +457,94 @@ mod tests {
         // The cost model then prefers the eager plan here.
         let model = gbj_core::CostModel::default();
         assert!(model.should_transform(&stats));
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_floored() {
+        assert_eq!(q_error(10.0, 10.0), 1.0);
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(10.0, 100.0), 10.0, "symmetric");
+        assert_eq!(q_error(0.0, 0.0), 1.0, "empty vs empty is perfect");
+        assert_eq!(q_error(5.0, 0.0), 5.0, "actual floored at one row");
+    }
+
+    #[test]
+    fn plan_estimates_mirror_the_tree_and_match_intuition() {
+        let s = setup();
+        let est = Estimator::new(&s);
+        let scan_e = LogicalPlan::Scan {
+            table: "Employee".into(),
+            qualifier: "E".into(),
+            schema: gbj_types::Schema::new(vec![
+                gbj_types::Field::new("EmpID", DataType::Int64, false).with_qualifier("E"),
+                gbj_types::Field::new("DeptID", DataType::Int64, true).with_qualifier("E"),
+            ]),
+        };
+        let scan_d = LogicalPlan::Scan {
+            table: "Department".into(),
+            qualifier: "D".into(),
+            schema: gbj_types::Schema::new(vec![
+                gbj_types::Field::new("DeptID", DataType::Int64, false).with_qualifier("D"),
+                gbj_types::Field::new("Name", DataType::Utf8, true).with_qualifier("D"),
+            ]),
+        };
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan_e),
+                right: Box::new(scan_d),
+                condition: Expr::col("E", "DeptID").eq(Expr::col("D", "DeptID")),
+            }),
+            group_by: vec![Expr::col("D", "DeptID")],
+            aggregates: vec![(
+                gbj_expr::AggregateCall::new(
+                    gbj_expr::AggregateFunction::Count,
+                    Expr::col("E", "EmpID"),
+                ),
+                "cnt".into(),
+            )],
+        };
+        let e = est.estimate_plan(&plan);
+        assert_eq!(e.rows, 10.0, "10 distinct D.DeptID groups");
+        assert_eq!(e.children.len(), 1);
+        let join = &e.children[0];
+        // 1000 × 10 × 1/max(10,10) = 1000.
+        assert_eq!(join.rows, 1000.0);
+        assert_eq!(join.children[0].rows, 1000.0, "Employee scan");
+        assert_eq!(join.children[1].rows, 10.0, "Department scan");
+        // The estimate tree mirrors the plan tree's labels.
+        assert_eq!(join.label, plan_child_label(&plan));
+    }
+
+    fn plan_child_label(plan: &LogicalPlan) -> String {
+        match plan {
+            LogicalPlan::Aggregate { input, .. } => input.label(),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn subquery_alias_over_one_table_keeps_estimates() {
+        let s = setup();
+        let est = Estimator::new(&s);
+        let plan = LogicalPlan::SubqueryAlias {
+            input: Box::new(LogicalPlan::Scan {
+                table: "Department".into(),
+                qualifier: "D".into(),
+                schema: gbj_types::Schema::new(vec![gbj_types::Field::new(
+                    "DeptID",
+                    DataType::Int64,
+                    false,
+                )
+                .with_qualifier("D")]),
+            }),
+            alias: "V".into(),
+        };
+        let mut tables = Vec::new();
+        super::collect_plan_tables(&plan, &mut tables);
+        assert!(tables
+            .iter()
+            .any(|(q, t)| q == "V" && t == "Department"));
+        assert_eq!(est.estimate_plan(&plan).rows, 10.0);
     }
 
     #[test]

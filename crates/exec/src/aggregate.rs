@@ -13,6 +13,7 @@ use gbj_expr::{AggregateCall, Accumulator, BoundExpr};
 use gbj_types::{Error, GroupKey, Result, Value};
 
 use crate::guard::{row_bytes, ResourceGuard};
+use crate::metrics::MetricsSink;
 
 /// Estimated bytes of one aggregation-table entry beyond its key
 /// (accumulator enum + table bookkeeping).
@@ -46,12 +47,14 @@ pub fn hash_aggregate(
     group_exprs: &[BoundExpr],
     aggregates: &[CompiledAggregate],
     guard: &ResourceGuard,
+    sink: &MetricsSink,
 ) -> Result<Vec<Vec<Value>>> {
     let mut order: Vec<GroupKey> = Vec::new();
     let mut groups: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
 
     if group_exprs.is_empty() {
         // Scalar aggregate: exactly one group, even over empty input.
+        let scalar_timer = sink.start_timer();
         let mut accs: Vec<Accumulator> =
             aggregates.iter().map(|a| a.call.accumulator()).collect();
         for row in input {
@@ -60,9 +63,11 @@ pub fn hash_aggregate(
                 agg.update(acc, row)?;
             }
         }
+        sink.record_build(scalar_timer);
         return Ok(vec![accs.iter().map(Accumulator::finish).collect()]);
     }
 
+    let build_timer = sink.start_timer();
     let mut table_bytes = 0u64;
     let filled = (|| -> Result<()> {
         for row in input {
@@ -88,6 +93,10 @@ pub fn hash_aggregate(
         }
         Ok(())
     })();
+    sink.record_build(build_timer);
+    sink.add_hash_entries(order.len() as u64);
+    sink.add_state_bytes(table_bytes);
+    let probe_timer = sink.start_timer();
     let out = filled.and_then(|()| {
         let mut out = Vec::with_capacity(order.len());
         for key in order.drain(..) {
@@ -100,6 +109,7 @@ pub fn hash_aggregate(
         }
         Ok(out)
     });
+    sink.record_probe(probe_timer);
     guard.release_memory(table_bytes);
     out
 }
@@ -116,10 +126,12 @@ pub fn sort_aggregate(
     group_exprs: &[BoundExpr],
     aggregates: &[CompiledAggregate],
     guard: &ResourceGuard,
+    sink: &MetricsSink,
 ) -> Result<Vec<Vec<Value>>> {
     if group_exprs.is_empty() {
-        return hash_aggregate(input, group_exprs, aggregates, guard);
+        return hash_aggregate(input, group_exprs, aggregates, guard, sink);
     }
+    let build_timer = sink.start_timer();
     let mut sort_bytes = 0u64;
     let keyed: Result<Vec<(Vec<Value>, &Vec<Value>)>> = input
         .iter()
@@ -151,7 +163,10 @@ pub fn sort_aggregate(
         }
         std::cmp::Ordering::Equal
     });
+    sink.record_build(build_timer);
+    sink.add_state_bytes(sort_bytes);
 
+    let probe_timer = sink.start_timer();
     let streamed = (|| -> Result<Vec<Vec<Value>>> {
         let mut out = Vec::new();
         let mut current: Option<(Vec<Value>, Vec<Accumulator>)> = None;
@@ -184,6 +199,7 @@ pub fn sort_aggregate(
         }
         Ok(out)
     })();
+    sink.record_probe(probe_timer);
     guard.release_memory(sort_bytes);
     streamed
 }
@@ -212,6 +228,10 @@ mod tests {
 
     fn g() -> ResourceGuard {
         ResourceGuard::unlimited()
+    }
+
+    fn sk() -> MetricsSink {
+        MetricsSink::new()
     }
 
     fn rows(data: &[(Option<i64>, Option<i64>)]) -> Vec<Vec<Value>> {
@@ -243,8 +263,8 @@ mod tests {
             (None, Some(7)),
             (None, Some(3)),
         ]);
-        let h = hash_aggregate(&input, &group_exprs(), &[sum_call()], &g()).unwrap();
-        let s = sort_aggregate(&input, &group_exprs(), &[sum_call()], &g()).unwrap();
+        let h = hash_aggregate(&input, &group_exprs(), &[sum_call()], &g(), &sk()).unwrap();
+        let s = sort_aggregate(&input, &group_exprs(), &[sum_call()], &g(), &sk()).unwrap();
         assert_eq!(sorted(h.clone()), sorted(s));
         assert_eq!(h.len(), 3, "1, 2, and the NULL group");
         let by_key = sorted(h);
@@ -257,7 +277,7 @@ mod tests {
     fn null_group_values_form_one_group() {
         let input = rows(&[(None, Some(1)), (None, Some(2))]);
         for f in [hash_aggregate, sort_aggregate] {
-            let out = f(&input, &group_exprs(), &[sum_call()], &g()).unwrap();
+            let out = f(&input, &group_exprs(), &[sum_call()], &g(), &sk()).unwrap();
             assert_eq!(out.len(), 1);
             assert_eq!(out[0], vec![Value::Null, Value::Int(3)]);
         }
@@ -267,11 +287,11 @@ mod tests {
     fn scalar_aggregate_always_one_row() {
         let empty: Vec<Vec<Value>> = vec![];
         for f in [hash_aggregate, sort_aggregate] {
-            let out = f(&empty, &[], &[sum_call()], &g()).unwrap();
+            let out = f(&empty, &[], &[sum_call()], &g(), &sk()).unwrap();
             assert_eq!(out, vec![vec![Value::Null]], "SUM over empty is NULL");
         }
         let input = rows(&[(Some(1), Some(4)), (Some(2), Some(6))]);
-        let out = hash_aggregate(&input, &[], &[sum_call()], &g()).unwrap();
+        let out = hash_aggregate(&input, &[], &[sum_call()], &g(), &sk()).unwrap();
         assert_eq!(out, vec![vec![Value::Int(10)]]);
     }
 
@@ -279,7 +299,7 @@ mod tests {
     fn count_star_counts_all_rows_per_group() {
         let star = compile(AggregateCall::count_star());
         let input = rows(&[(Some(1), None), (Some(1), Some(2)), (Some(2), None)]);
-        let out = hash_aggregate(&input, &group_exprs(), &[star], &g()).unwrap();
+        let out = hash_aggregate(&input, &group_exprs(), &[star], &g(), &sk()).unwrap();
         let by_key = sorted(out);
         assert_eq!(by_key[0], vec![Value::Int(1), Value::Int(2)]);
         assert_eq!(by_key[1], vec![Value::Int(2), Value::Int(1)]);
@@ -293,7 +313,7 @@ mod tests {
             compile(AggregateCall::count_star()),
         ];
         let input = rows(&[(Some(1), Some(5)), (Some(1), Some(9)), (Some(1), None)]);
-        let out = sort_aggregate(&input, &group_exprs(), &calls, &g()).unwrap();
+        let out = sort_aggregate(&input, &group_exprs(), &calls, &g(), &sk()).unwrap();
         assert_eq!(
             out,
             vec![vec![
@@ -309,7 +329,7 @@ mod tests {
     fn empty_grouped_input_yields_no_groups() {
         let empty: Vec<Vec<Value>> = vec![];
         for f in [hash_aggregate, sort_aggregate] {
-            let out = f(&empty, &group_exprs(), &[sum_call()], &g()).unwrap();
+            let out = f(&empty, &group_exprs(), &[sum_call()], &g(), &sk()).unwrap();
             assert!(out.is_empty(), "no rows → no groups when GROUP BY present");
         }
     }
@@ -322,7 +342,7 @@ mod tests {
             (None, Some(1)),
             (Some(2), Some(1)),
         ]);
-        let out = sort_aggregate(&input, &group_exprs(), &[sum_call()], &g()).unwrap();
+        let out = sort_aggregate(&input, &group_exprs(), &[sum_call()], &g(), &sk()).unwrap();
         let keys: Vec<&Value> = out.iter().map(|r| &r[0]).collect();
         assert_eq!(
             keys,
@@ -339,13 +359,13 @@ mod tests {
             (Some(1), Some(i64::MAX - 1)),
         ]);
         for f in [hash_aggregate, sort_aggregate] {
-            let err = f(&input, &group_exprs(), &[sum_call()], &g()).unwrap_err();
+            let err = f(&input, &group_exprs(), &[sum_call()], &g(), &sk()).unwrap_err();
             assert_eq!(err.kind(), "execution", "got {err}");
             assert!(err.message().contains("overflow"), "got {err}");
         }
         // A single near-MAX value is fine.
         let input = rows(&[(Some(1), Some(i64::MAX - 1))]);
-        let out = hash_aggregate(&input, &group_exprs(), &[sum_call()], &g()).unwrap();
+        let out = hash_aggregate(&input, &group_exprs(), &[sum_call()], &g(), &sk()).unwrap();
         assert_eq!(out[0][1], Value::Int(i64::MAX - 1));
     }
 
@@ -356,13 +376,13 @@ mod tests {
         // the zero count).
         let empty: Vec<Vec<Value>> = vec![];
         for f in [hash_aggregate, sort_aggregate] {
-            let out = f(&empty, &[], &[avg()], &g()).unwrap();
+            let out = f(&empty, &[], &[avg()], &g(), &sk()).unwrap();
             assert_eq!(out, vec![vec![Value::Null]], "AVG over empty is NULL");
         }
         // A group whose every argument is NULL also averages to NULL.
         let input = rows(&[(Some(1), None), (Some(1), None)]);
         for f in [hash_aggregate, sort_aggregate] {
-            let out = f(&input, &group_exprs(), &[avg()], &g()).unwrap();
+            let out = f(&input, &group_exprs(), &[avg()], &g(), &sk()).unwrap();
             assert_eq!(out, vec![vec![Value::Int(1), Value::Null]]);
         }
     }
@@ -378,13 +398,13 @@ mod tests {
             max_memory_bytes: Some(512),
             ..ResourceLimits::default()
         });
-        let err = hash_aggregate(&input, &group_exprs(), &[sum_call()], &tight).unwrap_err();
+        let err = hash_aggregate(&input, &group_exprs(), &[sum_call()], &tight, &sk()).unwrap_err();
         assert_eq!(err.kind(), "resource");
         assert_eq!(err.message(), "memory budget exceeded");
         // The failed run released what it had charged.
         assert_eq!(tight.memory_used(), 0, "memory released after abort");
         let relieved = ResourceGuard::new(ResourceLimits::default());
-        hash_aggregate(&input, &group_exprs(), &[sum_call()], &relieved).unwrap();
+        hash_aggregate(&input, &group_exprs(), &[sum_call()], &relieved, &sk()).unwrap();
         assert_eq!(relieved.memory_used(), 0, "memory released after success");
     }
 }

@@ -11,7 +11,8 @@ use gbj_types::{internal_err, GroupKey, Result, Truth, Value};
 use crate::aggregate::{hash_aggregate, sort_aggregate, CompiledAggregate};
 use crate::guard::{ResourceGuard, ResourceLimits};
 use crate::join::{hash_join, nested_loop_join, sort_merge_join, split_equi_keys};
-use crate::parallel::{parallel_hash_aggregate, parallel_hash_join};
+use crate::metrics::MetricsSink;
+use crate::parallel::{morsel_rows, parallel_hash_aggregate, parallel_hash_join};
 use crate::result::{ProfileNode, ResultSet};
 
 /// Join algorithm selection.
@@ -51,6 +52,10 @@ pub struct ExecOptions {
     /// (the default) keeps the serial operators; results are
     /// byte-identical at every value (see `crate::parallel`).
     pub threads: NonZeroUsize,
+    /// Collect per-operator metrics (counters and phase timings) into
+    /// each [`ProfileNode`]. On by default; turning it off replaces
+    /// every sink with a no-op that skips its clock reads.
+    pub metrics: bool,
 }
 
 impl Default for ExecOptions {
@@ -60,8 +65,27 @@ impl Default for ExecOptions {
             agg: AggAlgo::default(),
             limits: ResourceLimits::default(),
             threads: NonZeroUsize::MIN,
+            metrics: true,
         }
     }
+}
+
+/// Whole-query execution measurements that live on the
+/// [`ResourceGuard`] rather than any one operator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecSummary {
+    /// Memory high-water mark: largest operator-state footprint held at
+    /// any one time (bytes).
+    pub peak_memory_bytes: u64,
+    /// Total rows charged against the row budget across all operators.
+    pub rows_charged: u64,
+}
+
+/// Input batches a blocking operator processes: the morsel count, a
+/// function of input size only, so the number is identical whether the
+/// operator actually ran serial or parallel.
+fn input_batches(len: usize) -> u64 {
+    len.div_ceil(morsel_rows(len)) as u64
 }
 
 /// Executes logical plans against a [`Storage`].
@@ -89,15 +113,39 @@ impl<'a> Executor<'a> {
     /// Execute a plan, returning the result and the per-operator
     /// cardinality profile.
     pub fn execute(&self, plan: &LogicalPlan) -> Result<(ResultSet, ProfileNode)> {
+        let (result, profile, _) = self.execute_metered(plan)?;
+        Ok((result, profile))
+    }
+
+    /// Execute a plan, additionally returning whole-query measurements
+    /// from the resource guard (memory high-water, rows charged).
+    pub fn execute_metered(
+        &self,
+        plan: &LogicalPlan,
+    ) -> Result<(ResultSet, ProfileNode, ExecSummary)> {
         let guard = ResourceGuard::new(self.options.limits);
         let (rows, profile) = self.run(plan, &guard)?;
+        let summary = ExecSummary {
+            peak_memory_bytes: guard.peak_memory(),
+            rows_charged: guard.rows_used(),
+        };
         Ok((
             ResultSet {
                 schema: plan.schema()?,
                 rows,
             },
             profile,
+            summary,
         ))
+    }
+
+    /// A fresh per-operator sink honouring [`ExecOptions::metrics`].
+    fn sink(&self) -> MetricsSink {
+        if self.options.metrics {
+            MetricsSink::new()
+        } else {
+            MetricsSink::disabled()
+        }
     }
 
     fn run(
@@ -110,6 +158,8 @@ impl<'a> Executor<'a> {
                 // The batched cursor is the fault-injection seam (short
                 // batches, injected failures, NULL flips) and gives the
                 // guard a cancellation point between batches.
+                let sink = self.sink();
+                let timer = sink.start_timer();
                 let mut cursor = self.storage.open_scan(table)?;
                 if cursor.arity() != schema.len() {
                     return Err(internal_err!("scan schema arity mismatch for {table}"));
@@ -117,14 +167,23 @@ impl<'a> Executor<'a> {
                 let mut rows: Vec<Vec<Value>> = Vec::with_capacity(cursor.total_rows());
                 while let Some(batch) = cursor.next_batch()? {
                     guard.charge_rows(batch.len())?;
+                    // Scans always run serial, so real cursor batches
+                    // are already thread-count invariant.
+                    sink.add_batches(1);
                     rows.extend(batch);
                 }
-                let profile = ProfileNode::new(plan.label(), "Scan", rows.len(), vec![]);
+                sink.record_probe(timer);
+                let n = rows.len();
+                let profile = ProfileNode::new(plan.label(), "Scan", n, vec![])
+                    .with_metrics(sink.finish(n, n));
                 Ok((rows, profile))
             }
 
             LogicalPlan::Filter { input, predicate } => {
                 let (in_rows, child) = self.run(input, guard)?;
+                let sink = self.sink();
+                let timer = sink.start_timer();
+                let n_in = in_rows.len();
                 let bound = predicate.bind(&input.schema()?)?;
                 let mut rows = Vec::new();
                 for row in in_rows {
@@ -134,8 +193,10 @@ impl<'a> Executor<'a> {
                     }
                 }
                 guard.charge_rows(rows.len())?;
-                let profile =
-                    ProfileNode::new(plan.label(), "Filter", rows.len(), vec![child]);
+                sink.add_batches(1);
+                sink.record_probe(timer);
+                let profile = ProfileNode::new(plan.label(), "Filter", rows.len(), vec![child])
+                    .with_metrics(sink.finish(n_in, rows.len()));
                 Ok((rows, profile))
             }
 
@@ -145,6 +206,9 @@ impl<'a> Executor<'a> {
                 distinct,
             } => {
                 let (in_rows, child) = self.run(input, guard)?;
+                let sink = self.sink();
+                let timer = sink.start_timer();
+                let n_in = in_rows.len();
                 let in_schema = input.schema()?;
                 let bound: Vec<_> = exprs
                     .iter()
@@ -176,17 +240,25 @@ impl<'a> Executor<'a> {
                 }
                 guard.charge_rows(rows.len())?;
                 let op = if *distinct {
+                    // The dedup set is a hash table with one entry per
+                    // distinct output row.
+                    sink.add_hash_entries(rows.len() as u64);
                     "ProjectDistinct"
                 } else {
                     "Project"
                 };
-                let profile = ProfileNode::new(plan.label(), op, rows.len(), vec![child]);
+                sink.add_batches(1);
+                sink.record_probe(timer);
+                let profile = ProfileNode::new(plan.label(), op, rows.len(), vec![child])
+                    .with_metrics(sink.finish(n_in, rows.len()));
                 Ok((rows, profile))
             }
 
             LogicalPlan::CrossJoin { left, right } => {
                 let (l, lp) = self.run(left, guard)?;
                 let (r, rp) = self.run(right, guard)?;
+                let sink = self.sink();
+                let timer = sink.start_timer();
                 let mut rows = Vec::with_capacity(l.len().saturating_mul(r.len()));
                 for a in &l {
                     for b in &r {
@@ -198,8 +270,10 @@ impl<'a> Executor<'a> {
                         rows.push(row);
                     }
                 }
-                let profile =
-                    ProfileNode::new(plan.label(), "CrossJoin", rows.len(), vec![lp, rp]);
+                sink.add_batches(1);
+                sink.record_probe(timer);
+                let profile = ProfileNode::new(plan.label(), "CrossJoin", rows.len(), vec![lp, rp])
+                    .with_metrics(sink.finish(l.len() + r.len(), rows.len()));
                 Ok((rows, profile))
             }
 
@@ -223,10 +297,17 @@ impl<'a> Executor<'a> {
                     (JoinAlgo::Auto | JoinAlgo::Hash, false) => JoinAlgo::Hash,
                     (JoinAlgo::SortMerge, false) => JoinAlgo::SortMerge,
                 };
+                let sink = self.sink();
+                // Batches = input morsel count on both sides, a function
+                // of input size only — identical serial or parallel.
+                sink.add_batches(input_batches(l.len()) + input_batches(r.len()));
                 let (rows, op) = match algo {
                     JoinAlgo::NestedLoop => {
                         let bound = condition.bind(&joined_schema)?;
-                        (nested_loop_join(&l, &r, &bound, guard)?, "NestedLoopJoin")
+                        (
+                            nested_loop_join(&l, &r, &bound, guard, &sink)?,
+                            "NestedLoopJoin",
+                        )
                     }
                     JoinAlgo::Hash | JoinAlgo::Auto if self.options.threads.get() > 1 => (
                         parallel_hash_join(
@@ -236,20 +317,22 @@ impl<'a> Executor<'a> {
                             &residual_bound,
                             guard,
                             self.options.threads,
+                            &sink,
                         )?,
                         "ParallelHashJoin",
                     ),
                     JoinAlgo::Hash | JoinAlgo::Auto => (
-                        hash_join(&l, &r, &keys, &residual_bound, guard)?,
+                        hash_join(&l, &r, &keys, &residual_bound, guard, &sink)?,
                         "HashJoin",
                     ),
                     JoinAlgo::SortMerge => (
-                        sort_merge_join(&l, &r, &keys, &residual_bound, guard)?,
+                        sort_merge_join(&l, &r, &keys, &residual_bound, guard, &sink)?,
                         "SortMergeJoin",
                     ),
                 };
                 guard.charge_rows(rows.len())?;
-                let profile = ProfileNode::new(plan.label(), op, rows.len(), vec![lp, rp]);
+                let profile = ProfileNode::new(plan.label(), op, rows.len(), vec![lp, rp])
+                    .with_metrics(sink.finish(l.len() + r.len(), rows.len()));
                 Ok((rows, profile))
             }
 
@@ -278,6 +361,8 @@ impl<'a> Executor<'a> {
                         })
                     })
                     .collect::<Result<_>>()?;
+                let sink = self.sink();
+                sink.add_batches(input_batches(in_rows.len()));
                 let (rows, op) = match self.options.agg {
                     AggAlgo::Hash if self.options.threads.get() > 1 => (
                         parallel_hash_aggregate(
@@ -286,34 +371,42 @@ impl<'a> Executor<'a> {
                             &compiled,
                             guard,
                             self.options.threads,
+                            &sink,
                         )?,
                         "ParallelHashAggregate",
                     ),
                     AggAlgo::Hash => (
-                        hash_aggregate(&in_rows, &group_bound, &compiled, guard)?,
+                        hash_aggregate(&in_rows, &group_bound, &compiled, guard, &sink)?,
                         "HashAggregate",
                     ),
                     AggAlgo::Sort => (
-                        sort_aggregate(&in_rows, &group_bound, &compiled, guard)?,
+                        sort_aggregate(&in_rows, &group_bound, &compiled, guard, &sink)?,
                         "SortAggregate",
                     ),
                 };
                 guard.charge_rows(rows.len())?;
-                let profile = ProfileNode::new(plan.label(), op, rows.len(), vec![child]);
+                let profile = ProfileNode::new(plan.label(), op, rows.len(), vec![child])
+                    .with_metrics(sink.finish(in_rows.len(), rows.len()));
                 Ok((rows, profile))
             }
 
             LogicalPlan::SubqueryAlias { input, .. } => {
                 let (rows, child) = self.run(input, guard)?;
+                let sink = self.sink();
+                sink.add_batches(1);
                 let n = rows.len();
                 Ok((
                     rows,
-                    ProfileNode::new(plan.label(), "SubqueryAlias", n, vec![child]),
+                    ProfileNode::new(plan.label(), "SubqueryAlias", n, vec![child])
+                        .with_metrics(sink.finish(n, n)),
                 ))
             }
 
             LogicalPlan::Sort { input, keys } => {
                 let (mut rows, child) = self.run(input, guard)?;
+                let sink = self.sink();
+                sink.add_batches(input_batches(rows.len()));
+                let timer = sink.start_timer();
                 let in_schema = input.schema()?;
                 let bound: Vec<(gbj_expr::BoundExpr, bool)> = keys
                     .iter()
@@ -341,11 +434,13 @@ impl<'a> Executor<'a> {
                     }
                     std::cmp::Ordering::Equal
                 });
+                sink.record_build(timer);
                 let rows: Vec<Vec<Value>> = keyed.into_iter().map(|(_, r)| r).collect();
                 let n = rows.len();
                 Ok((
                     rows,
-                    ProfileNode::new(plan.label(), "Sort", n, vec![child]),
+                    ProfileNode::new(plan.label(), "Sort", n, vec![child])
+                        .with_metrics(sink.finish(n, n)),
                 ))
             }
         }
@@ -558,6 +653,62 @@ mod tests {
             let (eager, _) = exec.execute(&plan2(&s)).unwrap();
             assert_eq!(eager.rows, expect_eager.rows, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn profile_metrics_are_populated_and_thread_invariant() {
+        let s = setup();
+        let serial = Executor::new(&s);
+        let (_, p) = serial.execute(&plan1(&s)).unwrap();
+        assert_eq!(p.metrics.rows_in, 6, "aggregate consumes the join output");
+        assert_eq!(p.metrics.hash_entries, 3, "three groups");
+        assert!(p.metrics.batches > 0);
+        let join = p.find_operator("HashJoin").unwrap();
+        assert_eq!(join.metrics.rows_in, 10);
+        assert_eq!(join.metrics.rows_out, 6);
+        assert_eq!(join.metrics.hash_entries, 3, "three build-side departments");
+        assert!(join.metrics.state_bytes > 0, "build table was charged");
+        // The counter fingerprint is byte-identical at every thread
+        // count (operator names are excluded; they rename in parallel).
+        let expected = p.counter_fingerprint();
+        for threads in [2usize, 4, 8] {
+            let exec = Executor::with_options(
+                &s,
+                ExecOptions {
+                    threads: NonZeroUsize::new(threads).unwrap(),
+                    ..ExecOptions::default()
+                },
+            );
+            let (_, p) = exec.execute(&plan1(&s)).unwrap();
+            assert_eq!(p.counter_fingerprint(), expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn metrics_can_be_disabled() {
+        let s = setup();
+        let exec = Executor::with_options(
+            &s,
+            ExecOptions {
+                metrics: false,
+                ..ExecOptions::default()
+            },
+        );
+        let (_, p) = exec.execute(&plan1(&s)).unwrap();
+        assert_eq!(p.metrics.batches, 0);
+        assert_eq!(p.metrics.hash_entries, 0);
+        assert_eq!(p.metrics.build_ns, 0);
+        // Cardinalities are free — still reported.
+        assert_eq!(p.metrics.rows_out, 3);
+    }
+
+    #[test]
+    fn execute_metered_reports_guard_measurements() {
+        let s = setup();
+        let exec = Executor::new(&s);
+        let (_, _, summary) = exec.execute_metered(&plan1(&s)).unwrap();
+        assert!(summary.peak_memory_bytes > 0, "hash tables charged memory");
+        assert!(summary.rows_charged >= 10, "scans charged their rows");
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub struct ResourceGuard {
     limits: ResourceLimits,
     rows: AtomicU64,
     memory: AtomicU64,
+    peak_memory: AtomicU64,
     ticks: AtomicU64,
     started: Instant,
 }
@@ -71,6 +72,7 @@ impl ResourceGuard {
             limits,
             rows: AtomicU64::new(0),
             memory: AtomicU64::new(0),
+            peak_memory: AtomicU64::new(0),
             ticks: AtomicU64::new(0),
             started: Instant::now(),
         }
@@ -94,6 +96,14 @@ impl ResourceGuard {
         self.memory.load(Ordering::Relaxed)
     }
 
+    /// The memory high-water mark: the largest operator-state footprint
+    /// held at any one time during this query (the number a spilling
+    /// policy would key off). Never decreases on `release_memory`.
+    #[must_use]
+    pub fn peak_memory(&self) -> u64 {
+        self.peak_memory.load(Ordering::Relaxed)
+    }
+
     /// Charge `n` produced rows against the row budget (also polls the
     /// deadline so row-producing loops stay cancellable).
     pub fn charge_rows(&self, n: usize) -> Result<()> {
@@ -114,6 +124,8 @@ impl ResourceGuard {
     /// Reserve `bytes` of operator state against the memory budget.
     pub fn charge_memory(&self, bytes: u64) -> Result<()> {
         let before = self.memory.fetch_add(bytes, Ordering::Relaxed);
+        self.peak_memory
+            .fetch_max(before.saturating_add(bytes), Ordering::Relaxed);
         if let Some(limit) = self.limits.max_memory_bytes {
             let used = before.saturating_add(bytes);
             if used > limit {
@@ -253,6 +265,19 @@ mod tests {
         g.charge_memory(10).unwrap();
         g.release_memory(100);
         assert_eq!(g.memory_used(), 0);
+    }
+
+    #[test]
+    fn peak_memory_is_a_high_water_mark() {
+        let g = ResourceGuard::unlimited();
+        assert_eq!(g.peak_memory(), 0);
+        g.charge_memory(100).unwrap();
+        g.charge_memory(50).unwrap();
+        g.release_memory(150);
+        assert_eq!(g.memory_used(), 0);
+        assert_eq!(g.peak_memory(), 150, "peak survives release");
+        g.charge_memory(40).unwrap();
+        assert_eq!(g.peak_memory(), 150, "smaller refill keeps the peak");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use gbj_expr::{conjuncts, BoundExpr, Expr};
 use gbj_types::{internal_err, GroupKey, Result, Schema, Truth, Value};
 
 use crate::guard::{row_bytes, ResourceGuard};
+use crate::metrics::MetricsSink;
 
 /// Checked column access: a bad ordinal is an optimizer/binder bug, so
 /// it surfaces as `Error::Internal` instead of a panic.
@@ -89,7 +90,9 @@ pub fn nested_loop_join(
     right: &[Vec<Value>],
     condition: &BoundExpr,
     guard: &ResourceGuard,
+    sink: &MetricsSink,
 ) -> Result<Vec<Vec<Value>>> {
+    let probe_timer = sink.start_timer();
     let mut out = Vec::new();
     for l in left {
         for r in right {
@@ -100,6 +103,7 @@ pub fn nested_loop_join(
             }
         }
     }
+    sink.record_probe(probe_timer);
     Ok(out)
 }
 
@@ -115,9 +119,12 @@ pub fn hash_join(
     keys: &[EquiKey],
     residual: &Option<BoundExpr>,
     guard: &ResourceGuard,
+    sink: &MetricsSink,
 ) -> Result<Vec<Vec<Value>>> {
     let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
     let mut build_bytes = 0u64;
+    let mut build_entries = 0u64;
+    let build_timer = sink.start_timer();
     let build_result = (|| -> Result<()> {
         for (i, r) in right.iter().enumerate() {
             guard.tick()?;
@@ -130,11 +137,16 @@ pub fn hash_join(
             }
             let entry_bytes = row_bytes(&kv) + std::mem::size_of::<usize>() as u64;
             build_bytes += entry_bytes;
+            build_entries += 1;
             guard.charge_memory(entry_bytes)?;
             table.entry(GroupKey(kv)).or_default().push(i);
         }
         Ok(())
     })();
+    sink.record_build(build_timer);
+    sink.add_hash_entries(build_entries);
+    sink.add_state_bytes(build_bytes);
+    let probe_timer = sink.start_timer();
     let probe = build_result.and_then(|()| {
         let mut out = Vec::new();
         for l in left {
@@ -161,6 +173,7 @@ pub fn hash_join(
         }
         Ok(out)
     });
+    sink.record_probe(probe_timer);
     guard.release_memory(build_bytes);
     probe
 }
@@ -175,8 +188,10 @@ pub fn sort_merge_join(
     keys: &[EquiKey],
     residual: &Option<BoundExpr>,
     guard: &ResourceGuard,
+    sink: &MetricsSink,
 ) -> Result<Vec<Vec<Value>>> {
     use std::cmp::Ordering;
+    let build_timer = sink.start_timer();
     // Null-key rows are filtered first, so the ordinals are known good
     // for the sort/merge below; key_of still uses checked access to
     // honour the no-indexing invariant.
@@ -219,7 +234,10 @@ pub fn sort_merge_join(
     guard.charge_memory(sort_bytes)?;
     ls.sort_by(|a, b| cmp_keys(&key_of(a, |k| k.left), &key_of(b, |k| k.left)));
     rs.sort_by(|a, b| cmp_keys(&key_of(a, |k| k.right), &key_of(b, |k| k.right)));
+    sink.record_build(build_timer);
+    sink.add_state_bytes(sort_bytes);
 
+    let merge_timer = sink.start_timer();
     let merge = (|| -> Result<Vec<Vec<Value>>> {
         let mut out = Vec::new();
         let (mut i, mut j) = (0usize, 0usize);
@@ -264,6 +282,7 @@ pub fn sort_merge_join(
         }
         Ok(out)
     })();
+    sink.record_probe(merge_timer);
     guard.release_memory(sort_bytes);
     merge
 }
@@ -316,10 +335,11 @@ mod tests {
         let resid_bound = Expr::conjunction(residual.clone())
             .map(|e| e.bind(&joined).unwrap());
         let g = ResourceGuard::unlimited();
+        let sink = MetricsSink::new();
         vec![
-            nested_loop_join(left, right, &bound, &g).unwrap(),
-            hash_join(left, right, &keys, &resid_bound, &g).unwrap(),
-            sort_merge_join(left, right, &keys, &resid_bound, &g).unwrap(),
+            nested_loop_join(left, right, &bound, &g, &sink).unwrap(),
+            hash_join(left, right, &keys, &resid_bound, &g, &sink).unwrap(),
+            sort_merge_join(left, right, &keys, &resid_bound, &g, &sink).unwrap(),
         ]
     }
 
@@ -432,9 +452,27 @@ mod tests {
         ];
         let right = vec![vec![Value::Int(1), Value::Int(1)]];
         let g = ResourceGuard::unlimited();
-        let out = hash_join(&left, &right, &keys, &None, &g).unwrap();
+        let sink = MetricsSink::new();
+        let out = hash_join(&left, &right, &keys, &None, &g, &sink).unwrap();
         assert_eq!(out.len(), 1);
-        let out = sort_merge_join(&left, &right, &keys, &None, &g).unwrap();
+        let out = sort_merge_join(&left, &right, &keys, &None, &g, &sink).unwrap();
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn hash_join_counts_non_null_build_entries() {
+        // 3 right rows, one with a NULL key: 2 hash entries, some bytes.
+        let left = rows(&[(Some(1), 10)]);
+        let right = rows(&[(Some(1), 100), (None, 200), (Some(2), 300)]);
+        let ls = lschema();
+        let rs = rschema();
+        let (keys, _) = split_equi_keys(&condition(), &ls, &rs);
+        let g = ResourceGuard::unlimited();
+        let sink = MetricsSink::new();
+        let out = hash_join(&left, &right, &keys, &None, &g, &sink).unwrap();
+        assert_eq!(out.len(), 1);
+        let m = sink.finish(left.len() + right.len(), out.len());
+        assert_eq!(m.hash_entries, 2, "NULL build keys are never inserted");
+        assert!(m.state_bytes > 0);
     }
 }

@@ -1,0 +1,256 @@
+//! Per-operator execution metrics.
+//!
+//! Every operator the executor runs gets a fresh [`MetricsSink`]; the
+//! operator implementations record counters and timings into it and the
+//! executor snapshots the sink into the operator's
+//! [`ProfileNode`](crate::ProfileNode) as an [`OperatorMetrics`] value.
+//!
+//! **Determinism.** The counters `rows_in`, `rows_out`, `batches` and
+//! `hash_entries` are *thread-count invariant*: they depend only on the
+//! input data and the plan, never on scheduling. The morsel-driven
+//! parallel operators (see [`crate::parallel`]) count per-morsel into a
+//! thread-local [`MorselMetrics`] and the coordinator folds the partials
+//! back into the shared sink **in morsel order**, so the totals are
+//! byte-identical at every thread count — the same guarantee the
+//! operators make for their row output. Timings (`build_ns`,
+//! `probe_ns`) and `state_bytes` are measurements of a particular run
+//! and are deliberately excluded from [`OperatorMetrics::fingerprint`].
+//!
+//! The sink is internally atomic so the parallel operators can share it
+//! by reference across their worker team.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counters and timings one operator produced during one execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OperatorMetrics {
+    /// Rows flowing into the operator (sum over all inputs).
+    pub rows_in: u64,
+    /// Rows the operator produced.
+    pub rows_out: u64,
+    /// Input batches processed: real cursor batches for a scan, morsel
+    /// count (a function of input size only) for blocking operators,
+    /// one for single-pass streaming operators.
+    pub batches: u64,
+    /// Hash-table entries built (join build entries / distinct groups).
+    pub hash_entries: u64,
+    /// Nanoseconds spent constructing operator state (hash build, sort,
+    /// aggregation-table fill).
+    pub build_ns: u64,
+    /// Nanoseconds spent producing output (probe, merge, stream).
+    pub probe_ns: u64,
+    /// Estimated bytes of operator state charged against the
+    /// [`ResourceGuard`](crate::ResourceGuard) (memory high-water of
+    /// this operator's tables/buffers).
+    pub state_bytes: u64,
+}
+
+impl OperatorMetrics {
+    /// The thread-count-invariant counters: `[rows_in, rows_out,
+    /// batches, hash_entries]`. Identical at every thread count for the
+    /// same input (timings and state bytes are excluded — they measure
+    /// a particular run).
+    #[must_use]
+    pub fn fingerprint(&self) -> [u64; 4] {
+        [self.rows_in, self.rows_out, self.batches, self.hash_entries]
+    }
+}
+
+/// One morsel's thread-local counters, folded into the shared
+/// [`MetricsSink`] by the coordinator in morsel order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MorselMetrics {
+    /// Hash-table entries this morsel inserted.
+    pub hash_entries: u64,
+    /// Operator-state bytes this morsel charged.
+    pub state_bytes: u64,
+}
+
+/// A per-operator metrics recorder.
+///
+/// Counters are atomics so one sink can be shared by reference across
+/// the parallel operators' worker team; a disabled sink (see
+/// [`MetricsSink::disabled`]) records nothing and skips its clock
+/// reads, so metrics collection can be turned off wholesale via
+/// [`ExecOptions::metrics`](crate::ExecOptions::metrics).
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    disabled: bool,
+    batches: AtomicU64,
+    hash_entries: AtomicU64,
+    build_ns: AtomicU64,
+    probe_ns: AtomicU64,
+    state_bytes: AtomicU64,
+}
+
+impl MetricsSink {
+    /// A recording sink.
+    #[must_use]
+    pub fn new() -> MetricsSink {
+        MetricsSink::default()
+    }
+
+    /// A sink that records nothing (every method is a no-op).
+    #[must_use]
+    pub fn disabled() -> MetricsSink {
+        MetricsSink {
+            disabled: true,
+            ..MetricsSink::default()
+        }
+    }
+
+    /// Whether this sink records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        !self.disabled
+    }
+
+    /// Count `n` processed input batches.
+    pub fn add_batches(&self, n: u64) {
+        if !self.disabled {
+            self.batches.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count `n` hash-table entries built.
+    pub fn add_hash_entries(&self, n: u64) {
+        if !self.disabled {
+            self.hash_entries.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count `bytes` of operator state charged against the guard.
+    pub fn add_state_bytes(&self, bytes: u64) {
+        if !self.disabled {
+            self.state_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Fold one morsel's thread-local counters into the sink (called by
+    /// the coordinator in morsel order).
+    pub fn fold_morsel(&self, m: &MorselMetrics) {
+        self.add_hash_entries(m.hash_entries);
+        self.add_state_bytes(m.state_bytes);
+    }
+
+    /// Start a phase timer (`None` when the sink is disabled, so a
+    /// disabled sink costs no clock reads).
+    #[must_use]
+    pub fn start_timer(&self) -> Option<Instant> {
+        if self.disabled {
+            None
+        } else {
+            Some(Instant::now())
+        }
+    }
+
+    /// Record elapsed build time (state construction) since `started`.
+    pub fn record_build(&self, started: Option<Instant>) {
+        if let Some(t) = started {
+            self.build_ns
+                .fetch_add(elapsed_ns(t), Ordering::Relaxed);
+        }
+    }
+
+    /// Record elapsed probe time (output production) since `started`.
+    pub fn record_probe(&self, started: Option<Instant>) {
+        if let Some(t) = started {
+            self.probe_ns
+                .fetch_add(elapsed_ns(t), Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the sink into an [`OperatorMetrics`] with the given
+    /// cardinalities.
+    #[must_use]
+    pub fn finish(&self, rows_in: usize, rows_out: usize) -> OperatorMetrics {
+        OperatorMetrics {
+            rows_in: rows_in as u64,
+            rows_out: rows_out as u64,
+            batches: self.batches.load(Ordering::Relaxed),
+            hash_entries: self.hash_entries.load(Ordering::Relaxed),
+            build_ns: self.build_ns.load(Ordering::Relaxed),
+            probe_ns: self.probe_ns.load(Ordering::Relaxed),
+            state_bytes: self.state_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let sink = MetricsSink::new();
+        sink.add_batches(2);
+        sink.add_batches(1);
+        sink.add_hash_entries(5);
+        sink.add_state_bytes(128);
+        let m = sink.finish(10, 7);
+        assert_eq!(m.rows_in, 10);
+        assert_eq!(m.rows_out, 7);
+        assert_eq!(m.batches, 3);
+        assert_eq!(m.hash_entries, 5);
+        assert_eq!(m.state_bytes, 128);
+        assert_eq!(m.fingerprint(), [10, 7, 3, 5]);
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = MetricsSink::disabled();
+        assert!(!sink.is_enabled());
+        assert!(sink.start_timer().is_none());
+        sink.add_batches(3);
+        sink.add_hash_entries(9);
+        sink.add_state_bytes(64);
+        sink.fold_morsel(&MorselMetrics {
+            hash_entries: 4,
+            state_bytes: 32,
+        });
+        let m = sink.finish(1, 1);
+        assert_eq!(m.batches, 0);
+        assert_eq!(m.hash_entries, 0);
+        assert_eq!(m.state_bytes, 0);
+    }
+
+    #[test]
+    fn timers_record_elapsed_time() {
+        let sink = MetricsSink::new();
+        let t = sink.start_timer();
+        assert!(t.is_some());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        sink.record_build(t);
+        let t = sink.start_timer();
+        sink.record_probe(t);
+        let m = sink.finish(0, 0);
+        assert!(m.build_ns > 0);
+        // Timings never count toward the deterministic fingerprint.
+        assert_eq!(m.fingerprint(), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn morsel_partials_fold_into_totals() {
+        let sink = MetricsSink::new();
+        for m in [
+            MorselMetrics {
+                hash_entries: 3,
+                state_bytes: 100,
+            },
+            MorselMetrics {
+                hash_entries: 2,
+                state_bytes: 50,
+            },
+        ] {
+            sink.fold_morsel(&m);
+        }
+        let m = sink.finish(0, 0);
+        assert_eq!(m.hash_entries, 5);
+        assert_eq!(m.state_bytes, 150);
+    }
+}

@@ -41,6 +41,7 @@ use gbj_types::{internal_err, GroupKey, Result, Value};
 use crate::aggregate::{CompiledAggregate, ACC_ENTRY_BYTES};
 use crate::guard::{row_bytes, ResourceGuard};
 use crate::join::{col, concat, residual_passes, EquiKey};
+use crate::metrics::{MetricsSink, MorselMetrics};
 
 /// Rows per morsel, as a function of the input size only (so morsel
 /// boundaries — and therefore merge order and results — are identical
@@ -84,6 +85,10 @@ fn morsel_slice(rows: &[Vec<Value>], index: usize, morsel: usize) -> Result<&[Ve
 
 /// Run `worker` over morsel indices `0..n_morsels` on a team of at most
 /// `threads` scoped worker threads. Returns one result slot per morsel;
+/// One build morsel's output: per-partition `(key, row index)` buckets
+/// plus the morsel's metrics partial, folded in morsel order later.
+type BuildSlot = (Vec<Vec<(GroupKey, usize)>>, MorselMetrics);
+
 /// `None` marks a morsel that was never claimed because an earlier
 /// morsel errored (claims are strictly sequential, so unclaimed morsels
 /// always form a suffix).
@@ -153,6 +158,12 @@ struct MorselAgg {
     order: Vec<GroupKey>,
     /// Accumulators per group.
     groups: HashMap<GroupKey, Vec<Accumulator>>,
+    /// This morsel's thread-local counters, folded into the shared sink
+    /// in morsel order by the coordinator. `hash_entries` stays zero
+    /// here: per-morsel distinct counts would over-count groups that
+    /// span morsels, so the coordinator records the *merged* distinct
+    /// group count instead (matching the serial operator exactly).
+    metrics: MorselMetrics,
 }
 
 /// Partitioned parallel hash aggregation.
@@ -169,6 +180,7 @@ pub fn parallel_hash_aggregate(
     aggregates: &[CompiledAggregate],
     guard: &ResourceGuard,
     threads: NonZeroUsize,
+    sink: &MetricsSink,
 ) -> Result<Vec<Vec<Value>>> {
     let morsel = morsel_rows(input.len());
     let n_morsels = input.len().div_ceil(morsel);
@@ -176,6 +188,7 @@ pub fn parallel_hash_aggregate(
     if group_exprs.is_empty() {
         // Scalar aggregate: one partial accumulator vector per morsel,
         // folded in morsel order; zero morsels still produce one row.
+        let scalar_timer = sink.start_timer();
         let slots = run_morsels(n_morsels, threads.get(), &|i| {
             let rows = morsel_slice(input, i, morsel)?;
             let mut accs: Vec<Accumulator> =
@@ -196,6 +209,7 @@ pub fn parallel_hash_aggregate(
                 acc.merge(p)?;
             }
         }
+        sink.record_build(scalar_timer);
         return Ok(vec![accs.iter().map(Accumulator::finish).collect()]);
     }
 
@@ -206,10 +220,12 @@ pub fn parallel_hash_aggregate(
     // where serial holds one, so budgets bind slightly earlier than
     // serial on duplicate-heavy data (documented in DESIGN.md §9).
     let charged = AtomicU64::new(0);
+    let build_timer = sink.start_timer();
     let slots = run_morsels(n_morsels, threads.get(), &|i| {
         let rows = morsel_slice(input, i, morsel)?;
         let mut order: Vec<GroupKey> = Vec::new();
         let mut groups: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
+        let mut metrics = MorselMetrics::default();
         for row in rows {
             guard.tick()?;
             let key_vals: Vec<Value> = group_exprs
@@ -221,6 +237,7 @@ pub fn parallel_hash_aggregate(
                 let entry_bytes =
                     row_bytes(&key.0) + ACC_ENTRY_BYTES * aggregates.len().max(1) as u64;
                 charged.fetch_add(entry_bytes, Ordering::Relaxed);
+                metrics.state_bytes += entry_bytes;
                 guard.charge_memory(entry_bytes)?;
             }
             let accs = groups.entry(key.clone()).or_insert_with(|| {
@@ -231,13 +248,18 @@ pub fn parallel_hash_aggregate(
                 agg.update(acc, row)?;
             }
         }
-        Ok(MorselAgg { order, groups })
+        Ok(MorselAgg {
+            order,
+            groups,
+            metrics,
+        })
     });
     let merged = (|| -> Result<Vec<Vec<Value>>> {
         let partials = collect_in_order(slots)?;
         let mut order: Vec<GroupKey> = Vec::new();
         let mut groups: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
         for mut partial in partials {
+            sink.fold_morsel(&partial.metrics);
             for key in partial.order.drain(..) {
                 let accs = partial
                     .groups
@@ -256,6 +278,12 @@ pub fn parallel_hash_aggregate(
                 }
             }
         }
+        // Distinct groups of the *merged* table — identical to the
+        // serial operator's count, unlike per-morsel sums (a group
+        // spanning k morsels appears k times in those).
+        sink.add_hash_entries(order.len() as u64);
+        sink.record_build(build_timer);
+        let probe_timer = sink.start_timer();
         let mut out = Vec::with_capacity(order.len());
         for key in order {
             let accs = groups
@@ -265,6 +293,7 @@ pub fn parallel_hash_aggregate(
             row.extend(accs.iter().map(Accumulator::finish));
             out.push(row);
         }
+        sink.record_probe(probe_timer);
         Ok(out)
     })();
     guard.release_memory(charged.load(Ordering::Relaxed));
@@ -298,20 +327,23 @@ pub fn parallel_hash_join(
     residual: &Option<BoundExpr>,
     guard: &ResourceGuard,
     threads: NonZeroUsize,
+    sink: &MetricsSink,
 ) -> Result<Vec<Vec<Value>>> {
     let parts = threads.get();
     let charged = AtomicU64::new(0);
     let result = (|| -> Result<Vec<Vec<Value>>> {
         // Phase 1: partition the build side, morsel by morsel.
+        let build_timer = sink.start_timer();
         let build_morsel = morsel_rows(right.len());
         let build_slots = run_morsels(
             right.len().div_ceil(build_morsel),
             threads.get(),
-            &|i| -> Result<Vec<Vec<(GroupKey, usize)>>> {
+            &|i| -> Result<BuildSlot> {
                 let start = i.saturating_mul(build_morsel);
                 let rows = morsel_slice(right, i, build_morsel)?;
                 let mut buckets: Vec<Vec<(GroupKey, usize)>> =
                     (0..parts).map(|_| Vec::new()).collect();
+                let mut metrics = MorselMetrics::default();
                 for (off, r) in rows.iter().enumerate() {
                     guard.tick()?;
                     let kv: Vec<Value> = keys
@@ -323,6 +355,8 @@ pub fn parallel_hash_join(
                     }
                     let entry_bytes = row_bytes(&kv) + std::mem::size_of::<usize>() as u64;
                     charged.fetch_add(entry_bytes, Ordering::Relaxed);
+                    metrics.hash_entries += 1;
+                    metrics.state_bytes += entry_bytes;
                     guard.charge_memory(entry_bytes)?;
                     let key = GroupKey(kv);
                     let p = partition_of(&key, parts);
@@ -330,16 +364,20 @@ pub fn parallel_hash_join(
                         bucket.push((key, start.saturating_add(off)));
                     }
                 }
-                Ok(buckets)
+                Ok((buckets, metrics))
             },
         );
         let per_morsel = collect_in_order(build_slots)?;
 
         // Transpose to per-partition inputs, preserving morsel order so
-        // each key's index list ends up in build-row order.
+        // each key's index list ends up in build-row order. Morsel order
+        // also makes the metrics fold deterministic (the counters are
+        // commutative sums, but the ordering rule keeps every fold path
+        // identical to the serial one by construction).
         let partition_inputs: Vec<Mutex<Vec<(GroupKey, usize)>>> =
             (0..parts).map(|_| Mutex::new(Vec::new())).collect();
-        for mut buckets in per_morsel {
+        for (mut buckets, metrics) in per_morsel {
+            sink.fold_morsel(&metrics);
             for (p, bucket) in buckets.drain(..).enumerate() {
                 if let Some(slot) = partition_inputs.get(p) {
                     lock(slot).extend(bucket);
@@ -361,8 +399,10 @@ pub fn parallel_hash_join(
             Ok(table)
         });
         let tables = collect_in_order(table_slots)?;
+        sink.record_build(build_timer);
 
         // Phase 3: fan probe morsels out; concatenate in morsel order.
+        let probe_timer = sink.start_timer();
         let probe_morsel = morsel_rows(left.len());
         let probe_slots = run_morsels(
             left.len().div_ceil(probe_morsel),
@@ -398,6 +438,7 @@ pub fn parallel_hash_join(
             },
         );
         let outputs = collect_in_order(probe_slots)?;
+        sink.record_probe(probe_timer);
         Ok(outputs.into_iter().flatten().collect())
     })();
     guard.release_memory(charged.load(Ordering::Relaxed));
@@ -415,6 +456,10 @@ mod tests {
 
     fn nz(n: usize) -> NonZeroUsize {
         NonZeroUsize::new(n).unwrap()
+    }
+
+    fn sk() -> MetricsSink {
+        MetricsSink::new()
     }
 
     fn schema() -> Schema {
@@ -476,7 +521,7 @@ mod tests {
         let guard = ResourceGuard::unlimited();
         for (n, groups) in [(0usize, 5i64), (1, 5), (37, 3), (200, 7), (1000, 50)] {
             let input = make_rows(n, groups, 0x5eed + n as u64);
-            let serial = hash_aggregate(&input, &group_exprs(), &agg_calls(), &guard).unwrap();
+            let serial = hash_aggregate(&input, &group_exprs(), &agg_calls(), &guard, &sk()).unwrap();
             for threads in [1usize, 2, 4, 8] {
                 let par = parallel_hash_aggregate(
                     &input,
@@ -484,6 +529,7 @@ mod tests {
                     &agg_calls(),
                     &guard,
                     nz(threads),
+                    &sk(),
                 )
                 .unwrap();
                 assert_eq!(par, serial, "n={n} threads={threads}: rows or order differ");
@@ -497,10 +543,10 @@ mod tests {
         let guard = ResourceGuard::unlimited();
         for n in [0usize, 3, 100, 999] {
             let input = make_rows(n, 4, 42);
-            let serial = hash_aggregate(&input, &[], &agg_calls(), &guard).unwrap();
+            let serial = hash_aggregate(&input, &[], &agg_calls(), &guard, &sk()).unwrap();
             for threads in [1usize, 3, 8] {
                 let par =
-                    parallel_hash_aggregate(&input, &[], &agg_calls(), &guard, nz(threads))
+                    parallel_hash_aggregate(&input, &[], &agg_calls(), &guard, nz(threads), &sk())
                         .unwrap();
                 assert_eq!(par, serial, "n={n} threads={threads}");
                 assert_eq!(par.len(), 1, "scalar aggregate is always one row");
@@ -515,10 +561,10 @@ mod tests {
         for (nl, nr) in [(0usize, 10usize), (10, 0), (57, 23), (500, 100), (1000, 400)] {
             let left = make_rows(nl, 20, 7);
             let right = make_rows(nr, 20, 8);
-            let serial = hash_join(&left, &right, &keys, &None, &guard).unwrap();
+            let serial = hash_join(&left, &right, &keys, &None, &guard, &sk()).unwrap();
             for threads in [1usize, 2, 4, 8] {
                 let par =
-                    parallel_hash_join(&left, &right, &keys, &None, &guard, nz(threads))
+                    parallel_hash_join(&left, &right, &keys, &None, &guard, nz(threads), &sk())
                         .unwrap();
                 assert_eq!(
                     par, serial,
@@ -551,11 +597,11 @@ mod tests {
             AggregateFunction::Sum,
             Expr::bare("v"),
         ))];
-        let serial = hash_aggregate(&input, &group_exprs(), &sum, &guard).unwrap_err();
+        let serial = hash_aggregate(&input, &group_exprs(), &sum, &guard, &sk()).unwrap_err();
         for threads in [1usize, 2, 4, 8] {
             for _ in 0..4 {
                 let err =
-                    parallel_hash_aggregate(&input, &group_exprs(), &sum, &guard, nz(threads))
+                    parallel_hash_aggregate(&input, &group_exprs(), &sum, &guard, nz(threads), &sk())
                         .unwrap_err();
                 assert_eq!(err.kind(), serial.kind(), "threads={threads}");
                 assert_eq!(err.message(), serial.message(), "threads={threads}");
@@ -580,7 +626,7 @@ mod tests {
                 max_memory_bytes: Some(4096),
                 ..ResourceLimits::default()
             });
-            let err = parallel_hash_aggregate(&input, &group_exprs(), &sum, &guard, nz(threads))
+            let err = parallel_hash_aggregate(&input, &group_exprs(), &sum, &guard, nz(threads), &sk())
                 .unwrap_err();
             assert_eq!(err.kind(), "resource", "threads={threads}");
             assert_eq!(err.message(), "memory budget exceeded");
@@ -603,6 +649,49 @@ mod tests {
         let err = collect_in_order(slots).unwrap_err();
         assert_eq!(err.kind(), "internal");
         assert!(err.message().contains("panicked"), "{err}");
+    }
+
+    #[test]
+    fn parallel_metrics_counters_match_serial() {
+        let guard = ResourceGuard::unlimited();
+        // Aggregation: merged distinct group count matches the serial
+        // table exactly at every thread count. (state_bytes may differ:
+        // groups spanning morsels are charged once per morsel.)
+        let input = make_rows(500, 9, 0xabc);
+        let serial_sink = sk();
+        hash_aggregate(&input, &group_exprs(), &agg_calls(), &guard, &serial_sink).unwrap();
+        let serial = serial_sink.finish(0, 0);
+        assert!(serial.hash_entries > 0);
+        for threads in [1usize, 2, 4, 8] {
+            let sink = sk();
+            parallel_hash_aggregate(
+                &input,
+                &group_exprs(),
+                &agg_calls(),
+                &guard,
+                nz(threads),
+                &sink,
+            )
+            .unwrap();
+            let par = sink.finish(0, 0);
+            assert_eq!(par.hash_entries, serial.hash_entries, "threads={threads}");
+        }
+        // Join: build entries (non-NULL build rows) and state bytes both
+        // match serial, since both charge per build row.
+        let left = make_rows(400, 20, 1);
+        let right = make_rows(150, 20, 2);
+        let keys = [EquiKey { left: 0, right: 0 }];
+        let serial_sink = sk();
+        hash_join(&left, &right, &keys, &None, &guard, &serial_sink).unwrap();
+        let serial = serial_sink.finish(0, 0);
+        assert!(serial.hash_entries > 0);
+        for threads in [1usize, 2, 4, 8] {
+            let sink = sk();
+            parallel_hash_join(&left, &right, &keys, &None, &guard, nz(threads), &sink).unwrap();
+            let par = sink.finish(0, 0);
+            assert_eq!(par.hash_entries, serial.hash_entries, "threads={threads}");
+            assert_eq!(par.state_bytes, serial.state_bytes, "threads={threads}");
+        }
     }
 
     #[test]

@@ -5,6 +5,8 @@ use std::fmt;
 
 use gbj_types::{GroupKey, Schema, Value};
 
+use crate::metrics::OperatorMetrics;
+
 /// A materialised query result: a schema plus a multiset of rows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultSet {
@@ -166,12 +168,16 @@ pub struct ProfileNode {
     pub operator: String,
     /// Rows this operator produced.
     pub rows_out: usize,
+    /// Counters and timings recorded while the operator ran (all zero
+    /// when metrics collection is disabled).
+    pub metrics: OperatorMetrics,
     /// Child profiles.
     pub children: Vec<ProfileNode>,
 }
 
 impl ProfileNode {
-    /// Create a leaf/parent node.
+    /// Create a leaf/parent node (with zeroed metrics; see
+    /// [`ProfileNode::with_metrics`]).
     #[must_use]
     pub fn new(
         label: impl Into<String>,
@@ -183,8 +189,16 @@ impl ProfileNode {
             label: label.into(),
             operator: operator.into(),
             rows_out,
+            metrics: OperatorMetrics::default(),
             children,
         }
+    }
+
+    /// Attach recorded metrics to the node.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: OperatorMetrics) -> ProfileNode {
+        self.metrics = metrics;
+        self
     }
 
     /// Sum of rows flowing *into* the operator (children's outputs).
@@ -222,6 +236,55 @@ impl ProfileNode {
         ));
         for c in &self.children {
             c.fmt_tree(depth + 1, out);
+        }
+    }
+
+    /// Render as an indented tree with the full per-operator metrics
+    /// (counters, state bytes, build/probe timings).
+    #[must_use]
+    pub fn display_tree_with_metrics(&self) -> String {
+        let mut out = String::new();
+        self.fmt_tree_metrics(0, &mut out);
+        out
+    }
+
+    fn fmt_tree_metrics(&self, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let m = &self.metrics;
+        out.push_str(&format!(
+            "{} [{}] rows={} in={} batches={} hash={} state={}B build={}ns probe={}ns\n",
+            self.label,
+            self.operator,
+            self.rows_out,
+            m.rows_in,
+            m.batches,
+            m.hash_entries,
+            m.state_bytes,
+            m.build_ns,
+            m.probe_ns,
+        ));
+        for c in &self.children {
+            c.fmt_tree_metrics(depth + 1, out);
+        }
+    }
+
+    /// The thread-count-invariant counters of the whole tree, pre-order:
+    /// `(label, [rows_in, rows_out, batches, hash_entries])` per node.
+    /// Byte-identical at every thread count for the same input (operator
+    /// *names* are excluded — the parallel variants rename themselves).
+    #[must_use]
+    pub fn counter_fingerprint(&self) -> Vec<(String, [u64; 4])> {
+        let mut out = Vec::new();
+        self.collect_fingerprint(&mut out);
+        out
+    }
+
+    fn collect_fingerprint(&self, out: &mut Vec<(String, [u64; 4])>) {
+        out.push((self.label.clone(), self.metrics.fingerprint()));
+        for c in &self.children {
+            c.collect_fingerprint(out);
         }
     }
 }
@@ -330,5 +393,39 @@ mod tests {
         let text = root.display_tree();
         assert!(text.contains("Filter x [Filter] rows=40"));
         assert!(text.contains("  Scan E [Scan] rows=100"));
+    }
+
+    #[test]
+    fn fingerprint_walks_pre_order_and_skips_timings() {
+        let leaf = ProfileNode::new("Scan E", "Scan", 100, vec![]).with_metrics(
+            OperatorMetrics {
+                rows_in: 0,
+                rows_out: 100,
+                batches: 2,
+                hash_entries: 0,
+                build_ns: 12345, // excluded from the fingerprint
+                probe_ns: 678,
+                state_bytes: 4096,
+            },
+        );
+        let root = ProfileNode::new("Agg g", "HashAggregate", 7, vec![leaf]).with_metrics(
+            OperatorMetrics {
+                rows_in: 100,
+                rows_out: 7,
+                batches: 1,
+                hash_entries: 7,
+                ..OperatorMetrics::default()
+            },
+        );
+        assert_eq!(
+            root.counter_fingerprint(),
+            vec![
+                ("Agg g".to_string(), [100, 7, 1, 7]),
+                ("Scan E".to_string(), [0, 100, 2, 0]),
+            ]
+        );
+        let text = root.display_tree_with_metrics();
+        assert!(text.contains("Agg g [HashAggregate] rows=7 in=100 batches=1 hash=7"));
+        assert!(text.contains("build=12345ns"));
     }
 }

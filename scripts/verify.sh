@@ -9,12 +9,23 @@
 #
 # The GBJ_TEST_THREADS=4 pass re-runs the whole suite with the engine
 # defaulting to 4 worker threads, pushing every engine-level test
-# through the parallel hash join / hash aggregate operators.
+# through the parallel hash join / hash aggregate operators — the
+# observability suites (estimator_accuracy, explain_golden,
+# parallel_differential) run in both passes, so metrics counters and
+# EXPLAIN ANALYZE output are checked serial and parallel.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q --workspace
 GBJ_TEST_THREADS=4 cargo test -q --workspace
+# Explicit 1- and 4-thread passes over the observability suites (cheap,
+# and keeps them covered even if the workspace matrix above changes).
+for t in 1 4; do
+  GBJ_TEST_THREADS=$t cargo test -q \
+    --test estimator_accuracy --test explain_golden --test parallel_differential
+done
+# Smoke the estimate-vs-actual audit sweep (JSON to stdout).
+cargo run --release -q -p gbj-bench --bin cardinality_audit > /dev/null
 cargo clippy --all-targets
 echo "verify: OK"

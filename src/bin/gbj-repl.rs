@@ -12,6 +12,8 @@
 //! * `\tables` — list tables and views
 //! * `\policy cost|eager|lazy` — set the pushdown policy
 //! * `\threads n` — set the executor worker-thread count
+//! * `\metrics` — timings, estimate-vs-actual audit and operator
+//!   counters of the most recent query
 //! * `\help` — this text
 
 use std::io::{BufRead, Write};
@@ -47,9 +49,14 @@ fn handle_meta(db: &mut Database, line: &str) -> bool {
             println!(
                 "statements end with ';'. SELECT / INSERT / UPDATE / DELETE / \
                  CREATE TABLE|DOMAIN|VIEW|ASSERTION / DROP / EXPLAIN [ANALYZE].\n\
-                 \\q quit | \\tables list | \\policy cost|eager|lazy | \\threads n"
+                 \\q quit | \\tables list | \\policy cost|eager|lazy | \\threads n | \
+                 \\metrics last-query metrics"
             );
         }
+        Some("\\metrics") => match db.last_query_metrics() {
+            Some(m) => print!("{}", m.render()),
+            None => println!("no query has run yet"),
+        },
         Some("\\tables") => {
             for t in db.catalog().tables() {
                 println!("table {} ({} columns)", t.name, t.columns.len());

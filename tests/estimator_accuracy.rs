@@ -1,0 +1,195 @@
+//! Estimator-accuracy suite: Q-error bounds for the System-R style
+//! cardinality estimator over seeded datagen instances.
+//!
+//! Every query runs through [`Database::last_query_metrics`], which
+//! zips the estimator's per-node predictions onto the measured profile
+//! (`audit_nodes`). The assertions bound the **max** and **median**
+//! per-node Q-error — `max(est, actual) / min(est, actual)`, ≥ 1 —
+//! rather than pinning exact estimates, so legitimate estimator
+//! refinements don't churn this file. The bounds are tight where the
+//! model is exact (scans, uniform keys) and explicitly loose where its
+//! independence/uniformity assumptions are violated on purpose (fan-in
+//! mismatch, selective joins).
+//!
+//! The `cardinality_audit` bench bin regenerates the raw data behind
+//! these bounds; rerun it after touching `gbj_engine::stats`.
+
+use gbj::datagen::{EmpDeptConfig, SweepConfig};
+use gbj::engine::{max_q, median_q, NodeAudit, PushdownPolicy};
+use gbj::Database;
+
+/// Run `sql` on `db` under `policy` and return the per-node audit.
+fn audits_for(db: &mut Database, sql: &str, policy: PushdownPolicy) -> Vec<NodeAudit> {
+    db.options_mut().policy = policy;
+    db.query(sql).expect("query runs");
+    db.last_query_metrics().expect("metrics recorded").audits()
+}
+
+/// Scans have exact table cardinalities in the catalog, so their
+/// estimates must be perfect on every workload and policy.
+#[test]
+fn scan_estimates_are_exact() {
+    let cfg = SweepConfig::default();
+    let mut db = cfg.build().expect("build");
+    for policy in [
+        PushdownPolicy::Never,
+        PushdownPolicy::Always,
+        PushdownPolicy::CostBased,
+    ] {
+        for a in audits_for(&mut db, cfg.query(), policy) {
+            if a.operator == "Scan" {
+                assert_eq!(a.q_error, 1.0, "{policy:?}: scan {} must be exact", a.label);
+            }
+        }
+    }
+}
+
+/// Join fan-in sweep (`fact_rows / groups`). The lazy plan groups on
+/// `D.DimId` *after* the join, so the estimator's NDV-based group count
+/// (the 1000 dimension keys) overshoots by exactly the unused-key
+/// factor `dim_rows / groups`; everything else is exact. The eager
+/// plan groups on `F.DimId`, whose NDV matches, and stays perfect.
+#[test]
+fn join_fan_in_q_error_is_bounded_by_the_unused_key_factor() {
+    for groups in [10usize, 100, 1000] {
+        let cfg = SweepConfig {
+            fact_rows: 10_000,
+            dim_rows: 1000,
+            groups,
+            match_fraction: 1.0,
+            skew: 0.0,
+        };
+        let mut db = cfg.build().expect("build");
+
+        let lazy = audits_for(&mut db, cfg.query(), PushdownPolicy::Never);
+        let bound = (1000.0 / groups as f64).max(1.0) * 1.01;
+        assert!(
+            max_q(&lazy) <= bound,
+            "groups={groups}: lazy max q {} exceeds {bound}",
+            max_q(&lazy)
+        );
+        assert!(
+            median_q(&lazy) <= 1.01,
+            "groups={groups}: most lazy nodes must stay exact, median {}",
+            median_q(&lazy)
+        );
+
+        let eager = audits_for(&mut db, cfg.query(), PushdownPolicy::CostBased);
+        assert!(
+            max_q(&eager) <= 1.01,
+            "groups={groups}: eager plan should estimate exactly, max q {}",
+            max_q(&eager)
+        );
+    }
+}
+
+/// Selectivity sweep: only `match_fraction` of fact keys exist in
+/// `Dim`, but the estimator's `1 / max(ndv)` equi-join rule assumes
+/// full containment — so the join (and the nodes above it) are over-
+/// estimated by exactly `1 / match_fraction`, and no more.
+#[test]
+fn join_selectivity_q_error_is_bounded_by_the_match_fraction() {
+    for match_fraction in [0.01f64, 0.1, 0.5, 1.0] {
+        let cfg = SweepConfig {
+            fact_rows: 10_000,
+            dim_rows: 100,
+            groups: 100,
+            match_fraction,
+            skew: 0.0,
+        };
+        let mut db = cfg.build().expect("build");
+        let audits = audits_for(&mut db, cfg.query(), PushdownPolicy::Never);
+        let bound = (1.0 / match_fraction) * 1.01;
+        assert!(
+            max_q(&audits) <= bound,
+            "match={match_fraction}: max q {} exceeds {bound}",
+            max_q(&audits)
+        );
+        assert!(
+            median_q(&audits) <= 1.01,
+            "match={match_fraction}: median q {} drifted",
+            median_q(&audits)
+        );
+        let join = audits
+            .iter()
+            .find(|a| a.operator.contains("Join"))
+            .expect("join node in audit");
+        assert!(
+            join.q_error <= bound,
+            "match={match_fraction}: join q {} exceeds {bound}",
+            join.q_error
+        );
+    }
+}
+
+/// Zipf-skewed key frequencies don't move *cardinality* estimates: the
+/// distinct-key count is unchanged, so estimates stay exact even though
+/// per-group row counts vary wildly.
+#[test]
+fn key_skew_does_not_degrade_cardinality_estimates() {
+    for skew in [0.0f64, 1.5] {
+        let cfg = SweepConfig {
+            fact_rows: 10_000,
+            dim_rows: 100,
+            groups: 100,
+            match_fraction: 1.0,
+            skew,
+        };
+        let mut db = cfg.build().expect("build");
+        let audits = audits_for(&mut db, cfg.query(), PushdownPolicy::Never);
+        assert!(
+            max_q(&audits) <= 1.01,
+            "skew={skew}: max q {} should be exact",
+            max_q(&audits)
+        );
+    }
+}
+
+/// NULL-flipped group keys (Example 1 with a NULL `DeptID` fraction):
+/// NULL forms its own group in the eager aggregate but never survives
+/// the join, so the estimator may be off by at most that one group on
+/// the post-join nodes.
+#[test]
+fn null_group_keys_cost_at_most_one_group_of_error() {
+    for null_fraction in [0.0f64, 0.3, 0.9] {
+        let cfg = EmpDeptConfig {
+            employees: 5000,
+            departments: 50,
+            null_dept_fraction: null_fraction,
+            seed: 42,
+        };
+        let mut db = cfg.build().expect("build");
+        let audits = audits_for(&mut db, cfg.query(), PushdownPolicy::CostBased);
+        // 50 departments; one spurious NULL group ⇒ q ≤ 51/50 = 1.02.
+        assert!(
+            max_q(&audits) <= 1.05,
+            "null_frac={null_fraction}: max q {} exceeds one-group slack",
+            max_q(&audits)
+        );
+        assert!(
+            median_q(&audits) <= 1.01,
+            "null_frac={null_fraction}: median q {} drifted",
+            median_q(&audits)
+        );
+    }
+}
+
+/// The audit itself is well-formed on every workload: one record per
+/// plan node, every Q-error ≥ 1, actual row counts populated from the
+/// metrics layer (not defaulted to zero).
+#[test]
+fn audits_are_well_formed() {
+    let cfg = SweepConfig::default();
+    let mut db = cfg.build().expect("build");
+    let audits = audits_for(&mut db, cfg.query(), PushdownPolicy::CostBased);
+    assert!(audits.len() >= 4, "expected a multi-node plan");
+    for a in &audits {
+        assert!(a.q_error >= 1.0, "{}: q below floor", a.label);
+        assert!(a.estimated >= 0.0, "{}: negative estimate", a.label);
+    }
+    assert!(
+        audits.iter().any(|a| a.actual > 0),
+        "actuals must be populated"
+    );
+    assert!(audits[0].depth == 0 && audits.iter().skip(1).all(|a| a.depth >= 1));
+}

@@ -1,0 +1,130 @@
+//! Golden-shape tests for `EXPLAIN` and `EXPLAIN ANALYZE` output.
+//!
+//! These don't pin full byte-for-byte goldens (timings vary run to
+//! run); they pin the *shape*: every plan node appears, the
+//! estimate-vs-actual columns are present on every audit line,
+//! planning and execution time are separate labeled lines, and the
+//! entire output is stable across repeated runs once the timing lines
+//! are stripped.
+
+use gbj::datagen::EmpDeptConfig;
+use gbj::engine::{PushdownPolicy, QueryOutput};
+use gbj::Database;
+
+fn build() -> (Database, &'static str) {
+    let cfg = EmpDeptConfig {
+        employees: 500,
+        departments: 10,
+        null_dept_fraction: 0.1,
+        seed: 7,
+    };
+    (cfg.build().expect("build"), cfg.query())
+}
+
+fn explain_text(db: &mut Database, sql: &str) -> String {
+    match db.execute(sql).expect("explain runs") {
+        QueryOutput::Explain(text) => text,
+        other => panic!("expected Explain output, got {other:?}"),
+    }
+}
+
+/// Drop the lines whose content legitimately varies between runs —
+/// everything else must be reproducible.
+fn stable_lines(text: &str) -> Vec<&str> {
+    text.lines()
+        .filter(|l| !l.starts_with("planning time:") && !l.starts_with("execution time:"))
+        .collect()
+}
+
+/// Plain `EXPLAIN`: the report carries the choice, the cost
+/// comparison, the TestFD trace and both candidate plans — and every
+/// node of the chosen plan shows up in the plan tree.
+#[test]
+fn explain_shows_choice_costs_and_every_plan_node() {
+    let (mut db, sql) = build();
+    db.options_mut().policy = PushdownPolicy::CostBased;
+    let text = explain_text(&mut db, &format!("EXPLAIN {sql}"));
+    for needle in ["choice:", "reason:", "cost: lazy=", "TestFD:", "plan:"] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    for node in ["Scan Employee AS E", "Scan Department AS D", "Aggregate", "Join"] {
+        assert!(text.contains(node), "missing plan node {node:?} in:\n{text}");
+    }
+    // EXPLAIN must not execute: no measured section.
+    assert!(!text.contains("actual rows:"), "EXPLAIN must not run the query");
+    assert!(!text.contains("estimate vs actual:"));
+}
+
+/// `EXPLAIN ANALYZE`: planning and execution time are separate labeled
+/// lines, and the estimate-vs-actual section carries est/actual/q
+/// columns for every node of the executed plan.
+#[test]
+fn explain_analyze_has_timing_lines_and_audit_columns() {
+    let (mut db, sql) = build();
+    db.options_mut().policy = PushdownPolicy::CostBased;
+    let text = explain_text(&mut db, &format!("EXPLAIN ANALYZE {sql}"));
+
+    let planning_lines = text.lines().filter(|l| l.starts_with("planning time:")).count();
+    let execution_lines = text.lines().filter(|l| l.starts_with("execution time:")).count();
+    assert_eq!(planning_lines, 1, "exactly one planning-time line:\n{text}");
+    assert_eq!(execution_lines, 1, "exactly one execution-time line:\n{text}");
+    assert!(text.contains("actual rows: 10"), "row count line in:\n{text}");
+    assert!(text.contains("peak memory: "), "peak memory line in:\n{text}");
+    assert!(text.contains("estimate vs actual:"), "audit header in:\n{text}");
+
+    // Every node the engine executed appears in the audit section with
+    // all three columns on its line. (The label alone also occurs in
+    // the plain plan tree above, so search from the section header on.)
+    let audit_start = text.find("estimate vs actual:").expect("audit header");
+    let audit_section = &text[audit_start..];
+    let metrics = db.last_query_metrics().expect("analyze records metrics");
+    let audits = metrics.audits();
+    assert!(!audits.is_empty());
+    for a in &audits {
+        let line = audit_section
+            .lines()
+            .find(|l| l.trim_start().starts_with(&a.label))
+            .unwrap_or_else(|| panic!("node {:?} missing from:\n{text}", a.label));
+        for col in ["est=", "actual=", "q="] {
+            assert!(line.contains(col), "line {line:?} lacks {col}");
+        }
+    }
+}
+
+/// Modulo the two timing lines, `EXPLAIN ANALYZE` output is
+/// byte-identical across repeated runs — estimates, actuals, peak
+/// memory and tree shape are all deterministic.
+#[test]
+fn explain_analyze_is_stable_modulo_timings() {
+    let (mut db, sql) = build();
+    for policy in [PushdownPolicy::Never, PushdownPolicy::CostBased] {
+        db.options_mut().policy = policy;
+        let analyze = format!("EXPLAIN ANALYZE {sql}");
+        let first = explain_text(&mut db, &analyze);
+        for run in 0..3 {
+            let again = explain_text(&mut db, &analyze);
+            assert_eq!(
+                stable_lines(&first),
+                stable_lines(&again),
+                "{policy:?} run {run}: non-timing output drifted"
+            );
+        }
+    }
+}
+
+/// The lazy and eager plan shapes both audit cleanly: the section is
+/// present and each line is well-formed regardless of the plan chosen.
+#[test]
+fn both_plan_shapes_produce_audit_sections() {
+    let (mut db, sql) = build();
+    for policy in [PushdownPolicy::Never, PushdownPolicy::Always] {
+        db.options_mut().policy = policy;
+        let text = explain_text(&mut db, &format!("EXPLAIN ANALYZE {sql}"));
+        let audit_start = text
+            .find("estimate vs actual:")
+            .unwrap_or_else(|| panic!("{policy:?}: no audit section in:\n{text}"));
+        let audit = &text[audit_start..];
+        let nodes = audit.lines().skip(1).filter(|l| l.contains("est=")).count();
+        assert!(nodes >= 4, "{policy:?}: expected a multi-node audit:\n{audit}");
+    }
+}

@@ -282,3 +282,86 @@ fn mid_flight_errors_join_all_workers_and_stay_typed() {
         assert_eq!(outcome, serial, "threads={threads}");
     }
 }
+
+/// One run's counter fingerprint: the thread-count-invariant subset of
+/// every operator's metrics — `(label, [rows_in, rows_out, batches,
+/// hash_entries])` in pre-order — or the typed error if the run failed.
+fn fingerprint_at(
+    db: &mut Database,
+    threads: usize,
+    policy: PushdownPolicy,
+    sql: &str,
+) -> Result<Vec<(String, [u64; 4])>, String> {
+    db.set_threads(nz(threads));
+    db.options_mut().policy = policy;
+    if let Some(inj) = db.fault_injector() {
+        inj.reset();
+    }
+    match db.query(sql) {
+        Ok(_) => {
+            let metrics = db.last_query_metrics().expect("metrics recorded");
+            Ok(metrics.profile.counter_fingerprint())
+        }
+        Err(e) => Err(format!("{}: {}", e.kind(), e.message())),
+    }
+}
+
+/// The metrics layer's determinism promise: every operator counter in
+/// the fingerprint — rows in/out, batch counts, hash-table entries —
+/// is byte-identical at 1, 2, 4 and 8 threads, for both plan shapes,
+/// across the whole oracle query family. (Timings and transient state
+/// bytes are deliberately outside the fingerprint; see DESIGN.md §10.)
+#[test]
+fn metrics_counters_are_identical_at_every_thread_count() {
+    let mut rng = StdRng::seed_from_u64(0x9a11_0003);
+    for case in 0..12u64 {
+        let mut db = build_db(&mut rng);
+        for sql in QUERIES {
+            for policy in [PushdownPolicy::Never, PushdownPolicy::Always] {
+                let serial = fingerprint_at(&mut db, 1, policy, sql);
+                assert!(serial.is_ok(), "case {case}: clean run must succeed");
+                for threads in THREAD_COUNTS {
+                    let got = fingerprint_at(&mut db, threads, policy, sql);
+                    assert_eq!(
+                        got, serial,
+                        "case {case} threads={threads} policy={policy:?}: \
+                         counters drifted for {sql}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Counters stay thread-count-invariant under deterministic fault
+/// injection too: short batches and NULL flips perturb what the scan
+/// feeds every operator, but identically so at every thread count
+/// (scans are always serial). Failing seeds must yield the same typed
+/// error everywhere instead of a fingerprint.
+#[test]
+fn metrics_counters_are_thread_invariant_under_fault_seeds() {
+    let mut rng = StdRng::seed_from_u64(0x9a11_0004);
+    for case in 0..12u64 {
+        let mut db = build_db(&mut rng);
+        let config = FaultConfig {
+            seed: rng.gen_range(0u64..1 << 40),
+            fail_nth_batch: rng.gen_bool(0.3).then(|| rng.gen_range(0u64..6)),
+            batch_size: rng.gen_bool(0.7).then(|| rng.gen_range(1usize..5)),
+            null_flip_one_in: rng.gen_bool(0.7).then(|| rng.gen_range(1u64..6)),
+        };
+        db.set_fault_injector(Some(FaultInjector::new(config)));
+        for sql in [QUERIES[0], QUERIES[3], QUERIES[6], QUERIES[7]] {
+            for policy in [PushdownPolicy::Never, PushdownPolicy::Always] {
+                let serial = fingerprint_at(&mut db, 1, policy, sql);
+                for threads in THREAD_COUNTS {
+                    let got = fingerprint_at(&mut db, threads, policy, sql);
+                    assert_eq!(
+                        got, serial,
+                        "case {case} threads={threads} policy={policy:?} under \
+                         {config:?}: {sql}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -273,6 +273,11 @@ fn explain_analyze_shows_measured_rows() {
         .execute("EXPLAIN ANALYZE SELECT b, COUNT(*) FROM T GROUP BY b")
         .unwrap();
     let QueryOutput::Explain(text) = out else { panic!() };
-    assert!(text.contains("measured (2 rows in"), "{text}");
-    assert!(text.contains("rows=3"), "scan cardinality shown: {text}");
+    assert!(text.contains("planning time: "), "{text}");
+    assert!(text.contains("execution time: "), "{text}");
+    assert!(text.contains("actual rows: 2"), "{text}");
+    assert!(
+        text.contains("Scan T [Scan] est=3 actual=3"),
+        "scan cardinality shown: {text}"
+    );
 }
