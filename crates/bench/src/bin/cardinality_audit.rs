@@ -49,8 +49,20 @@ fn main() {
         };
         let mut db = cfg.build().expect("build sweep workload");
         let params = format!("fact_rows=10000 groups={groups} match=1.0");
-        audit_one(&mut db, "sweep_fan_in", &params, cfg.query(), PushdownPolicy::Never);
-        audit_one(&mut db, "sweep_fan_in", &params, cfg.query(), PushdownPolicy::CostBased);
+        audit_one(
+            &mut db,
+            "sweep_fan_in",
+            &params,
+            cfg.query(),
+            PushdownPolicy::Never,
+        );
+        audit_one(
+            &mut db,
+            "sweep_fan_in",
+            &params,
+            cfg.query(),
+            PushdownPolicy::CostBased,
+        );
     }
 
     // Selectivity sweep: the fraction of fact rows surviving the join.
@@ -64,7 +76,13 @@ fn main() {
         };
         let mut db = cfg.build().expect("build sweep workload");
         let params = format!("fact_rows=10000 groups=100 match={match_fraction}");
-        audit_one(&mut db, "sweep_selectivity", &params, cfg.query(), PushdownPolicy::Never);
+        audit_one(
+            &mut db,
+            "sweep_selectivity",
+            &params,
+            cfg.query(),
+            PushdownPolicy::Never,
+        );
     }
 
     // Skewed key distribution: uniform-frequency assumption stressed.
@@ -94,6 +112,12 @@ fn main() {
         };
         let mut db = cfg.build().expect("build emp/dept workload");
         let params = format!("employees=5000 departments=50 null_frac={null_fraction}");
-        audit_one(&mut db, "emp_dept", &params, cfg.query(), PushdownPolicy::CostBased);
+        audit_one(
+            &mut db,
+            "emp_dept",
+            &params,
+            cfg.query(),
+            PushdownPolicy::CostBased,
+        );
     }
 }

@@ -37,10 +37,9 @@ fn main() {
         let m = measure(&mut db, cfg.query(), PushdownPolicy::Never, 5).expect("measure");
         match &baseline {
             None => baseline = Some(m.rows.rows.clone()),
-            Some(expect) => assert_eq!(
-                &m.rows.rows, expect,
-                "results diverge at {threads} threads"
-            ),
+            Some(expect) => {
+                assert_eq!(&m.rows.rows, expect, "results diverge at {threads} threads")
+            }
         }
         let ms = m.time.as_secs_f64() * 1e3;
         if threads == 1 {

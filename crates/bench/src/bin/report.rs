@@ -193,9 +193,7 @@ fn x4_derived_dependencies() -> Vec<ExperimentRow> {
         Expr::col("P", "SupplierNo").eq(Expr::col("S", "SupplierNo")),
     ];
     let fds = ctx.fd_set(&atoms);
-    let trace = fds.closure_traced(
-        &[ColumnRef::qualified("P", "PartNo")].into_iter().collect(),
-    );
+    let trace = fds.closure_traced(&[ColumnRef::qualified("P", "PartNo")].into_iter().collect());
     println!("closure of {{P.PartNo}} under Example 2's conditions:\n{trace}");
 
     // On data: verify both derived dependencies hold in a generated
@@ -238,17 +236,30 @@ fn x5_constraint_ddl() -> Vec<ExperimentRow> {
              FOREIGN KEY (DeptID) REFERENCES Dept)",
     )
     .expect("figure 5 DDL parses and binds");
-    db.execute("INSERT INTO Dept VALUES (7, 'Eng')").expect("dept");
+    db.execute("INSERT INTO Dept VALUES (7, 'Eng')")
+        .expect("dept");
 
     let attempts = [
         ("INSERT INTO Employee VALUES (1, 10, 'ok', 'row', 7)", true),
-        ("INSERT INTO Employee VALUES (-1, 11, 'neg', 'id', 7)", false),
+        (
+            "INSERT INTO Employee VALUES (-1, 11, 'neg', 'id', 7)",
+            false,
+        ),
         ("INSERT INTO Employee VALUES (2, 12, NULL, 'nn', 7)", false),
-        ("INSERT INTO Employee VALUES (3, 10, 'dup', 'sid', 7)", false),
-        ("INSERT INTO Employee VALUES (4, 13, 'dom', 'hi', 150)", false),
+        (
+            "INSERT INTO Employee VALUES (3, 10, 'dup', 'sid', 7)",
+            false,
+        ),
+        (
+            "INSERT INTO Employee VALUES (4, 13, 'dom', 'hi', 150)",
+            false,
+        ),
         ("INSERT INTO Employee VALUES (5, 14, 'chk', 'lo', 3)", false),
         ("INSERT INTO Employee VALUES (6, 15, 'fk', 'no', 42)", false),
-        ("INSERT INTO Employee VALUES (7, NULL, 'nul', 'sid', NULL)", true),
+        (
+            "INSERT INTO Employee VALUES (7, NULL, 'nul', 'sid', NULL)",
+            true,
+        ),
     ];
     let mut ok = 0;
     let mut rejected = 0;

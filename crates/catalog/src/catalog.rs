@@ -64,9 +64,7 @@ impl Catalog {
         // Referential integrity targets must exist (self-references OK).
         for fk in table.foreign_keys() {
             if let crate::constraint::Constraint::ForeignKey { ref_table, .. } = fk {
-                if !ref_table.eq_ignore_ascii_case(&table.name)
-                    && self.table(ref_table).is_none()
-                {
+                if !ref_table.eq_ignore_ascii_case(&table.name) && self.table(ref_table).is_none() {
                     return Err(Error::Catalog(format!(
                         "foreign key on {} references unknown table {ref_table}",
                         table.name

@@ -99,7 +99,11 @@ impl fmt::Display for Constraint {
                 ref_table,
                 ref_columns,
             } => {
-                write!(f, "FOREIGN KEY ({}) REFERENCES {ref_table}", columns.join(", "))?;
+                write!(
+                    f,
+                    "FOREIGN KEY ({}) REFERENCES {ref_table}",
+                    columns.join(", ")
+                )?;
                 if !ref_columns.is_empty() {
                     write!(f, " ({})", ref_columns.join(", "))?;
                 }

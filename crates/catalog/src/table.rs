@@ -212,8 +212,7 @@ impl TableDef {
             self.columns
                 .iter()
                 .map(|c| {
-                    Field::new(c.name.clone(), c.data_type, c.nullable)
-                        .with_qualifier(qualifier)
+                    Field::new(c.name.clone(), c.data_type, c.nullable).with_qualifier(qualifier)
                 })
                 .collect(),
         )
@@ -336,12 +335,13 @@ mod tests {
 
     #[test]
     fn rejects_fk_arity_mismatch() {
-        let t = TableDef::new("T", vec![ColumnDef::new("a", DataType::Int64)])
-            .with_constraint(Constraint::ForeignKey {
+        let t = TableDef::new("T", vec![ColumnDef::new("a", DataType::Int64)]).with_constraint(
+            Constraint::ForeignKey {
                 columns: vec!["a".into()],
                 ref_table: "U".into(),
                 ref_columns: vec!["x".into(), "y".into()],
-            });
+            },
+        );
         assert!(t.validate().is_err());
     }
 

@@ -222,8 +222,7 @@ mod tests {
 
     /// §7: the group-by input may move either way.
     #[test]
-    fn group_input_can_increase_or_decrease()
-    {
+    fn group_input_can_increase_or_decrease() {
         let m = CostModel::default();
         let f1 = figure1_stats();
         // Figure 1: both see 10000 rows (tie).

@@ -56,7 +56,7 @@ pub mod transform;
 
 pub use cost::{CostModel, PlanCost, Stats};
 pub use partition::{Partition, PartitionError};
-pub use substitute::substitution_candidates;
 pub use reverse::{reverse_transform, ReverseOutcome};
+pub use substitute::substitution_candidates;
 pub use testfd::{DisjunctTrace, TestFdOutcome, TestFdTrace};
 pub use transform::{eager_aggregate, EagerOutcome, TransformOptions};

@@ -107,9 +107,7 @@ impl Partition {
         }
         for rel in &block.relations {
             if rel.is_derived() {
-                return Err(PartitionError::DerivedRelation(
-                    rel.qualifier().to_string(),
-                ));
+                return Err(PartitionError::DerivedRelation(rel.qualifier().to_string()));
             }
         }
         let all = block.qualifiers();
@@ -134,9 +132,8 @@ impl Partition {
         // Split the predicate.
         let parts = match block.predicate_expr() {
             None => PredicateParts::default(),
-            Some(pred) => classify_conjuncts(&pred, &r1_qualifiers, &r2).ok_or_else(|| {
-                PartitionError::UnattributableColumn(pred.to_string())
-            })?,
+            Some(pred) => classify_conjuncts(&pred, &r1_qualifiers, &r2)
+                .ok_or_else(|| PartitionError::UnattributableColumn(pred.to_string()))?,
         };
         // Split the grouping columns.
         let mut ga1 = BTreeSet::new();
@@ -212,9 +209,7 @@ impl Partition {
                 Some(t) => {
                     r1.insert(t.clone());
                 }
-                None => {
-                    return Err(PartitionError::UnattributableColumn(col.to_string()))
-                }
+                None => return Err(PartitionError::UnattributableColumn(col.to_string())),
             }
         }
         Ok(r1)
@@ -295,8 +290,18 @@ impl fmt::Display for Partition {
                 .collect::<Vec<_>>()
                 .join(", ")
         };
-        writeln!(f, "R1 = {{{}}}, R2 = {{{}}}", fmt_q(&self.r1), fmt_q(&self.r2))?;
-        writeln!(f, "GA1 = {{{}}}, GA2 = {{{}}}", fmt_c(&self.ga1), fmt_c(&self.ga2))?;
+        writeln!(
+            f,
+            "R1 = {{{}}}, R2 = {{{}}}",
+            fmt_q(&self.r1),
+            fmt_q(&self.r2)
+        )?;
+        writeln!(
+            f,
+            "GA1 = {{{}}}, GA2 = {{{}}}",
+            fmt_c(&self.ga1),
+            fmt_c(&self.ga2)
+        )?;
         writeln!(
             f,
             "GA1+ = {{{}}}, GA2+ = {{{}}}",
@@ -464,14 +469,18 @@ mod tests {
         let mut b = example3_block();
         b.aggregates.clear();
         b.select.retain(|s| matches!(s, SelectItem::Column { .. }));
-        assert_eq!(Partition::minimal(&b).unwrap_err(), PartitionError::NoAggregates);
+        assert_eq!(
+            Partition::minimal(&b).unwrap_err(),
+            PartitionError::NoAggregates
+        );
     }
 
     #[test]
     fn no_group_by_refused() {
         let mut b = example3_block();
         b.group_by.clear();
-        b.select.retain(|s| matches!(s, SelectItem::Aggregate { .. }));
+        b.select
+            .retain(|s| matches!(s, SelectItem::Aggregate { .. }));
         assert!(matches!(
             Partition::minimal(&b),
             Err(PartitionError::NoGroupBy)
@@ -513,10 +522,7 @@ mod tests {
     #[test]
     fn explicit_partition_moves_relations() {
         let b = example3_block();
-        let p = Partition::with_r1(
-            &b,
-            ["A", "P", "U"].iter().map(|s| s.to_string()).collect(),
-        );
+        let p = Partition::with_r1(&b, ["A", "P", "U"].iter().map(|s| s.to_string()).collect());
         // Moving U to R1 empties R2.
         assert_eq!(p.unwrap_err(), PartitionError::AllRelationsAggregate);
     }
@@ -545,7 +551,10 @@ mod tests {
             },
             SelectItem::Aggregate { index: 0 },
         ];
-        assert_eq!(Partition::minimal(&b).unwrap_err(), PartitionError::EmptyGa1Plus);
+        assert_eq!(
+            Partition::minimal(&b).unwrap_err(),
+            PartitionError::EmptyGa1Plus
+        );
 
         // Group only by R1 columns, no join predicate: GA2+ empty.
         let mut b = example3_block();
@@ -558,7 +567,10 @@ mod tests {
             },
             SelectItem::Aggregate { index: 0 },
         ];
-        assert_eq!(Partition::minimal(&b).unwrap_err(), PartitionError::EmptyGa2Plus);
+        assert_eq!(
+            Partition::minimal(&b).unwrap_err(),
+            PartitionError::EmptyGa2Plus
+        );
     }
 
     #[test]

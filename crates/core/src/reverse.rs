@@ -74,10 +74,7 @@ fn not_applicable(reason: impl Into<String>) -> ReverseOutcome {
 ///
 /// `fd_ctx` must register the view's inner relations *and* the outer
 /// base relations under their qualifiers.
-pub fn reverse_transform(
-    outer: &QueryBlock,
-    fd_ctx: &FdContext,
-) -> Result<ReverseOutcome> {
+pub fn reverse_transform(outer: &QueryBlock, fd_ctx: &FdContext) -> Result<ReverseOutcome> {
     outer.validate()?;
     if outer.is_aggregating() {
         return Ok(not_applicable("outer query aggregates itself"));
@@ -197,27 +194,21 @@ pub fn reverse_transform(
     let mut merged_select: Vec<SelectItem> = Vec::new();
     for item in &outer.select {
         match item {
-            SelectItem::Column { col, alias } if is_view_col(col) => {
-                match lookup(&col.column) {
-                    Some(ViewOutput::Column(base)) => {
-                        if !merged_group_by.contains(&base) {
-                            merged_group_by.push(base.clone());
-                        }
-                        merged_select.push(SelectItem::Column {
-                            col: base,
-                            alias: alias.clone(),
-                        });
+            SelectItem::Column { col, alias } if is_view_col(col) => match lookup(&col.column) {
+                Some(ViewOutput::Column(base)) => {
+                    if !merged_group_by.contains(&base) {
+                        merged_group_by.push(base.clone());
                     }
-                    Some(ViewOutput::Aggregate(index)) => {
-                        merged_select.push(SelectItem::Aggregate { index });
-                    }
-                    None => {
-                        return Err(Error::Bind(format!(
-                            "unknown view output {col}"
-                        )))
-                    }
+                    merged_select.push(SelectItem::Column {
+                        col: base,
+                        alias: alias.clone(),
+                    });
                 }
-            }
+                Some(ViewOutput::Aggregate(index)) => {
+                    merged_select.push(SelectItem::Aggregate { index });
+                }
+                None => return Err(Error::Bind(format!("unknown view output {col}"))),
+            },
             SelectItem::Column { col, alias } => {
                 if !merged_group_by.contains(col) {
                     merged_group_by.push(col.clone());
@@ -280,9 +271,7 @@ pub fn reverse_transform(
     let constraints = constraint_conjuncts(fd_ctx);
     let outcome = test_fd(&partition, fd_ctx, &constraints);
     if !outcome.valid {
-        return Ok(not_applicable(
-            "TestFD could not prove the unfolding valid",
-        ));
+        return Ok(not_applicable("TestFD could not prove the unfolding valid"));
     }
     Ok(ReverseOutcome::Unfolded {
         block: merged,
@@ -496,9 +485,9 @@ mod tests {
     #[test]
     fn predicate_on_aggregate_output_blocks_unfolding() {
         let mut outer = example5_outer();
-        outer.predicate.push(
-            Expr::col("I", "TotUsage").binary(gbj_expr::BinaryOp::Gt, Expr::lit(10i64)),
-        );
+        outer
+            .predicate
+            .push(Expr::col("I", "TotUsage").binary(gbj_expr::BinaryOp::Gt, Expr::lit(10i64)));
         let out = reverse_transform(&outer, &example5_ctx()).unwrap();
         match out {
             ReverseOutcome::NotApplicable { reason } => {
@@ -540,8 +529,12 @@ mod tests {
             panic!("expected unfolding, got {out:?}");
         };
         // The merged grouping includes both view grouping columns.
-        assert!(block.group_by.contains(&ColumnRef::qualified("A", "UserId")));
-        assert!(block.group_by.contains(&ColumnRef::qualified("A", "Machine")));
+        assert!(block
+            .group_by
+            .contains(&ColumnRef::qualified("A", "UserId")));
+        assert!(block
+            .group_by
+            .contains(&ColumnRef::qualified("A", "Machine")));
     }
 
     #[test]

@@ -69,9 +69,8 @@ pub fn substitution_candidates(block: &QueryBlock) -> Vec<QueryBlock> {
     if classes.is_empty() {
         return vec![];
     }
-    let class_of = |c: &ColumnRef| -> Option<&Vec<ColumnRef>> {
-        classes.iter().find(|cls| cls.contains(c))
-    };
+    let class_of =
+        |c: &ColumnRef| -> Option<&Vec<ColumnRef>> { classes.iter().find(|cls| cls.contains(c)) };
 
     // For each aggregation column that has alternatives, list the
     // substitutions (original first).
@@ -79,8 +78,7 @@ pub fn substitution_candidates(block: &QueryBlock) -> Vec<QueryBlock> {
     let mut choices: Vec<(ColumnRef, Vec<ColumnRef>)> = Vec::new();
     for col in agg_cols {
         if let Some(cls) = class_of(&col) {
-            let alts: Vec<ColumnRef> =
-                cls.iter().filter(|c| **c != col).cloned().collect();
+            let alts: Vec<ColumnRef> = cls.iter().filter(|c| **c != col).cloned().collect();
             if !alts.is_empty() {
                 choices.push((col, alts));
             }
@@ -93,10 +91,7 @@ pub fn substitution_candidates(block: &QueryBlock) -> Vec<QueryBlock> {
     // Enumerate assignments (original or an alternative per column),
     // skipping the all-original assignment.
     let mut variants = Vec::new();
-    let total: usize = choices
-        .iter()
-        .map(|(_, alts)| alts.len() + 1)
-        .product();
+    let total: usize = choices.iter().map(|(_, alts)| alts.len() + 1).product();
     for idx in 1..total {
         if variants.len() >= MAX_VARIANTS {
             break;
@@ -117,9 +112,8 @@ pub fn substitution_candidates(block: &QueryBlock) -> Vec<QueryBlock> {
         let mut variant = block.clone();
         for (call, _) in &mut variant.aggregates {
             if let Some(arg) = &call.arg {
-                let substituted = arg.map_columns(&|c| {
-                    mapping.get(c).cloned().unwrap_or_else(|| c.clone())
-                });
+                let substituted =
+                    arg.map_columns(&|c| mapping.get(c).cloned().unwrap_or_else(|| c.clone()));
                 call.arg = Some(substituted);
             }
         }
@@ -217,8 +211,8 @@ mod tests {
     #[test]
     fn no_equalities_no_variants() {
         let mut b = block_with_r2_aggregate();
-        b.predicate = vec![Expr::col("E", "DeptID")
-            .binary(gbj_expr::BinaryOp::Lt, Expr::col("D", "DeptID"))];
+        b.predicate =
+            vec![Expr::col("E", "DeptID").binary(gbj_expr::BinaryOp::Lt, Expr::col("D", "DeptID"))];
         assert!(substitution_candidates(&b).is_empty());
         assert!(equality_classes(&b).is_empty());
     }

@@ -512,9 +512,8 @@ mod tests {
     #[test]
     fn non_equality_clauses_are_dropped_but_answer_stays_yes() {
         let mut b = example3_block();
-        b.predicate.push(
-            Expr::col("P", "Speed").binary(gbj_expr::BinaryOp::Gt, Expr::lit(100i64)),
-        );
+        b.predicate
+            .push(Expr::col("P", "Speed").binary(gbj_expr::BinaryOp::Gt, Expr::lit(100i64)));
         let p = Partition::minimal(&b).unwrap();
         let out = test_fd(&p, &example3_ctx(), &[]);
         assert!(out.valid);

@@ -100,7 +100,10 @@ pub fn assertion_conjuncts(ctx: &FdContext, assertions: &[Expr]) -> Vec<Expr> {
                     let from = table.clone();
                     let to = (*only).clone();
                     mapped = mapped.map_columns(&|r| {
-                        if r.table.as_deref().is_some_and(|t| t.eq_ignore_ascii_case(&from)) {
+                        if r.table
+                            .as_deref()
+                            .is_some_and(|t| t.eq_ignore_ascii_case(&from))
+                        {
                             ColumnRef::qualified(to.clone(), r.column.clone())
                         } else {
                             r.clone()

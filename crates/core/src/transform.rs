@@ -158,8 +158,7 @@ pub fn eager_aggregate(
         for partition in candidates {
             let outcome = test_fd(&partition, fd_ctx, &constraints);
             if outcome.valid {
-                let rewritten =
-                    build_e2(candidate_block, &partition, &options.derived_alias)?;
+                let rewritten = build_e2(candidate_block, &partition, &options.derived_alias)?;
                 return Ok(EagerOutcome::Rewritten {
                     block: rewritten,
                     partition,
@@ -205,10 +204,7 @@ fn build_e2(block: &QueryBlock, p: &Partition, derived_alias: &str) -> Result<Qu
     let mut used_names: Vec<String> = Vec::new();
     let mut unique = |base: String| -> String {
         let mut name = base;
-        while used_names
-            .iter()
-            .any(|n| n.eq_ignore_ascii_case(&name))
-        {
+        while used_names.iter().any(|n| n.eq_ignore_ascii_case(&name)) {
             name.push('_');
         }
         used_names.push(name.clone());
@@ -685,7 +681,10 @@ mod substitution_integration_tests {
 
         // With substitution: COUNT(D.DeptID) → COUNT(E.DeptID), R1 = {E}.
         let out = eager_aggregate(&b, &ctx, &TransformOptions::default()).unwrap();
-        let EagerOutcome::Rewritten { block, partition, .. } = out else {
+        let EagerOutcome::Rewritten {
+            block, partition, ..
+        } = out
+        else {
             panic!("substitution should enable the rewrite");
         };
         assert!(partition.r1.contains("E"));

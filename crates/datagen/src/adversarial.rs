@@ -85,7 +85,11 @@ impl AdversarialConfig {
                     let span = (self.a_groups - self.final_groups).max(1);
                     (self.final_groups + (i - self.join_rows) % span) as i64
                 };
-                vec![Value::Int(i as i64), Value::Int(k), Value::Int((i % 97) as i64)]
+                vec![
+                    Value::Int(i as i64),
+                    Value::Int(k),
+                    Value::Int((i % 97) as i64),
+                ]
             }),
         )?;
         Ok(db)

@@ -53,12 +53,8 @@ impl EmpDeptConfig {
         let mut rng = StdRng::seed_from_u64(self.seed);
         db.insert_rows(
             "Department",
-            (0..self.departments).map(|d| {
-                vec![
-                    Value::Int(d as i64),
-                    Value::str(format!("Department-{d}")),
-                ]
-            }),
+            (0..self.departments)
+                .map(|d| vec![Value::Int(d as i64), Value::str(format!("Department-{d}"))]),
         )?;
         db.insert_rows(
             "Employee",

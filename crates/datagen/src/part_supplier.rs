@@ -64,12 +64,11 @@ impl PartSupplierConfig {
             (0..self.parts).map(|p| {
                 let class = (p % self.classes) as i64;
                 let part_no = (p / self.classes) as i64;
-                let supplier =
-                    if rng.gen_bool(self.null_supplier_fraction.clamp(0.0, 1.0)) {
-                        Value::Null
-                    } else {
-                        Value::Int(rng.gen_range(0..self.suppliers as i64))
-                    };
+                let supplier = if rng.gen_bool(self.null_supplier_fraction.clamp(0.0, 1.0)) {
+                    Value::Null
+                } else {
+                    Value::Int(rng.gen_range(0..self.suppliers as i64))
+                };
                 vec![
                     Value::Int(class),
                     Value::Int(part_no),
@@ -121,8 +120,7 @@ mod tests {
         let db = cfg.build().unwrap();
         let rows = db.query(cfg.derived_table_query()).unwrap();
         assert!(!rows.is_empty());
-        let data: Vec<&[gbj_types::Value]> =
-            rows.rows.iter().map(Vec::as_slice).collect();
+        let data: Vec<&[gbj_types::Value]> = rows.rows.iter().map(Vec::as_slice).collect();
         // Columns: PartNo, PartName, SupplierNo, Name.
         assert!(
             fd_holds_in(data.iter().copied(), &[0], &[1, 2, 3]),

@@ -176,7 +176,13 @@ mod tests {
 
         db.options_mut().policy = PushdownPolicy::Always;
         let eager = db.query(cfg.example3_query()).unwrap();
-        assert_eq!(report.partition.as_deref().map(|p| p.contains("R1 = {A, P}")), Some(true));
+        assert_eq!(
+            report
+                .partition
+                .as_deref()
+                .map(|p| p.contains("R1 = {A, P}")),
+            Some(true)
+        );
         db.options_mut().policy = PushdownPolicy::Never;
         let lazy = db.query(cfg.example3_query()).unwrap();
         assert!(eager.multiset_eq(&lazy));

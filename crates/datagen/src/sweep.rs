@@ -102,9 +102,8 @@ impl SweepConfig {
         )?;
         db.insert_rows(
             "Dim",
-            (0..self.dim_rows).map(|d| {
-                vec![Value::Int(d as i64), Value::str(format!("cat{}", d % 17))]
-            }),
+            (0..self.dim_rows)
+                .map(|d| vec![Value::Int(d as i64), Value::str(format!("cat{}", d % 17))]),
         )?;
         let matched_keys = self.matched_keys();
         let unmatched_keys = self.groups - matched_keys;
@@ -168,8 +167,10 @@ mod tests {
         };
         let db = cfg.build().unwrap();
         let rows = db
-            .query("SELECT D.DimId, COUNT(F.FactId) FROM Fact F, Dim D \
-                    WHERE F.DimId = D.DimId GROUP BY D.DimId")
+            .query(
+                "SELECT D.DimId, COUNT(F.FactId) FROM Fact F, Dim D \
+                    WHERE F.DimId = D.DimId GROUP BY D.DimId",
+            )
             .unwrap();
         assert_eq!(rows.len(), 30);
         let total: i64 = rows
@@ -194,8 +195,10 @@ mod tests {
         };
         let db = cfg.build().unwrap();
         let rows = db
-            .query("SELECT D.DimId, COUNT(F.FactId) FROM Fact F, Dim D \
-                    WHERE F.DimId = D.DimId GROUP BY D.DimId")
+            .query(
+                "SELECT D.DimId, COUNT(F.FactId) FROM Fact F, Dim D \
+                    WHERE F.DimId = D.DimId GROUP BY D.DimId",
+            )
             .unwrap();
         let total: i64 = rows
             .rows
@@ -257,10 +260,7 @@ mod tests {
             let lazy = db.query(cfg.query()).unwrap();
             db.options_mut().policy = PushdownPolicy::Always;
             let eager = db.query(cfg.query()).unwrap();
-            assert!(
-                lazy.multiset_eq(&eager),
-                "groups={groups} frac={frac}"
-            );
+            assert!(lazy.multiset_eq(&eager), "groups={groups} frac={frac}");
         }
     }
 }

@@ -149,7 +149,12 @@ mod tests {
             "Agg",
             "HashAggregate",
             4,
-            vec![prof("Join", "HashJoin", 120, vec![prof("Scan E", "Scan", 1000, vec![])])],
+            vec![prof(
+                "Join",
+                "HashJoin",
+                120,
+                vec![prof("Scan E", "Scan", 1000, vec![])],
+            )],
         );
         let audits = audit_nodes(&e, &p);
         assert_eq!(audits.len(), 3);
@@ -164,7 +169,12 @@ mod tests {
     #[test]
     fn tree_rendering_is_deterministic_and_indented() {
         let e = est("Agg", 10.0, vec![est("Scan", 100.0, vec![])]);
-        let p = prof("Agg", "HashAggregate", 10, vec![prof("Scan", "Scan", 100, vec![])]);
+        let p = prof(
+            "Agg",
+            "HashAggregate",
+            10,
+            vec![prof("Scan", "Scan", 100, vec![])],
+        );
         let text = annotated_tree(&audit_nodes(&e, &p));
         assert_eq!(
             text,

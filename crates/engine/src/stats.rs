@@ -73,10 +73,7 @@ impl<'a> Estimator<'a> {
         let Some(data) = self.storage.table_data(table) else {
             return 1.0;
         };
-        let Ok(idx) = data
-            .schema()
-            .index_of(&ColumnRef::bare(column.to_string()))
-        else {
+        let Ok(idx) = data.schema().index_of(&ColumnRef::bare(column.to_string())) else {
             return 1.0;
         };
         let mut seen = HashSet::new();
@@ -91,10 +88,7 @@ impl<'a> Estimator<'a> {
     /// base table name.
     fn ndv_of(&self, col: &ColumnRef, tables: &[(String, String)]) -> f64 {
         let Some(q) = &col.table else { return 1.0 };
-        let Some((_, table)) = tables
-            .iter()
-            .find(|(qual, _)| qual.eq_ignore_ascii_case(q))
-        else {
+        let Some((_, table)) = tables.iter().find(|(qual, _)| qual.eq_ignore_ascii_case(q)) else {
             return 1.0;
         };
         self.column_ndv(table, &col.column)
@@ -103,9 +97,7 @@ impl<'a> Estimator<'a> {
     /// Selectivity of one conjunct.
     fn selectivity(&self, conjunct: &Expr, tables: &[(String, String)]) -> f64 {
         match AtomClass::of(conjunct) {
-            AtomClass::ColumnEqConstant(col, _) => {
-                1.0 / self.ndv_of(&col, tables).max(1.0)
-            }
+            AtomClass::ColumnEqConstant(col, _) => 1.0 / self.ndv_of(&col, tables).max(1.0),
             AtomClass::ColumnEqColumn(a, b) => {
                 1.0 / self
                     .ndv_of(&a, tables)
@@ -126,10 +118,7 @@ impl<'a> Estimator<'a> {
     ) -> f64 {
         let mut rows = 1.0;
         for q in qualifiers {
-            if let Some((_, table)) = tables
-                .iter()
-                .find(|(qual, _)| qual.eq_ignore_ascii_case(q))
-            {
+            if let Some((_, table)) = tables.iter().find(|(qual, _)| qual.eq_ignore_ascii_case(q)) {
                 rows *= self.table_rows(table).max(1.0);
             }
         }
@@ -541,9 +530,7 @@ mod tests {
         };
         let mut tables = Vec::new();
         super::collect_plan_tables(&plan, &mut tables);
-        assert!(tables
-            .iter()
-            .any(|(q, t)| q == "V" && t == "Department"));
+        assert!(tables.iter().any(|(q, t)| q == "V" && t == "Department"));
         assert_eq!(est.estimate_plan(&plan).rows, 10.0);
     }
 

@@ -147,12 +147,10 @@ impl ResourceGuard {
         let mut cur = self.memory.load(Ordering::Relaxed);
         loop {
             let next = cur.saturating_sub(bytes);
-            match self.memory.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .memory
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
             }
@@ -200,8 +198,7 @@ impl ResourceGuard {
 /// magnitude, not exact byte counts.
 #[must_use]
 pub fn row_bytes(row: &[Value]) -> u64 {
-    let base =
-        (std::mem::size_of::<Vec<Value>>() + std::mem::size_of_val(row)) as u64;
+    let base = (std::mem::size_of::<Vec<Value>>() + std::mem::size_of_val(row)) as u64;
     let heap: u64 = row
         .iter()
         .map(|v| match v {

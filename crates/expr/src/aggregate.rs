@@ -108,7 +108,9 @@ impl AggregateCall {
                 if t.is_numeric() {
                     Ok(t)
                 } else {
-                    Err(Error::Type(format!("SUM requires a numeric argument, got {t}")))
+                    Err(Error::Type(format!(
+                        "SUM requires a numeric argument, got {t}"
+                    )))
                 }
             }
             AggregateFunction::Avg => {
@@ -116,7 +118,9 @@ impl AggregateCall {
                 if t.is_numeric() {
                     Ok(DataType::Float64)
                 } else {
-                    Err(Error::Type(format!("AVG requires a numeric argument, got {t}")))
+                    Err(Error::Type(format!(
+                        "AVG requires a numeric argument, got {t}"
+                    )))
                 }
             }
             AggregateFunction::Min | AggregateFunction::Max => {
@@ -211,9 +215,9 @@ impl Accumulator {
             AggState::Count(n) => *n += 1,
             AggState::SumInt { sum, any } => match v {
                 Value::Int(i) => {
-                    *sum = sum.checked_add(*i).ok_or_else(|| {
-                        Error::Execution("integer overflow in SUM".into())
-                    })?;
+                    *sum = sum
+                        .checked_add(*i)
+                        .ok_or_else(|| Error::Execution("integer overflow in SUM".into()))?;
                     *any = true;
                 }
                 Value::Float(f) => {
@@ -223,9 +227,7 @@ impl Accumulator {
                         any: true,
                     };
                 }
-                other => {
-                    return Err(Error::Type(format!("SUM over non-numeric value {other}")))
-                }
+                other => return Err(Error::Type(format!("SUM over non-numeric value {other}"))),
             },
             AggState::SumFloat { sum, any } => {
                 let f = v
@@ -299,9 +301,9 @@ impl Accumulator {
             (AggState::Count(n), AggState::Count(m)) => *n += m,
             (AggState::SumInt { sum, any }, AggState::SumInt { sum: s, any: a }) => {
                 if *a {
-                    *sum = sum.checked_add(*s).ok_or_else(|| {
-                        Error::Execution("integer overflow in SUM".into())
-                    })?;
+                    *sum = sum
+                        .checked_add(*s)
+                        .ok_or_else(|| Error::Execution("integer overflow in SUM".into()))?;
                     *any = true;
                 }
             }

@@ -148,9 +148,7 @@ impl AtomClass {
                     AtomClass::ColumnEqConstant(c.clone(), v.clone())
                 }
             }
-            (Expr::Column(a), Expr::Column(b)) => {
-                AtomClass::ColumnEqColumn(a.clone(), b.clone())
-            }
+            (Expr::Column(a), Expr::Column(b)) => AtomClass::ColumnEqColumn(a.clone(), b.clone()),
             _ => AtomClass::Other,
         }
     }
@@ -180,8 +178,7 @@ mod tests {
             .and(Expr::col("A", "PNo").eq(Expr::col("P", "PNo")))
             .and(Expr::col("U", "Machine").eq(Expr::lit("dragon")));
 
-        let parts =
-            classify_conjuncts(&pred, &set(&["A", "P"]), &set(&["U"])).unwrap();
+        let parts = classify_conjuncts(&pred, &set(&["A", "P"]), &set(&["U"])).unwrap();
         assert_eq!(parts.c0.len(), 2, "two join predicates cross the sides");
         assert_eq!(parts.c1.len(), 1);
         assert_eq!(parts.c1[0].to_string(), "(A.PNo = P.PNo)");

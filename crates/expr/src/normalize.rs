@@ -76,7 +76,10 @@ fn nnf(expr: &Expr, negate: bool) -> Expr {
             op: complement(*op),
             right: right.clone(),
         },
-        Expr::IsNull { expr: inner, negated } if negate => Expr::IsNull {
+        Expr::IsNull {
+            expr: inner,
+            negated,
+        } if negate => Expr::IsNull {
             expr: inner.clone(),
             negated: !negated,
         },
@@ -260,10 +263,7 @@ mod tests {
     fn nnf_complements_comparisons_and_isnull() {
         let lt = Expr::bare("a").binary(BinaryOp::Lt, Expr::lit(5i64));
         let n = to_nnf(&Expr::Not(Box::new(lt)));
-        assert_eq!(
-            n,
-            Expr::bare("a").binary(BinaryOp::GtEq, Expr::lit(5i64))
-        );
+        assert_eq!(n, Expr::bare("a").binary(BinaryOp::GtEq, Expr::lit(5i64)));
         let isnull = Expr::IsNull {
             expr: Box::new(Expr::bare("a")),
             negated: false,
@@ -304,7 +304,9 @@ mod tests {
     #[test]
     fn explosion_is_capped() {
         // Build (a1∧b1) ∨ (a2∧b2) ∨ … — CNF of this grows exponentially.
-        let mut e = Expr::bare("x0").eq(Expr::lit(0i64)).and(Expr::bare("y0").eq(Expr::lit(0i64)));
+        let mut e = Expr::bare("x0")
+            .eq(Expr::lit(0i64))
+            .and(Expr::bare("y0").eq(Expr::lit(0i64)));
         for i in 1..16 {
             let t = Expr::bare(format!("x{i}"))
                 .eq(Expr::lit(i as i64))
@@ -349,7 +351,9 @@ mod tests {
         let exprs = [
             Expr::Not(Box::new(a().and(b()))),
             Expr::Not(Box::new(a().or(b()))),
-            Expr::Not(Box::new(Expr::bare("a").binary(BinaryOp::Lt, Expr::bare("b")))),
+            Expr::Not(Box::new(
+                Expr::bare("a").binary(BinaryOp::Lt, Expr::bare("b")),
+            )),
             Expr::Not(Box::new(Expr::Not(Box::new(a())))),
         ];
         let vals = [Value::Null, Value::Int(1), Value::Int(2)];

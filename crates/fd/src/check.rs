@@ -29,10 +29,7 @@ pub fn fd_holds_in<'a>(
                 witness.insert(key, rhs_vals);
             }
             Some(existing) => {
-                let agrees = existing
-                    .iter()
-                    .zip(&rhs_vals)
-                    .all(|(a, b)| a.null_eq(b));
+                let agrees = existing.iter().zip(&rhs_vals).all(|(a, b)| a.null_eq(b));
                 if !agrees {
                     return false;
                 }
@@ -68,12 +65,16 @@ mod tests {
     fn null_lhs_values_group_together() {
         // Two rows with NULL key and different rhs: under "NULL =ⁿ NULL"
         // they are the same group, so the FD fails.
-        let data = [vec![Value::Null, Value::Int(1)],
-            vec![Value::Null, Value::Int(2)]];
+        let data = [
+            vec![Value::Null, Value::Int(1)],
+            vec![Value::Null, Value::Int(2)],
+        ];
         assert!(!fd_holds_in(data.iter().map(Vec::as_slice), &[0], &[1]));
         // …but matching NULL rhs values agree.
-        let data = [vec![Value::Null, Value::Null],
-            vec![Value::Null, Value::Null]];
+        let data = [
+            vec![Value::Null, Value::Null],
+            vec![Value::Null, Value::Null],
+        ];
         assert!(fd_holds_in(data.iter().map(Vec::as_slice), &[0], &[1]));
     }
 

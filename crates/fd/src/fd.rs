@@ -130,11 +130,8 @@ impl FdSet {
     /// Add a bidirectional equality `a = b` (two dependencies).
     pub fn add_equality(&mut self, a: ColumnRef, b: ColumnRef, reason: impl Into<String>) {
         let reason = reason.into();
-        self.fds.push(Fd::new(
-            [a.clone()],
-            [b.clone()],
-            reason.clone(),
-        ));
+        self.fds
+            .push(Fd::new([a.clone()], [b.clone()], reason.clone()));
         self.fds.push(Fd::new([b], [a], reason));
     }
 
@@ -174,8 +171,7 @@ impl FdSet {
             let mut changed = false;
             for fd in &self.fds {
                 if fd.lhs.is_subset(&set) {
-                    let added: BTreeSet<ColumnRef> =
-                        fd.rhs.difference(&set).cloned().collect();
+                    let added: BTreeSet<ColumnRef> = fd.rhs.difference(&set).cloned().collect();
                     if !added.is_empty() {
                         set.extend(added.iter().cloned());
                         trace.steps.push(ClosureStep {
@@ -202,11 +198,7 @@ impl FdSet {
 
     /// Whether `lhs → rhs` is implied by the set.
     #[must_use]
-    pub fn implies(
-        &self,
-        lhs: &BTreeSet<ColumnRef>,
-        rhs: &BTreeSet<ColumnRef>,
-    ) -> bool {
+    pub fn implies(&self, lhs: &BTreeSet<ColumnRef>, rhs: &BTreeSet<ColumnRef>) -> bool {
         let closure = self.closure(lhs);
         rhs.is_subset(&closure)
     }
@@ -284,11 +276,7 @@ mod tests {
     #[test]
     fn multi_column_lhs_requires_full_subset() {
         let mut fds = FdSet::new();
-        fds.add(Fd::new(
-            [col("A"), col("B")],
-            [col("C")],
-            "(A,B) -> C",
-        ));
+        fds.add(Fd::new([col("A"), col("B")], [col("C")], "(A,B) -> C"));
         assert!(!fds.implies(&set(&["A"]), &set(&["C"])));
         assert!(fds.implies(&set(&["A", "B"]), &set(&["C"])));
     }

@@ -117,11 +117,7 @@ fn is_region_root(plan: &LogicalPlan) -> bool {
 }
 
 /// Collect the leaves and conjuncts of a join region.
-fn flatten(
-    plan: &LogicalPlan,
-    leaves: &mut Vec<LogicalPlan>,
-    preds: &mut Vec<Expr>,
-) -> Result<()> {
+fn flatten(plan: &LogicalPlan, leaves: &mut Vec<LogicalPlan>, preds: &mut Vec<Expr>) -> Result<()> {
     match plan {
         LogicalPlan::Filter { input, predicate }
             if matches!(
@@ -177,10 +173,7 @@ fn rebuild_region(leaves: Vec<LogicalPlan>, preds: Vec<Expr>) -> Result<LogicalP
             unused.push(p); // constant: applied at the top
             continue;
         }
-        if let Some((leaf, schema)) = leaves
-            .iter_mut()
-            .find(|(_, s)| refers_only_to(&p, s))
-        {
+        if let Some((leaf, schema)) = leaves.iter_mut().find(|(_, s)| refers_only_to(&p, s)) {
             *leaf = LogicalPlan::Filter {
                 input: Box::new(leaf.clone()),
                 predicate: p,

@@ -537,7 +537,11 @@ mod tests {
         };
         let out = ColumnPruning.apply(&plan).unwrap().unwrap();
         let tree = out.display_tree();
-        assert!(tree.contains("Project E.DeptID, E.EmpID") || tree.contains("Project E.EmpID, E.DeptID"), "{tree}");
+        assert!(
+            tree.contains("Project E.DeptID, E.EmpID")
+                || tree.contains("Project E.EmpID, E.DeptID"),
+            "{tree}"
+        );
         assert!(!tree.contains("Name"), "{tree}");
         out.validate().unwrap();
         // Idempotent: no further change.

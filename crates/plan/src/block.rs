@@ -51,8 +51,9 @@ impl BlockRelation {
     #[must_use]
     pub fn qualifier(&self) -> &str {
         match self {
-            BlockRelation::Base { qualifier, .. }
-            | BlockRelation::Derived { qualifier, .. } => qualifier,
+            BlockRelation::Base { qualifier, .. } | BlockRelation::Derived { qualifier, .. } => {
+                qualifier
+            }
         }
     }
 
@@ -253,8 +254,7 @@ impl QueryBlock {
                 },
             });
         }
-        let mut plan =
-            plan.ok_or_else(|| Error::Plan("query block has no relations".into()))?;
+        let mut plan = plan.ok_or_else(|| Error::Plan("query block has no relations".into()))?;
 
         if let Some(pred) = self.predicate_expr() {
             plan = LogicalPlan::Filter {
@@ -281,9 +281,7 @@ impl QueryBlock {
             .select
             .iter()
             .map(|item| match item {
-                SelectItem::Column { col, alias } => {
-                    (Expr::Column(col.clone()), alias.clone())
-                }
+                SelectItem::Column { col, alias } => (Expr::Column(col.clone()), alias.clone()),
                 SelectItem::Aggregate { index } => {
                     let alias = &self.aggregates[*index].1;
                     (Expr::Column(ColumnRef::bare(alias.clone())), alias.clone())

@@ -91,9 +91,7 @@ impl LogicalPlan {
     pub fn schema(&self) -> Result<Schema> {
         match self {
             LogicalPlan::Scan { schema, .. } => Ok(schema.clone()),
-            LogicalPlan::Filter { input, .. } | LogicalPlan::Sort { input, .. } => {
-                input.schema()
-            }
+            LogicalPlan::Filter { input, .. } | LogicalPlan::Sort { input, .. } => input.schema(),
             LogicalPlan::Project { input, exprs, .. } => {
                 let in_schema = input.schema()?;
                 let mut fields = Vec::with_capacity(exprs.len());
@@ -113,12 +111,8 @@ impl LogicalPlan {
                 }
                 Ok(Schema::new(fields))
             }
-            LogicalPlan::CrossJoin { left, right } => {
-                Ok(left.schema()?.join(&right.schema()?))
-            }
-            LogicalPlan::Join { left, right, .. } => {
-                Ok(left.schema()?.join(&right.schema()?))
-            }
+            LogicalPlan::CrossJoin { left, right } => Ok(left.schema()?.join(&right.schema()?)),
+            LogicalPlan::Join { left, right, .. } => Ok(left.schema()?.join(&right.schema()?)),
             LogicalPlan::Aggregate {
                 input,
                 group_by,
@@ -145,8 +139,7 @@ impl LogicalPlan {
                     // groups.
                     let nullable = !matches!(
                         call.func,
-                        gbj_expr::AggregateFunction::Count
-                            | gbj_expr::AggregateFunction::CountStar
+                        gbj_expr::AggregateFunction::Count | gbj_expr::AggregateFunction::CountStar
                     );
                     fields.push(Field::new(alias.clone(), dt, nullable));
                 }
@@ -255,7 +248,11 @@ impl LogicalPlan {
     /// Count the nodes in the plan.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Validate the plan bottom-up: every schema computes, every

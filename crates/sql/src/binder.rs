@@ -153,9 +153,9 @@ impl<'a> Binder<'a> {
                 SelectItemAst::Expr { expr, alias } => {
                     if expr.contains_aggregate() {
                         let call = self.bind_aggregate(expr, &input_schema)?;
-                        let base = alias.clone().unwrap_or_else(|| {
-                            call.func.name().to_ascii_lowercase()
-                        });
+                        let base = alias
+                            .clone()
+                            .unwrap_or_else(|| call.func.name().to_ascii_lowercase());
                         let name = next_alias(base, &mut used_aliases);
                         block.aggregates.push((call, name));
                         block.select.push(SelectItem::Aggregate {
@@ -244,8 +244,11 @@ impl<'a> Binder<'a> {
             args,
         } = ast
         else {
-            return Err(Error::Unsupported("expressions over aggregates are not supported \
-                 (select the aggregate directly)".to_string()));
+            return Err(Error::Unsupported(
+                "expressions over aggregates are not supported \
+                 (select the aggregate directly)"
+                    .to_string(),
+            ));
         };
         let func = match name.to_ascii_uppercase().as_str() {
             "COUNT" if *star => AggregateFunction::CountStar,
@@ -254,9 +257,7 @@ impl<'a> Binder<'a> {
             "MIN" => AggregateFunction::Min,
             "MAX" => AggregateFunction::Max,
             "AVG" => AggregateFunction::Avg,
-            other => {
-                return Err(Error::Unsupported(format!("unknown function {other}")))
-            }
+            other => return Err(Error::Unsupported(format!("unknown function {other}"))),
         };
         let call = if *star {
             if *distinct {
@@ -265,9 +266,7 @@ impl<'a> Binder<'a> {
             AggregateCall::count_star()
         } else {
             let [arg] = args.as_slice() else {
-                return Err(Error::Bind(format!(
-                    "{name} takes exactly one argument"
-                )));
+                return Err(Error::Bind(format!("{name} takes exactly one argument")));
             };
             if arg.contains_aggregate() {
                 return Err(Error::Bind("nested aggregates are not allowed".into()));
@@ -315,12 +314,18 @@ impl<'a> Binder<'a> {
                 op: *op,
                 right: Box::new(self.bind_having(right, block, input_schema, agg_schema)?),
             }),
-            AstExpr::Not(e) => Ok(Expr::Not(Box::new(
-                self.bind_having(e, block, input_schema, agg_schema)?,
-            ))),
-            AstExpr::Neg(e) => Ok(Expr::Neg(Box::new(
-                self.bind_having(e, block, input_schema, agg_schema)?,
-            ))),
+            AstExpr::Not(e) => Ok(Expr::Not(Box::new(self.bind_having(
+                e,
+                block,
+                input_schema,
+                agg_schema,
+            )?))),
+            AstExpr::Neg(e) => Ok(Expr::Neg(Box::new(self.bind_having(
+                e,
+                block,
+                input_schema,
+                agg_schema,
+            )?))),
             AstExpr::IsNull { expr, negated } => Ok(Expr::IsNull {
                 expr: Box::new(self.bind_having(expr, block, input_schema, agg_schema)?),
                 negated: *negated,
@@ -343,9 +348,10 @@ impl<'a> Binder<'a> {
             let (data_type, domain_check, domain_name) = match &c.data_type {
                 TypeRef::Builtin(t) => (*t, None, None),
                 TypeRef::Domain(d) => {
-                    let domain = self.catalog.domain(d).ok_or_else(|| {
-                        Error::Catalog(format!("unknown domain {d}"))
-                    })?;
+                    let domain = self
+                        .catalog
+                        .domain(d)
+                        .ok_or_else(|| Error::Catalog(format!("unknown domain {d}")))?;
                     (
                         domain.data_type,
                         domain.check.clone(),
@@ -587,8 +593,7 @@ mod tests {
         c.create_view(ViewDef {
             name: "DeptCounts".into(),
             columns: vec!["DeptID".into(), "Cnt".into()],
-            query_sql: "SELECT E.DeptID, COUNT(E.EmpID) FROM Employee E GROUP BY E.DeptID"
-                .into(),
+            query_sql: "SELECT E.DeptID, COUNT(E.EmpID) FROM Employee E GROUP BY E.DeptID".into(),
         })
         .unwrap();
         c
@@ -597,7 +602,9 @@ mod tests {
     fn bind(sql: &str) -> Result<BoundSelect> {
         let cat = catalog();
         let stmt = parse_sql(sql)?;
-        let Statement::Select(s) = stmt else { panic!("not a select") };
+        let Statement::Select(s) = stmt else {
+            panic!("not a select")
+        };
         Binder::new(&cat).bind_select(&s)
     }
 
@@ -621,20 +628,17 @@ mod tests {
     fn qualifies_unqualified_columns() {
         let b = bind("SELECT Name FROM Department WHERE DeptID = 1").unwrap();
         // The WHERE conjunct is fully qualified by the binder.
-        assert_eq!(
-            b.block.predicate[0].to_string(),
-            "(Department.DeptID = 1)"
-        );
-        let SelectItem::Column { col, .. } = &b.block.select[0] else { panic!() };
+        assert_eq!(b.block.predicate[0].to_string(), "(Department.DeptID = 1)");
+        let SelectItem::Column { col, .. } = &b.block.select[0] else {
+            panic!()
+        };
         assert_eq!(col, &ColumnRef::qualified("Department", "Name"));
     }
 
     #[test]
     fn ambiguous_unqualified_column_is_an_error() {
-        let err = bind(
-            "SELECT DeptID FROM Employee E, Department D WHERE E.DeptID = D.DeptID",
-        )
-        .unwrap_err();
+        let err = bind("SELECT DeptID FROM Employee E, Department D WHERE E.DeptID = D.DeptID")
+            .unwrap_err();
         assert!(err.message().contains("ambiguous"));
     }
 
@@ -654,8 +658,7 @@ mod tests {
 
     #[test]
     fn selection_must_be_grouped() {
-        let err =
-            bind("SELECT Name, COUNT(*) FROM Department GROUP BY DeptID").unwrap_err();
+        let err = bind("SELECT Name, COUNT(*) FROM Department GROUP BY DeptID").unwrap_err();
         assert!(err.message().contains("GROUP BY"));
     }
 
@@ -673,45 +676,34 @@ mod tests {
 
     #[test]
     fn having_binds_matching_aggregate() {
-        let b = bind(
-            "SELECT DeptID, COUNT(*) FROM Employee GROUP BY DeptID HAVING COUNT(*) > 2",
-        )
-        .unwrap();
+        let b = bind("SELECT DeptID, COUNT(*) FROM Employee GROUP BY DeptID HAVING COUNT(*) > 2")
+            .unwrap();
         let h = b.block.having.unwrap();
         assert_eq!(h.to_string(), "(count > 2)");
     }
 
     #[test]
     fn having_with_unselected_aggregate_rejected() {
-        let err = bind(
-            "SELECT DeptID, COUNT(*) FROM Employee GROUP BY DeptID HAVING SUM(Salary) > 2",
-        )
-        .unwrap_err();
+        let err =
+            bind("SELECT DeptID, COUNT(*) FROM Employee GROUP BY DeptID HAVING SUM(Salary) > 2")
+                .unwrap_err();
         assert_eq!(err.kind(), "unsupported");
     }
 
     #[test]
     fn order_by_binds_output_columns() {
-        let b = bind(
-            "SELECT DeptID, COUNT(*) AS n FROM Employee GROUP BY DeptID ORDER BY n DESC",
-        )
-        .unwrap();
+        let b = bind("SELECT DeptID, COUNT(*) AS n FROM Employee GROUP BY DeptID ORDER BY n DESC")
+            .unwrap();
         assert_eq!(b.order_by.len(), 1);
         assert_eq!(b.order_by[0].0.column, "n");
         assert!(!b.order_by[0].1);
         // Ordering by a non-output column fails.
-        assert!(bind(
-            "SELECT DeptID FROM Employee GROUP BY DeptID ORDER BY Salary"
-        )
-        .is_err());
+        assert!(bind("SELECT DeptID FROM Employee GROUP BY DeptID ORDER BY Salary").is_err());
     }
 
     #[test]
     fn aggregate_alias_uniquing() {
-        let b = bind(
-            "SELECT DeptID, COUNT(*), COUNT(*) FROM Employee GROUP BY DeptID",
-        )
-        .unwrap();
+        let b = bind("SELECT DeptID, COUNT(*), COUNT(*) FROM Employee GROUP BY DeptID").unwrap();
         assert_eq!(b.block.aggregates[0].1, "count");
         assert_eq!(b.block.aggregates[1].1, "count_1");
     }
@@ -749,9 +741,7 @@ mod tests {
         cat.create_domain(Domain {
             name: "SmallId".into(),
             data_type: DataType::Int64,
-            check: Some(
-                Expr::bare("VALUE").binary(gbj_expr::BinaryOp::Gt, Expr::lit(0i64)),
-            ),
+            check: Some(Expr::bare("VALUE").binary(gbj_expr::BinaryOp::Gt, Expr::lit(0i64))),
         })
         .unwrap();
         let binder = Binder::new(&cat);
@@ -759,13 +749,14 @@ mod tests {
             name,
             columns,
             constraints,
-        } = parse_sql(
-            "CREATE TABLE T (id SmallId PRIMARY KEY, ref_id INT REFERENCES Department)",
-        )
-        .unwrap() else {
+        } = parse_sql("CREATE TABLE T (id SmallId PRIMARY KEY, ref_id INT REFERENCES Department)")
+            .unwrap()
+        else {
             panic!()
         };
-        let def = binder.bind_create_table(&name, &columns, &constraints).unwrap();
+        let def = binder
+            .bind_create_table(&name, &columns, &constraints)
+            .unwrap();
         assert_eq!(def.columns[0].data_type, DataType::Int64);
         assert_eq!(def.columns[0].domain.as_deref(), Some("SmallId"));
         assert_eq!(def.columns[0].checks.len(), 1, "domain check copied");
@@ -776,10 +767,13 @@ mod tests {
             name,
             columns,
             constraints,
-        } = parse_sql("CREATE TABLE U (x NoSuchDomain)").unwrap() else {
+        } = parse_sql("CREATE TABLE U (x NoSuchDomain)").unwrap()
+        else {
             panic!()
         };
-        assert!(binder.bind_create_table(&name, &columns, &constraints).is_err());
+        assert!(binder
+            .bind_create_table(&name, &columns, &constraints)
+            .is_err());
     }
 
     #[test]
@@ -809,11 +803,7 @@ mod tests {
         let cat = catalog();
         let binder = Binder::new(&cat);
         let v = binder
-            .bind_create_view(
-                "V",
-                &["a".into()],
-                "SELECT DeptID FROM Department",
-            )
+            .bind_create_view("V", &["a".into()], "SELECT DeptID FROM Department")
             .unwrap();
         assert_eq!(v.columns, vec!["a"]);
         // Arity mismatch.

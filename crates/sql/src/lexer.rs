@@ -289,19 +289,18 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
                 let text = &input[i..end];
                 let kind = if is_float {
-                    TokenKind::Float(text.parse().map_err(|e| {
-                        Error::Parse(format!("bad float literal {text}: {e}"))
-                    })?)
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|e| Error::Parse(format!("bad float literal {text}: {e}")))?,
+                    )
                 } else {
-                    TokenKind::Int(text.parse().map_err(|e| {
-                        Error::Parse(format!("bad integer literal {text}: {e}"))
-                    })?)
+                    TokenKind::Int(
+                        text.parse().map_err(|e| {
+                            Error::Parse(format!("bad integer literal {text}: {e}"))
+                        })?,
+                    )
                 };
-                tokens.push(Token {
-                    kind,
-                    start,
-                    end,
-                });
+                tokens.push(Token { kind, start, end });
                 i = end;
             }
             c if c.is_ascii_alphabetic() || c == '_' || c == '#' => {
@@ -398,7 +397,10 @@ mod tests {
 
     #[test]
     fn delimited_identifiers() {
-        assert_eq!(kinds("\"Weird Name\"")[0], TokenKind::Ident("Weird Name".into()));
+        assert_eq!(
+            kinds("\"Weird Name\"")[0],
+            TokenKind::Ident("Weird Name".into())
+        );
         assert!(tokenize("\"open").is_err());
     }
 
@@ -413,10 +415,7 @@ mod tests {
     fn offsets_support_text_slicing() {
         let sql = "CREATE VIEW v AS SELECT 1";
         let toks = tokenize(sql).unwrap();
-        let as_tok = toks
-            .iter()
-            .find(|t| t.kind.is_keyword("AS"))
-            .unwrap();
+        let as_tok = toks.iter().find(|t| t.kind.is_keyword("AS")).unwrap();
         assert_eq!(&sql[as_tok.end..].trim_start(), &"SELECT 1");
     }
 

@@ -27,5 +27,5 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{AstExpr, SelectStmt, Statement, TableRef};
-pub use binder::{BoundSelect, Binder};
+pub use binder::{Binder, BoundSelect};
 pub use parser::{parse_sql, parse_statements};

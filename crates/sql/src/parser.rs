@@ -11,8 +11,8 @@ use crate::lexer::{tokenize, Token, TokenKind};
 
 /// Identifiers that terminate an implicit table alias.
 const RESERVED_AFTER_TABLE: &[&str] = &[
-    "WHERE", "GROUP", "HAVING", "ORDER", "UNION", "ON", "INNER", "LEFT", "RIGHT", "JOIN",
-    "AS", "SELECT", "FROM", "LIMIT",
+    "WHERE", "GROUP", "HAVING", "ORDER", "UNION", "ON", "INNER", "LEFT", "RIGHT", "JOIN", "AS",
+    "SELECT", "FROM", "LIMIT",
 ];
 
 /// Parse a source string into statements.
@@ -842,15 +842,16 @@ mod tests {
 
     #[test]
     fn arithmetic_precedence() {
-        let Statement::Select(s) = parse_sql("SELECT * FROM t WHERE a + b * 2 = 7").unwrap()
-        else {
+        let Statement::Select(s) = parse_sql("SELECT * FROM t WHERE a + b * 2 = 7").unwrap() else {
             panic!()
         };
         let AstExpr::Binary { left, .. } = s.where_clause.unwrap() else {
             panic!()
         };
         // a + (b * 2)
-        let AstExpr::Binary { op, right, .. } = *left else { panic!() };
+        let AstExpr::Binary { op, right, .. } = *left else {
+            panic!()
+        };
         assert_eq!(op, BinaryOp::Add);
         assert!(matches!(
             *right,
@@ -869,7 +870,9 @@ mod tests {
             panic!()
         };
         let w = s.where_clause.unwrap();
-        let AstExpr::Binary { left, right, .. } = w else { panic!() };
+        let AstExpr::Binary { left, right, .. } = w else {
+            panic!()
+        };
         assert!(matches!(*left, AstExpr::IsNull { negated: true, .. }));
         assert!(matches!(*right, AstExpr::Not(_)));
     }
@@ -911,8 +914,7 @@ mod tests {
     #[test]
     fn parses_figure5_create_domain_without_parens() {
         let stmt =
-            parse_sql("CREATE DOMAIN DepIdType SMALLINT CHECK VALUE > 0 AND VALUE < 100")
-                .unwrap();
+            parse_sql("CREATE DOMAIN DepIdType SMALLINT CHECK VALUE > 0 AND VALUE < 100").unwrap();
         let Statement::CreateDomain {
             name,
             data_type,
@@ -961,9 +963,10 @@ mod tests {
 
     #[test]
     fn parses_insert_with_multiple_rows_and_negatives() {
-        let stmt =
-            parse_sql("INSERT INTO t VALUES (1, 'a', NULL), (-2, 'b', 3.5)").unwrap();
-        let Statement::Insert { table, rows } = stmt else { panic!() };
+        let stmt = parse_sql("INSERT INTO t VALUES (1, 'a', NULL), (-2, 'b', 3.5)").unwrap();
+        let Statement::Insert { table, rows } = stmt else {
+            panic!()
+        };
         assert_eq!(table, "t");
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0][2], AstExpr::Literal(Value::Null));
@@ -1037,11 +1040,19 @@ mod tests {
     #[test]
     fn parses_delete_and_update() {
         let stmt = parse_sql("DELETE FROM t WHERE x = 1").unwrap();
-        let Statement::Delete { table, predicate } = stmt else { panic!() };
+        let Statement::Delete { table, predicate } = stmt else {
+            panic!()
+        };
         assert_eq!(table, "t");
         assert!(predicate.is_some());
         let stmt = parse_sql("DELETE FROM t").unwrap();
-        assert!(matches!(stmt, Statement::Delete { predicate: None, .. }));
+        assert!(matches!(
+            stmt,
+            Statement::Delete {
+                predicate: None,
+                ..
+            }
+        ));
 
         let stmt = parse_sql("UPDATE t SET a = a + 1, b = 'x' WHERE c IS NULL").unwrap();
         let Statement::Update {
@@ -1062,9 +1073,10 @@ mod tests {
 
     #[test]
     fn parses_create_assertion() {
-        let stmt =
-            parse_sql("CREATE ASSERTION positive CHECK (Employee.EmpID > 0)").unwrap();
-        let Statement::CreateAssertion { name, .. } = stmt else { panic!() };
+        let stmt = parse_sql("CREATE ASSERTION positive CHECK (Employee.EmpID > 0)").unwrap();
+        let Statement::CreateAssertion { name, .. } = stmt else {
+            panic!()
+        };
         assert_eq!(name, "positive");
     }
 

@@ -136,12 +136,10 @@ impl FaultInjector {
             return false;
         };
         let k = k.max(1);
-        let h = mix(
-            self.config.seed
-                ^ mix(table_hash(table))
-                ^ mix(row_id)
-                ^ mix(0x0c01 ^ ((column as u64) << 16)),
-        );
+        let h = mix(self.config.seed
+            ^ mix(table_hash(table))
+            ^ mix(row_id)
+            ^ mix(0x0c01 ^ ((column as u64) << 16)));
         if h.is_multiple_of(k) {
             self.nulls_injected.set(self.nulls_injected.get() + 1);
             true
@@ -178,9 +176,7 @@ mod tests {
             null_flip_one_in: Some(3),
             ..FaultConfig::default()
         });
-        let forward: Vec<bool> = (0..100)
-            .map(|r| inj.flips_to_null("Fact", r, 1))
-            .collect();
+        let forward: Vec<bool> = (0..100).map(|r| inj.flips_to_null("Fact", r, 1)).collect();
         let backward: Vec<bool> = (0..100)
             .rev()
             .map(|r| inj.flips_to_null("Fact", r, 1))
@@ -191,8 +187,12 @@ mod tests {
         assert!(!forward.iter().all(|&b| b), "1-in-3 should also miss");
         // Case-insensitive table naming (catalog lookups are).
         assert_eq!(
-            (0..50).map(|r| inj.flips_to_null("FACT", r, 0)).collect::<Vec<_>>(),
-            (0..50).map(|r| inj.flips_to_null("fact", r, 0)).collect::<Vec<_>>(),
+            (0..50)
+                .map(|r| inj.flips_to_null("FACT", r, 0))
+                .collect::<Vec<_>>(),
+            (0..50)
+                .map(|r| inj.flips_to_null("fact", r, 0))
+                .collect::<Vec<_>>(),
         );
     }
 

@@ -42,7 +42,6 @@ pub struct Table {
     ref_lookups: HashMap<Vec<usize>, (u64, HashSet<GroupKey>)>,
 }
 
-
 /// Clone the value at column ordinal `c`, treating a (never-expected)
 /// out-of-range ordinal as NULL. Storage validates row arity before any
 /// row reaches `Table`, so the fallback exists only to keep this module
@@ -112,8 +111,7 @@ impl Table {
     /// Check key uniqueness for a candidate row (without inserting).
     pub(crate) fn check_keys(&self, values: &[Value]) -> Result<()> {
         for idx in &self.key_indexes {
-            let key_vals: Vec<Value> =
-                idx.columns.iter().map(|&c| val_at(values, c)).collect();
+            let key_vals: Vec<Value> = idx.columns.iter().map(|&c| val_at(values, c)).collect();
             let has_null = key_vals.iter().any(Value::is_null);
             if has_null {
                 if idx.allows_null {
@@ -138,8 +136,7 @@ impl Table {
     /// validated constraints.
     pub(crate) fn push(&mut self, values: Vec<Value>) -> u64 {
         for idx in &mut self.key_indexes {
-            let key_vals: Vec<Value> =
-                idx.columns.iter().map(|&c| val_at(&values, c)).collect();
+            let key_vals: Vec<Value> = idx.columns.iter().map(|&c| val_at(&values, c)).collect();
             if !key_vals.iter().any(Value::is_null) {
                 idx.entries.insert(GroupKey(key_vals));
             }
@@ -155,10 +152,7 @@ impl Table {
         }
         let id = self.next_row_id;
         self.next_row_id += 1;
-        self.rows.push(Row {
-            row_id: id,
-            values,
-        });
+        self.rows.push(Row { row_id: id, values });
         id
     }
 
@@ -236,8 +230,7 @@ impl Table {
             // incrementally afterwards.
             set.clear();
             for row in &self.rows {
-                let vals: Vec<Value> =
-                    columns.iter().map(|&c| val_at(&row.values, c)).collect();
+                let vals: Vec<Value> = columns.iter().map(|&c| val_at(&row.values, c)).collect();
                 if !vals.iter().any(Value::is_null) {
                     set.insert(GroupKey(vals));
                 }

@@ -174,9 +174,7 @@ impl Value {
             return Ok(Value::Null);
         }
         match (self, other) {
-            (Value::Int(_), Value::Int(0)) => {
-                Err(Error::Execution("division by zero".into()))
-            }
+            (Value::Int(_), Value::Int(0)) => Err(Error::Execution("division by zero".into())),
             _ => self.numeric_binop(other, "/", |a, b| a.checked_div(b), |a, b| a / b),
         }
     }

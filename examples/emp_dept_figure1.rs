@@ -21,7 +21,10 @@ fn main() -> gbj::Result<()> {
 
     for (policy, label) in [
         (PushdownPolicy::Never, "Plan 1 (lazy: join, then group-by)"),
-        (PushdownPolicy::Always, "Plan 2 (eager: group-by, then join)"),
+        (
+            PushdownPolicy::Always,
+            "Plan 2 (eager: group-by, then join)",
+        ),
     ] {
         db.options_mut().policy = policy;
         let start = Instant::now();
@@ -35,6 +38,9 @@ fn main() -> gbj::Result<()> {
     // And the engine's own choice with the reasoning.
     db.options_mut().policy = PushdownPolicy::CostBased;
     let report = db.plan_query(sql)?;
-    println!("\n=== engine decision ===\nchoice: {:?}\n{}", report.choice, report.reason);
+    println!(
+        "\n=== engine decision ===\nchoice: {:?}\n{}",
+        report.choice, report.reason
+    );
     Ok(())
 }

@@ -108,7 +108,11 @@ fn main() {
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {
-        let prompt = if buffer.trim().is_empty() { "gbj> " } else { "...> " };
+        let prompt = if buffer.trim().is_empty() {
+            "gbj> "
+        } else {
+            "...> "
+        };
         print!("{prompt}");
         std::io::stdout().flush().ok();
         let mut line = String::new();

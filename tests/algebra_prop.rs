@@ -158,7 +158,11 @@ fn group_key_laws() {
         let xs = random_opt_vec(&mut rng, 1..4);
         let ys = random_opt_vec(&mut rng, 1..4);
         let to_key = |v: &Vec<Option<i64>>| {
-            GroupKey(v.iter().map(|o| o.map_or(Value::Null, Value::Int)).collect())
+            GroupKey(
+                v.iter()
+                    .map(|o| o.map_or(Value::Null, Value::Int))
+                    .collect(),
+            )
         };
         let kx = to_key(&xs);
         let ky = to_key(&ys);
@@ -196,7 +200,12 @@ fn closure_laws() {
     for case in 0..CASES {
         let n_fds = rng.gen_range(0usize..6);
         let fd_spec: Vec<(BTreeSet<u8>, BTreeSet<u8>)> = (0..n_fds)
-            .map(|_| (random_col_set(&mut rng, 1..3), random_col_set(&mut rng, 1..3)))
+            .map(|_| {
+                (
+                    random_col_set(&mut rng, 1..3),
+                    random_col_set(&mut rng, 1..3),
+                )
+            })
             .collect();
         let seed = random_col_set(&mut rng, 0..4);
         let extra = random_col_set(&mut rng, 0..3);

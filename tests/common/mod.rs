@@ -47,18 +47,21 @@ pub const JOIN_OPERATORS: &[&str] = &[
 ];
 
 /// Every operator name a group-by can report, serial or parallel.
-pub const AGG_OPERATORS: &[&str] =
-    &["HashAggregate", "ParallelHashAggregate", "SortAggregate"];
+pub const AGG_OPERATORS: &[&str] = &["HashAggregate", "ParallelHashAggregate", "SortAggregate"];
 
 /// The first join operator in the profile, whatever its algorithm or
 /// thread count.
 pub fn find_join(profile: &ProfileNode) -> Option<&ProfileNode> {
-    JOIN_OPERATORS.iter().find_map(|op| profile.find_operator(op))
+    JOIN_OPERATORS
+        .iter()
+        .find_map(|op| profile.find_operator(op))
 }
 
 /// The first aggregate operator in the profile, serial or parallel.
 pub fn find_agg(profile: &ProfileNode) -> Option<&ProfileNode> {
-    AGG_OPERATORS.iter().find_map(|op| profile.find_operator(op))
+    AGG_OPERATORS
+        .iter()
+        .find_map(|op| profile.find_operator(op))
 }
 
 /// The `GBJ_TEST_THREADS` override the engine default picks up (see

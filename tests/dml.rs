@@ -45,7 +45,9 @@ fn delete_respects_incoming_foreign_keys() {
 
     // After removing its employees, the delete succeeds.
     d.execute("DELETE FROM Employee WHERE DeptID = 1").unwrap();
-    let out = d.execute("DELETE FROM Department WHERE DeptID = 1").unwrap();
+    let out = d
+        .execute("DELETE FROM Department WHERE DeptID = 1")
+        .unwrap();
     assert!(matches!(out, QueryOutput::Affected(1)));
 }
 
@@ -53,7 +55,8 @@ fn delete_respects_incoming_foreign_keys() {
 fn delete_where_unknown_keeps_rows() {
     let mut d = db();
     // DeptID = 1 is unknown for the NULL-department employee: kept.
-    d.execute("DELETE FROM Employee WHERE DeptID = DeptID").unwrap();
+    d.execute("DELETE FROM Employee WHERE DeptID = DeptID")
+        .unwrap();
     let rows = d.query("SELECT EmpID FROM Employee").unwrap();
     assert_eq!(rows.len(), 1, "only the NULL-DeptID row survives");
     assert_eq!(rows.rows[0][0], Value::Int(5));
@@ -74,7 +77,9 @@ fn update_values_and_arithmetic() {
     // Multi-assignment, including setting to NULL.
     d.execute("UPDATE Employee SET DeptID = NULL, Salary = 0 WHERE EmpID = 3")
         .unwrap();
-    let rows = d.query("SELECT DeptID, Salary FROM Employee WHERE EmpID = 3").unwrap();
+    let rows = d
+        .query("SELECT DeptID, Salary FROM Employee WHERE EmpID = 3")
+        .unwrap();
     assert_eq!(rows.rows[0], vec![Value::Null, Value::Int(0)]);
 }
 
@@ -128,7 +133,8 @@ fn update_type_checking() {
 #[test]
 fn transformation_stays_correct_after_mutation() {
     let mut d = db();
-    d.execute("UPDATE Employee SET Salary = Salary + 5").unwrap();
+    d.execute("UPDATE Employee SET Salary = Salary + 5")
+        .unwrap();
     d.execute("DELETE FROM Employee WHERE EmpID = 4").unwrap();
     d.execute("INSERT INTO Employee VALUES (6, 2, 60)").unwrap();
 
@@ -177,7 +183,8 @@ fn update_zero_rows_and_row_identity() {
         .execute("UPDATE Employee SET Salary = 0 WHERE EmpID = 999")
         .unwrap();
     assert!(matches!(out, QueryOutput::Affected(0)));
-    d.execute("UPDATE Employee SET Salary = 1 WHERE EmpID = 1").unwrap();
+    d.execute("UPDATE Employee SET Salary = 1 WHERE EmpID = 1")
+        .unwrap();
     let after: Vec<u64> = d
         .storage()
         .table_data("Employee")

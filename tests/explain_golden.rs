@@ -47,11 +47,22 @@ fn explain_shows_choice_costs_and_every_plan_node() {
     for needle in ["choice:", "reason:", "cost: lazy=", "TestFD:", "plan:"] {
         assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
     }
-    for node in ["Scan Employee AS E", "Scan Department AS D", "Aggregate", "Join"] {
-        assert!(text.contains(node), "missing plan node {node:?} in:\n{text}");
+    for node in [
+        "Scan Employee AS E",
+        "Scan Department AS D",
+        "Aggregate",
+        "Join",
+    ] {
+        assert!(
+            text.contains(node),
+            "missing plan node {node:?} in:\n{text}"
+        );
     }
     // EXPLAIN must not execute: no measured section.
-    assert!(!text.contains("actual rows:"), "EXPLAIN must not run the query");
+    assert!(
+        !text.contains("actual rows:"),
+        "EXPLAIN must not run the query"
+    );
     assert!(!text.contains("estimate vs actual:"));
 }
 
@@ -64,13 +75,31 @@ fn explain_analyze_has_timing_lines_and_audit_columns() {
     db.options_mut().policy = PushdownPolicy::CostBased;
     let text = explain_text(&mut db, &format!("EXPLAIN ANALYZE {sql}"));
 
-    let planning_lines = text.lines().filter(|l| l.starts_with("planning time:")).count();
-    let execution_lines = text.lines().filter(|l| l.starts_with("execution time:")).count();
+    let planning_lines = text
+        .lines()
+        .filter(|l| l.starts_with("planning time:"))
+        .count();
+    let execution_lines = text
+        .lines()
+        .filter(|l| l.starts_with("execution time:"))
+        .count();
     assert_eq!(planning_lines, 1, "exactly one planning-time line:\n{text}");
-    assert_eq!(execution_lines, 1, "exactly one execution-time line:\n{text}");
-    assert!(text.contains("actual rows: 10"), "row count line in:\n{text}");
-    assert!(text.contains("peak memory: "), "peak memory line in:\n{text}");
-    assert!(text.contains("estimate vs actual:"), "audit header in:\n{text}");
+    assert_eq!(
+        execution_lines, 1,
+        "exactly one execution-time line:\n{text}"
+    );
+    assert!(
+        text.contains("actual rows: 10"),
+        "row count line in:\n{text}"
+    );
+    assert!(
+        text.contains("peak memory: "),
+        "peak memory line in:\n{text}"
+    );
+    assert!(
+        text.contains("estimate vs actual:"),
+        "audit header in:\n{text}"
+    );
 
     // Every node the engine executed appears in the audit section with
     // all three columns on its line. (The label alone also occurs in
@@ -125,6 +154,9 @@ fn both_plan_shapes_produce_audit_sections() {
             .unwrap_or_else(|| panic!("{policy:?}: no audit section in:\n{text}"));
         let audit = &text[audit_start..];
         let nodes = audit.lines().skip(1).filter(|l| l.contains("est=")).count();
-        assert!(nodes >= 4, "{policy:?}: expected a multi-node audit:\n{audit}");
+        assert!(
+            nodes >= 4,
+            "{policy:?}: expected a multi-node audit:\n{audit}"
+        );
     }
 }

@@ -110,7 +110,11 @@ fn view_over_self_join() {
     .unwrap();
     let sql = "SELECT M.Name, V.Cnt FROM Reports V, Emp M WHERE V.ManagerID = M.EmpID";
     let mut results = Vec::new();
-    for policy in [PushdownPolicy::CostBased, PushdownPolicy::Always, PushdownPolicy::Never] {
+    for policy in [
+        PushdownPolicy::CostBased,
+        PushdownPolicy::Always,
+        PushdownPolicy::Never,
+    ] {
         db.options_mut().policy = policy;
         results.push(db.query(sql).unwrap());
     }
@@ -183,12 +187,17 @@ fn distributed_cost_model_changes_the_decision() {
     // Moderate fan-in (4): locally borderline-lazy under the default
     // constants once the join is selective, but a big shipping win.
     for k in 0..50 {
-        db.execute(&format!("INSERT INTO D VALUES ({k}, 't')")).unwrap();
+        db.execute(&format!("INSERT INTO D VALUES ({k}, 't')"))
+            .unwrap();
     }
     let rows: Vec<Vec<Value>> = (0..2000)
         .map(|i| {
             // Only a quarter of the fact rows match D.
-            let key = if i % 4 == 0 { i % 50 } else { 1000 + (i % 1500) };
+            let key = if i % 4 == 0 {
+                i % 50
+            } else {
+                1000 + (i % 1500)
+            };
             vec![Value::Int(i), Value::Int(key), Value::Int(i % 7)]
         })
         .collect();

@@ -93,7 +93,10 @@ fn example3_testfd_trace_matches_paper() {
     let partition = report.partition.expect("partition formed");
     assert!(partition.contains("R1 = {A, P}"), "{partition}");
     assert!(partition.contains("R2 = {U}"), "{partition}");
-    assert!(partition.contains("GA1+ = {A.Machine, A.UserId}"), "{partition}");
+    assert!(
+        partition.contains("GA1+ = {A.Machine, A.UserId}"),
+        "{partition}"
+    );
     let trace = report.testfd.expect("TestFD ran");
     assert!(trace.contains("seed: {U.UserId, U.UserName}"), "{trace}");
     assert!(trace.contains("U.Machine = 'dragon'"), "{trace}");

@@ -107,11 +107,7 @@ fn engine_never_panics_on_parsed_garbage() {
 #[test]
 fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
     for depth in [10usize, 100, 1_000, 20_000] {
-        let sql = format!(
-            "SELECT {}1{} FROM T",
-            "(".repeat(depth),
-            ")".repeat(depth)
-        );
+        let sql = format!("SELECT {}1{} FROM T", "(".repeat(depth), ")".repeat(depth));
         let res = std::panic::catch_unwind(|| gbj::sql::parse_statements(&sql));
         let res = res.expect("parser must not panic on deep nesting");
         if depth >= 1_000 {

@@ -197,9 +197,7 @@ fn join_input_invariant_at_scale() {
             ..SweepConfig::default()
         };
         let mut db = cfg.build().unwrap();
-        let join_in = |p: &ProfileNode| {
-            common::find_join(p).map(ProfileNode::rows_in).unwrap_or(0)
-        };
+        let join_in = |p: &ProfileNode| common::find_join(p).map(ProfileNode::rows_in).unwrap_or(0);
         db.options_mut().policy = PushdownPolicy::Always;
         let (_, ep, _) = db.query_report(cfg.query()).unwrap();
         db.options_mut().policy = PushdownPolicy::Never;

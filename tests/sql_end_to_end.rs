@@ -11,10 +11,8 @@ use gbj::{Database, Value};
 #[test]
 fn figure5_ddl_round_trip() {
     let mut db = Database::new();
-    db.run_script(
-        "CREATE TABLE Dept (DeptID INTEGER PRIMARY KEY, Name VARCHAR(30));",
-    )
-    .unwrap();
+    db.run_script("CREATE TABLE Dept (DeptID INTEGER PRIMARY KEY, Name VARCHAR(30));")
+        .unwrap();
     db.execute("CREATE DOMAIN DepIdType SMALLINT CHECK VALUE > 0 AND VALUE < 100")
         .unwrap();
     db.execute(
@@ -29,7 +27,8 @@ fn figure5_ddl_round_trip() {
     )
     .unwrap();
 
-    db.execute("INSERT INTO Dept VALUES (7, 'Eng'), (50, 'Ops')").unwrap();
+    db.execute("INSERT INTO Dept VALUES (7, 'Eng'), (50, 'Ops')")
+        .unwrap();
     // Valid row.
     db.execute("INSERT INTO Employee VALUES (1, 100, 'Yan', 'Weipeng', 7)")
         .unwrap();
@@ -105,7 +104,9 @@ fn null_semantics_through_sql() {
     );
 
     // IS NULL is two-valued.
-    let rows = db.query("SELECT id FROM T WHERE g IS NULL ORDER BY id").unwrap();
+    let rows = db
+        .query("SELECT id FROM T WHERE g IS NULL ORDER BY id")
+        .unwrap();
     assert_eq!(rows.len(), 2);
 
     // DISTINCT eliminates NULL duplicates.
@@ -184,9 +185,7 @@ fn necessity_demo_naive_pushdown_would_be_wrong() {
     )
     .unwrap();
     let naive = db
-        .query(
-            "SELECT D.Cat, G.S FROM G, Dim D WHERE G.DimId = D.DimId ORDER BY Cat",
-        )
+        .query("SELECT D.Cat, G.S FROM G, Dim D WHERE G.DimId = D.DimId ORDER BY Cat")
         .unwrap();
     assert_eq!(naive.len(), 3, "naive pushdown splits the 'x' group");
     assert!(!e1.multiset_eq(&naive));
@@ -224,11 +223,11 @@ fn explain_is_informative() {
     )
     .unwrap();
     let out = db
-        .execute(
-            "EXPLAIN SELECT D.k, SUM(F.v) FROM F, D WHERE F.k = D.k GROUP BY D.k",
-        )
+        .execute("EXPLAIN SELECT D.k, SUM(F.v) FROM F, D WHERE F.k = D.k GROUP BY D.k")
         .unwrap();
-    let QueryOutput::Explain(text) = out else { panic!() };
+    let QueryOutput::Explain(text) = out else {
+        panic!()
+    };
     for needle in ["choice:", "partition", "TestFD", "plan:", "Aggregate"] {
         assert!(text.contains(needle), "missing {needle} in:\n{text}");
     }
@@ -244,9 +243,7 @@ fn distinct_aggregates_and_floats() {
     )
     .unwrap();
     let rows = db
-        .query(
-            "SELECT g, COUNT(DISTINCT f), SUM(f), AVG(f) FROM M GROUP BY g ORDER BY g",
-        )
+        .query("SELECT g, COUNT(DISTINCT f), SUM(f), AVG(f) FROM M GROUP BY g ORDER BY g")
         .unwrap();
     assert_eq!(
         rows.rows[0],
@@ -272,7 +269,9 @@ fn explain_analyze_shows_measured_rows() {
     let out = db
         .execute("EXPLAIN ANALYZE SELECT b, COUNT(*) FROM T GROUP BY b")
         .unwrap();
-    let QueryOutput::Explain(text) = out else { panic!() };
+    let QueryOutput::Explain(text) = out else {
+        panic!()
+    };
     assert!(text.contains("planning time: "), "{text}");
     assert!(text.contains("execution time: "), "{text}");
     assert!(text.contains("actual rows: 2"), "{text}");

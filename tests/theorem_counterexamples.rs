@@ -35,7 +35,10 @@ fn fd1_violation_makes_e1_and_e2_differ() {
     let sql = "SELECT F.G, D.H, SUM(F.V) FROM F, D WHERE F.A = D.B GROUP BY F.G, D.H";
     let e1 = db.query(sql).unwrap();
     assert_eq!(e1.len(), 1);
-    assert_eq!(e1.rows[0], vec![Value::Int(5), Value::Int(7), Value::Int(30)]);
+    assert_eq!(
+        e1.rows[0],
+        vec![Value::Int(5), Value::Int(7), Value::Int(30)]
+    );
 
     // The engine must have refused the rewrite (FD1 underivable: the
     // closure of {F.G, D.H} never reaches F.A).
@@ -87,10 +90,8 @@ fn fd2_violation_makes_e1_and_e2_differ() {
     );
 
     // E2 by hand: group F on GA1+ = (A) first, then join.
-    db.execute(
-        "CREATE VIEW R1P (A, S) AS SELECT F.A, SUM(F.V) FROM F GROUP BY F.A",
-    )
-    .unwrap();
+    db.execute("CREATE VIEW R1P (A, S) AS SELECT F.A, SUM(F.V) FROM F GROUP BY F.A")
+        .unwrap();
     let e2 = db
         .query("SELECT R1P.A, R1P.S FROM R1P, D WHERE R1P.A = D.B")
         .unwrap();
@@ -174,7 +175,8 @@ fn lemma1_projection_is_irrelevant() {
         .query("SELECT D.B, SUM(F.V) FROM F, D WHERE F.A = D.B GROUP BY D.B")
         .unwrap();
     // The same query over a view that pre-projects R2 to GA2+ = {B}.
-    db.execute("CREATE VIEW D2 (B) AS SELECT D.B FROM D").unwrap();
+    db.execute("CREATE VIEW D2 (B) AS SELECT D.B FROM D")
+        .unwrap();
     let projected = db
         .query("SELECT D2.B, SUM(F.V) FROM F, D2 WHERE F.A = D2.B GROUP BY D2.B")
         .unwrap();
