@@ -49,13 +49,18 @@ pub struct EngineOptions {
 impl Default for EngineOptions {
     /// Defaults everywhere, except that the `GBJ_TEST_THREADS`
     /// environment variable (when set to a positive integer) overrides
-    /// the executor thread count — the hook `scripts/verify.sh` uses to
-    /// push the whole engine-level test suite through the parallel
-    /// operators without touching each test.
+    /// the executor thread count and `GBJ_TEST_VECTORIZED` (`1`/`0`)
+    /// overrides the vectorized-kernel switch — the hooks
+    /// `scripts/verify.sh` uses to push the whole engine-level test
+    /// suite through the parallel operators and the columnar path
+    /// without touching each test.
     fn default() -> EngineOptions {
         let mut exec = ExecOptions::default();
         if let Some(threads) = gbj_exec::threads_from_env() {
             exec.threads = threads;
+        }
+        if let Some(on) = gbj_exec::vectorized_from_env() {
+            exec.vectorized = on;
         }
         EngineOptions {
             policy: PushdownPolicy::default(),
@@ -106,7 +111,10 @@ impl QueryReport {
     #[must_use]
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("choice: {:?}\nreason: {}\n", self.choice, self.reason));
+        out.push_str(&format!(
+            "choice: {:?}\nreason: {}\n",
+            self.choice, self.reason
+        ));
         if let Some(p) = &self.partition {
             out.push_str(&format!("partition:\n{p}\n"));
         }
@@ -117,10 +125,7 @@ impl QueryReport {
             ));
         }
         if let (Some(l), Some(e)) = (&self.lazy_cost, &self.eager_cost) {
-            out.push_str(&format!(
-                "cost: lazy={:.0} eager={:.0}\n",
-                l.total, e.total
-            ));
+            out.push_str(&format!("cost: lazy={:.0} eager={:.0}\n", l.total, e.total));
         }
         if let Some(t) = &self.testfd {
             out.push_str("TestFD:\n");
@@ -285,6 +290,13 @@ impl Database {
         self.options.exec.threads = threads;
     }
 
+    /// Switch the vectorized columnar kernels on or off for subsequent
+    /// queries (results are byte-identical either way; the row engine
+    /// remains the oracle).
+    pub fn set_vectorized(&mut self, on: bool) {
+        self.options.exec.vectorized = on;
+    }
+
     /// The underlying storage.
     #[must_use]
     pub fn storage(&self) -> &Storage {
@@ -404,8 +416,11 @@ impl Database {
                 columns,
                 constraints,
             } => {
-                let def = Binder::new(self.storage.catalog())
-                    .bind_create_table(&name, &columns, &constraints)?;
+                let def = Binder::new(self.storage.catalog()).bind_create_table(
+                    &name,
+                    &columns,
+                    &constraints,
+                )?;
                 self.storage.create_table(def)?;
                 Ok(QueryOutput::Ddl(format!("created table {name}")))
             }
@@ -414,8 +429,11 @@ impl Database {
                 data_type,
                 check,
             } => {
-                let domain = Binder::new(self.storage.catalog())
-                    .bind_create_domain(&name, data_type, check.as_ref())?;
+                let domain = Binder::new(self.storage.catalog()).bind_create_domain(
+                    &name,
+                    data_type,
+                    check.as_ref(),
+                )?;
                 self.storage.create_domain(domain)?;
                 Ok(QueryOutput::Ddl(format!("created domain {name}")))
             }
@@ -652,7 +670,14 @@ impl Database {
         eager_choice: PlanChoice,
         bound: &BoundSelect,
     ) -> Result<QueryReport> {
-        self.decide(lazy_block, eager_block, partition, testfd, eager_choice, bound)
+        self.decide(
+            lazy_block,
+            eager_block,
+            partition,
+            testfd,
+            eager_choice,
+            bound,
+        )
     }
 
     fn decide(
@@ -795,9 +820,7 @@ fn raw_assertion_expr(ast: &gbj_sql::AstExpr) -> Result<Expr> {
             negated: *negated,
         },
         AstExpr::Func { name, .. } => {
-            return Err(Error::Unsupported(format!(
-                "aggregate {name} in assertion"
-            )))
+            return Err(Error::Unsupported(format!("aggregate {name} in assertion")))
         }
     })
 }
@@ -817,10 +840,8 @@ mod tests {
         )
         .unwrap();
         for d in 1..=4 {
-            db.execute(&format!(
-                "INSERT INTO Department VALUES ({d}, 'dept{d}')"
-            ))
-            .unwrap();
+            db.execute(&format!("INSERT INTO Department VALUES ({d}, 'dept{d}')"))
+                .unwrap();
         }
         for e in 1..=20 {
             let d = e % 4 + 1;
@@ -886,7 +907,9 @@ mod tests {
     fn explain_mentions_everything() {
         let mut db = example1_db();
         let out = db.execute(&format!("EXPLAIN {EXAMPLE1_SQL}")).unwrap();
-        let QueryOutput::Explain(text) = out else { panic!() };
+        let QueryOutput::Explain(text) = out else {
+            panic!()
+        };
         assert!(text.contains("choice: Eager"), "{text}");
         assert!(text.contains("TestFD"));
         assert!(text.contains("partition"));
@@ -900,7 +923,9 @@ mod tests {
         let out = db
             .execute(&format!("EXPLAIN ANALYZE {EXAMPLE1_SQL}"))
             .unwrap();
-        let QueryOutput::Explain(text) = out else { panic!() };
+        let QueryOutput::Explain(text) = out else {
+            panic!()
+        };
         // Bugfix: planning and execution are separate labeled lines.
         assert!(text.contains("planning time: "), "{text}");
         assert!(text.contains("execution time: "), "{text}");
@@ -1074,9 +1099,7 @@ mod tests {
             "unknown column: kind {} ({err})",
             err.kind()
         );
-        let err = db
-            .execute("SELECT E.Nope FROM Employee E")
-            .unwrap_err();
+        let err = db.execute("SELECT E.Nope FROM Employee E").unwrap_err();
         assert_eq!(err.kind(), "bind");
     }
 

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use gbj_expr::{AggregateCall, Accumulator, BoundExpr};
+use gbj_expr::{Accumulator, AggregateCall, BoundExpr};
 use gbj_types::{Error, GroupKey, Result, Value};
 
 use crate::guard::{row_bytes, ResourceGuard};
@@ -49,14 +49,29 @@ pub fn hash_aggregate(
     guard: &ResourceGuard,
     sink: &MetricsSink,
 ) -> Result<Vec<Vec<Value>>> {
+    hash_aggregate_with_keys(input, group_exprs, aggregates, None, guard, sink)
+}
+
+/// [`hash_aggregate`] with optionally precomputed grouping keys (one
+/// per input row, e.g. from the vectorized batch kernels). The keys
+/// must equal row-at-a-time evaluation of `group_exprs`; the executor
+/// only precomputes for error-free (vectorizable) key expressions, so
+/// the output — including error behavior — is identical either way.
+pub fn hash_aggregate_with_keys(
+    input: &[Vec<Value>],
+    group_exprs: &[BoundExpr],
+    aggregates: &[CompiledAggregate],
+    precomputed: Option<&[GroupKey]>,
+    guard: &ResourceGuard,
+    sink: &MetricsSink,
+) -> Result<Vec<Vec<Value>>> {
     let mut order: Vec<GroupKey> = Vec::new();
     let mut groups: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
 
     if group_exprs.is_empty() {
         // Scalar aggregate: exactly one group, even over empty input.
         let scalar_timer = sink.start_timer();
-        let mut accs: Vec<Accumulator> =
-            aggregates.iter().map(|a| a.call.accumulator()).collect();
+        let mut accs: Vec<Accumulator> = aggregates.iter().map(|a| a.call.accumulator()).collect();
         for row in input {
             guard.tick()?;
             for (agg, acc) in aggregates.iter().zip(&mut accs) {
@@ -70,13 +85,20 @@ pub fn hash_aggregate(
     let build_timer = sink.start_timer();
     let mut table_bytes = 0u64;
     let filled = (|| -> Result<()> {
-        for row in input {
+        for (i, row) in input.iter().enumerate() {
             guard.tick()?;
-            let key_vals: Vec<Value> = group_exprs
-                .iter()
-                .map(|e| e.eval(row))
-                .collect::<Result<_>>()?;
-            let key = GroupKey(key_vals);
+            let key = match precomputed {
+                Some(keys) => keys
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| Error::Internal(format!("missing precomputed key {i}")))?,
+                None => GroupKey(
+                    group_exprs
+                        .iter()
+                        .map(|e| e.eval(row))
+                        .collect::<Result<_>>()?,
+                ),
+            };
             if !groups.contains_key(&key) {
                 let entry_bytes =
                     row_bytes(&key.0) + ACC_ENTRY_BYTES * aggregates.len().max(1) as u64;
@@ -354,10 +376,7 @@ mod tests {
     fn sum_overflow_is_an_execution_error_not_a_panic() {
         // Two values near i64::MAX in one group: the running SUM
         // overflows and must surface as Error::Execution.
-        let input = rows(&[
-            (Some(1), Some(i64::MAX - 1)),
-            (Some(1), Some(i64::MAX - 1)),
-        ]);
+        let input = rows(&[(Some(1), Some(i64::MAX - 1)), (Some(1), Some(i64::MAX - 1))]);
         for f in [hash_aggregate, sort_aggregate] {
             let err = f(&input, &group_exprs(), &[sum_call()], &g(), &sk()).unwrap_err();
             assert_eq!(err.kind(), "execution", "got {err}");
@@ -385,6 +404,37 @@ mod tests {
             let out = f(&input, &group_exprs(), &[avg()], &g(), &sk()).unwrap();
             assert_eq!(out, vec![vec![Value::Int(1), Value::Null]]);
         }
+    }
+
+    #[test]
+    fn precomputed_keys_are_byte_identical_to_inline_evaluation() {
+        let input = rows(&[
+            (Some(1), Some(10)),
+            (None, Some(7)),
+            (Some(1), Some(5)),
+            (Some(2), None),
+            (None, Some(3)),
+        ]);
+        let exprs = group_exprs();
+        let keys: Vec<GroupKey> = input
+            .iter()
+            .map(|r| GroupKey(exprs.iter().map(|e| e.eval(r).unwrap()).collect()))
+            .collect();
+        let inline = hash_aggregate(&input, &exprs, &[sum_call()], &g(), &sk()).unwrap();
+        let pre = hash_aggregate_with_keys(&input, &exprs, &[sum_call()], Some(&keys), &g(), &sk())
+            .unwrap();
+        assert_eq!(pre, inline, "rows and first-seen group order must match");
+        // A missing key is an internal error, not a panic.
+        let err = hash_aggregate_with_keys(
+            &input,
+            &exprs,
+            &[sum_call()],
+            Some(keys.get(..2).unwrap()),
+            &g(),
+            &sk(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "internal");
     }
 
     #[test]

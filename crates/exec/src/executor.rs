@@ -8,12 +8,18 @@ use gbj_plan::LogicalPlan;
 use gbj_storage::Storage;
 use gbj_types::{internal_err, GroupKey, Result, Truth, Value};
 
-use crate::aggregate::{hash_aggregate, sort_aggregate, CompiledAggregate};
+use crate::aggregate::{hash_aggregate_with_keys, sort_aggregate, CompiledAggregate};
+use crate::batch::ColumnarBatch;
 use crate::guard::{ResourceGuard, ResourceLimits};
-use crate::join::{hash_join, nested_loop_join, sort_merge_join, split_equi_keys};
+use crate::join::{hash_join_with_keys, nested_loop_join, sort_merge_join, split_equi_keys};
 use crate::metrics::MetricsSink;
-use crate::parallel::{morsel_rows, parallel_hash_aggregate, parallel_hash_join};
+use crate::parallel::{
+    morsel_rows, parallel_hash_aggregate_with_keys, parallel_hash_join_with_keys,
+};
 use crate::result::{ProfileNode, ResultSet};
+use crate::vectorized::{
+    compute_group_keys, compute_join_keys, eval_truth_vec, eval_value_vec, vectorizable,
+};
 
 /// Join algorithm selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,6 +62,13 @@ pub struct ExecOptions {
     /// each [`ProfileNode`]. On by default; turning it off replaces
     /// every sink with a no-op that skips its clock reads.
     pub metrics: bool,
+    /// Run the vectorized columnar kernels (see [`crate::vectorized`])
+    /// for filter, projection and the hash-key computations of join and
+    /// aggregate. Off by default. Results — including errors and the
+    /// metrics fingerprint — are byte-identical to the row path: the
+    /// kernels cover only the error-free expression subset and each
+    /// operator falls back to row-at-a-time evaluation otherwise.
+    pub vectorized: bool,
 }
 
 impl Default for ExecOptions {
@@ -66,6 +79,7 @@ impl Default for ExecOptions {
             limits: ResourceLimits::default(),
             threads: NonZeroUsize::MIN,
             metrics: true,
+            vectorized: false,
         }
     }
 }
@@ -86,6 +100,80 @@ pub struct ExecSummary {
 /// operator actually ran serial or parallel.
 fn input_batches(len: usize) -> u64 {
     len.div_ceil(morsel_rows(len)) as u64
+}
+
+/// Vectorized filter: per morsel-sized chunk, build a
+/// [`ColumnarBatch`], evaluate the (vectorizable, hence error-free)
+/// predicate column-at-a-time, and keep the rows whose 3VL result is
+/// `true`. Row order and output are byte-identical to the row path.
+fn filter_vectorized(
+    bound: &gbj_expr::BoundExpr,
+    in_rows: Vec<Vec<Value>>,
+    arity: usize,
+    guard: &ResourceGuard,
+    sink: &MetricsSink,
+) -> Result<Vec<Vec<Value>>> {
+    let chunk_len = morsel_rows(in_rows.len()).max(1);
+    let mut rows = Vec::new();
+    let mut it = in_rows.into_iter();
+    loop {
+        let chunk: Vec<Vec<Value>> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        guard.tick()?;
+        let timer = sink.start_timer();
+        let batch = ColumnarBatch::from_rows(&chunk, arity)?;
+        sink.add_vectors(1);
+        let truths = eval_truth_vec(bound, &batch)?;
+        sink.record_kernel(timer);
+        for (row, t) in chunk.into_iter().zip(truths) {
+            if t == Truth::True {
+                rows.push(row);
+            }
+        }
+    }
+    sink.add_selected(rows.len() as u64);
+    Ok(rows)
+}
+
+/// Vectorized projection: evaluate every (vectorizable) output
+/// expression column-at-a-time per chunk, then assemble output rows —
+/// with the same duplicate-elimination-under-`=ⁿ` dedup set as the row
+/// path when `distinct` is set.
+fn project_vectorized(
+    bound: &[gbj_expr::BoundExpr],
+    in_rows: &[Vec<Value>],
+    arity: usize,
+    distinct: bool,
+    guard: &ResourceGuard,
+    sink: &MetricsSink,
+) -> Result<Vec<Vec<Value>>> {
+    let chunk_len = morsel_rows(in_rows.len()).max(1);
+    let mut rows = Vec::with_capacity(in_rows.len());
+    let mut seen: HashSet<GroupKey> = HashSet::new();
+    for chunk in in_rows.chunks(chunk_len) {
+        guard.tick()?;
+        let timer = sink.start_timer();
+        let batch = ColumnarBatch::from_rows(chunk, arity)?;
+        sink.add_vectors(1);
+        let cols: Vec<_> = bound
+            .iter()
+            .map(|b| eval_value_vec(b, &batch))
+            .collect::<Result<_>>()?;
+        sink.record_kernel(timer);
+        for i in 0..batch.len() {
+            let out: Vec<Value> = cols.iter().map(|c| c.value(i)).collect();
+            if distinct {
+                if seen.insert(GroupKey(out.clone())) {
+                    rows.push(out);
+                }
+            } else {
+                rows.push(out);
+            }
+        }
+    }
+    Ok(rows)
 }
 
 /// Executes logical plans against a [`Storage`].
@@ -184,14 +272,20 @@ impl<'a> Executor<'a> {
                 let sink = self.sink();
                 let timer = sink.start_timer();
                 let n_in = in_rows.len();
-                let bound = predicate.bind(&input.schema()?)?;
-                let mut rows = Vec::new();
-                for row in in_rows {
-                    guard.tick()?;
-                    if bound.eval_truth(&row)? == Truth::True {
-                        rows.push(row);
+                let in_schema = input.schema()?;
+                let bound = predicate.bind(&in_schema)?;
+                let rows = if self.options.vectorized && vectorizable(&bound) {
+                    filter_vectorized(&bound, in_rows, in_schema.len(), guard, &sink)?
+                } else {
+                    let mut rows = Vec::new();
+                    for row in in_rows {
+                        guard.tick()?;
+                        if bound.eval_truth(&row)? == Truth::True {
+                            rows.push(row);
+                        }
                     }
-                }
+                    rows
+                };
                 guard.charge_rows(rows.len())?;
                 sink.add_batches(1);
                 sink.record_probe(timer);
@@ -215,7 +309,16 @@ impl<'a> Executor<'a> {
                     .map(|(e, _)| e.bind(&in_schema))
                     .collect::<Result<_>>()?;
                 let mut rows = Vec::with_capacity(in_rows.len());
-                if *distinct {
+                if self.options.vectorized && bound.iter().all(vectorizable) {
+                    rows = project_vectorized(
+                        &bound,
+                        &in_rows,
+                        in_schema.len(),
+                        *distinct,
+                        guard,
+                        &sink,
+                    )?;
+                } else if *distinct {
                     let mut seen: HashSet<GroupKey> = HashSet::new();
                     for row in &in_rows {
                         guard.tick()?;
@@ -230,12 +333,7 @@ impl<'a> Executor<'a> {
                 } else {
                     for row in &in_rows {
                         guard.tick()?;
-                        rows.push(
-                            bound
-                                .iter()
-                                .map(|b| b.eval(row))
-                                .collect::<Result<_>>()?,
-                        );
+                        rows.push(bound.iter().map(|b| b.eval(row)).collect::<Result<_>>()?);
                     }
                 }
                 guard.charge_rows(rows.len())?;
@@ -309,22 +407,53 @@ impl<'a> Executor<'a> {
                             "NestedLoopJoin",
                         )
                     }
-                    JoinAlgo::Hash | JoinAlgo::Auto if self.options.threads.get() > 1 => (
-                        parallel_hash_join(
-                            &l,
-                            &r,
-                            &keys,
-                            &residual_bound,
-                            guard,
-                            self.options.threads,
-                            &sink,
-                        )?,
-                        "ParallelHashJoin",
-                    ),
-                    JoinAlgo::Hash | JoinAlgo::Auto => (
-                        hash_join(&l, &r, &keys, &residual_bound, guard, &sink)?,
-                        "HashJoin",
-                    ),
+                    JoinAlgo::Hash | JoinAlgo::Auto => {
+                        // Vectorized: extract both sides' equi keys
+                        // column-at-a-time up front; the join then skips
+                        // per-row key gathering. `None` keys (NULL in a
+                        // key column) never match — same as the row path.
+                        let (lk, rk) = if self.options.vectorized {
+                            let kt = sink.start_timer();
+                            let lords: Vec<usize> = keys.iter().map(|k| k.left).collect();
+                            let rords: Vec<usize> = keys.iter().map(|k| k.right).collect();
+                            let lk = compute_join_keys(&l, lschema.len(), &lords, &sink)?;
+                            let rk = compute_join_keys(&r, rschema.len(), &rords, &sink)?;
+                            sink.record_kernel(kt);
+                            (Some(lk), Some(rk))
+                        } else {
+                            (None, None)
+                        };
+                        if self.options.threads.get() > 1 {
+                            (
+                                parallel_hash_join_with_keys(
+                                    &l,
+                                    &r,
+                                    &keys,
+                                    &residual_bound,
+                                    lk.as_deref(),
+                                    rk.as_deref(),
+                                    guard,
+                                    self.options.threads,
+                                    &sink,
+                                )?,
+                                "ParallelHashJoin",
+                            )
+                        } else {
+                            (
+                                hash_join_with_keys(
+                                    &l,
+                                    &r,
+                                    &keys,
+                                    &residual_bound,
+                                    lk.as_deref(),
+                                    rk.as_deref(),
+                                    guard,
+                                    &sink,
+                                )?,
+                                "HashJoin",
+                            )
+                        }
+                    }
                     JoinAlgo::SortMerge => (
                         sort_merge_join(&l, &r, &keys, &residual_bound, guard, &sink)?,
                         "SortMergeJoin",
@@ -350,11 +479,7 @@ impl<'a> Executor<'a> {
                 let compiled: Vec<CompiledAggregate> = aggregates
                     .iter()
                     .map(|(call, _)| {
-                        let arg = call
-                            .arg
-                            .as_ref()
-                            .map(|e| e.bind(&in_schema))
-                            .transpose()?;
+                        let arg = call.arg.as_ref().map(|e| e.bind(&in_schema)).transpose()?;
                         Ok(CompiledAggregate {
                             call: call.clone(),
                             arg,
@@ -363,12 +488,29 @@ impl<'a> Executor<'a> {
                     .collect::<Result<_>>()?;
                 let sink = self.sink();
                 sink.add_batches(input_batches(in_rows.len()));
+                // Vectorized: precompute the `=ⁿ` grouping keys
+                // column-at-a-time (only when every grouping expression
+                // is in the error-free vectorizable subset, so the row
+                // path could not have errored mid-stream either).
+                let precomputed = if self.options.vectorized
+                    && self.options.agg == AggAlgo::Hash
+                    && !group_bound.is_empty()
+                    && group_bound.iter().all(vectorizable)
+                {
+                    let kt = sink.start_timer();
+                    let keys = compute_group_keys(&in_rows, in_schema.len(), &group_bound, &sink)?;
+                    sink.record_kernel(kt);
+                    Some(keys)
+                } else {
+                    None
+                };
                 let (rows, op) = match self.options.agg {
                     AggAlgo::Hash if self.options.threads.get() > 1 => (
-                        parallel_hash_aggregate(
+                        parallel_hash_aggregate_with_keys(
                             &in_rows,
                             &group_bound,
                             &compiled,
+                            precomputed.as_deref(),
                             guard,
                             self.options.threads,
                             &sink,
@@ -376,7 +518,14 @@ impl<'a> Executor<'a> {
                         "ParallelHashAggregate",
                     ),
                     AggAlgo::Hash => (
-                        hash_aggregate(&in_rows, &group_bound, &compiled, guard, &sink)?,
+                        hash_aggregate_with_keys(
+                            &in_rows,
+                            &group_bound,
+                            &compiled,
+                            precomputed.as_deref(),
+                            guard,
+                            &sink,
+                        )?,
                         "HashAggregate",
                     ),
                     AggAlgo::Sort => (
@@ -488,10 +637,7 @@ mod tests {
         for (i, d) in depts.iter().enumerate() {
             s.insert(
                 "Employee",
-                vec![
-                    Value::Int(i as i64 + 1),
-                    d.map_or(Value::Null, Value::Int),
-                ],
+                vec![Value::Int(i as i64 + 1), d.map_or(Value::Null, Value::Int)],
             )
             .unwrap();
         }
@@ -682,6 +828,105 @@ mod tests {
             let (_, p) = exec.execute(&plan1(&s)).unwrap();
             assert_eq!(p.counter_fingerprint(), expected, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn vectorized_execution_is_byte_identical_with_same_fingerprint() {
+        let s = setup();
+        let row = Executor::new(&s);
+        let (expect_lazy, row_p) = row.execute(&plan1(&s)).unwrap();
+        let (expect_eager, _) = row.execute(&plan2(&s)).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let exec = Executor::with_options(
+                &s,
+                ExecOptions {
+                    vectorized: true,
+                    threads: NonZeroUsize::new(threads).unwrap(),
+                    ..ExecOptions::default()
+                },
+            );
+            let (lazy, p) = exec.execute(&plan1(&s)).unwrap();
+            assert_eq!(lazy.rows, expect_lazy.rows, "threads={threads}");
+            let (eager, _) = exec.execute(&plan2(&s)).unwrap();
+            assert_eq!(eager.rows, expect_eager.rows, "threads={threads}");
+            if threads == 1 {
+                // Operator names are unchanged by vectorization; only
+                // the `vectors` counter betrays the columnar path, and
+                // the fingerprint matches the row engine exactly.
+                assert!(p.find_operator("HashJoin").is_some());
+                assert_eq!(p.counter_fingerprint(), row_p.counter_fingerprint());
+                assert!(p.metrics.vectors > 0, "aggregate used batched keys");
+                assert!(
+                    p.find_operator("HashJoin").unwrap().metrics.vectors > 0,
+                    "join used batched key extraction"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vectorized_filter_and_project_match_row_engine() {
+        let s = setup();
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan(&s, "Employee", "E")),
+                predicate: Expr::col("E", "DeptID")
+                    .eq(Expr::lit(1i64))
+                    .or(Expr::IsNull {
+                        expr: Box::new(Expr::col("E", "DeptID")),
+                        negated: false,
+                    }),
+            }),
+            exprs: vec![(Expr::col("E", "DeptID"), "DeptID".into())],
+            distinct: true,
+        };
+        let (expect, _) = Executor::new(&s).execute(&plan).unwrap();
+        let exec = Executor::with_options(
+            &s,
+            ExecOptions {
+                vectorized: true,
+                ..ExecOptions::default()
+            },
+        );
+        let (got, p) = exec.execute(&plan).unwrap();
+        assert_eq!(got.rows, expect.rows);
+        let filter = p.find_operator("Filter").unwrap();
+        assert!(filter.metrics.vectors > 0, "filter ran the kernel");
+        assert_eq!(
+            filter.metrics.selected, filter.metrics.rows_out,
+            "selection density counter matches survivors"
+        );
+        assert!(
+            p.find_operator("ProjectDistinct").unwrap().metrics.vectors > 0,
+            "distinct projection ran the kernel"
+        );
+    }
+
+    #[test]
+    fn vectorized_falls_back_on_arithmetic_predicates() {
+        let s = setup();
+        // `DeptID + 1 = 2` contains arithmetic, which can error and is
+        // therefore outside the vectorizable subset: the filter must
+        // take the row path (vectors stays 0) yet still run correctly.
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan(&s, "Employee", "E")),
+            predicate: Expr::col("E", "DeptID")
+                .binary(gbj_expr::BinaryOp::Add, Expr::lit(1i64))
+                .eq(Expr::lit(2i64)),
+        };
+        let (expect, _) = Executor::new(&s).execute(&plan).unwrap();
+        let exec = Executor::with_options(
+            &s,
+            ExecOptions {
+                vectorized: true,
+                ..ExecOptions::default()
+            },
+        );
+        let (got, p) = exec.execute(&plan).unwrap();
+        assert_eq!(got.rows, expect.rows);
+        let filter = p.find_operator("Filter").unwrap();
+        assert_eq!(filter.metrics.vectors, 0, "row-path fallback");
+        assert_eq!(filter.rows_out, 3, "three employees in department 1");
     }
 
     #[test]

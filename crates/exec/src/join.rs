@@ -16,8 +16,12 @@ use crate::metrics::MetricsSink;
 /// Checked column access: a bad ordinal is an optimizer/binder bug, so
 /// it surfaces as `Error::Internal` instead of a panic.
 pub(crate) fn col(row: &[Value], idx: usize) -> Result<&Value> {
-    row.get(idx)
-        .ok_or_else(|| internal_err!("column ordinal {idx} out of bounds for row of arity {}", row.len()))
+    row.get(idx).ok_or_else(|| {
+        internal_err!(
+            "column ordinal {idx} out of bounds for row of arity {}",
+            row.len()
+        )
+    })
 }
 
 /// An equi-join key pair: ordinal in the left schema, ordinal in the
@@ -52,13 +56,19 @@ pub fn split_equi_keys(
             if let (Expr::Column(lc), Expr::Column(rc)) = (l.as_ref(), r.as_ref()) {
                 match (left.index_of(lc), right.index_of(rc)) {
                     (Ok(li), Ok(ri)) => {
-                        keys.push(EquiKey { left: li, right: ri });
+                        keys.push(EquiKey {
+                            left: li,
+                            right: ri,
+                        });
                         continue;
                     }
                     _ => {
                         // Try the flipped orientation.
                         if let (Ok(li), Ok(ri)) = (left.index_of(rc), right.index_of(lc)) {
-                            keys.push(EquiKey { left: li, right: ri });
+                            keys.push(EquiKey {
+                                left: li,
+                                right: ri,
+                            });
                             continue;
                         }
                     }
@@ -121,6 +131,53 @@ pub fn hash_join(
     guard: &ResourceGuard,
     sink: &MetricsSink,
 ) -> Result<Vec<Vec<Value>>> {
+    hash_join_with_keys(left, right, keys, residual, None, None, guard, sink)
+}
+
+/// Extract one side's join key from a row, either from a precomputed
+/// key slice (`None` entry = key contains NULL) or by cloning the key
+/// columns. Returns `Ok(None)` for NULL-keyed rows, which never join.
+pub(crate) fn side_key(
+    row: &[Value],
+    i: usize,
+    ordinal: impl Fn(&EquiKey) -> usize,
+    keys: &[EquiKey],
+    precomputed: Option<&[Option<GroupKey>]>,
+) -> Result<Option<GroupKey>> {
+    match precomputed {
+        Some(pre) => pre
+            .get(i)
+            .cloned()
+            .ok_or_else(|| internal_err!("missing precomputed join key {i}")),
+        None => {
+            let kv: Vec<Value> = keys
+                .iter()
+                .map(|k| col(row, ordinal(k)).cloned())
+                .collect::<Result<_>>()?;
+            if kv.iter().any(Value::is_null) {
+                Ok(None)
+            } else {
+                Ok(Some(GroupKey(kv)))
+            }
+        }
+    }
+}
+
+/// [`hash_join`] with optionally precomputed per-row keys for either
+/// side (one entry per row; `None` = key contains NULL), e.g. from the
+/// vectorized batch kernels. Precomputed keys must equal column-clone
+/// extraction, so output, metrics and memory charges are identical.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join_with_keys(
+    left: &[Vec<Value>],
+    right: &[Vec<Value>],
+    keys: &[EquiKey],
+    residual: &Option<BoundExpr>,
+    left_keys: Option<&[Option<GroupKey>]>,
+    right_keys: Option<&[Option<GroupKey>]>,
+    guard: &ResourceGuard,
+    sink: &MetricsSink,
+) -> Result<Vec<Vec<Value>>> {
     let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
     let mut build_bytes = 0u64;
     let mut build_entries = 0u64;
@@ -128,18 +185,14 @@ pub fn hash_join(
     let build_result = (|| -> Result<()> {
         for (i, r) in right.iter().enumerate() {
             guard.tick()?;
-            let kv: Vec<Value> = keys
-                .iter()
-                .map(|k| col(r, k.right).cloned())
-                .collect::<Result<_>>()?;
-            if kv.iter().any(Value::is_null) {
+            let Some(key) = side_key(r, i, |k| k.right, keys, right_keys)? else {
                 continue;
-            }
-            let entry_bytes = row_bytes(&kv) + std::mem::size_of::<usize>() as u64;
+            };
+            let entry_bytes = row_bytes(&key.0) + std::mem::size_of::<usize>() as u64;
             build_bytes += entry_bytes;
             build_entries += 1;
             guard.charge_memory(entry_bytes)?;
-            table.entry(GroupKey(kv)).or_default().push(i);
+            table.entry(key).or_default().push(i);
         }
         Ok(())
     })();
@@ -149,21 +202,17 @@ pub fn hash_join(
     let probe_timer = sink.start_timer();
     let probe = build_result.and_then(|()| {
         let mut out = Vec::new();
-        for l in left {
+        for (i, l) in left.iter().enumerate() {
             guard.tick()?;
-            let kv: Vec<Value> = keys
-                .iter()
-                .map(|k| col(l, k.left).cloned())
-                .collect::<Result<_>>()?;
-            if kv.iter().any(Value::is_null) {
+            let Some(key) = side_key(l, i, |k| k.left, keys, left_keys)? else {
                 continue;
-            }
-            if let Some(matches) = table.get(&GroupKey(kv)) {
+            };
+            if let Some(matches) = table.get(&key) {
                 for &ri in matches {
                     guard.tick()?;
-                    let r = right.get(ri).ok_or_else(|| {
-                        internal_err!("hash-join build index {ri} out of bounds")
-                    })?;
+                    let r = right
+                        .get(ri)
+                        .ok_or_else(|| internal_err!("hash-join build index {ri} out of bounds"))?;
                     let row = concat(l, r);
                     if residual_passes(residual, &row)? {
                         out.push(row);
@@ -223,11 +272,19 @@ pub fn sort_merge_join(
 
     let mut ls: Vec<&Vec<Value>> = left
         .iter()
-        .filter(|r| !keys.iter().any(|k| r.get(k.left).is_none_or(Value::is_null)))
+        .filter(|r| {
+            !keys
+                .iter()
+                .any(|k| r.get(k.left).is_none_or(Value::is_null))
+        })
         .collect();
     let mut rs: Vec<&Vec<Value>> = right
         .iter()
-        .filter(|r| !keys.iter().any(|k| r.get(k.right).is_none_or(Value::is_null)))
+        .filter(|r| {
+            !keys
+                .iter()
+                .any(|k| r.get(k.right).is_none_or(Value::is_null))
+        })
         .collect();
     // The sort buffers hold references; charge the reference arrays.
     let sort_bytes = ((ls.len() + rs.len()) * std::mem::size_of::<&Vec<Value>>()) as u64;
@@ -308,12 +365,7 @@ mod tests {
 
     fn rows(data: &[(Option<i64>, i64)]) -> Vec<Vec<Value>> {
         data.iter()
-            .map(|(a, b)| {
-                vec![
-                    a.map_or(Value::Null, Value::Int),
-                    Value::Int(*b),
-                ]
-            })
+            .map(|(a, b)| vec![a.map_or(Value::Null, Value::Int), Value::Int(*b)])
             .collect()
     }
 
@@ -332,8 +384,7 @@ mod tests {
         let bound = cond.bind(&joined).unwrap();
         let (keys, residual) = split_equi_keys(cond, &ls, &rs);
         assert!(!keys.is_empty());
-        let resid_bound = Expr::conjunction(residual.clone())
-            .map(|e| e.bind(&joined).unwrap());
+        let resid_bound = Expr::conjunction(residual.clone()).map(|e| e.bind(&joined).unwrap());
         let g = ResourceGuard::unlimited();
         let sink = MetricsSink::new();
         vec![
@@ -383,9 +434,8 @@ mod tests {
     #[test]
     fn residual_predicate_filters_pairs() {
         // L.id = R.id AND L.x < R.y
-        let cond = condition().and(
-            Expr::col("L", "x").binary(gbj_expr::BinaryOp::Lt, Expr::col("R", "y")),
-        );
+        let cond = condition()
+            .and(Expr::col("L", "x").binary(gbj_expr::BinaryOp::Lt, Expr::col("R", "y")));
         let left = rows(&[(Some(1), 10), (Some(1), 200)]);
         let right = rows(&[(Some(1), 100)]);
         for out in all_join_outputs(&left, &right, &cond) {
@@ -408,9 +458,8 @@ mod tests {
     fn split_equi_keys_keeps_non_equi_residual() {
         let ls = lschema();
         let rs = rschema();
-        let cond = condition().and(
-            Expr::col("L", "x").binary(gbj_expr::BinaryOp::Lt, Expr::col("R", "y")),
-        );
+        let cond = condition()
+            .and(Expr::col("L", "x").binary(gbj_expr::BinaryOp::Lt, Expr::col("R", "y")));
         let (keys, residual) = split_equi_keys(&cond, &ls, &rs);
         assert_eq!(keys.len(), 1);
         assert_eq!(residual.len(), 1);
@@ -457,6 +506,62 @@ mod tests {
         assert_eq!(out.len(), 1);
         let out = sort_merge_join(&left, &right, &keys, &None, &g, &sink).unwrap();
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn precomputed_keys_are_byte_identical_to_column_extraction() {
+        let left = rows(&[(Some(1), 10), (None, 99), (Some(2), 20), (Some(1), 11)]);
+        let right = rows(&[(Some(1), 100), (None, 200), (Some(2), 300)]);
+        let ls = lschema();
+        let rs = rschema();
+        let (keys, _) = split_equi_keys(&condition(), &ls, &rs);
+        let extract = |rows: &[Vec<Value>], ord: fn(&EquiKey) -> usize| -> Vec<Option<GroupKey>> {
+            rows.iter()
+                .map(|r| {
+                    let kv: Vec<Value> = keys.iter().map(|k| r[ord(k)].clone()).collect();
+                    if kv.iter().any(Value::is_null) {
+                        None
+                    } else {
+                        Some(GroupKey(kv))
+                    }
+                })
+                .collect()
+        };
+        let lk = extract(&left, |k| k.left);
+        let rk = extract(&right, |k| k.right);
+        let g = ResourceGuard::unlimited();
+        let plain_sink = MetricsSink::new();
+        let plain = hash_join(&left, &right, &keys, &None, &g, &plain_sink).unwrap();
+        let pre_sink = MetricsSink::new();
+        let pre = hash_join_with_keys(
+            &left,
+            &right,
+            &keys,
+            &None,
+            Some(&lk),
+            Some(&rk),
+            &g,
+            &pre_sink,
+        )
+        .unwrap();
+        assert_eq!(pre, plain, "rows and order must match");
+        let pm = plain_sink.finish(0, 0);
+        let km = pre_sink.finish(0, 0);
+        assert_eq!(km.hash_entries, pm.hash_entries);
+        assert_eq!(km.state_bytes, pm.state_bytes, "identical memory charges");
+        // A short precomputed slice is an internal error, not a panic.
+        let err = hash_join_with_keys(
+            &left,
+            &right,
+            &keys,
+            &None,
+            Some(lk.get(..1).unwrap()),
+            None,
+            &g,
+            &MetricsSink::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "internal");
     }
 
     #[test]

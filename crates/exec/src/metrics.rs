@@ -44,6 +44,15 @@ pub struct OperatorMetrics {
     /// [`ResourceGuard`](crate::ResourceGuard) (memory high-water of
     /// this operator's tables/buffers).
     pub state_bytes: u64,
+    /// Columnar vectors (batches) built by the vectorized kernels; zero
+    /// on the row path.
+    pub vectors: u64,
+    /// Rows that passed a vectorized selection (selection density =
+    /// `selected / rows_in`); zero on the row path.
+    pub selected: u64,
+    /// Nanoseconds spent inside vectorized kernels (batch construction
+    /// plus column-at-a-time evaluation).
+    pub kernel_ns: u64,
 }
 
 impl OperatorMetrics {
@@ -82,6 +91,9 @@ pub struct MetricsSink {
     build_ns: AtomicU64,
     probe_ns: AtomicU64,
     state_bytes: AtomicU64,
+    vectors: AtomicU64,
+    selected: AtomicU64,
+    kernel_ns: AtomicU64,
 }
 
 impl MetricsSink {
@@ -127,6 +139,27 @@ impl MetricsSink {
         }
     }
 
+    /// Count `n` columnar vectors built by the vectorized kernels.
+    pub fn add_vectors(&self, n: u64) {
+        if !self.disabled {
+            self.vectors.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count `n` rows that passed a vectorized selection.
+    pub fn add_selected(&self, n: u64) {
+        if !self.disabled {
+            self.selected.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record elapsed vectorized-kernel time since `started`.
+    pub fn record_kernel(&self, started: Option<Instant>) {
+        if let Some(t) = started {
+            self.kernel_ns.fetch_add(elapsed_ns(t), Ordering::Relaxed);
+        }
+    }
+
     /// Fold one morsel's thread-local counters into the sink (called by
     /// the coordinator in morsel order).
     pub fn fold_morsel(&self, m: &MorselMetrics) {
@@ -148,16 +181,14 @@ impl MetricsSink {
     /// Record elapsed build time (state construction) since `started`.
     pub fn record_build(&self, started: Option<Instant>) {
         if let Some(t) = started {
-            self.build_ns
-                .fetch_add(elapsed_ns(t), Ordering::Relaxed);
+            self.build_ns.fetch_add(elapsed_ns(t), Ordering::Relaxed);
         }
     }
 
     /// Record elapsed probe time (output production) since `started`.
     pub fn record_probe(&self, started: Option<Instant>) {
         if let Some(t) = started {
-            self.probe_ns
-                .fetch_add(elapsed_ns(t), Ordering::Relaxed);
+            self.probe_ns.fetch_add(elapsed_ns(t), Ordering::Relaxed);
         }
     }
 
@@ -173,6 +204,9 @@ impl MetricsSink {
             build_ns: self.build_ns.load(Ordering::Relaxed),
             probe_ns: self.probe_ns.load(Ordering::Relaxed),
             state_bytes: self.state_bytes.load(Ordering::Relaxed),
+            vectors: self.vectors.load(Ordering::Relaxed),
+            selected: self.selected.load(Ordering::Relaxed),
+            kernel_ns: self.kernel_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -209,6 +243,9 @@ mod tests {
         sink.add_batches(3);
         sink.add_hash_entries(9);
         sink.add_state_bytes(64);
+        sink.add_vectors(2);
+        sink.add_selected(5);
+        sink.record_kernel(sink.start_timer());
         sink.fold_morsel(&MorselMetrics {
             hash_entries: 4,
             state_bytes: 32,
@@ -217,6 +254,23 @@ mod tests {
         assert_eq!(m.batches, 0);
         assert_eq!(m.hash_entries, 0);
         assert_eq!(m.state_bytes, 0);
+        assert_eq!(m.vectors, 0);
+        assert_eq!(m.selected, 0);
+        assert_eq!(m.kernel_ns, 0);
+    }
+
+    #[test]
+    fn vectorized_counters_accumulate_but_stay_out_of_the_fingerprint() {
+        let sink = MetricsSink::new();
+        sink.add_vectors(3);
+        sink.add_selected(40);
+        sink.record_kernel(sink.start_timer());
+        let m = sink.finish(100, 40);
+        assert_eq!(m.vectors, 3);
+        assert_eq!(m.selected, 40);
+        // The fingerprint stays comparable between the row and the
+        // vectorized path (and across thread counts).
+        assert_eq!(m.fingerprint(), [100, 40, 0, 0]);
     }
 
     #[test]

@@ -40,7 +40,7 @@ use gbj_types::{internal_err, GroupKey, Result, Value};
 
 use crate::aggregate::{CompiledAggregate, ACC_ENTRY_BYTES};
 use crate::guard::{row_bytes, ResourceGuard};
-use crate::join::{col, concat, residual_passes, EquiKey};
+use crate::join::{concat, residual_passes, side_key, EquiKey};
 use crate::metrics::{MetricsSink, MorselMetrics};
 
 /// Rows per morsel, as a function of the input size only (so morsel
@@ -182,6 +182,22 @@ pub fn parallel_hash_aggregate(
     threads: NonZeroUsize,
     sink: &MetricsSink,
 ) -> Result<Vec<Vec<Value>>> {
+    parallel_hash_aggregate_with_keys(input, group_exprs, aggregates, None, guard, threads, sink)
+}
+
+/// [`parallel_hash_aggregate`] with optionally precomputed grouping
+/// keys (one per input row, indexed by global row position — morsel
+/// workers index with `morsel_start + offset`). Mirrors
+/// [`crate::aggregate::hash_aggregate_with_keys`].
+pub fn parallel_hash_aggregate_with_keys(
+    input: &[Vec<Value>],
+    group_exprs: &[BoundExpr],
+    aggregates: &[CompiledAggregate],
+    precomputed: Option<&[GroupKey]>,
+    guard: &ResourceGuard,
+    threads: NonZeroUsize,
+    sink: &MetricsSink,
+) -> Result<Vec<Vec<Value>>> {
     let morsel = morsel_rows(input.len());
     let n_morsels = input.len().div_ceil(morsel);
 
@@ -202,8 +218,7 @@ pub fn parallel_hash_aggregate(
             Ok(accs)
         });
         let partials = collect_in_order(slots)?;
-        let mut accs: Vec<Accumulator> =
-            aggregates.iter().map(|a| a.call.accumulator()).collect();
+        let mut accs: Vec<Accumulator> = aggregates.iter().map(|a| a.call.accumulator()).collect();
         for partial in &partials {
             for (acc, p) in accs.iter_mut().zip(partial) {
                 acc.merge(p)?;
@@ -222,17 +237,25 @@ pub fn parallel_hash_aggregate(
     let charged = AtomicU64::new(0);
     let build_timer = sink.start_timer();
     let slots = run_morsels(n_morsels, threads.get(), &|i| {
+        let start = i.saturating_mul(morsel);
         let rows = morsel_slice(input, i, morsel)?;
         let mut order: Vec<GroupKey> = Vec::new();
         let mut groups: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
         let mut metrics = MorselMetrics::default();
-        for row in rows {
+        for (off, row) in rows.iter().enumerate() {
             guard.tick()?;
-            let key_vals: Vec<Value> = group_exprs
-                .iter()
-                .map(|e| e.eval(row))
-                .collect::<Result<_>>()?;
-            let key = GroupKey(key_vals);
+            let key = match precomputed {
+                Some(keys) => keys
+                    .get(start.saturating_add(off))
+                    .cloned()
+                    .ok_or_else(|| internal_err!("missing precomputed key {}", start + off))?,
+                None => GroupKey(
+                    group_exprs
+                        .iter()
+                        .map(|e| e.eval(row))
+                        .collect::<Result<_>>()?,
+                ),
+            };
             if !groups.contains_key(&key) {
                 let entry_bytes =
                     row_bytes(&key.0) + ACC_ENTRY_BYTES * aggregates.len().max(1) as u64;
@@ -329,6 +352,26 @@ pub fn parallel_hash_join(
     threads: NonZeroUsize,
     sink: &MetricsSink,
 ) -> Result<Vec<Vec<Value>>> {
+    parallel_hash_join_with_keys(
+        left, right, keys, residual, None, None, guard, threads, sink,
+    )
+}
+
+/// [`parallel_hash_join`] with optionally precomputed per-row keys for
+/// either side (indexed by global row position; `None` entry = key
+/// contains NULL). Mirrors [`crate::join::hash_join_with_keys`].
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_hash_join_with_keys(
+    left: &[Vec<Value>],
+    right: &[Vec<Value>],
+    keys: &[EquiKey],
+    residual: &Option<BoundExpr>,
+    left_keys: Option<&[Option<GroupKey>]>,
+    right_keys: Option<&[Option<GroupKey>]>,
+    guard: &ResourceGuard,
+    threads: NonZeroUsize,
+    sink: &MetricsSink,
+) -> Result<Vec<Vec<Value>>> {
     let parts = threads.get();
     let charged = AtomicU64::new(0);
     let result = (|| -> Result<Vec<Vec<Value>>> {
@@ -346,19 +389,16 @@ pub fn parallel_hash_join(
                 let mut metrics = MorselMetrics::default();
                 for (off, r) in rows.iter().enumerate() {
                     guard.tick()?;
-                    let kv: Vec<Value> = keys
-                        .iter()
-                        .map(|k| col(r, k.right).cloned())
-                        .collect::<Result<_>>()?;
-                    if kv.iter().any(Value::is_null) {
+                    let Some(key) =
+                        side_key(r, start.saturating_add(off), |k| k.right, keys, right_keys)?
+                    else {
                         continue;
-                    }
-                    let entry_bytes = row_bytes(&kv) + std::mem::size_of::<usize>() as u64;
+                    };
+                    let entry_bytes = row_bytes(&key.0) + std::mem::size_of::<usize>() as u64;
                     charged.fetch_add(entry_bytes, Ordering::Relaxed);
                     metrics.hash_entries += 1;
                     metrics.state_bytes += entry_bytes;
                     guard.charge_memory(entry_bytes)?;
-                    let key = GroupKey(kv);
                     let p = partition_of(&key, parts);
                     if let Some(bucket) = buckets.get_mut(p) {
                         bucket.push((key, start.saturating_add(off)));
@@ -408,18 +448,16 @@ pub fn parallel_hash_join(
             left.len().div_ceil(probe_morsel),
             threads.get(),
             &|i| -> Result<Vec<Vec<Value>>> {
+                let start = i.saturating_mul(probe_morsel);
                 let rows = morsel_slice(left, i, probe_morsel)?;
                 let mut out = Vec::new();
-                for l in rows {
+                for (off, l) in rows.iter().enumerate() {
                     guard.tick()?;
-                    let kv: Vec<Value> = keys
-                        .iter()
-                        .map(|k| col(l, k.left).cloned())
-                        .collect::<Result<_>>()?;
-                    if kv.iter().any(Value::is_null) {
+                    let Some(key) =
+                        side_key(l, start.saturating_add(off), |k| k.left, keys, left_keys)?
+                    else {
                         continue;
-                    }
-                    let key = GroupKey(kv);
+                    };
                     let p = partition_of(&key, parts);
                     if let Some(matches) = tables.get(p).and_then(|t| t.get(&key)) {
                         for &ri in matches {
@@ -484,9 +522,7 @@ mod tests {
             compile(AggregateCall::new(AggregateFunction::Sum, Expr::bare("v"))),
             compile(AggregateCall::new(AggregateFunction::Min, Expr::bare("v"))),
             compile(AggregateCall::new(AggregateFunction::Avg, Expr::bare("v"))),
-            compile(
-                AggregateCall::new(AggregateFunction::Count, Expr::bare("v")).with_distinct(),
-            ),
+            compile(AggregateCall::new(AggregateFunction::Count, Expr::bare("v")).with_distinct()),
         ]
     }
 
@@ -521,7 +557,8 @@ mod tests {
         let guard = ResourceGuard::unlimited();
         for (n, groups) in [(0usize, 5i64), (1, 5), (37, 3), (200, 7), (1000, 50)] {
             let input = make_rows(n, groups, 0x5eed + n as u64);
-            let serial = hash_aggregate(&input, &group_exprs(), &agg_calls(), &guard, &sk()).unwrap();
+            let serial =
+                hash_aggregate(&input, &group_exprs(), &agg_calls(), &guard, &sk()).unwrap();
             for threads in [1usize, 2, 4, 8] {
                 let par = parallel_hash_aggregate(
                     &input,
@@ -558,7 +595,13 @@ mod tests {
     fn parallel_join_is_byte_identical_to_serial() {
         let guard = ResourceGuard::unlimited();
         let keys = [EquiKey { left: 0, right: 0 }];
-        for (nl, nr) in [(0usize, 10usize), (10, 0), (57, 23), (500, 100), (1000, 400)] {
+        for (nl, nr) in [
+            (0usize, 10usize),
+            (10, 0),
+            (57, 23),
+            (500, 100),
+            (1000, 400),
+        ] {
             let left = make_rows(nl, 20, 7);
             let right = make_rows(nr, 20, 8);
             let serial = hash_join(&left, &right, &keys, &None, &guard, &sk()).unwrap();
@@ -573,6 +616,66 @@ mod tests {
             }
         }
         assert_eq!(guard.memory_used(), 0, "all build memory released");
+    }
+
+    #[test]
+    fn precomputed_keys_match_serial_at_every_thread_count() {
+        let guard = ResourceGuard::unlimited();
+        let input = make_rows(700, 9, 0xfeed);
+        let exprs = group_exprs();
+        let agg_keys: Vec<GroupKey> = input
+            .iter()
+            .map(|r| GroupKey(exprs.iter().map(|e| e.eval(r).unwrap()).collect()))
+            .collect();
+        let serial = hash_aggregate(&input, &exprs, &agg_calls(), &guard, &sk()).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let par = parallel_hash_aggregate_with_keys(
+                &input,
+                &exprs,
+                &agg_calls(),
+                Some(&agg_keys),
+                &guard,
+                nz(threads),
+                &sk(),
+            )
+            .unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+
+        let left = make_rows(500, 20, 3);
+        let right = make_rows(200, 20, 4);
+        let keys = [EquiKey { left: 0, right: 0 }];
+        let extract = |rows: &[Vec<Value>]| -> Vec<Option<GroupKey>> {
+            rows.iter()
+                .map(|r| {
+                    let v = r.first().cloned().unwrap();
+                    if v.is_null() {
+                        None
+                    } else {
+                        Some(GroupKey(vec![v]))
+                    }
+                })
+                .collect()
+        };
+        let lk = extract(&left);
+        let rk = extract(&right);
+        let serial = hash_join(&left, &right, &keys, &None, &guard, &sk()).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let par = parallel_hash_join_with_keys(
+                &left,
+                &right,
+                &keys,
+                &None,
+                Some(&lk),
+                Some(&rk),
+                &guard,
+                nz(threads),
+                &sk(),
+            )
+            .unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+        assert_eq!(guard.memory_used(), 0);
     }
 
     #[test]
@@ -600,9 +703,15 @@ mod tests {
         let serial = hash_aggregate(&input, &group_exprs(), &sum, &guard, &sk()).unwrap_err();
         for threads in [1usize, 2, 4, 8] {
             for _ in 0..4 {
-                let err =
-                    parallel_hash_aggregate(&input, &group_exprs(), &sum, &guard, nz(threads), &sk())
-                        .unwrap_err();
+                let err = parallel_hash_aggregate(
+                    &input,
+                    &group_exprs(),
+                    &sum,
+                    &guard,
+                    nz(threads),
+                    &sk(),
+                )
+                .unwrap_err();
                 assert_eq!(err.kind(), serial.kind(), "threads={threads}");
                 assert_eq!(err.message(), serial.message(), "threads={threads}");
             }
@@ -626,8 +735,9 @@ mod tests {
                 max_memory_bytes: Some(4096),
                 ..ResourceLimits::default()
             });
-            let err = parallel_hash_aggregate(&input, &group_exprs(), &sum, &guard, nz(threads), &sk())
-                .unwrap_err();
+            let err =
+                parallel_hash_aggregate(&input, &group_exprs(), &sum, &guard, nz(threads), &sk())
+                    .unwrap_err();
             assert_eq!(err.kind(), "resource", "threads={threads}");
             assert_eq!(err.message(), "memory budget exceeded");
             assert_eq!(guard.memory_used(), 0, "threads={threads}: leak");

@@ -140,7 +140,11 @@ impl fmt::Display for ResultSet {
         let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
             f.write_str("|")?;
             for (i, cell) in cells.iter().enumerate() {
-                write!(f, " {cell:width$} |", width = widths.get(i).copied().unwrap_or(0))?;
+                write!(
+                    f,
+                    " {cell:width$} |",
+                    width = widths.get(i).copied().unwrap_or(0)
+                )?;
             }
             writeln!(f)
         };
@@ -213,9 +217,7 @@ impl ProfileNode {
         if self.operator == operator {
             return Some(self);
         }
-        self.children
-            .iter()
-            .find_map(|c| c.find_operator(operator))
+        self.children.iter().find_map(|c| c.find_operator(operator))
     }
 
     /// Render as an indented tree with cardinalities.
@@ -254,7 +256,8 @@ impl ProfileNode {
         }
         let m = &self.metrics;
         out.push_str(&format!(
-            "{} [{}] rows={} in={} batches={} hash={} state={}B build={}ns probe={}ns\n",
+            "{} [{}] rows={} in={} batches={} hash={} state={}B build={}ns probe={}ns \
+             vec={} sel={} kernel={}ns\n",
             self.label,
             self.operator,
             self.rows_out,
@@ -264,6 +267,9 @@ impl ProfileNode {
             m.state_bytes,
             m.build_ns,
             m.probe_ns,
+            m.vectors,
+            m.selected,
+            m.kernel_ns,
         ));
         for c in &self.children {
             c.fmt_tree_metrics(depth + 1, out);
@@ -397,17 +403,16 @@ mod tests {
 
     #[test]
     fn fingerprint_walks_pre_order_and_skips_timings() {
-        let leaf = ProfileNode::new("Scan E", "Scan", 100, vec![]).with_metrics(
-            OperatorMetrics {
-                rows_in: 0,
-                rows_out: 100,
-                batches: 2,
-                hash_entries: 0,
-                build_ns: 12345, // excluded from the fingerprint
-                probe_ns: 678,
-                state_bytes: 4096,
-            },
-        );
+        let leaf = ProfileNode::new("Scan E", "Scan", 100, vec![]).with_metrics(OperatorMetrics {
+            rows_in: 0,
+            rows_out: 100,
+            batches: 2,
+            hash_entries: 0,
+            build_ns: 12345, // excluded from the fingerprint
+            probe_ns: 678,
+            state_bytes: 4096,
+            ..OperatorMetrics::default()
+        });
         let root = ProfileNode::new("Agg g", "HashAggregate", 7, vec![leaf]).with_metrics(
             OperatorMetrics {
                 rows_in: 100,

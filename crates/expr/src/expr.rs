@@ -247,9 +247,8 @@ impl Expr {
                         )))
                     }
                 } else {
-                    lt.numeric_common(rt).ok_or_else(|| {
-                        Error::Type(format!("invalid arithmetic {lt} {op} {rt}"))
-                    })
+                    lt.numeric_common(rt)
+                        .ok_or_else(|| Error::Type(format!("invalid arithmetic {lt} {op} {rt}")))
                 }
             }
             Expr::Not(e) => {
@@ -257,7 +256,9 @@ impl Expr {
                 if t == DataType::Boolean {
                     Ok(DataType::Boolean)
                 } else {
-                    Err(Error::Type(format!("NOT requires a boolean operand, got {t}")))
+                    Err(Error::Type(format!(
+                        "NOT requires a boolean operand, got {t}"
+                    )))
                 }
             }
             Expr::Neg(e) => {
@@ -453,10 +454,30 @@ impl BoundExpr {
 
 /// Three-valued comparison of two values.
 fn compare(l: &Value, op: BinaryOp, r: &Value) -> Truth {
+    compare_values(l, op, r)
+}
+
+/// Three-valued comparison of two values: `unknown` when either side is
+/// NULL or the pair is incomparable (via [`Value::sql_cmp`]), otherwise
+/// the comparison lifted to [`Truth`].
+///
+/// This is the single source of comparison semantics for both the
+/// row-at-a-time interpreter ([`BoundExpr::eval_truth`]) and the
+/// vectorized kernels in `gbj-exec`, which must agree bit for bit.
+#[must_use]
+pub fn compare_values(l: &Value, op: BinaryOp, r: &Value) -> Truth {
+    ordering_truth(op, l.sql_cmp(r))
+}
+
+/// Lift an optional [`Ordering`](std::cmp::Ordering) (as produced by
+/// [`Value::sql_cmp`]; `None` means NULL/incomparable) to a [`Truth`]
+/// under the given comparison operator. Non-comparison operators yield
+/// `unknown` (callers guarantee a comparison operator).
+#[must_use]
+pub fn ordering_truth(op: BinaryOp, ord: Option<std::cmp::Ordering>) -> Truth {
     use std::cmp::Ordering;
-    let ord = match l.sql_cmp(r) {
-        Some(o) => o,
-        None => return Truth::Unknown,
+    let Some(ord) = ord else {
+        return Truth::Unknown;
     };
     let b = match op {
         BinaryOp::Eq => ord == Ordering::Equal,
@@ -465,12 +486,14 @@ fn compare(l: &Value, op: BinaryOp, r: &Value) -> Truth {
         BinaryOp::LtEq => ord != Ordering::Greater,
         BinaryOp::Gt => ord == Ordering::Greater,
         BinaryOp::GtEq => ord != Ordering::Less,
-        _ => unreachable!("compare called with non-comparison operator"),
+        _ => return Truth::Unknown,
     };
     Truth::from_bool(b)
 }
 
-fn truth_to_value(t: Truth) -> Value {
+/// Reify a [`Truth`] as a [`Value`]: `unknown` becomes NULL.
+#[must_use]
+pub fn truth_to_value(t: Truth) -> Value {
     match t {
         Truth::True => Value::Bool(true),
         Truth::False => Value::Bool(false),
@@ -478,7 +501,10 @@ fn truth_to_value(t: Truth) -> Value {
     }
 }
 
-fn value_to_truth(v: &Value) -> Truth {
+/// Read a [`Value`] as a search-condition [`Truth`]: NULL is `unknown`,
+/// `TRUE` is `true`, everything else is `false`.
+#[must_use]
+pub fn value_to_truth(v: &Value) -> Truth {
     match v {
         Value::Null => Truth::Unknown,
         Value::Bool(true) => Truth::True,
@@ -572,11 +598,13 @@ mod tests {
             negated: false,
         };
         assert_eq!(
-            e.eval(&row(Value::Null, Value::Null, Value::Null), &s).unwrap(),
+            e.eval(&row(Value::Null, Value::Null, Value::Null), &s)
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            e.eval(&row(Value::Int(0), Value::Null, Value::Null), &s).unwrap(),
+            e.eval(&row(Value::Int(0), Value::Null, Value::Null), &s)
+                .unwrap(),
             Value::Bool(false)
         );
         let e = Expr::IsNull {
@@ -584,7 +612,8 @@ mod tests {
             negated: true,
         };
         assert_eq!(
-            e.eval(&row(Value::Null, Value::Null, Value::Null), &s).unwrap(),
+            e.eval(&row(Value::Null, Value::Null, Value::Null), &s)
+                .unwrap(),
             Value::Bool(false)
         );
     }
@@ -596,11 +625,13 @@ mod tests {
             .binary(BinaryOp::Add, Expr::col("T", "b"))
             .binary(BinaryOp::Mul, Expr::lit(2i64));
         assert_eq!(
-            e.eval(&row(Value::Int(3), Value::Int(4), Value::Null), &s).unwrap(),
+            e.eval(&row(Value::Int(3), Value::Int(4), Value::Null), &s)
+                .unwrap(),
             Value::Int(14)
         );
         assert_eq!(
-            e.eval(&row(Value::Null, Value::Int(4), Value::Null), &s).unwrap(),
+            e.eval(&row(Value::Null, Value::Int(4), Value::Null), &s)
+                .unwrap(),
             Value::Null
         );
     }
@@ -610,7 +641,8 @@ mod tests {
         let s = schema();
         let e = Expr::Neg(Box::new(Expr::col("T", "a")));
         assert_eq!(
-            e.eval(&row(Value::Int(3), Value::Null, Value::Null), &s).unwrap(),
+            e.eval(&row(Value::Int(3), Value::Null, Value::Null), &s)
+                .unwrap(),
             Value::Int(-3)
         );
         let e = Expr::Not(Box::new(Expr::col("T", "a").eq(Expr::lit(1i64))));
@@ -632,20 +664,28 @@ mod tests {
             .and(Expr::col("T", "b"))
             .data_type(&s)
             .is_err());
-        assert!(Expr::Neg(Box::new(Expr::col("T", "s"))).data_type(&s).is_err());
+        assert!(Expr::Neg(Box::new(Expr::col("T", "s")))
+            .data_type(&s)
+            .is_err());
         assert!(Expr::col("T", "a")
             .binary(BinaryOp::Add, Expr::col("T", "s"))
             .data_type(&s)
             .is_err());
         // And bind() surfaces the same error.
-        assert!(Expr::col("T", "a").and(Expr::col("T", "b")).bind(&s).is_err());
+        assert!(Expr::col("T", "a")
+            .and(Expr::col("T", "b"))
+            .bind(&s)
+            .is_err());
     }
 
     #[test]
     fn data_types() {
         let s = schema();
         assert_eq!(
-            Expr::col("T", "a").eq(Expr::lit(1i64)).data_type(&s).unwrap(),
+            Expr::col("T", "a")
+                .eq(Expr::lit(1i64))
+                .data_type(&s)
+                .unwrap(),
             DataType::Boolean
         );
         assert_eq!(
@@ -655,7 +695,10 @@ mod tests {
                 .unwrap(),
             DataType::Float64
         );
-        assert_eq!(Expr::lit(Value::Null).data_type(&s).unwrap(), DataType::Int64);
+        assert_eq!(
+            Expr::lit(Value::Null).data_type(&s).unwrap(),
+            DataType::Int64
+        );
     }
 
     #[test]
@@ -710,8 +753,7 @@ mod tests {
         assert_eq!(Expr::conjunction(vec![]), None);
         let single = Expr::conjunction(vec![Expr::lit(true)]).unwrap();
         assert_eq!(single, Expr::lit(true));
-        let double =
-            Expr::conjunction(vec![Expr::lit(true), Expr::lit(false)]).unwrap();
+        let double = Expr::conjunction(vec![Expr::lit(true), Expr::lit(false)]).unwrap();
         assert_eq!(double, Expr::lit(true).and(Expr::lit(false)));
     }
 
@@ -742,7 +784,8 @@ mod tests {
             .eq(Expr::lit(1i64))
             .or(Expr::col("T", "b").eq(Expr::lit(1i64)));
         assert_eq!(
-            e.eval(&row(Value::Int(2), Value::Null, Value::Null), &s).unwrap(),
+            e.eval(&row(Value::Int(2), Value::Null, Value::Null), &s)
+                .unwrap(),
             Value::Null
         );
     }

@@ -29,5 +29,7 @@ pub mod normalize;
 
 pub use aggregate::{Accumulator, AggregateCall, AggregateFunction};
 pub use classify::{classify_conjuncts, AtomClass, PredicateParts};
-pub use expr::{BinaryOp, BoundExpr, Expr};
+pub use expr::{
+    compare_values, ordering_truth, truth_to_value, value_to_truth, BinaryOp, BoundExpr, Expr,
+};
 pub use normalize::{conjuncts, disjuncts, from_cnf, to_cnf, to_dnf, to_nnf};

@@ -175,11 +175,7 @@ impl ScanCursor<'_> {
     /// cursor always makes progress.
     #[must_use]
     pub fn with_batch_size(mut self, rows_per_batch: usize) -> Self {
-        if self
-            .injector
-            .and_then(FaultInjector::batch_size)
-            .is_none()
-        {
+        if self.injector.and_then(FaultInjector::batch_size).is_none() {
             self.batch_size = rows_per_batch.max(1);
         }
         self
@@ -195,6 +191,14 @@ impl ScanCursor<'_> {
     #[must_use]
     pub fn arity(&self) -> usize {
         self.nullable.len()
+    }
+
+    /// Per-column nullability of the scanned table, in schema order —
+    /// which output columns can ever carry NULL (and hence need real
+    /// validity bitmaps when batches are converted to columnar form).
+    #[must_use]
+    pub fn nullable(&self) -> &[bool] {
+        &self.nullable
     }
 
     /// The next batch of rows, `None` once exhausted.
@@ -285,9 +289,7 @@ impl Storage {
                     )));
                 }
                 (None, _) => {
-                    return Err(Error::Internal(
-                        "non-null value without a type".to_string(),
-                    ))
+                    return Err(Error::Internal("non-null value without a type".to_string()))
                 }
             }
             // Column + domain CHECKs over the single value, exposed both
@@ -419,11 +421,7 @@ impl Storage {
     /// Incoming referential-integrity check (RESTRICT semantics): every
     /// non-NULL foreign-key combo in every referencing table must still
     /// resolve against `final_rows` of `def`'s table.
-    fn check_incoming_fks(
-        &self,
-        def: &TableDef,
-        final_rows: &[crate::table::Row],
-    ) -> Result<()> {
+    fn check_incoming_fks(&self, def: &TableDef, final_rows: &[crate::table::Row]) -> Result<()> {
         let referencing: Vec<TableDef> = self
             .catalog
             .tables()
@@ -468,8 +466,7 @@ impl Storage {
                             .iter()
                             .map(|&i| row.values.get(i).cloned().unwrap_or(Value::Null))
                             .collect();
-                        (!vals.iter().any(Value::is_null))
-                            .then_some(gbj_types::GroupKey(vals))
+                        (!vals.iter().any(Value::is_null)).then_some(gbj_types::GroupKey(vals))
                     })
                     .collect();
                 let fk_ords = self.ordinals(&other, columns)?;
@@ -715,6 +712,16 @@ mod tests {
     }
 
     #[test]
+    fn cursor_reports_per_column_nullability() {
+        let s = setup();
+        let cursor = s.open_scan("Employee").unwrap();
+        // EmpID is a primary-key column and LastName is NOT NULL; only
+        // DeptID can carry NULL.
+        assert_eq!(cursor.nullable(), &[false, false, true]);
+        assert_eq!(cursor.nullable().len(), cursor.arity());
+    }
+
+    #[test]
     fn not_null_enforced() {
         let mut s = setup();
         let err = s
@@ -801,7 +808,8 @@ mod tests {
             ],
         ))
         .unwrap();
-        s.insert("M", vec![Value::Int(3), Value::str("ok")]).unwrap();
+        s.insert("M", vec![Value::Int(3), Value::str("ok")])
+            .unwrap();
         assert_eq!(
             s.table_data("M").unwrap().rows().next().unwrap().values[0],
             Value::Float(3.0)
@@ -856,7 +864,8 @@ mod tests {
             }),
         )
         .unwrap();
-        s.insert("Range", vec![Value::Int(1), Value::Int(2)]).unwrap();
+        s.insert("Range", vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
         let err = s
             .insert("Range", vec![Value::Int(3), Value::Int(2)])
             .unwrap_err();

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Compare a freshly generated vectorized_sweep JSON against the
+# committed BENCH_vectorized.json baseline.
+#
+# Usage: scripts/bench_check.sh <generated.json> [baseline.json]
+#
+# Policy (CI bench-smoke job):
+#   - parse failure / missing workload  -> hard fail (exit 1): the
+#     bench output format regressed, which is a real bug;
+#   - per-workload speedup deviating more than ±30% from the baseline
+#     -> advisory warning, exit 0: absolute timings on shared CI boxes
+#     are too noisy to gate merges on, but the drift is surfaced in
+#     the job log for a human to look at.
+#
+# Only POSIX-ish tools (grep/sed/awk) — no jq dependency.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+generated="${1:-}"
+baseline="${2:-BENCH_vectorized.json}"
+
+if [[ -z "$generated" || ! -f "$generated" ]]; then
+  echo "bench_check: generated JSON '$generated' not found" >&2
+  exit 1
+fi
+if [[ ! -f "$baseline" ]]; then
+  echo "bench_check: baseline '$baseline' not found" >&2
+  exit 1
+fi
+
+# Extract `speedup` for a workload from one of our JSON files (one
+# object per line, hand-rolled format — see vectorized_sweep.rs).
+speedup_of() { # file workload
+  grep -o "\"workload\":\"$2\"[^}]*" "$1" |
+    sed -n 's/.*"speedup":\([0-9.]*\).*/\1/p' | head -1
+}
+
+status=0
+for workload in filter_kernel end_to_end; do
+  base=$(speedup_of "$baseline" "$workload")
+  new=$(speedup_of "$generated" "$workload")
+  if [[ -z "$base" || -z "$new" ]]; then
+    echo "bench_check: FAIL — could not parse speedup for '$workload'" \
+      "(baseline='$base' generated='$new')" >&2
+    status=1
+    continue
+  fi
+  awk -v b="$base" -v n="$new" -v w="$workload" 'BEGIN {
+    dev = (n - b) / b * 100
+    printf "bench_check: %-14s baseline=%.3fx generated=%.3fx (%+.1f%%)\n", w, b, n, dev
+    if (dev > 30 || dev < -30) {
+      printf "bench_check: WARNING — %s speedup drifted more than +/-30%% from the committed baseline\n", w
+    }
+  }'
+done
+
+if [[ $status -ne 0 ]]; then
+  exit 1
+fi
+echo "bench_check: OK (deviations are advisory; only parse errors fail)"

@@ -13,19 +13,33 @@
 # observability suites (estimator_accuracy, explain_golden,
 # parallel_differential) run in both passes, so metrics counters and
 # EXPLAIN ANALYZE output are checked serial and parallel.
+#
+# The GBJ_TEST_VECTORIZED=1 pass re-runs the whole suite with the
+# vectorized kernels on by default, so every engine-level test doubles
+# as a row-vs-columnar differential; the combined
+# GBJ_TEST_VECTORIZED=1 GBJ_TEST_THREADS=4 pass covers vectorized key
+# computation feeding the *parallel* join/aggregate operators.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q --workspace
 GBJ_TEST_THREADS=4 cargo test -q --workspace
+GBJ_TEST_VECTORIZED=1 cargo test -q --workspace
 # Explicit 1- and 4-thread passes over the observability suites (cheap,
 # and keeps them covered even if the workspace matrix above changes).
 for t in 1 4; do
   GBJ_TEST_THREADS=$t cargo test -q \
     --test estimator_accuracy --test explain_golden --test parallel_differential
 done
+# Vectorized kernels through the parallel operators, on the suites
+# that fingerprint them.
+GBJ_TEST_VECTORIZED=1 GBJ_TEST_THREADS=4 cargo test -q \
+  --test parallel_differential --test equivalence_prop --test explain_golden
 # Smoke the estimate-vs-actual audit sweep (JSON to stdout).
 cargo run --release -q -p gbj-bench --bin cardinality_audit > /dev/null
+# Smoke the row-vs-vectorized sweep at CI size; it self-checks that
+# the selection vectors and end-to-end results are byte-identical.
+GBJ_BENCH_SMALL=1 cargo run --release -q -p gbj-bench --bin vectorized_sweep > /dev/null
 cargo clippy --all-targets
 echo "verify: OK"

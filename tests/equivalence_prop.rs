@@ -151,6 +151,54 @@ fn physical_algorithms_agree() {
     }
 }
 
+/// NULL-heavy group keys under `=ⁿ`: an all-NULL grouping column and an
+/// alternating NULL/value column (worst case for validity bitmaps) must
+/// group identically on the row and the vectorized path, for both
+/// pushdown policies — NULLs form one `=ⁿ` group, and a NULL join key
+/// never matches.
+#[test]
+fn null_heavy_group_keys_agree_between_row_and_vectorized() {
+    // Fact.K patterns: all NULL, and alternating NULL / value.
+    let patterns: [&dyn Fn(i64) -> Option<i64>; 2] =
+        [&|_| None, &|i| (i % 2 == 0).then_some(i % 5)];
+    for (which, key_of) in patterns.iter().enumerate() {
+        let inst = Instance {
+            dims: (0..5).map(|k| (k, "a".to_string())).collect(),
+            facts: (0..40).map(|i| (key_of(i), Some(i % 7 - 3))).collect(),
+        };
+        let mut db = build_db(&inst);
+        for sql in QUERIES {
+            for policy in [PushdownPolicy::Never, PushdownPolicy::Always] {
+                db.options_mut().policy = policy;
+                db.set_vectorized(false);
+                let row_engine = db.query(sql).unwrap();
+                db.set_vectorized(true);
+                let vectorized = db.query(sql).unwrap();
+                db.set_vectorized(false);
+                assert_eq!(
+                    common::canon(&vectorized),
+                    common::canon(&row_engine),
+                    "pattern {which} policy {policy:?}: {sql}"
+                );
+            }
+        }
+        // Grouping the NULL-heavy column directly: all-NULL collapses
+        // to the single `=ⁿ` NULL group.
+        let sql = "SELECT F.K, COUNT(F.FId) FROM Fact F GROUP BY F.K";
+        db.set_vectorized(true);
+        let grouped = db.query(sql).unwrap();
+        db.set_vectorized(false);
+        assert_eq!(
+            common::canon(&grouped),
+            common::canon(&db.query(sql).unwrap())
+        );
+        if which == 0 {
+            assert_eq!(grouped.len(), 1, "all NULLs form exactly one group");
+            assert_eq!(grouped.rows[0], vec![Value::Null, Value::Int(40)]);
+        }
+    }
+}
+
 /// The eager plan's join input never exceeds the lazy plan's
 /// (paper §7, first bullet) — measured, not estimated.
 #[test]

@@ -333,6 +333,106 @@ fn metrics_counters_are_identical_at_every_thread_count() {
     }
 }
 
+/// The vectorized columnar path promises output **byte-identical to
+/// the row engine** — same rows after canonical ordering, or the same
+/// typed error — at every thread count, for both plan shapes, across
+/// the whole oracle query family. The row engine at one thread is the
+/// oracle; the vectorized runs at 1/2/4/8 threads must all match it.
+#[test]
+fn vectorized_path_is_byte_identical_to_the_row_engine() {
+    let mut rng = StdRng::seed_from_u64(0x9a11_0005);
+    for case in 0..12u64 {
+        let mut db = build_db(&mut rng);
+        for sql in QUERIES {
+            for policy in [PushdownPolicy::Never, PushdownPolicy::Always] {
+                db.set_vectorized(false);
+                let row_engine = run_at(&mut db, 1, policy, sql);
+                db.set_vectorized(true);
+                for threads in THREAD_COUNTS {
+                    let got = run_at(&mut db, threads, policy, sql);
+                    assert_eq!(
+                        got, row_engine,
+                        "case {case} threads={threads} policy={policy:?} vectorized: {sql}"
+                    );
+                }
+                db.set_vectorized(false);
+            }
+        }
+    }
+}
+
+/// Vectorized execution under deterministic fault injection: short
+/// batches, NULL flips and injected batch failures must produce the
+/// same rows or the same typed error as the row engine, at every
+/// thread count, for the same seed.
+#[test]
+fn vectorized_path_matches_row_engine_under_fault_seeds() {
+    let mut rng = StdRng::seed_from_u64(0x9a11_0006);
+    let mut disagreements = Vec::new();
+    for case in 0..12u64 {
+        let mut db = build_db(&mut rng);
+        let config = FaultConfig {
+            seed: rng.gen_range(0u64..1 << 40),
+            fail_nth_batch: rng.gen_bool(0.4).then(|| rng.gen_range(0u64..6)),
+            batch_size: rng.gen_bool(0.5).then(|| rng.gen_range(1usize..5)),
+            null_flip_one_in: rng.gen_bool(0.6).then(|| rng.gen_range(1u64..6)),
+        };
+        db.set_fault_injector(Some(FaultInjector::new(config)));
+        for sql in [QUERIES[1], QUERIES[4], QUERIES[6], QUERIES[7]] {
+            for policy in [PushdownPolicy::Never, PushdownPolicy::Always] {
+                db.set_vectorized(false);
+                let row_engine = run_at(&mut db, 1, policy, sql);
+                db.set_vectorized(true);
+                for threads in THREAD_COUNTS {
+                    let got = run_at(&mut db, threads, policy, sql);
+                    if got != row_engine {
+                        disagreements.push(format!(
+                            "case {case} threads={threads} policy={policy:?} under \
+                             {config:?}:\n  row={row_engine:?}\n  vectorized={got:?}"
+                        ));
+                    }
+                }
+                db.set_vectorized(false);
+            }
+        }
+    }
+    assert!(
+        disagreements.is_empty(),
+        "vectorized path disagreed with the row engine under faults:\n{}",
+        disagreements.join("\n")
+    );
+}
+
+/// The counter fingerprint excludes the vectorized-only counters
+/// (vectors built, selection totals, kernel time), so it must be
+/// byte-identical between the row engine and the vectorized path at
+/// every thread count — vectorization changes how operators compute,
+/// never what flows through them.
+#[test]
+fn vectorized_fingerprints_match_the_row_engine() {
+    let mut rng = StdRng::seed_from_u64(0x9a11_0007);
+    for case in 0..8u64 {
+        let mut db = build_db(&mut rng);
+        for sql in QUERIES {
+            for policy in [PushdownPolicy::Never, PushdownPolicy::Always] {
+                db.set_vectorized(false);
+                let row_engine = fingerprint_at(&mut db, 1, policy, sql);
+                assert!(row_engine.is_ok(), "case {case}: clean run must succeed");
+                db.set_vectorized(true);
+                for threads in THREAD_COUNTS {
+                    let got = fingerprint_at(&mut db, threads, policy, sql);
+                    assert_eq!(
+                        got, row_engine,
+                        "case {case} threads={threads} policy={policy:?}: \
+                         vectorized counters drifted for {sql}"
+                    );
+                }
+                db.set_vectorized(false);
+            }
+        }
+    }
+}
+
 /// Counters stay thread-count-invariant under deterministic fault
 /// injection too: short batches and NULL flips perturb what the scan
 /// feeds every operator, but identically so at every thread count
