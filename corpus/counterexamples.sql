@@ -1,0 +1,47 @@
+-- Counterexample corpus: queries whose eager-aggregation rewrite is
+-- REFUSED, plus NULL-semantics pitfalls. Every refusal must surface as
+-- a stable GBJxxx diagnostic at Warning/Info severity — refusing is
+-- the *correct* outcome, so `gbj-lint` still exits 0 over this file
+-- (tests/analyzer_negative.rs pins the exact codes).
+
+-- Grouping by a non-key of R2 (the paper's canonical invalid case):
+-- GA1+ = {E.DeptID} is not derivable from {D.Name} — TestFD Step 4h
+-- fails FD1 → GBJ202.
+CREATE TABLE Department (
+    DeptID INTEGER PRIMARY KEY,
+    Name VARCHAR(30) NOT NULL);
+CREATE TABLE Employee (
+    EmpID INTEGER PRIMARY KEY,
+    DeptID INTEGER NOT NULL REFERENCES Department);
+
+SELECT D.Name, COUNT(E.EmpID)
+FROM Employee E, Department D
+WHERE E.DeptID = D.DeptID
+GROUP BY D.Name;
+
+-- A keyless R2: GA1+ is derivable through the join equality, but no
+-- candidate key of KeylessDept exists, so FD2's Step 4d key check
+-- fails → GBJ203.
+CREATE TABLE KeylessDept (DeptID INTEGER, Name VARCHAR(30));
+CREATE TABLE Worker (WorkerID INTEGER PRIMARY KEY, DeptID INTEGER NOT NULL);
+
+SELECT K.DeptID, COUNT(W.WorkerID)
+FROM Worker W, KeylessDept K
+WHERE W.DeptID = K.DeptID
+GROUP BY K.DeptID;
+
+-- Degenerate Main-Theorem case: a Cartesian product grouped by R2's
+-- key leaves GA1+ = ∅ — structurally inapplicable → GBJ206.
+CREATE TABLE L (a INTEGER PRIMARY KEY, v INTEGER NOT NULL);
+CREATE TABLE R (b INTEGER PRIMARY KEY, w INTEGER NOT NULL);
+
+SELECT R.b, SUM(L.v) FROM L, R GROUP BY R.b;
+
+-- NULL-semantics pitfalls (§3: ⌊P⌋ / ⌈P⌉ vs naive 2VL):
+-- `= NULL` is never true under 3VL → GBJ301; `<>` and `NOT` over a
+-- nullable column diverge from their 2VL readings → GBJ303 / GBJ302.
+CREATE TABLE Account (Id INTEGER PRIMARY KEY, RegionCode INTEGER);
+
+SELECT A.Id FROM Account A WHERE A.RegionCode = NULL;
+
+SELECT A.Id FROM Account A WHERE A.RegionCode <> 7;

@@ -1,0 +1,69 @@
+-- Valid-rewrite corpus: every query here has an eager-aggregation
+-- rewrite PROVED by TestFD (FD1 and FD2 derivable), so the analyzer
+-- must produce ZERO diagnostics. CI runs `gbj-lint` over this file and
+-- fails on any output beyond the summary lines.
+
+-- Example 1 (Yan & Larson §1): per-department employee counts.
+CREATE TABLE Department (
+    DeptID INTEGER PRIMARY KEY,
+    Name VARCHAR(30) NOT NULL);
+CREATE TABLE Employee (
+    EmpID INTEGER PRIMARY KEY,
+    LastName VARCHAR(30) NOT NULL,
+    DeptID INTEGER NOT NULL REFERENCES Department);
+
+SELECT D.DeptID, D.Name, COUNT(E.EmpID)
+FROM Employee E, Department D
+WHERE E.DeptID = D.DeptID
+GROUP BY D.DeptID, D.Name;
+
+-- Theorem 2 generalisations: subset projection and DISTINCT.
+SELECT D.Name, COUNT(E.EmpID)
+FROM Employee E, Department D
+WHERE E.DeptID = D.DeptID
+GROUP BY D.DeptID, D.Name;
+
+SELECT DISTINCT D.Name, COUNT(E.EmpID)
+FROM Employee E, Department D
+WHERE E.DeptID = D.DeptID
+GROUP BY D.DeptID, D.Name;
+
+-- Example 3 (§6.3): printer usage per dragon user. TestFD derives
+-- GA1+ = {A.UserId, A.Machine} through the constant U.Machine =
+-- 'dragon' and the key (UserId, Machine) of UserAccount.
+CREATE TABLE UserAccount (
+    UserId INTEGER,
+    Machine VARCHAR(30),
+    UserName VARCHAR(30) NOT NULL,
+    PRIMARY KEY (UserId, Machine));
+CREATE TABLE Printer (
+    PNo INTEGER PRIMARY KEY,
+    Speed INTEGER NOT NULL CHECK (Speed > 0),
+    Make VARCHAR(30) NOT NULL);
+CREATE TABLE PrinterAuth (
+    UserId INTEGER,
+    Machine VARCHAR(30),
+    PNo INTEGER NOT NULL,
+    Usage INTEGER NOT NULL CHECK (Usage >= 0),
+    PRIMARY KEY (UserId, Machine, PNo),
+    FOREIGN KEY (UserId, Machine) REFERENCES UserAccount,
+    FOREIGN KEY (PNo) REFERENCES Printer);
+
+SELECT U.UserId, U.UserName, SUM(A.Usage), MAX(P.Speed), MIN(P.Speed)
+FROM UserAccount U, PrinterAuth A, Printer P
+WHERE U.UserId = A.UserId AND U.Machine = A.Machine
+  AND A.PNo = P.PNo AND U.Machine = 'dragon'
+GROUP BY U.UserId, U.UserName;
+
+-- The star-schema shape of the experiments (§10): group by the
+-- dimension key, aggregate the fact side.
+CREATE TABLE Dim (DimId INTEGER PRIMARY KEY, Cat VARCHAR(20) NOT NULL);
+CREATE TABLE Fact (
+    FactId INTEGER PRIMARY KEY,
+    DimId INTEGER NOT NULL,
+    V INTEGER NOT NULL);
+
+SELECT D.DimId, COUNT(F.FactId), SUM(F.V)
+FROM Fact F, Dim D
+WHERE F.DimId = D.DimId
+GROUP BY D.DimId;

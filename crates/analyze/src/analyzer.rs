@@ -1,0 +1,147 @@
+//! The multi-pass driver.
+//!
+//! An [`Analysis`] accumulates diagnostics across the four passes for
+//! one query. The engine drives it with whatever artifacts it has —
+//! the logical plan always, the transformation outcome when the
+//! optimizer examined one, the execution profile after a run — and the
+//! result is a single [`Report`] plus, for eager rewrites, the
+//! [`FdCertificate`] proving FD1/FD2.
+
+use gbj_core::{EagerOutcome, TransformOptions};
+use gbj_exec::{ExecOptions, ProfileNode};
+use gbj_fd::FdContext;
+use gbj_plan::{LogicalPlan, QueryBlock};
+
+use crate::diag::{Report, Severity};
+use crate::fd_audit::{audit_eager_outcome, FdCertificate};
+use crate::{exec_pass, null_pass, schema_pass};
+
+/// Accumulated analysis state for one query.
+#[derive(Debug)]
+pub struct Analysis {
+    report: Report,
+    certificate: Option<FdCertificate>,
+}
+
+impl Analysis {
+    /// Start an analysis; `subject` names the query (SQL text, test
+    /// name) in rendered output.
+    #[must_use]
+    pub fn new(subject: impl Into<String>) -> Analysis {
+        Analysis {
+            report: Report::new(subject),
+            certificate: None,
+        }
+    }
+
+    /// Pass 1 (schema/type soundness) and pass 3 (NULL-semantics
+    /// lints) over a logical plan.
+    pub fn check_logical(&mut self, plan: &LogicalPlan) {
+        self.report.extend(schema_pass::check_plan(plan));
+        self.report.extend(null_pass::check_plan(plan));
+    }
+
+    /// Pass 2: audit the eager-aggregation outcome, attaching the
+    /// replayed FD certificate for a rewrite and the stable refusal
+    /// code otherwise. For rewrites the `=ⁿ` grouping-shape check
+    /// (GBJ304) also runs against the original block.
+    pub fn check_rewrite(
+        &mut self,
+        original: &QueryBlock,
+        outcome: &EagerOutcome,
+        fd_ctx: &FdContext,
+        options: &TransformOptions,
+    ) {
+        let audit = audit_eager_outcome(outcome, fd_ctx, options);
+        self.report.extend(audit.report);
+        if let EagerOutcome::Rewritten {
+            block, partition, ..
+        } = outcome
+        {
+            self.report.extend(null_pass::check_rewrite_grouping(
+                original, block, partition,
+            ));
+        }
+        self.certificate = audit.certificate;
+    }
+
+    /// Pass 4: physical-plan invariants for the executed plan.
+    pub fn check_execution(
+        &mut self,
+        plan: &LogicalPlan,
+        opts: &ExecOptions,
+        profile: Option<&ProfileNode>,
+    ) {
+        self.report
+            .extend(exec_pass::check_execution(plan, opts, profile));
+    }
+
+    /// The FD certificate, when pass 2 examined a rewrite.
+    #[must_use]
+    pub fn certificate(&self) -> Option<&FdCertificate> {
+        self.certificate.as_ref()
+    }
+
+    /// The accumulated report.
+    #[must_use]
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+
+    /// Whether any Error-severity diagnostic was recorded.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.report.has_severity(Severity::Error)
+    }
+
+    /// Consume the analysis, yielding the report and certificate.
+    #[must_use]
+    pub fn finish(self) -> (Report, Option<FdCertificate>) {
+        (self.report, self.certificate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_expr::Expr;
+    use gbj_types::{DataType, Field, Schema};
+
+    #[test]
+    fn clean_plan_yields_empty_report() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan {
+                table: "T".into(),
+                qualifier: "T".into(),
+                schema: Schema::new(vec![
+                    Field::new("A", DataType::Int64, false).with_qualifier("T")
+                ]),
+            }),
+            predicate: Expr::col("T", "A").eq(Expr::lit(1i64)),
+        };
+        let mut a = Analysis::new("clean");
+        a.check_logical(&plan);
+        assert!(a.report().is_empty(), "{}", a.report().render_text());
+        assert!(!a.has_errors());
+        assert!(a.certificate().is_none());
+    }
+
+    #[test]
+    fn passes_accumulate_into_one_report() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan {
+                table: "T".into(),
+                qualifier: "T".into(),
+                schema: Schema::new(vec![
+                    Field::new("A", DataType::Int64, true).with_qualifier("T")
+                ]),
+            }),
+            // Unresolved column (pass 1) — pass 3 stays quiet on it.
+            predicate: Expr::col("T", "Ghost").eq(Expr::lit(1i64)),
+        };
+        let mut a = Analysis::new("multi");
+        a.check_logical(&plan);
+        assert_eq!(a.report().len(), 1);
+        assert!(a.has_errors());
+    }
+}

@@ -1,0 +1,64 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )
+)]
+
+//! # gbj-analyze
+//!
+//! Static analysis over logical and physical plans: a reusable
+//! diagnostics framework plus four passes that turn the paper's proof
+//! obligations into machine-checked artifacts.
+//!
+//! ## Passes
+//!
+//! 1. **Schema/type soundness** ([`schema_pass`]) — every operator's
+//!    output schema derives from its inputs, all column references
+//!    resolve, comparisons are type-compatible under three-valued
+//!    logic. Codes GBJ101–GBJ104.
+//! 2. **FD-derivation audit** ([`fd_audit`]) — for every
+//!    eager-aggregation rewrite, replay `TestFD` (paper §6.3)
+//!    independently of the planner and attach an [`FdCertificate`]:
+//!    the constraint/equality-closure chain deriving `FD1: (GA1, GA2)
+//!    → GA1+` and `FD2: (GA1+, GA2) → RowID(R2)`, per DNF disjunct. A
+//!    chosen rewrite with no replayable derivation is an error
+//!    (GBJ201); refused rewrites carry stable refusal codes
+//!    (GBJ202–GBJ206).
+//! 3. **NULL-semantics lints** ([`null_pass`]) — flag predicate shapes
+//!    where the paper's `⌊P⌋`/`⌈P⌉` three-valued interpretations
+//!    diverge from naive two-valued evaluation (GBJ301–GBJ303), and
+//!    verify rewrites preserve the `=ⁿ` grouping semantics
+//!    structurally (GBJ304).
+//! 4. **Physical-plan invariants** ([`exec_pass`]) — ResourceGuard and
+//!    MetricsSink wiring on every operator, and vectorization claimed
+//!    only where the error-free vectorization rule (DESIGN.md §11)
+//!    holds. Codes GBJ401–GBJ404.
+//!
+//! ## Diagnostics
+//!
+//! Every diagnostic carries a stable [`Code`] (`GBJxxx`), a
+//! [`Severity`], an optional plan-path span (`$.0.1` addressing into
+//! the plan tree) and free-form notes; a [`Report`] renders as text or
+//! JSON (hand-rolled — the build environment has no serde). The full
+//! registry is [`Code::all`].
+//!
+//! The engine drives the passes through [`Analysis`]; standalone
+//! surfaces are the `gbj-lint` binary, `EXPLAIN (LINT)` in SQL, and
+//! `\lint` in the REPL.
+
+pub mod analyzer;
+pub mod diag;
+pub mod exec_pass;
+pub mod fd_audit;
+pub mod null_pass;
+pub mod schema_pass;
+
+pub use analyzer::Analysis;
+pub use diag::{Code, Diagnostic, PlanPath, Report, Severity};
+pub use fd_audit::{audit_eager_outcome, failure_code, DisjunctProof, FdAudit, FdCertificate};

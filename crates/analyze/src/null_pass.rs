@@ -1,0 +1,298 @@
+//! Pass 3: NULL-semantics lints.
+//!
+//! SQL predicates evaluate in Kleene's three-valued logic; the paper
+//! works with the *floor* interpretation `⌊P⌋` (UNKNOWN ⇒ row dropped)
+//! for WHERE and the `=ⁿ` null-tolerant equality for grouping. Naive
+//! two-valued reasoning about the same predicate text diverges exactly
+//! where UNKNOWN can arise, and rewrites that are sound under 2VL can
+//! silently change answers under 3VL (Libkin; Franconi & Tessaris).
+//! This pass flags the three classic divergence shapes:
+//!
+//! * **GBJ301** — a comparison against a literal `NULL` (`x = NULL`):
+//!   always UNKNOWN, so `⌊P⌋` selects nothing while a 2VL reading
+//!   selects the "equal" rows. Almost always a bug for `IS NULL`.
+//! * **GBJ302** — `NOT` over a nullable operand: 2VL `NOT` is an
+//!   involution that flips selected and rejected rows, but under `⌊·⌋`
+//!   the UNKNOWN rows are dropped on *both* sides of the negation —
+//!   `⌊NOT P⌋ ≠ ¬⌊P⌋`.
+//! * **GBJ303** — `<>` over a nullable operand: `⌊P⌋` and `⌈P⌉`
+//!   diverge on every row where an operand is NULL (the rows a 2VL
+//!   reading of "not equal" would select).
+//!
+//! It also verifies (GBJ304, an *error*) that an eager rewrite
+//! preserves the paper's `=ⁿ` grouping semantics structurally: the
+//! inner derived block must group by exactly `GA1+`, and the outer
+//! block must not re-group or re-aggregate — Theorem 2's `E2` shape.
+
+use std::collections::BTreeSet;
+
+use gbj_core::Partition;
+use gbj_expr::{BinaryOp, Expr};
+use gbj_plan::{BlockRelation, LogicalPlan, QueryBlock};
+use gbj_types::{Schema, Value};
+
+use crate::diag::{Code, Diagnostic, PlanPath, Report};
+use crate::schema_pass::input_schema_of;
+
+/// Run the NULL-semantics lints over every predicate in the plan.
+#[must_use]
+pub fn check_plan(plan: &LogicalPlan) -> Report {
+    let mut report = Report::new(String::new());
+    walk(plan, &PlanPath::root(plan.label()), &mut report);
+    report
+}
+
+fn walk(plan: &LogicalPlan, path: &PlanPath, report: &mut Report) {
+    for (i, child) in plan.children().iter().enumerate() {
+        walk(child, &path.child(i, child.label()), report);
+    }
+    let predicate = match plan {
+        LogicalPlan::Filter { predicate, .. } => Some(predicate),
+        LogicalPlan::Join { condition, .. } => Some(condition),
+        _ => None,
+    };
+    let (Some(pred), Ok(schema)) = (predicate, input_schema_of(plan)) else {
+        return; // schema failures are pass 1's to report
+    };
+    check_expr(pred, &schema, path, report);
+}
+
+/// Recursive lint walk; GBJ302 fires at each `NOT` over a nullable
+/// operand, however deeply nested.
+fn check_expr(expr: &Expr, schema: &Schema, path: &PlanPath, report: &mut Report) {
+    match expr {
+        Expr::Column(_) | Expr::Literal(_) => {}
+        Expr::Neg(e) => check_expr(e, schema, path, report),
+        Expr::IsNull { .. } => {
+            // IS [NOT] NULL is two-valued by construction: no lint.
+        }
+        Expr::Not(e) => {
+            if e.nullable(schema).unwrap_or(false) {
+                report.push(
+                    Diagnostic::new(
+                        Code::NotOverNullable,
+                        format!(
+                            "`NOT` over the nullable predicate `{e}`: under the paper's \
+                             ⌊P⌋ semantics UNKNOWN rows are dropped on both sides of the \
+                             negation, so `⌊NOT P⌋ ≠ ¬⌊P⌋`"
+                        ),
+                    )
+                    .at(path.clone()),
+                );
+            }
+            check_expr(e, schema, path, report);
+        }
+        Expr::Binary { left, op, right } => {
+            if op.is_comparison() {
+                let null_literal = matches!(left.as_ref(), Expr::Literal(Value::Null))
+                    || matches!(right.as_ref(), Expr::Literal(Value::Null));
+                if null_literal {
+                    report.push(
+                        Diagnostic::new(
+                            Code::NullLiteralComparison,
+                            format!(
+                                "comparison `{expr}` against a literal NULL is always \
+                                 UNKNOWN: ⌊P⌋ selects no rows; use IS [NOT] NULL"
+                            ),
+                        )
+                        .at(path.clone()),
+                    );
+                } else if *op == BinaryOp::NotEq {
+                    let nullable = left.nullable(schema).unwrap_or(false)
+                        || right.nullable(schema).unwrap_or(false);
+                    if nullable {
+                        report.push(
+                            Diagnostic::new(
+                                Code::FloorCeilDivergence,
+                                format!(
+                                    "`{expr}` over a nullable operand: ⌊P⌋ and ⌈P⌉ diverge \
+                                     on every row where an operand is NULL — a 2VL reading \
+                                     of \"not equal\" would select those rows"
+                                ),
+                            )
+                            .at(path.clone()),
+                        );
+                    }
+                }
+            }
+            check_expr(left, schema, path, report);
+            check_expr(right, schema, path, report);
+        }
+    }
+}
+
+fn column_set(cols: &[gbj_types::ColumnRef]) -> BTreeSet<gbj_types::ColumnRef> {
+    cols.iter().cloned().collect()
+}
+
+/// Verify that a rewritten (`E2`) block preserves the `=ⁿ` grouping
+/// semantics of the original query structurally (GBJ304 on violation):
+///
+/// * the outer block neither groups nor aggregates (grouping happened
+///   once, inside the derived block, under `=ⁿ`);
+/// * exactly one derived relation exists and it groups by exactly
+///   `GA1+`;
+/// * the inner block carries all of the original aggregates;
+/// * DISTINCT-ness of the outer block matches the original.
+#[must_use]
+pub fn check_rewrite_grouping(
+    original: &QueryBlock,
+    rewritten: &QueryBlock,
+    partition: &Partition,
+) -> Report {
+    let mut report = Report::new(String::new());
+    let mut fail = |msg: String| {
+        report.push(Diagnostic::new(Code::GroupingSemanticsChanged, msg));
+    };
+
+    if !rewritten.group_by.is_empty() || !rewritten.aggregates.is_empty() {
+        fail(
+            "the rewritten outer block re-groups or re-aggregates; grouping must happen \
+             exactly once, inside the derived block, under =ⁿ"
+                .to_string(),
+        );
+    }
+    let derived: Vec<&QueryBlock> = rewritten
+        .relations
+        .iter()
+        .filter_map(|r| match r {
+            BlockRelation::Derived { block, .. } => Some(block.as_ref()),
+            BlockRelation::Base { .. } => None,
+        })
+        .collect();
+    match derived.as_slice() {
+        [inner] => {
+            let got = column_set(&inner.group_by);
+            if got != partition.ga1_plus {
+                let want: Vec<String> =
+                    partition.ga1_plus.iter().map(ToString::to_string).collect();
+                let have: Vec<String> = got.iter().map(ToString::to_string).collect();
+                fail(format!(
+                    "inner grouping columns {{{}}} differ from GA1+ = {{{}}} — the pushed-down \
+                     group-by does not partition R1 the way the Main Theorem requires",
+                    have.join(", "),
+                    want.join(", ")
+                ));
+            }
+            if inner.aggregates.len() != original.aggregates.len() {
+                fail(format!(
+                    "the derived block computes {} aggregate(s) but the original query has {}",
+                    inner.aggregates.len(),
+                    original.aggregates.len()
+                ));
+            }
+            if inner.distinct {
+                fail(
+                    "the derived block projects DISTINCT; the inner aggregation must be an \
+                     ALL projection (duplicates feed the aggregates)"
+                        .to_string(),
+                );
+            }
+        }
+        [] => fail("the rewritten block has no derived aggregation side".to_string()),
+        many => fail(format!(
+            "the rewritten block has {} derived relations; expected exactly one",
+            many.len()
+        )),
+    }
+    if rewritten.distinct != original.distinct {
+        fail(format!(
+            "outer DISTINCT is {} but the original query's is {}",
+            rewritten.distinct, original.distinct
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_types::{DataType, Field};
+
+    fn scan(nullable: bool) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "T".into(),
+            qualifier: "T".into(),
+            schema: Schema::new(vec![
+                Field::new("A", DataType::Int64, nullable).with_qualifier("T"),
+                Field::new("B", DataType::Int64, false).with_qualifier("T"),
+            ]),
+        }
+    }
+
+    fn filter(pred: Expr, nullable: bool) -> LogicalPlan {
+        LogicalPlan::Filter {
+            input: Box::new(scan(nullable)),
+            predicate: pred,
+        }
+    }
+
+    #[test]
+    fn null_literal_comparison_is_gbj301() {
+        let plan = filter(Expr::col("T", "A").eq(Expr::Literal(Value::Null)), true);
+        let r = check_plan(&plan);
+        assert_eq!(r.codes(), vec![Code::NullLiteralComparison]);
+    }
+
+    #[test]
+    fn not_over_nullable_is_gbj302() {
+        let plan = filter(
+            Expr::Not(Box::new(Expr::col("T", "A").eq(Expr::lit(1i64)))),
+            true,
+        );
+        let r = check_plan(&plan);
+        assert_eq!(r.codes(), vec![Code::NotOverNullable]);
+    }
+
+    #[test]
+    fn not_over_non_nullable_is_clean() {
+        let plan = filter(
+            Expr::Not(Box::new(Expr::col("T", "B").eq(Expr::lit(1i64)))),
+            true,
+        );
+        let r = check_plan(&plan);
+        assert!(r.is_empty(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn noteq_over_nullable_is_gbj303() {
+        let plan = filter(
+            Expr::col("T", "A").binary(BinaryOp::NotEq, Expr::lit(1i64)),
+            true,
+        );
+        let r = check_plan(&plan);
+        assert_eq!(r.codes(), vec![Code::FloorCeilDivergence]);
+    }
+
+    #[test]
+    fn noteq_over_non_nullable_is_clean() {
+        let plan = filter(
+            Expr::col("T", "B").binary(BinaryOp::NotEq, Expr::lit(1i64)),
+            true,
+        );
+        assert!(check_plan(&plan).is_empty());
+    }
+
+    #[test]
+    fn is_null_is_never_flagged() {
+        let plan = filter(
+            Expr::IsNull {
+                expr: Box::new(Expr::col("T", "A")),
+                negated: false,
+            },
+            true,
+        );
+        assert!(check_plan(&plan).is_empty());
+    }
+
+    #[test]
+    fn plain_equality_conjunction_is_clean() {
+        // The paper-example shape: equality joins and constants over
+        // nullable columns must NOT be flagged (no false positives).
+        let pred = Expr::col("T", "A")
+            .eq(Expr::col("T", "B"))
+            .and(Expr::col("T", "B").eq(Expr::lit(7i64)));
+        let plan = filter(pred, true);
+        assert!(check_plan(&plan).is_empty());
+    }
+}

@@ -1,0 +1,317 @@
+//! Pass 1: schema and type soundness over logical plans.
+//!
+//! Walks the plan top-down with a [`PlanPath`] cursor and checks, per
+//! node:
+//!
+//! * the output schema is derivable from the children's (GBJ102),
+//! * every column reference in the node's expressions resolves against
+//!   the input schema (GBJ101),
+//! * Filter/Join predicates are boolean (GBJ103),
+//! * every comparison's operand types are compatible under the paper's
+//!   three-valued logic — i.e. [`Expr::data_type`] accepts it (GBJ104).
+//!
+//! A node whose children already failed is not re-reported: the deepest
+//! broken node carries the diagnostic, parents stay silent (their
+//! failure is a consequence, not a cause).
+
+use gbj_expr::Expr;
+use gbj_plan::LogicalPlan;
+use gbj_types::{DataType, Schema};
+
+use crate::diag::{Code, Diagnostic, PlanPath, Report};
+
+/// Run the schema/type pass over a plan.
+#[must_use]
+pub fn check_plan(plan: &LogicalPlan) -> Report {
+    let mut report = Report::new(String::new());
+    walk(plan, &PlanPath::root(plan.label()), &mut report);
+    report
+}
+
+/// Returns whether this subtree is sound (children included); pushes
+/// diagnostics for the deepest failures only.
+fn walk(plan: &LogicalPlan, path: &PlanPath, report: &mut Report) -> bool {
+    let mut children_ok = true;
+    for (i, child) in plan.children().iter().enumerate() {
+        let child_path = path.child(i, child.label());
+        if !walk(child, &child_path, report) {
+            children_ok = false;
+        }
+    }
+    if !children_ok {
+        // Parents of broken nodes would only echo the same failure.
+        return false;
+    }
+
+    // Children are sound, so their schemas compute.
+    let input_schema = match input_schema_of(plan) {
+        Ok(s) => s,
+        Err(e) => {
+            report.push(
+                Diagnostic::new(Code::UnderivableSchema, format!("input schema: {e}"))
+                    .at(path.clone()),
+            );
+            return false;
+        }
+    };
+
+    let mut ok = true;
+    for expr in node_exprs(plan) {
+        ok &= check_expr(expr, &input_schema, path, report);
+    }
+
+    // Predicate booleanness (only meaningful when the expressions
+    // themselves resolved).
+    if ok {
+        let predicate = match plan {
+            LogicalPlan::Filter { predicate, .. } => Some(("filter predicate", predicate)),
+            LogicalPlan::Join { condition, .. } => Some(("join condition", condition)),
+            _ => None,
+        };
+        if let Some((what, pred)) = predicate {
+            match pred.data_type(&input_schema) {
+                Ok(DataType::Boolean) => {}
+                Ok(other) => {
+                    report.push(
+                        Diagnostic::new(
+                            Code::NonBooleanPredicate,
+                            format!("{what} `{pred}` has type {other:?}, expected Boolean"),
+                        )
+                        .at(path.clone()),
+                    );
+                    ok = false;
+                }
+                Err(e) => {
+                    report.push(
+                        Diagnostic::new(Code::IncomparableTypes, format!("{what} `{pred}`: {e}"))
+                            .at(path.clone()),
+                    );
+                    ok = false;
+                }
+            }
+        }
+    }
+
+    // Finally the node's own output schema.
+    if ok {
+        if let Err(e) = plan.schema() {
+            report.push(
+                Diagnostic::new(Code::UnderivableSchema, format!("output schema: {e}"))
+                    .at(path.clone()),
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// The combined input schema a node's expressions are evaluated over.
+pub(crate) fn input_schema_of(plan: &LogicalPlan) -> gbj_types::Result<Schema> {
+    match plan {
+        LogicalPlan::Scan { schema, .. } => Ok(schema.clone()),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::SubqueryAlias { input, .. }
+        | LogicalPlan::Sort { input, .. } => input.schema(),
+        LogicalPlan::CrossJoin { left, right } | LogicalPlan::Join { left, right, .. } => {
+            Ok(left.schema()?.join(&right.schema()?))
+        }
+    }
+}
+
+/// Every expression a node evaluates against its input schema.
+fn node_exprs(plan: &LogicalPlan) -> Vec<&Expr> {
+    match plan {
+        LogicalPlan::Scan { .. }
+        | LogicalPlan::CrossJoin { .. }
+        | LogicalPlan::SubqueryAlias { .. } => vec![],
+        LogicalPlan::Filter { predicate, .. } => vec![predicate],
+        LogicalPlan::Join { condition, .. } => vec![condition],
+        LogicalPlan::Project { exprs, .. } => exprs.iter().map(|(e, _)| e).collect(),
+        LogicalPlan::Aggregate {
+            group_by,
+            aggregates,
+            ..
+        } => group_by
+            .iter()
+            .chain(aggregates.iter().filter_map(|(c, _)| c.arg.as_ref()))
+            .collect(),
+        LogicalPlan::Sort { keys, .. } => keys.iter().map(|(e, _)| e).collect(),
+    }
+}
+
+/// Check one expression: column resolution first (GBJ101 per unresolved
+/// column), then comparison type-compatibility (GBJ104).
+fn check_expr(expr: &Expr, schema: &Schema, path: &PlanPath, report: &mut Report) -> bool {
+    let mut ok = true;
+    for col in expr.columns() {
+        if schema.resolve(&col).is_err() {
+            report.push(
+                Diagnostic::new(
+                    Code::UnresolvedColumn,
+                    format!("column {col} does not resolve in the input schema"),
+                )
+                .at(path.clone())
+                .note(format!("in expression `{expr}`")),
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        return false;
+    }
+    check_comparisons(expr, schema, path, report) && ok
+}
+
+/// Recursively find the comparison (or arithmetic) subexpression whose
+/// operand types clash; report it with both operand types spelled out.
+fn check_comparisons(expr: &Expr, schema: &Schema, path: &PlanPath, report: &mut Report) -> bool {
+    match expr {
+        Expr::Column(_) | Expr::Literal(_) => true,
+        Expr::Not(e) | Expr::Neg(e) => check_comparisons(e, schema, path, report),
+        Expr::IsNull { expr, .. } => check_comparisons(expr, schema, path, report),
+        Expr::Binary { left, op, right } => {
+            let mut ok = check_comparisons(left, schema, path, report);
+            ok &= check_comparisons(right, schema, path, report);
+            if !ok {
+                return false; // the deepest clash is already reported
+            }
+            // Both operands are individually well-typed; check this
+            // combination.
+            if expr.data_type(schema).is_err() {
+                let lt = left.data_type(schema);
+                let rt = right.data_type(schema);
+                let describe = |t: gbj_types::Result<DataType>| match t {
+                    Ok(d) => format!("{d:?}"),
+                    Err(_) => "?".to_string(),
+                };
+                let kind = if op.is_comparison() {
+                    "comparison"
+                } else if op.is_logical() {
+                    "logical connective"
+                } else {
+                    "arithmetic"
+                };
+                report.push(
+                    Diagnostic::new(
+                        Code::IncomparableTypes,
+                        format!(
+                            "{kind} `{expr}` over incompatible types {} {op} {}",
+                            describe(lt),
+                            describe(rt)
+                        ),
+                    )
+                    .at(path.clone()),
+                );
+                return false;
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_types::Field;
+
+    fn emp_scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "Employee".into(),
+            qualifier: "E".into(),
+            schema: Schema::new(vec![
+                Field::new("EmpID", DataType::Int64, false).with_qualifier("E"),
+                Field::new("Name", DataType::Utf8, true).with_qualifier("E"),
+            ]),
+        }
+    }
+
+    #[test]
+    fn sound_plan_is_clean() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(emp_scan()),
+            predicate: Expr::col("E", "EmpID").eq(Expr::lit(1i64)),
+        };
+        let r = check_plan(&plan);
+        assert!(r.is_empty(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn unresolved_column_is_gbj101() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(emp_scan()),
+            predicate: Expr::col("E", "Nope").eq(Expr::lit(1i64)),
+        };
+        let r = check_plan(&plan);
+        assert_eq!(r.codes(), vec![Code::UnresolvedColumn]);
+        assert!(r.render_text().contains("E.Nope"));
+    }
+
+    #[test]
+    fn non_boolean_predicate_is_gbj103() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(emp_scan()),
+            predicate: Expr::col("E", "EmpID"),
+        };
+        let r = check_plan(&plan);
+        assert_eq!(r.codes(), vec![Code::NonBooleanPredicate]);
+    }
+
+    #[test]
+    fn incompatible_comparison_is_gbj104() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(emp_scan()),
+            predicate: Expr::col("E", "Name").eq(Expr::lit(1i64)),
+        };
+        let r = check_plan(&plan);
+        assert_eq!(r.codes(), vec![Code::IncomparableTypes]);
+        assert!(r.render_text().contains("Utf8"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn deepest_failure_wins() {
+        // Broken scan predicate below a sound aggregate: only the
+        // Filter reports; the Aggregate above stays silent.
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(emp_scan()),
+                predicate: Expr::col("E", "Missing").eq(Expr::lit(1i64)),
+            }),
+            group_by: vec![Expr::col("E", "Name")],
+            aggregates: vec![],
+        };
+        let r = check_plan(&plan);
+        assert_eq!(r.len(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.code, Code::UnresolvedColumn);
+        assert_eq!(d.path.as_ref().map(|p| p.span()), Some("$.0".into()));
+    }
+
+    #[test]
+    fn join_condition_is_checked_over_both_sides() {
+        let right = LogicalPlan::Scan {
+            table: "Department".into(),
+            qualifier: "D".into(),
+            schema: Schema::new(vec![
+                Field::new("DeptID", DataType::Int64, false).with_qualifier("D")
+            ]),
+        };
+        let plan = LogicalPlan::Join {
+            left: Box::new(emp_scan()),
+            right: Box::new(right),
+            condition: Expr::col("E", "EmpID").eq(Expr::col("D", "DeptID")),
+        };
+        assert!(check_plan(&plan).is_empty());
+    }
+
+    #[test]
+    fn sort_keys_are_checked() {
+        let plan = LogicalPlan::Sort {
+            input: Box::new(emp_scan()),
+            keys: vec![(Expr::col("E", "Ghost"), true)],
+        };
+        let r = check_plan(&plan);
+        assert_eq!(r.codes(), vec![Code::UnresolvedColumn]);
+    }
+}

@@ -14,12 +14,21 @@
 
 use gbj_datagen::{EmpDeptConfig, SweepConfig};
 use gbj_engine::{audits_to_json, max_q, median_q, Database, PushdownPolicy};
+use gbj_types::{Error, Result};
 
 /// Run `sql` on `db` under `policy` and print one JSON audit line.
-fn audit_one(db: &mut Database, workload: &str, params: &str, sql: &str, policy: PushdownPolicy) {
+fn audit_one(
+    db: &mut Database,
+    workload: &str,
+    params: &str,
+    sql: &str,
+    policy: PushdownPolicy,
+) -> Result<()> {
     db.options_mut().policy = policy;
-    db.query(sql).expect("query runs");
-    let metrics = db.last_query_metrics().expect("metrics recorded");
+    db.query(sql)?;
+    let metrics = db
+        .last_query_metrics()
+        .ok_or_else(|| Error::Internal("no metrics recorded for the audited query".into()))?;
     let audits = metrics.audits();
     let policy_name = match policy {
         PushdownPolicy::Never => "lazy",
@@ -35,9 +44,17 @@ fn audit_one(db: &mut Database, workload: &str, params: &str, sql: &str, policy:
         median_q(&audits),
         audits_to_json(&audits)
     );
+    Ok(())
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("cardinality_audit: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<()> {
     // Fan-in sweep: how many fact rows collapse into each group.
     for groups in [10_usize, 100, 1000] {
         let cfg = SweepConfig {
@@ -47,7 +64,7 @@ fn main() {
             match_fraction: 1.0,
             skew: 0.0,
         };
-        let mut db = cfg.build().expect("build sweep workload");
+        let mut db = cfg.build()?;
         let params = format!("fact_rows=10000 groups={groups} match=1.0");
         audit_one(
             &mut db,
@@ -55,14 +72,14 @@ fn main() {
             &params,
             cfg.query(),
             PushdownPolicy::Never,
-        );
+        )?;
         audit_one(
             &mut db,
             "sweep_fan_in",
             &params,
             cfg.query(),
             PushdownPolicy::CostBased,
-        );
+        )?;
     }
 
     // Selectivity sweep: the fraction of fact rows surviving the join.
@@ -74,7 +91,7 @@ fn main() {
             match_fraction,
             skew: 0.0,
         };
-        let mut db = cfg.build().expect("build sweep workload");
+        let mut db = cfg.build()?;
         let params = format!("fact_rows=10000 groups=100 match={match_fraction}");
         audit_one(
             &mut db,
@@ -82,7 +99,7 @@ fn main() {
             &params,
             cfg.query(),
             PushdownPolicy::Never,
-        );
+        )?;
     }
 
     // Skewed key distribution: uniform-frequency assumption stressed.
@@ -93,14 +110,14 @@ fn main() {
         match_fraction: 1.0,
         skew: 1.5,
     };
-    let mut db = cfg.build().expect("build sweep workload");
+    let mut db = cfg.build()?;
     audit_one(
         &mut db,
         "sweep_skew",
         "fact_rows=10000 groups=100 skew=1.5",
         cfg.query(),
         PushdownPolicy::Never,
-    );
+    )?;
 
     // Example 1 Emp/Dept, with and without NULL group keys.
     for null_fraction in [0.0_f64, 0.3] {
@@ -110,7 +127,7 @@ fn main() {
             null_dept_fraction: null_fraction,
             seed: 42,
         };
-        let mut db = cfg.build().expect("build emp/dept workload");
+        let mut db = cfg.build()?;
         let params = format!("employees=5000 departments=50 null_frac={null_fraction}");
         audit_one(
             &mut db,
@@ -118,6 +135,7 @@ fn main() {
             &params,
             cfg.query(),
             PushdownPolicy::CostBased,
-        );
+        )?;
     }
+    Ok(())
 }

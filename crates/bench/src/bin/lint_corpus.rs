@@ -1,0 +1,111 @@
+//! Analyzer-overhead benchmark: run the static analyzer over the
+//! datagen workloads' queries and report lint time next to plain
+//! planning time, one JSON line per workload.
+//!
+//! The analyzer is wired into planning as a verify-every-rewrite debug
+//! mode; this driver answers "what does that cost?" — the lint path
+//! re-runs the transformation decision (TestFD replay with certificate
+//! construction) plus the schema and NULL passes, so its time should
+//! stay within a small multiple of planning alone.
+//!
+//! ```text
+//! cargo run --release -p gbj-bench --bin lint_corpus
+//! cargo run --release -p gbj-bench --bin lint_corpus -- corpus/*.sql
+//! ```
+//!
+//! With file arguments, each file is linted as a script (DDL executed,
+//! queries analyzed) and timed as a whole instead.
+
+use std::time::Instant;
+
+use gbj_datagen::{AdversarialConfig, EmpDeptConfig, PrinterConfig, SweepConfig};
+use gbj_engine::Database;
+use gbj_types::{Error, Result};
+
+const ITERATIONS: u32 = 50;
+
+/// Time `iterations` runs of both the plain planner and the lint path
+/// over one query; print a JSON line with mean times and the
+/// diagnostic count.
+fn bench_one(db: &mut Database, workload: &str, sql: &str) -> Result<()> {
+    let start = Instant::now();
+    for _ in 0..ITERATIONS {
+        db.plan_query(sql)?;
+    }
+    let plan_ns = start.elapsed().as_nanos() / u128::from(ITERATIONS);
+
+    let start = Instant::now();
+    let mut diagnostics = 0;
+    for _ in 0..ITERATIONS {
+        diagnostics = db.lint_select(sql)?.len();
+    }
+    let lint_ns = start.elapsed().as_nanos() / u128::from(ITERATIONS);
+
+    println!(
+        "{{\"workload\":\"{workload}\",\"plan_ns\":{plan_ns},\"lint_ns\":{lint_ns},\
+         \"overhead\":{:.2},\"diagnostics\":{diagnostics}}}",
+        lint_ns as f64 / plan_ns.max(1) as f64
+    );
+    Ok(())
+}
+
+fn run() -> Result<()> {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if !files.is_empty() {
+        for file in &files {
+            let sql = std::fs::read_to_string(file)
+                .map_err(|e| Error::Internal(format!("cannot read {file}: {e}")))?;
+            let start = Instant::now();
+            let reports = Database::new().lint_script(&sql)?;
+            let total: usize = reports.iter().map(gbj_analyze::Report::len).sum();
+            println!(
+                "{{\"file\":\"{file}\",\"queries\":{},\"diagnostics\":{total},\"lint_ns\":{}}}",
+                reports.len(),
+                start.elapsed().as_nanos()
+            );
+        }
+        return Ok(());
+    }
+
+    let emp = EmpDeptConfig {
+        employees: 5000,
+        departments: 50,
+        null_dept_fraction: 0.0,
+        seed: 42,
+    };
+    bench_one(&mut emp.build()?, "emp_dept", emp.query())?;
+
+    let sweep = SweepConfig {
+        fact_rows: 10_000,
+        dim_rows: 1000,
+        groups: 100,
+        match_fraction: 1.0,
+        skew: 0.0,
+    };
+    bench_one(&mut sweep.build()?, "sweep", sweep.query())?;
+
+    let printer = PrinterConfig {
+        users_per_machine: 10,
+        machines: 3,
+        printers: 6,
+        auths_per_user: 3,
+        seed: 5,
+    };
+    bench_one(
+        &mut printer.build()?,
+        "printer_example3",
+        printer.example3_query(),
+    )?;
+
+    let adv = AdversarialConfig::paper();
+    bench_one(&mut adv.build()?, "adversarial_fig8", adv.query())?;
+
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("lint_corpus: {e}");
+        std::process::exit(1);
+    }
+}

@@ -15,8 +15,16 @@ use std::num::NonZeroUsize;
 use gbj_bench::{measure, rows_to_json, ExperimentRow};
 use gbj_datagen::SweepConfig;
 use gbj_engine::PushdownPolicy;
+use gbj_types::Result;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("parallel_sweep: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<()> {
     let cfg = SweepConfig {
         fact_rows: 100_000,
         dim_rows: 100,
@@ -24,17 +32,20 @@ fn main() {
         match_fraction: 1.0,
         skew: 0.0,
     };
-    let mut db = cfg.build().expect("build workload");
+    let mut db = cfg.build()?;
 
     println!("threads,median_ms,speedup_vs_serial");
     let mut rows = Vec::new();
     let mut serial_ms = 0.0_f64;
     let mut baseline: Option<Vec<Vec<gbj_types::Value>>> = None;
     for threads in [1_usize, 2, 4, 8] {
-        db.set_threads(NonZeroUsize::new(threads).expect("nonzero"));
+        let Some(n) = NonZeroUsize::new(threads) else {
+            continue; // the sweep list is all nonzero
+        };
+        db.set_threads(n);
         // Lazy policy keeps the full join + aggregate on the 100k rows
         // (the eager plan would shrink the work this sweep measures).
-        let m = measure(&mut db, cfg.query(), PushdownPolicy::Never, 5).expect("measure");
+        let m = measure(&mut db, cfg.query(), PushdownPolicy::Never, 5)?;
         match &baseline {
             None => baseline = Some(m.rows.rows.clone()),
             Some(expect) => {
@@ -61,4 +72,5 @@ fn main() {
         });
     }
     println!("{}", rows_to_json(&rows));
+    Ok(())
 }

@@ -18,7 +18,7 @@ use gbj_datagen::{
 use gbj_engine::{Database, PushdownPolicy};
 use gbj_expr::Expr;
 use gbj_fd::{Fd, FdContext, FdSet};
-use gbj_types::{ColumnRef, DataType, Truth, Value};
+use gbj_types::{ColumnRef, DataType, Result, Truth, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -37,7 +37,7 @@ fn main() {
     let run = |id: &str| wanted.is_empty() || wanted.contains(id);
 
     let mut rows: Vec<ExperimentRow> = Vec::new();
-    type Experiment = (&'static str, fn() -> Vec<ExperimentRow>);
+    type Experiment = (&'static str, fn() -> Result<Vec<ExperimentRow>>);
     let experiments: Vec<Experiment> = vec![
         ("x1", x1_figure1),
         ("x2", x2_truth_tables),
@@ -58,7 +58,13 @@ fn main() {
             println!("\n{}", "=".repeat(72));
             println!("experiment {id}");
             println!("{}", "=".repeat(72));
-            rows.extend(f());
+            match f() {
+                Ok(r) => rows.extend(r),
+                Err(e) => {
+                    eprintln!("experiment {id} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
     }
     if let Some(path) = json_path {
@@ -74,10 +80,10 @@ fn main() {
 // --------------------------------------------------------------- X1
 
 /// Figure 1 / Example 1 at paper scale.
-fn x1_figure1() -> Vec<ExperimentRow> {
+fn x1_figure1() -> Result<Vec<ExperimentRow>> {
     let cfg = EmpDeptConfig::paper();
-    let mut db = cfg.build().expect("build");
-    let c = compare(&mut db, cfg.query(), 5).expect("compare");
+    let mut db = cfg.build()?;
+    let c = compare(&mut db, cfg.query(), 5)?;
     println!("Plan 1 (lazy):\n{}", c.lazy.profile.display_tree());
     println!("Plan 2 (eager):\n{}", c.eager.profile.display_tree());
     println!(
@@ -92,18 +98,18 @@ fn x1_figure1() -> Vec<ExperimentRow> {
         "paper: join input 10000x100 vs 100x100, group-by input 10000 both; \
          measured lazy join out = {join_out:?}"
     );
-    vec![ExperimentRow::from_comparison(
+    Ok(vec![ExperimentRow::from_comparison(
         "x1",
         "employees=10000 departments=100",
         &c,
         "Figure 1: eager wins; cardinalities match the paper exactly",
-    )]
+    )])
 }
 
 // --------------------------------------------------------------- X2
 
 /// Figure 2: the AND/OR truth tables.
-fn x2_truth_tables() -> Vec<ExperimentRow> {
+fn x2_truth_tables() -> Result<Vec<ExperimentRow>> {
     for (name, op) in [
         ("AND", Truth::and as fn(Truth, Truth) -> Truth),
         ("OR", Truth::or as fn(Truth, Truth) -> Truth),
@@ -118,17 +124,17 @@ fn x2_truth_tables() -> Vec<ExperimentRow> {
             println!("{:>9} | {}", a.to_string(), cells.join(" "));
         }
     }
-    vec![ExperimentRow::note(
+    Ok(vec![ExperimentRow::note(
         "x2",
         "-",
         "Figure 2 truth tables regenerated; asserted cell-by-cell in gbj-types tests",
-    )]
+    )])
 }
 
 // --------------------------------------------------------------- X3
 
 /// Figure 3: ⌊P⌋, ⌈P⌉ and =ⁿ.
-fn x3_interpretation_ops() -> Vec<ExperimentRow> {
+fn x3_interpretation_ops() -> Result<Vec<ExperimentRow>> {
     println!("P        | floor(P) ceil(P)");
     for t in Truth::ALL {
         println!("{:<8} | {:<8} {}", t.to_string(), t.floor(), t.ceil());
@@ -146,17 +152,17 @@ fn x3_interpretation_ops() -> Vec<ExperimentRow> {
             );
         }
     }
-    vec![ExperimentRow::note(
+    Ok(vec![ExperimentRow::note(
         "x3",
         "-",
         "Figure 3 interpretation operators and null-equality regenerated",
-    )]
+    )])
 }
 
 // --------------------------------------------------------------- X4
 
 /// Example 2: derived dependencies, symbolically and on data.
-fn x4_derived_dependencies() -> Vec<ExperimentRow> {
+fn x4_derived_dependencies() -> Result<Vec<ExperimentRow>> {
     // Symbolic: the FD machinery derives PartNo as a key of the derived
     // table.
     let part = TableDef::new(
@@ -172,8 +178,7 @@ fn x4_derived_dependencies() -> Vec<ExperimentRow> {
         "ClassCode".into(),
         "PartNo".into(),
     ]))
-    .validate()
-    .expect("part");
+    .validate()?;
     let supplier = TableDef::new(
         "Supplier",
         vec![
@@ -183,8 +188,7 @@ fn x4_derived_dependencies() -> Vec<ExperimentRow> {
         ],
     )
     .with_constraint(Constraint::PrimaryKey(vec!["SupplierNo".into()]))
-    .validate()
-    .expect("supplier");
+    .validate()?;
     let mut ctx = FdContext::new();
     ctx.add_table("P", part);
     ctx.add_table("S", supplier);
@@ -199,8 +203,8 @@ fn x4_derived_dependencies() -> Vec<ExperimentRow> {
     // On data: verify both derived dependencies hold in a generated
     // instance.
     let cfg = PartSupplierConfig::default();
-    let db = cfg.build().expect("build");
-    let rows = db.query(cfg.derived_table_query()).expect("query");
+    let db = cfg.build()?;
+    let rows = db.query(cfg.derived_table_query())?;
     let data: Vec<&[Value]> = rows.rows.iter().map(Vec::as_slice).collect();
     let key_holds = gbj_fd::fd_holds_in(data.iter().copied(), &[0], &[1, 2, 3]);
     let dep_holds = gbj_fd::fd_holds_in(data.iter().copied(), &[2], &[3]);
@@ -208,23 +212,22 @@ fn x4_derived_dependencies() -> Vec<ExperimentRow> {
         "on {} derived rows: PartNo key = {key_holds}, SupplierNo->Name = {dep_holds}",
         rows.len()
     );
-    vec![ExperimentRow::note(
+    Ok(vec![ExperimentRow::note(
         "x4",
         &format!("parts={} suppliers={}", cfg.parts, cfg.suppliers),
         &format!("derived key holds: {key_holds}; derived FD holds: {dep_holds}"),
-    )]
+    )])
 }
 
 // --------------------------------------------------------------- X5
 
 /// Figure 5: the DDL with all five constraint classes, enforced.
-fn x5_constraint_ddl() -> Vec<ExperimentRow> {
+fn x5_constraint_ddl() -> Result<Vec<ExperimentRow>> {
     let mut db = Database::new();
     db.run_script(
         "CREATE TABLE Dept (DeptID INTEGER PRIMARY KEY, Name VARCHAR(30)); \
          CREATE DOMAIN DepIdType SMALLINT CHECK VALUE > 0 AND VALUE < 100;",
-    )
-    .expect("setup");
+    )?;
     db.execute(
         "CREATE TABLE Employee ( \
              EmpID INTEGER CHECK (EmpID > 0), \
@@ -234,10 +237,8 @@ fn x5_constraint_ddl() -> Vec<ExperimentRow> {
              DeptID DepIdType CHECK (DeptID > 5), \
              PRIMARY KEY (EmpID), \
              FOREIGN KEY (DeptID) REFERENCES Dept)",
-    )
-    .expect("figure 5 DDL parses and binds");
-    db.execute("INSERT INTO Dept VALUES (7, 'Eng')")
-        .expect("dept");
+    )?;
+    db.execute("INSERT INTO Dept VALUES (7, 'Eng')")?;
 
     let attempts = [
         ("INSERT INTO Employee VALUES (1, 10, 'ok', 'row', 7)", true),
@@ -275,17 +276,17 @@ fn x5_constraint_ddl() -> Vec<ExperimentRow> {
         }
     }
     println!("{ok} rows accepted, {rejected} rejected");
-    vec![ExperimentRow::note(
+    Ok(vec![ExperimentRow::note(
         "x5",
         "-",
         &format!("Figure 5 DDL enforced: {ok} accepted / {rejected} rejected as expected"),
-    )]
+    )])
 }
 
 // --------------------------------------------------------------- X6
 
 /// Figure 7: the TestFD closure illustration.
-fn x6_figure7_closure() -> Vec<ExperimentRow> {
+fn x6_figure7_closure() -> Result<Vec<ExperimentRow>> {
     let col = |n: &str| ColumnRef::qualified("T", n);
     let mut fds = FdSet::new();
     fds.add_constant(col("A1"), "a: A1 = 25");
@@ -295,23 +296,23 @@ fn x6_figure7_closure() -> Vec<ExperimentRow> {
     println!("{trace}");
     let concluded = trace.result.contains(&col("A4"));
     println!("conclusion A2 -> A4: {concluded}");
-    vec![ExperimentRow::note(
+    Ok(vec![ExperimentRow::note(
         "x6",
         "-",
         &format!("Figure 7 conclusion A2 -> A4 derived: {concluded}"),
-    )]
+    )])
 }
 
 // --------------------------------------------------------------- X7
 
 /// Example 3: the full TestFD trace and the rewritten plan.
-fn x7_example3_testfd() -> Vec<ExperimentRow> {
+fn x7_example3_testfd() -> Result<Vec<ExperimentRow>> {
     let cfg = PrinterConfig::default();
-    let mut db = cfg.build().expect("build");
-    let report = db.plan_query(cfg.example3_query()).expect("plan");
+    let mut db = cfg.build()?;
+    let report = db.plan_query(cfg.example3_query())?;
     println!("partition:\n{}", report.partition.as_deref().unwrap_or("-"));
     println!("TestFD trace:\n{}", report.testfd.as_deref().unwrap_or("-"));
-    let c = compare(&mut db, cfg.example3_query(), 3).expect("compare");
+    let c = compare(&mut db, cfg.example3_query(), 3)?;
     println!("eager plan:\n{}", c.eager.profile.display_tree());
     println!(
         "lazy {:?} eager {:?} speedup {:.2}x engine {:?}",
@@ -320,7 +321,7 @@ fn x7_example3_testfd() -> Vec<ExperimentRow> {
         c.speedup(),
         c.engine_choice
     );
-    vec![ExperimentRow::from_comparison(
+    Ok(vec![ExperimentRow::from_comparison(
         "x7",
         &format!(
             "users/machine={} machines={} printers={} auths={}",
@@ -328,16 +329,16 @@ fn x7_example3_testfd() -> Vec<ExperimentRow> {
         ),
         &c,
         "Example 3: TestFD YES; trace matches the paper's steps a-h",
-    )]
+    )])
 }
 
 // --------------------------------------------------------------- X8
 
 /// Figure 8 / Example 4 at paper scale.
-fn x8_figure8() -> Vec<ExperimentRow> {
+fn x8_figure8() -> Result<Vec<ExperimentRow>> {
     let cfg = AdversarialConfig::paper();
-    let mut db = cfg.build().expect("build");
-    let c = compare(&mut db, cfg.query(), 5).expect("compare");
+    let mut db = cfg.build()?;
+    let c = compare(&mut db, cfg.query(), 5)?;
     println!("Plan 1 (lazy):\n{}", c.lazy.profile.display_tree());
     println!("Plan 2 (eager):\n{}", c.eager.profile.display_tree());
     println!(
@@ -347,18 +348,18 @@ fn x8_figure8() -> Vec<ExperimentRow> {
         c.speedup(),
         c.engine_choice
     );
-    vec![ExperimentRow::from_comparison(
+    Ok(vec![ExperimentRow::from_comparison(
         "x8",
         "A=10000 B=100 join=50 groupsA=9000",
         &c,
         "Figure 8: lazy wins; engine's cost model declines the rewrite",
-    )]
+    )])
 }
 
 // --------------------------------------------------------------- X9
 
 /// Section 7 sweeps: fan-in and join selectivity.
-fn x9_sweeps() -> Vec<ExperimentRow> {
+fn x9_sweeps() -> Result<Vec<ExperimentRow>> {
     let mut out = Vec::new();
     println!("--- fan-in sweep (match_fraction = 1.0) ---");
     println!(
@@ -382,8 +383,8 @@ fn x9_sweeps() -> Vec<ExperimentRow> {
             dim_rows: cfg.dim_rows.max(cfg.groups.min(cfg.fact_rows)).min(10_000),
             ..cfg
         };
-        let mut db = cfg.build().expect("build");
-        let c = compare(&mut db, cfg.query(), 3).expect("compare");
+        let mut db = cfg.build()?;
+        let c = compare(&mut db, cfg.query(), 3)?;
         println!(
             "{:>8} {:>8.1} {:>12?} {:>12?} {:>8.2}x {:>8}",
             groups,
@@ -414,8 +415,8 @@ fn x9_sweeps() -> Vec<ExperimentRow> {
             match_fraction: frac,
             ..SweepConfig::default()
         };
-        let mut db = cfg.build().expect("build");
-        let c = compare(&mut db, cfg.query(), 3).expect("compare");
+        let mut db = cfg.build()?;
+        let c = compare(&mut db, cfg.query(), 3)?;
         println!(
             "{:>10} {:>12?} {:>12?} {:>8.2}x {:>8}",
             frac,
@@ -431,13 +432,13 @@ fn x9_sweeps() -> Vec<ExperimentRow> {
             "low selectivity favours lazy (Figure 8 regime)",
         ));
     }
-    out
+    Ok(out)
 }
 
 // --------------------------------------------------------------- X10
 
 /// Section 7, distributed: rows shipped under the communication model.
-fn x10_distributed() -> Vec<ExperimentRow> {
+fn x10_distributed() -> Result<Vec<ExperimentRow>> {
     let model = CostModel::distributed();
     println!(
         "{:>8} {:>12} {:>12} {:>14} {:>14}",
@@ -469,37 +470,37 @@ fn x10_distributed() -> Vec<ExperimentRow> {
             ),
         ));
     }
-    out
+    Ok(out)
 }
 
 // --------------------------------------------------------------- X11
 
 /// Example 5 / Section 8: the reverse transformation.
-fn x11_reverse_view() -> Vec<ExperimentRow> {
+fn x11_reverse_view() -> Result<Vec<ExperimentRow>> {
     let cfg = PrinterConfig::default();
-    let mut db = cfg.build().expect("build");
-    let c = compare(&mut db, cfg.example5_query(), 3).expect("compare");
+    let mut db = cfg.build()?;
+    let c = compare(&mut db, cfg.example5_query(), 3)?;
     println!(
         "written (view) form {:?}  unfolded form {:?}  engine {:?}",
         c.eager.time, c.lazy.time, c.engine_choice
     );
     println!("unfolded plan:\n{}", c.lazy.profile.display_tree());
-    let direct = db.query(cfg.example3_query()).expect("direct");
+    let direct = db.query(cfg.example3_query())?;
     let agrees = direct.multiset_eq(&c.lazy.rows);
     println!("view query equals the direct three-table query: {agrees}");
-    vec![ExperimentRow::from_comparison(
+    Ok(vec![ExperimentRow::from_comparison(
         "x11",
         "Example 5 view unfolding",
         &c,
         &format!("unfolded == direct: {agrees}"),
-    )]
+    )])
 }
 
 // --------------------------------------------------------------- X12
 
 /// Sampled Main-Theorem validation (the full property suite lives in
 /// tests/equivalence_prop.rs).
-fn x12_random_equivalence() -> Vec<ExperimentRow> {
+fn x12_random_equivalence() -> Result<Vec<ExperimentRow>> {
     let mut rng = StdRng::seed_from_u64(20_260_706);
     let mut checked = 0;
     let mut rewritten = 0;
@@ -509,15 +510,13 @@ fn x12_random_equivalence() -> Vec<ExperimentRow> {
         db.run_script(
             "CREATE TABLE Dim (DimId INTEGER PRIMARY KEY, Cat VARCHAR(5) NOT NULL); \
              CREATE TABLE Fact (FId INTEGER PRIMARY KEY, K INTEGER, V INTEGER);",
-        )
-        .expect("ddl");
+        )?;
         let dims = rng.gen_range(0i64..10);
         for d in 0..dims {
             db.execute(&format!(
                 "INSERT INTO Dim VALUES ({d}, 'c{}')",
                 rng.gen_range(0i64..3)
-            ))
-            .expect("dim");
+            ))?;
         }
         let facts = rng.gen_range(0i64..50);
         for f in 0..facts {
@@ -531,16 +530,15 @@ fn x12_random_equivalence() -> Vec<ExperimentRow> {
             } else {
                 rng.gen_range(-5i64..20).to_string()
             };
-            db.execute(&format!("INSERT INTO Fact VALUES ({f}, {k}, {v})"))
-                .expect("fact");
+            db.execute(&format!("INSERT INTO Fact VALUES ({f}, {k}, {v})"))?;
         }
         let sql = "SELECT D.DimId, D.Cat, COUNT(F.FId), SUM(F.V) \
                    FROM Fact F, Dim D WHERE F.K = D.DimId GROUP BY D.DimId, D.Cat";
         db.options_mut().policy = PushdownPolicy::Always;
-        let report = db.plan_query(sql).expect("plan");
-        let eager = db.query(sql).expect("eager");
+        let report = db.plan_query(sql)?;
+        let eager = db.query(sql)?;
         db.options_mut().policy = PushdownPolicy::Never;
-        let lazy = db.query(sql).expect("lazy");
+        let lazy = db.query(sql)?;
         assert!(lazy.multiset_eq(&eager), "instance diverged");
         checked += 1;
         if matches!(report.choice, gbj_engine::PlanChoice::Eager) {
@@ -551,24 +549,24 @@ fn x12_random_equivalence() -> Vec<ExperimentRow> {
         "{checked} random instances checked ({rewritten} rewritten) in {:?}; all E1 == E2",
         start.elapsed()
     );
-    vec![ExperimentRow::note(
+    Ok(vec![ExperimentRow::note(
         "x12",
         &format!("{checked} random instances"),
         &format!("all equivalent; {rewritten} rewritten eagerly"),
-    )]
+    )])
 }
 
 // --------------------------------------------------------------- X13
 
 /// Theorem 2: DISTINCT and subset projections stay equivalent.
-fn x13_theorem2_variants() -> Vec<ExperimentRow> {
+fn x13_theorem2_variants() -> Result<Vec<ExperimentRow>> {
     let cfg = EmpDeptConfig {
         employees: 2_000,
         departments: 50,
         null_dept_fraction: 0.02,
         seed: 13,
     };
-    let mut db = cfg.build().expect("build");
+    let mut db = cfg.build()?;
     let mut out = Vec::new();
     for (label, sql) in [
         (
@@ -582,7 +580,7 @@ fn x13_theorem2_variants() -> Vec<ExperimentRow> {
              WHERE E.DeptID = D.DeptID GROUP BY D.DeptID, D.Name",
         ),
     ] {
-        let c = compare(&mut db, sql, 3).expect("compare");
+        let c = compare(&mut db, sql, 3)?;
         println!(
             "{label}: lazy {:?} eager {:?} speedup {:.2}x rows {}",
             c.lazy.time,
@@ -597,5 +595,5 @@ fn x13_theorem2_variants() -> Vec<ExperimentRow> {
             "Theorem 2 variant equivalent under the rewrite",
         ));
     }
-    out
+    Ok(out)
 }

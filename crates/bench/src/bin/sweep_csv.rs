@@ -7,10 +7,11 @@
 
 use gbj_bench::compare;
 use gbj_datagen::SweepConfig;
+use gbj_types::Result;
 
-fn emit(series: &str, param: f64, cfg: &SweepConfig) {
-    let mut db = cfg.build().expect("build");
-    let c = compare(&mut db, cfg.query(), 3).expect("compare");
+fn emit(series: &str, param: f64, cfg: &SweepConfig) -> Result<()> {
+    let mut db = cfg.build()?;
+    let c = compare(&mut db, cfg.query(), 3)?;
     println!(
         "{series},{param},{:.6},{:.6},{:.4},{:?}",
         c.lazy.time.as_secs_f64() * 1e3,
@@ -18,9 +19,17 @@ fn emit(series: &str, param: f64, cfg: &SweepConfig) {
         c.speedup(),
         c.engine_choice
     );
+    Ok(())
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("sweep_csv: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<()> {
     println!("series,param,lazy_ms,eager_ms,speedup,engine_choice");
 
     // Fan-in series: param is rows-per-group.
@@ -32,7 +41,7 @@ fn main() {
             match_fraction: 1.0,
             ..SweepConfig::default()
         };
-        emit("fanin", cfg.fan_in(), &cfg);
+        emit("fanin", cfg.fan_in(), &cfg)?;
     }
 
     // Selectivity series: param is the match fraction.
@@ -44,7 +53,7 @@ fn main() {
             match_fraction: frac,
             ..SweepConfig::default()
         };
-        emit("selectivity", frac, &cfg);
+        emit("selectivity", frac, &cfg)?;
     }
 
     // Skew series: param is the Zipf exponent (uniform fan-in 100 base).
@@ -56,6 +65,7 @@ fn main() {
             match_fraction: 1.0,
             skew,
         };
-        emit("skew", skew, &cfg);
+        emit("skew", skew, &cfg)?;
     }
+    Ok(())
 }

@@ -29,7 +29,7 @@ use gbj_datagen::SweepConfig;
 use gbj_engine::PushdownPolicy;
 use gbj_exec::{eval_truth_vec, ColumnarBatch};
 use gbj_expr::{BinaryOp, BoundExpr, Expr};
-use gbj_types::{DataType, Field, Schema, Truth, Value};
+use gbj_types::{DataType, Field, Result, Schema, Truth, Value};
 
 /// Chunk size for the columnar path (mirrors the executor's upper
 /// morsel bound).
@@ -58,18 +58,17 @@ fn make_rows(n: usize) -> Vec<Vec<Value>> {
 }
 
 /// The filter-heavy compound predicate: `v > -500 AND v < 700 OR k = 3`.
-fn predicate(schema: &Schema) -> BoundExpr {
+fn predicate(schema: &Schema) -> Result<BoundExpr> {
     Expr::bare("v")
         .binary(BinaryOp::Gt, Expr::lit(-500i64))
         .and(Expr::bare("v").binary(BinaryOp::Lt, Expr::lit(700i64)))
         .or(Expr::bare("k").eq(Expr::lit(3i64)))
         .bind(schema)
-        .expect("bind predicate")
 }
 
-fn median_ms(samples: &mut Vec<f64>) -> f64 {
+fn median_ms(samples: &mut [f64]) -> f64 {
     samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+    samples.get(samples.len() / 2).copied().unwrap_or(0.0)
 }
 
 fn esc(s: &str) -> String {
@@ -127,6 +126,13 @@ fn bench_sizes() -> (usize, usize, usize) {
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("vectorized_sweep: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<()> {
     let (kernel_rows, e2e_rows, reps) = bench_sizes();
     let mut out = Vec::new();
 
@@ -136,12 +142,12 @@ fn main() {
         Field::new("v", DataType::Int64, true),
     ]);
     let rows = make_rows(kernel_rows);
-    let bound = predicate(&schema);
+    let bound = predicate(&schema)?;
 
     let row_truths: Vec<Truth> = rows
         .iter()
-        .map(|r| bound.eval_truth(r).expect("row eval"))
-        .collect();
+        .map(|r| bound.eval_truth(r))
+        .collect::<Result<_>>()?;
     // Interleave the two timings rep by rep so slow drift on a shared
     // box (frequency scaling, noisy neighbours) hits both paths alike.
     let mut row_samples = Vec::with_capacity(reps);
@@ -151,7 +157,7 @@ fn main() {
         let t = Instant::now();
         let mut kept = 0usize;
         for r in &rows {
-            if bound.eval_truth(r).expect("row eval") == Truth::True {
+            if bound.eval_truth(r)? == Truth::True {
                 kept += 1;
             }
         }
@@ -162,8 +168,8 @@ fn main() {
         let mut kept = 0usize;
         let mut truths_this_rep = Vec::with_capacity(rows.len());
         for chunk in rows.chunks(CHUNK) {
-            let batch = ColumnarBatch::from_rows(chunk, schema.len()).expect("batch");
-            let truths = eval_truth_vec(&bound, &batch).expect("kernel");
+            let batch = ColumnarBatch::from_rows(chunk, schema.len())?;
+            let truths = eval_truth_vec(&bound, &batch)?;
             kept += truths.iter().filter(|&&t| t == Truth::True).count();
             truths_this_rep.extend(truths);
         }
@@ -204,25 +210,25 @@ fn main() {
         match_fraction: 1.0,
         skew: 0.0,
     };
-    let mut db = cfg.build().expect("build workload");
+    let mut db = cfg.build()?;
     db.options_mut().policy = PushdownPolicy::Never;
     let sql = "SELECT D.DimId, COUNT(F.FactId), SUM(F.V) FROM Fact F, Dim D \
                WHERE F.DimId = D.DimId AND F.V > 10 GROUP BY D.DimId";
 
-    let mut time_e2e = |vectorized: bool| -> (f64, Vec<Vec<Value>>) {
+    let mut time_e2e = |vectorized: bool| -> Result<(f64, Vec<Vec<Value>>)> {
         db.set_vectorized(vectorized);
         let mut samples = Vec::with_capacity(reps);
         let mut result = Vec::new();
         for _ in 0..reps {
             let t = Instant::now();
-            let r = db.query(sql).expect("query");
+            let r = db.query(sql)?;
             samples.push(t.elapsed().as_secs_f64() * 1e3);
             result = r.sorted().rows;
         }
-        (median_ms(&mut samples), result)
+        Ok((median_ms(&mut samples), result))
     };
-    let (e2e_row_ms, row_result) = time_e2e(false);
-    let (e2e_vec_ms, vec_result) = time_e2e(true);
+    let (e2e_row_ms, row_result) = time_e2e(false)?;
+    let (e2e_vec_ms, vec_result) = time_e2e(true)?;
     assert_eq!(vec_result, row_result, "end-to-end results diverge");
     println!(
         "end_to_end,{e2e_rows},{e2e_row_ms:.3},{e2e_vec_ms:.3},{:.2}",
@@ -240,4 +246,5 @@ fn main() {
 
     let json: Vec<String> = out.iter().map(SweepRow::to_json).collect();
     println!("[\n  {}\n]", json.join(",\n  "));
+    Ok(())
 }

@@ -1,3 +1,13 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )
+)]
 #![warn(missing_docs)]
 
 //! # gbj-bench
@@ -62,9 +72,12 @@ pub fn measure(
         last = Some(out);
     }
     times.sort();
-    let (rows, profile, report) = last.expect("at least one rep");
+    let (rows, profile, report) = last.ok_or_else(|| {
+        gbj_types::Error::Internal("measure: zero repetitions produced no run".into())
+    })?;
+    let time = times.get(times.len() / 2).copied().unwrap_or_default();
     Ok(Measured {
-        time: times[times.len() / 2],
+        time,
         rows,
         profile,
         report,

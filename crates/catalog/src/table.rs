@@ -121,7 +121,7 @@ impl TableDef {
     /// column of a \[primary\] key can be NULL").
     pub fn validate(mut self) -> Result<TableDef> {
         for (i, c) in self.columns.iter().enumerate() {
-            for other in &self.columns[i + 1..] {
+            for other in self.columns.iter().skip(i + 1) {
                 if c.name.eq_ignore_ascii_case(&other.name) {
                     return Err(Error::Catalog(format!(
                         "duplicate column {} in table {}",
@@ -183,12 +183,12 @@ impl TableDef {
             )));
         }
         for name in force_not_null {
-            if let Some(pos) = self
+            if let Some(col) = self
                 .columns
-                .iter()
-                .position(|c| c.name.eq_ignore_ascii_case(&name))
+                .iter_mut()
+                .find(|c| c.name.eq_ignore_ascii_case(&name))
             {
-                self.columns[pos].nullable = false;
+                col.nullable = false;
             }
         }
         Ok(self)

@@ -140,10 +140,11 @@ pub fn reverse_transform(outer: &QueryBlock, fd_ctx: &FdContext) -> Result<Rever
                 Some(ViewOutput::Column(col.clone()))
             }
             SelectItem::Aggregate { index } => {
-                let (_, alias) = &view.aggregates[*index];
-                alias
-                    .eq_ignore_ascii_case(name)
-                    .then_some(ViewOutput::Aggregate(*index))
+                view.aggregates.get(*index).and_then(|(_, alias)| {
+                    alias
+                        .eq_ignore_ascii_case(name)
+                        .then_some(ViewOutput::Aggregate(*index))
+                })
             }
             SelectItem::Column { .. } => None,
         })

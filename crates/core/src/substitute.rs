@@ -102,8 +102,8 @@ pub fn substitution_candidates(block: &QueryBlock) -> Vec<QueryBlock> {
             let n = alts.len() + 1;
             let pick = rest % n;
             rest /= n;
-            if pick > 0 {
-                mapping.insert(col.clone(), alts[pick - 1].clone());
+            if let Some(alt) = pick.checked_sub(1).and_then(|i| alts.get(i)) {
+                mapping.insert(col.clone(), alt.clone());
             }
         }
         if mapping.is_empty() {

@@ -282,16 +282,26 @@ fn build_e2(block: &QueryBlock, p: &Partition, derived_alias: &str) -> Result<Qu
         .select
         .iter()
         .map(|item| match item {
-            SelectItem::Column { col, alias } => SelectItem::Column {
+            SelectItem::Column { col, alias } => Ok(SelectItem::Column {
                 col: map_col(col),
                 alias: alias.clone(),
-            },
-            SelectItem::Aggregate { index } => SelectItem::Column {
-                col: ColumnRef::qualified(derived_alias, agg_alias[*index].clone()),
-                alias: block.aggregates[*index].1.clone(),
-            },
+            }),
+            SelectItem::Aggregate { index } => {
+                let (inner_alias, (_, outer_alias)) = agg_alias
+                    .get(*index)
+                    .zip(block.aggregates.get(*index))
+                    .ok_or_else(|| {
+                        Error::Internal(format!(
+                            "select item references unknown aggregate #{index}"
+                        ))
+                    })?;
+                Ok(SelectItem::Column {
+                    col: ColumnRef::qualified(derived_alias, inner_alias.clone()),
+                    alias: outer_alias.clone(),
+                })
+            }
         })
-        .collect();
+        .collect::<Result<_>>()?;
 
     let outer = QueryBlock {
         relations,

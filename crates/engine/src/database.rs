@@ -3,6 +3,7 @@
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use gbj_analyze::{Analysis, FdCertificate};
 use gbj_catalog::{Assertion, Catalog};
 use gbj_core::{
     eager_aggregate, reverse_transform, CostModel, EagerOutcome, Partition, PlanCost,
@@ -44,6 +45,13 @@ pub struct EngineOptions {
     pub cost_model: CostModel,
     /// Physical execution options.
     pub exec: ExecOptions,
+    /// Verify every rewrite with the static analyzer
+    /// ([`gbj_analyze`]): replay the FD1/FD2 derivation for each eager
+    /// rewrite and re-check the chosen plan's schema soundness, turning
+    /// Error-severity diagnostics into planning failures. Defaults to
+    /// on in debug builds (and CI); `GBJ_VERIFY_REWRITES=1`/`0`
+    /// overrides either way.
+    pub verify_rewrites: bool,
 }
 
 impl Default for EngineOptions {
@@ -62,11 +70,17 @@ impl Default for EngineOptions {
         if let Some(on) = gbj_exec::vectorized_from_env() {
             exec.vectorized = on;
         }
+        let verify_rewrites = match std::env::var("GBJ_VERIFY_REWRITES").ok().as_deref() {
+            Some("1") => true,
+            Some("0") => false,
+            _ => cfg!(debug_assertions),
+        };
         EngineOptions {
             policy: PushdownPolicy::default(),
             transform: TransformOptions::default(),
             cost_model: CostModel::default(),
             exec,
+            verify_rewrites,
         }
     }
 }
@@ -104,6 +118,9 @@ pub struct QueryReport {
     pub plan: LogicalPlan,
     /// The optimized alternative plan (when a valid alternative exists).
     pub alternative: Option<LogicalPlan>,
+    /// The rendered FD1/FD2 certificate (the replayed TestFD
+    /// derivation), attached to every eager-aggregation rewrite.
+    pub certificate: Option<String>,
 }
 
 impl QueryReport {
@@ -130,6 +147,9 @@ impl QueryReport {
         if let Some(t) = &self.testfd {
             out.push_str("TestFD:\n");
             out.push_str(t);
+        }
+        if let Some(c) = &self.certificate {
+            out.push_str(c);
         }
         out.push_str("plan:\n");
         out.push_str(&self.plan.display_tree());
@@ -409,6 +429,79 @@ impl Database {
         self.plan_bound(&bound)
     }
 
+    /// Run the static analyzer over a SELECT without executing it:
+    /// passes 1–3 ([`gbj_analyze`]) on the planned query, including the
+    /// FD-derivation audit of the eager-aggregation attempt.
+    pub fn lint_select(&self, sql: &str) -> Result<gbj_analyze::Report> {
+        let stmt = gbj_sql::parse_sql(sql)?;
+        let Statement::Select(select) = stmt else {
+            return Err(Error::Unsupported("lint_select() expects a SELECT".into()));
+        };
+        let binder = Binder::new(self.storage.catalog());
+        let bound = binder.bind_select(&select)?;
+        Ok(self.lint_bound(&bound, sql)?.0)
+    }
+
+    /// Lint every statement of a `;`-separated script: DDL and DML are
+    /// *executed* (so later queries see their schemas and constraints),
+    /// SELECTs (and the targets of EXPLAINs) are analyzed without
+    /// running. Returns one report per analyzed query.
+    pub fn lint_script(&mut self, sql: &str) -> Result<Vec<gbj_analyze::Report>> {
+        let stmts = parse_statements(sql)?;
+        let mut reports = Vec::new();
+        for stmt in stmts {
+            let select = match &stmt {
+                Statement::Select(s) => Some(s.clone()),
+                Statement::Explain { statement, .. } => match statement.as_ref() {
+                    Statement::Select(s) => Some(s.clone()),
+                    _ => None,
+                },
+                _ => None,
+            };
+            match select {
+                Some(s) => {
+                    let binder = Binder::new(self.storage.catalog());
+                    let bound = binder.bind_select(&s)?;
+                    let subject = bound.block.to_string();
+                    reports.push(self.lint_bound(&bound, &subject)?.0);
+                }
+                None => {
+                    self.execute_statement(stmt)?;
+                }
+            }
+        }
+        Ok(reports)
+    }
+
+    /// The shared lint path: plan the query, audit the transformation
+    /// attempt (pass 2 + the `=ⁿ` grouping check), and run the
+    /// schema/type and NULL-semantics passes over the chosen plan.
+    fn lint_bound(
+        &self,
+        bound: &BoundSelect,
+        subject: &str,
+    ) -> Result<(gbj_analyze::Report, Option<FdCertificate>)> {
+        let block = &bound.block;
+        let mut analysis = Analysis::new(subject);
+        if block.is_aggregating() {
+            let fd_ctx = self.build_fd_context(block);
+            let assertion_exprs: Vec<Expr> = self
+                .storage
+                .catalog()
+                .assertions()
+                .map(|a| a.check.clone())
+                .collect();
+            let mut transform_opts = self.options.transform.clone();
+            transform_opts.extra_conjuncts =
+                gbj_core::theorem3::assertion_conjuncts(&fd_ctx, &assertion_exprs);
+            let outcome = eager_aggregate(block, &fd_ctx, &transform_opts)?;
+            analysis.check_rewrite(block, &outcome, &fd_ctx, &transform_opts);
+        }
+        let report = self.plan_bound_inner(bound)?;
+        analysis.check_logical(&report.plan);
+        Ok(analysis.finish())
+    }
+
     fn execute_statement(&mut self, stmt: Statement) -> Result<QueryOutput> {
         match stmt {
             Statement::CreateTable {
@@ -468,12 +561,25 @@ impl Database {
                 let (rows, _, _) = self.run_select(&bound, "select")?;
                 Ok(QueryOutput::Rows(rows))
             }
-            Statement::Explain { analyze, statement } => {
+            Statement::Explain {
+                analyze,
+                lint,
+                statement,
+            } => {
                 let Statement::Select(select) = *statement else {
                     return Err(Error::Unsupported("EXPLAIN expects a SELECT".into()));
                 };
                 let binder = Binder::new(self.storage.catalog());
                 let bound = binder.bind_select(&select)?;
+                if lint {
+                    let subject = bound.block.to_string();
+                    let (lint_report, _) = self.lint_bound(&bound, &subject)?;
+                    let plan_report = self.plan_bound(&bound)?;
+                    let mut text = plan_report.explain();
+                    text.push_str("lint:\n");
+                    text.push_str(&lint_report.render_text());
+                    return Ok(QueryOutput::Explain(text));
+                }
                 if analyze {
                     let (rows, _, report) = self.run_select(&bound, "explain analyze")?;
                     let mut text = report.explain();
@@ -538,6 +644,24 @@ impl Database {
     // ------------------------------------------------------------ planning
 
     fn plan_bound(&self, bound: &BoundSelect) -> Result<QueryReport> {
+        let report = self.plan_bound_inner(bound)?;
+        if self.options.verify_rewrites {
+            // Verify-every-rewrite mode: pass 1 (schema/type soundness)
+            // over the chosen plan; Error-severity findings abort
+            // planning rather than executing an unsound plan.
+            let mut analysis = Analysis::new("verify");
+            analysis.check_logical(&report.plan);
+            if analysis.has_errors() {
+                return Err(Error::Plan(format!(
+                    "plan verification failed:\n{}",
+                    analysis.report().render_text()
+                )));
+            }
+        }
+        Ok(report)
+    }
+
+    fn plan_bound_inner(&self, bound: &BoundSelect) -> Result<QueryReport> {
         let block = &bound.block;
         let fd_ctx = self.build_fd_context(block);
         let assertion_exprs: Vec<Expr> = self
@@ -588,25 +712,50 @@ impl Database {
                         eager_cost: None,
                         plan,
                         alternative: None,
+                        certificate: None,
                     });
                 }
             }
         }
 
         // The forward transformation.
-        match eager_aggregate(block, &fd_ctx, &transform_opts)? {
+        let outcome = eager_aggregate(block, &fd_ctx, &transform_opts)?;
+        if self.options.verify_rewrites && block.is_aggregating() {
+            // Pass 2 (FD-derivation audit) + the =ⁿ grouping-shape
+            // check: replay TestFD independently of the planner; a
+            // chosen rewrite without a replayable FD1/FD2 derivation
+            // is a planning error (refusals are warnings, not errors).
+            let mut analysis = Analysis::new("verify");
+            analysis.check_rewrite(block, &outcome, &fd_ctx, &transform_opts);
+            if analysis.has_errors() {
+                return Err(Error::Plan(format!(
+                    "rewrite verification failed:\n{}",
+                    analysis.report().render_text()
+                )));
+            }
+        }
+        match outcome {
             EagerOutcome::Rewritten {
                 block: eager_block,
                 partition,
                 testfd,
-            } => self.choose_with_partition(
-                block,
-                &eager_block,
-                &partition,
-                Some(testfd.to_string()),
-                PlanChoice::Eager,
-                bound,
-            ),
+            } => {
+                // Attach the FD1/FD2 certificate: the replayed
+                // constraint/equality-closure derivation.
+                let constraints =
+                    gbj_analyze::fd_audit::replay_constraints(&fd_ctx, &transform_opts);
+                let certificate = FdCertificate::replay(&partition, &fd_ctx, &constraints);
+                let mut report = self.choose_with_partition(
+                    block,
+                    &eager_block,
+                    &partition,
+                    Some(testfd.to_string()),
+                    PlanChoice::Eager,
+                    bound,
+                )?;
+                report.certificate = Some(certificate.to_string());
+                Ok(report)
+            }
             EagerOutcome::NotApplicable { reason, testfd } => {
                 let plan = self.lower(block, &bound.order_by)?;
                 Ok(QueryReport {
@@ -619,6 +768,7 @@ impl Database {
                     eager_cost: None,
                     plan,
                     alternative: None,
+                    certificate: None,
                 })
             }
         }
@@ -729,6 +879,7 @@ impl Database {
             eager_cost: Some(eager_cost),
             plan,
             alternative,
+            certificate: None,
         })
     }
 

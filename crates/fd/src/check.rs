@@ -21,9 +21,12 @@ pub fn fd_holds_in<'a>(
     rhs: &[usize],
 ) -> bool {
     let mut witness: HashMap<GroupKey, Vec<Value>> = HashMap::new();
+    // Out-of-range ordinals read as NULL rather than panicking: the
+    // check is a test/audit helper, and `=ⁿ` treats NULL as a value.
+    let value_at = |row: &[Value], i: usize| row.get(i).cloned().unwrap_or(Value::Null);
     for row in rows {
-        let key = GroupKey(lhs.iter().map(|&i| row[i].clone()).collect());
-        let rhs_vals: Vec<Value> = rhs.iter().map(|&i| row[i].clone()).collect();
+        let key = GroupKey(lhs.iter().map(|&i| value_at(row, i)).collect());
+        let rhs_vals: Vec<Value> = rhs.iter().map(|&i| value_at(row, i)).collect();
         match witness.get(&key) {
             None => {
                 witness.insert(key, rhs_vals);

@@ -281,13 +281,15 @@ impl QueryBlock {
             .select
             .iter()
             .map(|item| match item {
-                SelectItem::Column { col, alias } => (Expr::Column(col.clone()), alias.clone()),
+                SelectItem::Column { col, alias } => Ok((Expr::Column(col.clone()), alias.clone())),
                 SelectItem::Aggregate { index } => {
-                    let alias = &self.aggregates[*index].1;
-                    (Expr::Column(ColumnRef::bare(alias.clone())), alias.clone())
+                    let (_, alias) = self.aggregates.get(*index).ok_or_else(|| {
+                        Error::Plan(format!("select item references unknown aggregate #{index}"))
+                    })?;
+                    Ok((Expr::Column(ColumnRef::bare(alias.clone())), alias.clone()))
                 }
             })
-            .collect();
+            .collect::<Result<_>>()?;
         if exprs.is_empty() {
             return Err(Error::Plan("query block has an empty select list".into()));
         }
@@ -321,10 +323,10 @@ impl fmt::Display for QueryBlock {
                         format!("{col} AS {alias}")
                     }
                 }
-                SelectItem::Aggregate { index } => {
-                    let (call, alias) = &self.aggregates[*index];
-                    format!("{call} AS {alias}")
-                }
+                SelectItem::Aggregate { index } => match self.aggregates.get(*index) {
+                    Some((call, alias)) => format!("{call} AS {alias}"),
+                    None => format!("<aggregate #{index}?>"),
+                },
             })
             .collect();
         write!(f, "{}", items.join(", "))?;

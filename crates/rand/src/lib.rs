@@ -1,3 +1,13 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )
+)]
 #![warn(missing_docs)]
 
 //! Offline stand-in for the `rand` crate.
@@ -158,6 +168,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::reversed_empty_ranges)] // the empty range IS the case under test
     fn empty_ranges_do_not_panic() {
         let mut rng = StdRng::seed_from_u64(7);
         assert_eq!(rng.gen_range(5i64..5), 5);

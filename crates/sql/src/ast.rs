@@ -195,11 +195,14 @@ pub enum Statement {
     },
     /// A query.
     Select(SelectStmt),
-    /// `EXPLAIN [ANALYZE] <select>`.
+    /// `EXPLAIN [ANALYZE] [(LINT)] <select>`.
     Explain {
         /// Execute the query and annotate the plan with measured
         /// cardinalities and wall-clock time.
         analyze: bool,
+        /// Run the static analyzer over the plan and render its
+        /// diagnostics (`EXPLAIN (LINT)`).
+        lint: bool,
         /// The explained statement.
         statement: Box<Statement>,
     },

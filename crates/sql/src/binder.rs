@@ -553,7 +553,9 @@ fn rename_block_outputs(block: &mut QueryBlock, names: &[String]) -> Result<()> 
         match item {
             SelectItem::Column { alias, .. } => *alias = name.clone(),
             SelectItem::Aggregate { index } => {
-                block.aggregates[*index].1 = name.clone();
+                if let Some(agg) = block.aggregates.get_mut(*index) {
+                    agg.1 = name.clone();
+                }
             }
         }
     }

@@ -73,8 +73,8 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
     let bytes = input.as_bytes();
     let mut tokens = Vec::new();
     let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
+    while let Some(&byte) = bytes.get(i) {
+        let c = byte as char;
         let start = i;
         match c {
             ' ' | '\t' | '\n' | '\r' => {
@@ -82,7 +82,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             '-' if bytes.get(i + 1) == Some(&b'-') => {
                 // Line comment.
-                while i < bytes.len() && bytes[i] != b'\n' {
+                while bytes.get(i).is_some_and(|&b| b != b'\n') {
                     i += 1;
                 }
             }
@@ -260,29 +260,27 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             '0'..='9' => {
                 let mut end = i;
                 let mut is_float = false;
-                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                while bytes.get(end).is_some_and(u8::is_ascii_digit) {
                     end += 1;
                 }
-                if end < bytes.len()
-                    && bytes[end] == b'.'
-                    && end + 1 < bytes.len()
-                    && bytes[end + 1].is_ascii_digit()
+                if bytes.get(end) == Some(&b'.')
+                    && bytes.get(end + 1).is_some_and(u8::is_ascii_digit)
                 {
                     is_float = true;
                     end += 1;
-                    while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    while bytes.get(end).is_some_and(u8::is_ascii_digit) {
                         end += 1;
                     }
                 }
-                if end < bytes.len() && (bytes[end] == b'e' || bytes[end] == b'E') {
+                if matches!(bytes.get(end), Some(b'e' | b'E')) {
                     let mut j = end + 1;
-                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    if matches!(bytes.get(j), Some(b'+' | b'-')) {
                         j += 1;
                     }
-                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                    if bytes.get(j).is_some_and(u8::is_ascii_digit) {
                         is_float = true;
                         end = j;
-                        while end < bytes.len() && bytes[end].is_ascii_digit() {
+                        while bytes.get(end).is_some_and(u8::is_ascii_digit) {
                             end += 1;
                         }
                     }
@@ -305,10 +303,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             c if c.is_ascii_alphabetic() || c == '_' || c == '#' => {
                 let mut end = i + 1;
-                while end < bytes.len()
-                    && ((bytes[end] as char).is_ascii_alphanumeric()
-                        || bytes[end] == b'_'
-                        || bytes[end] == b'#')
+                while bytes
+                    .get(end)
+                    .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_' || b == b'#')
                 {
                     end += 1;
                 }

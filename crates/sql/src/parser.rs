@@ -60,7 +60,17 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn peek(&self) -> &Token {
-        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+        // The token stream always ends with Eof (see `tokenize`), so
+        // clamp to the last token instead of running off the end.
+        static EOF: Token = Token {
+            kind: TokenKind::Eof,
+            start: 0,
+            end: 0,
+        };
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .unwrap_or(&EOF)
     }
 
     fn peek_kind(&self) -> &TokenKind {
@@ -68,8 +78,8 @@ impl<'a> Parser<'a> {
     }
 
     fn advance(&mut self) -> Token {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
-        if self.pos < self.tokens.len() - 1 {
+        let t = self.peek().clone();
+        if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
         t
@@ -160,10 +170,28 @@ impl<'a> Parser<'a> {
             return Ok(Statement::Select(self.select()?));
         }
         if self.eat_keyword("EXPLAIN") {
-            let analyze = self.eat_keyword("ANALYZE");
+            let mut analyze = self.eat_keyword("ANALYZE");
+            let mut lint = false;
+            // `EXPLAIN (LINT)` / `EXPLAIN (ANALYZE, LINT)` option list.
+            if self.eat_kind(&TokenKind::LParen) {
+                loop {
+                    if self.eat_keyword("LINT") {
+                        lint = true;
+                    } else if self.eat_keyword("ANALYZE") {
+                        analyze = true;
+                    } else {
+                        return Err(self.unexpected("LINT or ANALYZE"));
+                    }
+                    if !self.eat_kind(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect_kind(&TokenKind::RParen, ")")?;
+            }
             let inner = self.statement()?;
             return Ok(Statement::Explain {
                 analyze,
+                lint,
                 statement: Box::new(inner),
             });
         }
@@ -983,6 +1011,23 @@ mod tests {
             parse_sql("EXPLAIN ANALYZE SELECT * FROM t").unwrap(),
             Statement::Explain { analyze: true, .. }
         ));
+        assert!(matches!(
+            parse_sql("EXPLAIN (LINT) SELECT * FROM t").unwrap(),
+            Statement::Explain {
+                analyze: false,
+                lint: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_sql("EXPLAIN (ANALYZE, LINT) SELECT * FROM t").unwrap(),
+            Statement::Explain {
+                analyze: true,
+                lint: true,
+                ..
+            }
+        ));
+        assert!(parse_sql("EXPLAIN (VERBOSE) SELECT * FROM t").is_err());
         assert_eq!(
             parse_sql("DROP TABLE t").unwrap(),
             Statement::DropTable("t".into())

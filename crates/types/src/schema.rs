@@ -155,7 +155,13 @@ impl Schema {
     }
 
     /// Field at ordinal `i`.
+    ///
+    /// # Panics
+    /// If `i` is out of range. Ordinals come from [`Schema::index_of`]
+    /// or [`Schema::resolve`] against this same schema, so a bad one is
+    /// a caller bug, not a data-dependent condition.
     #[must_use]
+    #[allow(clippy::indexing_slicing)]
     pub fn field(&self, i: usize) -> &Field {
         &self.fields[i]
     }
@@ -163,26 +169,32 @@ impl Schema {
     /// Resolve a column reference to its ordinal, rejecting unknown and
     /// ambiguous references.
     pub fn index_of(&self, r: &ColumnRef) -> Result<usize> {
-        let mut found: Option<usize> = None;
+        let mut found: Option<(usize, &Field)> = None;
         for (i, f) in self.fields.iter().enumerate() {
             if f.matches(r) {
-                if let Some(prev) = found {
+                if let Some((_, prev)) = found {
                     return Err(Error::Bind(format!(
                         "ambiguous column reference {r}: matches both {} and {}",
-                        self.fields[prev].column_ref(),
+                        prev.column_ref(),
                         f.column_ref()
                     )));
                 }
-                found = Some(i);
+                found = Some((i, f));
             }
         }
-        found.ok_or_else(|| Error::Bind(format!("unknown column {r}")))
+        found
+            .map(|(i, _)| i)
+            .ok_or_else(|| Error::Bind(format!("unknown column {r}")))
     }
 
     /// Resolve, returning the field as well.
     pub fn resolve(&self, r: &ColumnRef) -> Result<(usize, &Field)> {
         let i = self.index_of(r)?;
-        Ok((i, &self.fields[i]))
+        let f = self
+            .fields
+            .get(i)
+            .ok_or_else(|| Error::Internal(format!("index_of returned bad ordinal {i}")))?;
+        Ok((i, f))
     }
 
     /// Whether the reference resolves (unambiguously) in this schema.
@@ -214,7 +226,12 @@ impl Schema {
     }
 
     /// Project onto the given ordinals.
+    ///
+    /// # Panics
+    /// If an ordinal is out of range (caller bug — see
+    /// [`Schema::field`]).
     #[must_use]
+    #[allow(clippy::indexing_slicing)]
     pub fn project(&self, indices: &[usize]) -> Schema {
         Schema {
             fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Memory-safety gate: every workspace crate must carry
+# `#![forbid(unsafe_code)]` as a crate-level attribute, and no source
+# file may contain an `unsafe` block. The forbid attribute is the real
+# enforcement (rustc refuses to compile unsafe code under it, and it
+# cannot be overridden by an inner allow); the grep below is a
+# belt-and-braces check that also catches files added outside a lib
+# target and reports offenders without a full compile.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+for lib in crates/*/src/lib.rs src/lib.rs; do
+  if ! grep -q '^#!\[forbid(unsafe_code)\]' "$lib"; then
+    echo "missing #![forbid(unsafe_code)]: $lib" >&2
+    fail=1
+  fi
+done
+
+# `unsafe` as a token (fn/blocks/impls/traits), excluding the forbid
+# attribute itself and doc/comment mentions.
+if grep -rn --include='*.rs' -E '\bunsafe\b' crates/*/src src tests \
+  | grep -v 'forbid(unsafe_code)' \
+  | grep -vE '^\S+:[0-9]+:\s*(//|//!|///)'; then
+  echo "unsafe code found (see matches above)" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_unsafe: OK"

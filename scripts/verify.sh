@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, tests, and the panic-freedom lint gate.
 #
-# The clippy step enforces the workspace lint gate: gbj-exec,
-# gbj-storage and gbj-engine deny unwrap_used / expect_used / panic /
-# indexing_slicing outside test code — including the morsel-driven
-# parallel module crates/exec/src/parallel.rs (see
-# [workspace.lints.clippy] in Cargo.toml).
+# The clippy step enforces the workspace lint gate: every workspace
+# crate denies unwrap_used / expect_used / panic / indexing_slicing
+# outside test code (see [workspace.lints.clippy] in Cargo.toml), and
+# scripts/check_unsafe.sh checks that every crate carries
+# #![forbid(unsafe_code)] with no unsafe blocks anywhere.
 #
 # The GBJ_TEST_THREADS=4 pass re-runs the whole suite with the engine
 # defaulting to 4 worker threads, pushing every engine-level test
@@ -41,5 +41,17 @@ cargo run --release -q -p gbj-bench --bin cardinality_audit > /dev/null
 # Smoke the row-vs-vectorized sweep at CI size; it self-checks that
 # the selection vectors and end-to-end results are byte-identical.
 GBJ_BENCH_SMALL=1 cargo run --release -q -p gbj-bench --bin vectorized_sweep > /dev/null
+# Static analyzer over the SQL corpus: the paper examples must lint
+# with zero diagnostics; the counterexamples must yield exactly the
+# documented refusal / NULL-semantics codes.
+cargo run --release -q --bin gbj-lint -- corpus/paper_examples.sql | tee /tmp/gbj_lint_valid.txt
+if grep -q 'warning\[\|error\[' /tmp/gbj_lint_valid.txt; then
+  echo "verify: paper examples must lint clean" >&2
+  exit 1
+fi
+cargo run --release -q --bin gbj-lint -- --codes corpus/counterexamples.sql \
+  | diff <(printf 'GBJ202\nGBJ203\nGBJ206\nGBJ301\nGBJ303\n') -
+# Unsafe-code gate: every crate forbids unsafe, no unsafe blocks.
+scripts/check_unsafe.sh
 cargo clippy --all-targets
 echo "verify: OK"

@@ -1,0 +1,99 @@
+//! `gbj-lint` — run the plan static analyzer over SQL script files.
+//!
+//! ```text
+//! cargo run --bin gbj-lint -- corpus/paper_examples.sql
+//! cargo run --bin gbj-lint -- --json corpus/counterexamples.sql
+//! cargo run --bin gbj-lint -- --codes corpus/counterexamples.sql
+//! ```
+//!
+//! Each file is a `;`-separated script. DDL and DML statements are
+//! *executed* (so later queries see the schemas, keys and constraints
+//! they declare); every SELECT — and the target of every EXPLAIN — is
+//! analyzed without running it: schema/type soundness, the TestFD
+//! replay of the eager-aggregation decision (with its FD1/FD2
+//! certificate), and the NULL-semantics lints.
+//!
+//! Exit status: `0` when no Error-severity diagnostic was produced
+//! (warnings — e.g. a correctly *refused* rewrite — do not fail the
+//! run), `1` when at least one Error was found, `2` on usage, I/O or
+//! SQL errors.
+
+use gbj::analyze::Severity;
+use gbj::Database;
+
+const USAGE: &str = "usage: gbj-lint [--json] [--codes] <file.sql>...\n\
+                     \x20 --json   render one JSON report object per query (as a JSON array)\n\
+                     \x20 --codes  print only the diagnostic codes, one per line";
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut json = false;
+    let mut codes_only = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--codes" => codes_only = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("unknown flag {arg}\n{USAGE}");
+                return 2;
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("{USAGE}");
+        return 2;
+    }
+
+    let mut errors_found = false;
+    let mut json_reports = Vec::new();
+    for file in &files {
+        let sql = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                return 2;
+            }
+        };
+        // Each file gets a fresh in-memory database: scripts are
+        // self-contained (schema + queries) and independent.
+        let mut db = Database::new();
+        let reports = match db.lint_script(&sql) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return 2;
+            }
+        };
+        for report in reports {
+            if report.has_severity(Severity::Error) {
+                errors_found = true;
+            }
+            if json {
+                json_reports.push(report.render_json());
+            } else if codes_only {
+                for code in report.codes() {
+                    println!("{}", code.as_str());
+                }
+            } else {
+                print!("{}", report.render_text());
+            }
+        }
+    }
+    if json {
+        println!("[{}]", json_reports.join(","));
+    }
+    if errors_found {
+        1
+    } else {
+        0
+    }
+}

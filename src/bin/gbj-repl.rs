@@ -14,6 +14,8 @@
 //! * `\threads n` — set the executor worker-thread count
 //! * `\metrics` — timings, estimate-vs-actual audit and operator
 //!   counters of the most recent query
+//! * `\lint SELECT …` — run the static analyzer over a query without
+//!   executing it (same diagnostics as `EXPLAIN (LINT)`)
 //! * `\help` — this text
 
 use std::io::{BufRead, Write};
@@ -48,15 +50,26 @@ fn handle_meta(db: &mut Database, line: &str) -> bool {
         Some("\\help") => {
             println!(
                 "statements end with ';'. SELECT / INSERT / UPDATE / DELETE / \
-                 CREATE TABLE|DOMAIN|VIEW|ASSERTION / DROP / EXPLAIN [ANALYZE].\n\
+                 CREATE TABLE|DOMAIN|VIEW|ASSERTION / DROP / EXPLAIN [ANALYZE] [(LINT)].\n\
                  \\q quit | \\tables list | \\policy cost|eager|lazy | \\threads n | \
-                 \\metrics last-query metrics"
+                 \\metrics last-query metrics | \\lint SELECT … analyze without running"
             );
         }
         Some("\\metrics") => match db.last_query_metrics() {
             Some(m) => print!("{}", m.render()),
             None => println!("no query has run yet"),
         },
+        Some("\\lint") => {
+            let rest = line["\\lint".len()..].trim().trim_end_matches(';');
+            if rest.is_empty() {
+                eprintln!("usage: \\lint SELECT …");
+            } else {
+                match db.lint_select(rest) {
+                    Ok(report) => print!("{}", report.render_text()),
+                    Err(e) => eprintln!("{e}"),
+                }
+            }
+        }
         Some("\\tables") => {
             for t in db.catalog().tables() {
                 println!("table {} ({} columns)", t.name, t.columns.len());

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # gbj — Group-By before Join
@@ -10,6 +11,7 @@
 //! This is a from-scratch Rust reproduction of Weipeng P. Yan and
 //! Per-Åke Larson, *Performing Group-By before Join*, ICDE 1994.
 
+pub use gbj_analyze as analyze;
 pub use gbj_catalog as catalog;
 pub use gbj_core as core;
 pub use gbj_datagen as datagen;

@@ -1,0 +1,173 @@
+//! Negative coverage for the static analyzer: each hand-built
+//! counterexample to the Main Theorem (mirroring
+//! `theorem_counterexamples.rs`) must surface the *specific* GBJxxx
+//! code for the condition it violates, and the paper's worked examples
+//! must lint completely clean — refusals are explained, valid rewrites
+//! are not second-guessed.
+
+use gbj::analyze::{Code, Severity};
+use gbj::Database;
+
+/// Lint one query against a fresh schema script, returning its codes.
+fn lint(schema: &str, sql: &str) -> Vec<Code> {
+    let mut db = Database::new();
+    db.run_script(schema).unwrap();
+    let report = db.lint_select(sql).unwrap();
+    report.codes()
+}
+
+/// Lemma 2's counterexample: `(GA1, GA2) → GA1+` is not derivable, so
+/// the analyzer must explain the refusal with GBJ202 — and nothing at
+/// Error severity (a refusal is advice, not a broken invariant).
+#[test]
+fn fd1_violation_is_gbj202() {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE D (B INTEGER PRIMARY KEY, H INTEGER); \
+         CREATE TABLE F (Id INTEGER PRIMARY KEY, A INTEGER, G INTEGER, V INTEGER);",
+    )
+    .unwrap();
+    let report = db
+        .lint_select("SELECT F.G, D.H, SUM(F.V) FROM F, D WHERE F.A = D.B GROUP BY F.G, D.H")
+        .unwrap();
+    assert_eq!(report.codes(), vec![Code::Fd1NotDerivable]);
+    assert!(
+        !report.has_severity(Severity::Error),
+        "a TestFD refusal is Warning-level, not an invariant break:\n{}",
+        report.render_text()
+    );
+}
+
+/// Lemma 3's counterexample: no key of `R2` is derivable from
+/// `(GA1+, GA2)` — GBJ203.
+#[test]
+fn fd2_violation_is_gbj203() {
+    let codes = lint(
+        "CREATE TABLE D (Id INTEGER PRIMARY KEY, B INTEGER, H INTEGER); \
+         CREATE TABLE F (Id INTEGER PRIMARY KEY, A INTEGER, V INTEGER);",
+        "SELECT F.A, SUM(F.V) FROM F, D WHERE F.A = D.B GROUP BY F.A",
+    );
+    assert_eq!(codes, vec![Code::Fd2NotDerivable]);
+}
+
+/// The minimal repair of Lemma 3's instance — `UNIQUE(B)` restores
+/// FD2 — must flip the same query to a clean bill of health.
+#[test]
+fn restoring_the_key_lints_clean() {
+    let codes = lint(
+        "CREATE TABLE D (Id INTEGER PRIMARY KEY, B INTEGER UNIQUE, H INTEGER); \
+         CREATE TABLE F (Id INTEGER PRIMARY KEY, A INTEGER, V INTEGER);",
+        "SELECT F.A, SUM(F.V) FROM F, D WHERE F.A = D.B GROUP BY F.A",
+    );
+    assert_eq!(codes, Vec::<Code>::new());
+}
+
+/// A query with no usable join equality (pure Cartesian product
+/// grouped on the other side) is structurally inapplicable — GBJ206,
+/// Info severity.
+#[test]
+fn cartesian_grouping_is_gbj206() {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE L (Id INTEGER PRIMARY KEY, V INTEGER); \
+         CREATE TABLE R (Id INTEGER PRIMARY KEY, B INTEGER);",
+    )
+    .unwrap();
+    let report = db
+        .lint_select("SELECT R.B, SUM(L.V) FROM L, R GROUP BY R.B")
+        .unwrap();
+    assert_eq!(report.codes(), vec![Code::RewriteInapplicable]);
+    assert!(!report.has_severity(Severity::Warning));
+    assert!(!report.has_severity(Severity::Error));
+}
+
+/// `x = NULL` is always UNKNOWN under ⌊P⌋ — GBJ301.
+#[test]
+fn null_literal_comparison_is_gbj301() {
+    let codes = lint(
+        "CREATE TABLE T (Id INTEGER PRIMARY KEY, C INTEGER);",
+        "SELECT T.Id FROM T WHERE T.C = NULL",
+    );
+    assert_eq!(codes, vec![Code::NullLiteralComparison]);
+}
+
+/// `<>` over a nullable operand diverges between ⌊P⌋ and ⌈P⌉ — GBJ303;
+/// the same predicate over a NOT NULL column must stay silent.
+#[test]
+fn noteq_over_nullable_is_gbj303() {
+    let codes = lint(
+        "CREATE TABLE T (Id INTEGER PRIMARY KEY, C INTEGER);",
+        "SELECT T.Id FROM T WHERE T.C <> 7",
+    );
+    assert_eq!(codes, vec![Code::FloorCeilDivergence]);
+
+    let clean = lint(
+        "CREATE TABLE T (Id INTEGER PRIMARY KEY, C INTEGER NOT NULL);",
+        "SELECT T.Id FROM T WHERE T.C <> 7",
+    );
+    assert_eq!(clean, Vec::<Code>::new());
+}
+
+/// The paper's Example 1 (Emp/Dept with a NOT NULL join column) is the
+/// canonical *valid* rewrite: zero diagnostics, and the engine really
+/// does rewrite it (the lint is not clean merely because nothing was
+/// attempted).
+#[test]
+fn paper_example_1_lints_clean() {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE Dept (DeptID INTEGER PRIMARY KEY, Budget INTEGER NOT NULL); \
+         CREATE TABLE Emp (EmpID INTEGER PRIMARY KEY, \
+                           DeptID INTEGER NOT NULL, Salary INTEGER NOT NULL);",
+    )
+    .unwrap();
+    let sql = "SELECT Dept.DeptID, Dept.Budget, SUM(Emp.Salary) \
+               FROM Emp, Dept WHERE Emp.DeptID = Dept.DeptID \
+               GROUP BY Dept.DeptID, Dept.Budget";
+    let report = db.lint_select(sql).unwrap();
+    assert!(
+        report.is_empty(),
+        "Example 1 must lint clean:\n{}",
+        report.render_text()
+    );
+}
+
+/// The whole shipped corpus: every paper example is diagnostic-free,
+/// and every counterexample file query yields exactly one refusal or
+/// NULL-semantics lint (never an Error).
+#[test]
+fn shipped_corpus_matches_expectations() {
+    let valid = std::fs::read_to_string("corpus/paper_examples.sql").unwrap();
+    let mut db = Database::new();
+    let reports = db.lint_script(&valid).unwrap();
+    assert_eq!(reports.len(), 5, "five linted queries in paper_examples");
+    for r in &reports {
+        assert!(
+            r.is_empty(),
+            "expected a clean report:\n{}",
+            r.render_text()
+        );
+    }
+
+    let invalid = std::fs::read_to_string("corpus/counterexamples.sql").unwrap();
+    let mut db = Database::new();
+    let reports = db.lint_script(&invalid).unwrap();
+    let codes: Vec<Code> = reports
+        .iter()
+        .flat_map(gbj::analyze::Report::codes)
+        .collect();
+    assert_eq!(
+        codes,
+        vec![
+            Code::Fd1NotDerivable,
+            Code::Fd2NotDerivable,
+            Code::RewriteInapplicable,
+            Code::NullLiteralComparison,
+            Code::FloorCeilDivergence,
+        ]
+    );
+    assert!(
+        reports.iter().all(|r| !r.has_severity(Severity::Error)),
+        "counterexamples document refusals; none is an engine invariant break"
+    );
+}

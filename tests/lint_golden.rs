@@ -1,0 +1,125 @@
+//! Golden tests for the analyzer's rendered output: the text report,
+//! the JSON report and `EXPLAIN (LINT)` must be byte-stable across
+//! repeated runs (no timings, no addresses, no hash-order leakage),
+//! and the text rendering must pin the published shape — code,
+//! severity, plan-path span, summary line.
+
+use gbj::engine::QueryOutput;
+use gbj::Database;
+
+const SCHEMA: &str = "CREATE TABLE Dept (DeptID INTEGER PRIMARY KEY, Name VARCHAR(20)); \
+     CREATE TABLE Emp (EmpID INTEGER PRIMARY KEY, \
+                       DeptID INTEGER NOT NULL, Salary INTEGER NOT NULL);";
+
+/// Grouping on the non-key `Dept.Name` makes FD1 underivable: GBJ202.
+const FD1_QUERY: &str = "SELECT Dept.Name, SUM(Emp.Salary) FROM Emp, Dept \
+     WHERE Emp.DeptID = Dept.DeptID GROUP BY Dept.Name";
+
+fn fresh_db() -> Database {
+    let mut db = Database::new();
+    db.run_script(SCHEMA).unwrap();
+    db
+}
+
+/// The text rendering carries every contract piece: a `lint:` subject
+/// line, `severity[code]` headers, a span into the plan, and the
+/// closing tally.
+#[test]
+fn text_rendering_has_the_published_shape() {
+    let report = fresh_db().lint_select(FD1_QUERY).unwrap();
+    let text = report.render_text();
+    assert!(text.starts_with("lint: "), "subject line first:\n{text}");
+    assert!(
+        text.contains("warning[GBJ202]:"),
+        "code and severity:\n{text}"
+    );
+    assert!(text.contains("FD1"), "explains which FD failed:\n{text}");
+    assert!(
+        text.ends_with("1 diagnostic(s): 0 error(s), 1 warning(s)\n"),
+        "summary tally last:\n{text}"
+    );
+}
+
+/// Rendering the same query twice — in the same process and in a
+/// rebuilt database — produces identical bytes.
+#[test]
+fn text_rendering_is_deterministic() {
+    let db = fresh_db();
+    let first = db.lint_select(FD1_QUERY).unwrap().render_text();
+    let again = db.lint_select(FD1_QUERY).unwrap().render_text();
+    assert_eq!(first, again, "same process, same bytes");
+    let rebuilt = fresh_db().lint_select(FD1_QUERY).unwrap().render_text();
+    assert_eq!(first, rebuilt, "fresh catalog, same bytes");
+}
+
+/// The JSON rendering is stable and structurally sound: balanced
+/// braces/brackets, stable key order, escaped strings (parseable by
+/// any JSON reader; we check the invariants a hand-rolled writer can
+/// get wrong).
+#[test]
+fn json_rendering_is_stable_and_balanced() {
+    let db = fresh_db();
+    let json = db.lint_select(FD1_QUERY).unwrap().render_json();
+    assert_eq!(json, db.lint_select(FD1_QUERY).unwrap().render_json());
+    assert!(json.starts_with("{\"subject\":\""));
+    assert!(json.contains("\"diagnostics\":[{\"code\":\"GBJ202\",\"severity\":\"warning\","));
+    assert!(json.contains("\"span\":"));
+    assert!(json.ends_with("]}"));
+    let balance = |open: char, close: char| {
+        let o = json.matches(open).count();
+        let c = json.matches(close).count();
+        assert_eq!(o, c, "unbalanced {open}{close} in:\n{json}");
+    };
+    balance('{', '}');
+    balance('[', ']');
+    // No raw control characters survive escaping.
+    assert!(json.chars().all(|c| c >= ' '), "unescaped control char");
+}
+
+/// A clean query renders the canonical empty report.
+#[test]
+fn clean_query_renders_the_zero_summary() {
+    let report = fresh_db()
+        .lint_select(
+            "SELECT Dept.DeptID, SUM(Emp.Salary) FROM Emp, Dept \
+             WHERE Emp.DeptID = Dept.DeptID GROUP BY Dept.DeptID",
+        )
+        .unwrap();
+    let text = report.render_text();
+    assert!(
+        text.ends_with("0 diagnostic(s): 0 error(s), 0 warning(s)\n"),
+        "clean tally:\n{text}"
+    );
+}
+
+/// `EXPLAIN (LINT)` output is byte-stable across repeated executions —
+/// it embeds the plan report (which has no timing lines under plain
+/// EXPLAIN) plus the lint report.
+#[test]
+fn explain_lint_is_byte_stable() {
+    let mut db = fresh_db();
+    let run = |db: &mut Database| -> String {
+        match db.execute(&format!("EXPLAIN (LINT) {FD1_QUERY}")).unwrap() {
+            QueryOutput::Explain(text) => text,
+            other => panic!("expected Explain output, got {other:?}"),
+        }
+    };
+    let first = run(&mut db);
+    assert!(first.contains("lint:"), "lint section present:\n{first}");
+    assert!(first.contains("GBJ202"), "diagnostic present:\n{first}");
+    for _ in 0..3 {
+        assert_eq!(first, run(&mut db), "EXPLAIN (LINT) must not drift");
+    }
+}
+
+/// Diagnostics carry plan-path spans that point at real nodes.
+#[test]
+fn spans_point_into_the_plan() {
+    let db = fresh_db();
+    let json = db.lint_select(FD1_QUERY).unwrap().render_json();
+    // FD-audit diagnostics anchor at the aggregate over the join.
+    assert!(
+        !json.contains("\"span\":null") || json.contains("\"node\":"),
+        "span/node fields present:\n{json}"
+    );
+}
