@@ -1,0 +1,30 @@
+-- GBJ405 counterexample: a query that *runs* (produces an execution
+-- profile) with neither a resource budget nor a deadline attached to
+-- its ResourceGuard. Nothing could cancel, shed, or time it out — the
+-- serving layer (DESIGN.md §13) always attaches one or the other, so
+-- a profiled-but-unguarded run marks a code path that bypassed
+-- admission control. tests/analyzer_negative.rs executes the final
+-- SELECT and pins the exec-pass verdict: exactly [GBJ405] (warning)
+-- unguarded, clean once a deadline or any ResourceLimits budget is
+-- attached.
+--
+-- This file is deliberately NOT part of the `gbj-lint` corpus sweep
+-- (scripts/verify.sh / CI diff the codes of counterexamples.sql only):
+-- GBJ405 needs a post-execution profile, which static linting of SQL
+-- text cannot produce.
+
+CREATE TABLE Dept (
+    DeptId INTEGER PRIMARY KEY,
+    Budget INTEGER NOT NULL);
+CREATE TABLE Emp (
+    EmpId INTEGER PRIMARY KEY,
+    DeptId INTEGER NOT NULL REFERENCES Dept,
+    Sal INTEGER NOT NULL);
+
+INSERT INTO Dept VALUES (1, 100), (2, 200);
+INSERT INTO Emp VALUES (10, 1, 50), (11, 1, 60), (12, 2, 70);
+
+SELECT D.DeptId, COUNT(E.EmpId), SUM(E.Sal)
+FROM Emp E, Dept D
+WHERE E.DeptId = D.DeptId
+GROUP BY D.DeptId;

@@ -66,14 +66,21 @@ impl Analysis {
     }
 
     /// Pass 4: physical-plan invariants for the executed plan.
+    /// `had_deadline` reports whether the run's guard carried a
+    /// deadline (it counts as a budget for GBJ405).
     pub fn check_execution(
         &mut self,
         plan: &LogicalPlan,
         opts: &ExecOptions,
         profile: Option<&ProfileNode>,
+        had_deadline: bool,
     ) {
-        self.report
-            .extend(exec_pass::check_execution(plan, opts, profile));
+        self.report.extend(exec_pass::check_execution(
+            plan,
+            opts,
+            profile,
+            had_deadline,
+        ));
     }
 
     /// The FD certificate, when pass 2 examined a rewrite.

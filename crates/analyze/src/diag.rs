@@ -92,6 +92,10 @@ pub enum Code {
     UnboundedResources,
     /// The physical profile's shape disagrees with the logical plan.
     ProfileShapeMismatch,
+    /// An execution profile was produced by a run that had neither a
+    /// resource budget nor a deadline attached: the query could not
+    /// have been cancelled, shed, or timed out.
+    UnguardedExecution,
 }
 
 impl Code {
@@ -117,6 +121,7 @@ impl Code {
             Code::BogusVectorizationClaim => "GBJ402",
             Code::UnboundedResources => "GBJ403",
             Code::ProfileShapeMismatch => "GBJ404",
+            Code::UnguardedExecution => "GBJ405",
         }
     }
 
@@ -139,7 +144,8 @@ impl Code {
             | Code::NullLiteralComparison
             | Code::NotOverNullable
             | Code::FloorCeilDivergence
-            | Code::MissingMetrics => Severity::Warning,
+            | Code::MissingMetrics
+            | Code::UnguardedExecution => Severity::Warning,
             Code::RewriteInapplicable | Code::UnboundedResources => Severity::Info,
         }
     }
@@ -170,6 +176,7 @@ impl Code {
             }
             Code::UnboundedResources => "no ResourceGuard budget configured",
             Code::ProfileShapeMismatch => "physical profile shape disagrees with the plan",
+            Code::UnguardedExecution => "profiled run had neither a resource budget nor a deadline",
         }
     }
 
@@ -196,6 +203,7 @@ impl Code {
             Code::BogusVectorizationClaim,
             Code::UnboundedResources,
             Code::ProfileShapeMismatch,
+            Code::UnguardedExecution,
         ]
     }
 }

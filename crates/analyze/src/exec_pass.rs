@@ -3,10 +3,17 @@
 //! Checks the execution configuration and (when available) the
 //! post-execution profile against the plan:
 //!
-//! * **GBJ403** (info) — the executor runs without resource budgets
-//!   (`ResourceLimits::is_unlimited`): fine interactively, but the
-//!   panic-free pipeline's guarantees assume a [`gbj_exec`]
-//!   ResourceGuard with real limits in production paths.
+//! * **GBJ403** (info) — the executor is *configured* without resource
+//!   budgets (`ResourceLimits::is_unlimited`) and no profile exists
+//!   yet: fine interactively, but the panic-free pipeline's guarantees
+//!   assume a [`gbj_exec`] ResourceGuard with real limits in
+//!   production paths.
+//! * **GBJ405** (warning) — a profile exists, i.e. the query actually
+//!   *ran*, and it ran with neither a resource budget nor a deadline
+//!   attached to its guard: nothing could have cancelled, shed, or
+//!   timed it out. The serving layer (DESIGN.md §13) always attaches
+//!   one or the other, so a profiled-but-unguarded run marks a code
+//!   path that bypassed admission.
 //! * **GBJ404** (error) — the profile tree's shape does not mirror the
 //!   plan: a missing `ProfileNode` means an operator executed without
 //!   MetricsSink/guard wiring.
@@ -26,20 +33,32 @@ use crate::diag::{Code, Diagnostic, PlanPath, Report};
 use crate::schema_pass::input_schema_of;
 
 /// Check execution invariants for `plan` under `opts`, optionally
-/// auditing the profile of a completed run.
+/// auditing the profile of a completed run. `had_deadline` reports
+/// whether the run's ResourceGuard carried a deadline (a session
+/// timeout counts as a budget for GBJ405 even when `opts.limits` is
+/// otherwise unlimited).
 #[must_use]
 pub fn check_execution(
     plan: &LogicalPlan,
     opts: &ExecOptions,
     profile: Option<&ProfileNode>,
+    had_deadline: bool,
 ) -> Report {
     let mut report = Report::new(String::new());
-    if opts.limits.is_unlimited() {
-        report.push(Diagnostic::new(
-            Code::UnboundedResources,
-            "executor configured without resource budgets; the ResourceGuard admits \
-             unbounded rows, memory and time",
-        ));
+    if opts.limits.is_unlimited() && !had_deadline {
+        if profile.is_some() {
+            report.push(Diagnostic::new(
+                Code::UnguardedExecution,
+                "execution profile was produced without a resource budget or deadline: \
+                 the run could not be cancelled, shed, or timed out",
+            ));
+        } else {
+            report.push(Diagnostic::new(
+                Code::UnboundedResources,
+                "executor configured without resource budgets; the ResourceGuard admits \
+                 unbounded rows, memory and time",
+            ));
+        }
     }
     if let Some(profile) = profile {
         walk(
@@ -180,8 +199,36 @@ mod tests {
             ..opts()
         };
         assert!(o.limits.is_unlimited());
-        let r = check_execution(&filter_plan(), &o, None);
+        let r = check_execution(&filter_plan(), &o, None, false);
         assert_eq!(r.codes(), vec![Code::UnboundedResources]);
+    }
+
+    #[test]
+    fn profiled_unguarded_run_is_gbj405_warning() {
+        let o = ExecOptions {
+            limits: ResourceLimits::default(),
+            ..opts()
+        };
+        let r = check_execution(&filter_plan(), &o, Some(&profile_for_filter(3)), false);
+        assert_eq!(r.codes(), vec![Code::UnguardedExecution]);
+        assert!(
+            r.has_severity(crate::diag::Severity::Warning),
+            "{}",
+            r.render_text()
+        );
+    }
+
+    #[test]
+    fn deadline_counts_as_a_budget_for_gbj405() {
+        let o = ExecOptions {
+            limits: ResourceLimits::default(),
+            ..opts()
+        };
+        let r = check_execution(&filter_plan(), &o, Some(&profile_for_filter(3)), true);
+        assert!(r.is_empty(), "{}", r.render_text());
+        // And at configuration time, a deadline silences GBJ403 too.
+        let r = check_execution(&filter_plan(), &o, None, true);
+        assert!(r.is_empty(), "{}", r.render_text());
     }
 
     fn bounded() -> ExecOptions {
@@ -196,7 +243,12 @@ mod tests {
 
     #[test]
     fn vectorizable_filter_claim_is_honest() {
-        let r = check_execution(&filter_plan(), &bounded(), Some(&profile_for_filter(3)));
+        let r = check_execution(
+            &filter_plan(),
+            &bounded(),
+            Some(&profile_for_filter(3)),
+            false,
+        );
         assert!(r.is_empty(), "{}", r.render_text());
     }
 
@@ -209,14 +261,14 @@ mod tests {
                 .binary(gbj_expr::BinaryOp::Add, Expr::lit(1i64))
                 .eq(Expr::lit(2i64)),
         };
-        let r = check_execution(&plan, &bounded(), Some(&profile_for_filter(3)));
+        let r = check_execution(&plan, &bounded(), Some(&profile_for_filter(3)), false);
         assert_eq!(r.codes(), vec![Code::BogusVectorizationClaim]);
     }
 
     #[test]
     fn shape_mismatch_is_gbj404() {
         let orphan = ProfileNode::new("Filter", "Filter", 5, vec![]); // missing Scan child
-        let r = check_execution(&filter_plan(), &bounded(), Some(&orphan));
+        let r = check_execution(&filter_plan(), &bounded(), Some(&orphan), false);
         assert_eq!(r.codes(), vec![Code::ProfileShapeMismatch]);
     }
 
@@ -225,7 +277,7 @@ mod tests {
         let scan_node = ProfileNode::new("Scan: T", "Scan", 10, vec![]);
         let p = ProfileNode::new("Filter", "Filter", 5, vec![scan_node])
             .with_metrics(metrics_with(0, 5));
-        let r = check_execution(&filter_plan(), &bounded(), Some(&p));
+        let r = check_execution(&filter_plan(), &bounded(), Some(&p), false);
         assert_eq!(r.codes(), vec![Code::MissingMetrics]);
     }
 }

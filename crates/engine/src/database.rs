@@ -9,7 +9,7 @@ use gbj_core::{
     eager_aggregate, reverse_transform, CostModel, EagerOutcome, Partition, PlanCost,
     ReverseOutcome, Stats, TransformOptions,
 };
-use gbj_exec::{ExecOptions, Executor, ProfileNode, ResultSet};
+use gbj_exec::{ExecOptions, Executor, ProfileNode, ResourceGuard, ResultSet};
 use gbj_expr::Expr;
 use gbj_fd::FdContext;
 use gbj_optimizer::Optimizer;
@@ -323,6 +323,32 @@ impl Database {
         &self.storage
     }
 
+    /// The storage's data/schema epoch (see [`Storage::epoch`]):
+    /// strictly increases across successful mutations, so two
+    /// databases (or a database and its [`Database::fork`]) with equal
+    /// epochs hold identical committed state.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.storage.epoch()
+    }
+
+    /// A consistent point-in-time snapshot of this database.
+    ///
+    /// O(tables), not O(rows): table row storage is `Arc`-shared and
+    /// copied lazily on the writer's next mutation, so a fork is cheap
+    /// enough to take per read-batch. The fork carries the catalog,
+    /// data, epoch, options and fault injector as of now; later
+    /// mutations on either side are invisible to the other. Metrics
+    /// history is *not* carried over — a fork starts with none.
+    #[must_use]
+    pub fn fork(&self) -> Database {
+        Database {
+            storage: self.storage.clone(),
+            options: self.options.clone(),
+            last_metrics: Mutex::default(),
+        }
+    }
+
     /// Install (or clear) a deterministic fault injector on the storage
     /// layer. Subsequent scans observe the configured faults; planning
     /// and constraint checking are unaffected.
@@ -416,6 +442,71 @@ impl Database {
             estimates,
         });
         Ok((rows, profile, report))
+    }
+
+    /// Run a SELECT under a caller-supplied [`ResourceGuard`] — the
+    /// serving layer's entry point for deadlines, cancellation tokens
+    /// and composed budgets.
+    ///
+    /// Returns the metrics directly (as well as recording them for
+    /// [`Database::last_query_metrics`]) so concurrent sessions sharing
+    /// a snapshot never race on the metrics slot.
+    pub fn query_with_guard(
+        &self,
+        sql: &str,
+        guard: &ResourceGuard,
+    ) -> Result<(ResultSet, QueryReport, QueryMetrics)> {
+        let stmt = gbj_sql::parse_sql(sql)?;
+        let Statement::Select(select) = stmt else {
+            return Err(Error::Unsupported(
+                "query_with_guard() expects a SELECT".into(),
+            ));
+        };
+        let binder = Binder::new(self.storage.catalog());
+        let bound = binder.bind_select(&select)?;
+        let plan_start = Instant::now();
+        let report = self.plan_bound(&bound)?;
+        let planning = plan_start.elapsed();
+        let (rows, metrics) = self.run_planned(&report, planning, guard)?;
+        Ok((rows, report, metrics))
+    }
+
+    /// Execute an already-planned query (e.g. a bound-plan cache hit)
+    /// under a caller-supplied guard. Planning time is reported as zero
+    /// — the cache paid it once at miss time.
+    pub fn execute_report_guarded(
+        &self,
+        report: &QueryReport,
+        guard: &ResourceGuard,
+    ) -> Result<(ResultSet, QueryMetrics)> {
+        self.run_planned(report, Duration::ZERO, guard)
+    }
+
+    /// Shared guarded execution tail: execute (timed and metered),
+    /// then build and record [`QueryMetrics`].
+    fn run_planned(
+        &self,
+        report: &QueryReport,
+        planning: Duration,
+        guard: &ResourceGuard,
+    ) -> Result<(ResultSet, QueryMetrics)> {
+        let executor = Executor::with_options(&self.storage, self.options.exec);
+        let exec_start = Instant::now();
+        let (rows, profile, summary) = executor.execute_metered_with_guard(&report.plan, guard)?;
+        let execution = exec_start.elapsed();
+        let estimates = Estimator::new(&self.storage).estimate_plan(&report.plan);
+        let metrics = QueryMetrics {
+            sql_kind: "query",
+            choice: report.choice,
+            planning,
+            execution,
+            rows: rows.len(),
+            peak_memory_bytes: summary.peak_memory_bytes,
+            profile,
+            estimates,
+        };
+        self.record_metrics(metrics.clone());
+        Ok((rows, metrics))
     }
 
     /// Plan a SELECT without executing it.

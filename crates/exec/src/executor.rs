@@ -212,7 +212,21 @@ impl<'a> Executor<'a> {
         plan: &LogicalPlan,
     ) -> Result<(ResultSet, ProfileNode, ExecSummary)> {
         let guard = ResourceGuard::new(self.options.limits);
-        let (rows, profile) = self.run(plan, &guard)?;
+        self.execute_metered_with_guard(plan, &guard)
+    }
+
+    /// Execute a plan under a caller-supplied [`ResourceGuard`].
+    ///
+    /// The session layer uses this to attach deadlines and cancellation
+    /// tokens (and to compose the per-query budget into a server-wide
+    /// one) while `ExecOptions` stays `Copy`: the guard carries the
+    /// per-call state, the options the per-database configuration.
+    pub fn execute_metered_with_guard(
+        &self,
+        plan: &LogicalPlan,
+        guard: &ResourceGuard,
+    ) -> Result<(ResultSet, ProfileNode, ExecSummary)> {
+        let (rows, profile) = self.run(plan, guard)?;
         let summary = ExecSummary {
             peak_memory_bytes: guard.peak_memory(),
             rows_charged: guard.rows_used(),

@@ -18,10 +18,42 @@
 //! [`ExecOptions`]: crate::ExecOptions
 //! [`Error::ResourceExhausted`]: gbj_types::Error::ResourceExhausted
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gbj_types::{Error, ResourceKind, Result, Value};
+
+/// A shared, clonable cancellation flag.
+///
+/// The session layer hands one clone to the client (or a chaos thread)
+/// and attaches another to the query's [`ResourceGuard`] via
+/// [`ResourceGuard::with_cancellation`]; every cooperative poll site in
+/// the operators then surfaces [`Error::Cancelled`] promptly. Cancelling
+/// is idempotent and the flag is sticky — once set it stays set.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> CancellationToken {
+        CancellationToken::default()
+    }
+
+    /// Request cancellation. All clones observe it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// How often (in cooperative ticks) the wall clock is polled. Reading
 /// `Instant::now` per row would dominate tight loops; every 256 rows is
@@ -57,6 +89,12 @@ impl ResourceLimits {
 #[derive(Debug)]
 pub struct ResourceGuard {
     limits: ResourceLimits,
+    /// Absolute wall-clock deadline, as a duration from `started`.
+    /// Unlike `limits.time_budget` (a per-query execution budget that
+    /// raises `ResourceExhausted`), an expired deadline raises the
+    /// session-level [`Error::DeadlineExceeded`].
+    deadline: Option<Duration>,
+    cancel: Option<CancellationToken>,
     rows: AtomicU64,
     memory: AtomicU64,
     peak_memory: AtomicU64,
@@ -70,6 +108,8 @@ impl ResourceGuard {
     pub fn new(limits: ResourceLimits) -> ResourceGuard {
         ResourceGuard {
             limits,
+            deadline: None,
+            cancel: None,
             rows: AtomicU64::new(0),
             memory: AtomicU64::new(0),
             peak_memory: AtomicU64::new(0),
@@ -82,6 +122,56 @@ impl ResourceGuard {
     #[must_use]
     pub fn unlimited() -> ResourceGuard {
         ResourceGuard::new(ResourceLimits::default())
+    }
+
+    /// Attach a wall-clock deadline `remaining` from now. A zero (or
+    /// already-elapsed) deadline fires deterministically at the first
+    /// cooperative poll — it never races the first morsel.
+    #[must_use]
+    pub fn with_deadline(mut self, remaining: Duration) -> ResourceGuard {
+        self.deadline = Some(remaining);
+        self
+    }
+
+    /// Attach a cancellation token checked at every cooperative poll.
+    #[must_use]
+    pub fn with_cancellation(mut self, token: CancellationToken) -> ResourceGuard {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The deadline attached via [`ResourceGuard::with_deadline`].
+    #[must_use]
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Whether an attached token has requested cancellation.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(CancellationToken::is_cancelled)
+    }
+
+    /// Wall-clock time since the guard was created, in milliseconds.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> u64 {
+        self.started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Surface [`Error::Cancelled`] if the attached token fired. A bare
+    /// atomic load — cheap enough for every tick.
+    fn check_cancelled(&self) -> Result<()> {
+        if self.is_cancelled() {
+            return Err(Error::Cancelled);
+        }
+        Ok(())
+    }
+
+    /// Whether any wall-clock condition needs `Instant::now` polling.
+    fn needs_clock(&self) -> bool {
+        self.limits.time_budget.is_some() || self.deadline.is_some()
     }
 
     /// Total rows charged so far.
@@ -123,6 +213,7 @@ impl ResourceGuard {
 
     /// Reserve `bytes` of operator state against the memory budget.
     pub fn charge_memory(&self, bytes: u64) -> Result<()> {
+        self.check_cancelled()?;
         let before = self.memory.fetch_add(bytes, Ordering::Relaxed);
         self.peak_memory
             .fetch_max(before.saturating_add(bytes), Ordering::Relaxed);
@@ -157,34 +248,55 @@ impl ResourceGuard {
         }
     }
 
-    /// Cooperative cancellation point for inner loops: cheap counter
-    /// bump, with the wall clock polled every [`TICKS_PER_CLOCK_POLL`]
-    /// calls.
+    /// Cooperative cancellation point for inner loops: a cancellation
+    /// check plus a cheap counter bump, with the wall clock polled on
+    /// the **first** tick (so zero/near-zero budgets fail before any
+    /// work, deterministically) and every [`TICKS_PER_CLOCK_POLL`]
+    /// thereafter.
     pub fn tick(&self) -> Result<()> {
+        self.check_cancelled()?;
         let t = self.ticks.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
-        if self.limits.time_budget.is_some() && t.is_multiple_of(TICKS_PER_CLOCK_POLL) {
+        if self.needs_clock() && (t == 1 || t.is_multiple_of(TICKS_PER_CLOCK_POLL)) {
             return self.check_deadline_now();
         }
         Ok(())
     }
 
-    /// Poll the deadline (no-op when no time budget is set; throttled
-    /// through the tick counter otherwise).
+    /// Poll cancellation and the wall-clock conditions (no-op beyond
+    /// the cancellation load when neither a time budget nor a deadline
+    /// is set).
     pub fn check_deadline(&self) -> Result<()> {
-        if self.limits.time_budget.is_none() {
+        self.check_cancelled()?;
+        if !self.needs_clock() {
             return Ok(());
         }
         self.check_deadline_now()
     }
 
     fn check_deadline_now(&self) -> Result<()> {
+        self.check_cancelled()?;
+        let to_ms = |d: Duration| d.as_millis().min(u128::from(u64::MAX)) as u64;
+        // Deadline first: when both are configured and expired, the
+        // session-level deadline is the more meaningful outcome.
+        if let Some(deadline) = self.deadline {
+            let elapsed = self.started.elapsed();
+            // `is_zero` makes a zero deadline fire even when `elapsed`
+            // is still zero on a coarse clock (determinism, not a race
+            // with the first morsel).
+            if deadline.is_zero() || elapsed > deadline {
+                return Err(Error::DeadlineExceeded {
+                    budget_ms: to_ms(deadline),
+                    elapsed_ms: to_ms(elapsed),
+                });
+            }
+        }
         if let Some(budget) = self.limits.time_budget {
             let elapsed = self.started.elapsed();
-            if elapsed > budget {
+            if budget.is_zero() || elapsed > budget {
                 return Err(Error::ResourceExhausted {
                     kind: ResourceKind::Time,
-                    limit: budget.as_millis().min(u128::from(u64::MAX)) as u64,
-                    used: elapsed.as_millis().min(u128::from(u64::MAX)) as u64,
+                    limit: to_ms(budget),
+                    used: to_ms(elapsed),
                 });
             }
         }
@@ -278,13 +390,13 @@ mod tests {
     }
 
     #[test]
-    fn zero_time_budget_fires() {
+    fn zero_time_budget_fires_deterministically() {
+        // No sleep: a zero budget must fail on the very first poll even
+        // when the clock has not visibly advanced yet.
         let g = ResourceGuard::new(ResourceLimits {
             time_budget: Some(Duration::ZERO),
             ..ResourceLimits::default()
         });
-        // Any elapsed time exceeds a zero budget.
-        std::thread::sleep(Duration::from_millis(2));
         let err = g.check_deadline().unwrap_err();
         assert!(matches!(
             err,
@@ -293,14 +405,128 @@ mod tests {
                 ..
             }
         ));
-        // tick() also reaches the deadline once the poll interval hits.
+        // The FIRST tick (not the 256th) already polls the clock, so a
+        // zero budget cannot race the first morsel.
         let g = ResourceGuard::new(ResourceLimits {
             time_budget: Some(Duration::ZERO),
             ..ResourceLimits::default()
         });
-        std::thread::sleep(Duration::from_millis(2));
-        let fired = (0..10_000).any(|_| g.tick().is_err());
-        assert!(fired);
+        assert!(g.tick().is_err(), "first tick must fire a zero budget");
+    }
+
+    #[test]
+    fn zero_deadline_fires_deterministically() {
+        let g = ResourceGuard::unlimited().with_deadline(Duration::ZERO);
+        let err = g.tick().unwrap_err();
+        match err {
+            Error::DeadlineExceeded { budget_ms, .. } => assert_eq!(budget_ms, 0),
+            other => panic!("unexpected error {other}"),
+        }
+        // charge_rows reaches the same check.
+        let g = ResourceGuard::unlimited().with_deadline(Duration::ZERO);
+        assert!(matches!(
+            g.charge_rows(1).unwrap_err(),
+            Error::DeadlineExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_beats_time_budget() {
+        // Both configured and both expired: the session-level deadline
+        // is reported, not the execution budget.
+        let g = ResourceGuard::new(ResourceLimits {
+            time_budget: Some(Duration::ZERO),
+            ..ResourceLimits::default()
+        })
+        .with_deadline(Duration::ZERO);
+        assert!(matches!(
+            g.check_deadline().unwrap_err(),
+            Error::DeadlineExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn cancellation_is_sticky_and_prompt() {
+        let token = CancellationToken::new();
+        let g = ResourceGuard::unlimited().with_cancellation(token.clone());
+        g.tick().unwrap();
+        g.charge_rows(10).unwrap();
+        assert!(!g.is_cancelled());
+        token.cancel();
+        token.cancel(); // idempotent
+        assert!(g.is_cancelled());
+        assert_eq!(g.tick().unwrap_err(), Error::Cancelled);
+        assert_eq!(g.charge_rows(1).unwrap_err(), Error::Cancelled);
+        assert_eq!(g.charge_memory(1).unwrap_err(), Error::Cancelled);
+        assert_eq!(g.check_deadline().unwrap_err(), Error::Cancelled);
+        // A clone made after cancellation still observes it.
+        assert!(token.clone().is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_reaches_all_workers() {
+        let token = CancellationToken::new();
+        let g = ResourceGuard::unlimited().with_cancellation(token.clone());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    // Spin on the cooperative poll until cancellation
+                    // propagates; bounded so a regression fails fast.
+                    for _ in 0..5_000_000_u64 {
+                        if g.tick().is_err() {
+                            return true;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    false
+                });
+            }
+            std::thread::sleep(Duration::from_millis(2));
+            token.cancel();
+        });
+        assert!(g.is_cancelled());
+    }
+
+    #[test]
+    fn peak_memory_monotone_under_concurrent_release() {
+        let g = ResourceGuard::unlimited();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            // A sampler asserts the high-water mark never decreases
+            // while workers concurrently charge and release.
+            let sampler = s.spawn(|| {
+                let mut last = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let peak = g.peak_memory();
+                    assert!(peak >= last, "peak regressed: {peak} < {last}");
+                    last = peak;
+                }
+                last
+            });
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..20_000 {
+                        g.charge_memory(64).unwrap();
+                        g.release_memory(64);
+                    }
+                });
+            }
+            // Give the workers a moment of real overlap with the
+            // sampler, then stop it; the scope joins the workers.
+            while g.peak_memory() < 64 {
+                std::hint::spin_loop();
+            }
+            std::thread::sleep(Duration::from_millis(2));
+            stop.store(true, Ordering::Relaxed);
+            let final_peak = sampler.join().unwrap_or(0);
+            assert!(final_peak <= g.peak_memory());
+        });
+        assert_eq!(g.memory_used(), 0, "all charges released");
+        assert!(g.peak_memory() >= 64);
+        assert!(
+            g.peak_memory() <= 4 * 64,
+            "peak bounded by the true concurrent maximum"
+        );
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Admission control: a bounded slot pool plus a bounded wait queue.
+//!
+//! Every read query acquires a [`Permit`] before touching a snapshot.
+//! When all `max_active` slots are busy the query waits in a queue of
+//! at most `max_queued` entries; when that is full too, the query is
+//! **shed immediately** with [`Error::Overloaded`] — overload degrades
+//! into fast typed failures, never into unbounded queueing. A waiting
+//! query whose deadline expires leaves the queue with
+//! [`Error::DeadlineExceeded`] (the deadline clock spans admission
+//! wait, not just execution).
+//!
+//! The controller also composes per-query memory budgets into a global
+//! pool: when `memory_pool` is configured, each permit reserves the
+//! query's `max_memory_bytes` from it, so `max_active` queries can
+//! never over-commit the server's memory budget in aggregate.
+
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use gbj_types::{Error, Result};
+
+/// Static admission configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Concurrent queries allowed to execute (≥ 1).
+    pub max_active: usize,
+    /// Queries allowed to wait for a slot before shedding starts.
+    pub max_queued: usize,
+    /// The `retry_after` hint attached to [`Error::Overloaded`].
+    pub retry_after_hint: Duration,
+    /// Optional global memory pool composing per-query budgets.
+    pub memory_pool: Option<u64>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_active: 4,
+            max_queued: 16,
+            retry_after_hint: Duration::from_millis(10),
+            memory_pool: None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct AdmState {
+    active: usize,
+    queued: usize,
+    memory_reserved: u64,
+}
+
+/// The slot pool. Shared by all sessions of one server.
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    state: Mutex<AdmState>,
+    cv: Condvar,
+}
+
+/// An admission slot (and memory reservation), released on drop.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    controller: &'a AdmissionController,
+    memory: u64,
+}
+
+impl AdmissionController {
+    /// A controller with the given limits (`max_active` clamped ≥ 1).
+    #[must_use]
+    pub fn new(mut config: AdmissionConfig) -> AdmissionController {
+        config.max_active = config.max_active.max(1);
+        AdmissionController {
+            config,
+            state: Mutex::new(AdmState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> AdmissionConfig {
+        self.config
+    }
+
+    fn overloaded(&self) -> Error {
+        Error::Overloaded {
+            retry_after_hint_ms: self
+                .config
+                .retry_after_hint
+                .as_millis()
+                .min(u128::from(u64::MAX)) as u64,
+        }
+    }
+
+    /// Whether a slot (and the memory reservation) is free right now.
+    fn slot_free(&self, st: &AdmState, memory: u64) -> bool {
+        st.active < self.config.max_active
+            && match self.config.memory_pool {
+                Some(pool) => st.memory_reserved.saturating_add(memory) <= pool,
+                None => true,
+            }
+    }
+
+    /// Acquire a slot, reserving `memory` bytes from the global pool.
+    ///
+    /// `deadline` is the absolute instant after which waiting becomes
+    /// pointless; `None` waits indefinitely. A query whose memory
+    /// budget alone exceeds the whole pool is shed immediately — it
+    /// could never run.
+    pub fn admit(&self, memory: u64, deadline: Option<Instant>) -> Result<Permit<'_>> {
+        if let Some(pool) = self.config.memory_pool {
+            if memory > pool {
+                return Err(self.overloaded());
+            }
+        }
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.slot_free(&st, memory) {
+            st.active += 1;
+            st.memory_reserved = st.memory_reserved.saturating_add(memory);
+            return Ok(Permit {
+                controller: self,
+                memory,
+            });
+        }
+        if st.queued >= self.config.max_queued {
+            return Err(self.overloaded());
+        }
+        st.queued += 1;
+        loop {
+            let wait = match deadline {
+                None => {
+                    st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                    None
+                }
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        st.queued -= 1;
+                        // Wake another waiter: the slot we were queued
+                        // for may have been signalled to us.
+                        self.cv.notify_one();
+                        return Err(Error::DeadlineExceeded {
+                            budget_ms: 0,
+                            elapsed_ms: 0,
+                        });
+                    }
+                    let (guard, timeout) = self
+                        .cv
+                        .wait_timeout(st, dl - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    st = guard;
+                    Some(timeout.timed_out())
+                }
+            };
+            if self.slot_free(&st, memory) {
+                st.queued -= 1;
+                st.active += 1;
+                st.memory_reserved = st.memory_reserved.saturating_add(memory);
+                return Ok(Permit {
+                    controller: self,
+                    memory,
+                });
+            }
+            if wait == Some(true) {
+                st.queued -= 1;
+                self.cv.notify_one();
+                return Err(Error::DeadlineExceeded {
+                    budget_ms: 0,
+                    elapsed_ms: 0,
+                });
+            }
+        }
+    }
+
+    /// (active, queued) right now — for tests and gauges.
+    #[must_use]
+    pub fn load(&self) -> (usize, usize) {
+        let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        (st.active, st.queued)
+    }
+
+    fn release(&self, memory: u64) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.active = st.active.saturating_sub(1);
+        st.memory_reserved = st.memory_reserved.saturating_sub(memory);
+        drop(st);
+        self.cv.notify_one();
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.controller.release(self.memory);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl(max_active: usize, max_queued: usize) -> AdmissionController {
+        AdmissionController::new(AdmissionConfig {
+            max_active,
+            max_queued,
+            retry_after_hint: Duration::from_millis(7),
+            memory_pool: None,
+        })
+    }
+
+    #[test]
+    fn slots_then_queue_then_shed() {
+        let c = ctl(2, 0);
+        let p1 = c.admit(0, None).unwrap();
+        let p2 = c.admit(0, None).unwrap();
+        // No queue: the third is shed immediately with the hint.
+        match c.admit(0, None).unwrap_err() {
+            Error::Overloaded {
+                retry_after_hint_ms,
+            } => assert_eq!(retry_after_hint_ms, 7),
+            other => panic!("unexpected error {other}"),
+        }
+        assert_eq!(c.load(), (2, 0));
+        drop(p1);
+        let p3 = c.admit(0, None).unwrap();
+        assert_eq!(c.load(), (2, 0));
+        drop(p2);
+        drop(p3);
+        assert_eq!(c.load(), (0, 0));
+    }
+
+    #[test]
+    fn queued_waiter_gets_the_freed_slot() {
+        let c = ctl(1, 4);
+        let p1 = c.admit(0, None).unwrap();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| c.admit(0, None).map(|_| ()));
+            // Wait until it is actually queued, then free the slot.
+            while c.load().1 == 0 {
+                std::hint::spin_loop();
+            }
+            drop(p1);
+            waiter.join().unwrap().unwrap();
+        });
+        assert_eq!(c.load(), (0, 0));
+    }
+
+    #[test]
+    fn expired_deadline_fails_queued_query_typed() {
+        let c = ctl(1, 4);
+        let _p = c.admit(0, None).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(5);
+        let err = c.admit(0, Some(deadline)).unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded { .. }));
+        // The queue slot was returned.
+        assert_eq!(c.load(), (1, 0));
+    }
+
+    #[test]
+    fn already_expired_deadline_fails_before_waiting() {
+        let c = ctl(1, 4);
+        let _p = c.admit(0, None).unwrap();
+        let past = Instant::now() - Duration::from_millis(1);
+        let err = c.admit(0, Some(past)).unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded { .. }));
+    }
+
+    #[test]
+    fn memory_pool_composes_budgets() {
+        let c = AdmissionController::new(AdmissionConfig {
+            max_active: 8,
+            max_queued: 0,
+            retry_after_hint: Duration::from_millis(1),
+            memory_pool: Some(1000),
+        });
+        let p1 = c.admit(600, None).unwrap();
+        // 600 + 600 > 1000: second is shed even though slots are free.
+        assert!(matches!(
+            c.admit(600, None).unwrap_err(),
+            Error::Overloaded { .. }
+        ));
+        let p2 = c.admit(400, None).unwrap();
+        drop(p1);
+        let p3 = c.admit(600, None).unwrap();
+        drop(p2);
+        drop(p3);
+        // A budget bigger than the whole pool can never run.
+        assert!(matches!(
+            c.admit(2000, None).unwrap_err(),
+            Error::Overloaded { .. }
+        ));
+        assert_eq!(c.load(), (0, 0));
+    }
+
+    #[test]
+    fn zero_max_active_is_clamped_to_one() {
+        let c = ctl(0, 0);
+        let p = c.admit(0, None).unwrap();
+        drop(p);
+    }
+}

@@ -1,0 +1,172 @@
+//! The bound-plan cache: prepared statements keyed on SQL text plus
+//! the storage epoch they were planned against.
+//!
+//! Planning (bind → FD reasoning → eager/lazy decision → costing) is
+//! the expensive, *stats-dependent* half of a query. The decision can
+//! flip when the data changes — a `CREATE TABLE` changes binding, an
+//! `INSERT` drifts the cardinalities the cost model reads — so a plan
+//! is only reusable while the storage epoch it was built at is still
+//! current. Keying on `(sql, epoch)` makes invalidation structural:
+//! any committed mutation bumps the epoch and every older entry simply
+//! stops being reachable (and is swept out opportunistically).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use gbj_engine::QueryReport;
+
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<(String, u64), Arc<QueryReport>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<(String, u64)>,
+}
+
+/// A bounded map from `(sql, epoch)` to the planner's [`QueryReport`].
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (0 disables caching).
+    #[must_use]
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity,
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// The plan prepared for exactly this SQL text at this epoch.
+    #[must_use]
+    pub fn get(&self, sql: &str, epoch: u64) -> Option<Arc<QueryReport>> {
+        let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.map.get(&(sql.to_string(), epoch)).cloned()
+    }
+
+    /// Store a freshly planned report. Entries from older epochs are
+    /// unreachable by construction; this also sweeps them out so the
+    /// capacity is spent on live plans.
+    pub fn insert(&self, sql: &str, epoch: u64, report: Arc<QueryReport>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.order.retain(|k| k.1 == epoch);
+        st.map.retain(|k, _| k.1 == epoch);
+        while st.order.len() >= self.capacity {
+            if let Some(old) = st.order.pop_front() {
+                st.map.remove(&old);
+            } else {
+                break;
+            }
+        }
+        let key = (sql.to_string(), epoch);
+        if st.map.insert(key.clone(), report).is_none() {
+            st.order.push_back(key);
+        }
+    }
+
+    /// Drop everything (configuration changed: plans may differ now
+    /// even at the same epoch).
+    pub fn clear(&self) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.map.clear();
+        st.order.clear();
+    }
+
+    /// Number of cached plans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_engine::Database;
+
+    fn report_for(db: &Database, sql: &str) -> Arc<QueryReport> {
+        Arc::new(db.plan_query(sql).unwrap())
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE T (A INTEGER PRIMARY KEY, B INTEGER); \
+             INSERT INTO T VALUES (1, 10), (2, 20);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn hit_requires_same_sql_and_epoch() {
+        let d = db();
+        let cache = PlanCache::new(8);
+        let sql = "SELECT A FROM T";
+        cache.insert(sql, 5, report_for(&d, sql));
+        assert!(cache.get(sql, 5).is_some());
+        assert!(cache.get(sql, 6).is_none(), "epoch change invalidates");
+        assert!(cache.get("SELECT B FROM T", 5).is_none());
+    }
+
+    #[test]
+    fn new_epoch_sweeps_stale_entries() {
+        let d = db();
+        let cache = PlanCache::new(8);
+        cache.insert("SELECT A FROM T", 1, report_for(&d, "SELECT A FROM T"));
+        cache.insert("SELECT B FROM T", 1, report_for(&d, "SELECT B FROM T"));
+        assert_eq!(cache.len(), 2);
+        cache.insert("SELECT A FROM T", 2, report_for(&d, "SELECT A FROM T"));
+        assert_eq!(cache.len(), 1, "epoch-1 plans are swept at epoch 2");
+        assert!(cache.get("SELECT B FROM T", 1).is_none());
+    }
+
+    #[test]
+    fn capacity_is_bounded_fifo() {
+        let d = db();
+        let cache = PlanCache::new(2);
+        for (i, sql) in ["SELECT A FROM T", "SELECT B FROM T", "SELECT A, B FROM T"]
+            .iter()
+            .enumerate()
+        {
+            cache.insert(sql, 1, report_for(&d, sql));
+            assert!(cache.len() <= 2, "insert {i} exceeded capacity");
+        }
+        assert!(cache.get("SELECT A FROM T", 1).is_none(), "oldest evicted");
+        assert!(cache.get("SELECT A, B FROM T", 1).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let d = db();
+        let cache = PlanCache::new(0);
+        cache.insert("SELECT A FROM T", 1, report_for(&d, "SELECT A FROM T"));
+        assert!(cache.is_empty());
+        assert!(cache.get("SELECT A FROM T", 1).is_none());
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let d = db();
+        let cache = PlanCache::new(4);
+        cache.insert("SELECT A FROM T", 1, report_for(&d, "SELECT A FROM T"));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Server-wide observability counters.
+//!
+//! One [`ServerMetrics`] instance is shared by every session of a
+//! server. All counters are event counts (atomics, `Relaxed` — they
+//! are statistics, not synchronisation), so for a fixed workload they
+//! are **thread-count-invariant**: the same queries produce the same
+//! counts whether the executor runs serial or parallel and however the
+//! clients are scheduled, matching the fingerprinted `QueryMetrics`
+//! convention from the per-query registry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone event counters plus small gauges for the serving layer.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    queries_ok: AtomicU64,
+    queries_failed: AtomicU64,
+    writes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    snapshot_refreshes: AtomicU64,
+    /// Gauge: queries currently holding an admission slot.
+    active_queries: AtomicU64,
+}
+
+/// A point-in-time copy of every counter, for rendering and asserting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct MetricsSnapshot {
+    pub sessions_opened: u64,
+    pub sessions_closed: u64,
+    pub admitted: u64,
+    pub shed: u64,
+    pub cancelled: u64,
+    pub deadline_exceeded: u64,
+    pub queries_ok: u64,
+    pub queries_failed: u64,
+    pub writes: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub snapshot_refreshes: u64,
+    pub active_queries: u64,
+}
+
+impl MetricsSnapshot {
+    /// Multi-line human-readable rendering (the REPL's `\sessions`).
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "sessions: {} open ({} opened, {} closed)\n\
+             queries:  {} admitted, {} ok, {} failed, {} active\n\
+             shedding: {} shed, {} cancelled, {} deadline-exceeded\n\
+             plans:    {} cache hits, {} cache misses\n\
+             writes:   {} scripts, {} snapshot refreshes\n",
+            self.sessions_opened - self.sessions_closed,
+            self.sessions_opened,
+            self.sessions_closed,
+            self.admitted,
+            self.queries_ok,
+            self.queries_failed,
+            self.active_queries,
+            self.shed,
+            self.cancelled,
+            self.deadline_exceeded,
+            self.cache_hits,
+            self.cache_misses,
+            self.writes,
+            self.snapshot_refreshes,
+        )
+    }
+}
+
+macro_rules! bump {
+    ($($fn_name:ident => $field:ident),* $(,)?) => {$(
+        pub(crate) fn $fn_name(&self) {
+            self.$field.fetch_add(1, Ordering::Relaxed);
+        }
+    )*};
+}
+
+impl ServerMetrics {
+    bump! {
+        on_session_opened => sessions_opened,
+        on_session_closed => sessions_closed,
+        on_admitted => admitted,
+        on_shed => shed,
+        on_cancelled => cancelled,
+        on_deadline => deadline_exceeded,
+        on_query_ok => queries_ok,
+        on_query_failed => queries_failed,
+        on_write => writes,
+        on_cache_hit => cache_hits,
+        on_cache_miss => cache_misses,
+        on_snapshot_refresh => snapshot_refreshes,
+    }
+
+    pub(crate) fn enter_active(&self) {
+        self.active_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn leave_active(&self) {
+        // Saturating: a double-leave must never wrap the gauge.
+        let mut cur = self.active_queries.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(1);
+            match self.active_queries.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Queries currently holding an admission slot.
+    #[must_use]
+    pub fn active_queries(&self) -> u64 {
+        self.active_queries.load(Ordering::Relaxed)
+    }
+
+    /// Copy every counter at once.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            queries_ok: self.queries_ok.load(Ordering::Relaxed),
+            queries_failed: self.queries_failed.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            snapshot_refreshes: self.snapshot_refreshes.load(Ordering::Relaxed),
+            active_queries: self.active_queries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count_and_render() {
+        let m = ServerMetrics::default();
+        m.on_session_opened();
+        m.on_admitted();
+        m.on_query_ok();
+        m.on_shed();
+        m.on_cancelled();
+        m.on_deadline();
+        m.on_cache_miss();
+        m.on_cache_hit();
+        m.on_write();
+        let s = m.snapshot();
+        assert_eq!(s.sessions_opened, 1);
+        assert_eq!(s.admitted, 1);
+        assert_eq!(s.queries_ok, 1);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.deadline_exceeded, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.writes, 1);
+        let text = s.render();
+        assert!(text.contains("1 admitted"));
+        assert!(text.contains("1 shed"));
+    }
+
+    #[test]
+    fn active_gauge_never_underflows() {
+        let m = ServerMetrics::default();
+        m.enter_active();
+        m.leave_active();
+        m.leave_active();
+        assert_eq!(m.active_queries(), 0);
+    }
+}

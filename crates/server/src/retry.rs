@@ -1,0 +1,202 @@
+//! Deterministic client-side retry with seeded jittered backoff.
+//!
+//! When the server sheds with [`Error::Overloaded`] the polite client
+//! response is *full-jitter exponential backoff* (sleep a uniformly
+//! random duration in `[0, base·2^attempt]`, capped): the exponential
+//! keeps aggregate retry pressure bounded, the jitter de-synchronises
+//! clients so they do not stampede the admission queue in lock-step.
+//!
+//! The jitter comes from the workspace's seeded [`rand`] shim, so a
+//! given `(seed, attempt)` always produces the same delay — chaos
+//! tests replay identically and the delay schedule itself is testable
+//! without sleeping.
+
+use std::time::Duration;
+
+use gbj_types::{Error, Result};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Backoff configuration for [`with_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff base: the cap grows as `base · 2^attempt`.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(50),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic delay before retry number `attempt` (0-based:
+    /// the delay after the first failure is `delay(0)`), given the
+    /// error that triggered it. An [`Error::Overloaded`] retry hint
+    /// acts as a floor under the jittered delay.
+    #[must_use]
+    pub fn delay(&self, attempt: u32, cause: &Error) -> Duration {
+        // One independent, reproducible stream per (seed, attempt):
+        // re-deriving from the seed keeps the schedule a pure function
+        // of the policy, not of how many errors came before.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (0x9E37 + u64::from(attempt)));
+        let cap = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.max_delay);
+        let jittered = Duration::from_nanos(if cap.is_zero() {
+            0
+        } else {
+            rng.gen_range(0..=cap.as_nanos().min(u128::from(u64::MAX)) as u64)
+        });
+        let floor = match cause {
+            Error::Overloaded {
+                retry_after_hint_ms,
+            } => Duration::from_millis(*retry_after_hint_ms),
+            _ => Duration::ZERO,
+        };
+        jittered.max(floor).min(self.max_delay)
+    }
+
+    /// The whole delay schedule for a persistent `cause` — what a
+    /// client would sleep if every attempt failed the same way.
+    #[must_use]
+    pub fn schedule(&self, cause: &Error) -> Vec<Duration> {
+        (0..self.max_attempts.saturating_sub(1))
+            .map(|a| self.delay(a, cause))
+            .collect()
+    }
+}
+
+/// Run `op` until it succeeds, fails non-retryably, or exhausts the
+/// policy's attempts. Only load-management errors (see
+/// [`Error::is_retryable`]) are retried; a parse error will never pass
+/// by trying harder. The attempt number is passed to `op` so callers
+/// can tag work or vary behaviour.
+pub fn with_retry<T>(policy: &RetryPolicy, mut op: impl FnMut(u32) -> Result<T>) -> Result<T> {
+    let attempts = policy.max_attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() && attempt + 1 < attempts => {
+                std::thread::sleep(policy.delay(attempt, &e));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overloaded(ms: u64) -> Error {
+        Error::Overloaded {
+            retry_after_hint_ms: ms,
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_in_the_seed() {
+        let p = RetryPolicy {
+            seed: 42,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.schedule(&overloaded(0)), p.schedule(&overloaded(0)));
+        let q = RetryPolicy {
+            seed: 43,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(
+            p.schedule(&overloaded(0)),
+            q.schedule(&overloaded(0)),
+            "different seeds should jitter differently"
+        );
+    }
+
+    #[test]
+    fn delays_are_capped_and_floored() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(4),
+            max_delay: Duration::from_millis(20),
+            seed: 7,
+        };
+        for (a, d) in p.schedule(&overloaded(3)).into_iter().enumerate() {
+            assert!(d <= p.max_delay, "attempt {a}: {d:?} over cap");
+            assert!(
+                d >= Duration::from_millis(3),
+                "attempt {a}: {d:?} under the server hint"
+            );
+        }
+        // The hint floor itself respects the cap.
+        let d = p.delay(0, &overloaded(10_000));
+        assert_eq!(d, p.max_delay);
+    }
+
+    #[test]
+    fn retries_overloaded_until_success() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(50),
+            seed: 1,
+        };
+        let mut calls = 0;
+        let out = with_retry(&p, |attempt| {
+            calls += 1;
+            if attempt < 3 {
+                Err(overloaded(0))
+            } else {
+                Ok(attempt)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, 3);
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_fast() {
+        let p = RetryPolicy::default();
+        let mut calls = 0;
+        let err = with_retry(&p, |_| -> Result<()> {
+            calls += 1;
+            Err(Error::Parse("nope".into()))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), "parse");
+        assert_eq!(calls, 1, "parse errors are not retried");
+    }
+
+    #[test]
+    fn attempts_are_exhausted_with_the_last_error() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_micros(1),
+            max_delay: Duration::from_micros(5),
+            seed: 9,
+        };
+        let mut calls = 0;
+        let err = with_retry(&p, |_| -> Result<()> {
+            calls += 1;
+            Err(overloaded(0))
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::Overloaded { .. }));
+        assert_eq!(calls, 3);
+    }
+}

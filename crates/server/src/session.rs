@@ -1,0 +1,640 @@
+//! The server and its sessions: snapshot reads, guarded execution,
+//! and the serialised write path with its commit log.
+//!
+//! ## Concurrency model
+//!
+//! * **Writers serialise** on one mutex around the authoritative
+//!   [`Database`]; each write script runs whole under the lock and
+//!   (when it committed anything) appends one entry to the commit log.
+//! * **Readers never take the write lock for data access.** They run
+//!   against an `Arc`-shared snapshot published from the authoritative
+//!   database. Snapshots are refreshed lazily *on read*: a reader that
+//!   notices the published epoch moved re-forks the database (O(tables)
+//!   thanks to `Arc`-shared row storage) and installs the new snapshot
+//!   for everyone. Queries therefore observe a consistent committed
+//!   prefix of the write history — never torn state — and each response
+//!   carries the epoch it read at.
+//! * **Lock order** is `snapshot → db`; the write path takes only `db`,
+//!   so the pair cannot deadlock.
+//!
+//! The commit log plus per-response epochs are what make the chaos
+//! differential test an *oracle*: replaying the logged scripts serially
+//! onto a fork of the initial database reproduces every committed
+//! state, and every successful concurrent read must be byte-identical
+//! to the serial replay at its epoch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+use gbj_engine::{Database, QueryMetrics, QueryOutput, QueryReport};
+use gbj_exec::{CancellationToken, ResourceGuard, ResultSet};
+use gbj_sql::{parse_statements, Statement};
+use gbj_types::{Error, Result};
+
+use crate::admission::AdmissionConfig;
+use crate::admission::AdmissionController;
+use crate::cache::PlanCache;
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
+
+/// Whole-server configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Slot pool and shedding behaviour.
+    pub admission: AdmissionConfig,
+    /// Per-query resource budgets applied to every read (the session
+    /// deadline/cancellation are layered on top per call).
+    pub default_limits: gbj_exec::ResourceLimits,
+    /// Deadline applied to queries when the session sets none.
+    pub default_timeout: Option<Duration>,
+    /// Bound-plan cache capacity (0 disables the cache).
+    pub plan_cache_capacity: usize,
+    /// Record committed write scripts for serial replay (chaos tests;
+    /// unbounded memory, so off by default).
+    pub record_commits: bool,
+}
+
+impl ServerConfig {
+    /// The defaults plus a plan cache of useful size.
+    #[must_use]
+    pub fn with_plan_cache(mut self, capacity: usize) -> ServerConfig {
+        self.plan_cache_capacity = capacity;
+        self
+    }
+}
+
+/// One committed (possibly partially committed) write script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedOp {
+    /// Commit order (0-based, dense).
+    pub seq: u64,
+    /// The storage epoch after this script ran.
+    pub epoch_after: u64,
+    /// The script text, exactly as executed.
+    pub sql: String,
+}
+
+struct ServerShared {
+    config: ServerConfig,
+    /// The authoritative database. Writers hold this for whole scripts.
+    db: Mutex<Database>,
+    /// The latest published read snapshot.
+    snapshot: RwLock<Arc<Database>>,
+    /// Epoch of the authoritative database, published without locking.
+    published_epoch: AtomicU64,
+    admission: AdmissionController,
+    cache: PlanCache,
+    metrics: ServerMetrics,
+    commit_log: Mutex<Vec<CommittedOp>>,
+    next_session: AtomicU64,
+}
+
+/// The serving layer over one [`Database`]. Cheap to clone (an `Arc`);
+/// clones share sessions, admission slots, metrics and the plan cache.
+#[derive(Clone)]
+pub struct Server {
+    shared: Arc<ServerShared>,
+}
+
+/// Per-query options layered over the session defaults.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOpts {
+    /// Deadline for this call (overrides the session timeout).
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation handle for this call.
+    pub cancel: Option<CancellationToken>,
+}
+
+/// A successful snapshot read.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The result rows.
+    pub rows: ResultSet,
+    /// The storage epoch the snapshot was taken at.
+    pub epoch: u64,
+    /// Whether the plan came from the bound-plan cache.
+    pub cache_hit: bool,
+    /// The (possibly cached) planning report.
+    pub report: Arc<QueryReport>,
+    /// Execution metrics for this call.
+    pub metrics: QueryMetrics,
+}
+
+/// A write script's outcome.
+#[derive(Debug, Clone)]
+pub struct WriteResponse {
+    /// One output per executed statement.
+    pub outputs: Vec<QueryOutput>,
+    /// The storage epoch after the script.
+    pub epoch_after: u64,
+    /// The commit-log sequence number, when commit recording is on and
+    /// the script committed at least one change.
+    pub seq: Option<u64>,
+}
+
+impl Server {
+    /// A server over an empty database.
+    #[must_use]
+    pub fn new(config: ServerConfig) -> Server {
+        Server::with_database(Database::new(), config)
+    }
+
+    /// A server over an existing database (takes ownership — all
+    /// further access goes through sessions).
+    #[must_use]
+    pub fn with_database(db: Database, config: ServerConfig) -> Server {
+        let snapshot = Arc::new(db.fork());
+        let epoch = db.epoch();
+        Server {
+            shared: Arc::new(ServerShared {
+                admission: AdmissionController::new(config.admission),
+                cache: PlanCache::new(config.plan_cache_capacity),
+                metrics: ServerMetrics::default(),
+                commit_log: Mutex::new(Vec::new()),
+                next_session: AtomicU64::new(0),
+                db: Mutex::new(db),
+                snapshot: RwLock::new(snapshot),
+                published_epoch: AtomicU64::new(epoch),
+                config,
+            }),
+        }
+    }
+
+    /// Open a session.
+    #[must_use]
+    pub fn connect(&self) -> Session {
+        self.shared.metrics.on_session_opened();
+        Session {
+            id: self.shared.next_session.fetch_add(1, Ordering::Relaxed),
+            timeout: self.shared.config.default_timeout,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A copy of every serving counter.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Queries currently holding an admission slot (gauge, for tests
+    /// that need to synchronise with in-flight work).
+    #[must_use]
+    pub fn active_queries(&self) -> u64 {
+        self.shared.metrics.active_queries()
+    }
+
+    /// The current published storage epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.shared.published_epoch.load(Ordering::Acquire)
+    }
+
+    /// The committed-write log (empty unless
+    /// [`ServerConfig::record_commits`] is set).
+    #[must_use]
+    pub fn commit_log(&self) -> Vec<CommittedOp> {
+        self.shared
+            .commit_log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Number of plans currently cached.
+    #[must_use]
+    pub fn plan_cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Run a read-only closure against the current snapshot (catalog
+    /// inspection, `\lint`, …) without going through admission. The
+    /// closure must not mutate: changes would land on a throwaway fork,
+    /// not the authoritative database — use [`Server::reconfigure`] or
+    /// [`Session::execute_write`] for that.
+    pub fn with_snapshot<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.shared.current_snapshot())
+    }
+
+    /// Apply a configuration change to the authoritative database
+    /// (policy, threads, fault injector, …). The plan cache is cleared
+    /// — same SQL and epoch may now plan differently — and a fresh
+    /// snapshot is published immediately.
+    pub fn reconfigure(&self, f: impl FnOnce(&mut Database)) {
+        let mut db = self
+            .shared
+            .db
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        f(&mut db);
+        self.shared.cache.clear();
+        let mut slot = self
+            .shared
+            .snapshot
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        *slot = Arc::new(db.fork());
+        self.shared
+            .published_epoch
+            .store(db.epoch(), Ordering::Release);
+        self.shared.metrics.on_snapshot_refresh();
+    }
+}
+
+impl ServerShared {
+    /// The freshest snapshot, re-forking lazily when the published
+    /// epoch moved past the installed one.
+    fn current_snapshot(&self) -> Arc<Database> {
+        let published = self.published_epoch.load(Ordering::Acquire);
+        {
+            let snap = self.snapshot.read().unwrap_or_else(PoisonError::into_inner);
+            if snap.epoch() == published {
+                return Arc::clone(&snap);
+            }
+        }
+        let mut slot = self
+            .snapshot
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Double-check under the write lock: another reader may have
+        // refreshed while we waited, and the epoch may have moved again.
+        if slot.epoch() != self.published_epoch.load(Ordering::Acquire) {
+            let db = self.db.lock().unwrap_or_else(PoisonError::into_inner);
+            *slot = Arc::new(db.fork());
+            self.metrics.on_snapshot_refresh();
+        }
+        Arc::clone(&slot)
+    }
+
+    /// Count one finished read against the outcome counters.
+    fn classify<T>(&self, result: &Result<T>) {
+        match result {
+            Ok(_) => self.metrics.on_query_ok(),
+            Err(Error::Cancelled) => self.metrics.on_cancelled(),
+            Err(Error::DeadlineExceeded { .. }) => self.metrics.on_deadline(),
+            Err(Error::Overloaded { .. }) => self.metrics.on_shed(),
+            Err(_) => self.metrics.on_query_failed(),
+        }
+    }
+}
+
+/// One client connection: a deadline default plus a handle on the
+/// shared server state. Sessions are `Send` — hand one to each client
+/// thread.
+pub struct Session {
+    shared: Arc<ServerShared>,
+    id: u64,
+    timeout: Option<Duration>,
+}
+
+impl Session {
+    /// The server-unique session id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Set (or with `None`, clear) the session deadline applied to
+    /// every subsequent query — the REPL's `\timeout <ms>`.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
+    }
+
+    /// The session deadline.
+    #[must_use]
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    /// Run a single SELECT through admission control against the
+    /// current snapshot.
+    pub fn query(&self, sql: &str) -> Result<QueryResponse> {
+        self.query_opts(sql, &QueryOpts::default())
+    }
+
+    /// [`Session::query`] with an explicit deadline and/or cancellation
+    /// token. The deadline clock starts *here* and spans admission
+    /// wait: a query stuck behind a full server times out rather than
+    /// waiting forever.
+    pub fn query_opts(&self, sql: &str, opts: &QueryOpts) -> Result<QueryResponse> {
+        let entry = Instant::now();
+        let timeout = opts.deadline.or(self.timeout);
+        let abs_deadline = timeout.map(|t| entry + t);
+        let memory = self
+            .shared
+            .config
+            .default_limits
+            .max_memory_bytes
+            .unwrap_or(0);
+        let permit = match self.shared.admission.admit(memory, abs_deadline) {
+            Ok(p) => {
+                self.shared.metrics.on_admitted();
+                p
+            }
+            Err(e) => {
+                let e = fill_deadline(e, timeout, entry);
+                self.shared.classify::<()>(&Err(e.clone()));
+                return Err(e);
+            }
+        };
+        self.shared.metrics.enter_active();
+        let result = self.run_admitted(sql, opts, timeout, entry);
+        self.shared.metrics.leave_active();
+        drop(permit);
+        self.shared.classify(&result);
+        result
+    }
+
+    fn run_admitted(
+        &self,
+        sql: &str,
+        opts: &QueryOpts,
+        timeout: Option<Duration>,
+        entry: Instant,
+    ) -> Result<QueryResponse> {
+        let snap = self.shared.current_snapshot();
+        let epoch = snap.epoch();
+        let mut guard = ResourceGuard::new(self.shared.config.default_limits);
+        if let Some(t) = timeout {
+            // The remaining slice of the deadline after admission wait;
+            // an already-expired deadline fails here, typed, before any
+            // execution work.
+            let elapsed = entry.elapsed();
+            let Some(remaining) = t.checked_sub(elapsed) else {
+                return Err(deadline_error(t, elapsed));
+            };
+            guard = guard.with_deadline(remaining);
+        }
+        if let Some(token) = &opts.cancel {
+            guard = guard.with_cancellation(token.clone());
+        }
+        if let Some(report) = self.shared.cache.get(sql, epoch) {
+            self.shared.metrics.on_cache_hit();
+            let (rows, metrics) = snap.execute_report_guarded(&report, &guard)?;
+            return Ok(QueryResponse {
+                rows,
+                epoch,
+                cache_hit: true,
+                report,
+                metrics,
+            });
+        }
+        self.shared.metrics.on_cache_miss();
+        let (rows, report, metrics) = snap.query_with_guard(sql, &guard)?;
+        let report = Arc::new(report);
+        self.shared.cache.insert(sql, epoch, Arc::clone(&report));
+        Ok(QueryResponse {
+            rows,
+            epoch,
+            cache_hit: false,
+            report,
+            metrics,
+        })
+    }
+
+    /// Run a write script (DDL/DML, or any mixed script) serially on
+    /// the authoritative database. The whole script runs under the
+    /// write lock; if it committed anything it is appended to the
+    /// commit log (when recording) even if a later statement failed —
+    /// the committed prefix is real and the replay oracle must see it.
+    pub fn execute_write(&self, sql: &str) -> Result<WriteResponse> {
+        let shared = &self.shared;
+        let mut db = shared.db.lock().unwrap_or_else(PoisonError::into_inner);
+        let before = db.epoch();
+        let result = db.run_script(sql);
+        let after = db.epoch();
+        shared.published_epoch.store(after, Ordering::Release);
+        let mut seq = None;
+        if after != before {
+            shared.metrics.on_write();
+            if shared.config.record_commits {
+                let mut log = shared
+                    .commit_log
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let s = log.len() as u64;
+                log.push(CommittedOp {
+                    seq: s,
+                    epoch_after: after,
+                    sql: sql.to_string(),
+                });
+                seq = Some(s);
+            }
+        }
+        drop(db);
+        match result {
+            Ok(outputs) => Ok(WriteResponse {
+                outputs,
+                epoch_after: after,
+                seq,
+            }),
+            Err(e) => {
+                shared.metrics.on_query_failed();
+                Err(e)
+            }
+        }
+    }
+
+    /// Route a script: a single SELECT goes through the admission +
+    /// snapshot read path; everything else (DDL, DML, EXPLAIN, mixed
+    /// scripts) runs on the serialised write path.
+    pub fn run(&self, sql: &str) -> Result<Vec<QueryOutput>> {
+        let stmts = parse_statements(sql)?;
+        if let [Statement::Select(_)] = stmts.as_slice() {
+            let resp = self.query(sql)?;
+            return Ok(vec![QueryOutput::Rows(resp.rows)]);
+        }
+        Ok(self.execute_write(sql)?.outputs)
+    }
+
+    /// Metrics of this session's server (the `\sessions` view).
+    #[must_use]
+    pub fn server_metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.shared.metrics.on_session_closed();
+    }
+}
+
+/// Admission reports `DeadlineExceeded` without timing context (it
+/// only knows the absolute instant); fill in the session's numbers.
+fn fill_deadline(e: Error, timeout: Option<Duration>, entry: Instant) -> Error {
+    match (e, timeout) {
+        (
+            Error::DeadlineExceeded {
+                budget_ms: 0,
+                elapsed_ms: 0,
+            },
+            Some(t),
+        ) => deadline_error(t, entry.elapsed()),
+        (e, _) => e,
+    }
+}
+
+fn deadline_error(budget: Duration, elapsed: Duration) -> Error {
+    let ms = |d: Duration| d.as_millis().min(u128::from(u64::MAX)) as u64;
+    Error::DeadlineExceeded {
+        budget_ms: ms(budget),
+        elapsed_ms: ms(elapsed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_types::Value;
+
+    fn seeded_server(config: ServerConfig) -> Server {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE Dept (DeptId INTEGER PRIMARY KEY, Name VARCHAR(20)); \
+             CREATE TABLE Emp (EmpId INTEGER PRIMARY KEY, DeptId INTEGER, Sal INTEGER);",
+        )
+        .unwrap();
+        db.insert_rows(
+            "Dept",
+            (0..5).map(|d| vec![Value::Int(d), Value::str(format!("d{d}"))]),
+        )
+        .unwrap();
+        db.insert_rows(
+            "Emp",
+            (0..100).map(|e| vec![Value::Int(e), Value::Int(e % 5), Value::Int(e * 10)]),
+        )
+        .unwrap();
+        Server::with_database(db, config)
+    }
+
+    const AGG: &str = "SELECT D.DeptId, COUNT(E.EmpId), SUM(E.Sal) \
+                       FROM Emp E, Dept D WHERE E.DeptId = D.DeptId GROUP BY D.DeptId";
+
+    #[test]
+    fn snapshot_reads_do_not_see_later_writes() {
+        let server = seeded_server(ServerConfig::default());
+        let session = server.connect();
+        let before = session.query(AGG).unwrap();
+        let writer = server.connect();
+        writer
+            .execute_write("INSERT INTO Emp VALUES (1000, 0, 999)")
+            .unwrap();
+        let after = session.query(AGG).unwrap();
+        assert!(after.epoch > before.epoch);
+        assert_ne!(before.rows.rows, after.rows.rows);
+        assert_eq!(before.rows.len(), 5);
+    }
+
+    #[test]
+    fn plan_cache_hits_same_epoch_and_invalidates_on_write() {
+        let server = seeded_server(ServerConfig::default().with_plan_cache(16));
+        let session = server.connect();
+        let a = session.query(AGG).unwrap();
+        assert!(!a.cache_hit);
+        let b = session.query(AGG).unwrap();
+        assert!(b.cache_hit, "same SQL at same epoch must hit");
+        assert_eq!(a.rows.rows, b.rows.rows, "cached plan, identical bytes");
+        session
+            .execute_write("INSERT INTO Emp VALUES (2000, 1, 5)")
+            .unwrap();
+        let c = session.query(AGG).unwrap();
+        assert!(!c.cache_hit, "epoch moved: cache must miss");
+        assert_ne!(b.rows.rows, c.rows.rows);
+    }
+
+    #[test]
+    fn session_timeout_and_zero_deadline_are_typed() {
+        let server = seeded_server(ServerConfig::default());
+        let mut session = server.connect();
+        session.set_timeout(Some(Duration::ZERO));
+        let err = session.query(AGG).unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded { .. }), "{err}");
+        session.set_timeout(None);
+        session.query(AGG).unwrap();
+        let m = server.metrics();
+        assert_eq!(m.deadline_exceeded, 1);
+        assert_eq!(m.queries_ok, 1);
+    }
+
+    #[test]
+    fn cancellation_before_start_is_typed() {
+        let server = seeded_server(ServerConfig::default());
+        let session = server.connect();
+        let token = CancellationToken::new();
+        token.cancel();
+        let err = session
+            .query_opts(
+                AGG,
+                &QueryOpts {
+                    cancel: Some(token),
+                    ..QueryOpts::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, Error::Cancelled);
+        assert_eq!(server.metrics().cancelled, 1);
+    }
+
+    #[test]
+    fn run_routes_selects_and_writes() {
+        let server = seeded_server(ServerConfig::default());
+        let session = server.connect();
+        let out = session.run("SELECT DeptId FROM Dept").unwrap();
+        assert!(matches!(out.as_slice(), [QueryOutput::Rows(r)] if r.len() == 5));
+        session.run("DELETE FROM Emp WHERE EmpId >= 50").unwrap();
+        let out = session.run("SELECT EmpId FROM Emp").unwrap();
+        assert!(matches!(out.as_slice(), [QueryOutput::Rows(r)] if r.len() == 50));
+    }
+
+    #[test]
+    fn commit_log_records_partial_commits() {
+        let mut cfg = ServerConfig::default();
+        cfg.record_commits = true;
+        let server = seeded_server(cfg);
+        let session = server.connect();
+        // Second row violates the PK: the first row still commits, and
+        // the script must be logged for the replay oracle.
+        let err = session
+            .execute_write("INSERT INTO Dept VALUES (7, 'x'); INSERT INTO Dept VALUES (7, 'y')")
+            .unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+        let log = server.commit_log();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].sql.contains("INSERT INTO Dept"));
+        // A script that commits nothing is not logged.
+        assert!(session
+            .execute_write("DELETE FROM Dept WHERE DeptId = 99")
+            .is_ok());
+        assert_eq!(server.commit_log().len(), 1);
+    }
+
+    #[test]
+    fn reconfigure_clears_cache_and_republishes() {
+        let server = seeded_server(ServerConfig::default().with_plan_cache(16));
+        let session = server.connect();
+        session.query(AGG).unwrap();
+        assert_eq!(server.plan_cache_len(), 1);
+        server.reconfigure(|db| {
+            db.options_mut().policy = gbj_engine::PushdownPolicy::Never;
+        });
+        assert_eq!(server.plan_cache_len(), 0);
+        let resp = session.query(AGG).unwrap();
+        assert!(!resp.cache_hit);
+        assert_eq!(resp.rows.len(), 5);
+    }
+
+    #[test]
+    fn sessions_count_open_and_closed() {
+        let server = seeded_server(ServerConfig::default());
+        {
+            let _a = server.connect();
+            let _b = server.connect();
+            let m = server.metrics();
+            assert_eq!(m.sessions_opened, 2);
+            assert_eq!(m.sessions_closed, 0);
+        }
+        let m = server.metrics();
+        assert_eq!(m.sessions_closed, 2);
+    }
+}

@@ -21,7 +21,7 @@
 //! contrast, use a global counter (`fail_nth_batch`), which is why the
 //! differential oracle only asserts "both plans fail or both agree".
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What to inject. The default injects nothing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,14 +40,27 @@ pub struct FaultConfig {
 
 /// Injection state: the configuration plus observation counters.
 ///
-/// Counters use `Cell` so the injector can be driven through the shared
-/// `&Storage` the executor holds.
-#[derive(Debug, Clone, Default)]
+/// Counters are atomics so the injector can be driven through the
+/// shared `&Storage` the executor holds — including from the parallel
+/// operators' worker threads and from concurrent snapshot readers in
+/// the serving layer (`Storage` must stay `Sync`).
+#[derive(Debug, Default)]
 pub struct FaultInjector {
     config: FaultConfig,
-    batches_served: Cell<u64>,
-    nulls_injected: Cell<u64>,
-    failures_injected: Cell<u64>,
+    batches_served: AtomicU64,
+    nulls_injected: AtomicU64,
+    failures_injected: AtomicU64,
+}
+
+impl Clone for FaultInjector {
+    fn clone(&self) -> FaultInjector {
+        FaultInjector {
+            config: self.config,
+            batches_served: AtomicU64::new(self.batches_served()),
+            nulls_injected: AtomicU64::new(self.nulls_injected()),
+            failures_injected: AtomicU64::new(self.failures_injected()),
+        }
+    }
 }
 
 /// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash step.
@@ -87,27 +100,27 @@ impl FaultInjector {
     /// Zero all counters (so a second run — e.g. the other plan shape
     /// in a differential test — sees the same global batch ordinals).
     pub fn reset(&self) {
-        self.batches_served.set(0);
-        self.nulls_injected.set(0);
-        self.failures_injected.set(0);
+        self.batches_served.store(0, Ordering::Relaxed);
+        self.nulls_injected.store(0, Ordering::Relaxed);
+        self.failures_injected.store(0, Ordering::Relaxed);
     }
 
     /// Batches served (successfully or not) since the last reset.
     #[must_use]
     pub fn batches_served(&self) -> u64 {
-        self.batches_served.get()
+        self.batches_served.load(Ordering::Relaxed)
     }
 
     /// NULLs injected since the last reset.
     #[must_use]
     pub fn nulls_injected(&self) -> u64 {
-        self.nulls_injected.get()
+        self.nulls_injected.load(Ordering::Relaxed)
     }
 
     /// Batch failures injected since the last reset.
     #[must_use]
     pub fn failures_injected(&self) -> u64 {
-        self.failures_injected.get()
+        self.failures_injected.load(Ordering::Relaxed)
     }
 
     /// The batch size scans should use, if overridden.
@@ -119,10 +132,9 @@ impl FaultInjector {
     /// Claim the next global batch ordinal and decide whether it fails.
     /// Called once per served batch.
     pub(crate) fn claim_batch(&self) -> Result<u64, u64> {
-        let ordinal = self.batches_served.get();
-        self.batches_served.set(ordinal + 1);
+        let ordinal = self.batches_served.fetch_add(1, Ordering::Relaxed);
         if self.config.fail_nth_batch == Some(ordinal) {
-            self.failures_injected.set(self.failures_injected.get() + 1);
+            self.failures_injected.fetch_add(1, Ordering::Relaxed);
             return Err(ordinal);
         }
         Ok(ordinal)
@@ -141,7 +153,7 @@ impl FaultInjector {
             ^ mix(row_id)
             ^ mix(0x0c01 ^ ((column as u64) << 16)));
         if h.is_multiple_of(k) {
-            self.nulls_injected.set(self.nulls_injected.get() + 1);
+            self.nulls_injected.fetch_add(1, Ordering::Relaxed);
             true
         } else {
             false

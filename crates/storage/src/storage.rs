@@ -15,6 +15,11 @@ use crate::table::Table;
 pub struct Storage {
     catalog: Catalog,
     data: BTreeMap<String, Table>,
+    /// Monotone data/schema version: bumped after every successful
+    /// mutation (DDL or DML). A clone carries the epoch it was taken
+    /// at, so the serving layer can tag each snapshot and invalidate
+    /// bound-plan caches when the underlying database moves on.
+    epoch: u64,
     /// Optional read-path fault injection (testing only; `None` in
     /// normal operation).
     fault: Option<FaultInjector>,
@@ -36,6 +41,19 @@ impl Storage {
     #[must_use]
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The current data/schema epoch. Strictly increases across
+    /// successful mutations; unchanged by reads and by failed
+    /// mutations that left the data untouched. (A partially-applied
+    /// `insert_many` *does* advance it — the committed prefix is real.)
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// Create a base table: registers the definition and initialises
@@ -60,6 +78,7 @@ impl Storage {
         }
         self.catalog.create_table(def)?;
         self.data.insert(key(&name), table);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -75,24 +94,31 @@ impl Storage {
 
     /// Create a domain.
     pub fn create_domain(&mut self, domain: Domain) -> Result<()> {
-        self.catalog.create_domain(domain)
+        self.catalog.create_domain(domain)?;
+        self.bump_epoch();
+        Ok(())
     }
 
     /// Create a view.
     pub fn create_view(&mut self, view: ViewDef) -> Result<()> {
-        self.catalog.create_view(view)
+        self.catalog.create_view(view)?;
+        self.bump_epoch();
+        Ok(())
     }
 
     /// Create an assertion. Assertions are trusted invariants used by
     /// the optimizer's Theorem-3 reasoning; cross-table assertions are
     /// not re-validated on inserts (documented limitation).
     pub fn create_assertion(&mut self, assertion: gbj_catalog::Assertion) -> Result<()> {
-        self.catalog.create_assertion(assertion)
+        self.catalog.create_assertion(assertion)?;
+        self.bump_epoch();
+        Ok(())
     }
 
     /// Drop a view.
     pub fn drop_view(&mut self, name: &str) -> Result<()> {
         self.catalog.drop_view(name)?;
+        self.bump_epoch();
         Ok(())
     }
 
@@ -100,6 +126,7 @@ impl Storage {
     pub fn drop_table(&mut self, name: &str) -> Result<()> {
         self.catalog.drop_table(name)?;
         self.data.remove(&key(name));
+        self.bump_epoch();
         Ok(())
     }
 
@@ -406,7 +433,9 @@ impl Storage {
             .data
             .get_mut(&key(&def.name))
             .ok_or_else(|| Error::Internal(format!("missing data for {}", def.name)))?;
-        Ok(table.push(coerced))
+        let id = table.push(coerced);
+        self.bump_epoch();
+        Ok(id)
     }
 
     /// Evaluate a predicate against one row of a table (WHERE-clause
@@ -526,6 +555,7 @@ impl Storage {
             .get_mut(&key(&def.name))
             .ok_or_else(|| Error::Internal(format!("missing data for {}", def.name)))?;
         table.replace_rows(kept);
+        self.bump_epoch();
         Ok(deleted)
     }
 
@@ -603,6 +633,7 @@ impl Storage {
             .get_mut(&key(&def.name))
             .ok_or_else(|| Error::Internal(format!("missing data for {}", def.name)))?;
         table.replace_rows(final_rows);
+        self.bump_epoch();
         Ok(updated)
     }
 
@@ -663,6 +694,41 @@ mod tests {
         s.insert("Department", vec![Value::Int(1), Value::str("R&D")])
             .unwrap();
         s
+    }
+
+    #[test]
+    fn epoch_advances_only_on_successful_mutation() {
+        let mut s = Storage::new();
+        assert_eq!(s.epoch(), 0);
+        s.create_table(dept_def()).unwrap();
+        let e1 = s.epoch();
+        assert!(e1 > 0, "DDL bumps the epoch");
+        s.insert("Department", vec![Value::Int(1), Value::str("R&D")])
+            .unwrap();
+        let e2 = s.epoch();
+        assert!(e2 > e1, "DML bumps the epoch");
+        // Failed mutations leave the epoch (and data) untouched.
+        assert!(s
+            .insert("Department", vec![Value::Int(1), Value::str("dup")])
+            .is_err());
+        assert_eq!(s.epoch(), e2);
+        assert!(s.insert("NoSuchTable", vec![Value::Int(1)]).is_err());
+        assert_eq!(s.epoch(), e2);
+        // A no-op delete commits nothing and keeps the epoch.
+        let deleted = s.delete("Department", Some(&Expr::lit(false))).unwrap();
+        assert_eq!((deleted, s.epoch()), (0, e2));
+        // Reads never move it.
+        let _ = s.table_data("Department");
+        let mut cur = s.open_scan("Department").unwrap();
+        while cur.next_batch().unwrap().is_some() {}
+        assert_eq!(s.epoch(), e2);
+        // A clone carries the epoch it was taken at and diverges after.
+        let snap = s.clone();
+        s.delete("Department", None).unwrap();
+        assert_eq!(snap.epoch(), e2);
+        assert!(s.epoch() > e2);
+        assert_eq!(snap.table_data("Department").map(Table::len), Some(1));
+        assert_eq!(s.table_data("Department").map(Table::len), Some(0));
     }
 
     #[test]

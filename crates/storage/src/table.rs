@@ -2,6 +2,7 @@
 //! hash indexes over declared keys.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use gbj_types::{Error, GroupKey, Result, Schema, Value};
 
@@ -24,14 +25,23 @@ struct KeyIndex {
     columns: Vec<usize>,
     /// Whether NULLs are allowed in the key (UNIQUE yes, PRIMARY KEY no).
     allows_null: bool,
-    entries: HashSet<GroupKey>,
+    /// `Arc`-shared so cloning a table for a snapshot is O(1) per
+    /// index; mutation goes through `Arc::make_mut` (copy-on-write).
+    entries: Arc<HashSet<GroupKey>>,
 }
 
 /// An in-memory base table.
-#[derive(Debug, Clone)]
+///
+/// Rows and key-index entries live behind `Arc`s, so [`Table::clone`]
+/// (and hence a whole-database snapshot) is O(tables), not O(rows):
+/// a clone shares the row storage, and the first mutation after a
+/// snapshot pays a one-time copy-on-write of the mutated table only.
+/// Snapshots therefore never observe torn state — they hold the exact
+/// row vector that existed when they were taken.
+#[derive(Debug)]
 pub struct Table {
     schema: Schema,
-    rows: Vec<Row>,
+    rows: Arc<Vec<Row>>,
     next_row_id: u64,
     /// Bumped on every mutation; invalidates lazy lookup sets.
     generation: u64,
@@ -40,6 +50,22 @@ pub struct Table {
     /// referenced column ordinals, tagged with the generation they were
     /// built at. Built lazily, maintained incrementally on insert.
     ref_lookups: HashMap<Vec<usize>, (u64, HashSet<GroupKey>)>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            rows: Arc::clone(&self.rows),
+            next_row_id: self.next_row_id,
+            generation: self.generation,
+            key_indexes: self.key_indexes.clone(),
+            // The lazy FK-lookup cache is not carried across clones: a
+            // stale generation tag would force a rebuild anyway, and
+            // dropping it keeps snapshots cheap.
+            ref_lookups: HashMap::new(),
+        }
+    }
 }
 
 /// Clone the value at column ordinal `c`, treating a (never-expected)
@@ -57,7 +83,7 @@ impl Table {
     pub fn new(schema: Schema) -> Table {
         Table {
             schema,
-            rows: Vec::new(),
+            rows: Arc::new(Vec::new()),
             next_row_id: 0,
             generation: 0,
             key_indexes: Vec::new(),
@@ -71,7 +97,7 @@ impl Table {
         self.key_indexes.push(KeyIndex {
             columns,
             allows_null,
-            entries: HashSet::new(),
+            entries: Arc::new(HashSet::new()),
         });
     }
 
@@ -138,7 +164,7 @@ impl Table {
         for idx in &mut self.key_indexes {
             let key_vals: Vec<Value> = idx.columns.iter().map(|&c| val_at(&values, c)).collect();
             if !key_vals.iter().any(Value::is_null) {
-                idx.entries.insert(GroupKey(key_vals));
+                Arc::make_mut(&mut idx.entries).insert(GroupKey(key_vals));
             }
         }
         self.generation += 1;
@@ -152,7 +178,9 @@ impl Table {
         }
         let id = self.next_row_id;
         self.next_row_id += 1;
-        self.rows.push(Row { row_id: id, values });
+        // Copy-on-write: the first push after a snapshot copies the row
+        // vector; snapshots keep reading the old one untouched.
+        Arc::make_mut(&mut self.rows).push(Row { row_id: id, values });
         id
     }
 
@@ -161,24 +189,24 @@ impl Table {
     /// their RowIDs; `next_row_id` never goes backwards, so IDs are
     /// never reused.
     pub(crate) fn replace_rows(&mut self, rows: Vec<Row>) {
-        for idx in &mut self.key_indexes {
-            idx.entries.clear();
-        }
         self.ref_lookups.clear();
-        for row in &rows {
-            for idx in &mut self.key_indexes {
+        for idx in &mut self.key_indexes {
+            let mut entries = HashSet::new();
+            for row in &rows {
                 let key_vals: Vec<Value> = idx
                     .columns
                     .iter()
                     .map(|&c| val_at(&row.values, c))
                     .collect();
                 if !key_vals.iter().any(Value::is_null) {
-                    idx.entries.insert(GroupKey(key_vals));
+                    entries.insert(GroupKey(key_vals));
                 }
             }
+            // Fresh Arcs: snapshots holding the old sets are unaffected.
+            idx.entries = Arc::new(entries);
         }
         self.generation += 1;
-        self.rows = rows;
+        self.rows = Arc::new(rows);
     }
 
     /// Key-uniqueness check over an arbitrary candidate row multiset
@@ -229,7 +257,7 @@ impl Table {
             // (Re)build for the current generation; push() maintains it
             // incrementally afterwards.
             set.clear();
-            for row in &self.rows {
+            for row in self.rows.iter() {
                 let vals: Vec<Value> = columns.iter().map(|&c| val_at(&row.values, c)).collect();
                 if !vals.iter().any(Value::is_null) {
                     set.insert(GroupKey(vals));
@@ -308,6 +336,23 @@ mod tests {
         // Composite lookup.
         assert!(t.contains_key_value(&[0, 1], &[Value::Int(2), Value::Int(20)]));
         assert!(!t.contains_key_value(&[0, 1], &[Value::Int(2), Value::Int(99)]));
+    }
+
+    #[test]
+    fn clone_is_a_stable_snapshot() {
+        let mut t = Table::new(schema());
+        t.add_key_index(vec![0], false);
+        t.push(vec![Value::Int(1), Value::Null]);
+        let mut snap = t.clone();
+        // Writer-side mutations are invisible to the snapshot...
+        t.push(vec![Value::Int(2), Value::Null]);
+        t.replace_rows(Vec::new());
+        assert_eq!(snap.len(), 1);
+        assert_eq!(t.len(), 0);
+        // ...including its key index and (rebuilt) FK lookup sets.
+        assert!(snap.check_keys(&[Value::Int(1), Value::Null]).is_err());
+        assert!(snap.contains_key_value(&[0], &[Value::Int(1)]));
+        assert!(t.check_keys(&[Value::Int(1), Value::Null]).is_ok());
     }
 
     #[test]

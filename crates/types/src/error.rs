@@ -41,6 +41,27 @@ pub enum Error {
         /// The observed usage when the guard fired.
         used: u64,
     },
+    /// The query was cancelled cooperatively (client disconnect, session
+    /// close, explicit cancel). Never carries a partial result.
+    Cancelled,
+    /// The query's wall-clock deadline expired before it finished.
+    ///
+    /// Distinct from [`Error::ResourceExhausted`] with
+    /// [`ResourceKind::Time`]: a deadline is an absolute point in time
+    /// set by the *session* (and keeps ticking while the query waits in
+    /// the admission queue), while a time budget only meters execution.
+    DeadlineExceeded {
+        /// The configured deadline, in milliseconds from query start.
+        budget_ms: u64,
+        /// Elapsed wall-clock milliseconds when the guard fired.
+        elapsed_ms: u64,
+    },
+    /// The server shed this query at admission because it is saturated
+    /// (active-slot cap reached and the wait queue is full).
+    Overloaded {
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_hint_ms: u64,
+    },
 }
 
 /// The resource dimension a [`Error::ResourceExhausted`] refers to.
@@ -101,6 +122,9 @@ impl Error {
             Error::Unsupported(_) => "unsupported",
             Error::Internal(_) => "internal",
             Error::ResourceExhausted { .. } => "resource",
+            Error::Cancelled => "cancelled",
+            Error::DeadlineExceeded { .. } => "deadline",
+            Error::Overloaded { .. } => "overloaded",
         }
     }
 
@@ -120,7 +144,24 @@ impl Error {
             // No owned String to borrow: the static description stands
             // in; `Display` renders limit/used in full.
             Error::ResourceExhausted { kind, .. } => kind.describe(),
+            Error::Cancelled => "query cancelled",
+            Error::DeadlineExceeded { .. } => "deadline exceeded",
+            Error::Overloaded { .. } => "server overloaded, retry later",
         }
+    }
+
+    /// Whether the error is a load-management outcome (shed, cancelled,
+    /// timed out, or over budget) rather than a defect in the query or
+    /// the engine — the class a client may transparently retry.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::Cancelled
+                | Error::DeadlineExceeded { .. }
+                | Error::Overloaded { .. }
+                | Error::ResourceExhausted { .. }
+        )
     }
 }
 
@@ -132,6 +173,19 @@ impl fmt::Display for Error {
                 "resource error: {} (limit {limit} {u}, used {used} {u})",
                 kind.describe(),
                 u = kind.unit()
+            ),
+            Error::DeadlineExceeded {
+                budget_ms,
+                elapsed_ms,
+            } => write!(
+                f,
+                "deadline error: deadline exceeded (budget {budget_ms} ms, elapsed {elapsed_ms} ms)"
+            ),
+            Error::Overloaded {
+                retry_after_hint_ms,
+            } => write!(
+                f,
+                "overloaded error: server overloaded, retry later (retry after {retry_after_hint_ms} ms)"
             ),
             _ => write!(f, "{} error: {}", self.kind(), self.message()),
         }
@@ -191,6 +245,43 @@ mod tests {
             used: 9,
         };
         assert!(t.to_string().contains("limit 5 ms"));
+    }
+
+    #[test]
+    fn serving_error_shapes() {
+        let c = Error::Cancelled;
+        assert_eq!(c.kind(), "cancelled");
+        assert_eq!(c.message(), "query cancelled");
+        assert_eq!(c.to_string(), "cancelled error: query cancelled");
+        assert!(c.is_retryable());
+
+        let d = Error::DeadlineExceeded {
+            budget_ms: 50,
+            elapsed_ms: 61,
+        };
+        assert_eq!(d.kind(), "deadline");
+        assert_eq!(
+            d.to_string(),
+            "deadline error: deadline exceeded (budget 50 ms, elapsed 61 ms)"
+        );
+        assert!(d.is_retryable());
+
+        let o = Error::Overloaded {
+            retry_after_hint_ms: 25,
+        };
+        assert_eq!(o.kind(), "overloaded");
+        assert_eq!(
+            o.to_string(),
+            "overloaded error: server overloaded, retry later (retry after 25 ms)"
+        );
+        assert!(o.is_retryable());
+        assert!(!Error::Parse("x".into()).is_retryable());
+        assert!(Error::ResourceExhausted {
+            kind: ResourceKind::Rows,
+            limit: 1,
+            used: 2
+        }
+        .is_retryable());
     }
 
     #[test]

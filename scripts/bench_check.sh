@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# Compare a freshly generated vectorized_sweep JSON against the
-# committed BENCH_vectorized.json baseline.
+# Compare a freshly generated sweep JSON against its committed
+# baseline.
 #
 # Usage: scripts/bench_check.sh <generated.json> [baseline.json]
 #
-# Policy (CI bench-smoke job):
+# Two formats, auto-detected from the baseline's "experiment" field:
+#   x15     (BENCH_vectorized.json) — compares per-workload `speedup`;
+#   serving (BENCH_serving.json)    — compares per-cell `qps` and
+#                                     `p99_ms` for every clients×shed
+#                                     combination of serve_sweep.
+#
+# Policy (CI bench-smoke / serving jobs):
 #   - parse failure / missing workload  -> hard fail (exit 1): the
 #     bench output format regressed, which is a real bug;
-#   - per-workload speedup deviating more than ±30% from the baseline
+#   - a metric deviating more than ±30% from the baseline
 #     -> advisory warning, exit 0: absolute timings on shared CI boxes
 #     are too noisy to gate merges on, but the drift is surfaced in
 #     the job log for a human to look at.
@@ -28,31 +34,50 @@ if [[ ! -f "$baseline" ]]; then
   exit 1
 fi
 
-# Extract `speedup` for a workload from one of our JSON files (one
-# object per line, hand-rolled format — see vectorized_sweep.rs).
-speedup_of() { # file workload
+# Extract a numeric metric for a workload from one of our JSON files
+# (one object per line, hand-rolled format — see vectorized_sweep.rs /
+# serve_sweep.rs).
+metric_of() { # file workload metric
   grep -o "\"workload\":\"$2\"[^}]*" "$1" |
-    sed -n 's/.*"speedup":\([0-9.]*\).*/\1/p' | head -1
+    sed -n "s/.*\"$3\":\\([0-9.]*\\).*/\\1/p" | head -1
+}
+
+# Report one metric's drift: parse failure sets status=1, drift beyond
+# ±30% prints an advisory warning.
+check_metric() { # workload metric unit
+  local workload="$1" metric="$2" unit="$3" base new
+  base=$(metric_of "$baseline" "$workload" "$metric")
+  new=$(metric_of "$generated" "$workload" "$metric")
+  if [[ -z "$base" || -z "$new" ]]; then
+    echo "bench_check: FAIL — could not parse $metric for '$workload'" \
+      "(baseline='$base' generated='$new')" >&2
+    status=1
+    return
+  fi
+  awk -v b="$base" -v n="$new" -v w="$workload" -v m="$metric" -v u="$unit" 'BEGIN {
+    dev = (b == 0) ? 0 : (n - b) / b * 100
+    printf "bench_check: %-22s %-7s baseline=%.3f%s generated=%.3f%s (%+.1f%%)\n", w, m, b, u, n, u, dev
+    if (dev > 30 || dev < -30) {
+      printf "bench_check: WARNING — %s %s drifted more than +/-30%% from the committed baseline\n", w, m
+    }
+  }'
 }
 
 status=0
-for workload in filter_kernel end_to_end; do
-  base=$(speedup_of "$baseline" "$workload")
-  new=$(speedup_of "$generated" "$workload")
-  if [[ -z "$base" || -z "$new" ]]; then
-    echo "bench_check: FAIL — could not parse speedup for '$workload'" \
-      "(baseline='$base' generated='$new')" >&2
-    status=1
-    continue
-  fi
-  awk -v b="$base" -v n="$new" -v w="$workload" 'BEGIN {
-    dev = (n - b) / b * 100
-    printf "bench_check: %-14s baseline=%.3fx generated=%.3fx (%+.1f%%)\n", w, b, n, dev
-    if (dev > 30 || dev < -30) {
-      printf "bench_check: WARNING — %s speedup drifted more than +/-30%% from the committed baseline\n", w
-    }
-  }'
-done
+if grep -q '"experiment":"serving"' "$baseline"; then
+  # serve_sweep format: every clients×shed cell, QPS and p99.
+  for clients in 1 4 16; do
+    for shed in off on; do
+      workload="clients=$clients shed=$shed"
+      check_metric "$workload" qps ""
+      check_metric "$workload" p99_ms ms
+    done
+  done
+else
+  for workload in filter_kernel end_to_end; do
+    check_metric "$workload" speedup x
+  done
+fi
 
 if [[ $status -ne 0 ]]; then
   exit 1

@@ -36,6 +36,20 @@ done
 # that fingerprint them.
 GBJ_TEST_VECTORIZED=1 GBJ_TEST_THREADS=4 cargo test -q \
   --test parallel_differential --test equivalence_prop --test explain_golden
+# Serving layer: the chaos differential (sessions, snapshot reads,
+# deadlines, admission control) at every thread x vectorized
+# combination — committed results must be byte-identical to the serial
+# replay in all four configurations.
+for t in 1 4; do
+  for v in 0 1; do
+    GBJ_TEST_THREADS=$t GBJ_TEST_VECTORIZED=$v cargo test -q --test serving_differential
+  done
+done
+# Serving sweep smoke at CI size, compared (advisory) against the
+# committed BENCH_serving.json baseline; parse failures are hard.
+GBJ_BENCH_SMALL=1 cargo run --release -q -p gbj-bench --bin serve_sweep > /tmp/gbj_serve_sweep.txt
+sed -n '/^\[$/,/^\]$/p' /tmp/gbj_serve_sweep.txt > /tmp/gbj_serving.json
+scripts/bench_check.sh /tmp/gbj_serving.json BENCH_serving.json
 # Smoke the estimate-vs-actual audit sweep (JSON to stdout).
 cargo run --release -q -p gbj-bench --bin cardinality_audit > /dev/null
 # Smoke the row-vs-vectorized sweep at CI size; it self-checks that

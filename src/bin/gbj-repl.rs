@@ -1,4 +1,8 @@
-//! A small interactive shell for the `gbj` engine.
+//! A small interactive shell for the `gbj` engine, running through the
+//! concurrent serving layer (`gbj-server`): every SELECT is an
+//! admitted snapshot read with the session's deadline attached, every
+//! write runs on the serialised write path, and prepared plans come
+//! from the bound-plan cache.
 //!
 //! ```text
 //! cargo run --bin gbj-repl                  # interactive
@@ -12,16 +16,39 @@
 //! * `\tables` — list tables and views
 //! * `\policy cost|eager|lazy` — set the pushdown policy
 //! * `\threads n` — set the executor worker-thread count
+//! * `\timeout <ms>|off` — set (or clear) this session's query deadline
 //! * `\metrics` — timings, estimate-vs-actual audit and operator
 //!   counters of the most recent query
+//! * `\sessions` — server counters: sessions, admitted/shed/cancelled/
+//!   deadline-exceeded queries, plan-cache hits, snapshot refreshes
 //! * `\lint SELECT …` — run the static analyzer over a query without
 //!   executing it (same diagnostics as `EXPLAIN (LINT)`)
 //! * `\help` — this text
 
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
-use gbj::engine::{PushdownPolicy, QueryOutput};
-use gbj::Database;
+use gbj::engine::{PushdownPolicy, QueryMetrics, QueryOutput};
+use gbj::server::{Server, ServerConfig, Session};
+
+struct Repl {
+    server: Server,
+    session: Session,
+    /// Metrics of the most recent session read (`\metrics`).
+    last: Option<QueryMetrics>,
+}
+
+impl Repl {
+    fn new() -> Repl {
+        let server = Server::new(ServerConfig::default().with_plan_cache(32));
+        let session = server.connect();
+        Repl {
+            server,
+            session,
+            last: None,
+        }
+    }
+}
 
 fn print_output(out: &QueryOutput) {
     match out {
@@ -32,8 +59,32 @@ fn print_output(out: &QueryOutput) {
     }
 }
 
-fn run_buffer(db: &mut Database, sql: &str) {
-    match db.run_script(sql) {
+/// True when the buffer is one bare SELECT (no trailing second
+/// statement) that can take the session's snapshot-read path.
+fn is_single_select(sql: &str) -> bool {
+    let body = sql.trim().trim_end_matches(';');
+    !body.contains(';')
+        && body
+            .trim_start()
+            .get(..6)
+            .is_some_and(|p| p.eq_ignore_ascii_case("select"))
+}
+
+fn run_buffer(state: &mut Repl, sql: &str) {
+    if is_single_select(sql) {
+        match state.session.query(sql.trim().trim_end_matches(';')) {
+            Ok(resp) => {
+                println!("{}", resp.rows);
+                if resp.cache_hit {
+                    println!("(cached plan, epoch {})", resp.epoch);
+                }
+                state.last = Some(resp.metrics);
+            }
+            Err(e) => eprintln!("{e}"),
+        }
+        return;
+    }
+    match state.session.run(sql) {
         Ok(outputs) => {
             for out in outputs {
                 print_output(&out);
@@ -43,7 +94,7 @@ fn run_buffer(db: &mut Database, sql: &str) {
     }
 }
 
-fn handle_meta(db: &mut Database, line: &str) -> bool {
+fn handle_meta(state: &mut Repl, line: &str) -> bool {
     let mut parts = line.split_whitespace();
     match parts.next() {
         Some("\\q") | Some("\\quit") => return false,
@@ -52,38 +103,65 @@ fn handle_meta(db: &mut Database, line: &str) -> bool {
                 "statements end with ';'. SELECT / INSERT / UPDATE / DELETE / \
                  CREATE TABLE|DOMAIN|VIEW|ASSERTION / DROP / EXPLAIN [ANALYZE] [(LINT)].\n\
                  \\q quit | \\tables list | \\policy cost|eager|lazy | \\threads n | \
-                 \\metrics last-query metrics | \\lint SELECT … analyze without running"
+                 \\timeout ms|off session deadline | \\metrics last-query metrics | \
+                 \\sessions server counters | \\lint SELECT … analyze without running"
             );
         }
-        Some("\\metrics") => match db.last_query_metrics() {
+        Some("\\metrics") => match &state.last {
             Some(m) => print!("{}", m.render()),
-            None => println!("no query has run yet"),
+            None => println!("no session read has run yet"),
+        },
+        Some("\\sessions") => print!("{}", state.server.metrics().render()),
+        Some("\\timeout") => match parts.next() {
+            Some("off") => {
+                state.session.set_timeout(None);
+                println!("session timeout off");
+            }
+            Some(ms) => match ms.parse::<u64>() {
+                Ok(ms) => {
+                    state.session.set_timeout(Some(Duration::from_millis(ms)));
+                    println!("session timeout = {ms} ms");
+                }
+                Err(_) => eprintln!("usage: \\timeout <milliseconds>|off"),
+            },
+            None => match state.session.timeout() {
+                Some(t) => println!("session timeout = {} ms", t.as_millis()),
+                None => println!("session timeout off"),
+            },
         },
         Some("\\lint") => {
             let rest = line["\\lint".len()..].trim().trim_end_matches(';');
             if rest.is_empty() {
                 eprintln!("usage: \\lint SELECT …");
             } else {
-                match db.lint_select(rest) {
+                match state.server.with_snapshot(|db| db.lint_select(rest)) {
                     Ok(report) => print!("{}", report.render_text()),
                     Err(e) => eprintln!("{e}"),
                 }
             }
         }
         Some("\\tables") => {
-            for t in db.catalog().tables() {
-                println!("table {} ({} columns)", t.name, t.columns.len());
-            }
+            state.server.with_snapshot(|db| {
+                for t in db.catalog().tables() {
+                    println!("table {} ({} columns)", t.name, t.columns.len());
+                }
+            });
         }
         Some("\\policy") => match parts.next() {
-            Some("cost") => db.options_mut().policy = PushdownPolicy::CostBased,
-            Some("eager") => db.options_mut().policy = PushdownPolicy::Always,
-            Some("lazy") => db.options_mut().policy = PushdownPolicy::Never,
+            Some("cost") => state
+                .server
+                .reconfigure(|db| db.options_mut().policy = PushdownPolicy::CostBased),
+            Some("eager") => state
+                .server
+                .reconfigure(|db| db.options_mut().policy = PushdownPolicy::Always),
+            Some("lazy") => state
+                .server
+                .reconfigure(|db| db.options_mut().policy = PushdownPolicy::Never),
             other => eprintln!("unknown policy {other:?} (cost|eager|lazy)"),
         },
         Some("\\threads") => match parts.next().and_then(|n| n.parse().ok()) {
             Some(n) => {
-                db.set_threads(n);
+                state.server.reconfigure(|db| db.set_threads(n));
                 println!("executor threads = {n}");
             }
             None => eprintln!("usage: \\threads <positive integer>"),
@@ -94,7 +172,7 @@ fn handle_meta(db: &mut Database, line: &str) -> bool {
 }
 
 fn main() {
-    let mut db = Database::new();
+    let mut state = Repl::new();
     println!("gbj — group-by before join (Yan & Larson, ICDE 1994). \\help for help.");
 
     let mut args = std::env::args().skip(1);
@@ -102,7 +180,7 @@ fn main() {
         if arg == "--threads" {
             match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) => {
-                    db.set_threads(n);
+                    state.server.reconfigure(|db| db.set_threads(n));
                     println!("executor threads = {n}");
                 }
                 None => eprintln!("usage: --threads <positive integer>"),
@@ -112,7 +190,7 @@ fn main() {
         match std::fs::read_to_string(&arg) {
             Ok(sql) => {
                 println!("-- running {arg}");
-                run_buffer(&mut db, &sql);
+                run_buffer(&mut state, &sql);
             }
             Err(e) => eprintln!("cannot read {arg}: {e}"),
         }
@@ -139,7 +217,7 @@ fn main() {
         }
         let trimmed = line.trim();
         if buffer.trim().is_empty() && trimmed.starts_with('\\') {
-            if !handle_meta(&mut db, trimmed) {
+            if !handle_meta(&mut state, trimmed) {
                 break;
             }
             continue;
@@ -147,7 +225,7 @@ fn main() {
         buffer.push_str(&line);
         if trimmed.ends_with(';') {
             let sql = std::mem::take(&mut buffer);
-            run_buffer(&mut db, &sql);
+            run_buffer(&mut state, &sql);
         }
     }
 }

@@ -21,6 +21,7 @@ pub use gbj_expr as expr;
 pub use gbj_fd as fd;
 pub use gbj_optimizer as optimizer;
 pub use gbj_plan as plan;
+pub use gbj_server as server;
 pub use gbj_sql as sql;
 pub use gbj_storage as storage;
 pub use gbj_types as types;

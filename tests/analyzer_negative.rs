@@ -171,3 +171,74 @@ fn shipped_corpus_matches_expectations() {
         "counterexamples document refusals; none is an engine invariant break"
     );
 }
+
+/// Serving-layer counterexample (corpus/unguarded_execution.sql): a
+/// query that actually ran — it has an execution profile — but whose
+/// guard carried neither a resource budget nor a deadline must be
+/// flagged GBJ405 (warning), and attaching either one silences it.
+#[test]
+fn unguarded_profiled_run_is_gbj405() {
+    use gbj::analyze::Analysis;
+    use gbj::exec::{ExecOptions, ResourceLimits};
+
+    let corpus = std::fs::read_to_string("corpus/unguarded_execution.sql").unwrap();
+    let without_comments: String = corpus
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("--"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let select = without_comments
+        .split(';')
+        .map(str::trim)
+        .find(|s| s.to_ascii_uppercase().starts_with("SELECT"))
+        .expect("corpus file ends with a SELECT")
+        .to_string();
+
+    let mut db = Database::new();
+    db.run_script(&corpus).unwrap();
+    let (_rows, profile, report) = db.query_report(&select).unwrap();
+
+    // The default engine runs unlimited; a profiled run with no
+    // deadline either is exactly the unguarded case.
+    let unguarded = ExecOptions::default();
+    assert!(unguarded.limits.is_unlimited());
+    let mut analysis = Analysis::new("corpus/unguarded_execution.sql");
+    analysis.check_execution(&report.plan, &unguarded, Some(&profile), false);
+    assert_eq!(analysis.report().codes(), vec![Code::UnguardedExecution]);
+    assert!(
+        analysis.report().has_severity(Severity::Warning),
+        "GBJ405 is a warning:\n{}",
+        analysis.report().render_text()
+    );
+    assert!(
+        !analysis.report().has_severity(Severity::Error),
+        "GBJ405 must not be an error:\n{}",
+        analysis.report().render_text()
+    );
+
+    // A session deadline counts as a budget: the serving layer always
+    // attaches one, so the same profile lints clean.
+    let mut analysis = Analysis::new("corpus/unguarded_execution.sql");
+    analysis.check_execution(&report.plan, &unguarded, Some(&profile), true);
+    assert!(
+        analysis.report().is_empty(),
+        "deadline silences GBJ405:\n{}",
+        analysis.report().render_text()
+    );
+
+    // So does any real ResourceLimits budget.
+    let bounded = ExecOptions {
+        limits: ResourceLimits {
+            max_rows: Some(1_000_000),
+            ..ResourceLimits::default()
+        },
+        ..ExecOptions::default()
+    };
+    let mut analysis = Analysis::new("corpus/unguarded_execution.sql");
+    analysis.check_execution(&report.plan, &bounded, Some(&profile), false);
+    assert!(
+        analysis.report().is_empty(),
+        "a row budget silences GBJ405:\n{}",
+        analysis.report().render_text()
+    );
+}
