@@ -21,10 +21,11 @@
 //!   operator that produced rows recorded an all-zero
 //!   [`OperatorMetrics`]: its sink is not wired.
 //! * **GBJ402** (error) — an operator claims vectorized kernel
-//!   invocations (`metrics.vectors > 0`) on a filter predicate that
-//!   falls outside the error-free vectorization rule (DESIGN.md §11,
-//!   [`gbj_exec::vectorizable`]): the claim cannot be honest, or the
-//!   kernel ran on an expression that can raise mid-batch.
+//!   invocations (`metrics.vectors > 0`) on a filter predicate or a
+//!   projection expression that falls outside the error-free
+//!   vectorization rule (DESIGN.md §11, [`gbj_exec::vectorizable`]):
+//!   the claim cannot be honest, or the kernel ran on an expression
+//!   that can raise mid-batch.
 
 use gbj_exec::{vectorizable, ExecOptions, ProfileNode};
 use gbj_plan::LogicalPlan;
@@ -123,25 +124,53 @@ fn walk(
     }
 
     if m.vectors > 0 {
-        if let LogicalPlan::Filter { predicate, .. } = plan {
-            let honest = input_schema_of(plan)
-                .ok()
-                .and_then(|s| predicate.bind(&s).ok())
-                .is_some_and(|bound| vectorizable(&bound));
-            if !honest {
-                report.push(
-                    Diagnostic::new(
-                        Code::BogusVectorizationClaim,
-                        format!(
-                            "filter claims {} vectorized kernel invocation(s) but its \
-                             predicate `{predicate}` is outside the error-free \
-                             vectorization rule (DESIGN.md §11)",
-                            m.vectors
-                        ),
-                    )
-                    .at(path.clone()),
-                );
+        match plan {
+            LogicalPlan::Filter { predicate, .. } => {
+                let honest = input_schema_of(plan)
+                    .ok()
+                    .and_then(|s| predicate.bind(&s).ok())
+                    .is_some_and(|bound| vectorizable(&bound));
+                if !honest {
+                    report.push(
+                        Diagnostic::new(
+                            Code::BogusVectorizationClaim,
+                            format!(
+                                "filter claims {} vectorized kernel invocation(s) but its \
+                                 predicate `{predicate}` is outside the error-free \
+                                 vectorization rule (DESIGN.md §11)",
+                                m.vectors
+                            ),
+                        )
+                        .at(path.clone()),
+                    );
+                }
             }
+            LogicalPlan::Project { exprs, .. } => {
+                // The batch-native pipeline (and the chunked row-path
+                // kernels) only run projection column-at-a-time when
+                // *every* output expression is in the error-free
+                // subset; one arithmetic expression poisons the claim.
+                let dishonest = input_schema_of(plan).ok().and_then(|s| {
+                    exprs
+                        .iter()
+                        .find(|(e, _)| !e.bind(&s).ok().is_some_and(|bound| vectorizable(&bound)))
+                });
+                if let Some((expr, _)) = dishonest {
+                    report.push(
+                        Diagnostic::new(
+                            Code::BogusVectorizationClaim,
+                            format!(
+                                "projection claims {} vectorized kernel invocation(s) but \
+                                 its expression `{expr}` is outside the error-free \
+                                 vectorization rule (DESIGN.md §11)",
+                                m.vectors
+                            ),
+                        )
+                        .at(path.clone()),
+                    );
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -262,6 +291,38 @@ mod tests {
                 .eq(Expr::lit(2i64)),
         };
         let r = check_execution(&plan, &bounded(), Some(&profile_for_filter(3)), false);
+        assert_eq!(r.codes(), vec![Code::BogusVectorizationClaim]);
+    }
+
+    fn project_plan(expr: Expr) -> LogicalPlan {
+        LogicalPlan::Project {
+            input: Box::new(scan()),
+            exprs: vec![(expr, "out".into())],
+            distinct: false,
+        }
+    }
+
+    fn profile_for_project(vectors: u64) -> ProfileNode {
+        let scan_node =
+            ProfileNode::new("Scan: T", "Scan", 10, vec![]).with_metrics(metrics_with(0, 10));
+        ProfileNode::new("Project", "Project", 10, vec![scan_node])
+            .with_metrics(metrics_with(vectors, 10))
+    }
+
+    #[test]
+    fn vectorizable_projection_claim_is_honest() {
+        let plan = project_plan(Expr::col("T", "A").eq(Expr::lit(1i64)));
+        let r = check_execution(&plan, &bounded(), Some(&profile_for_project(2)), false);
+        assert!(r.is_empty(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn non_vectorizable_projection_claim_is_gbj402() {
+        // Arithmetic in an output expression is outside the error-free
+        // rule, so a vectors > 0 claim on the projection is bogus.
+        let plan =
+            project_plan(Expr::col("T", "A").binary(gbj_expr::BinaryOp::Add, Expr::lit(1i64)));
+        let r = check_execution(&plan, &bounded(), Some(&profile_for_project(2)), false);
         assert_eq!(r.codes(), vec![Code::BogusVectorizationClaim]);
     }
 

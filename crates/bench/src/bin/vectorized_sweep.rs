@@ -8,8 +8,11 @@
 //!    predicate evaluated row-at-a-time (`BoundExpr::eval_truth` per
 //!    row) and column-at-a-time (`ColumnarBatch::from_rows` +
 //!    `eval_truth_vec` per 1024-row chunk, batch construction included
-//!    in the timed region). The selection vectors are asserted
-//!    identical before any number is reported.
+//!    in the timed region). Both the truth vectors and the
+//!    late-materialized selection vectors (`filter_selection`, the form
+//!    the batch-native pipeline actually carries between operators) are
+//!    asserted identical to the row engine before any number is
+//!    reported.
 //! 2. **End-to-end** (secondary): the grouped-join sweep workload with
 //!    a filter, run through [`gbj_engine::Database`] with the
 //!    vectorized kernels off and on; results must be byte-identical.
@@ -27,7 +30,7 @@ use std::time::Instant;
 
 use gbj_datagen::SweepConfig;
 use gbj_engine::PushdownPolicy;
-use gbj_exec::{eval_truth_vec, ColumnarBatch};
+use gbj_exec::{eval_truth_vec, filter_selection, ColumnarBatch};
 use gbj_expr::{BinaryOp, BoundExpr, Expr};
 use gbj_types::{DataType, Field, Result, Schema, Truth, Value};
 
@@ -183,6 +186,26 @@ fn run() -> Result<()> {
         vec_truths, row_truths,
         "vectorized selection differs from the row engine"
     );
+    // The batch-native pipeline never materializes truth vectors: it
+    // carries selection vectors of surviving row ids between operators.
+    // Verify that late-materialized form against the row engine too.
+    let mut offset = 0u32;
+    for chunk in rows.chunks(CHUNK) {
+        let batch = ColumnarBatch::from_rows(chunk, schema.len())?;
+        let sel = filter_selection(&bound, &batch)?;
+        let expected: Vec<u32> = chunk
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| row_truths.get(offset as usize + i) == Some(&Truth::True))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(
+            sel, expected,
+            "late-materialized selection vector differs from the row engine \
+             at chunk offset {offset}"
+        );
+        offset += chunk.len() as u32;
+    }
 
     let row_ms = median_ms(&mut row_samples);
     let vec_ms = median_ms(&mut vec_samples);

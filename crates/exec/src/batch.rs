@@ -1,691 +1,20 @@
-//! Columnar batches: per-column typed vectors with validity bitmaps.
+//! Columnar batches — re-exported from [`gbj_storage::columnar`].
 //!
-//! A [`ColumnarBatch`] is the unit the vectorized kernels (see
-//! [`crate::vectorized`]) operate on. It is built from the same
-//! row-major `Vec<Vec<Value>>` batches the [`gbj_storage::ScanCursor`]
-//! produces, and converts back losslessly: `to_rows(from_rows(rows)) ==
-//! rows` for every input, including empty batches, single-row batches,
-//! and the short final batches a `FaultInjector` forces.
+//! The batch representation used to live here; it moved into the
+//! storage crate when [`gbj_storage::ScanCursor::next_columnar`] made
+//! the scan batch-native (no intermediate row vec), since the storage
+//! layer now *produces* [`ColumnarBatch`]es rather than merely feeding
+//! rows into them. This module stays as a re-export so executor code
+//! and downstream crates keep their `crate::batch::` / `gbj_exec::`
+//! paths.
 //!
-//! NULL handling follows the paper's split semantics: a validity bitmap
-//! records *where* NULLs are, and the kernels decide what a NULL means —
-//! `unknown` in a search condition (3VL), "equal to NULL" under the
-//! `=ⁿ` duplicate relation used for grouping keys.
-//!
-//! Columns whose non-NULL values are all of one type get a typed vector
-//! (`Int`/`Float`/`Bool`/`Str`); a type-mixed column falls back to a
-//! row-major [`ColumnVector::Mixed`] vector of [`Value`]s, which keeps
-//! the round-trip lossless without constraining the storage layer.
+//! See [`gbj_storage::columnar`] for the full module documentation:
+//! validity-bitmap NULL semantics (3VL search conditions vs the `=ⁿ`
+//! duplicate relation), the lossless `to_rows`/`from_rows` round-trip
+//! that the differential suites use as their oracle boundary, and the
+//! dictionary-encoded string columns ([`ColumnVector::Dict`], reserved
+//! [`NULL_CODE`]) that let `=ⁿ` group keys hash on `u32` codes.
 
-use gbj_types::{internal_err, Result, Value};
-
-/// A packed validity bitmap: bit `i` set means row `i` is non-NULL.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Bitmap {
-    words: Vec<u64>,
-    len: usize,
-}
-
-impl Bitmap {
-    /// A bitmap of `len` bits, all set to `valid`.
-    #[must_use]
-    pub fn new_all(len: usize, valid: bool) -> Bitmap {
-        let fill = if valid { u64::MAX } else { 0 };
-        Bitmap {
-            words: vec![fill; len.div_ceil(64)],
-            len,
-        }
-    }
-
-    /// Number of bits.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// Whether the bitmap is empty.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Bit `i`; out-of-range reads as `false` (invalid).
-    #[must_use]
-    pub fn get(&self, i: usize) -> bool {
-        if i >= self.len {
-            return false;
-        }
-        self.words
-            .get(i / 64)
-            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
-    }
-
-    /// Set bit `i` (no-op out of range).
-    pub fn set(&mut self, i: usize, valid: bool) {
-        if i >= self.len {
-            return;
-        }
-        if let Some(w) = self.words.get_mut(i / 64) {
-            if valid {
-                *w |= 1u64 << (i % 64);
-            } else {
-                *w &= !(1u64 << (i % 64));
-            }
-        }
-    }
-
-    /// Whether every bit is set — the kernels' fast-path check that
-    /// lets a NULL-free column skip per-element validity tests.
-    #[must_use]
-    pub fn all_valid(&self) -> bool {
-        self.count_valid() == self.len
-    }
-
-    /// Iterate the bits in order, word-at-a-time — much cheaper inside
-    /// kernel loops than calling [`Bitmap::get`] per element (no
-    /// per-element division or bounds check).
-    pub fn iter(&self) -> BitmapIter<'_> {
-        BitmapIter {
-            words: &self.words,
-            word: 0,
-            pos: 0,
-            len: self.len,
-        }
-    }
-
-    /// Number of set (valid) bits.
-    #[must_use]
-    pub fn count_valid(&self) -> usize {
-        // Bits past `len` in the last word may be set by `new_all`; mask
-        // them off before counting.
-        let mut total = 0usize;
-        for (wi, w) in self.words.iter().enumerate() {
-            let bits_here = (self.len - (wi * 64).min(self.len)).min(64);
-            let mask = if bits_here == 64 {
-                u64::MAX
-            } else {
-                (1u64 << bits_here) - 1
-            };
-            total += (w & mask).count_ones() as usize;
-        }
-        total
-    }
-}
-
-/// Word-at-a-time iterator over a [`Bitmap`]'s bits (see
-/// [`Bitmap::iter`]).
-#[derive(Debug)]
-pub struct BitmapIter<'a> {
-    words: &'a [u64],
-    word: u64,
-    pos: usize,
-    len: usize,
-}
-
-impl Iterator for BitmapIter<'_> {
-    type Item = bool;
-
-    #[inline]
-    fn next(&mut self) -> Option<bool> {
-        if self.pos >= self.len {
-            return None;
-        }
-        if self.pos.is_multiple_of(64) {
-            self.word = self.words.get(self.pos / 64).copied().unwrap_or(0);
-        }
-        let bit = self.word & 1 != 0;
-        self.word >>= 1;
-        self.pos += 1;
-        Some(bit)
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining = self.len - self.pos.min(self.len);
-        (remaining, Some(remaining))
-    }
-}
-
-impl ExactSizeIterator for BitmapIter<'_> {}
-
-/// One column of a [`ColumnarBatch`].
-///
-/// Typed variants store the raw values densely with a validity bitmap
-/// (invalid slots hold an arbitrary placeholder); `Mixed` keeps the
-/// original [`Value`]s for columns that mix value types, so conversion
-/// is lossless for every input the row engine accepts.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ColumnVector {
-    /// 64-bit integers.
-    Int {
-        /// Dense values (placeholder where invalid).
-        values: Vec<i64>,
-        /// Per-row validity.
-        validity: Bitmap,
-    },
-    /// 64-bit floats.
-    Float {
-        /// Dense values (placeholder where invalid).
-        values: Vec<f64>,
-        /// Per-row validity.
-        validity: Bitmap,
-    },
-    /// Booleans.
-    Bool {
-        /// Dense values (placeholder where invalid).
-        values: Vec<bool>,
-        /// Per-row validity.
-        validity: Bitmap,
-    },
-    /// Strings.
-    Str {
-        /// Dense values (placeholder where invalid).
-        values: Vec<String>,
-        /// Per-row validity.
-        validity: Bitmap,
-    },
-    /// Fallback for type-mixed columns: the original values, row-major.
-    Mixed {
-        /// The original values (NULLs included in-line).
-        values: Vec<Value>,
-    },
-}
-
-/// The type tag used to pick a typed vector for a column.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Tag {
-    Int,
-    Float,
-    Bool,
-    Str,
-}
-
-fn tag_of(v: &Value) -> Option<Tag> {
-    match v {
-        Value::Null => None,
-        Value::Int(_) => Some(Tag::Int),
-        Value::Float(_) => Some(Tag::Float),
-        Value::Bool(_) => Some(Tag::Bool),
-        Value::Str(_) => Some(Tag::Str),
-    }
-}
-
-impl ColumnVector {
-    /// Build a column from an iterator over its values.
-    ///
-    /// All non-NULL values of one type → typed vector with a validity
-    /// bitmap (an all-NULL or empty column becomes an all-invalid `Int`
-    /// vector); mixed types → [`ColumnVector::Mixed`].
-    pub fn from_values<'a, I>(values: I) -> ColumnVector
-    where
-        I: ExactSizeIterator<Item = &'a Value> + Clone,
-    {
-        // Single-pass construction: the tag comes from the first
-        // non-NULL value (stops early), and a type mismatch discovered
-        // while filling falls back to `Mixed` — same result as a full
-        // upfront scan, without a second Value-inspecting pass.
-        let n = values.len();
-        let Some(tag) = values.clone().find_map(tag_of) else {
-            // All-NULL or empty: a typed vector with no valid bits.
-            return ColumnVector::Int {
-                values: vec![0; n],
-                validity: Bitmap::new_all(n, false),
-            };
-        };
-        let mut validity = Bitmap::new_all(n, false);
-        let mixed = || ColumnVector::Mixed {
-            values: values.clone().cloned().collect(),
-        };
-        match tag {
-            Tag::Int => {
-                let mut out = Vec::with_capacity(n);
-                for (i, v) in values.clone().enumerate() {
-                    match v {
-                        Value::Int(x) => {
-                            validity.set(i, true);
-                            out.push(*x);
-                        }
-                        Value::Null => out.push(0),
-                        _ => return mixed(),
-                    }
-                }
-                ColumnVector::Int {
-                    values: out,
-                    validity,
-                }
-            }
-            Tag::Float => {
-                let mut out = Vec::with_capacity(n);
-                for (i, v) in values.clone().enumerate() {
-                    match v {
-                        Value::Float(x) => {
-                            validity.set(i, true);
-                            out.push(*x);
-                        }
-                        Value::Null => out.push(0.0),
-                        _ => return mixed(),
-                    }
-                }
-                ColumnVector::Float {
-                    values: out,
-                    validity,
-                }
-            }
-            Tag::Bool => {
-                let mut out = Vec::with_capacity(n);
-                for (i, v) in values.clone().enumerate() {
-                    match v {
-                        Value::Bool(x) => {
-                            validity.set(i, true);
-                            out.push(*x);
-                        }
-                        Value::Null => out.push(false),
-                        _ => return mixed(),
-                    }
-                }
-                ColumnVector::Bool {
-                    values: out,
-                    validity,
-                }
-            }
-            Tag::Str => {
-                let mut out = Vec::with_capacity(n);
-                for (i, v) in values.clone().enumerate() {
-                    match v {
-                        Value::Str(x) => {
-                            validity.set(i, true);
-                            out.push(x.clone());
-                        }
-                        Value::Null => out.push(String::new()),
-                        _ => return mixed(),
-                    }
-                }
-                ColumnVector::Str {
-                    values: out,
-                    validity,
-                }
-            }
-        }
-    }
-
-    /// Number of rows.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        match self {
-            ColumnVector::Int { values, .. } => values.len(),
-            ColumnVector::Float { values, .. } => values.len(),
-            ColumnVector::Bool { values, .. } => values.len(),
-            ColumnVector::Str { values, .. } => values.len(),
-            ColumnVector::Mixed { values } => values.len(),
-        }
-    }
-
-    /// Whether the column has no rows.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Whether row `i` is non-NULL (out of range reads as NULL).
-    #[must_use]
-    pub fn is_valid(&self, i: usize) -> bool {
-        match self {
-            ColumnVector::Int { validity, .. }
-            | ColumnVector::Float { validity, .. }
-            | ColumnVector::Bool { validity, .. }
-            | ColumnVector::Str { validity, .. } => validity.get(i),
-            ColumnVector::Mixed { values } => values.get(i).is_some_and(|v| !v.is_null()),
-        }
-    }
-
-    /// Reconstruct the [`Value`] at row `i` (NULL when invalid or out
-    /// of range). The reconstruction is exact: the value compares equal
-    /// (under `==`, including float bit patterns via the typed store)
-    /// to the one the column was built from.
-    #[must_use]
-    pub fn value(&self, i: usize) -> Value {
-        match self {
-            ColumnVector::Int { values, validity } => {
-                if validity.get(i) {
-                    values.get(i).copied().map_or(Value::Null, Value::Int)
-                } else {
-                    Value::Null
-                }
-            }
-            ColumnVector::Float { values, validity } => {
-                if validity.get(i) {
-                    values.get(i).copied().map_or(Value::Null, Value::Float)
-                } else {
-                    Value::Null
-                }
-            }
-            ColumnVector::Bool { values, validity } => {
-                if validity.get(i) {
-                    values.get(i).copied().map_or(Value::Null, Value::Bool)
-                } else {
-                    Value::Null
-                }
-            }
-            ColumnVector::Str { values, validity } => {
-                if validity.get(i) {
-                    values.get(i).map_or(Value::Null, |s| Value::Str(s.clone()))
-                } else {
-                    Value::Null
-                }
-            }
-            ColumnVector::Mixed { values } => values.get(i).cloned().unwrap_or(Value::Null),
-        }
-    }
-
-    /// Number of non-NULL rows.
-    #[must_use]
-    pub fn count_valid(&self) -> usize {
-        match self {
-            ColumnVector::Int { validity, .. }
-            | ColumnVector::Float { validity, .. }
-            | ColumnVector::Bool { validity, .. }
-            | ColumnVector::Str { validity, .. } => validity.count_valid(),
-            ColumnVector::Mixed { values } => values.iter().filter(|v| !v.is_null()).count(),
-        }
-    }
-}
-
-/// A column-major batch of rows: one [`ColumnVector`] per column.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ColumnarBatch {
-    columns: Vec<ColumnVector>,
-    len: usize,
-}
-
-impl ColumnarBatch {
-    /// Build a batch from row-major rows of the given arity (the arity
-    /// must be passed explicitly so an empty batch still knows its
-    /// width). Errors if any row has a different arity.
-    pub fn from_rows(rows: &[Vec<Value>], arity: usize) -> Result<ColumnarBatch> {
-        for (i, r) in rows.iter().enumerate() {
-            if r.len() != arity {
-                return Err(internal_err!(
-                    "columnar batch row {i} has arity {}, expected {arity}",
-                    r.len()
-                ));
-            }
-        }
-        let columns = (0..arity)
-            .map(|c| {
-                ColumnVector::from_values(
-                    rows.iter().map(move |r| r.get(c).unwrap_or(&Value::Null)),
-                )
-            })
-            .collect();
-        Ok(ColumnarBatch {
-            columns,
-            len: rows.len(),
-        })
-    }
-
-    /// Number of rows.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// Whether the batch has no rows.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Number of columns.
-    #[must_use]
-    pub fn arity(&self) -> usize {
-        self.columns.len()
-    }
-
-    /// Column `i`, or an internal error for a bad ordinal (a binder or
-    /// optimizer bug, mirroring the row engine's checked access).
-    pub fn column(&self, i: usize) -> Result<&ColumnVector> {
-        self.columns.get(i).ok_or_else(|| {
-            internal_err!(
-                "column ordinal {i} out of bounds for batch arity {}",
-                self.columns.len()
-            )
-        })
-    }
-
-    /// Reconstruct row `i` (a row of NULLs when out of range).
-    #[must_use]
-    pub fn row(&self, i: usize) -> Vec<Value> {
-        self.columns.iter().map(|c| c.value(i)).collect()
-    }
-
-    /// Convert back to row-major rows (the exact inverse of
-    /// [`ColumnarBatch::from_rows`]).
-    #[must_use]
-    pub fn to_rows(&self) -> Vec<Vec<Value>> {
-        (0..self.len).map(|i| self.row(i)).collect()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn round_trip(rows: &[Vec<Value>], arity: usize) {
-        let batch = ColumnarBatch::from_rows(rows, arity).unwrap();
-        assert_eq!(batch.len(), rows.len());
-        assert_eq!(batch.arity(), arity);
-        assert_eq!(batch.to_rows(), rows, "round-trip must be lossless");
-    }
-
-    #[test]
-    fn bitmap_set_get_count() {
-        let mut b = Bitmap::new_all(70, false);
-        assert_eq!(b.len(), 70);
-        assert_eq!(b.count_valid(), 0);
-        b.set(0, true);
-        b.set(63, true);
-        b.set(64, true);
-        b.set(69, true);
-        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(69));
-        assert!(!b.get(1));
-        assert!(!b.get(70), "out of range reads invalid");
-        assert_eq!(b.count_valid(), 4);
-        b.set(63, false);
-        assert!(!b.get(63));
-        assert_eq!(b.count_valid(), 3);
-        // new_all(true) must not count the padding bits of the last word.
-        let all = Bitmap::new_all(70, true);
-        assert_eq!(all.count_valid(), 70);
-    }
-
-    #[test]
-    fn empty_batch_round_trips() {
-        round_trip(&[], 0);
-        round_trip(&[], 3);
-        let batch = ColumnarBatch::from_rows(&[], 3).unwrap();
-        assert!(batch.is_empty());
-        assert_eq!(batch.arity(), 3);
-        assert_eq!(batch.column(0).unwrap().len(), 0);
-    }
-
-    #[test]
-    fn single_row_batch_round_trips() {
-        round_trip(
-            &[vec![
-                Value::Int(7),
-                Value::Null,
-                Value::str("x"),
-                Value::Float(1.5),
-                Value::Bool(true),
-            ]],
-            5,
-        );
-    }
-
-    #[test]
-    fn typed_columns_with_nulls_round_trip() {
-        let rows = vec![
-            vec![Value::Int(1), Value::str("a"), Value::Float(0.5)],
-            vec![Value::Null, Value::Null, Value::Float(-0.0)],
-            vec![Value::Int(-3), Value::str(""), Value::Null],
-        ];
-        round_trip(&rows, 3);
-        let batch = ColumnarBatch::from_rows(&rows, 3).unwrap();
-        assert!(matches!(batch.column(0).unwrap(), ColumnVector::Int { .. }));
-        assert!(matches!(batch.column(1).unwrap(), ColumnVector::Str { .. }));
-        assert!(matches!(
-            batch.column(2).unwrap(),
-            ColumnVector::Float { .. }
-        ));
-        assert_eq!(batch.column(0).unwrap().count_valid(), 2);
-        // -0.0 must come back as -0.0 (bit-exact), not 0.0.
-        if let Value::Float(f) = batch.column(2).unwrap().value(1) {
-            assert!(f.is_sign_negative());
-        } else {
-            panic!("expected float");
-        }
-    }
-
-    #[test]
-    fn nan_floats_round_trip_bit_exact() {
-        let rows = vec![vec![Value::Float(f64::NAN)], vec![Value::Float(2.0)]];
-        let batch = ColumnarBatch::from_rows(&rows, 1).unwrap();
-        if let Value::Float(f) = batch.column(0).unwrap().value(0) {
-            assert!(f.is_nan());
-        } else {
-            panic!("expected NaN float back");
-        }
-    }
-
-    #[test]
-    fn all_null_column_is_typed_and_all_invalid() {
-        let rows = vec![vec![Value::Null], vec![Value::Null]];
-        round_trip(&rows, 1);
-        let batch = ColumnarBatch::from_rows(&rows, 1).unwrap();
-        let col = batch.column(0).unwrap();
-        assert!(
-            matches!(col, ColumnVector::Int { .. }),
-            "all-NULL defaults to Int"
-        );
-        assert_eq!(col.count_valid(), 0);
-        assert!(!col.is_valid(0));
-    }
-
-    #[test]
-    fn mixed_type_column_falls_back_losslessly() {
-        let rows = vec![
-            vec![Value::Int(1)],
-            vec![Value::str("two")],
-            vec![Value::Null],
-            vec![Value::Bool(false)],
-        ];
-        round_trip(&rows, 1);
-        let batch = ColumnarBatch::from_rows(&rows, 1).unwrap();
-        assert!(matches!(
-            batch.column(0).unwrap(),
-            ColumnVector::Mixed { .. }
-        ));
-        assert_eq!(batch.column(0).unwrap().count_valid(), 3);
-    }
-
-    #[test]
-    fn bool_column_round_trips() {
-        let rows = vec![
-            vec![Value::Bool(true)],
-            vec![Value::Null],
-            vec![Value::Bool(false)],
-        ];
-        round_trip(&rows, 1);
-        let batch = ColumnarBatch::from_rows(&rows, 1).unwrap();
-        assert!(matches!(
-            batch.column(0).unwrap(),
-            ColumnVector::Bool { .. }
-        ));
-    }
-
-    #[test]
-    fn arity_mismatch_is_an_internal_error() {
-        let rows = vec![vec![Value::Int(1)], vec![Value::Int(1), Value::Int(2)]];
-        let err = ColumnarBatch::from_rows(&rows, 1).unwrap_err();
-        assert_eq!(err.kind(), "internal");
-        let err = ColumnarBatch::from_rows(&rows, 9).unwrap_err();
-        assert_eq!(err.kind(), "internal");
-    }
-
-    #[test]
-    fn bad_column_ordinal_is_an_internal_error() {
-        let batch = ColumnarBatch::from_rows(&[vec![Value::Int(1)]], 1).unwrap();
-        assert!(batch.column(0).is_ok());
-        assert_eq!(batch.column(1).unwrap_err().kind(), "internal");
-    }
-
-    #[test]
-    fn out_of_range_row_reads_as_nulls() {
-        let batch = ColumnarBatch::from_rows(&[vec![Value::Int(1), Value::str("a")]], 2).unwrap();
-        assert_eq!(batch.row(5), vec![Value::Null, Value::Null]);
-        assert_eq!(batch.column(0).unwrap().value(5), Value::Null);
-    }
-
-    /// Every batch shape the storage layer can emit — short final
-    /// batches, `batch_size = 1`, and fault-injected NULL flips —
-    /// converts to columnar form and back losslessly.
-    #[test]
-    fn scan_cursor_batches_round_trip_under_fault_injection() {
-        use gbj_catalog::{ColumnDef, TableDef};
-        use gbj_storage::{FaultConfig, FaultInjector, Storage};
-        use gbj_types::DataType;
-
-        let mut s = Storage::new();
-        s.create_table(TableDef::new(
-            "T",
-            vec![
-                ColumnDef::new("a", DataType::Int64),
-                ColumnDef::new("b", DataType::Utf8),
-            ],
-        ))
-        .unwrap();
-        for i in 0..23 {
-            let b = if i % 4 == 0 {
-                Value::Null
-            } else {
-                Value::str(format!("s{i}"))
-            };
-            s.insert("T", vec![Value::Int(i), b]).unwrap();
-        }
-
-        // batch_size 5 → four full batches and a short final batch of
-        // 3; NULL flips exercise validity bitmaps on both columns.
-        for (batch_size, flips) in [(5usize, None), (1, None), (7, Some(2u64)), (23, Some(1))] {
-            s.set_fault_injector(Some(FaultInjector::new(FaultConfig {
-                seed: 42,
-                batch_size: Some(batch_size),
-                null_flip_one_in: flips,
-                ..FaultConfig::default()
-            })));
-            let mut cursor = s.open_scan("T").unwrap();
-            let arity = cursor.arity();
-            assert_eq!(cursor.nullable().len(), arity);
-            let mut total = 0;
-            while let Some(rows) = cursor.next_batch().unwrap() {
-                assert!(rows.len() <= batch_size, "cursor honours batch size");
-                total += rows.len();
-                let batch = ColumnarBatch::from_rows(&rows, arity).unwrap();
-                assert_eq!(batch.to_rows(), rows, "batch_size={batch_size}");
-            }
-            assert_eq!(total, 23);
-        }
-
-        // The empty batch (empty table) round-trips too.
-        s.set_fault_injector(None);
-        let mut t = Storage::new();
-        t.create_table(TableDef::new(
-            "E",
-            vec![ColumnDef::new("a", DataType::Int64)],
-        ))
-        .unwrap();
-        let mut cursor = t.open_scan("E").unwrap();
-        assert!(cursor.next_batch().unwrap().is_none());
-        let batch = ColumnarBatch::from_rows(&[], 1).unwrap();
-        assert!(batch.is_empty());
-        assert_eq!(batch.to_rows(), Vec::<Vec<Value>>::new());
-    }
-}
+pub use gbj_storage::{
+    Bitmap, BitmapIter, ColumnVector, ColumnarBatch, StringDict, StringDictBuilder, NULL_CODE,
+};

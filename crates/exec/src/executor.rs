@@ -98,7 +98,7 @@ pub struct ExecSummary {
 /// Input batches a blocking operator processes: the morsel count, a
 /// function of input size only, so the number is identical whether the
 /// operator actually ran serial or parallel.
-fn input_batches(len: usize) -> u64 {
+pub(crate) fn input_batches(len: usize) -> u64 {
     len.div_ceil(morsel_rows(len)) as u64
 }
 
@@ -178,8 +178,8 @@ fn project_vectorized(
 
 /// Executes logical plans against a [`Storage`].
 pub struct Executor<'a> {
-    storage: &'a Storage,
-    options: ExecOptions,
+    pub(crate) storage: &'a Storage,
+    pub(crate) options: ExecOptions,
 }
 
 impl<'a> Executor<'a> {
@@ -226,7 +226,16 @@ impl<'a> Executor<'a> {
         plan: &LogicalPlan,
         guard: &ResourceGuard,
     ) -> Result<(ResultSet, ProfileNode, ExecSummary)> {
-        let (rows, profile) = self.run(plan, guard)?;
+        // Batch-native pipeline (late materialization, dictionary keys)
+        // when the whole plan is inside the error-free vectorization
+        // rule; the row engine wholesale otherwise, so error order is
+        // always exactly the oracle's. See `crate::pipeline`.
+        let (rows, profile) =
+            if self.options.vectorized && crate::pipeline::supported(plan, &self.options) {
+                self.run_batched(plan, guard)?
+            } else {
+                self.run(plan, guard)?
+            };
         let summary = ExecSummary {
             peak_memory_bytes: guard.peak_memory(),
             rows_charged: guard.rows_used(),
@@ -242,7 +251,7 @@ impl<'a> Executor<'a> {
     }
 
     /// A fresh per-operator sink honouring [`ExecOptions::metrics`].
-    fn sink(&self) -> MetricsSink {
+    pub(crate) fn sink(&self) -> MetricsSink {
         if self.options.metrics {
             MetricsSink::new()
         } else {

@@ -359,6 +359,40 @@ fn col_lit(col: &ColumnVector, op: BinaryOp, lit: &Value, flipped: bool, n: usiz
                     .collect()
             }
         }
+        (ColumnVector::Dict { codes, dict }, Value::Str(k)) => match op {
+            // (In)equality against a dictionary-encoded column never
+            // touches the strings: resolve the literal to a code once
+            // (absent → can't equal any valid row) and compare `u32`s.
+            // `flipped` is irrelevant — equality is symmetric.
+            BinaryOp::Eq | BinaryOp::NotEq => {
+                let want_eq = op == BinaryOp::Eq;
+                let lit_code = dict.code_of(k);
+                codes
+                    .iter()
+                    .map(|&c| {
+                        if (c as usize) < dict.len() {
+                            Truth::from_bool((Some(c) == lit_code) == want_eq)
+                        } else {
+                            Truth::Unknown
+                        }
+                    })
+                    .collect()
+            }
+            // Ordering comparisons decode per element (codes are
+            // insertion-ordered, not sort-ordered).
+            _ => codes
+                .iter()
+                .map(|&c| {
+                    dict.get(c).map_or(Truth::Unknown, |v| {
+                        t.pick(if flipped {
+                            k.as_str().cmp(v)
+                        } else {
+                            v.cmp(k.as_str())
+                        })
+                    })
+                })
+                .collect(),
+        },
         _ => (0..n)
             .map(|i| {
                 let v = col.value(i);
@@ -452,10 +486,60 @@ fn col_col(a: &ColumnVector, op: BinaryOp, b: &ColumnVector, n: usize) -> Vec<Tr
                 }
             })
             .collect(),
+        (
+            ColumnVector::Dict {
+                codes: ac,
+                dict: ad,
+            },
+            ColumnVector::Dict {
+                codes: bc,
+                dict: bd,
+            },
+        ) => {
+            // Same dictionary (the common case: two references into one
+            // scan) makes (in)equality a pure code comparison; anything
+            // else decodes per element.
+            if std::sync::Arc::ptr_eq(ad, bd) && matches!(op, BinaryOp::Eq | BinaryOp::NotEq) {
+                let want_eq = op == BinaryOp::Eq;
+                ac.iter()
+                    .zip(bc)
+                    .map(|(&x, &y)| {
+                        if (x as usize) < ad.len() && (y as usize) < bd.len() {
+                            Truth::from_bool((x == y) == want_eq)
+                        } else {
+                            Truth::Unknown
+                        }
+                    })
+                    .collect()
+            } else {
+                ac.iter()
+                    .zip(bc)
+                    .map(|(&x, &y)| match (ad.get(x), bd.get(y)) {
+                        (Some(a), Some(b)) => t.pick(a.cmp(b)),
+                        _ => Truth::Unknown,
+                    })
+                    .collect()
+            }
+        }
         _ => (0..n)
             .map(|i| compare_values(&a.value(i), op, &b.value(i)))
             .collect(),
     }
+}
+
+/// Evaluate `expr` as a filter over `batch` and return the selection
+/// vector: the indices of rows where the predicate is `true` (3VL —
+/// `false` and `unknown` rows are dropped, exactly like the row
+/// engine's filter). This is the late-materialization primitive the
+/// batch-native pipeline carries between operators instead of copying
+/// rows.
+pub fn filter_selection(expr: &BoundExpr, batch: &ColumnarBatch) -> Result<Vec<u32>> {
+    Ok(eval_truth_vec(expr, batch)?
+        .iter()
+        .enumerate()
+        .filter(|&(_, t)| *t == Truth::True)
+        .map(|(i, _)| i as u32)
+        .collect())
 }
 
 /// Batched `=ⁿ` grouping-key computation: evaluate the (vectorizable)
@@ -687,6 +771,66 @@ mod tests {
             keys.get(3).unwrap(),
             &Some(GroupKey(vec![Value::Int(-4), Value::Int(-4)]))
         );
+    }
+
+    #[test]
+    fn dict_kernels_match_decoded_strings() {
+        use crate::batch::{StringDictBuilder, NULL_CODE};
+        use std::sync::Arc;
+
+        let dict = {
+            let mut b = StringDictBuilder::new();
+            b.intern("x").unwrap();
+            b.intern("y").unwrap();
+            b.intern("").unwrap();
+            Arc::new(b.finish())
+        };
+        let a = ColumnVector::Dict {
+            codes: vec![0, 1, NULL_CODE, 2],
+            dict: Arc::clone(&dict),
+        };
+        let b = ColumnVector::Dict {
+            codes: vec![1, 1, 0, NULL_CODE],
+            dict: Arc::clone(&dict),
+        };
+        for op in [
+            BinaryOp::Eq,
+            BinaryOp::NotEq,
+            BinaryOp::Lt,
+            BinaryOp::LtEq,
+            BinaryOp::Gt,
+            BinaryOp::GtEq,
+        ] {
+            for lit in [Value::str("x"), Value::str("zz"), Value::Null] {
+                for flipped in [false, true] {
+                    let got = col_lit(&a, op, &lit, flipped, 4);
+                    let want: Vec<Truth> = (0..4)
+                        .map(|i| {
+                            let v = a.value(i);
+                            if flipped {
+                                compare_values(&lit, op, &v)
+                            } else {
+                                compare_values(&v, op, &lit)
+                            }
+                        })
+                        .collect();
+                    assert_eq!(got, want, "{op:?} lit={lit:?} flipped={flipped}");
+                }
+            }
+            let got = col_col(&a, op, &b, 4);
+            let want: Vec<Truth> = (0..4)
+                .map(|i| compare_values(&a.value(i), op, &b.value(i)))
+                .collect();
+            assert_eq!(got, want, "{op:?} col-col");
+        }
+    }
+
+    #[test]
+    fn filter_selection_keeps_only_true_rows() {
+        // a < 2: row 0 true, row 1 NULL (unknown), row 2 false, row 3 true.
+        let e = bind(Expr::bare("a").binary(BinaryOp::Lt, Expr::lit(Value::Int(2))));
+        let sel = filter_selection(&e, &batch()).unwrap();
+        assert_eq!(sel, vec![0, 3]);
     }
 
     #[test]

@@ -544,6 +544,41 @@ mod tests {
     }
 
     #[test]
+    fn cached_plans_run_batch_native_with_row_engine_fingerprint() {
+        // Cached plans flow through the same executor dispatch as fresh
+        // ones: with the vectorized kernels on, both the cache miss and
+        // the cache hit must take the batch-native pipeline (live
+        // vector counters) and stay byte-identical to the row engine —
+        // rows and thread-invariant counter fingerprint.
+        let server = seeded_server(ServerConfig::default().with_plan_cache(16));
+        let session = server.connect();
+        server.reconfigure(|db| db.set_vectorized(false));
+        let row = session.query(AGG).unwrap();
+        let row_fp = row.metrics.profile.counter_fingerprint();
+
+        server.reconfigure(|db| db.set_vectorized(true));
+        let miss = session.query(AGG).unwrap();
+        assert!(!miss.cache_hit, "reconfigure must clear the plan cache");
+        let hit = session.query(AGG).unwrap();
+        assert!(hit.cache_hit, "same SQL at same epoch must hit");
+        for (name, resp) in [("miss", &miss), ("hit", &hit)] {
+            assert_eq!(
+                resp.rows.rows, row.rows.rows,
+                "{name}: rows match row engine"
+            );
+            assert_eq!(
+                resp.metrics.profile.counter_fingerprint(),
+                row_fp,
+                "{name}: counter fingerprint matches row engine"
+            );
+            assert!(
+                resp.metrics.profile.metrics.vectors > 0,
+                "{name}: batch-native run must claim kernel invocations"
+            );
+        }
+    }
+
+    #[test]
     fn session_timeout_and_zero_deadline_are_typed() {
         let server = seeded_server(ServerConfig::default());
         let mut session = server.connect();

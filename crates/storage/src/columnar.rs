@@ -1,0 +1,1170 @@
+//! Columnar batches: per-column typed vectors with validity bitmaps.
+//!
+//! A [`ColumnarBatch`] is the unit the vectorized kernels in `gbj-exec`
+//! operate on. [`ScanCursor::next_columnar`](crate::ScanCursor) builds
+//! batches natively from storage (no intermediate row vec); the
+//! row-major conversion pair [`ColumnarBatch::from_rows`] /
+//! [`ColumnarBatch::to_rows`] remains lossless for every input —
+//! including empty batches, single-row batches, and the short final
+//! batches a `FaultInjector` forces — and serves as the differential
+//! oracle boundary between the row and batch engines.
+//!
+//! NULL handling follows the paper's split semantics: a validity bitmap
+//! records *where* NULLs are, and the kernels decide what a NULL means —
+//! `unknown` in a search condition (3VL), "equal to NULL" under the
+//! `=ⁿ` duplicate relation used for grouping keys.
+//!
+//! Columns whose non-NULL values are all of one type get a typed vector
+//! (`Int`/`Float`/`Bool`/`Str`); a type-mixed column falls back to a
+//! row-major [`ColumnVector::Mixed`] vector of [`Value`]s, which keeps
+//! the round-trip lossless without constraining the storage layer.
+//! String columns scanned from storage are dictionary-encoded
+//! ([`ColumnVector::Dict`]): rows hold `u32` codes into a shared
+//! [`StringDict`], with [`NULL_CODE`] reserved for NULL so `=ⁿ`
+//! grouping can hash codes instead of strings without conflating NULL
+//! with any real value.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gbj_types::{internal_err, Result, Value};
+
+/// The reserved dictionary code marking a NULL slot in a
+/// [`ColumnVector::Dict`] column. A [`StringDict`] never assigns it to
+/// a real string, so `=ⁿ` grouping on codes keeps NULLs in a group of
+/// their own.
+pub const NULL_CODE: u32 = u32::MAX;
+
+/// An immutable interned-string dictionary shared (via `Arc`) by every
+/// batch a scan cursor emits for one column.
+///
+/// Codes are dense, starting at 0 in first-seen order; [`NULL_CODE`] is
+/// reserved and never assigned.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct StringDict {
+    values: Vec<String>,
+    lookup: HashMap<String, u32>,
+}
+
+impl StringDict {
+    /// Number of distinct strings interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Decode a code back to its string. `None` for [`NULL_CODE`] or
+    /// any code never assigned.
+    #[must_use]
+    pub fn get(&self, code: u32) -> Option<&str> {
+        self.values.get(code as usize).map(String::as_str)
+    }
+
+    /// Look up the code of a string, if interned (O(1)).
+    #[must_use]
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.lookup.get(s).copied()
+    }
+}
+
+/// Builds a [`StringDict`] by interning strings in first-seen order.
+#[derive(Debug, Default)]
+pub struct StringDictBuilder {
+    dict: StringDict,
+}
+
+impl StringDictBuilder {
+    /// A fresh, empty builder.
+    #[must_use]
+    pub fn new() -> StringDictBuilder {
+        StringDictBuilder::default()
+    }
+
+    /// Intern `s`, returning its (existing or new) code. `None` when
+    /// the dictionary is full — every code below [`NULL_CODE`] is
+    /// taken — in which case the caller must fall back to a plain
+    /// string column.
+    pub fn intern(&mut self, s: &str) -> Option<u32> {
+        if let Some(code) = self.dict.lookup.get(s) {
+            return Some(*code);
+        }
+        let code = u32::try_from(self.dict.values.len()).ok()?;
+        if code == NULL_CODE {
+            return None;
+        }
+        self.dict.values.push(s.to_string());
+        self.dict.lookup.insert(s.to_string(), code);
+        Some(code)
+    }
+
+    /// Finish building and freeze the dictionary.
+    #[must_use]
+    pub fn finish(self) -> StringDict {
+        self.dict
+    }
+}
+
+/// A packed validity bitmap: bit `i` set means row `i` is non-NULL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// A bitmap of `len` bits, all set to `valid`.
+    #[must_use]
+    pub fn new_all(len: usize, valid: bool) -> Bitmap {
+        let fill = if valid { u64::MAX } else { 0 };
+        Bitmap {
+            words: vec![fill; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i`; out-of-range reads as `false` (invalid).
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Set bit `i` (no-op out of range).
+    pub fn set(&mut self, i: usize, valid: bool) {
+        if i >= self.len {
+            return;
+        }
+        if let Some(w) = self.words.get_mut(i / 64) {
+            if valid {
+                *w |= 1u64 << (i % 64);
+            } else {
+                *w &= !(1u64 << (i % 64));
+            }
+        }
+    }
+
+    /// Whether every bit is set — the kernels' fast-path check that
+    /// lets a NULL-free column skip per-element validity tests.
+    #[must_use]
+    pub fn all_valid(&self) -> bool {
+        self.count_valid() == self.len
+    }
+
+    /// Iterate the bits in order, word-at-a-time — much cheaper inside
+    /// kernel loops than calling [`Bitmap::get`] per element (no
+    /// per-element division or bounds check).
+    pub fn iter(&self) -> BitmapIter<'_> {
+        BitmapIter {
+            words: &self.words,
+            word: 0,
+            pos: 0,
+            len: self.len,
+        }
+    }
+
+    /// Number of set (valid) bits.
+    #[must_use]
+    pub fn count_valid(&self) -> usize {
+        // Bits past `len` in the last word may be set by `new_all`; mask
+        // them off before counting.
+        let mut total = 0usize;
+        for (wi, w) in self.words.iter().enumerate() {
+            let bits_here = (self.len - (wi * 64).min(self.len)).min(64);
+            let mask = if bits_here == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits_here) - 1
+            };
+            total += (w & mask).count_ones() as usize;
+        }
+        total
+    }
+}
+
+/// Word-at-a-time iterator over a [`Bitmap`]'s bits (see
+/// [`Bitmap::iter`]).
+#[derive(Debug)]
+pub struct BitmapIter<'a> {
+    words: &'a [u64],
+    word: u64,
+    pos: usize,
+    len: usize,
+}
+
+impl Iterator for BitmapIter<'_> {
+    type Item = bool;
+
+    #[inline]
+    fn next(&mut self) -> Option<bool> {
+        if self.pos >= self.len {
+            return None;
+        }
+        if self.pos.is_multiple_of(64) {
+            self.word = self.words.get(self.pos / 64).copied().unwrap_or(0);
+        }
+        let bit = self.word & 1 != 0;
+        self.word >>= 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.len - self.pos.min(self.len);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for BitmapIter<'_> {}
+
+/// One column of a [`ColumnarBatch`].
+///
+/// Typed variants store the raw values densely with a validity bitmap
+/// (invalid slots hold an arbitrary placeholder); `Dict` stores `u32`
+/// codes into a shared [`StringDict`] with [`NULL_CODE`] marking NULL;
+/// `Mixed` keeps the original [`Value`]s for columns that mix value
+/// types, so conversion is lossless for every input the row engine
+/// accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnVector {
+    /// 64-bit integers.
+    Int {
+        /// Dense values (placeholder where invalid).
+        values: Vec<i64>,
+        /// Per-row validity.
+        validity: Bitmap,
+    },
+    /// 64-bit floats.
+    Float {
+        /// Dense values (placeholder where invalid).
+        values: Vec<f64>,
+        /// Per-row validity.
+        validity: Bitmap,
+    },
+    /// Booleans.
+    Bool {
+        /// Dense values (placeholder where invalid).
+        values: Vec<bool>,
+        /// Per-row validity.
+        validity: Bitmap,
+    },
+    /// Strings.
+    Str {
+        /// Dense values (placeholder where invalid).
+        values: Vec<String>,
+        /// Per-row validity.
+        validity: Bitmap,
+    },
+    /// Dictionary-encoded strings: per-row codes into a shared
+    /// dictionary, with [`NULL_CODE`] marking NULL slots (no separate
+    /// validity bitmap needed).
+    Dict {
+        /// Per-row dictionary codes ([`NULL_CODE`] = NULL).
+        codes: Vec<u32>,
+        /// The shared dictionary the codes index into.
+        dict: Arc<StringDict>,
+    },
+    /// Fallback for type-mixed columns: the original values, row-major.
+    Mixed {
+        /// The original values (NULLs included in-line).
+        values: Vec<Value>,
+    },
+}
+
+/// The type tag used to pick a typed vector for a column.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tag {
+    Int,
+    Float,
+    Bool,
+    Str,
+}
+
+fn tag_of(v: &Value) -> Option<Tag> {
+    match v {
+        Value::Null => None,
+        Value::Int(_) => Some(Tag::Int),
+        Value::Float(_) => Some(Tag::Float),
+        Value::Bool(_) => Some(Tag::Bool),
+        Value::Str(_) => Some(Tag::Str),
+    }
+}
+
+impl ColumnVector {
+    /// Build a column from an iterator over its values.
+    ///
+    /// All non-NULL values of one type → typed vector with a validity
+    /// bitmap (an all-NULL or empty column becomes an all-invalid `Int`
+    /// vector); mixed types → [`ColumnVector::Mixed`]. This path never
+    /// produces a `Dict` column — dictionary encoding happens only at
+    /// the storage scan, where the whole column is visible.
+    pub fn from_values<'a, I>(values: I) -> ColumnVector
+    where
+        I: ExactSizeIterator<Item = &'a Value> + Clone,
+    {
+        // Single-pass construction: the tag comes from the first
+        // non-NULL value (stops early), and a type mismatch discovered
+        // while filling falls back to `Mixed` — same result as a full
+        // upfront scan, without a second Value-inspecting pass.
+        let n = values.len();
+        let Some(tag) = values.clone().find_map(tag_of) else {
+            // All-NULL or empty: a typed vector with no valid bits.
+            return ColumnVector::Int {
+                values: vec![0; n],
+                validity: Bitmap::new_all(n, false),
+            };
+        };
+        let mut validity = Bitmap::new_all(n, false);
+        let mixed = || ColumnVector::Mixed {
+            values: values.clone().cloned().collect(),
+        };
+        match tag {
+            Tag::Int => {
+                let mut out = Vec::with_capacity(n);
+                for (i, v) in values.clone().enumerate() {
+                    match v {
+                        Value::Int(x) => {
+                            validity.set(i, true);
+                            out.push(*x);
+                        }
+                        Value::Null => out.push(0),
+                        _ => return mixed(),
+                    }
+                }
+                ColumnVector::Int {
+                    values: out,
+                    validity,
+                }
+            }
+            Tag::Float => {
+                let mut out = Vec::with_capacity(n);
+                for (i, v) in values.clone().enumerate() {
+                    match v {
+                        Value::Float(x) => {
+                            validity.set(i, true);
+                            out.push(*x);
+                        }
+                        Value::Null => out.push(0.0),
+                        _ => return mixed(),
+                    }
+                }
+                ColumnVector::Float {
+                    values: out,
+                    validity,
+                }
+            }
+            Tag::Bool => {
+                let mut out = Vec::with_capacity(n);
+                for (i, v) in values.clone().enumerate() {
+                    match v {
+                        Value::Bool(x) => {
+                            validity.set(i, true);
+                            out.push(*x);
+                        }
+                        Value::Null => out.push(false),
+                        _ => return mixed(),
+                    }
+                }
+                ColumnVector::Bool {
+                    values: out,
+                    validity,
+                }
+            }
+            Tag::Str => {
+                let mut out = Vec::with_capacity(n);
+                for (i, v) in values.clone().enumerate() {
+                    match v {
+                        Value::Str(x) => {
+                            validity.set(i, true);
+                            out.push(x.clone());
+                        }
+                        Value::Null => out.push(String::new()),
+                        _ => return mixed(),
+                    }
+                }
+                ColumnVector::Str {
+                    values: out,
+                    validity,
+                }
+            }
+        }
+    }
+
+    /// An all-NULL placeholder column of `len` rows — what a
+    /// late-materializing operator emits for columns nobody above it
+    /// references.
+    #[must_use]
+    pub fn all_null(len: usize) -> ColumnVector {
+        ColumnVector::Int {
+            values: vec![0; len],
+            validity: Bitmap::new_all(len, false),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVector::Int { values, .. } => values.len(),
+            ColumnVector::Float { values, .. } => values.len(),
+            ColumnVector::Bool { values, .. } => values.len(),
+            ColumnVector::Str { values, .. } => values.len(),
+            ColumnVector::Dict { codes, .. } => codes.len(),
+            ColumnVector::Mixed { values } => values.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether row `i` is non-NULL (out of range reads as NULL).
+    #[must_use]
+    pub fn is_valid(&self, i: usize) -> bool {
+        match self {
+            ColumnVector::Int { validity, .. }
+            | ColumnVector::Float { validity, .. }
+            | ColumnVector::Bool { validity, .. }
+            | ColumnVector::Str { validity, .. } => validity.get(i),
+            ColumnVector::Dict { codes, dict } => {
+                codes.get(i).is_some_and(|&c| (c as usize) < dict.len())
+            }
+            ColumnVector::Mixed { values } => values.get(i).is_some_and(|v| !v.is_null()),
+        }
+    }
+
+    /// Reconstruct the [`Value`] at row `i` (NULL when invalid or out
+    /// of range). The reconstruction is exact: the value compares equal
+    /// (under `==`, including float bit patterns via the typed store)
+    /// to the one the column was built from.
+    #[must_use]
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnVector::Int { values, validity } => {
+                if validity.get(i) {
+                    values.get(i).copied().map_or(Value::Null, Value::Int)
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnVector::Float { values, validity } => {
+                if validity.get(i) {
+                    values.get(i).copied().map_or(Value::Null, Value::Float)
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnVector::Bool { values, validity } => {
+                if validity.get(i) {
+                    values.get(i).copied().map_or(Value::Null, Value::Bool)
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnVector::Str { values, validity } => {
+                if validity.get(i) {
+                    values.get(i).map_or(Value::Null, |s| Value::Str(s.clone()))
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnVector::Dict { codes, dict } => codes
+                .get(i)
+                .and_then(|&c| dict.get(c))
+                .map_or(Value::Null, |s| Value::Str(s.to_string())),
+            ColumnVector::Mixed { values } => values.get(i).cloned().unwrap_or(Value::Null),
+        }
+    }
+
+    /// Number of non-NULL rows.
+    #[must_use]
+    pub fn count_valid(&self) -> usize {
+        match self {
+            ColumnVector::Int { validity, .. }
+            | ColumnVector::Float { validity, .. }
+            | ColumnVector::Bool { validity, .. }
+            | ColumnVector::Str { validity, .. } => validity.count_valid(),
+            ColumnVector::Dict { codes, dict } => {
+                codes.iter().filter(|&&c| (c as usize) < dict.len()).count()
+            }
+            ColumnVector::Mixed { values } => values.iter().filter(|v| !v.is_null()).count(),
+        }
+    }
+
+    /// Gather the given row indices into a new dense column.
+    /// Out-of-range indices read as NULL, mirroring
+    /// [`ColumnVector::value`].
+    #[must_use]
+    pub fn gather(&self, sel: &[u32]) -> ColumnVector {
+        match self {
+            ColumnVector::Int { values, validity } => {
+                let mut out = Vec::with_capacity(sel.len());
+                let mut mask = Bitmap::new_all(sel.len(), false);
+                for (o, &i) in sel.iter().enumerate() {
+                    let i = i as usize;
+                    out.push(values.get(i).copied().unwrap_or(0));
+                    if validity.get(i) {
+                        mask.set(o, true);
+                    }
+                }
+                ColumnVector::Int {
+                    values: out,
+                    validity: mask,
+                }
+            }
+            ColumnVector::Float { values, validity } => {
+                let mut out = Vec::with_capacity(sel.len());
+                let mut mask = Bitmap::new_all(sel.len(), false);
+                for (o, &i) in sel.iter().enumerate() {
+                    let i = i as usize;
+                    out.push(values.get(i).copied().unwrap_or(0.0));
+                    if validity.get(i) {
+                        mask.set(o, true);
+                    }
+                }
+                ColumnVector::Float {
+                    values: out,
+                    validity: mask,
+                }
+            }
+            ColumnVector::Bool { values, validity } => {
+                let mut out = Vec::with_capacity(sel.len());
+                let mut mask = Bitmap::new_all(sel.len(), false);
+                for (o, &i) in sel.iter().enumerate() {
+                    let i = i as usize;
+                    out.push(values.get(i).copied().unwrap_or(false));
+                    if validity.get(i) {
+                        mask.set(o, true);
+                    }
+                }
+                ColumnVector::Bool {
+                    values: out,
+                    validity: mask,
+                }
+            }
+            ColumnVector::Str { values, validity } => {
+                let mut out = Vec::with_capacity(sel.len());
+                let mut mask = Bitmap::new_all(sel.len(), false);
+                for (o, &i) in sel.iter().enumerate() {
+                    let i = i as usize;
+                    out.push(values.get(i).cloned().unwrap_or_default());
+                    if validity.get(i) {
+                        mask.set(o, true);
+                    }
+                }
+                ColumnVector::Str {
+                    values: out,
+                    validity: mask,
+                }
+            }
+            ColumnVector::Dict { codes, dict } => ColumnVector::Dict {
+                codes: sel
+                    .iter()
+                    .map(|&i| codes.get(i as usize).copied().unwrap_or(NULL_CODE))
+                    .collect(),
+                dict: Arc::clone(dict),
+            },
+            ColumnVector::Mixed { values } => ColumnVector::Mixed {
+                values: sel
+                    .iter()
+                    .map(|&i| values.get(i as usize).cloned().unwrap_or(Value::Null))
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// A column-major batch of rows: one [`ColumnVector`] per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarBatch {
+    columns: Vec<ColumnVector>,
+    len: usize,
+}
+
+impl ColumnarBatch {
+    /// Build a batch from row-major rows of the given arity (the arity
+    /// must be passed explicitly so an empty batch still knows its
+    /// width). Errors if any row has a different arity.
+    pub fn from_rows(rows: &[Vec<Value>], arity: usize) -> Result<ColumnarBatch> {
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != arity {
+                return Err(internal_err!(
+                    "columnar batch row {i} has arity {}, expected {arity}",
+                    r.len()
+                ));
+            }
+        }
+        let columns = (0..arity)
+            .map(|c| {
+                ColumnVector::from_values(
+                    rows.iter().map(move |r| r.get(c).unwrap_or(&Value::Null)),
+                )
+            })
+            .collect();
+        Ok(ColumnarBatch {
+            columns,
+            len: rows.len(),
+        })
+    }
+
+    /// Build a batch from pre-built columns of `len` rows each. Errors
+    /// if any column disagrees on the row count.
+    pub fn from_columns(columns: Vec<ColumnVector>, len: usize) -> Result<ColumnarBatch> {
+        for (i, c) in columns.iter().enumerate() {
+            if c.len() != len {
+                return Err(internal_err!(
+                    "column {i} has {} row(s), expected {len}",
+                    c.len()
+                ));
+            }
+        }
+        Ok(ColumnarBatch { columns, len })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column `i`, or an internal error for a bad ordinal (a binder or
+    /// optimizer bug, mirroring the row engine's checked access).
+    pub fn column(&self, i: usize) -> Result<&ColumnVector> {
+        self.columns.get(i).ok_or_else(|| {
+            internal_err!(
+                "column ordinal {i} out of bounds for batch arity {}",
+                self.columns.len()
+            )
+        })
+    }
+
+    /// The columns, in ordinal order.
+    #[must_use]
+    pub fn columns(&self) -> &[ColumnVector] {
+        &self.columns
+    }
+
+    /// Consume the batch, yielding its columns.
+    #[must_use]
+    pub fn into_columns(self) -> Vec<ColumnVector> {
+        self.columns
+    }
+
+    /// Reconstruct row `i` (a row of NULLs when out of range).
+    #[must_use]
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Convert back to row-major rows (the exact inverse of
+    /// [`ColumnarBatch::from_rows`]).
+    #[must_use]
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.len).map(|i| self.row(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(rows: &[Vec<Value>], arity: usize) {
+        let batch = ColumnarBatch::from_rows(rows, arity).unwrap();
+        assert_eq!(batch.len(), rows.len());
+        assert_eq!(batch.arity(), arity);
+        assert_eq!(batch.to_rows(), rows, "round-trip must be lossless");
+    }
+
+    #[test]
+    fn bitmap_set_get_count() {
+        let mut b = Bitmap::new_all(70, false);
+        assert_eq!(b.len(), 70);
+        assert_eq!(b.count_valid(), 0);
+        b.set(0, true);
+        b.set(63, true);
+        b.set(64, true);
+        b.set(69, true);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(69));
+        assert!(!b.get(1));
+        assert!(!b.get(70), "out of range reads invalid");
+        assert_eq!(b.count_valid(), 4);
+        b.set(63, false);
+        assert!(!b.get(63));
+        assert_eq!(b.count_valid(), 3);
+        // new_all(true) must not count the padding bits of the last word.
+        let all = Bitmap::new_all(70, true);
+        assert_eq!(all.count_valid(), 70);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        round_trip(&[], 0);
+        round_trip(&[], 3);
+        let batch = ColumnarBatch::from_rows(&[], 3).unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(batch.arity(), 3);
+        assert_eq!(batch.column(0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn single_row_batch_round_trips() {
+        round_trip(
+            &[vec![
+                Value::Int(7),
+                Value::Null,
+                Value::str("x"),
+                Value::Float(1.5),
+                Value::Bool(true),
+            ]],
+            5,
+        );
+    }
+
+    #[test]
+    fn typed_columns_with_nulls_round_trip() {
+        let rows = vec![
+            vec![Value::Int(1), Value::str("a"), Value::Float(0.5)],
+            vec![Value::Null, Value::Null, Value::Float(-0.0)],
+            vec![Value::Int(-3), Value::str(""), Value::Null],
+        ];
+        round_trip(&rows, 3);
+        let batch = ColumnarBatch::from_rows(&rows, 3).unwrap();
+        assert!(matches!(batch.column(0).unwrap(), ColumnVector::Int { .. }));
+        assert!(matches!(batch.column(1).unwrap(), ColumnVector::Str { .. }));
+        assert!(matches!(
+            batch.column(2).unwrap(),
+            ColumnVector::Float { .. }
+        ));
+        assert_eq!(batch.column(0).unwrap().count_valid(), 2);
+        // -0.0 must come back as -0.0 (bit-exact), not 0.0.
+        if let Value::Float(f) = batch.column(2).unwrap().value(1) {
+            assert!(f.is_sign_negative());
+        } else {
+            panic!("expected float");
+        }
+    }
+
+    #[test]
+    fn nan_floats_round_trip_bit_exact() {
+        let rows = vec![vec![Value::Float(f64::NAN)], vec![Value::Float(2.0)]];
+        let batch = ColumnarBatch::from_rows(&rows, 1).unwrap();
+        if let Value::Float(f) = batch.column(0).unwrap().value(0) {
+            assert!(f.is_nan());
+        } else {
+            panic!("expected NaN float back");
+        }
+    }
+
+    #[test]
+    fn all_null_column_is_typed_and_all_invalid() {
+        let rows = vec![vec![Value::Null], vec![Value::Null]];
+        round_trip(&rows, 1);
+        let batch = ColumnarBatch::from_rows(&rows, 1).unwrap();
+        let col = batch.column(0).unwrap();
+        assert!(
+            matches!(col, ColumnVector::Int { .. }),
+            "all-NULL defaults to Int"
+        );
+        assert_eq!(col.count_valid(), 0);
+        assert!(!col.is_valid(0));
+    }
+
+    #[test]
+    fn mixed_type_column_falls_back_losslessly() {
+        let rows = vec![
+            vec![Value::Int(1)],
+            vec![Value::str("two")],
+            vec![Value::Null],
+            vec![Value::Bool(false)],
+        ];
+        round_trip(&rows, 1);
+        let batch = ColumnarBatch::from_rows(&rows, 1).unwrap();
+        assert!(matches!(
+            batch.column(0).unwrap(),
+            ColumnVector::Mixed { .. }
+        ));
+        assert_eq!(batch.column(0).unwrap().count_valid(), 3);
+    }
+
+    #[test]
+    fn bool_column_round_trips() {
+        let rows = vec![
+            vec![Value::Bool(true)],
+            vec![Value::Null],
+            vec![Value::Bool(false)],
+        ];
+        round_trip(&rows, 1);
+        let batch = ColumnarBatch::from_rows(&rows, 1).unwrap();
+        assert!(matches!(
+            batch.column(0).unwrap(),
+            ColumnVector::Bool { .. }
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_internal_error() {
+        let rows = vec![vec![Value::Int(1)], vec![Value::Int(1), Value::Int(2)]];
+        let err = ColumnarBatch::from_rows(&rows, 1).unwrap_err();
+        assert_eq!(err.kind(), "internal");
+        let err = ColumnarBatch::from_rows(&rows, 9).unwrap_err();
+        assert_eq!(err.kind(), "internal");
+    }
+
+    #[test]
+    fn from_columns_checks_row_counts() {
+        let cols = vec![ColumnVector::all_null(2), ColumnVector::all_null(3)];
+        assert_eq!(
+            ColumnarBatch::from_columns(cols, 2).unwrap_err().kind(),
+            "internal"
+        );
+        let batch = ColumnarBatch::from_columns(vec![ColumnVector::all_null(2)], 2).unwrap();
+        assert_eq!(batch.to_rows(), vec![vec![Value::Null], vec![Value::Null]]);
+    }
+
+    #[test]
+    fn bad_column_ordinal_is_an_internal_error() {
+        let batch = ColumnarBatch::from_rows(&[vec![Value::Int(1)]], 1).unwrap();
+        assert!(batch.column(0).is_ok());
+        assert_eq!(batch.column(1).unwrap_err().kind(), "internal");
+    }
+
+    #[test]
+    fn out_of_range_row_reads_as_nulls() {
+        let batch = ColumnarBatch::from_rows(&[vec![Value::Int(1), Value::str("a")]], 2).unwrap();
+        assert_eq!(batch.row(5), vec![Value::Null, Value::Null]);
+        assert_eq!(batch.column(0).unwrap().value(5), Value::Null);
+    }
+
+    fn dict_column(strings: &[Option<&str>]) -> ColumnVector {
+        let mut b = StringDictBuilder::new();
+        let codes: Vec<u32> = strings
+            .iter()
+            .map(|s| s.map_or(NULL_CODE, |s| b.intern(s).unwrap()))
+            .collect();
+        ColumnVector::Dict {
+            codes,
+            dict: Arc::new(b.finish()),
+        }
+    }
+
+    #[test]
+    fn dict_code_string_round_trip() {
+        let mut b = StringDictBuilder::new();
+        let a = b.intern("alpha").unwrap();
+        let bb = b.intern("beta").unwrap();
+        let a2 = b.intern("alpha").unwrap();
+        assert_eq!(a, a2, "re-interning dedupes");
+        assert_ne!(a, bb);
+        let d = b.finish();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.get(a), Some("alpha"));
+        assert_eq!(d.get(bb), Some("beta"));
+        assert_eq!(d.code_of("alpha"), Some(a));
+        assert_eq!(d.code_of("beta"), Some(bb));
+        assert_eq!(d.code_of("gamma"), None);
+    }
+
+    #[test]
+    fn reserved_null_code_never_collides() {
+        let mut b = StringDictBuilder::new();
+        for i in 0..1000 {
+            let code = b.intern(&format!("s{i}")).unwrap();
+            assert_ne!(code, NULL_CODE, "no real string gets the NULL code");
+        }
+        let d = b.finish();
+        assert_eq!(d.get(NULL_CODE), None, "the NULL code never decodes");
+        let col = dict_column(&[Some("x"), None, Some("x")]);
+        assert!(col.is_valid(0));
+        assert!(!col.is_valid(1), "NULL_CODE slots read as NULL");
+        assert_eq!(col.value(1), Value::Null);
+        assert_eq!(col.count_valid(), 2);
+    }
+
+    #[test]
+    fn dict_column_survives_row_round_trip() {
+        // A Dict column converts to rows and back; the re-built batch
+        // uses a plain Str column, but every value is identical — the
+        // to_rows/from_rows oracle boundary is encoding-agnostic.
+        let col = dict_column(&[Some("a"), None, Some("b"), Some("a")]);
+        let batch = ColumnarBatch::from_columns(vec![col], 4).unwrap();
+        let rows = batch.to_rows();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::str("a")],
+                vec![Value::Null],
+                vec![Value::str("b")],
+                vec![Value::str("a")],
+            ]
+        );
+        let rebuilt = ColumnarBatch::from_rows(&rows, 1).unwrap();
+        assert!(matches!(
+            rebuilt.column(0).unwrap(),
+            ColumnVector::Str { .. }
+        ));
+        assert_eq!(rebuilt.to_rows(), rows);
+        for i in 0..4 {
+            assert_eq!(
+                rebuilt.column(0).unwrap().value(i),
+                batch.column(0).unwrap().value(i)
+            );
+        }
+    }
+
+    #[test]
+    fn hash_on_codes_equals_hash_on_strings_group_counts() {
+        use gbj_types::GroupKey;
+        // `=ⁿ` grouping on u32 codes must produce exactly the groups
+        // that GroupKey(String) grouping produces, NULL group included.
+        let data = [
+            Some("red"),
+            Some("blue"),
+            None,
+            Some("red"),
+            None,
+            Some("green"),
+            Some("blue"),
+            Some("red"),
+        ];
+        let col = dict_column(&data);
+        let mut by_code: HashMap<u32, usize> = HashMap::new();
+        let ColumnVector::Dict { codes, .. } = &col else {
+            panic!("expected dict column");
+        };
+        for &c in codes {
+            *by_code.entry(c).or_default() += 1;
+        }
+        let mut by_string: HashMap<GroupKey, usize> = HashMap::new();
+        for i in 0..data.len() {
+            *by_string.entry(GroupKey(vec![col.value(i)])).or_default() += 1;
+        }
+        assert_eq!(by_code.len(), by_string.len(), "same number of groups");
+        for (code, n) in &by_code {
+            let i = codes.iter().position(|c| c == code).unwrap();
+            let key = GroupKey(vec![col.value(i)]);
+            assert_eq!(by_string.get(&key), Some(n), "group {code} count matches");
+        }
+    }
+
+    #[test]
+    fn gather_compacts_every_variant() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(0.5), Value::str("a")],
+            vec![Value::Null, Value::Float(1.5), Value::Null],
+            vec![Value::Int(3), Value::Null, Value::str("c")],
+        ];
+        let batch = ColumnarBatch::from_rows(&rows, 3).unwrap();
+        let sel = [2u32, 0];
+        for c in 0..3 {
+            let g = batch.column(c).unwrap().gather(&sel);
+            assert_eq!(g.len(), 2);
+            assert_eq!(g.value(0), rows[2][c]);
+            assert_eq!(g.value(1), rows[0][c]);
+        }
+        // Dict gather keeps the shared dictionary and the NULL code.
+        let dict = dict_column(&[Some("x"), None, Some("y")]);
+        let g = dict.gather(&[1, 2, 7]);
+        assert_eq!(g.value(0), Value::Null);
+        assert_eq!(g.value(1), Value::str("y"));
+        assert_eq!(g.value(2), Value::Null, "out-of-range gathers as NULL");
+    }
+
+    /// Every batch shape the storage layer can emit — short final
+    /// batches, `batch_size = 1`, and fault-injected NULL flips —
+    /// converts to columnar form and back losslessly.
+    #[test]
+    fn scan_cursor_batches_round_trip_under_fault_injection() {
+        use crate::{FaultConfig, FaultInjector, Storage};
+        use gbj_catalog::{ColumnDef, TableDef};
+        use gbj_types::DataType;
+
+        let mut s = Storage::new();
+        s.create_table(TableDef::new(
+            "T",
+            vec![
+                ColumnDef::new("a", DataType::Int64),
+                ColumnDef::new("b", DataType::Utf8),
+            ],
+        ))
+        .unwrap();
+        for i in 0..23 {
+            let b = if i % 4 == 0 {
+                Value::Null
+            } else {
+                Value::str(format!("s{i}"))
+            };
+            s.insert("T", vec![Value::Int(i), b]).unwrap();
+        }
+
+        // batch_size 5 → four full batches and a short final batch of
+        // 3; NULL flips exercise validity bitmaps on both columns.
+        for (batch_size, flips) in [(5usize, None), (1, None), (7, Some(2u64)), (23, Some(1))] {
+            s.set_fault_injector(Some(FaultInjector::new(FaultConfig {
+                seed: 42,
+                batch_size: Some(batch_size),
+                null_flip_one_in: flips,
+                ..FaultConfig::default()
+            })));
+            let mut cursor = s.open_scan("T").unwrap();
+            let arity = cursor.arity();
+            assert_eq!(cursor.nullable().len(), arity);
+            let mut total = 0;
+            while let Some(rows) = cursor.next_batch().unwrap() {
+                assert!(rows.len() <= batch_size, "cursor honours batch size");
+                total += rows.len();
+                let batch = ColumnarBatch::from_rows(&rows, arity).unwrap();
+                assert_eq!(batch.to_rows(), rows, "batch_size={batch_size}");
+            }
+            assert_eq!(total, 23);
+        }
+
+        // The empty batch (empty table) round-trips too.
+        s.set_fault_injector(None);
+        let mut t = Storage::new();
+        t.create_table(TableDef::new(
+            "E",
+            vec![ColumnDef::new("a", DataType::Int64)],
+        ))
+        .unwrap();
+        let mut cursor = t.open_scan("E").unwrap();
+        assert!(cursor.next_batch().unwrap().is_none());
+        let batch = ColumnarBatch::from_rows(&[], 1).unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(batch.to_rows(), Vec::<Vec<Value>>::new());
+    }
+
+    /// The native columnar scan is value-identical to `next_batch` +
+    /// `from_rows` under every batch shape and fault seed, and emits
+    /// `Dict` columns for Utf8.
+    #[test]
+    fn native_columnar_scan_matches_row_batches_under_faults() {
+        use crate::{FaultConfig, FaultInjector, Storage};
+        use gbj_catalog::{ColumnDef, TableDef};
+        use gbj_types::DataType;
+
+        let mut s = Storage::new();
+        s.create_table(TableDef::new(
+            "T",
+            vec![
+                ColumnDef::new("a", DataType::Int64),
+                ColumnDef::new("b", DataType::Utf8),
+                ColumnDef::new("c", DataType::Float64),
+                ColumnDef::new("d", DataType::Boolean),
+            ],
+        ))
+        .unwrap();
+        for i in 0..23 {
+            let b = if i % 4 == 0 {
+                Value::Null
+            } else {
+                Value::str(format!("s{}", i % 3))
+            };
+            s.insert(
+                "T",
+                vec![
+                    Value::Int(i),
+                    b,
+                    Value::Float(i as f64 / 2.0),
+                    Value::Bool(i % 2 == 0),
+                ],
+            )
+            .unwrap();
+        }
+
+        for (batch_size, flips) in [(5usize, None), (1, None), (7, Some(2u64)), (23, Some(1))] {
+            s.set_fault_injector(Some(FaultInjector::new(FaultConfig {
+                seed: 42,
+                batch_size: Some(batch_size),
+                null_flip_one_in: flips,
+                ..FaultConfig::default()
+            })));
+            let mut row_cursor = s.open_scan("T").unwrap();
+            let mut col_cursor = s.open_scan("T").unwrap();
+            loop {
+                let rows = row_cursor.next_batch().unwrap();
+                let cols = col_cursor.next_columnar().unwrap();
+                match (rows, cols) {
+                    (None, None) => break,
+                    (Some(rows), Some(batch)) => {
+                        assert_eq!(batch.to_rows(), rows, "bs={batch_size}");
+                        assert!(
+                            matches!(batch.column(1).unwrap(), ColumnVector::Dict { .. }),
+                            "Utf8 scans dictionary-encoded"
+                        );
+                    }
+                    (r, c) => panic!("cursor shape mismatch: {r:?} vs {c:?}"),
+                }
+            }
+        }
+
+        // Injected batch faults fire on the same global ordinal for
+        // both paths; the ordinal counter is shared, so replay the
+        // columnar sweep after a reset (as the differential oracles do).
+        s.set_fault_injector(Some(FaultInjector::new(FaultConfig {
+            seed: 7,
+            batch_size: Some(5),
+            fail_nth_batch: Some(2),
+            ..FaultConfig::default()
+        })));
+        let row_err = {
+            let mut cur = s.open_scan("T").unwrap();
+            loop {
+                match cur.next_batch() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => panic!("row sweep should hit the injected fault"),
+                    Err(e) => break e.to_string(),
+                }
+            }
+        };
+        s.fault_injector().unwrap().reset();
+        let col_err = {
+            let mut cur = s.open_scan("T").unwrap();
+            loop {
+                match cur.next_columnar() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => panic!("columnar sweep should hit the injected fault"),
+                    Err(e) => break e.to_string(),
+                }
+            }
+        };
+        assert_eq!(
+            row_err, col_err,
+            "identical fault error on the same ordinal"
+        );
+    }
+}

@@ -144,6 +144,19 @@ impl FaultInjector {
     /// Pure in `(seed, table, row_id, column)` — independent of call
     /// order, so every plan shape sees the same data.
     pub(crate) fn flips_to_null(&self, table: &str, row_id: u64, column: usize) -> bool {
+        if self.would_flip(table, row_id, column) {
+            self.nulls_injected.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Like [`FaultInjector::flips_to_null`] but without bumping the
+    /// `nulls_injected` observation counter — for whole-column prescans
+    /// (dictionary encoding) that precompute flip decisions the batch
+    /// path will re-observe, and count, per served batch.
+    pub(crate) fn would_flip(&self, table: &str, row_id: u64, column: usize) -> bool {
         let Some(k) = self.config.null_flip_one_in else {
             return false;
         };
@@ -152,12 +165,7 @@ impl FaultInjector {
             ^ mix(table_hash(table))
             ^ mix(row_id)
             ^ mix(0x0c01 ^ ((column as u64) << 16)));
-        if h.is_multiple_of(k) {
-            self.nulls_injected.fetch_add(1, Ordering::Relaxed);
-            true
-        } else {
-            false
-        }
+        h.is_multiple_of(k)
     }
 }
 

@@ -29,10 +29,14 @@
 //! clause, which is what lets `TestFD` use them to derive functional
 //! dependencies.
 
+pub mod columnar;
 pub mod fault;
 mod storage;
 mod table;
 
+pub use columnar::{
+    Bitmap, BitmapIter, ColumnVector, ColumnarBatch, StringDict, StringDictBuilder, NULL_CODE,
+};
 pub use fault::{FaultConfig, FaultInjector};
 pub use storage::{ScanCursor, Storage};
 pub use table::{Row, Table};

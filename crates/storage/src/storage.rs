@@ -1,11 +1,15 @@
 //! The storage engine: catalog + data, with constraint enforcement.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use gbj_catalog::{Catalog, Constraint, Domain, TableDef, ViewDef};
 use gbj_expr::Expr;
 use gbj_types::{DataType, Error, Field, Result, Schema, Truth, Value};
 
+use crate::columnar::{
+    Bitmap, ColumnVector, ColumnarBatch, StringDict, StringDictBuilder, NULL_CODE,
+};
 use crate::fault::FaultInjector;
 use crate::table::Table;
 
@@ -159,6 +163,12 @@ impl Storage {
             .get(&key(name))
             .ok_or_else(|| Error::Catalog(format!("unknown table {name} at execution time")))?;
         let nullable: Vec<bool> = table.schema().fields().iter().map(|f| f.nullable).collect();
+        let types: Vec<DataType> = table
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.data_type)
+            .collect();
         let batch_size = self
             .fault
             .as_ref()
@@ -169,6 +179,8 @@ impl Storage {
             table,
             injector: self.fault.as_ref(),
             nullable,
+            types,
+            dicts: None,
             pos: 0,
             batch_size,
         })
@@ -178,6 +190,11 @@ impl Storage {
 /// Rows per [`ScanCursor::next_batch`] call when no injector overrides
 /// it.
 const DEFAULT_SCAN_BATCH: usize = 1024;
+
+/// One Utf8 column's dictionary state: the cursor-wide dictionary plus
+/// one code per table row; `None` for non-Utf8 columns and for columns
+/// that fell back to plain string vectors.
+type ColumnDict = Option<(Arc<StringDict>, Vec<u32>)>;
 
 /// A batched cursor over one table's rows, produced by
 /// [`Storage::open_scan`]. The executor drains it with
@@ -189,6 +206,18 @@ pub struct ScanCursor<'a> {
     table: &'a Table,
     injector: Option<&'a FaultInjector>,
     nullable: Vec<bool>,
+    /// Declared column types, in schema order — [`ScanCursor::next_columnar`]
+    /// builds typed vectors directly from these (inserts are coerced to
+    /// the declared type by `validate_row`, so a non-NULL cell always
+    /// matches its column's type).
+    types: Vec<DataType>,
+    /// Lazily-built per-column dictionary state for Utf8 columns:
+    /// `Some` once the prescan has run; the inner entry is `None` for
+    /// non-Utf8 columns and for Utf8 columns that fell back (dictionary
+    /// overflow or an unexpected stored variant), and otherwise the
+    /// cursor-wide dictionary plus one code per table row, with
+    /// injected NULL flips already applied.
+    dicts: Option<Vec<ColumnDict>>,
     pos: usize,
     batch_size: usize,
 }
@@ -272,6 +301,221 @@ impl ScanCursor<'_> {
         }
         self.pos = end;
         Ok(Some(out))
+    }
+
+    /// The next batch in native columnar form, `None` once exhausted.
+    ///
+    /// Value-identical to [`ScanCursor::next_batch`] followed by
+    /// [`ColumnarBatch::from_rows`] — same batch boundaries, the same
+    /// injected batch failure on the same global ordinal, the same
+    /// deterministic NULL flips — but built straight from storage
+    /// without an intermediate row vec: Int64/Float64/Boolean columns
+    /// transpose into typed vectors plus a validity [`Bitmap`], and
+    /// Utf8 columns come back dictionary-encoded
+    /// ([`ColumnVector::Dict`]) against one cursor-wide [`StringDict`]
+    /// shared by every batch, so `=ⁿ` group keys can hash on `u32`
+    /// codes. NULL cells (stored or injected) take the reserved
+    /// [`NULL_CODE`], which never collides with a real code.
+    pub fn next_columnar(&mut self) -> Result<Option<ColumnarBatch>> {
+        let rows = self.table.raw_rows();
+        if self.pos >= rows.len() {
+            return Ok(None);
+        }
+        if let Some(inj) = self.injector {
+            if let Err(ordinal) = inj.claim_batch() {
+                return Err(Error::Execution(format!(
+                    "injected fault: scan batch {ordinal} of table {} failed",
+                    self.name
+                )));
+            }
+        }
+        self.ensure_dicts();
+        let end = self.pos.saturating_add(self.batch_size).min(rows.len());
+        let slice = rows.get(self.pos..end).unwrap_or_default();
+        let mut columns = Vec::with_capacity(self.nullable.len());
+        for c in 0..self.nullable.len() {
+            columns.push(self.build_column(c, self.pos, slice));
+        }
+        let batch = ColumnarBatch::from_columns(columns, slice.len())?;
+        self.pos = end;
+        Ok(Some(batch))
+    }
+
+    /// Run the one-time dictionary prescan: for each Utf8 column,
+    /// intern every distinct string into a cursor-wide dictionary and
+    /// precompute one code per table row (applying injected NULL flips,
+    /// which are pure in `(seed, table, row_id, column)`). A column
+    /// falls back to `None` — and `build_column` to the generic
+    /// `from_values` path — if the dictionary overflows or a stored
+    /// value has an unexpected variant.
+    fn ensure_dicts(&mut self) {
+        if self.dicts.is_some() {
+            return;
+        }
+        let rows = self.table.raw_rows();
+        let flips_active = self
+            .injector
+            .is_some_and(|inj| inj.config().null_flip_one_in.is_some());
+        let dicts = (0..self.types.len())
+            .map(|c| {
+                if self.types.get(c) != Some(&DataType::Utf8) {
+                    return None;
+                }
+                let flips_here = flips_active && self.nullable.get(c).copied().unwrap_or(false);
+                let mut builder = StringDictBuilder::new();
+                let mut codes = Vec::with_capacity(rows.len());
+                for row in rows {
+                    // `would_flip` (not `flips_to_null`): the batch
+                    // path re-observes and counts these per served
+                    // batch, keeping injector counters identical to
+                    // `next_batch`.
+                    if flips_here
+                        && self
+                            .injector
+                            .is_some_and(|inj| inj.would_flip(&self.name, row.row_id, c))
+                    {
+                        codes.push(NULL_CODE);
+                        continue;
+                    }
+                    match row.values.get(c) {
+                        Some(Value::Str(s)) => codes.push(builder.intern(s)?),
+                        Some(Value::Null) | None => codes.push(NULL_CODE),
+                        Some(_) => return None,
+                    }
+                }
+                Some((Arc::new(builder.finish()), codes))
+            })
+            .collect();
+        self.dicts = Some(dicts);
+    }
+
+    /// Build one column of the batch covering `slice` (which starts at
+    /// table row index `start`), mirroring `next_batch`'s NULL-flip
+    /// decisions — and its injector observation counts — exactly.
+    fn build_column(&self, c: usize, start: usize, slice: &[crate::table::Row]) -> ColumnVector {
+        // Decide flips once per cell, through the *counting* entry
+        // point, so `nulls_injected` advances exactly as `next_batch`
+        // would for this batch (flips are only computed for nullable
+        // columns — same short-circuit as the row path).
+        let count_flips = self
+            .injector
+            .is_some_and(|inj| inj.config().null_flip_one_in.is_some())
+            && self.nullable.get(c).copied().unwrap_or(false);
+        let flips: Option<Vec<bool>> = count_flips.then(|| {
+            slice
+                .iter()
+                .map(|row| {
+                    self.injector
+                        .is_some_and(|inj| inj.flips_to_null(&self.name, row.row_id, c))
+                })
+                .collect()
+        });
+        let is_flipped = |i: usize| {
+            flips
+                .as_ref()
+                .is_some_and(|f| f.get(i).copied().unwrap_or(false))
+        };
+
+        // Dictionary-encoded Utf8: slice the precomputed cursor-wide
+        // codes (flips are already baked into them — and agree with
+        // the counting pass above, both being pure in the same key).
+        if let Some(Some((dict, codes))) = self.dicts.as_ref().and_then(|d| d.get(c)) {
+            let end = start.saturating_add(slice.len());
+            let batch_codes = codes
+                .get(start..end)
+                .map_or_else(|| vec![NULL_CODE; slice.len()], <[u32]>::to_vec);
+            return ColumnVector::Dict {
+                codes: batch_codes,
+                dict: Arc::clone(dict),
+            };
+        }
+
+        match self.types.get(c) {
+            Some(DataType::Int64) => {
+                let mut values = Vec::with_capacity(slice.len());
+                let mut validity = Bitmap::new_all(slice.len(), false);
+                let mut typed = true;
+                for (i, row) in slice.iter().enumerate() {
+                    match row.values.get(c) {
+                        _ if is_flipped(i) => values.push(0),
+                        Some(Value::Int(x)) => {
+                            validity.set(i, true);
+                            values.push(*x);
+                        }
+                        Some(Value::Null) | None => values.push(0),
+                        Some(_) => {
+                            typed = false;
+                            break;
+                        }
+                    }
+                }
+                if typed {
+                    return ColumnVector::Int { values, validity };
+                }
+            }
+            Some(DataType::Float64) => {
+                let mut values = Vec::with_capacity(slice.len());
+                let mut validity = Bitmap::new_all(slice.len(), false);
+                let mut typed = true;
+                for (i, row) in slice.iter().enumerate() {
+                    match row.values.get(c) {
+                        _ if is_flipped(i) => values.push(0.0),
+                        Some(Value::Float(x)) => {
+                            validity.set(i, true);
+                            values.push(*x);
+                        }
+                        Some(Value::Null) | None => values.push(0.0),
+                        Some(_) => {
+                            typed = false;
+                            break;
+                        }
+                    }
+                }
+                if typed {
+                    return ColumnVector::Float { values, validity };
+                }
+            }
+            Some(DataType::Boolean) => {
+                let mut values = Vec::with_capacity(slice.len());
+                let mut validity = Bitmap::new_all(slice.len(), false);
+                let mut typed = true;
+                for (i, row) in slice.iter().enumerate() {
+                    match row.values.get(c) {
+                        _ if is_flipped(i) => values.push(false),
+                        Some(Value::Bool(x)) => {
+                            validity.set(i, true);
+                            values.push(*x);
+                        }
+                        Some(Value::Null) | None => values.push(false),
+                        Some(_) => {
+                            typed = false;
+                            break;
+                        }
+                    }
+                }
+                if typed {
+                    return ColumnVector::Bool { values, validity };
+                }
+            }
+            // Utf8 without a dictionary (fallback), or anything
+            // unexpected: take the generic path below.
+            _ => {}
+        }
+
+        // Generic fallback: flip-adjusted values through the same
+        // single-pass builder `from_rows` uses.
+        let vals: Vec<Value> = slice
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                if is_flipped(i) {
+                    Value::Null
+                } else {
+                    row.values.get(c).cloned().unwrap_or(Value::Null)
+                }
+            })
+            .collect();
+        ColumnVector::from_values(vals.iter())
     }
 }
 

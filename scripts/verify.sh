@@ -36,6 +36,12 @@ done
 # that fingerprint them.
 GBJ_TEST_VECTORIZED=1 GBJ_TEST_THREADS=4 cargo test -q \
   --test parallel_differential --test equivalence_prop --test explain_golden
+# Batch-native pipeline: the batch-boundary differential (batch sizes
+# 1/2/7/default x seeded faults on NULL-heavy / empty / all-NULL data)
+# with the vectorized path forced on, serial and parallel.
+for t in 1 4; do
+  GBJ_TEST_THREADS=$t GBJ_TEST_VECTORIZED=1 cargo test -q --test columnar_differential
+done
 # Serving layer: the chaos differential (sessions, snapshot reads,
 # deadlines, admission control) at every thread x vectorized
 # combination — committed results must be byte-identical to the serial

@@ -141,6 +141,70 @@ fn explain_analyze_is_stable_modulo_timings() {
     }
 }
 
+/// The batch-native plan profile golden: after an `EXPLAIN ANALYZE`
+/// run with the vectorized pipeline on, the full metrics render carries
+/// the vectorization observability columns (`vec=`, `sel=`, `kernel=`)
+/// on every operator line, at least one operator reports a live
+/// (non-zero) kernel invocation count, and the thread-invariant counter
+/// fingerprint is byte-identical to the row engine's for the same query
+/// — the observability columns are additive, never semantic.
+#[test]
+fn batch_native_profile_reports_vector_counters_with_row_engine_fingerprint() {
+    let (mut db, sql) = build();
+    db.options_mut().policy = PushdownPolicy::Never;
+    let analyze = format!("EXPLAIN ANALYZE {sql}");
+
+    db.set_vectorized(false);
+    explain_text(&mut db, &analyze);
+    let row_metrics = db.last_query_metrics().expect("row engine records metrics");
+    let row_fp = row_metrics.profile.counter_fingerprint();
+    let row_render = row_metrics.render();
+
+    db.set_vectorized(true);
+    explain_text(&mut db, &analyze);
+    let metrics = db
+        .last_query_metrics()
+        .expect("batch-native run records metrics");
+    assert_eq!(
+        metrics.profile.counter_fingerprint(),
+        row_fp,
+        "batch-native counter fingerprint diverged from the row engine"
+    );
+
+    let metric_lines = |t: &str| -> Vec<String> {
+        let start = t
+            .find("operator metrics:")
+            .expect("operator metrics section");
+        t[start..]
+            .lines()
+            .skip(1)
+            .filter(|l| l.contains("rows="))
+            .map(str::to_string)
+            .collect()
+    };
+    let text = metrics.render();
+    let vec_lines = metric_lines(&text);
+    assert!(!vec_lines.is_empty(), "empty metrics tree in:\n{text}");
+    for line in &vec_lines {
+        for col in ["vec=", "sel=", "kernel="] {
+            assert!(line.contains(col), "line {line:?} lacks {col}");
+        }
+    }
+    assert!(
+        vec_lines.iter().any(|l| !l.contains("vec=0 ")),
+        "no operator claimed a vectorized kernel invocation in:\n{text}"
+    );
+    // The row engine never claims kernel invocations: the columns exist
+    // but stay zero, so a non-zero `vec=` is an honest batch-native
+    // marker (GBJ402 audits exactly this claim).
+    assert!(
+        metric_lines(&row_render)
+            .iter()
+            .all(|l| l.contains("vec=0 ")),
+        "row engine claimed vectorized kernels in:\n{row_render}"
+    );
+}
+
 /// The lazy and eager plan shapes both audit cleanly: the section is
 /// present and each line is well-formed regardless of the plan chosen.
 #[test]
