@@ -83,6 +83,20 @@ impl Analysis {
         ));
     }
 
+    /// Pass 5 (cost/statistics): record that the §7 cost model declined
+    /// an FD-certified eager rewrite on populated tables (GBJ501,
+    /// informational). The engine calls this only when the decision was
+    /// *data-driven* — a certified rewrite, a cost-based policy, and at
+    /// least one involved base table with rows — so schema-only lint
+    /// runs (empty corpora) stay clean.
+    pub fn check_cost_choice(&mut self, detail: impl Into<String>) {
+        self.report.push(
+            crate::diag::Diagnostic::new(crate::diag::Code::CostChoiceDivergence, detail.into())
+                .note("the rewrite is valid (FD1/FD2 certified); the cost model judged it slower")
+                .note("see EXPLAIN's shape-cost lines for the per-operator comparison"),
+        );
+    }
+
     /// The FD certificate, when pass 2 examined a rewrite.
     #[must_use]
     pub fn certificate(&self) -> Option<&FdCertificate> {

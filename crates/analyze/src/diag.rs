@@ -11,7 +11,9 @@
 //! * `GBJ2xx` — FD-derivation audit of eager-aggregation rewrites,
 //! * `GBJ3xx` — NULL-semantics (2VL vs 3VL) lints,
 //! * `GBJ4xx` — physical-plan invariants (metrics, guards,
-//!   vectorization).
+//!   vectorization),
+//! * `GBJ5xx` — cost/statistics findings (the §7 cost decision vs. the
+//!   FD-certified rewrite set).
 
 use std::fmt;
 
@@ -96,6 +98,12 @@ pub enum Code {
     /// resource budget nor a deadline attached: the query could not
     /// have been cancelled, shed, or timed out.
     UnguardedExecution,
+    /// The §7 cost model declined an FD-certified eager rewrite on
+    /// populated tables: the transformation is *valid* but estimated
+    /// slower (group-by input growth outweighs join input shrinkage).
+    /// Informational — the paper is explicit that applicability and
+    /// profitability are separate questions.
+    CostChoiceDivergence,
 }
 
 impl Code {
@@ -122,6 +130,7 @@ impl Code {
             Code::UnboundedResources => "GBJ403",
             Code::ProfileShapeMismatch => "GBJ404",
             Code::UnguardedExecution => "GBJ405",
+            Code::CostChoiceDivergence => "GBJ501",
         }
     }
 
@@ -146,7 +155,9 @@ impl Code {
             | Code::FloorCeilDivergence
             | Code::MissingMetrics
             | Code::UnguardedExecution => Severity::Warning,
-            Code::RewriteInapplicable | Code::UnboundedResources => Severity::Info,
+            Code::RewriteInapplicable | Code::UnboundedResources | Code::CostChoiceDivergence => {
+                Severity::Info
+            }
         }
     }
 
@@ -177,6 +188,9 @@ impl Code {
             Code::UnboundedResources => "no ResourceGuard budget configured",
             Code::ProfileShapeMismatch => "physical profile shape disagrees with the plan",
             Code::UnguardedExecution => "profiled run had neither a resource budget nor a deadline",
+            Code::CostChoiceDivergence => {
+                "cost model declined a valid (FD-certified) eager rewrite"
+            }
         }
     }
 
@@ -204,6 +218,7 @@ impl Code {
             Code::UnboundedResources,
             Code::ProfileShapeMismatch,
             Code::UnguardedExecution,
+            Code::CostChoiceDivergence,
         ]
     }
 }

@@ -12,13 +12,14 @@ use gbj_core::{
 use gbj_exec::{ExecOptions, Executor, ProfileNode, ResourceGuard, ResultSet};
 use gbj_expr::Expr;
 use gbj_fd::FdContext;
-use gbj_optimizer::Optimizer;
+use gbj_optimizer::{shape_cost, CardTree, Optimizer, ShapeCost};
 use gbj_plan::{BlockRelation, LogicalPlan, QueryBlock};
 use gbj_sql::{parse_statements, Binder, BoundSelect, Statement};
 use gbj_storage::Storage;
 use gbj_types::{ColumnRef, Error, Result};
 
 use crate::audit::{annotated_tree, audit_nodes, NodeAudit};
+use crate::feedback::{delta_from_profile, FeedbackDelta, FeedbackStore};
 use crate::stats::{Estimator, PlanEstimate};
 
 /// When to apply a *valid* group-by-before-join transformation.
@@ -52,6 +53,13 @@ pub struct EngineOptions {
     /// on in debug builds (and CI); `GBJ_VERIFY_REWRITES=1`/`0`
     /// overrides either way.
     pub verify_rewrites: bool,
+    /// Close the adaptive loop automatically: after every metered run,
+    /// absorb the measured per-node cardinalities into the
+    /// [`FeedbackStore`] so the next planning of the same (or a
+    /// congruent) query re-costs with observed selectivities and group
+    /// counts. Off by default — callers that want stable plan-cache
+    /// behaviour opt in per database (or via `GBJ_ADAPTIVE=1`).
+    pub adaptive: bool,
 }
 
 impl Default for EngineOptions {
@@ -75,12 +83,14 @@ impl Default for EngineOptions {
             Some("0") => false,
             _ => cfg!(debug_assertions),
         };
+        let adaptive = matches!(std::env::var("GBJ_ADAPTIVE").ok().as_deref(), Some("1"));
         EngineOptions {
             policy: PushdownPolicy::default(),
             transform: TransformOptions::default(),
             cost_model: CostModel::default(),
             exec,
             verify_rewrites,
+            adaptive,
         }
     }
 }
@@ -110,10 +120,15 @@ pub struct QueryReport {
     pub partition: Option<String>,
     /// Estimated cardinalities, when a cost decision was made.
     pub stats: Option<Stats>,
-    /// Estimated cost of the lazy plan.
+    /// Estimated cost of the lazy plan (block-level §7 model).
     pub lazy_cost: Option<PlanCost>,
-    /// Estimated cost of the eager plan.
+    /// Estimated cost of the eager plan (block-level §7 model).
     pub eager_cost: Option<PlanCost>,
+    /// Itemised cost of the *lowered* lazy plan shape (per-operator
+    /// walk; this is what the cost-based choice compares).
+    pub lazy_shape: Option<ShapeCost>,
+    /// Itemised cost of the lowered eager plan shape.
+    pub eager_shape: Option<ShapeCost>,
     /// The chosen, optimized plan.
     pub plan: LogicalPlan,
     /// The optimized alternative plan (when a valid alternative exists).
@@ -143,6 +158,16 @@ impl QueryReport {
         }
         if let (Some(l), Some(e)) = (&self.lazy_cost, &self.eager_cost) {
             out.push_str(&format!("cost: lazy={:.0} eager={:.0}\n", l.total, e.total));
+        }
+        if let (Some(l), Some(e)) = (&self.lazy_shape, &self.eager_shape) {
+            out.push_str(&format!(
+                "shape cost: lazy={:.0} eager={:.0}\n",
+                l.total, e.total
+            ));
+            out.push_str(&format!(
+                "shape rationale: join input {:.0} vs {:.0}, group input {:.0} vs {:.0} (lazy vs eager)\n",
+                l.join_input, e.join_input, l.group_input, e.group_input
+            ));
         }
         if let Some(t) = &self.testfd {
             out.push_str("TestFD:\n");
@@ -182,8 +207,14 @@ pub struct QueryMetrics {
     pub peak_memory_bytes: u64,
     /// The measured per-operator profile (with counters and timings).
     pub profile: ProfileNode,
-    /// The estimator's per-node cardinality predictions.
+    /// The estimator's per-node cardinality predictions (as of
+    /// planning: feedback-aware when facts were already learned).
     pub estimates: PlanEstimate,
+    /// The facts this run's measurements would teach the feedback
+    /// store. Already absorbed when [`EngineOptions::adaptive`] is on;
+    /// otherwise pass to [`Database::absorb_feedback`] to close the
+    /// loop manually.
+    pub feedback: FeedbackDelta,
 }
 
 impl QueryMetrics {
@@ -262,6 +293,9 @@ pub struct Database {
     /// Metrics of the most recent query (SELECT or EXPLAIN ANALYZE),
     /// behind a mutex so the read-only query path can record them.
     last_metrics: Mutex<Option<QueryMetrics>>,
+    /// Learned cardinality facts (adaptive stats feedback), behind a
+    /// mutex so the read-only query path can absorb them.
+    feedback: Mutex<FeedbackStore>,
 }
 
 impl Database {
@@ -278,6 +312,7 @@ impl Database {
             storage: Storage::new(),
             options,
             last_metrics: Mutex::default(),
+            feedback: Mutex::default(),
         }
     }
 
@@ -332,6 +367,48 @@ impl Database {
         self.storage.epoch()
     }
 
+    /// The stats epoch: bumped whenever absorbed feedback materially
+    /// changed a learned fact (see [`FeedbackStore::epoch`]). Monotone.
+    #[must_use]
+    pub fn stats_epoch(&self) -> u64 {
+        self.feedback
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .epoch()
+    }
+
+    /// The planning epoch: data epoch + stats epoch. Two databases with
+    /// equal plan epochs produce identical plans for identical SQL, so
+    /// this (not the data epoch alone) is the correct bound-plan cache
+    /// key — a stats-feedback update invalidates cached plans exactly
+    /// like a write does, without pretending the data changed.
+    #[must_use]
+    pub fn plan_epoch(&self) -> u64 {
+        self.storage.epoch() + self.stats_epoch()
+    }
+
+    /// A point-in-time copy of the learned feedback facts.
+    #[must_use]
+    pub fn feedback_snapshot(&self) -> FeedbackStore {
+        self.feedback
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Merge measured-cardinality facts into the feedback store.
+    /// Returns `true` iff something materially changed (which also
+    /// bumps [`Database::stats_epoch`]). Safe from the read-only query
+    /// path. With [`EngineOptions::adaptive`] set this happens
+    /// automatically after every metered run; callers running the loop
+    /// manually feed [`QueryMetrics::feedback`] here.
+    pub fn absorb_feedback(&self, delta: &FeedbackDelta) -> bool {
+        self.feedback
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .absorb(delta)
+    }
+
     /// A consistent point-in-time snapshot of this database.
     ///
     /// O(tables), not O(rows): table row storage is `Arc`-shared and
@@ -339,13 +416,16 @@ impl Database {
     /// enough to take per read-batch. The fork carries the catalog,
     /// data, epoch, options and fault injector as of now; later
     /// mutations on either side are invisible to the other. Metrics
-    /// history is *not* carried over — a fork starts with none.
+    /// history is *not* carried over — a fork starts with none — but
+    /// the learned feedback facts (and their stats epoch) *are*, so a
+    /// serving snapshot plans with everything learned so far.
     #[must_use]
     pub fn fork(&self) -> Database {
         Database {
             storage: self.storage.clone(),
             options: self.options.clone(),
             last_metrics: Mutex::default(),
+            feedback: Mutex::new(self.feedback_snapshot()),
         }
     }
 
@@ -430,7 +510,12 @@ impl Database {
         let exec_start = Instant::now();
         let (rows, profile, summary) = executor.execute_metered(&report.plan)?;
         let execution = exec_start.elapsed();
-        let estimates = Estimator::new(&self.storage).estimate_plan(&report.plan);
+        let fb = self.feedback_snapshot();
+        let estimates = Estimator::with_feedback(&self.storage, &fb).estimate_plan(&report.plan);
+        let feedback = delta_from_profile(&report.plan, &profile);
+        if self.options.adaptive {
+            self.absorb_feedback(&feedback);
+        }
         self.record_metrics(QueryMetrics {
             sql_kind,
             choice: report.choice,
@@ -440,6 +525,7 @@ impl Database {
             peak_memory_bytes: summary.peak_memory_bytes,
             profile: profile.clone(),
             estimates,
+            feedback,
         });
         Ok((rows, profile, report))
     }
@@ -494,7 +580,12 @@ impl Database {
         let exec_start = Instant::now();
         let (rows, profile, summary) = executor.execute_metered_with_guard(&report.plan, guard)?;
         let execution = exec_start.elapsed();
-        let estimates = Estimator::new(&self.storage).estimate_plan(&report.plan);
+        let fb = self.feedback_snapshot();
+        let estimates = Estimator::with_feedback(&self.storage, &fb).estimate_plan(&report.plan);
+        let feedback = delta_from_profile(&report.plan, &profile);
+        if self.options.adaptive {
+            self.absorb_feedback(&feedback);
+        }
         let metrics = QueryMetrics {
             sql_kind: "query",
             choice: report.choice,
@@ -504,6 +595,7 @@ impl Database {
             peak_memory_bytes: summary.peak_memory_bytes,
             profile,
             estimates,
+            feedback,
         };
         self.record_metrics(metrics.clone());
         Ok((rows, metrics))
@@ -590,6 +682,29 @@ impl Database {
         }
         let report = self.plan_bound_inner(bound)?;
         analysis.check_logical(&report.plan);
+        // GBJ501: the cost model declined a *certified* eager rewrite.
+        // Only when the decision was data-driven — cost-based policy,
+        // an FD1/FD2 certificate, and at least one populated base table
+        // (schema-only lint corpora run over empty tables and must stay
+        // clean).
+        if matches!(self.options.policy, PushdownPolicy::CostBased)
+            && report.choice == PlanChoice::Lazy
+            && report.certificate.is_some()
+        {
+            let populated = base_tables(&bound.block)
+                .iter()
+                .any(|(_, t)| self.storage.table_data(t).is_some_and(|d| !d.is_empty()));
+            if populated {
+                let detail = match (&report.lazy_shape, &report.eager_shape) {
+                    (Some(l), Some(e)) => format!(
+                        "valid eager rewrite declined by cost: eager shape={:.0} >= lazy shape={:.0}",
+                        e.total, l.total
+                    ),
+                    _ => "valid eager rewrite declined by cost".to_string(),
+                };
+                analysis.check_cost_choice(detail);
+            }
+        }
         Ok(analysis.finish())
     }
 
@@ -801,6 +916,8 @@ impl Database {
                         stats: None,
                         lazy_cost: None,
                         eager_cost: None,
+                        lazy_shape: None,
+                        eager_shape: None,
                         plan,
                         alternative: None,
                         certificate: None,
@@ -857,6 +974,8 @@ impl Database {
                     stats: None,
                     lazy_cost: None,
                     eager_cost: None,
+                    lazy_shape: None,
+                    eager_shape: None,
                     plan,
                     alternative: None,
                     certificate: None,
@@ -931,30 +1050,48 @@ impl Database {
         bound: &BoundSelect,
     ) -> Result<QueryReport> {
         let tables = base_tables(lazy_block);
-        let estimator = Estimator::new(&self.storage);
+        let feedback = self.feedback_snapshot();
+        let estimator = Estimator::with_feedback(&self.storage, &feedback);
+        // The block-level §7 summary (kept for EXPLAIN's `estimates:` /
+        // `cost:` lines and the bench reporters)…
         let stats = estimator.estimate(partition, &tables);
         let lazy_cost = self.options.cost_model.lazy(&stats);
         let eager_cost = self.options.cost_model.eager(&stats);
+
+        // …and the decision itself: lower *both* candidates to their
+        // optimized physical-ready shapes, attach per-node (feedback-
+        // aware) cardinality estimates, and fold the cost model over
+        // every operator each shape would actually run.
+        let lazy_plan = self.lower(lazy_block, &bound.order_by)?;
+        let eager_plan = self.lower(eager_block, &bound.order_by)?;
+        let lazy_shape = shape_cost(
+            &self.options.cost_model,
+            &lazy_plan,
+            &card_tree(&estimator.estimate_plan(&lazy_plan)),
+        );
+        let eager_shape = shape_cost(
+            &self.options.cost_model,
+            &eager_plan,
+            &card_tree(&estimator.estimate_plan(&eager_plan)),
+        );
 
         let (pick_eager, why) = match self.options.policy {
             PushdownPolicy::Always => (true, "policy = Always".to_string()),
             PushdownPolicy::Never => (false, "policy = Never".to_string()),
             PushdownPolicy::CostBased => {
-                let pick = eager_cost.total < lazy_cost.total;
+                let pick = eager_shape.total < lazy_shape.total;
                 (
                     pick,
                     format!(
-                        "cost-based: eager={:.0} {} lazy={:.0}",
-                        eager_cost.total,
+                        "cost-based: eager shape={:.0} {} lazy shape={:.0}",
+                        eager_shape.total,
                         if pick { "<" } else { ">=" },
-                        lazy_cost.total
+                        lazy_shape.total
                     ),
                 )
             }
         };
 
-        let lazy_plan = self.lower(lazy_block, &bound.order_by)?;
-        let eager_plan = self.lower(eager_block, &bound.order_by)?;
         let (choice, plan, alternative) = if pick_eager {
             (eager_choice, eager_plan, Some(lazy_plan))
         } else {
@@ -968,6 +1105,8 @@ impl Database {
             stats: Some(stats),
             lazy_cost: Some(lazy_cost),
             eager_cost: Some(eager_cost),
+            lazy_shape: Some(lazy_shape),
+            eager_shape: Some(eager_shape),
             plan,
             alternative,
             certificate: None,
@@ -1015,6 +1154,15 @@ fn collect_tables(block: &QueryBlock, catalog: &Catalog, ctx: &mut FdContext) {
                 collect_tables(block, catalog, ctx);
             }
         }
+    }
+}
+
+/// Convert the estimator's per-node predictions into the optimizer's
+/// shape-congruent cardinality tree.
+fn card_tree(e: &PlanEstimate) -> CardTree {
+    CardTree {
+        rows: e.rows,
+        children: e.children.iter().map(card_tree).collect(),
     }
 }
 

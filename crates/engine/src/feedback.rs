@@ -1,0 +1,615 @@
+//! Adaptive statistics feedback: learned cardinality facts from
+//! measured executions.
+//!
+//! After every metered run the engine walks the executed plan tree in
+//! lockstep with its [`ProfileNode`](gbj_exec::ProfileNode) profile and
+//! distils three kinds of *facts*:
+//!
+//! * **table rows** — what a base-table scan actually produced;
+//! * **join selectivity** — `|out| / (|left| · |right|)` for each
+//!   equi-join, keyed by a canonical signature of its condition mapped
+//!   to base tables (so the fact transfers between the lazy and eager
+//!   shapes of the same query: an FK equi-join's selectivity is
+//!   shape-invariant under the containment assumption);
+//! * **group counts** — actual distinct groups per aggregation, keyed
+//!   by the base-qualified grouping columns plus the base tables
+//!   feeding the aggregate (the eager plan's outer group-by shares its
+//!   signature with the lazy plan's only group-by, so one observed
+//!   count corrects both shapes — including the multi-column
+//!   independence-assumption overestimate).
+//!
+//! The [`FeedbackStore`] keeps the latest fact per signature and bumps
+//! a **stats epoch** only when a fact *materially changes*; re-learning
+//! the same numbers is a no-op, which is what makes the adaptive loop
+//! converge (and keeps the server's bound-plan cache stable once the
+//! choice is correct).
+
+use std::collections::BTreeMap;
+
+use gbj_exec::ProfileNode;
+use gbj_expr::{conjuncts, AtomClass, Expr};
+use gbj_plan::LogicalPlan;
+
+/// Relative tolerance below which a re-learned fact is "the same" and
+/// does not bump the stats epoch.
+const SAME_FACT_TOLERANCE: f64 = 1e-9;
+
+/// A batch of facts distilled from one measured execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeedbackDelta {
+    /// `(lowercased table name, measured rows)` per base-table scan.
+    pub table_rows: Vec<(String, f64)>,
+    /// `(join signature, measured selectivity)` per equi-join node.
+    pub join_selectivity: Vec<(String, f64)>,
+    /// `(group signature, measured distinct groups)` per aggregation.
+    pub group_counts: Vec<(String, f64)>,
+}
+
+impl FeedbackDelta {
+    /// Whether the run produced no learnable facts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table_rows.is_empty()
+            && self.join_selectivity.is_empty()
+            && self.group_counts.is_empty()
+    }
+}
+
+/// Learned cardinality facts, consulted by the
+/// [`Estimator`](crate::Estimator) on subsequent plannings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeedbackStore {
+    table_rows: BTreeMap<String, f64>,
+    join_selectivity: BTreeMap<String, f64>,
+    group_counts: BTreeMap<String, f64>,
+    epoch: u64,
+}
+
+impl FeedbackStore {
+    /// An empty store at epoch 0.
+    #[must_use]
+    pub fn new() -> FeedbackStore {
+        FeedbackStore::default()
+    }
+
+    /// The stats epoch: bumped exactly when [`FeedbackStore::absorb`]
+    /// changes a fact. Monotone; starts at 0.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Learned row count for a base table, if any.
+    #[must_use]
+    pub fn table_rows(&self, table: &str) -> Option<f64> {
+        self.table_rows.get(&table.to_ascii_lowercase()).copied()
+    }
+
+    /// Learned selectivity for a join signature, if any.
+    #[must_use]
+    pub fn join_selectivity(&self, signature: &str) -> Option<f64> {
+        self.join_selectivity.get(signature).copied()
+    }
+
+    /// Learned distinct-group count for a grouping signature, if any.
+    #[must_use]
+    pub fn group_count(&self, signature: &str) -> Option<f64> {
+        self.group_counts.get(signature).copied()
+    }
+
+    /// Number of facts currently held (all kinds).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table_rows.len() + self.join_selectivity.len() + self.group_counts.len()
+    }
+
+    /// Whether the store holds no facts at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merge a delta into the store. Returns `true` — and bumps the
+    /// stats epoch by one — iff at least one fact was new or materially
+    /// different; absorbing the same facts twice is a no-op.
+    pub fn absorb(&mut self, delta: &FeedbackDelta) -> bool {
+        let mut changed = false;
+        for (k, v) in &delta.table_rows {
+            changed |= upsert(&mut self.table_rows, k, *v);
+        }
+        for (k, v) in &delta.join_selectivity {
+            changed |= upsert(&mut self.join_selectivity, k, *v);
+        }
+        for (k, v) in &delta.group_counts {
+            changed |= upsert(&mut self.group_counts, k, *v);
+        }
+        if changed {
+            self.epoch += 1;
+        }
+        changed
+    }
+}
+
+fn upsert(map: &mut BTreeMap<String, f64>, key: &str, value: f64) -> bool {
+    if !value.is_finite() {
+        return false;
+    }
+    match map.get(key) {
+        Some(old) if (old - value).abs() <= SAME_FACT_TOLERANCE * old.abs().max(1.0) => false,
+        _ => {
+            map.insert(key.to_string(), value);
+            true
+        }
+    }
+}
+
+/// Map a qualifier to its lowercased base-table name via the plan's
+/// `(qualifier, table)` pairs.
+fn base_of(qualifier: &str, tables: &[(String, String)]) -> Option<String> {
+    tables
+        .iter()
+        .find(|(q, _)| q.eq_ignore_ascii_case(qualifier))
+        .map(|(_, t)| t.to_ascii_lowercase())
+}
+
+/// Resolve `(qualifier, column)` to `(base_table, base_column)`,
+/// lowercased, by walking `plan`: scans resolve directly; a
+/// `SubqueryAlias` resolves *through its projection renames*, so the
+/// eager shape's `G1.F_DimId` and the lazy shape's `F.DimId` land on
+/// the same base column and their learned facts transfer.
+fn resolve_column(plan: &LogicalPlan, qualifier: &str, column: &str) -> Option<(String, String)> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            qualifier: q,
+            ..
+        } => q
+            .eq_ignore_ascii_case(qualifier)
+            .then(|| (table.to_ascii_lowercase(), column.to_ascii_lowercase())),
+        LogicalPlan::SubqueryAlias { input, alias } => {
+            if alias.eq_ignore_ascii_case(qualifier) {
+                resolve_output(input, column)
+            } else {
+                resolve_column(input, qualifier, column)
+            }
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. } => resolve_column(input, qualifier, column),
+        LogicalPlan::CrossJoin { left, right } | LogicalPlan::Join { left, right, .. } => {
+            resolve_column(left, qualifier, column)
+                .or_else(|| resolve_column(right, qualifier, column))
+        }
+    }
+}
+
+/// Resolve an *output column name* of a subquery to its base column:
+/// projections follow the rename chain, aggregates pass their grouping
+/// columns through by name (aggregate outputs are computed values, not
+/// base columns — those resolve to `None`).
+fn resolve_output(plan: &LogicalPlan, name: &str) -> Option<(String, String)> {
+    let through = |c: &gbj_types::ColumnRef, input: &LogicalPlan| match c.table.as_deref() {
+        Some(q) => resolve_column(input, q, &c.column),
+        None => resolve_output(input, &c.column),
+    };
+    match plan {
+        LogicalPlan::Project { input, exprs, .. } => {
+            let (e, _) = exprs.iter().find(|(_, n)| n.eq_ignore_ascii_case(name))?;
+            match e {
+                Expr::Column(c) => through(c, input),
+                _ => None,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
+            let c = group_by.iter().find_map(|g| match g {
+                Expr::Column(c) if c.column.eq_ignore_ascii_case(name) => Some(c),
+                _ => None,
+            })?;
+            through(c, input)
+        }
+        LogicalPlan::Scan {
+            table,
+            schema,
+            qualifier: _,
+        } => schema
+            .fields()
+            .iter()
+            .any(|f| f.name.eq_ignore_ascii_case(name))
+            .then(|| (table.to_ascii_lowercase(), name.to_ascii_lowercase())),
+        LogicalPlan::SubqueryAlias { input, .. }
+        | LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. } => resolve_output(input, name),
+        LogicalPlan::CrossJoin { left, right } | LogicalPlan::Join { left, right, .. } => {
+            resolve_output(left, name).or_else(|| resolve_output(right, name))
+        }
+    }
+}
+
+/// Canonical signature of an equi-join condition, with every column
+/// mapped to `basetable.column` (lowercased), each conjunct's sides
+/// sorted, and the conjuncts themselves sorted — so `E.d = D.d` and
+/// `D.d = E.d` under any aliases produce the same key. Columns are
+/// resolved through `scope` (the join node), following subquery
+/// projection renames down to base columns; a side that falls outside
+/// the scope falls back to the plan's qualifier → table map. Returns
+/// `None` when any conjunct is not `column = column` or a side cannot
+/// be mapped to a base table (nothing reliable to learn).
+#[must_use]
+pub fn join_signature(
+    condition: &Expr,
+    scope: &LogicalPlan,
+    tables: &[(String, String)],
+) -> Option<String> {
+    let side = |c: &gbj_types::ColumnRef| -> Option<String> {
+        let q = c.table.as_deref()?;
+        if let Some((t, col)) = resolve_column(scope, q, &c.column) {
+            return Some(format!("{t}.{col}"));
+        }
+        Some(format!(
+            "{}.{}",
+            base_of(q, tables)?,
+            c.column.to_ascii_lowercase()
+        ))
+    };
+    let mut parts = Vec::new();
+    for c in conjuncts(condition) {
+        let AtomClass::ColumnEqColumn(a, b) = AtomClass::of(&c) else {
+            return None;
+        };
+        let sa = side(&a)?;
+        let sb = side(&b)?;
+        let (lo, hi) = if sa <= sb { (sa, sb) } else { (sb, sa) };
+        parts.push(format!("{lo}={hi}"));
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    parts.sort();
+    Some(parts.join("&"))
+}
+
+/// Canonical signature of a grouping: the sorted base-qualified
+/// grouping columns, `@`, the sorted base tables feeding the aggregate.
+/// The eager outer aggregate and the lazy aggregate of the same query
+/// share this signature, so an observed group count transfers between
+/// shapes. Returns `None` when a grouping expression is not a plain
+/// mappable column (learned counts would not be comparable).
+#[must_use]
+pub fn group_signature(
+    group_by: &[Expr],
+    input: &LogicalPlan,
+    tables: &[(String, String)],
+) -> Option<String> {
+    if group_by.is_empty() {
+        return None;
+    }
+    let mut cols = Vec::new();
+    for g in group_by {
+        let Expr::Column(c) = g else { return None };
+        let q = c.table.as_deref()?;
+        let col = if let Some((t, col)) = resolve_column(input, q, &c.column) {
+            format!("{t}.{col}")
+        } else {
+            format!("{}.{}", base_of(q, tables)?, c.column.to_ascii_lowercase())
+        };
+        cols.push(col);
+    }
+    cols.sort();
+    cols.dedup();
+    let mut bases: Vec<String> = Vec::new();
+    collect_base_tables(input, &mut bases);
+    bases.sort();
+    bases.dedup();
+    Some(format!("{}@{}", cols.join(","), bases.join(",")))
+}
+
+fn collect_base_tables(plan: &LogicalPlan, out: &mut Vec<String>) {
+    match plan {
+        LogicalPlan::Scan { table, .. } => out.push(table.to_ascii_lowercase()),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::SubqueryAlias { input, .. }
+        | LogicalPlan::Sort { input, .. } => collect_base_tables(input, out),
+        LogicalPlan::CrossJoin { left, right } | LogicalPlan::Join { left, right, .. } => {
+            collect_base_tables(left, out);
+            collect_base_tables(right, out);
+        }
+    }
+}
+
+fn actual_rows(profile: &ProfileNode) -> f64 {
+    profile.metrics.rows_out.max(profile.rows_out as u64) as f64
+}
+
+/// Distil learnable facts from one measured execution by walking the
+/// plan and its profile in lockstep (the trees are congruent; on any
+/// defensive mismatch the walk stops descending that branch).
+#[must_use]
+pub fn delta_from_profile(plan: &LogicalPlan, profile: &ProfileNode) -> FeedbackDelta {
+    let mut tables = Vec::new();
+    crate::stats::collect_plan_tables(plan, &mut tables);
+    let mut delta = FeedbackDelta::default();
+    walk(plan, profile, &tables, &mut delta);
+    delta
+}
+
+fn walk(
+    plan: &LogicalPlan,
+    profile: &ProfileNode,
+    tables: &[(String, String)],
+    delta: &mut FeedbackDelta,
+) {
+    match plan {
+        LogicalPlan::Scan { table, .. } => {
+            delta
+                .table_rows
+                .push((table.to_ascii_lowercase(), actual_rows(profile)));
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            condition,
+        } => {
+            if let (Some(lp), Some(rp)) = (profile.children.first(), profile.children.get(1)) {
+                let (l, r) = (actual_rows(lp), actual_rows(rp));
+                if l * r > 0.0 {
+                    if let Some(sig) = join_signature(condition, plan, tables) {
+                        delta
+                            .join_selectivity
+                            .push((sig, actual_rows(profile) / (l * r)));
+                    }
+                }
+                walk(left, lp, tables, delta);
+                walk(right, rp, tables, delta);
+            }
+        }
+        LogicalPlan::CrossJoin { left, right } => {
+            if let (Some(lp), Some(rp)) = (profile.children.first(), profile.children.get(1)) {
+                walk(left, lp, tables, delta);
+                walk(right, rp, tables, delta);
+            }
+        }
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
+            if let Some(cp) = profile.children.first() {
+                if actual_rows(cp) > 0.0 {
+                    if let Some(sig) = group_signature(group_by, input, tables) {
+                        delta.group_counts.push((sig, actual_rows(profile)));
+                    }
+                }
+                walk(input, cp, tables, delta);
+            }
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::SubqueryAlias { input, .. }
+        | LogicalPlan::Sort { input, .. } => {
+            if let Some(cp) = profile.children.first() {
+                walk(input, cp, tables, delta);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_types::{DataType, Field, Schema};
+
+    fn scan(table: &str, q: &str) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: table.into(),
+            qualifier: q.into(),
+            schema: Schema::new(vec![
+                Field::new("DeptID", DataType::Int64, false).with_qualifier(q)
+            ]),
+        }
+    }
+
+    fn tables() -> Vec<(String, String)> {
+        vec![
+            ("E".into(), "Employee".into()),
+            ("D".into(), "Department".into()),
+        ]
+    }
+
+    fn join_of(left: LogicalPlan, right: LogicalPlan, condition: Expr) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            condition,
+        }
+    }
+
+    #[test]
+    fn join_signature_is_order_and_alias_invariant() {
+        let t = tables();
+        let a = Expr::col("E", "DeptID").eq(Expr::col("D", "DeptID"));
+        let b = Expr::col("D", "DeptID").eq(Expr::col("E", "DeptID"));
+        let scope = join_of(scan("Employee", "E"), scan("Department", "D"), a.clone());
+        let sig_a = join_signature(&a, &scope, &t).unwrap();
+        assert_eq!(sig_a, "department.deptid=employee.deptid");
+        assert_eq!(sig_a, join_signature(&b, &scope, &t).unwrap());
+        // Same join under different aliases → same signature.
+        let t2 = vec![
+            ("X".to_string(), "EMPLOYEE".to_string()),
+            ("Y".to_string(), "Department".to_string()),
+        ];
+        let c = Expr::col("X", "deptid").eq(Expr::col("Y", "DEPTID"));
+        let scope2 = join_of(scan("EMPLOYEE", "X"), scan("Department", "Y"), c.clone());
+        assert_eq!(sig_a, join_signature(&c, &scope2, &t2).unwrap());
+    }
+
+    #[test]
+    fn join_signature_resolves_through_subquery_renames() {
+        // The eager shape: Join(G1 = SubqueryAlias(Project(E.DeptID AS
+        // E_DeptID, Aggregate(Scan E))), D) on G1.E_DeptID = D.DeptID.
+        // Its signature must equal the lazy shape's so the learned
+        // selectivity transfers.
+        let t = tables();
+        let cond = Expr::col("G1", "E_DeptID").eq(Expr::col("D", "DeptID"));
+        let scope = join_of(
+            LogicalPlan::SubqueryAlias {
+                input: Box::new(LogicalPlan::Project {
+                    input: Box::new(LogicalPlan::Aggregate {
+                        input: Box::new(scan("Employee", "E")),
+                        group_by: vec![Expr::col("E", "DeptID")],
+                        aggregates: vec![],
+                    }),
+                    exprs: vec![(Expr::col("E", "DeptID"), "E_DeptID".into())],
+                    distinct: false,
+                }),
+                alias: "G1".into(),
+            },
+            scan("Department", "D"),
+            cond.clone(),
+        );
+        assert_eq!(
+            join_signature(&cond, &scope, &t).unwrap(),
+            "department.deptid=employee.deptid"
+        );
+    }
+
+    #[test]
+    fn non_equi_conditions_have_no_signature() {
+        let t = tables();
+        let range = Expr::col("E", "DeptID").binary(gbj_expr::BinaryOp::Lt, Expr::lit(5i64));
+        let scope = join_of(
+            scan("Employee", "E"),
+            scan("Department", "D"),
+            range.clone(),
+        );
+        assert_eq!(join_signature(&range, &scope, &t), None);
+        let mixed = Expr::col("E", "DeptID")
+            .eq(Expr::col("D", "DeptID"))
+            .and(range);
+        assert_eq!(
+            join_signature(&mixed, &scope, &t),
+            None,
+            "any non-equi conjunct poisons it"
+        );
+    }
+
+    #[test]
+    fn group_signature_shared_between_lazy_and_eager_shapes() {
+        let t = tables();
+        let lazy_input = LogicalPlan::Join {
+            left: Box::new(scan("Employee", "E")),
+            right: Box::new(scan("Department", "D")),
+            condition: Expr::col("E", "DeptID").eq(Expr::col("D", "DeptID")),
+        };
+        let sig = group_signature(&[Expr::col("D", "DeptID")], &lazy_input, &t).unwrap();
+        assert_eq!(sig, "department.deptid@department,employee");
+        // The eager outer aggregate sits above the same join region →
+        // same signature, so the learned count transfers.
+        let eager_input = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::SubqueryAlias {
+                input: Box::new(LogicalPlan::Aggregate {
+                    input: Box::new(scan("Employee", "E")),
+                    group_by: vec![Expr::col("E", "DeptID")],
+                    aggregates: vec![],
+                }),
+                alias: "EA".into(),
+            }),
+            right: Box::new(scan("Department", "D")),
+            condition: Expr::col("E", "DeptID").eq(Expr::col("D", "DeptID")),
+        };
+        assert_eq!(
+            group_signature(&[Expr::col("D", "DeptID")], &eager_input, &t).unwrap(),
+            sig
+        );
+    }
+
+    #[test]
+    fn absorb_is_idempotent_and_epoch_bumps_once() {
+        let mut store = FeedbackStore::new();
+        assert_eq!(store.epoch(), 0);
+        let delta = FeedbackDelta {
+            table_rows: vec![("employee".into(), 1000.0)],
+            join_selectivity: vec![("department.deptid=employee.deptid".into(), 0.1)],
+            group_counts: vec![("department.deptid@department,employee".into(), 10.0)],
+        };
+        assert!(store.absorb(&delta));
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.table_rows("Employee"), Some(1000.0));
+        assert_eq!(
+            store.join_selectivity("department.deptid=employee.deptid"),
+            Some(0.1)
+        );
+        assert_eq!(
+            store.group_count("department.deptid@department,employee"),
+            Some(10.0)
+        );
+        // Re-learning the same facts is a no-op.
+        assert!(!store.absorb(&delta));
+        assert_eq!(store.epoch(), 1);
+        // A materially different fact bumps again.
+        let update = FeedbackDelta {
+            join_selectivity: vec![("department.deptid=employee.deptid".into(), 0.05)],
+            ..FeedbackDelta::default()
+        };
+        assert!(store.absorb(&update));
+        assert_eq!(store.epoch(), 2);
+    }
+
+    #[test]
+    fn non_finite_facts_are_rejected() {
+        let mut store = FeedbackStore::new();
+        let delta = FeedbackDelta {
+            join_selectivity: vec![("a=b".into(), f64::NAN), ("c=d".into(), f64::INFINITY)],
+            ..FeedbackDelta::default()
+        };
+        assert!(!store.absorb(&delta));
+        assert_eq!(store.epoch(), 0);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn delta_from_profile_learns_scan_join_and_group_facts() {
+        use gbj_exec::ProfileNode;
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("Employee", "E")),
+                right: Box::new(scan("Department", "D")),
+                condition: Expr::col("E", "DeptID").eq(Expr::col("D", "DeptID")),
+            }),
+            group_by: vec![Expr::col("D", "DeptID")],
+            aggregates: vec![],
+        };
+        let profile = ProfileNode::new(
+            "Aggregate",
+            "HashAggregate",
+            10,
+            vec![ProfileNode::new(
+                "Join",
+                "HashJoin",
+                1000,
+                vec![
+                    ProfileNode::new("Scan Employee AS E", "Scan", 1000, vec![]),
+                    ProfileNode::new("Scan Department AS D", "Scan", 10, vec![]),
+                ],
+            )],
+        );
+        let delta = delta_from_profile(&plan, &profile);
+        assert_eq!(
+            delta.table_rows,
+            vec![
+                ("employee".to_string(), 1000.0),
+                ("department".to_string(), 10.0)
+            ]
+        );
+        assert_eq!(delta.join_selectivity.len(), 1);
+        let (sig, sel) = &delta.join_selectivity[0];
+        assert_eq!(sig, "department.deptid=employee.deptid");
+        assert!((sel - 0.1).abs() < 1e-12);
+        assert_eq!(
+            delta.group_counts,
+            vec![("department.deptid@department,employee".to_string(), 10.0)]
+        );
+    }
+}

@@ -27,10 +27,12 @@
 
 pub mod audit;
 pub mod database;
+pub mod feedback;
 pub mod stats;
 
 pub use audit::{annotated_tree, audit_nodes, audits_to_json, max_q, median_q, NodeAudit};
 pub use database::{
     Database, EngineOptions, PlanChoice, PushdownPolicy, QueryMetrics, QueryOutput, QueryReport,
 };
-pub use stats::{q_error, Estimator, PlanEstimate};
+pub use feedback::{delta_from_profile, FeedbackDelta, FeedbackStore};
+pub use stats::{q_error, DistinctSketch, EquiDepthHistogram, Estimator, PlanEstimate};

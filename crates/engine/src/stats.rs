@@ -5,23 +5,183 @@
 //! * per-column NDV (number of distinct values) by scanning;
 //! * equality-with-constant selectivity `1 / ndv(col)`;
 //! * equi-join selectivity `1 / max(ndv(a), ndv(b))`;
-//! * non-equality predicate selectivity `1/3`;
-//! * multi-column distinct count capped by the row count.
+//! * integer range predicates via a per-column **equi-depth
+//!   histogram** ([`EquiDepthHistogram`]);
+//! * other predicates at selectivity `1/3`;
+//! * multi-column distinct counts via a **KMV distinct sketch**
+//!   ([`DistinctSketch`]) over the joint key when every column lives in
+//!   one base table (exact below the sketch size, so the classic
+//!   independence-assumption overestimate disappears for correlated
+//!   columns), `min(rows, Π ndv)` otherwise.
 //!
 //! These feed [`gbj_core::Stats`], which the
 //! [`CostModel`](gbj_core::CostModel) compares for the lazy and eager
-//! plans.
+//! plans. When planned with [`Estimator::with_feedback`], learned facts
+//! from past measured executions
+//! ([`FeedbackStore`](crate::FeedbackStore)) override the model
+//! assumptions: an observed join selectivity replaces the `1/max(ndv)`
+//! guess and an observed group count replaces the distinct estimate —
+//! this is the adaptive half of the cost-based eager/lazy choice.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
+use std::hash::{Hash, Hasher};
 
 use gbj_core::{Partition, Stats};
-use gbj_expr::{conjuncts, AtomClass, Expr};
+use gbj_expr::{conjuncts, AtomClass, BinaryOp, Expr};
 use gbj_plan::LogicalPlan;
 use gbj_storage::Storage;
 use gbj_types::{ColumnRef, GroupKey, Value};
 
+use crate::feedback::{group_signature, join_signature, FeedbackStore};
+
 /// Selectivity assumed for predicates the estimator cannot analyse.
 const DEFAULT_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Buckets per equi-depth histogram.
+const HISTOGRAM_BUCKETS: usize = 32;
+
+/// KMV sketch size: exact distinct counts below this, estimated above.
+const SKETCH_K: usize = 1024;
+
+/// An equi-depth (equi-height) histogram over one integer column:
+/// `buckets` upper bounds chosen so each bucket holds ~the same number
+/// of values. Estimates the selectivity of `col < x` and friends by
+/// counting full buckets below `x` and linearly interpolating inside
+/// the straddling bucket. NULLs are excluded from the buckets (a range
+/// predicate is never *true* of NULL) and discount the selectivity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiDepthHistogram {
+    min: i64,
+    /// Upper bound of each bucket (ascending, last = column max).
+    bounds: Vec<i64>,
+    non_null: usize,
+    total: usize,
+}
+
+impl EquiDepthHistogram {
+    /// Build from a column's values. Returns `None` when there are no
+    /// non-NULL integer values to summarise.
+    #[must_use]
+    pub fn build(values: &[Option<i64>], buckets: usize) -> Option<EquiDepthHistogram> {
+        let total = values.len();
+        let mut ints: Vec<i64> = values.iter().filter_map(|v| *v).collect();
+        if ints.is_empty() {
+            return None;
+        }
+        ints.sort_unstable();
+        let non_null = ints.len();
+        let buckets = buckets.max(1).min(non_null);
+        let mut bounds = Vec::with_capacity(buckets);
+        for b in 1..=buckets {
+            // Rank of this bucket's upper bound (1-based, inclusive).
+            let rank = (b * non_null).div_ceil(buckets);
+            if let Some(v) = ints.get(rank.saturating_sub(1)) {
+                bounds.push(*v);
+            }
+        }
+        let min = ints.first().copied()?;
+        Some(EquiDepthHistogram {
+            min,
+            bounds,
+            non_null,
+            total,
+        })
+    }
+
+    /// Estimated fraction of **non-NULL** values `≤ x`.
+    #[must_use]
+    pub fn fraction_le(&self, x: i64) -> f64 {
+        if x < self.min {
+            return 0.0;
+        }
+        let n = self.bounds.len() as f64;
+        let mut lower = self.min;
+        for (i, &upper) in self.bounds.iter().enumerate() {
+            if x >= upper {
+                lower = upper;
+                continue;
+            }
+            // x falls inside bucket i: interpolate linearly.
+            let width = (upper - lower) as f64;
+            let within = if width <= 0.0 {
+                1.0
+            } else {
+                ((x - lower) as f64 / width).clamp(0.0, 1.0)
+            };
+            return ((i as f64 + within) / n).clamp(0.0, 1.0);
+        }
+        1.0
+    }
+
+    /// Selectivity of `col op literal` over the whole column (NULLs
+    /// count against: they never satisfy a range predicate).
+    #[must_use]
+    pub fn selectivity(&self, op: BinaryOp, lit: i64) -> f64 {
+        let le = self.fraction_le(lit);
+        // `fraction_lt` via the predecessor; exact enough for integers.
+        let lt = self.fraction_le(lit.saturating_sub(1));
+        let frac = match op {
+            BinaryOp::Lt => lt,
+            BinaryOp::LtEq => le,
+            BinaryOp::Gt => 1.0 - le,
+            BinaryOp::GtEq => 1.0 - lt,
+            _ => return DEFAULT_SELECTIVITY,
+        };
+        let null_discount = if self.total == 0 {
+            1.0
+        } else {
+            self.non_null as f64 / self.total as f64
+        };
+        (frac * null_discount).clamp(0.0, 1.0)
+    }
+}
+
+/// A KMV (k-minimum-values) distinct-count sketch: keeps the `k`
+/// smallest 64-bit hashes seen. Below `k` distinct values the count is
+/// exact; above, the k-th smallest hash estimates the density as
+/// `(k-1) · 2⁶⁴ / kth_min`.
+#[derive(Debug, Clone, Default)]
+pub struct DistinctSketch {
+    k: usize,
+    mins: BTreeSet<u64>,
+}
+
+impl DistinctSketch {
+    /// A sketch keeping the `k` minimum hash values.
+    #[must_use]
+    pub fn new(k: usize) -> DistinctSketch {
+        DistinctSketch {
+            k: k.max(2),
+            mins: BTreeSet::new(),
+        }
+    }
+
+    /// Record one (hashable) value.
+    pub fn insert<T: Hash>(&mut self, value: &T) {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        value.hash(&mut h);
+        let hv = h.finish();
+        if self.mins.len() < self.k {
+            self.mins.insert(hv);
+        } else if let Some(&max) = self.mins.iter().next_back() {
+            if hv < max && self.mins.insert(hv) {
+                self.mins.remove(&max);
+            }
+        }
+    }
+
+    /// Estimated number of distinct values inserted.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        if self.mins.len() < self.k {
+            return self.mins.len() as f64;
+        }
+        match self.mins.iter().next_back() {
+            Some(&kth) if kth > 0 => (self.k as f64 - 1.0) * (u64::MAX as f64 / kth as f64),
+            _ => self.mins.len() as f64,
+        }
+    }
+}
 
 /// The Q-error of an estimate: `max(est, actual) / min(est, actual)`,
 /// with both sides floored at one row so empty results don't divide by
@@ -46,16 +206,31 @@ pub struct PlanEstimate {
     pub children: Vec<PlanEstimate>,
 }
 
-/// Estimates cardinalities against live storage.
+/// Estimates cardinalities against live storage, optionally corrected
+/// by learned feedback facts.
 pub struct Estimator<'a> {
     storage: &'a Storage,
+    feedback: Option<&'a FeedbackStore>,
 }
 
 impl<'a> Estimator<'a> {
-    /// An estimator over the given storage.
+    /// An estimator over the given storage (no feedback).
     #[must_use]
     pub fn new(storage: &'a Storage) -> Estimator<'a> {
-        Estimator { storage }
+        Estimator {
+            storage,
+            feedback: None,
+        }
+    }
+
+    /// An estimator that consults learned feedback facts before falling
+    /// back to the model assumptions.
+    #[must_use]
+    pub fn with_feedback(storage: &'a Storage, feedback: &'a FeedbackStore) -> Estimator<'a> {
+        Estimator {
+            storage,
+            feedback: Some(feedback),
+        }
     }
 
     /// Row count of a base table (0 when unknown).
@@ -104,8 +279,98 @@ impl<'a> Estimator<'a> {
                     .max(self.ndv_of(&b, tables))
                     .max(1.0)
             }
-            AtomClass::Other => DEFAULT_SELECTIVITY,
+            AtomClass::Other => self
+                .range_selectivity(conjunct, tables)
+                .unwrap_or(DEFAULT_SELECTIVITY),
         }
+    }
+
+    /// Histogram-based selectivity for `col <op> int-literal` (either
+    /// operand order). `None` when the predicate has a different shape
+    /// or the column has no non-NULL integers to summarise.
+    fn range_selectivity(&self, conjunct: &Expr, tables: &[(String, String)]) -> Option<f64> {
+        let Expr::Binary { left, op, right } = conjunct else {
+            return None;
+        };
+        let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
+            (Expr::Column(c), Expr::Literal(Value::Int(v))) => (c, *v, *op),
+            (Expr::Literal(Value::Int(v)), Expr::Column(c)) => (c, *v, flip(*op)?),
+            _ => return None,
+        };
+        if !matches!(
+            op,
+            BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+        ) {
+            return None;
+        }
+        let q = col.table.as_deref()?;
+        let (_, table) = tables
+            .iter()
+            .find(|(qual, _)| qual.eq_ignore_ascii_case(q))?;
+        let hist = self.histogram(table, &col.column)?;
+        Some(hist.selectivity(op, lit))
+    }
+
+    /// Build the equi-depth histogram for one integer column (scanning
+    /// the live data; `None` when the table/column is missing or holds
+    /// no non-NULL integers).
+    #[must_use]
+    pub fn histogram(&self, table: &str, column: &str) -> Option<EquiDepthHistogram> {
+        let data = self.storage.table_data(table)?;
+        let idx = data
+            .schema()
+            .index_of(&ColumnRef::bare(column.to_string()))
+            .ok()?;
+        let values: Vec<Option<i64>> = data
+            .value_rows()
+            .map(|row| match row.get(idx) {
+                Some(Value::Int(v)) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        EquiDepthHistogram::build(&values, HISTOGRAM_BUCKETS)
+    }
+
+    /// Joint distinct count of a multi-column set via a KMV sketch over
+    /// the concatenated key, when every column maps into one base table
+    /// — exact below the sketch size, so correlated columns (the
+    /// classic `(DeptID, Name)` case) don't multiply out. `None` when
+    /// the columns span tables or can't be resolved.
+    fn joint_ndv(&self, cols: &BTreeSet<ColumnRef>, tables: &[(String, String)]) -> Option<f64> {
+        if cols.len() < 2 {
+            return None;
+        }
+        let mut table: Option<&str> = None;
+        for c in cols {
+            let q = c.table.as_deref()?;
+            let (_, t) = tables
+                .iter()
+                .find(|(qual, _)| qual.eq_ignore_ascii_case(q))?;
+            match table {
+                None => table = Some(t),
+                Some(prev) if prev.eq_ignore_ascii_case(t) => {}
+                Some(_) => return None,
+            }
+        }
+        let data = self.storage.table_data(table?)?;
+        let mut idxs = Vec::with_capacity(cols.len());
+        for c in cols {
+            idxs.push(
+                data.schema()
+                    .index_of(&ColumnRef::bare(c.column.clone()))
+                    .ok()?,
+            );
+        }
+        let mut sketch = DistinctSketch::new(SKETCH_K);
+        for row in data.value_rows() {
+            let key = GroupKey(
+                idxs.iter()
+                    .map(|&i| row.get(i).cloned().unwrap_or(Value::Null))
+                    .collect(),
+            );
+            sketch.insert(&key);
+        }
+        Some(sketch.estimate().max(1.0))
     }
 
     /// Estimate the side cardinality: product of member table rows times
@@ -129,18 +394,14 @@ impl<'a> Estimator<'a> {
     }
 
     /// Distinct-group estimate for a column set within `rows` rows:
-    /// `min(rows, Π ndv(col))`.
+    /// the joint-sketch count when available, else `min(rows, Π ndv)`.
     fn group_count(
         &self,
         cols: &std::collections::BTreeSet<ColumnRef>,
         rows: f64,
         tables: &[(String, String)],
     ) -> f64 {
-        let mut ndv = 1.0;
-        for c in cols {
-            ndv *= self.ndv_of(c, tables).max(1.0);
-        }
-        ndv.min(rows).max(1.0)
+        self.column_set_groups(cols, rows, tables)
     }
 
     /// Build the [`Stats`] for one partitioned query.
@@ -238,10 +499,22 @@ impl<'a> Estimator<'a> {
             } => {
                 let l = self.node_estimate(left, tables);
                 let r = self.node_estimate(right, tables);
-                let mut rows = l.rows * r.rows;
-                for c in conjuncts(condition) {
-                    rows *= self.selectivity(&c, tables);
-                }
+                // A learned selectivity for this exact join (by
+                // canonical base-table signature) replaces the
+                // 1/max(ndv) assumption.
+                let learned = self.feedback.and_then(|fb| {
+                    join_signature(condition, plan, tables)
+                        .and_then(|sig| fb.join_selectivity(&sig))
+                });
+                let rows = if let Some(sel) = learned {
+                    (l.rows * r.rows * sel).max(0.0)
+                } else {
+                    let mut rows = l.rows * r.rows;
+                    for c in conjuncts(condition) {
+                        rows *= self.selectivity(&c, tables);
+                    }
+                    rows
+                };
                 PlanEstimate {
                     label,
                     rows,
@@ -252,8 +525,13 @@ impl<'a> Estimator<'a> {
                 input, group_by, ..
             } => {
                 let child = self.node_estimate(input, tables);
+                let learned = self.feedback.and_then(|fb| {
+                    group_signature(group_by, input, tables).and_then(|sig| fb.group_count(&sig))
+                });
                 let rows = if group_by.is_empty() {
                     1.0
+                } else if let Some(groups) = learned {
+                    groups.max(1.0)
                 } else {
                     let cols: std::collections::BTreeSet<ColumnRef> =
                         group_by.iter().flat_map(Expr::columns).collect();
@@ -276,14 +554,19 @@ impl<'a> Estimator<'a> {
         }
     }
 
-    /// `min(rows, Π ndv(col))` over a column set (independence-assuming
-    /// distinct-group estimate), never below one row.
+    /// Distinct-group estimate over a column set, never below one row.
+    /// Single-table multi-column sets use the joint KMV sketch (no
+    /// independence assumption); everything else falls back to
+    /// `min(rows, Π ndv(col))`.
     fn column_set_groups(
         &self,
         cols: &std::collections::BTreeSet<ColumnRef>,
         rows: f64,
         tables: &[(String, String)],
     ) -> f64 {
+        if let Some(joint) = self.joint_ndv(cols, tables) {
+            return joint.min(rows.max(1.0)).max(1.0);
+        }
         let mut ndv = 1.0;
         for c in cols {
             ndv *= self.ndv_of(c, tables).max(1.0);
@@ -292,11 +575,22 @@ impl<'a> Estimator<'a> {
     }
 }
 
+/// Mirror a comparison operator for `lit op col → col flipped(op) lit`.
+fn flip(op: BinaryOp) -> Option<BinaryOp> {
+    Some(match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        _ => return None,
+    })
+}
+
 /// Collect `(qualifier, base table)` pairs from a plan's scans. A
 /// `SubqueryAlias` whose subtree reads exactly one base table also maps
 /// its alias to that table, so estimates survive the rename that
 /// re-qualifies the eager plan's aggregated side.
-fn collect_plan_tables(plan: &LogicalPlan, out: &mut Vec<(String, String)>) {
+pub(crate) fn collect_plan_tables(plan: &LogicalPlan, out: &mut Vec<(String, String)>) {
     match plan {
         LogicalPlan::Scan {
             table, qualifier, ..
@@ -438,11 +732,10 @@ mod tests {
         assert_eq!(stats.r1_groups, 10.0, "10 distinct E.DeptID values");
         // Join selectivity 1/max(10,10) = 0.1 → 1000×10×0.1 = 1000.
         assert_eq!(stats.join_rows, 1000.0);
-        // The group estimate multiplies per-column NDVs; Name is
-        // perfectly correlated with DeptID, so 10×10 overestimates to
-        // 100 — a classic independence-assumption artefact, harmless to
-        // the decision below.
-        assert_eq!(stats.final_groups, 100.0);
+        // Name is perfectly correlated with DeptID; the joint KMV
+        // sketch sees the real pair count (10), where the old
+        // independence-assuming Π ndv produced 100.
+        assert_eq!(stats.final_groups, 10.0);
         // The cost model then prefers the eager plan here.
         let model = gbj_core::CostModel::default();
         assert!(model.should_transform(&stats));

@@ -34,10 +34,12 @@
 //! runs at the query-block level *before* lowering; these rules clean
 //! up whichever block was chosen.
 
+pub mod cost;
 pub mod join_order;
 pub mod optimizer;
 pub mod rules;
 
+pub use cost::{shape_cost, CardTree, ShapeCost};
 pub use join_order::JoinOrdering;
 pub use optimizer::{Optimizer, OptimizerRule};
 pub use rules::{ColumnPruning, MergeFilters, PredicatePushdown};

@@ -1,14 +1,15 @@
 //! The bound-plan cache: prepared statements keyed on SQL text plus
-//! the storage epoch they were planned against.
+//! the *plan epoch* they were planned against.
 //!
 //! Planning (bind → FD reasoning → eager/lazy decision → costing) is
 //! the expensive, *stats-dependent* half of a query. The decision can
 //! flip when the data changes — a `CREATE TABLE` changes binding, an
-//! `INSERT` drifts the cardinalities the cost model reads — so a plan
-//! is only reusable while the storage epoch it was built at is still
-//! current. Keying on `(sql, epoch)` makes invalidation structural:
-//! any committed mutation bumps the epoch and every older entry simply
-//! stops being reachable (and is swept out opportunistically).
+//! `INSERT` drifts the cardinalities the cost model reads — and also
+//! when the data *doesn't* change but the learned statistics do (an
+//! absorbed execution-feedback delta). The session therefore keys on
+//! the plan epoch (storage epoch + stats epoch): any committed
+//! mutation or material stats update bumps it and every older entry
+//! simply stops being reachable (and is swept out opportunistically).
 
 use std::collections::HashMap;
 use std::collections::VecDeque;

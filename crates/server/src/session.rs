@@ -216,6 +216,32 @@ impl Server {
         f(&self.shared.current_snapshot())
     }
 
+    /// Absorb an execution-feedback delta (see
+    /// [`gbj_engine::FeedbackDelta`]) into the authoritative database's
+    /// statistics and, when it changed any learned fact, publish a
+    /// fresh snapshot so readers pick up the bumped stats epoch.
+    /// Returns whether the stats epoch moved. The plan cache is *not*
+    /// cleared: entries are keyed on the plan epoch, so stale plans
+    /// simply stop matching and are re-costed on the next miss.
+    pub fn absorb_feedback(&self, delta: &gbj_engine::FeedbackDelta) -> bool {
+        let db = self
+            .shared
+            .db
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let changed = db.absorb_feedback(delta);
+        if changed {
+            let mut slot = self
+                .shared
+                .snapshot
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            *slot = Arc::new(db.fork());
+            self.shared.metrics.on_snapshot_refresh();
+        }
+        changed
+    }
+
     /// Apply a configuration change to the authoritative database
     /// (policy, threads, fault injector, …). The plan cache is cleared
     /// — same SQL and epoch may now plan differently — and a fresh
@@ -354,6 +380,11 @@ impl Session {
     ) -> Result<QueryResponse> {
         let snap = self.shared.current_snapshot();
         let epoch = snap.epoch();
+        // Plans are keyed on the *plan* epoch (data + statistics): a
+        // stats-feedback absorption re-costs cached plans even though
+        // the data — and therefore the response epoch the replay oracle
+        // checks against — did not move.
+        let plan_epoch = snap.plan_epoch();
         let mut guard = ResourceGuard::new(self.shared.config.default_limits);
         if let Some(t) = timeout {
             // The remaining slice of the deadline after admission wait;
@@ -368,7 +399,7 @@ impl Session {
         if let Some(token) = &opts.cancel {
             guard = guard.with_cancellation(token.clone());
         }
-        if let Some(report) = self.shared.cache.get(sql, epoch) {
+        if let Some(report) = self.shared.cache.get(sql, plan_epoch) {
             self.shared.metrics.on_cache_hit();
             let (rows, metrics) = snap.execute_report_guarded(&report, &guard)?;
             return Ok(QueryResponse {
@@ -382,7 +413,9 @@ impl Session {
         self.shared.metrics.on_cache_miss();
         let (rows, report, metrics) = snap.query_with_guard(sql, &guard)?;
         let report = Arc::new(report);
-        self.shared.cache.insert(sql, epoch, Arc::clone(&report));
+        self.shared
+            .cache
+            .insert(sql, plan_epoch, Arc::clone(&report));
         Ok(QueryResponse {
             rows,
             epoch,
@@ -541,6 +574,31 @@ mod tests {
         let c = session.query(AGG).unwrap();
         assert!(!c.cache_hit, "epoch moved: cache must miss");
         assert_ne!(b.rows.rows, c.rows.rows);
+    }
+
+    #[test]
+    fn stats_feedback_bumps_plan_epoch_and_recosts_cached_plans() {
+        let server = seeded_server(ServerConfig::default().with_plan_cache(16));
+        let session = server.connect();
+        let a = session.query(AGG).unwrap();
+        assert!(!a.cache_hit);
+        let b = session.query(AGG).unwrap();
+        assert!(b.cache_hit, "same SQL, same plan epoch: must hit");
+        // Absorb the execution feedback the first run produced. No data
+        // changed, but the learned stats did — the plan epoch moves.
+        assert!(
+            server.absorb_feedback(&a.metrics.feedback),
+            "first absorption must learn something"
+        );
+        let c = session.query(AGG).unwrap();
+        assert!(!c.cache_hit, "stats epoch moved: cached plan re-costed");
+        assert_eq!(c.epoch, b.epoch, "data epoch unchanged — only stats moved");
+        assert_eq!(c.rows.rows, b.rows.rows, "re-costed plan, identical bytes");
+        // Absorbing the same facts again is a no-op: the epoch stays
+        // put and the freshly cached plan keeps hitting.
+        assert!(!server.absorb_feedback(&a.metrics.feedback));
+        let d = session.query(AGG).unwrap();
+        assert!(d.cache_hit, "idempotent absorb must not thrash the cache");
     }
 
     #[test]

@@ -4,11 +4,17 @@
 #
 # Usage: scripts/bench_check.sh <generated.json> [baseline.json]
 #
-# Two formats, auto-detected from the baseline's "experiment" field:
-#   x15     (BENCH_vectorized.json) — compares per-workload `speedup`;
-#   serving (BENCH_serving.json)    — compares per-cell `qps` and
-#                                     `p99_ms` for every clients×shed
-#                                     combination of serve_sweep.
+# Three formats, auto-detected from the baseline's "experiment" field:
+#   x15       (BENCH_vectorized.json) — compares per-workload `speedup`;
+#   serving   (BENCH_serving.json)    — compares per-cell `qps` and
+#                                       `p99_ms` for every clients×shed
+#                                       combination of serve_sweep;
+#   costmodel (BENCH_costmodel.json)  — compares the predicted
+#                                       shape-cost speedup on both
+#                                       X16 extremes plus the adaptive
+#                                       loop's rounds-to-converge
+#                                       (all scale-stable, so the
+#                                       smoke run compares cleanly).
 #
 # Policy (CI bench-smoke / serving jobs):
 #   - parse failure / missing workload  -> hard fail (exit 1): the
@@ -64,7 +70,12 @@ check_metric() { # workload metric unit
 }
 
 status=0
-if grep -q '"experiment":"serving"' "$baseline"; then
+if grep -q '"experiment":"costmodel"' "$baseline"; then
+  for workload in extreme_fan_in extreme_selective; do
+    check_metric "$workload" predicted_speedup x
+  done
+  check_metric adaptive rounds_to_converge ""
+elif grep -q '"experiment":"serving"' "$baseline"; then
   # serve_sweep format: every clients×shed cell, QPS and p99.
   for clients in 1 4 16; do
     for shed in off on; do

@@ -51,6 +51,18 @@ for t in 1 4; do
     GBJ_TEST_THREADS=$t GBJ_TEST_VECTORIZED=$v cargo test -q --test serving_differential
   done
 done
+# Plan-choice differential: eager/lazy byte-identity, X-series extreme
+# choices, and adaptive-feedback convergence — at every thread x
+# vectorized combination (the cost decision must be engine-invariant).
+for t in 1 4; do
+  for v in 0 1; do
+    GBJ_TEST_THREADS=$t GBJ_TEST_VECTORIZED=$v cargo test -q --test cost_model_differential
+  done
+done
+# Cost-model sweep smoke at CI size, compared (advisory) against the
+# committed BENCH_costmodel.json baseline; parse failures are hard.
+GBJ_BENCH_SMALL=1 cargo run --release -q -p gbj-bench --bin costmodel_sweep > /tmp/gbj_costmodel.json
+scripts/bench_check.sh /tmp/gbj_costmodel.json BENCH_costmodel.json
 # Serving sweep smoke at CI size, compared (advisory) against the
 # committed BENCH_serving.json baseline; parse failures are hard.
 GBJ_BENCH_SMALL=1 cargo run --release -q -p gbj-bench --bin serve_sweep > /tmp/gbj_serve_sweep.txt

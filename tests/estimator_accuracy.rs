@@ -174,6 +174,86 @@ fn null_group_keys_cost_at_most_one_group_of_error() {
     }
 }
 
+/// One audit-feedback round strictly improves accuracy on a workload
+/// built to break both estimator assumptions at once: a selective join
+/// (`match_fraction = 0.1` vs the containment assumption) under Zipf
+/// skew. Absorbing the measured run's [`FeedbackDelta`] replaces the
+/// `1/max(ndv)` selectivity and the NDV group count with observed
+/// facts, so the max Q-error must drop — here all the way to exact —
+/// and the median must not degrade.
+#[test]
+fn feedback_round_strictly_improves_q_error_on_skewed_workloads() {
+    let cfg = SweepConfig {
+        fact_rows: 10_000,
+        dim_rows: 1000,
+        groups: 100,
+        match_fraction: 0.1,
+        skew: 1.5,
+    };
+    let mut db = cfg.build().expect("build");
+    let before = audits_for(&mut db, cfg.query(), PushdownPolicy::Never);
+    assert!(
+        max_q(&before) > 2.0,
+        "workload must start inaccurate, max q {}",
+        max_q(&before)
+    );
+
+    let delta = db.last_query_metrics().expect("metrics recorded").feedback;
+    assert!(db.absorb_feedback(&delta), "the run must teach something");
+
+    let after = audits_for(&mut db, cfg.query(), PushdownPolicy::Never);
+    assert!(
+        max_q(&after) < max_q(&before),
+        "max q must strictly improve: {} → {}",
+        max_q(&before),
+        max_q(&after)
+    );
+    assert!(
+        median_q(&after) <= median_q(&before),
+        "median q must not degrade: {} → {}",
+        median_q(&before),
+        median_q(&after)
+    );
+    assert!(
+        max_q(&after) <= 1.05,
+        "learned facts make this workload exact, max q {}",
+        max_q(&after)
+    );
+}
+
+/// Injected short batches must never move an estimate-vs-actual audit:
+/// the fault injector *resizes* scan batches (1/2/7-row chunks), it
+/// never drops rows, so the actual cardinalities — and therefore every
+/// Q-error — are identical to the unfaulted run. This pins the
+/// boundary the estimator relies on: batch geometry is an execution
+/// detail, invisible to cardinality accounting.
+#[test]
+fn short_batches_resize_but_never_drop_rows_in_the_audit() {
+    use gbj::storage::{FaultConfig, FaultInjector};
+    let cfg = SweepConfig::default();
+    let mut db = cfg.build().expect("build");
+    let clean: Vec<(String, f64, u64)> =
+        audits_for(&mut db, cfg.query(), PushdownPolicy::CostBased)
+            .into_iter()
+            .map(|a| (a.label, a.estimated, a.actual))
+            .collect();
+    for batch_size in [1usize, 2, 7] {
+        db.set_fault_injector(Some(FaultInjector::new(FaultConfig {
+            batch_size: Some(batch_size),
+            ..FaultConfig::default()
+        })));
+        let faulted: Vec<(String, f64, u64)> =
+            audits_for(&mut db, cfg.query(), PushdownPolicy::CostBased)
+                .into_iter()
+                .map(|a| (a.label, a.estimated, a.actual))
+                .collect();
+        assert_eq!(
+            faulted, clean,
+            "batch_size={batch_size}: short batches must only resize, never drop"
+        );
+    }
+}
+
 /// The audit itself is well-formed on every workload: one record per
 /// plan node, every Q-error ≥ 1, actual row counts populated from the
 /// metrics layer (not defaulted to zero).

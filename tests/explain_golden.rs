@@ -120,6 +120,61 @@ fn explain_analyze_has_timing_lines_and_audit_columns() {
     }
 }
 
+/// The cost-based rationale golden: under `CostBased` the report
+/// carries the itemised shape-cost comparison — one `shape cost:` line
+/// with both totals and one `shape rationale:` line itemising the §7
+/// trade-off (join input vs group input, lazy vs eager) — and, being
+/// estimate-derived, both lines are deterministic across runs.
+#[test]
+fn explain_carries_deterministic_shape_cost_rationale() {
+    let (mut db, sql) = build();
+    db.options_mut().policy = PushdownPolicy::CostBased;
+    let explain = format!("EXPLAIN {sql}");
+    let text = explain_text(&mut db, &explain);
+
+    let shape_lines: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("shape cost: "))
+        .collect();
+    assert_eq!(shape_lines.len(), 1, "one shape-cost line in:\n{text}");
+    assert!(
+        shape_lines[0].contains("lazy=") && shape_lines[0].contains("eager="),
+        "both totals on {:?}",
+        shape_lines[0]
+    );
+    let rationale: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("shape rationale: "))
+        .collect();
+    assert_eq!(rationale.len(), 1, "one rationale line in:\n{text}");
+    for col in ["join input ", "group input ", "(lazy vs eager)"] {
+        assert!(
+            rationale[0].contains(col),
+            "{:?} lacks {col:?}",
+            rationale[0]
+        );
+    }
+    // The block-level §7 cost line stays alongside the shape costs.
+    assert!(text.contains("cost: lazy="), "block cost line in:\n{text}");
+
+    for run in 0..3 {
+        let again = explain_text(&mut db, &explain);
+        assert_eq!(
+            stable_lines(&text),
+            stable_lines(&again),
+            "run {run}: shape-cost EXPLAIN drifted"
+        );
+    }
+
+    // A query with no eager alternative has nothing to compare — the
+    // lines must not be invented.
+    let single = explain_text(&mut db, "EXPLAIN SELECT COUNT(*) FROM Employee E");
+    assert!(
+        !single.contains("shape cost:"),
+        "no alternative shape, no comparison:\n{single}"
+    );
+}
+
 /// Modulo the two timing lines, `EXPLAIN ANALYZE` output is
 /// byte-identical across repeated runs — estimates, actuals, peak
 /// memory and tree shape are all deterministic.

@@ -511,6 +511,52 @@ fn cached_plans_are_byte_identical_to_fresh_planned() {
     );
 }
 
+/// A stats-feedback absorption bumps the *plan* epoch (data epoch
+/// untouched): cached plans stop matching, the next read re-costs with
+/// the learned facts, and the re-costed plan stays byte-identical to a
+/// cache-disabled server that absorbed the same facts.
+#[test]
+fn stats_feedback_recosts_cached_plans_byte_identically() {
+    let cached = Server::with_database(seed_db(), ServerConfig::default().with_plan_cache(16));
+    let fresh = Server::with_database(seed_db(), ServerConfig::default()); // capacity 0
+    let cs = cached.connect();
+    let fs = fresh.connect();
+
+    let first = cs.query(AGG).unwrap();
+    assert!(cs.query(AGG).unwrap().cache_hit, "warm the cache");
+
+    // Teach both servers the same measured facts.
+    let delta = first.metrics.feedback.clone();
+    assert!(!delta.is_empty(), "a metered run must produce facts");
+    assert!(cached.absorb_feedback(&delta), "facts must be new");
+    fresh.absorb_feedback(&delta);
+
+    let recosted = cs.query(AGG).unwrap();
+    assert!(
+        !recosted.cache_hit,
+        "stats epoch moved: the cached plan must be re-costed"
+    );
+    assert_eq!(
+        recosted.epoch, first.epoch,
+        "no write happened — the data epoch the replay oracle keys on is unchanged"
+    );
+    assert_eq!(
+        recosted.rows.sorted().rows,
+        first.rows.sorted().rows,
+        "feedback re-costing must never change results"
+    );
+    assert_eq!(
+        recosted.rows.sorted().rows,
+        fs.query(AGG).unwrap().rows.sorted().rows,
+        "re-costed cached server diverged from the uncached server"
+    );
+
+    // Absorbing the identical delta again is a no-op: the plan cached
+    // at the new plan epoch keeps hitting (no cache thrash).
+    assert!(!cached.absorb_feedback(&delta));
+    assert!(cs.query(AGG).unwrap().cache_hit);
+}
+
 /// Satellite (b): the outcome counters are *event* counters — for a
 /// fixed workload they are identical no matter how many client threads
 /// carry it.
