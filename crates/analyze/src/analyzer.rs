@@ -97,6 +97,19 @@ impl Analysis {
         );
     }
 
+    /// Pass 5, distributed flavour: record that a multi-shard plan has
+    /// an aggregate below a join with no FD1/FD2 certificate, so the
+    /// pre-aggregation cannot run as a combiner below the exchange
+    /// (GBJ502, informational). The engine calls this only when it is
+    /// actually configured for more than one shard.
+    pub fn check_combiner_pushdown(&mut self, detail: impl Into<String>) {
+        self.report.push(
+            crate::diag::Diagnostic::new(crate::diag::Code::CombinerNotCertified, detail.into())
+                .note("raw rows will cross the exchange instead of per-group partials")
+                .note("a certified eager rewrite would ship at most groups x shards partial rows"),
+        );
+    }
+
     /// The FD certificate, when pass 2 examined a rewrite.
     #[must_use]
     pub fn certificate(&self) -> Option<&FdCertificate> {

@@ -104,6 +104,12 @@ pub enum Code {
     /// Informational — the paper is explicit that applicability and
     /// profitability are separate questions.
     CostChoiceDivergence,
+    /// A sharded run has an aggregate below a join but no FD1/FD2
+    /// certificate, so the pre-aggregation cannot be pushed below the
+    /// exchange as a combiner: raw rows will cross the wire instead of
+    /// per-group partials (§7's distributed saving is forfeited).
+    /// Informational — correctness is unaffected, only shipped bytes.
+    CombinerNotCertified,
 }
 
 impl Code {
@@ -131,6 +137,7 @@ impl Code {
             Code::ProfileShapeMismatch => "GBJ404",
             Code::UnguardedExecution => "GBJ405",
             Code::CostChoiceDivergence => "GBJ501",
+            Code::CombinerNotCertified => "GBJ502",
         }
     }
 
@@ -155,9 +162,10 @@ impl Code {
             | Code::FloorCeilDivergence
             | Code::MissingMetrics
             | Code::UnguardedExecution => Severity::Warning,
-            Code::RewriteInapplicable | Code::UnboundedResources | Code::CostChoiceDivergence => {
-                Severity::Info
-            }
+            Code::RewriteInapplicable
+            | Code::UnboundedResources
+            | Code::CostChoiceDivergence
+            | Code::CombinerNotCertified => Severity::Info,
         }
     }
 
@@ -191,6 +199,9 @@ impl Code {
             Code::CostChoiceDivergence => {
                 "cost model declined a valid (FD-certified) eager rewrite"
             }
+            Code::CombinerNotCertified => {
+                "sharded aggregate-below-join without a certificate ships raw rows, not partials"
+            }
         }
     }
 
@@ -219,6 +230,7 @@ impl Code {
             Code::ProfileShapeMismatch,
             Code::UnguardedExecution,
             Code::CostChoiceDivergence,
+            Code::CombinerNotCertified,
         ]
     }
 }

@@ -65,11 +65,12 @@ pub struct EngineOptions {
 impl Default for EngineOptions {
     /// Defaults everywhere, except that the `GBJ_TEST_THREADS`
     /// environment variable (when set to a positive integer) overrides
-    /// the executor thread count and `GBJ_TEST_VECTORIZED` (`1`/`0`)
-    /// overrides the vectorized-kernel switch — the hooks
-    /// `scripts/verify.sh` uses to push the whole engine-level test
-    /// suite through the parallel operators and the columnar path
-    /// without touching each test.
+    /// the executor thread count, `GBJ_TEST_VECTORIZED` (`1`/`0`)
+    /// overrides the vectorized-kernel switch, and `GBJ_TEST_SHARDS`
+    /// (positive integer) overrides the in-process shard count — the
+    /// hooks `scripts/verify.sh` uses to push the whole engine-level
+    /// test suite through the parallel operators, the columnar path and
+    /// the sharded distributed runner without touching each test.
     fn default() -> EngineOptions {
         let mut exec = ExecOptions::default();
         if let Some(threads) = gbj_exec::threads_from_env() {
@@ -77,6 +78,9 @@ impl Default for EngineOptions {
         }
         if let Some(on) = gbj_exec::vectorized_from_env() {
             exec.vectorized = on;
+        }
+        if let Some(shards) = gbj_exec::shards_from_env() {
+            exec.shards = shards;
         }
         let verify_rewrites = match std::env::var("GBJ_VERIFY_REWRITES").ok().as_deref() {
             Some("1") => true,
@@ -205,6 +209,15 @@ pub struct QueryMetrics {
     pub rows: usize,
     /// Memory high-water mark across all operator state (bytes).
     pub peak_memory_bytes: u64,
+    /// In-process shards the query ran on (1 = single-shard).
+    pub shards: usize,
+    /// Measured rows shipped across shard boundaries (0 single-shard).
+    pub shipped_rows: u64,
+    /// Measured modelled wire bytes for those rows (0 single-shard).
+    pub shipped_bytes: u64,
+    /// The distribution planner's predicted shipped rows, when the
+    /// query actually ran sharded (None single-shard or on fallback).
+    pub predicted_shipped_rows: Option<f64>,
     /// The measured per-operator profile (with counters and timings).
     pub profile: ProfileNode,
     /// The estimator's per-node cardinality predictions (as of
@@ -224,6 +237,17 @@ impl QueryMetrics {
         audit_nodes(&self.estimates, &self.profile)
     }
 
+    /// Q-error of the distribution planner's shipped-rows prediction
+    /// against the measured exchange counters: `max(p/m, m/p)` with
+    /// both sides floored at 1 row (so an exact 0-vs-0 scores 1.0).
+    /// `None` when the query did not run sharded.
+    #[must_use]
+    pub fn shipped_q_error(&self) -> Option<f64> {
+        let predicted = self.predicted_shipped_rows?.max(1.0);
+        let measured = (self.shipped_rows as f64).max(1.0);
+        Some((predicted / measured).max(measured / predicted))
+    }
+
     /// Render the full metrics view: timings, resource high-water, the
     /// estimate-vs-actual tree and the raw counter/timing tree.
     #[must_use]
@@ -234,6 +258,17 @@ impl QueryMetrics {
         out.push_str(&format!("execution time: {:?}\n", self.execution));
         out.push_str(&format!("rows: {}\n", self.rows));
         out.push_str(&format!("peak memory: {} B\n", self.peak_memory_bytes));
+        if self.shards > 1 {
+            out.push_str(&format!(
+                "shards: {} (shipped {} rows / {} B over the wire)\n",
+                self.shards, self.shipped_rows, self.shipped_bytes
+            ));
+            if let (Some(p), Some(q)) = (self.predicted_shipped_rows, self.shipped_q_error()) {
+                out.push_str(&format!(
+                    "shipped prediction: {p:.0} rows (q-error {q:.2})\n"
+                ));
+            }
+        }
         out.push_str("estimate vs actual:\n");
         out.push_str(&annotated_tree(&self.audits()));
         out.push_str("operator metrics:\n");
@@ -350,6 +385,22 @@ impl Database {
     /// remains the oracle).
     pub fn set_vectorized(&mut self, on: bool) {
         self.options.exec.vectorized = on;
+    }
+
+    /// Set the in-process shard count for subsequent queries (`1` =
+    /// single-shard execution; results are byte-identical at every
+    /// value — only the shipped-rows/bytes counters change).
+    pub fn set_shards(&mut self, shards: std::num::NonZeroUsize) {
+        self.options.exec.shards = shards;
+    }
+
+    /// Declare a hash-partition key for a base table (see
+    /// [`Storage::declare_partition_key`]): sharded scans of the table
+    /// then start out co-partitioned on those columns, making exchanges
+    /// on that key free. A physical-layout declaration only — results
+    /// never change.
+    pub fn declare_partition_key(&mut self, table: &str, cols: &[&str]) -> Result<()> {
+        self.storage.declare_partition_key(table, cols)
     }
 
     /// The underlying storage.
@@ -506,12 +557,14 @@ impl Database {
         let plan_start = Instant::now();
         let report = self.plan_bound(bound)?;
         let planning = plan_start.elapsed();
-        let executor = Executor::with_options(&self.storage, self.options.exec);
+        let exec_opts = self.exec_options_for(&report);
+        let executor = Executor::with_options(&self.storage, exec_opts);
         let exec_start = Instant::now();
         let (rows, profile, summary) = executor.execute_metered(&report.plan)?;
         let execution = exec_start.elapsed();
         let fb = self.feedback_snapshot();
         let estimates = Estimator::with_feedback(&self.storage, &fb).estimate_plan(&report.plan);
+        let predicted_shipped_rows = self.predict_shipped(&report.plan, &estimates, &exec_opts);
         let feedback = delta_from_profile(&report.plan, &profile);
         if self.options.adaptive {
             self.absorb_feedback(&feedback);
@@ -523,11 +576,50 @@ impl Database {
             execution,
             rows: rows.len(),
             peak_memory_bytes: summary.peak_memory_bytes,
+            shards: exec_opts.shards.get(),
+            shipped_rows: summary.shipped_rows,
+            shipped_bytes: summary.shipped_bytes,
+            predicted_shipped_rows,
             profile: profile.clone(),
             estimates,
             feedback,
         });
         Ok((rows, profile, report))
+    }
+
+    /// Per-query executor options: the configured options plus the
+    /// combiner switch, which is sound only for an FD-certified eager
+    /// plan (the aggregate below the join is exactly the certified
+    /// pre-aggregation, so merging its partials preserves `=ⁿ`
+    /// semantics and every accumulator).
+    fn exec_options_for(&self, report: &QueryReport) -> ExecOptions {
+        let mut exec = self.options.exec;
+        exec.combiner = report.certificate.is_some() && report.choice == PlanChoice::Eager;
+        exec
+    }
+
+    /// Predicted shipped rows for the audit, when the plan will really
+    /// run sharded (the prediction mirrors the runner's gating so a
+    /// single-shard fallback never gets charged a phantom exchange).
+    fn predict_shipped(
+        &self,
+        plan: &LogicalPlan,
+        estimates: &PlanEstimate,
+        exec_opts: &ExecOptions,
+    ) -> Option<f64> {
+        let shards = exec_opts.shards.get();
+        if shards > 1 && gbj_exec::shard_supported(plan, exec_opts) {
+            let dist = gbj_optimizer::plan_distribution(
+                plan,
+                &card_tree(estimates),
+                shards,
+                exec_opts.combiner,
+                &|t| self.storage.partition_key(t).map(<[usize]>::to_vec),
+            );
+            Some(dist.shipped_rows)
+        } else {
+            None
+        }
     }
 
     /// Run a SELECT under a caller-supplied [`ResourceGuard`] — the
@@ -576,12 +668,14 @@ impl Database {
         planning: Duration,
         guard: &ResourceGuard,
     ) -> Result<(ResultSet, QueryMetrics)> {
-        let executor = Executor::with_options(&self.storage, self.options.exec);
+        let exec_opts = self.exec_options_for(report);
+        let executor = Executor::with_options(&self.storage, exec_opts);
         let exec_start = Instant::now();
         let (rows, profile, summary) = executor.execute_metered_with_guard(&report.plan, guard)?;
         let execution = exec_start.elapsed();
         let fb = self.feedback_snapshot();
         let estimates = Estimator::with_feedback(&self.storage, &fb).estimate_plan(&report.plan);
+        let predicted_shipped_rows = self.predict_shipped(&report.plan, &estimates, &exec_opts);
         let feedback = delta_from_profile(&report.plan, &profile);
         if self.options.adaptive {
             self.absorb_feedback(&feedback);
@@ -593,6 +687,10 @@ impl Database {
             execution,
             rows: rows.len(),
             peak_memory_bytes: summary.peak_memory_bytes,
+            shards: exec_opts.shards.get(),
+            shipped_rows: summary.shipped_rows,
+            shipped_bytes: summary.shipped_bytes,
+            predicted_shipped_rows,
             profile,
             estimates,
             feedback,
@@ -704,6 +802,20 @@ impl Database {
                 };
                 analysis.check_cost_choice(detail);
             }
+        }
+        // GBJ502: configured for sharded execution, the chosen plan has
+        // an aggregate below a join, but there is no FD1/FD2
+        // certificate — the pre-aggregation cannot run as a combiner
+        // below the exchange, so raw rows will cross the wire.
+        if self.options.exec.shards.get() > 1
+            && report.certificate.is_none()
+            && has_aggregate_below_join(&report.plan)
+        {
+            analysis.check_combiner_pushdown(format!(
+                "aggregate below a join at {} shards without a certificate: \
+                 the exchange ships raw rows, not per-group partials",
+                self.options.exec.shards.get()
+            ));
         }
         Ok(analysis.finish())
     }
@@ -1155,6 +1267,27 @@ fn collect_tables(block: &QueryBlock, catalog: &Catalog, ctx: &mut FdContext) {
             }
         }
     }
+}
+
+/// Whether the plan contains a grouped aggregate strictly below a join
+/// — the site a certified combiner would occupy in sharded execution.
+fn has_aggregate_below_join(plan: &LogicalPlan) -> bool {
+    fn walk(plan: &LogicalPlan, under_join: bool) -> bool {
+        match plan {
+            LogicalPlan::Scan { .. } => false,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::SubqueryAlias { input, .. }
+            | LogicalPlan::Sort { input, .. } => walk(input, under_join),
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::CrossJoin { left, right } => {
+                walk(left, true) || walk(right, true)
+            }
+            LogicalPlan::Aggregate {
+                input, group_by, ..
+            } => (under_join && !group_by.is_empty()) || walk(input, under_join),
+        }
+    }
+    walk(plan, false)
 }
 
 /// Convert the estimator's per-node predictions into the optimizer's

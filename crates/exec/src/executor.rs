@@ -69,6 +69,18 @@ pub struct ExecOptions {
     /// kernels cover only the error-free expression subset and each
     /// operator falls back to row-at-a-time evaluation otherwise.
     pub vectorized: bool,
+    /// In-process shard count for the distributed runner (see
+    /// [`crate::shard`]). `1` (the default) keeps single-shard
+    /// execution; at higher values supported plans run hash-partitioned
+    /// across shards with exchanges metering `shipped_rows` /
+    /// `shipped_bytes`, byte-identical to single-shard output.
+    pub shards: NonZeroUsize,
+    /// Push certified eager pre-aggregations below the exchange as
+    /// combiners (partial aggregation per origin shard, merge at the
+    /// destination). Only sound when the optimizer certified the eager
+    /// rewrite, so the engine sets this per query from the FD
+    /// certificate; off by default.
+    pub combiner: bool,
 }
 
 impl Default for ExecOptions {
@@ -80,6 +92,8 @@ impl Default for ExecOptions {
             threads: NonZeroUsize::MIN,
             metrics: true,
             vectorized: false,
+            shards: NonZeroUsize::MIN,
+            combiner: false,
         }
     }
 }
@@ -93,6 +107,24 @@ pub struct ExecSummary {
     pub peak_memory_bytes: u64,
     /// Total rows charged against the row budget across all operators.
     pub rows_charged: u64,
+    /// Rows shipped across shard boundaries by exchanges, gathers and
+    /// combiners (0 on single-shard runs).
+    pub shipped_rows: u64,
+    /// Modelled wire bytes for those shipped rows (0 on single-shard
+    /// runs).
+    pub shipped_bytes: u64,
+}
+
+/// Sum the shipped counters over a whole profile tree.
+fn shipped_totals(profile: &ProfileNode) -> (u64, u64) {
+    let mut rows = profile.metrics.shipped_rows;
+    let mut bytes = profile.metrics.shipped_bytes;
+    for child in &profile.children {
+        let (r, b) = shipped_totals(child);
+        rows += r;
+        bytes += b;
+    }
+    (rows, bytes)
 }
 
 /// Input batches a blocking operator processes: the morsel count, a
@@ -226,19 +258,27 @@ impl<'a> Executor<'a> {
         plan: &LogicalPlan,
         guard: &ResourceGuard,
     ) -> Result<(ResultSet, ProfileNode, ExecSummary)> {
-        // Batch-native pipeline (late materialization, dictionary keys)
-        // when the whole plan is inside the error-free vectorization
-        // rule; the row engine wholesale otherwise, so error order is
-        // always exactly the oracle's. See `crate::pipeline`.
+        // Sharded distributed runner when more than one shard is
+        // configured and the plan is inside its byte-identity gate;
+        // otherwise the batch-native pipeline (late materialization,
+        // dictionary keys) when the whole plan is inside the error-free
+        // vectorization rule; the row engine wholesale otherwise, so
+        // error order is always exactly the oracle's. See
+        // `crate::shard` and `crate::pipeline`.
         let (rows, profile) =
-            if self.options.vectorized && crate::pipeline::supported(plan, &self.options) {
+            if self.options.shards.get() > 1 && crate::shard::supported(plan, &self.options) {
+                crate::shard::run_sharded(self, plan, guard)?
+            } else if self.options.vectorized && crate::pipeline::supported(plan, &self.options) {
                 self.run_batched(plan, guard)?
             } else {
                 self.run(plan, guard)?
             };
+        let (shipped_rows, shipped_bytes) = shipped_totals(&profile);
         let summary = ExecSummary {
             peak_memory_bytes: guard.peak_memory(),
             rows_charged: guard.rows_used(),
+            shipped_rows,
+            shipped_bytes,
         };
         Ok((
             ResultSet {

@@ -53,6 +53,15 @@ pub struct OperatorMetrics {
     /// Nanoseconds spent inside vectorized kernels (batch construction
     /// plus column-at-a-time evaluation).
     pub kernel_ns: u64,
+    /// Rows this operator shipped across a shard boundary (exchange /
+    /// gather traffic; zero on the single-shard path). Deterministic at
+    /// a fixed shard count but a function of the shard count itself, so
+    /// excluded from [`OperatorMetrics::fingerprint`].
+    pub shipped_rows: u64,
+    /// Estimated bytes-over-the-wire for `shipped_rows` (row payload
+    /// plus per-row framing; partial aggregates price key + accumulator
+    /// states). Excluded from the fingerprint like `shipped_rows`.
+    pub shipped_bytes: u64,
 }
 
 impl OperatorMetrics {
@@ -94,6 +103,8 @@ pub struct MetricsSink {
     vectors: AtomicU64,
     selected: AtomicU64,
     kernel_ns: AtomicU64,
+    shipped_rows: AtomicU64,
+    shipped_bytes: AtomicU64,
 }
 
 impl MetricsSink {
@@ -160,6 +171,15 @@ impl MetricsSink {
         }
     }
 
+    /// Count rows (and their wire bytes) shipped across a shard
+    /// boundary by an exchange or gather.
+    pub fn add_shipped(&self, rows: u64, bytes: u64) {
+        if !self.disabled {
+            self.shipped_rows.fetch_add(rows, Ordering::Relaxed);
+            self.shipped_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
     /// Fold one morsel's thread-local counters into the sink (called by
     /// the coordinator in morsel order).
     pub fn fold_morsel(&self, m: &MorselMetrics) {
@@ -207,6 +227,8 @@ impl MetricsSink {
             vectors: self.vectors.load(Ordering::Relaxed),
             selected: self.selected.load(Ordering::Relaxed),
             kernel_ns: self.kernel_ns.load(Ordering::Relaxed),
+            shipped_rows: self.shipped_rows.load(Ordering::Relaxed),
+            shipped_bytes: self.shipped_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -271,6 +293,23 @@ mod tests {
         // The fingerprint stays comparable between the row and the
         // vectorized path (and across thread counts).
         assert_eq!(m.fingerprint(), [100, 40, 0, 0]);
+    }
+
+    #[test]
+    fn shipped_counters_accumulate_but_stay_out_of_the_fingerprint() {
+        let sink = MetricsSink::new();
+        sink.add_shipped(10, 800);
+        sink.add_shipped(5, 400);
+        let m = sink.finish(100, 100);
+        assert_eq!(m.shipped_rows, 15);
+        assert_eq!(m.shipped_bytes, 1200);
+        // Shipped traffic depends on the shard count, so the
+        // shard-count-invariant fingerprint must not see it.
+        assert_eq!(m.fingerprint(), [100, 100, 0, 0]);
+
+        let off = MetricsSink::disabled();
+        off.add_shipped(3, 99);
+        assert_eq!(off.finish(0, 0).shipped_rows, 0);
     }
 
     #[test]

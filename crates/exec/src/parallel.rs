@@ -71,7 +71,7 @@ pub fn threads_from_env() -> Option<NonZeroUsize> {
 /// panicked mid-write, which `run_morsels` already converts into a
 /// typed error — the data behind the lock is still the best record we
 /// have, so recover it instead of propagating the poison.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -92,7 +92,11 @@ type BuildSlot = (Vec<Vec<(GroupKey, usize)>>, MorselMetrics);
 /// `None` marks a morsel that was never claimed because an earlier
 /// morsel errored (claims are strictly sequential, so unclaimed morsels
 /// always form a suffix).
-fn run_morsels<T, F>(n_morsels: usize, threads: usize, worker: &F) -> Vec<Option<Result<T>>>
+pub(crate) fn run_morsels<T, F>(
+    n_morsels: usize,
+    threads: usize,
+    worker: &F,
+) -> Vec<Option<Result<T>>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
@@ -140,7 +144,7 @@ where
 /// construction the lowest-index error (deterministic first-error
 /// selection); otherwise all morsels completed and their values are
 /// returned in order.
-fn collect_in_order<T>(slots: Vec<Option<Result<T>>>) -> Result<Vec<T>> {
+pub(crate) fn collect_in_order<T>(slots: Vec<Option<Result<T>>>) -> Result<Vec<T>> {
     let mut out = Vec::with_capacity(slots.len());
     for (i, slot) in slots.into_iter().enumerate() {
         match slot {
@@ -323,14 +327,11 @@ pub fn parallel_hash_aggregate_with_keys(
     merged
 }
 
-/// Deterministic partition assignment: `DefaultHasher::new()` is
-/// documented to start from the same state for every instance, so the
-/// mapping is stable across runs and thread counts.
+/// Deterministic partition assignment, delegating to
+/// [`GroupKey::shard`] so in-operator partitioning and cross-shard
+/// routing agree on the mapping.
 fn partition_of(key: &GroupKey, parts: usize) -> usize {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() % parts.max(1) as u64) as usize
+    key.shard(parts)
 }
 
 /// Partitioned parallel hash join (build on `right`, probe with

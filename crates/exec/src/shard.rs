@@ -1,0 +1,1041 @@
+//! Multi-shard-in-process distributed execution.
+//!
+//! The sharded runner executes a plan over hash-partitioned data: every
+//! intermediate relation is a set of per-shard row vectors, operators
+//! run one worker per shard (scheduled onto the morsel worker pool),
+//! and [`crate::exchange`] repartitions rows — metering
+//! `shipped_rows`/`shipped_bytes` — whenever an operator needs
+//! co-location its inputs don't already have. This is the paper §7
+//! setting made measurable: with the certified eager pre-aggregation
+//! pushed *below* the join's exchange (a combiner), partial aggregates
+//! travel instead of raw rows and `shipped_bytes` records the win.
+//!
+//! **Byte-identity contract.** For every supported plan the sharded run
+//! produces the same result multiset as the single-shard engine and the
+//! same counter fingerprint (`rows_in`/`rows_out`/`batches`/
+//! `hash_entries` per operator): totals are charged from logical input
+//! sizes via the same formulas ([`input_batches`]), per-shard kernels
+//! share one [`MetricsSink`] and their disjoint contributions (build
+//! rows, distinct groups) sum to the single-shard numbers, and the
+//! combiner records the *merged* group count, never per-shard partials.
+//! Shipped counters are excluded from the fingerprint (they scale with
+//! the shard count) but are themselves deterministic at a fixed shard
+//! count — identical across thread counts and repeated runs.
+//!
+//! **Fault fidelity.** All shard inputs come from the same serial
+//! [`Storage::open_scan`](gbj_storage::Storage::open_scan) cursor the
+//! single-shard engine uses (same batch sizes, same global batch
+//! ordinals, same row-id-keyed NULL flips), so a seeded
+//! [`FaultInjector`](gbj_storage::FaultInjector) behaves identically
+//! with and without shards; downstream sharded work is fault-free
+//! in-memory compute.
+//!
+//! **Gating.** [`supported`] admits only plans whose scalar expressions
+//! sit in the error-free vectorizable subset (so per-shard evaluation
+//! order cannot change which error surfaces), with hash join/aggregate
+//! algorithms selected. Everything else falls back to the single-shard
+//! engine wholesale — the oracle path. Like the parallel operators,
+//! accumulator-state overflow (e.g. `SUM` crossing `i64::MAX` mid-
+//! stream) can differ from serial accumulation order; see DESIGN.md §9.
+
+use std::collections::{HashMap, HashSet};
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+use gbj_expr::{Accumulator, BoundExpr, Expr};
+use gbj_plan::LogicalPlan;
+use gbj_storage::ShardedTable;
+use gbj_types::{internal_err, GroupKey, Result, Schema, Truth, Value};
+
+use crate::aggregate::{hash_aggregate_with_keys, CompiledAggregate, ACC_ENTRY_BYTES};
+use crate::exchange::{exchange, gather, ROW_FRAME_BYTES};
+use crate::executor::{input_batches, AggAlgo, ExecOptions, Executor, JoinAlgo};
+use crate::guard::{row_bytes, ResourceGuard};
+use crate::join::{hash_join_with_keys, split_equi_keys};
+use crate::metrics::MetricsSink;
+use crate::parallel::{collect_in_order, lock, run_morsels};
+use crate::result::ProfileNode;
+use crate::vectorized::vectorizable;
+
+/// `GBJ_TEST_SHARDS`: shard-count override for the differential test
+/// matrix (mirrors `GBJ_TEST_THREADS`).
+#[must_use]
+pub fn shards_from_env() -> Option<NonZeroUsize> {
+    std::env::var("GBJ_TEST_SHARDS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .and_then(NonZeroUsize::new)
+}
+
+/// How one intermediate relation is distributed across the shards.
+#[derive(Debug, Clone)]
+enum Partitioning {
+    /// Hash-partitioned on any of these equivalent ordinal vectors
+    /// (e.g. after an equi join, both sides' key columns).
+    Hash(Vec<Vec<usize>>),
+    /// Unknown placement (round-robin scans, remapped-away keys).
+    Arbitrary,
+    /// Everything on shard 0 (after a gather).
+    Single,
+}
+
+/// One intermediate relation: rows per shard plus their distribution.
+struct ShardedRows {
+    parts: Vec<Vec<Vec<Value>>>,
+    part: Partitioning,
+}
+
+fn total(parts: &[Vec<Vec<Value>>]) -> usize {
+    parts.iter().map(Vec::len).sum()
+}
+
+/// Whether `e` binds against `schema` into the error-free vectorizable
+/// subset — the same rule the vectorized pipeline uses, here guarding
+/// per-shard evaluation-order independence of errors.
+fn expr_safe(e: &Expr, schema: &Schema) -> bool {
+    e.bind(schema).map(|b| vectorizable(&b)).unwrap_or(false)
+}
+
+/// Whether the sharded runner can execute `plan` with byte-identical
+/// results to the single-shard engine. Anything unsupported falls back
+/// wholesale (the single-shard engine is the oracle). Public so the
+/// engine can tell whether a multi-shard configuration will actually
+/// shard a given plan (e.g. to gate shipped-rows predictions).
+#[must_use]
+pub fn supported(plan: &LogicalPlan, options: &ExecOptions) -> bool {
+    matches!(options.join, JoinAlgo::Auto | JoinAlgo::Hash)
+        && options.agg == AggAlgo::Hash
+        && node_ok(plan)
+}
+
+fn node_ok(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Scan { .. } => true,
+        LogicalPlan::Filter { input, predicate } => {
+            input
+                .schema()
+                .map(|s| expr_safe(predicate, &s))
+                .unwrap_or(false)
+                && node_ok(input)
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            input
+                .schema()
+                .map(|s| exprs.iter().all(|(e, _)| expr_safe(e, &s)))
+                .unwrap_or(false)
+                && node_ok(input)
+        }
+        // A cross join has no key to partition on: broadcast semantics
+        // are out of scope, fall back.
+        LogicalPlan::CrossJoin { .. } => false,
+        LogicalPlan::Join {
+            left,
+            right,
+            condition,
+        } => {
+            let (Ok(ls), Ok(rs)) = (left.schema(), right.schema()) else {
+                return false;
+            };
+            let (keys, residual) = split_equi_keys(condition, &ls, &rs);
+            if keys.is_empty() {
+                return false;
+            }
+            let residual_ok = match Expr::conjunction(residual) {
+                None => true,
+                Some(e) => expr_safe(&e, &ls.join(&rs)),
+            };
+            residual_ok && node_ok(left) && node_ok(right)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let Ok(s) = input.schema() else {
+                return false;
+            };
+            group_by.iter().all(|e| expr_safe(e, &s))
+                && aggregates
+                    .iter()
+                    .all(|(c, _)| c.arg.as_ref().is_none_or(|e| expr_safe(e, &s)))
+                && node_ok(input)
+        }
+        LogicalPlan::SubqueryAlias { input, .. } => node_ok(input),
+        LogicalPlan::Sort { input, keys } => {
+            input
+                .schema()
+                .map(|s| keys.iter().all(|(e, _)| expr_safe(e, &s)))
+                .unwrap_or(false)
+                && node_ok(input)
+        }
+    }
+}
+
+/// Run each shard's rows through `f` on the morsel worker pool (one
+/// "morsel" per shard), collecting per-shard outputs in shard order
+/// with deterministic lowest-shard-first error selection.
+fn map_shards<T, F>(threads: usize, parts: Vec<Vec<Vec<Value>>>, f: &F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize, Vec<Vec<Value>>) -> Result<T> + Sync,
+{
+    let cells: Vec<Mutex<Vec<Vec<Value>>>> = parts.into_iter().map(Mutex::new).collect();
+    let slots = run_morsels(cells.len(), threads, &|i| {
+        let cell = cells
+            .get(i)
+            .ok_or_else(|| internal_err!("shard {i} out of range"))?;
+        let rows = std::mem::take(&mut *lock(cell));
+        f(i, rows)
+    });
+    collect_in_order(slots)
+}
+
+/// Key of `row` restricted to `ords`.
+fn ordinal_key(row: &[Value], ords: &[usize]) -> Result<GroupKey> {
+    ords.iter()
+        .map(|&o| {
+            row.get(o)
+                .cloned()
+                .ok_or_else(|| internal_err!("key ordinal {o} out of range"))
+        })
+        .collect::<Result<Vec<Value>>>()
+        .map(GroupKey)
+}
+
+/// Whether data hash-partitioned as `part` is already routed exactly as
+/// an exchange on `ords` would route it (same key sequence → same
+/// [`GroupKey::shard`] mapping).
+fn already_partitioned_on(part: &Partitioning, ords: &[usize]) -> bool {
+    matches!(part, Partitioning::Hash(variants) if variants.iter().any(|v| v == ords))
+}
+
+/// Execute `plan` across `options.shards` in-process shards and
+/// concatenate the per-shard outputs in shard order.
+pub(crate) fn run_sharded(
+    exec: &Executor,
+    plan: &LogicalPlan,
+    guard: &ResourceGuard,
+) -> Result<(Vec<Vec<Value>>, ProfileNode)> {
+    let n = exec.options.shards.get();
+    let (sh, profile) = eval(exec, plan, guard, n, false)?;
+    // Final delivery to the client is not an exchange: both plan shapes
+    // return the same result rows, so it is never metered as shipped.
+    Ok((sh.parts.into_iter().flatten().collect(), profile))
+}
+
+#[allow(clippy::too_many_lines)]
+fn eval(
+    exec: &Executor,
+    plan: &LogicalPlan,
+    guard: &ResourceGuard,
+    n: usize,
+    under_join: bool,
+) -> Result<(ShardedRows, ProfileNode)> {
+    let threads = exec.options.threads.get();
+    match plan {
+        LogicalPlan::Scan { table, schema, .. } => {
+            // Stage 0 is the *single-shard* scan, bit for bit: same
+            // cursor, same batch sizes, same fault-injection points.
+            // Partitioning happens after the scan output materialises.
+            let sink = exec.sink();
+            let timer = sink.start_timer();
+            let mut cursor = exec.storage.open_scan(table)?;
+            if cursor.arity() != schema.len() {
+                return Err(internal_err!("scan schema arity mismatch for {table}"));
+            }
+            let mut rows: Vec<Vec<Value>> = Vec::with_capacity(cursor.total_rows());
+            while let Some(batch) = cursor.next_batch()? {
+                guard.charge_rows(batch.len())?;
+                sink.add_batches(1);
+                rows.extend(batch);
+            }
+            sink.record_probe(timer);
+            let n_rows = rows.len();
+            let profile = ProfileNode::new(plan.label(), "Scan", n_rows, vec![])
+                .with_metrics(sink.finish(n_rows, n_rows));
+            let key = exec.storage.partition_key(table);
+            let sharded = ShardedTable::partition(rows, key, n)?;
+            let part = match sharded.key() {
+                Some(k) => Partitioning::Hash(vec![k.to_vec()]),
+                None => Partitioning::Arbitrary,
+            };
+            Ok((
+                ShardedRows {
+                    parts: sharded.into_parts(),
+                    part,
+                },
+                profile,
+            ))
+        }
+
+        LogicalPlan::Filter { input, predicate } => {
+            let (child, child_profile) = eval(exec, input, guard, n, under_join)?;
+            let sink = exec.sink();
+            let timer = sink.start_timer();
+            let in_schema = input.schema()?;
+            let bound = predicate.bind(&in_schema)?;
+            let n_in = total(&child.parts);
+            let part = child.part.clone();
+            let parts = map_shards(threads, child.parts, &|_, rows| {
+                let mut out = Vec::new();
+                for row in rows {
+                    guard.tick()?;
+                    if bound.eval_truth(&row)? == Truth::True {
+                        out.push(row);
+                    }
+                }
+                Ok(out)
+            })?;
+            let n_out = total(&parts);
+            guard.charge_rows(n_out)?;
+            sink.add_batches(1);
+            sink.record_probe(timer);
+            let profile =
+                ProfileNode::new(plan.label(), "ShardedFilter", n_out, vec![child_profile])
+                    .with_metrics(sink.finish(n_in, n_out));
+            Ok((ShardedRows { parts, part }, profile))
+        }
+
+        LogicalPlan::Project {
+            input,
+            exprs,
+            distinct,
+        } => {
+            let (child, child_profile) = eval(exec, input, guard, n, under_join)?;
+            let sink = exec.sink();
+            let timer = sink.start_timer();
+            let in_schema = input.schema()?;
+            let bound: Vec<BoundExpr> = exprs
+                .iter()
+                .map(|(e, _)| e.bind(&in_schema))
+                .collect::<Result<_>>()?;
+            let n_in = total(&child.parts);
+            let projected = map_shards(threads, child.parts, &|_, rows| {
+                rows.iter()
+                    .map(|row| {
+                        guard.tick()?;
+                        bound
+                            .iter()
+                            .map(|b| b.eval(row))
+                            .collect::<Result<Vec<Value>>>()
+                    })
+                    .collect::<Result<Vec<Vec<Value>>>>()
+            })?;
+            let (parts, part, op) = if *distinct {
+                // Duplicate elimination is global: co-locate equal
+                // output rows (whole row = `=ⁿ` key), then dedup per
+                // shard. The per-shard distinct counts are disjoint and
+                // sum to the single-shard dedup-set size.
+                let routed = exchange(projected, n, &sink, |row| Ok(GroupKey(row.to_vec())))?;
+                let parts = map_shards(threads, routed, &|_, rows| {
+                    let mut seen: HashSet<GroupKey> = HashSet::new();
+                    let mut out = Vec::new();
+                    for row in rows {
+                        guard.tick()?;
+                        if seen.insert(GroupKey(row.clone())) {
+                            out.push(row);
+                        }
+                    }
+                    Ok(out)
+                })?;
+                let arity = bound.len();
+                (
+                    parts,
+                    Partitioning::Hash(vec![(0..arity).collect()]),
+                    "ShardedProjectDistinct",
+                )
+            } else {
+                let part = remap_partitioning(&child.part, &bound);
+                (projected, part, "ShardedProject")
+            };
+            let n_out = total(&parts);
+            guard.charge_rows(n_out)?;
+            if *distinct {
+                sink.add_hash_entries(n_out as u64);
+            }
+            sink.add_batches(1);
+            sink.record_probe(timer);
+            let profile = ProfileNode::new(plan.label(), op, n_out, vec![child_profile])
+                .with_metrics(sink.finish(n_in, n_out));
+            Ok((ShardedRows { parts, part }, profile))
+        }
+
+        LogicalPlan::CrossJoin { .. } => Err(internal_err!(
+            "cross join reached the sharded runner (gated by supported())"
+        )),
+
+        LogicalPlan::Join {
+            left,
+            right,
+            condition,
+        } => {
+            let (l_sh, lp) = eval(exec, left, guard, n, true)?;
+            let (r_sh, rp) = eval(exec, right, guard, n, true)?;
+            let lschema = left.schema()?;
+            let rschema = right.schema()?;
+            let joined_schema = lschema.join(&rschema);
+            let (keys, residual) = split_equi_keys(condition, &lschema, &rschema);
+            if keys.is_empty() {
+                return Err(internal_err!(
+                    "non-equi join reached the sharded runner (gated by supported())"
+                ));
+            }
+            let residual_bound = Expr::conjunction(residual)
+                .map(|e| e.bind(&joined_schema))
+                .transpose()?;
+            let lords: Vec<usize> = keys.iter().map(|k| k.left).collect();
+            let rords: Vec<usize> = keys.iter().map(|k| k.right).collect();
+            let sink = exec.sink();
+            let l_n = total(&l_sh.parts);
+            let r_n = total(&r_sh.parts);
+            sink.add_batches(input_batches(l_n) + input_batches(r_n));
+            // Repartition each side on its key columns unless already
+            // hash-distributed exactly that way (the combiner's output,
+            // or a declared partition key, makes this free).
+            let l_parts = if already_partitioned_on(&l_sh.part, &lords) {
+                l_sh.parts
+            } else {
+                exchange(l_sh.parts, n, &sink, |row| ordinal_key(row, &lords))?
+            };
+            let r_parts = if already_partitioned_on(&r_sh.part, &rords) {
+                r_sh.parts
+            } else {
+                exchange(r_sh.parts, n, &sink, |row| ordinal_key(row, &rords))?
+            };
+            // Per-shard serial hash joins sharing one sink: build-side
+            // entry counts are per-row and each build row lives on
+            // exactly one shard, so the totals match single-shard.
+            let r_cells: Vec<Mutex<Vec<Vec<Value>>>> =
+                r_parts.into_iter().map(Mutex::new).collect();
+            let cells: Vec<Mutex<Vec<Vec<Value>>>> = l_parts.into_iter().map(Mutex::new).collect();
+            let slots = run_morsels(cells.len(), threads, &|i| {
+                let l_rows = std::mem::take(&mut *lock(
+                    cells
+                        .get(i)
+                        .ok_or_else(|| internal_err!("shard {i} out of range"))?,
+                ));
+                let r_rows = std::mem::take(&mut *lock(
+                    r_cells
+                        .get(i)
+                        .ok_or_else(|| internal_err!("shard {i} out of range"))?,
+                ));
+                hash_join_with_keys(
+                    &l_rows,
+                    &r_rows,
+                    &keys,
+                    &residual_bound,
+                    None,
+                    None,
+                    guard,
+                    &sink,
+                )
+            });
+            let parts = collect_in_order(slots)?;
+            let n_out = total(&parts);
+            guard.charge_rows(n_out)?;
+            let part = Partitioning::Hash(vec![
+                lords,
+                rords.iter().map(|r| r + lschema.len()).collect(),
+            ]);
+            let profile = ProfileNode::new(plan.label(), "ShardedHashJoin", n_out, vec![lp, rp])
+                .with_metrics(sink.finish(l_n + r_n, n_out));
+            Ok((ShardedRows { parts, part }, profile))
+        }
+
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let (child, child_profile) = eval(exec, input, guard, n, under_join)?;
+            let in_schema = input.schema()?;
+            let group_bound: Vec<BoundExpr> = group_by
+                .iter()
+                .map(|e| e.bind(&in_schema))
+                .collect::<Result<_>>()?;
+            let compiled: Vec<CompiledAggregate> = aggregates
+                .iter()
+                .map(|(call, _)| {
+                    let arg = call.arg.as_ref().map(|e| e.bind(&in_schema)).transpose()?;
+                    Ok(CompiledAggregate {
+                        call: call.clone(),
+                        arg,
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let sink = exec.sink();
+            let n_in = total(&child.parts);
+            sink.add_batches(input_batches(n_in));
+
+            if group_bound.is_empty() {
+                // Scalar aggregate: inherently global (one row even
+                // over empty input), so gather and run the serial
+                // kernel on shard 0 — which, like single-shard, records
+                // no hash entries for the scalar path.
+                let gathered = gather(child.parts, &sink);
+                let rows0 = hash_aggregate_with_keys(
+                    &gathered,
+                    &group_bound,
+                    &compiled,
+                    None,
+                    guard,
+                    &sink,
+                )?;
+                let n_out = rows0.len();
+                guard.charge_rows(n_out)?;
+                let mut parts: Vec<Vec<Vec<Value>>> = (0..n).map(|_| Vec::new()).collect();
+                if let Some(first) = parts.get_mut(0) {
+                    *first = rows0;
+                }
+                let profile =
+                    ProfileNode::new(plan.label(), "GatherAggregate", n_out, vec![child_profile])
+                        .with_metrics(sink.finish(n_in, n_out));
+                return Ok((
+                    ShardedRows {
+                        parts,
+                        part: Partitioning::Single,
+                    },
+                    profile,
+                ));
+            }
+
+            let group_ords: Option<Vec<usize>> = group_bound
+                .iter()
+                .map(|b| match b {
+                    BoundExpr::Column(o) => Some(*o),
+                    _ => None,
+                })
+                .collect();
+            // Equal group keys already co-located? True when all rows
+            // sit on shard 0, or when some partition-key variant's
+            // ordinals are a subset of the grouping columns (equal
+            // group values ⇒ equal partition-key values ⇒ same shard).
+            let colocated = matches!(child.part, Partitioning::Single)
+                || match (&child.part, &group_ords) {
+                    (Partitioning::Hash(variants), Some(ords)) => {
+                        let set: HashSet<usize> = ords.iter().copied().collect();
+                        variants.iter().any(|pk| pk.iter().all(|o| set.contains(o)))
+                    }
+                    _ => false,
+                };
+
+            let (parts, part, op) = if colocated {
+                let parts = map_shards(threads, child.parts, &|_, rows| {
+                    hash_aggregate_with_keys(&rows, &group_bound, &compiled, None, guard, &sink)
+                })?;
+                let part = match (&child.part, &group_ords) {
+                    (Partitioning::Single, _) => Partitioning::Single,
+                    (Partitioning::Hash(variants), Some(ords)) => {
+                        // Surviving variants, remapped to output
+                        // ordinals (group column i lands at position i).
+                        let remapped: Vec<Vec<usize>> = variants
+                            .iter()
+                            .filter_map(|pk| {
+                                pk.iter()
+                                    .map(|o| ords.iter().position(|g| g == o))
+                                    .collect::<Option<Vec<usize>>>()
+                            })
+                            .collect();
+                        if remapped.is_empty() {
+                            Partitioning::Arbitrary
+                        } else {
+                            Partitioning::Hash(remapped)
+                        }
+                    }
+                    _ => Partitioning::Arbitrary,
+                };
+                (parts, part, "ShardedHashAggregate")
+            } else if exec.options.combiner && under_join {
+                let parts = combiner_aggregate(
+                    exec,
+                    child.parts,
+                    &group_bound,
+                    &compiled,
+                    guard,
+                    n,
+                    &sink,
+                )?;
+                (
+                    parts,
+                    Partitioning::Hash(vec![(0..group_bound.len()).collect()]),
+                    "CombinerHashAggregate",
+                )
+            } else {
+                // Raw-row exchange on the grouping key, then per-shard
+                // full aggregation (the uncertified path GBJ502 flags).
+                let routed = exchange(child.parts, n, &sink, |row| {
+                    group_bound
+                        .iter()
+                        .map(|e| e.eval(row))
+                        .collect::<Result<Vec<Value>>>()
+                        .map(GroupKey)
+                })?;
+                let parts = map_shards(threads, routed, &|_, rows| {
+                    hash_aggregate_with_keys(&rows, &group_bound, &compiled, None, guard, &sink)
+                })?;
+                (
+                    parts,
+                    Partitioning::Hash(vec![(0..group_bound.len()).collect()]),
+                    "ShardedHashAggregate",
+                )
+            };
+            let n_out = total(&parts);
+            guard.charge_rows(n_out)?;
+            let profile = ProfileNode::new(plan.label(), op, n_out, vec![child_profile])
+                .with_metrics(sink.finish(n_in, n_out));
+            Ok((ShardedRows { parts, part }, profile))
+        }
+
+        LogicalPlan::SubqueryAlias { input, .. } => {
+            let (child, child_profile) = eval(exec, input, guard, n, under_join)?;
+            let sink = exec.sink();
+            sink.add_batches(1);
+            let n_rows = total(&child.parts);
+            let profile =
+                ProfileNode::new(plan.label(), "SubqueryAlias", n_rows, vec![child_profile])
+                    .with_metrics(sink.finish(n_rows, n_rows));
+            Ok((child, profile))
+        }
+
+        LogicalPlan::Sort { input, keys } => {
+            let (child, child_profile) = eval(exec, input, guard, n, under_join)?;
+            let sink = exec.sink();
+            let n_in = total(&child.parts);
+            sink.add_batches(input_batches(n_in));
+            let timer = sink.start_timer();
+            let in_schema = input.schema()?;
+            let bound: Vec<(BoundExpr, bool)> = keys
+                .iter()
+                .map(|(e, asc)| Ok((e.bind(&in_schema)?, *asc)))
+                .collect::<Result<_>>()?;
+            // A global order needs all rows in one place: gather, then
+            // the single-shard sort. Ties may interleave differently
+            // than single-shard input order (the sort is stable over
+            // the *gathered* order), which canonical comparison — and
+            // any ORDER BY contract — permits.
+            let gathered = gather(child.parts, &sink);
+            let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = gathered
+                .into_iter()
+                .map(|row| {
+                    guard.tick()?;
+                    let k: Vec<Value> = bound
+                        .iter()
+                        .map(|(e, _)| e.eval(&row))
+                        .collect::<Result<_>>()?;
+                    Ok((k, row))
+                })
+                .collect::<Result<_>>()?;
+            keyed.sort_by(|(a, _), (b, _)| {
+                for ((x, y), (_, asc)) in a.iter().zip(b).zip(&bound) {
+                    let ord = x.total_cmp(y);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            sink.record_build(timer);
+            let sorted: Vec<Vec<Value>> = keyed.into_iter().map(|(_, r)| r).collect();
+            let n_out = sorted.len();
+            let mut parts: Vec<Vec<Vec<Value>>> = (0..n).map(|_| Vec::new()).collect();
+            if let Some(first) = parts.get_mut(0) {
+                *first = sorted;
+            }
+            let profile = ProfileNode::new(plan.label(), "GatherSort", n_out, vec![child_profile])
+                .with_metrics(sink.finish(n_in, n_out));
+            Ok((
+                ShardedRows {
+                    parts,
+                    part: Partitioning::Single,
+                },
+                profile,
+            ))
+        }
+    }
+}
+
+/// Remap a partitioning through a projection: a `Hash` variant survives
+/// iff every one of its input ordinals is passed through as a plain
+/// column (first such output position wins).
+fn remap_partitioning(part: &Partitioning, bound: &[BoundExpr]) -> Partitioning {
+    match part {
+        Partitioning::Single => Partitioning::Single,
+        Partitioning::Arbitrary => Partitioning::Arbitrary,
+        Partitioning::Hash(variants) => {
+            let mut first_output: HashMap<usize, usize> = HashMap::new();
+            for (j, b) in bound.iter().enumerate() {
+                if let BoundExpr::Column(o) = b {
+                    first_output.entry(*o).or_insert(j);
+                }
+            }
+            let remapped: Vec<Vec<usize>> = variants
+                .iter()
+                .filter_map(|pk| {
+                    pk.iter()
+                        .map(|o| first_output.get(o).copied())
+                        .collect::<Option<Vec<usize>>>()
+                })
+                .collect();
+            if remapped.is_empty() {
+                Partitioning::Arbitrary
+            } else {
+                Partitioning::Hash(remapped)
+            }
+        }
+    }
+}
+
+/// One shipped partial-aggregate: a group key plus its accumulator
+/// states.
+type Partial = (GroupKey, Vec<Accumulator>);
+
+/// The eager pre-aggregation pushed below the exchange: per-origin-
+/// shard partial aggregation, partials shipped by key hash, merged at
+/// the destination through [`Accumulator::merge`] in `(origin shard,
+/// origin first-seen)` order.
+///
+/// Metrics: partial tables are invisible (per-shard distinct counts
+/// would over-count groups spanning origin shards); the merge phase
+/// records the merged group count and state bytes, reproducing the
+/// single-shard aggregate's `hash_entries` exactly. Shipped bytes price
+/// each partial as framing + key payload + one accumulator-state entry
+/// per aggregate ([`ACC_ENTRY_BYTES`]).
+fn combiner_aggregate(
+    exec: &Executor,
+    parts: Vec<Vec<Vec<Value>>>,
+    group_bound: &[BoundExpr],
+    compiled: &[CompiledAggregate],
+    guard: &ResourceGuard,
+    n: usize,
+    sink: &MetricsSink,
+) -> Result<Vec<Vec<Vec<Value>>>> {
+    let threads = exec.options.threads.get();
+    let timer = sink.start_timer();
+
+    // Phase 1: partial aggregation on each origin shard.
+    let partials: Vec<Vec<Partial>> = map_shards(threads, parts, &|_, rows| {
+        let mut order: Vec<GroupKey> = Vec::new();
+        let mut groups: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
+        let mut charged = 0u64;
+        let filled = (|| -> Result<()> {
+            for row in &rows {
+                guard.tick()?;
+                let key = GroupKey(
+                    group_bound
+                        .iter()
+                        .map(|e| e.eval(row))
+                        .collect::<Result<_>>()?,
+                );
+                if !groups.contains_key(&key) {
+                    let entry_bytes =
+                        row_bytes(&key.0) + ACC_ENTRY_BYTES * compiled.len().max(1) as u64;
+                    charged += entry_bytes;
+                    guard.charge_memory(entry_bytes)?;
+                }
+                let accs = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    compiled.iter().map(|a| a.call.accumulator()).collect()
+                });
+                for (agg, acc) in compiled.iter().zip(accs.iter_mut()) {
+                    agg.update(acc, row)?;
+                }
+            }
+            Ok(())
+        })();
+        let out = filled.map(|()| {
+            order
+                .into_iter()
+                .filter_map(|k| groups.remove(&k).map(|accs| (k, accs)))
+                .collect::<Vec<Partial>>()
+        });
+        guard.release_memory(charged);
+        out
+    })?;
+
+    // Phase 2: ship partials to the shard their key hashes to.
+    let mut routed: Vec<Vec<Partial>> = (0..n.max(1)).map(|_| Vec::new()).collect();
+    let mut shipped_rows = 0u64;
+    let mut shipped_bytes = 0u64;
+    for (origin, shard_partials) in partials.into_iter().enumerate() {
+        for (key, accs) in shard_partials {
+            let dest = key.shard(n);
+            if dest != origin {
+                shipped_rows += 1;
+                shipped_bytes += ROW_FRAME_BYTES
+                    + row_bytes(&key.0)
+                    + ACC_ENTRY_BYTES * accs.len().max(1) as u64;
+            }
+            routed
+                .get_mut(dest)
+                .ok_or_else(|| internal_err!("combiner routed out of range"))?
+                .push((key, accs));
+        }
+    }
+    sink.add_shipped(shipped_rows, shipped_bytes);
+
+    // Phase 3: merge at each destination shard.
+    let cells: Vec<Mutex<Vec<Partial>>> = routed.into_iter().map(Mutex::new).collect();
+    let slots = run_morsels(cells.len(), threads, &|i| {
+        let shard_partials = std::mem::take(&mut *lock(
+            cells
+                .get(i)
+                .ok_or_else(|| internal_err!("shard {i} out of range"))?,
+        ));
+        let mut order: Vec<GroupKey> = Vec::new();
+        let mut groups: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
+        let mut charged = 0u64;
+        let merged = (|| -> Result<()> {
+            for (key, accs) in shard_partials {
+                guard.tick()?;
+                if let Some(existing) = groups.get_mut(&key) {
+                    for (e, a) in existing.iter_mut().zip(&accs) {
+                        e.merge(a)?;
+                    }
+                } else {
+                    let entry_bytes =
+                        row_bytes(&key.0) + ACC_ENTRY_BYTES * compiled.len().max(1) as u64;
+                    charged += entry_bytes;
+                    guard.charge_memory(entry_bytes)?;
+                    order.push(key.clone());
+                    groups.insert(key, accs);
+                }
+            }
+            Ok(())
+        })();
+        let out = merged.and_then(|()| {
+            sink.add_hash_entries(order.len() as u64);
+            sink.add_state_bytes(charged);
+            let mut out = Vec::with_capacity(order.len());
+            for key in order {
+                let accs = groups
+                    .remove(&key)
+                    .ok_or_else(|| internal_err!("combiner group vanished"))?;
+                let mut row = key.0;
+                row.extend(accs.iter().map(Accumulator::finish));
+                out.push(row);
+            }
+            Ok(out)
+        });
+        guard.release_memory(charged);
+        out
+    });
+    let out = collect_in_order(slots);
+    sink.record_build(timer);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use gbj_catalog::{ColumnDef, Constraint, TableDef};
+    use gbj_expr::{AggregateCall, AggregateFunction};
+    use gbj_storage::Storage;
+    use gbj_types::DataType;
+
+    fn setup() -> Storage {
+        let mut s = Storage::new();
+        s.create_table(
+            TableDef::new(
+                "Department",
+                vec![
+                    ColumnDef::new("DeptID", DataType::Int64),
+                    ColumnDef::new("Name", DataType::Utf8),
+                ],
+            )
+            .with_constraint(Constraint::PrimaryKey(vec!["DeptID".into()])),
+        )
+        .unwrap();
+        s.create_table(
+            TableDef::new(
+                "Employee",
+                vec![
+                    ColumnDef::new("EmpID", DataType::Int64),
+                    ColumnDef::new("DeptID", DataType::Int64),
+                ],
+            )
+            .with_constraint(Constraint::PrimaryKey(vec!["EmpID".into()])),
+        )
+        .unwrap();
+        for (id, name) in [(1, "R&D"), (2, "Sales"), (3, "HR")] {
+            s.insert("Department", vec![Value::Int(id), Value::str(name)])
+                .unwrap();
+        }
+        let depts = [Some(1), Some(1), Some(1), Some(2), Some(2), None, Some(3)];
+        for (i, d) in depts.iter().enumerate() {
+            s.insert(
+                "Employee",
+                vec![Value::Int(i as i64 + 1), d.map_or(Value::Null, Value::Int)],
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    fn scan(s: &Storage, table: &str, alias: &str) -> LogicalPlan {
+        let def = s.catalog().table(table).unwrap();
+        LogicalPlan::Scan {
+            table: table.into(),
+            qualifier: alias.into(),
+            schema: def.schema(alias),
+        }
+    }
+
+    /// Example 1's lazy shape: Aggregate over Join.
+    fn lazy_plan(s: &Storage) -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan(s, "Employee", "E")),
+                right: Box::new(scan(s, "Department", "D")),
+                condition: Expr::col("E", "DeptID").eq(Expr::col("D", "DeptID")),
+            }),
+            group_by: vec![Expr::col("D", "DeptID"), Expr::col("D", "Name")],
+            aggregates: vec![(
+                AggregateCall::new(AggregateFunction::Count, Expr::col("E", "EmpID")),
+                "cnt".into(),
+            )],
+        }
+    }
+
+    /// Example 1's eager shape: aggregate-below-join, the combiner site.
+    fn eager_plan(s: &Storage) -> LogicalPlan {
+        let grouped = LogicalPlan::Aggregate {
+            input: Box::new(scan(s, "Employee", "E")),
+            group_by: vec![Expr::col("E", "DeptID")],
+            aggregates: vec![(
+                AggregateCall::new(AggregateFunction::Count, Expr::col("E", "EmpID")),
+                "cnt".into(),
+            )],
+        };
+        LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(grouped),
+                right: Box::new(scan(s, "Department", "D")),
+                condition: Expr::col("E", "DeptID").eq(Expr::col("D", "DeptID")),
+            }),
+            exprs: vec![
+                (Expr::col("D", "DeptID"), "DeptID".into()),
+                (Expr::col("D", "Name"), "Name".into()),
+                (Expr::bare("cnt"), "cnt".into()),
+            ],
+            distinct: false,
+        }
+    }
+
+    fn canon(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        rows
+    }
+
+    fn sharded_opts(shards: usize, combiner: bool) -> ExecOptions {
+        ExecOptions {
+            shards: NonZeroUsize::new(shards).unwrap(),
+            combiner,
+            ..ExecOptions::default()
+        }
+    }
+
+    #[test]
+    fn supported_gates_cross_and_non_equi_joins_and_unsafe_exprs() {
+        let s = setup();
+        let opts = ExecOptions::default();
+        assert!(supported(&lazy_plan(&s), &opts));
+        assert!(supported(&eager_plan(&s), &opts));
+        let cross = LogicalPlan::CrossJoin {
+            left: Box::new(scan(&s, "Employee", "E")),
+            right: Box::new(scan(&s, "Department", "D")),
+        };
+        assert!(!supported(&cross, &opts));
+        let non_equi = LogicalPlan::Join {
+            left: Box::new(scan(&s, "Employee", "E")),
+            right: Box::new(scan(&s, "Department", "D")),
+            condition: Expr::col("E", "DeptID")
+                .binary(gbj_expr::BinaryOp::Lt, Expr::col("D", "DeptID")),
+        };
+        assert!(!supported(&non_equi, &opts));
+        // Arithmetic can error: per-shard evaluation order must not
+        // change which error surfaces, so it falls back wholesale.
+        let arithmetic = LogicalPlan::Filter {
+            input: Box::new(scan(&s, "Employee", "E")),
+            predicate: Expr::col("E", "DeptID")
+                .binary(gbj_expr::BinaryOp::Add, Expr::lit(1i64))
+                .eq(Expr::lit(2i64)),
+        };
+        assert!(!supported(&arithmetic, &opts));
+        let sort_merge = ExecOptions {
+            join: JoinAlgo::SortMerge,
+            ..ExecOptions::default()
+        };
+        assert!(!supported(&lazy_plan(&s), &sort_merge));
+    }
+
+    #[test]
+    fn sharded_runs_match_single_shard_rows_and_fingerprint() {
+        let s = setup();
+        let single = Executor::new(&s);
+        for plan in [lazy_plan(&s), eager_plan(&s)] {
+            let (expect, expect_p, _) = single.execute_metered(&plan).unwrap();
+            for shards in [2usize, 4, 8] {
+                for combiner in [false, true] {
+                    let exec = Executor::with_options(&s, sharded_opts(shards, combiner));
+                    let (got, p, _) = exec.execute_metered(&plan).unwrap();
+                    assert_eq!(
+                        canon(got.rows),
+                        canon(expect.rows.clone()),
+                        "shards={shards} combiner={combiner}"
+                    );
+                    assert_eq!(
+                        p.counter_fingerprint(),
+                        expect_p.counter_fingerprint(),
+                        "shards={shards} combiner={combiner}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combiner_renames_the_below_join_aggregate_and_ships_partials() {
+        let s = setup();
+        let exec = Executor::with_options(&s, sharded_opts(4, true));
+        let (_, p, _) = exec.execute_metered(&eager_plan(&s)).unwrap();
+        let agg = p.find_operator("CombinerHashAggregate").unwrap();
+        assert_eq!(agg.metrics.hash_entries, 4, "4 distinct DeptID groups");
+        // Without the combiner flag the same site ships raw rows.
+        let raw = Executor::with_options(&s, sharded_opts(4, false));
+        let (_, p_raw, _) = raw.execute_metered(&eager_plan(&s)).unwrap();
+        assert!(p_raw.find_operator("CombinerHashAggregate").is_none());
+        assert!(p_raw.find_operator("ShardedHashAggregate").is_some());
+    }
+
+    #[test]
+    fn the_top_level_aggregate_never_becomes_a_combiner() {
+        let s = setup();
+        let exec = Executor::with_options(&s, sharded_opts(4, true));
+        let (_, p, _) = exec.execute_metered(&lazy_plan(&s)).unwrap();
+        // Lazy shape: the aggregate sits above the join, so even with
+        // the combiner enabled it must aggregate exactly once.
+        assert!(p.find_operator("CombinerHashAggregate").is_none());
+    }
+
+    #[test]
+    fn declared_partition_keys_make_the_scan_side_exchange_free() {
+        let mut s = setup();
+        s.declare_partition_key("Employee", &["DeptID"]).unwrap();
+        s.declare_partition_key("Department", &["DeptID"]).unwrap();
+        let exec = Executor::with_options(&s, sharded_opts(4, false));
+        let (res, p, _) = exec.execute_metered(&lazy_plan(&s)).unwrap();
+        let join = p.find_operator("ShardedHashJoin").unwrap();
+        assert_eq!(
+            (join.metrics.shipped_rows, join.metrics.shipped_bytes),
+            (0, 0),
+            "both sides arrive co-partitioned on the join key"
+        );
+        let single = Executor::new(&s);
+        let (expect, _, _) = single.execute_metered(&lazy_plan(&s)).unwrap();
+        assert_eq!(canon(res.rows), canon(expect.rows));
+    }
+}

@@ -1,0 +1,478 @@
+//! Predictive distribution planning: how many rows *will* cross shard
+//! boundaries when a lowered plan runs on the sharded executor.
+//!
+//! This is the cost-model side of the paper's §7 distributed argument,
+//! made checkable: [`plan_distribution`] walks a lowered plan with its
+//! cardinality estimates ([`CardTree`]) and symbolically mirrors the
+//! sharded runner's partitioning rules — declared partition keys make
+//! scans co-partitioned, equi joins repartition each side on its key
+//! unless already distributed that way, grouped aggregation exchanges
+//! on the grouping key (or, when the eager rewrite is certified, ships
+//! one partial per group per origin shard instead), scalar aggregates
+//! and sorts gather to one shard. The result is a predicted
+//! `shipped_rows` the engine audits against the executor's measured
+//! counters (a Q-error, like the cardinality audit feeding the
+//! `FeedbackStore`).
+//!
+//! The partition-tracking rules here intentionally duplicate
+//! `gbj-exec`'s `shard` module (the optimizer cannot depend on the
+//! executor — the dependency points the other way). The differential
+//! test suite keeps the two in agreement by bounding the Q-error
+//! between prediction and measurement.
+//!
+//! Under uniform hashing a repartition moves an expected `(s-1)/s` of
+//! its input (each row's destination matches its origin with
+//! probability `1/s`); a gather moves everything not already on the
+//! target shard, the same `(s-1)/s` in expectation.
+
+use gbj_expr::Expr;
+use gbj_plan::LogicalPlan;
+use gbj_types::Schema;
+
+use crate::cost::CardTree;
+
+/// Predicted distributed execution profile of one lowered plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistPlan {
+    /// Key repartitions (join sides and grouped aggregations that were
+    /// not already co-partitioned).
+    pub exchanges: usize,
+    /// Aggregations predicted to run as combiners (partials shipped
+    /// below the exchange).
+    pub combiners: usize,
+    /// Gathers to a single shard (scalar aggregates, global sorts).
+    pub gathers: usize,
+    /// Expected rows crossing shard boundaries, under uniform hashing.
+    pub shipped_rows: f64,
+}
+
+impl DistPlan {
+    fn zero() -> DistPlan {
+        DistPlan {
+            exchanges: 0,
+            combiners: 0,
+            gathers: 0,
+            shipped_rows: 0.0,
+        }
+    }
+}
+
+/// Symbolic mirror of the runner's `Partitioning`.
+#[derive(Debug, Clone)]
+enum Part {
+    Hash(Vec<Vec<usize>>),
+    Arbitrary,
+    Single,
+}
+
+/// Predict the distributed profile of `plan` at `shards` shards.
+///
+/// `card` is the engine's per-node cardinality estimate tree
+/// (shape-congruent with `plan`; missing nodes degrade to zero rows).
+/// `combiner` says whether the executor will push eager
+/// pre-aggregations below the exchange (the engine sets it from the FD
+/// certificate, exactly as it configures the executor). `partition_key`
+/// resolves a base table's declared partition-key ordinals — the
+/// engine passes a closure over its storage.
+#[must_use]
+pub fn plan_distribution(
+    plan: &LogicalPlan,
+    card: &CardTree,
+    shards: usize,
+    combiner: bool,
+    partition_key: &impl Fn(&str) -> Option<Vec<usize>>,
+) -> DistPlan {
+    let mut acc = DistPlan::zero();
+    if shards > 1 {
+        walk(plan, card, shards, combiner, partition_key, false, &mut acc);
+    }
+    acc
+}
+
+fn child(card: &CardTree, idx: usize) -> CardTree {
+    card.children
+        .get(idx)
+        .cloned()
+        .unwrap_or_else(|| CardTree::leaf(0.0))
+}
+
+/// Expected fraction of rows that change shard in a uniform-hash
+/// repartition (or a gather of uniformly spread rows).
+fn moved_fraction(shards: usize) -> f64 {
+    if shards <= 1 {
+        0.0
+    } else {
+        (shards as f64 - 1.0) / shards as f64
+    }
+}
+
+fn already_on(part: &Part, ords: &[usize]) -> bool {
+    matches!(part, Part::Hash(variants) if variants.iter().any(|v| v == ords))
+}
+
+/// Equi-key ordinals of a join condition: conjuncts of the form
+/// `left-column = right-column`, mirroring the executor's key split.
+fn equi_key_ords(cond: &Expr, ls: &Schema, rs: &Schema) -> (Vec<usize>, Vec<usize>) {
+    let mut lords = Vec::new();
+    let mut rords = Vec::new();
+    for conjunct in gbj_expr::conjuncts(cond) {
+        if let Expr::Binary { left, op, right } = &conjunct {
+            if *op == gbj_expr::BinaryOp::Eq {
+                let (a, b) = (left.bind(ls).ok(), right.bind(rs).ok());
+                let (c, d) = (right.bind(ls).ok(), left.bind(rs).ok());
+                if let (
+                    Some(gbj_expr::BoundExpr::Column(l)),
+                    Some(gbj_expr::BoundExpr::Column(r)),
+                ) = (&a, &b)
+                {
+                    lords.push(*l);
+                    rords.push(*r);
+                } else if let (
+                    Some(gbj_expr::BoundExpr::Column(l)),
+                    Some(gbj_expr::BoundExpr::Column(r)),
+                ) = (&c, &d)
+                {
+                    lords.push(*l);
+                    rords.push(*r);
+                }
+            }
+        }
+    }
+    (lords, rords)
+}
+
+/// Group-by ordinals when every grouping expression is a plain column
+/// of the input.
+fn group_ords(group_by: &[Expr], schema: &Schema) -> Option<Vec<usize>> {
+    group_by
+        .iter()
+        .map(|e| match e.bind(schema) {
+            Ok(gbj_expr::BoundExpr::Column(o)) => Some(o),
+            _ => None,
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_lines)]
+fn walk(
+    plan: &LogicalPlan,
+    card: &CardTree,
+    shards: usize,
+    combiner: bool,
+    partition_key: &impl Fn(&str) -> Option<Vec<usize>>,
+    under_join: bool,
+    acc: &mut DistPlan,
+) -> Part {
+    match plan {
+        LogicalPlan::Scan { table, .. } => match partition_key(table) {
+            Some(key) => Part::Hash(vec![key]),
+            None => Part::Arbitrary,
+        },
+        LogicalPlan::Filter { input, .. } => walk(
+            input,
+            &child(card, 0),
+            shards,
+            combiner,
+            partition_key,
+            under_join,
+            acc,
+        ),
+        LogicalPlan::Project {
+            input,
+            exprs,
+            distinct,
+        } => {
+            let c = child(card, 0);
+            let part = walk(input, &c, shards, combiner, partition_key, under_join, acc);
+            if *distinct {
+                // Global dedup: whole-row exchange of the projected rows.
+                acc.exchanges += 1;
+                acc.shipped_rows += c.rows.max(0.0) * moved_fraction(shards);
+                return Part::Hash(vec![(0..exprs.len()).collect()]);
+            }
+            let Ok(schema) = input.schema() else {
+                return Part::Arbitrary;
+            };
+            remap(&part, exprs, &schema)
+        }
+        LogicalPlan::CrossJoin { left, right } => {
+            // Unsupported by the sharded runner (falls back wholesale);
+            // contribute children for completeness, ship nothing.
+            walk(
+                left,
+                &child(card, 0),
+                shards,
+                combiner,
+                partition_key,
+                under_join,
+                acc,
+            );
+            walk(
+                right,
+                &child(card, 1),
+                shards,
+                combiner,
+                partition_key,
+                under_join,
+                acc,
+            );
+            Part::Arbitrary
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            condition,
+        } => {
+            let lc = child(card, 0);
+            let rc = child(card, 1);
+            let l_part = walk(left, &lc, shards, combiner, partition_key, true, acc);
+            let r_part = walk(right, &rc, shards, combiner, partition_key, true, acc);
+            let (Ok(ls), Ok(rs)) = (left.schema(), right.schema()) else {
+                return Part::Arbitrary;
+            };
+            let (lords, rords) = equi_key_ords(condition, &ls, &rs);
+            if lords.is_empty() {
+                return Part::Arbitrary;
+            }
+            if !already_on(&l_part, &lords) {
+                acc.exchanges += 1;
+                acc.shipped_rows += lc.rows.max(0.0) * moved_fraction(shards);
+            }
+            if !already_on(&r_part, &rords) {
+                acc.exchanges += 1;
+                acc.shipped_rows += rc.rows.max(0.0) * moved_fraction(shards);
+            }
+            Part::Hash(vec![lords, rords.iter().map(|r| r + ls.len()).collect()])
+        }
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
+            let c = child(card, 0);
+            let part = walk(input, &c, shards, combiner, partition_key, under_join, acc);
+            if group_by.is_empty() {
+                // Scalar: gather everything to one shard.
+                acc.gathers += 1;
+                acc.shipped_rows += c.rows.max(0.0) * moved_fraction(shards);
+                return Part::Single;
+            }
+            let Ok(schema) = input.schema() else {
+                return Part::Arbitrary;
+            };
+            let ords = group_ords(group_by, &schema);
+            let colocated = matches!(part, Part::Single)
+                || match (&part, &ords) {
+                    (Part::Hash(variants), Some(o)) => {
+                        let set: std::collections::HashSet<usize> = o.iter().copied().collect();
+                        variants.iter().any(|pk| pk.iter().all(|x| set.contains(x)))
+                    }
+                    _ => false,
+                };
+            let out_part = || Part::Hash(vec![(0..group_by.len()).collect()]);
+            if colocated {
+                if matches!(part, Part::Single) {
+                    return Part::Single;
+                }
+                // Stays put; output keyed on the grouping columns only
+                // when the surviving variant maps onto them — keep it
+                // simple and conservative: the full grouping key holds
+                // iff the partition variant *is* the grouping key.
+                if let (Part::Hash(variants), Some(o)) = (&part, &ords) {
+                    if variants.iter().any(|pk| pk == o) {
+                        return out_part();
+                    }
+                }
+                return Part::Arbitrary;
+            }
+            if combiner && under_join {
+                // One partial per group per origin shard, at most all
+                // input rows; an expected (s-1)/s of the partials move.
+                let groups = card.rows.max(0.0);
+                let partials = (groups * shards as f64).min(c.rows.max(0.0));
+                acc.combiners += 1;
+                acc.shipped_rows += partials * moved_fraction(shards);
+            } else {
+                acc.exchanges += 1;
+                acc.shipped_rows += c.rows.max(0.0) * moved_fraction(shards);
+            }
+            out_part()
+        }
+        LogicalPlan::SubqueryAlias { input, .. } => walk(
+            input,
+            &child(card, 0),
+            shards,
+            combiner,
+            partition_key,
+            under_join,
+            acc,
+        ),
+        LogicalPlan::Sort { input, .. } => {
+            let c = child(card, 0);
+            walk(input, &c, shards, combiner, partition_key, under_join, acc);
+            acc.gathers += 1;
+            acc.shipped_rows += c.rows.max(0.0) * moved_fraction(shards);
+            Part::Single
+        }
+    }
+}
+
+/// Remap a partitioning through projection expressions: a variant
+/// survives iff every ordinal is passed through as a plain column.
+fn remap(part: &Part, exprs: &[(Expr, String)], schema: &Schema) -> Part {
+    match part {
+        Part::Single => Part::Single,
+        Part::Arbitrary => Part::Arbitrary,
+        Part::Hash(variants) => {
+            let outputs: Vec<Option<usize>> = exprs
+                .iter()
+                .map(|(e, _)| match e.bind(schema) {
+                    Ok(gbj_expr::BoundExpr::Column(o)) => Some(o),
+                    _ => None,
+                })
+                .collect();
+            let first_output =
+                |o: usize| -> Option<usize> { outputs.iter().position(|x| *x == Some(o)) };
+            let remapped: Vec<Vec<usize>> = variants
+                .iter()
+                .filter_map(|pk| pk.iter().map(|&o| first_output(o)).collect())
+                .collect();
+            if remapped.is_empty() {
+                Part::Arbitrary
+            } else {
+                Part::Hash(remapped)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_types::{DataType, Field};
+
+    fn scan(table: &str, q: &str, cols: &[&str]) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: table.into(),
+            qualifier: q.into(),
+            schema: Schema::new(
+                cols.iter()
+                    .map(|c| Field::new(*c, DataType::Int64, true).with_qualifier(q))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn no_keys(_: &str) -> Option<Vec<usize>> {
+        None
+    }
+
+    /// Lazy fan-in shape: Aggregate(Join(Fact, Dim)) — both join sides
+    /// repartition, the top aggregate sits on the join key already.
+    fn lazy_plan() -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("Fact", "F", &["FactId", "DimId", "V"])),
+                right: Box::new(scan("Dim", "D", &["DimId", "Cat"])),
+                condition: Expr::col("F", "DimId").eq(Expr::col("D", "DimId")),
+            }),
+            group_by: vec![Expr::col("D", "DimId")],
+            aggregates: vec![],
+        }
+    }
+
+    fn lazy_card() -> CardTree {
+        CardTree {
+            rows: 100.0,
+            children: vec![CardTree {
+                rows: 10_000.0,
+                children: vec![CardTree::leaf(10_000.0), CardTree::leaf(100.0)],
+            }],
+        }
+    }
+
+    /// Eager shape: Join(Aggregate(Fact), Dim).
+    fn eager_plan() -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(LogicalPlan::Aggregate {
+                input: Box::new(scan("Fact", "F", &["FactId", "DimId", "V"])),
+                group_by: vec![Expr::col("F", "DimId")],
+                aggregates: vec![],
+            }),
+            right: Box::new(scan("Dim", "D", &["DimId", "Cat"])),
+            condition: Expr::col("F", "DimId").eq(Expr::col("D", "DimId")),
+        }
+    }
+
+    fn eager_card() -> CardTree {
+        CardTree {
+            rows: 100.0,
+            children: vec![
+                CardTree {
+                    rows: 100.0,
+                    children: vec![CardTree::leaf(10_000.0)],
+                },
+                CardTree::leaf(100.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn single_shard_ships_nothing() {
+        let d = plan_distribution(&lazy_plan(), &lazy_card(), 1, false, &no_keys);
+        assert_eq!(d, DistPlan::zero());
+    }
+
+    #[test]
+    fn lazy_ships_fact_rows_eager_combiner_ships_partials() {
+        let lazy = plan_distribution(&lazy_plan(), &lazy_card(), 4, false, &no_keys);
+        // Join repartitions both sides; the aggregate above is then
+        // co-partitioned on its grouping key and ships nothing more.
+        assert_eq!(lazy.exchanges, 2);
+        assert!((lazy.shipped_rows - 10_100.0 * 0.75).abs() < 1e-9);
+
+        let eager = plan_distribution(&eager_plan(), &eager_card(), 4, true, &no_keys);
+        // The below-join aggregate becomes a combiner (≤ groups × shards
+        // partials move); its output arrives partitioned on the join
+        // key, so only the dim side repartitions.
+        assert_eq!(eager.combiners, 1);
+        assert_eq!(eager.exchanges, 1);
+        assert!((eager.shipped_rows - (400.0 + 100.0) * 0.75).abs() < 1e-9);
+        assert!(eager.shipped_rows < lazy.shipped_rows);
+    }
+
+    #[test]
+    fn uncertified_eager_ships_raw_rows_into_the_group_exchange() {
+        let eager = plan_distribution(&eager_plan(), &eager_card(), 4, false, &no_keys);
+        assert_eq!(eager.combiners, 0);
+        assert_eq!(eager.exchanges, 2);
+        assert!((eager.shipped_rows - (10_000.0 + 100.0) * 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn declared_partition_keys_remove_exchanges() {
+        let keys = |t: &str| -> Option<Vec<usize>> {
+            match t {
+                "Fact" => Some(vec![1]), // DimId
+                "Dim" => Some(vec![0]),  // DimId
+                _ => None,
+            }
+        };
+        let d = plan_distribution(&lazy_plan(), &lazy_card(), 4, false, &keys);
+        assert_eq!(d.exchanges, 0);
+        assert_eq!(d.shipped_rows, 0.0);
+    }
+
+    #[test]
+    fn scalar_aggregate_and_sort_gather() {
+        let plan = LogicalPlan::Sort {
+            input: Box::new(scan("T", "T", &["a"])),
+            keys: vec![(Expr::col("T", "a"), true)],
+        };
+        let card = CardTree {
+            rows: 8.0,
+            children: vec![CardTree::leaf(8.0)],
+        };
+        let d = plan_distribution(&plan, &card, 2, false, &no_keys);
+        assert_eq!(d.gathers, 1);
+        assert!((d.shipped_rows - 4.0).abs() < 1e-9);
+    }
+}

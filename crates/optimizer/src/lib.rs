@@ -35,11 +35,13 @@
 //! up whichever block was chosen.
 
 pub mod cost;
+pub mod distributed;
 pub mod join_order;
 pub mod optimizer;
 pub mod rules;
 
 pub use cost::{shape_cost, CardTree, ShapeCost};
+pub use distributed::{plan_distribution, DistPlan};
 pub use join_order::JoinOrdering;
 pub use optimizer::{Optimizer, OptimizerRule};
 pub use rules::{ColumnPruning, MergeFilters, PredicatePushdown};

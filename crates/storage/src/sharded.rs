@@ -1,0 +1,163 @@
+//! Hash-partitioned table shards for multi-shard-in-process execution.
+//!
+//! A [`ShardedTable`] is a *view* of one table's rows split across `n`
+//! shards. When the table has a declared partition key the split is by
+//! hash of that key under `=ⁿ` semantics ([`GroupKey::shard`]): keys
+//! that compare `=ⁿ`-equal — including all-NULL keys, which the paper's
+//! grouping treats as one group — land deterministically on a single
+//! shard. Without a declared key rows are dealt round-robin, which is
+//! how a loader without placement knowledge would spread them.
+//!
+//! The split is pure bookkeeping: no rows are copied out of [`Storage`]
+//! here (the executor materialises scan output first, exactly as the
+//! single-shard engine does, then partitions), so fault injection and
+//! constraint enforcement behave identically with and without shards.
+
+use gbj_types::{Error, GroupKey, Result, Value};
+
+/// One table's rows, split across `n` in-process shards.
+#[derive(Debug, Clone)]
+pub struct ShardedTable {
+    parts: Vec<Vec<Vec<Value>>>,
+    key: Option<Vec<usize>>,
+}
+
+impl ShardedTable {
+    /// Partition `rows` across `shards` shards. With `key` ordinals the
+    /// split hashes the key values through [`GroupKey::shard`]
+    /// (`=ⁿ`-equal keys co-locate, NULL keys land on one deterministic
+    /// shard); without, rows are dealt round-robin in input order.
+    pub fn partition(
+        rows: Vec<Vec<Value>>,
+        key: Option<&[usize]>,
+        shards: usize,
+    ) -> Result<ShardedTable> {
+        let n = shards.max(1);
+        let mut parts: Vec<Vec<Vec<Value>>> = (0..n).map(|_| Vec::new()).collect();
+        match key {
+            Some(ords) => {
+                for row in rows {
+                    let vals = ords
+                        .iter()
+                        .map(|&o| {
+                            row.get(o).cloned().ok_or_else(|| {
+                                Error::Internal(format!("partition-key ordinal {o} out of bounds"))
+                            })
+                        })
+                        .collect::<Result<Vec<Value>>>()?;
+                    let dest = GroupKey(vals).shard(n);
+                    parts
+                        .get_mut(dest)
+                        .ok_or_else(|| Error::Internal("shard routing out of range".into()))?
+                        .push(row);
+                }
+            }
+            None => {
+                for (i, row) in rows.into_iter().enumerate() {
+                    let dest = i % n;
+                    parts
+                        .get_mut(dest)
+                        .ok_or_else(|| Error::Internal("shard routing out of range".into()))?
+                        .push(row);
+                }
+            }
+        }
+        Ok(ShardedTable {
+            parts,
+            key: key.map(<[usize]>::to_vec),
+        })
+    }
+
+    /// Number of shards (always ≥ 1).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The partition-key ordinals this table is hashed on, if any.
+    #[must_use]
+    pub fn key(&self) -> Option<&[usize]> {
+        self.key.as_deref()
+    }
+
+    /// Rows of one shard (empty slice when `i` is out of range).
+    #[must_use]
+    pub fn part(&self, i: usize) -> &[Vec<Value>] {
+        self.parts.get(i).map_or(&[], Vec::as_slice)
+    }
+
+    /// Consume the view, yielding rows per shard.
+    #[must_use]
+    pub fn into_parts(self) -> Vec<Vec<Vec<Value>>> {
+        self.parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_of_ints(vals: &[i64]) -> Vec<Vec<Value>> {
+        vals.iter().map(|&v| vec![Value::Int(v)]).collect()
+    }
+
+    fn flatten_sorted(sh: &ShardedTable) -> Vec<Vec<Value>> {
+        let mut all: Vec<Vec<Value>> = (0..sh.shards()).flat_map(|i| sh.part(i).to_vec()).collect();
+        all.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        all
+    }
+
+    #[test]
+    fn one_shard_is_the_identity() {
+        let rows = rows_of_ints(&[3, 1, 2]);
+        let sh = ShardedTable::partition(rows.clone(), Some(&[0]), 1).unwrap();
+        assert_eq!(sh.shards(), 1);
+        assert_eq!(sh.part(0), rows.as_slice());
+    }
+
+    #[test]
+    fn hash_partition_preserves_the_multiset_and_colocates_equal_keys() {
+        let rows = rows_of_ints(&[5, 7, 5, 9, 7, 5]);
+        let sh = ShardedTable::partition(rows.clone(), Some(&[0]), 4).unwrap();
+        let mut expect = rows;
+        expect.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        assert_eq!(flatten_sorted(&sh), expect);
+        // Equal keys must co-locate: every value appears on one shard.
+        for v in [5i64, 7, 9] {
+            let holders = (0..sh.shards())
+                .filter(|&i| sh.part(i).iter().any(|r| r == &vec![Value::Int(v)]))
+                .count();
+            assert_eq!(holders, 1, "key {v} spread across shards");
+        }
+    }
+
+    #[test]
+    fn null_keys_land_on_one_deterministic_shard() {
+        let rows: Vec<Vec<Value>> = (0..16).map(|_| vec![Value::Null]).collect();
+        let sh = ShardedTable::partition(rows, Some(&[0]), 8).unwrap();
+        let holders: Vec<usize> = (0..sh.shards())
+            .filter(|&i| !sh.part(i).is_empty())
+            .collect();
+        assert_eq!(holders.len(), 1, "=ⁿ: NULL keys must not spray");
+        assert_eq!(sh.part(*holders.first().unwrap()).len(), 16);
+        // And the choice is stable across calls (DefaultHasher is
+        // documented to start from a fixed state).
+        let again = ShardedTable::partition(vec![vec![Value::Null]], Some(&[0]), 8).unwrap();
+        assert!(!again.part(*holders.first().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn round_robin_without_a_declared_key() {
+        let rows = rows_of_ints(&[0, 1, 2, 3, 4]);
+        let sh = ShardedTable::partition(rows, None, 2).unwrap();
+        assert_eq!(sh.part(0), rows_of_ints(&[0, 2, 4]).as_slice());
+        assert_eq!(sh.part(1), rows_of_ints(&[1, 3]).as_slice());
+        assert!(sh.key().is_none());
+    }
+
+    #[test]
+    fn out_of_bounds_key_ordinal_is_an_error() {
+        let rows = rows_of_ints(&[1]);
+        assert!(ShardedTable::partition(rows, Some(&[3]), 2).is_err());
+    }
+}

@@ -27,6 +27,12 @@ pub struct Storage {
     /// Optional read-path fault injection (testing only; `None` in
     /// normal operation).
     fault: Option<FaultInjector>,
+    /// Declared hash-partition keys per table (lower-cased name →
+    /// column ordinals), consulted by the sharded executor to decide
+    /// which scans start out co-partitioned. Purely a physical-layout
+    /// declaration: it never changes query results, so declaring one
+    /// does not bump the epoch.
+    partition_keys: BTreeMap<String, Vec<usize>>,
 }
 
 fn key(name: &str) -> String {
@@ -138,6 +144,40 @@ impl Storage {
     #[must_use]
     pub fn table_data(&self, name: &str) -> Option<&Table> {
         self.data.get(&key(name))
+    }
+
+    /// Declare that `table` is hash-partitioned on `cols` for sharded
+    /// execution. The declaration is physical layout only — it never
+    /// changes query results — and routes rows with
+    /// [`gbj_types::GroupKey::shard`], so `=ⁿ` semantics apply: NULL
+    /// keys hash through the `Null` tag and land deterministically on
+    /// one shard instead of spraying.
+    pub fn declare_partition_key(&mut self, table: &str, cols: &[&str]) -> Result<()> {
+        let def = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| Error::Catalog(format!("unknown table {table}")))?;
+        if cols.is_empty() {
+            return Err(Error::Catalog(format!(
+                "partition key for {table} must name at least one column"
+            )));
+        }
+        let ords = cols
+            .iter()
+            .map(|c| {
+                def.column(c)
+                    .map(|(i, _)| i)
+                    .ok_or_else(|| Error::Catalog(format!("unknown column {c} in {table}")))
+            })
+            .collect::<Result<Vec<usize>>>()?;
+        self.partition_keys.insert(key(table), ords);
+        Ok(())
+    }
+
+    /// The declared hash-partition key of a table, as column ordinals.
+    #[must_use]
+    pub fn partition_key(&self, table: &str) -> Option<&[usize]> {
+        self.partition_keys.get(&key(table)).map(Vec::as_slice)
     }
 
     /// Install (or with `None`, remove) a read-path fault injector.

@@ -307,6 +307,20 @@ impl Hash for GroupKey {
     }
 }
 
+impl GroupKey {
+    /// Deterministic shard assignment under `=ⁿ` semantics: keys that
+    /// compare `=ⁿ`-equal (including all-NULL keys, which hash through
+    /// the `Null` tag) land on the same shard for any shard count.
+    /// `DefaultHasher::new()` starts from a fixed state, so the mapping
+    /// is stable across processes and runs.
+    #[must_use]
+    pub fn shard(&self, shards: usize) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() % shards.max(1) as u64) as usize
+    }
+}
+
 /// `=ⁿ` extended to a full equivalence relation for hashing: NaN is
 /// treated as equal to NaN so that `Eq`'s reflexivity holds.
 fn group_value_eq(a: &Value, b: &Value) -> bool {

@@ -4,7 +4,7 @@
 #
 # Usage: scripts/bench_check.sh <generated.json> [baseline.json]
 #
-# Three formats, auto-detected from the baseline's "experiment" field:
+# Four formats, auto-detected from the baseline's "experiment" field:
 #   x15       (BENCH_vectorized.json) — compares per-workload `speedup`;
 #   serving   (BENCH_serving.json)    — compares per-cell `qps` and
 #                                       `p99_ms` for every clients×shed
@@ -14,7 +14,14 @@
 #                                       X16 extremes plus the adaptive
 #                                       loop's rounds-to-converge
 #                                       (all scale-stable, so the
-#                                       smoke run compares cleanly).
+#                                       smoke run compares cleanly);
+#   sharding  (BENCH_sharding.json)   — compares the lazy/eager
+#                                       shipped-byte ratio and the
+#                                       wall-clock speedup at 2/4/8
+#                                       shards (run sharding_sweep at
+#                                       full size: the shipped counters
+#                                       are deterministic but not
+#                                       scale-stable).
 #
 # Policy (CI bench-smoke / serving jobs):
 #   - parse failure / missing workload  -> hard fail (exit 1): the
@@ -36,7 +43,9 @@ if [[ -z "$generated" || ! -f "$generated" ]]; then
   exit 1
 fi
 if [[ ! -f "$baseline" ]]; then
-  echo "bench_check: baseline '$baseline' not found" >&2
+  echo "bench_check: FAIL — committed baseline '$baseline' is missing." >&2
+  echo "bench_check: regenerate it with the matching sweep binary and commit it, e.g." >&2
+  echo "bench_check:   cargo run --release -p gbj-bench --bin sharding_sweep > BENCH_sharding.json" >&2
   exit 1
 fi
 
@@ -49,7 +58,9 @@ metric_of() { # file workload metric
 }
 
 # Report one metric's drift: parse failure sets status=1, drift beyond
-# ±30% prints an advisory warning.
+# ±30% prints an advisory warning. Each comparison also lands as a row
+# in the markdown table mirrored to the GitHub step summary.
+summary_rows=""
 check_metric() { # workload metric unit
   local workload="$1" metric="$2" unit="$3" base new
   base=$(metric_of "$baseline" "$workload" "$metric")
@@ -57,6 +68,7 @@ check_metric() { # workload metric unit
   if [[ -z "$base" || -z "$new" ]]; then
     echo "bench_check: FAIL — could not parse $metric for '$workload'" \
       "(baseline='$base' generated='$new')" >&2
+    summary_rows+="| $workload | $metric | — | — | parse FAIL |"$'\n'
     status=1
     return
   fi
@@ -67,6 +79,11 @@ check_metric() { # workload metric unit
       printf "bench_check: WARNING — %s %s drifted more than +/-30%% from the committed baseline\n", w, m
     }
   }'
+  summary_rows+=$(awk -v b="$base" -v n="$new" -v w="$workload" -v m="$metric" -v u="$unit" 'BEGIN {
+    dev = (b == 0) ? 0 : (n - b) / b * 100
+    note = (dev > 30 || dev < -30) ? "drift > 30%" : "ok"
+    printf "| %s | %s | %.3f%s | %.3f%s | %+.1f%% %s |", w, m, b, u, n, u, dev, note
+  }')$'\n'
 }
 
 status=0
@@ -84,10 +101,31 @@ elif grep -q '"experiment":"serving"' "$baseline"; then
       check_metric "$workload" p99_ms ms
     done
   done
+elif grep -q '"experiment":"sharding"' "$baseline"; then
+  # sharding_sweep format: shipped-byte ratio (deterministic) and
+  # wall-clock speedup (noisy, advisory) at each multi-shard point.
+  for shards in 2 4 8; do
+    workload="shards=$shards"
+    check_metric "$workload" shipped_ratio x
+    check_metric "$workload" speedup x
+  done
 else
   for workload in filter_kernel end_to_end; do
     check_metric "$workload" speedup x
   done
+fi
+
+# Mirror the comparison table into the GitHub job's step summary.
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+  {
+    echo "### bench_check: $generated vs $baseline"
+    echo ""
+    echo "| workload | metric | baseline | generated | drift |"
+    echo "| --- | --- | --- | --- | --- |"
+    printf '%s' "$summary_rows"
+    echo ""
+    echo "Drift beyond ±30% is advisory; only parse/format errors fail the job."
+  } >> "$GITHUB_STEP_SUMMARY"
 fi
 
 if [[ $status -ne 0 ]]; then

@@ -59,6 +59,24 @@ for t in 1 4; do
     GBJ_TEST_THREADS=$t GBJ_TEST_VECTORIZED=$v cargo test -q --test cost_model_differential
   done
 done
+# Sharded-execution differential: byte-identity of multi-shard runs
+# against the single-shard oracle (plus combiner pushdown and the
+# shipped-rows prediction audit) with the engine defaulting to 1 and
+# 4 shards — the suite also sweeps 2/4/8 shards internally.
+for s in 1 4; do
+  GBJ_TEST_SHARDS=$s cargo test -q --test sharding_differential
+done
+# Every bench baseline the smokes below compare against must be
+# committed; fail fast with a recipe rather than deep in a smoke run.
+for b in BENCH_costmodel.json BENCH_serving.json BENCH_vectorized.json BENCH_sharding.json; do
+  if [[ ! -f "$b" ]]; then
+    bin="${b#BENCH_}"; bin="${bin%.json}_sweep"
+    [[ "$bin" == "serving_sweep" ]] && bin="serve_sweep"
+    echo "verify: missing committed baseline $b —" \
+      "regenerate with: cargo run --release -p gbj-bench --bin $bin > $b" >&2
+    exit 1
+  fi
+done
 # Cost-model sweep smoke at CI size, compared (advisory) against the
 # committed BENCH_costmodel.json baseline; parse failures are hard.
 GBJ_BENCH_SMALL=1 cargo run --release -q -p gbj-bench --bin costmodel_sweep > /tmp/gbj_costmodel.json
@@ -68,6 +86,11 @@ scripts/bench_check.sh /tmp/gbj_costmodel.json BENCH_costmodel.json
 GBJ_BENCH_SMALL=1 cargo run --release -q -p gbj-bench --bin serve_sweep > /tmp/gbj_serve_sweep.txt
 sed -n '/^\[$/,/^\]$/p' /tmp/gbj_serve_sweep.txt > /tmp/gbj_serving.json
 scripts/bench_check.sh /tmp/gbj_serving.json BENCH_serving.json
+# Sharding sweep at full size (sub-second; the shipped-byte counters
+# are deterministic but not scale-stable), compared against the
+# committed BENCH_sharding.json baseline.
+cargo run --release -q -p gbj-bench --bin sharding_sweep > /tmp/gbj_sharding.json
+scripts/bench_check.sh /tmp/gbj_sharding.json BENCH_sharding.json
 # Smoke the estimate-vs-actual audit sweep (JSON to stdout).
 cargo run --release -q -p gbj-bench --bin cardinality_audit > /dev/null
 # Smoke the row-vs-vectorized sweep at CI size; it self-checks that

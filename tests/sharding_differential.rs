@@ -1,0 +1,473 @@
+//! Sharded-execution differential harness (PR 9's tentpole).
+//!
+//! The contract under test: running a supported plan across `n`
+//! in-process shards is **byte-identical** to single-shard execution —
+//! same canonical rows, same engine-invariant counter fingerprint
+//! (`rows_in`/`rows_out`/`batches`/`hash_entries` per operator) — at
+//! every shard count × thread count × row/vectorized combination, for
+//! every pushdown policy, including under seeded scan faults. Only the
+//! shipped-rows/bytes counters may vary with the shard count (they
+//! *are* the measurement), and at a fixed shard count even those are
+//! deterministic across thread counts.
+//!
+//! On top of the safety net, the §7 distributed claim itself: with the
+//! certified eager pre-aggregation pushed below the exchange as a
+//! combiner, the eager plan must ship strictly fewer bytes than the
+//! lazy plan on the fan-in workload — and the optimizer's predicted
+//! `shipped_rows` must stay within a Q-error bound of the measured
+//! counters.
+
+use gbj::datagen::SweepConfig;
+use gbj::engine::{PlanChoice, PushdownPolicy};
+use gbj::storage::{FaultConfig, FaultInjector};
+use gbj::Database;
+
+mod common;
+
+/// Shard counts to sweep: the powers of two from the issue matrix,
+/// plus any `GBJ_TEST_SHARDS` override from the CI matrix.
+fn shard_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 2, 4, 8];
+    if let Some(n) = gbj::exec::shards_from_env() {
+        if !counts.contains(&n.get()) {
+            counts.push(n.get());
+        }
+    }
+    counts
+}
+
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 4];
+    if let Some(n) = common::test_threads() {
+        if !counts.contains(&n.get()) {
+            counts.push(n.get());
+        }
+    }
+    counts
+}
+
+/// Canonical rows, counter fingerprint, plan choice and shipped
+/// counters of one configured run.
+struct Obs {
+    rows: Vec<Vec<gbj::Value>>,
+    fingerprint: Vec<(String, [u64; 4])>,
+    choice: PlanChoice,
+    shipped_rows: u64,
+    shipped_bytes: u64,
+}
+
+fn observe(
+    db: &mut Database,
+    policy: PushdownPolicy,
+    shards: usize,
+    threads: usize,
+    vectorized: bool,
+    sql: &str,
+) -> Obs {
+    db.options_mut().policy = policy;
+    db.set_shards(std::num::NonZeroUsize::new(shards).expect("nonzero"));
+    db.set_threads(std::num::NonZeroUsize::new(threads).expect("nonzero"));
+    db.set_vectorized(vectorized);
+    let rows = db.query(sql).expect("query runs");
+    let m = db.last_query_metrics().expect("metrics recorded");
+    Obs {
+        rows: common::canon(&rows),
+        fingerprint: m.profile.counter_fingerprint(),
+        choice: m.choice,
+        shipped_rows: m.shipped_rows,
+        shipped_bytes: m.shipped_bytes,
+    }
+}
+
+/// One sweep point: for each policy, every shards × threads ×
+/// vectorized combination must reproduce the single-shard serial
+/// oracle's rows and counter fingerprint; single-shard runs ship
+/// nothing; and at a fixed shard count the shipped counters are
+/// thread- and vectorized-invariant.
+fn assert_point(db: &mut Database, sql: &str, ctx: &str) {
+    for policy in [
+        PushdownPolicy::Never,
+        PushdownPolicy::Always,
+        PushdownPolicy::CostBased,
+    ] {
+        let oracle = observe(db, policy, 1, 1, false, sql);
+        assert_eq!(
+            (oracle.shipped_rows, oracle.shipped_bytes),
+            (0, 0),
+            "{ctx}: single-shard runs must not ship"
+        );
+        for &shards in &shard_counts() {
+            let mut shipped_at: Option<(u64, u64)> = None;
+            for &threads in &thread_counts() {
+                for vectorized in [false, true] {
+                    let got = observe(db, policy, shards, threads, vectorized, sql);
+                    assert_eq!(
+                        got.rows, oracle.rows,
+                        "{ctx}: {policy:?} rows diverged at shards={shards} \
+                         threads={threads} vectorized={vectorized}"
+                    );
+                    assert_eq!(
+                        got.choice, oracle.choice,
+                        "{ctx}: {policy:?} plan choice must not depend on shards"
+                    );
+                    assert_eq!(
+                        got.fingerprint, oracle.fingerprint,
+                        "{ctx}: {policy:?} counter fingerprint diverged at \
+                         shards={shards} threads={threads} vectorized={vectorized}"
+                    );
+                    let shipped = (got.shipped_rows, got.shipped_bytes);
+                    match shipped_at {
+                        None => shipped_at = Some(shipped),
+                        Some(first) => assert_eq!(
+                            shipped, first,
+                            "{ctx}: {policy:?} shipped counters must be deterministic \
+                             at shards={shards} (threads={threads} \
+                             vectorized={vectorized})"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fan-in × selectivity × skew sweep over the full shard matrix.
+#[test]
+fn sweep_sharded_byte_identity() {
+    for &groups in &[10usize, 500] {
+        for &match_fraction in &[0.05f64, 1.0] {
+            let cfg = SweepConfig {
+                fact_rows: 2000,
+                dim_rows: 100,
+                groups,
+                match_fraction,
+                skew: 0.0,
+            };
+            let mut db = cfg.build().expect("build");
+            let ctx = format!("groups={groups} match={match_fraction}");
+            assert_point(&mut db, cfg.query(), &ctx);
+        }
+    }
+}
+
+/// Shard-skew edge: heavy key skew concentrates most rows on one shard;
+/// results and fingerprints must not care.
+#[test]
+fn skewed_keys_byte_identity() {
+    let cfg = SweepConfig {
+        fact_rows: 3000,
+        dim_rows: 50,
+        groups: 50,
+        match_fraction: 1.0,
+        skew: 2.0,
+    };
+    let mut db = cfg.build().expect("build");
+    assert_point(&mut db, cfg.query(), "skew=2.0");
+}
+
+/// Empty-shard edge: two distinct join keys at eight shards leaves most
+/// shards with no rows after the exchange.
+#[test]
+fn empty_shards_byte_identity() {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE Dim (DimId INTEGER PRIMARY KEY, Cat VARCHAR(8)); \
+         CREATE TABLE Fact (FId INTEGER PRIMARY KEY, K INTEGER, V INTEGER); \
+         INSERT INTO Dim VALUES (1, 'a'), (2, 'b');",
+    )
+    .expect("ddl");
+    for i in 0..200i64 {
+        db.execute(&format!(
+            "INSERT INTO Fact VALUES ({i}, {}, {i})",
+            1 + i % 2
+        ))
+        .expect("insert");
+    }
+    let sql = "SELECT D.DimId, D.Cat, COUNT(F.FId), SUM(F.V) \
+               FROM Fact F, Dim D WHERE F.K = D.DimId GROUP BY D.DimId, D.Cat";
+    assert_point(&mut db, sql, "two keys, eight shards");
+}
+
+/// All-NULL-key edge: every Fact join key is NULL (one `=ⁿ` group that
+/// routes to a single deterministic shard and survives no join), plus
+/// an all-NULL declared partition key on the same column.
+#[test]
+fn all_null_keys_byte_identity() {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE Dim (DimId INTEGER PRIMARY KEY, Cat VARCHAR(8)); \
+         CREATE TABLE Fact (FId INTEGER PRIMARY KEY, K INTEGER, V INTEGER); \
+         INSERT INTO Dim VALUES (1, 'a'), (2, 'b');",
+    )
+    .expect("ddl");
+    for i in 0..64i64 {
+        db.execute(&format!("INSERT INTO Fact VALUES ({i}, NULL, {i})"))
+            .expect("insert");
+    }
+    db.declare_partition_key("Fact", &["K"]).expect("declare");
+    let sql = "SELECT D.DimId, COUNT(F.FId) \
+               FROM Fact F, Dim D WHERE F.K = D.DimId GROUP BY D.DimId";
+    assert_point(&mut db, sql, "all-NULL join/partition key");
+    // Scalar aggregate over the all-NULL table: gather path.
+    assert_point(
+        &mut db,
+        "SELECT COUNT(F.FId), SUM(F.V) FROM Fact F",
+        "all-NULL scalar gather",
+    );
+}
+
+/// A declared partition key on the join column must strictly reduce
+/// shipped bytes (the scan side arrives co-partitioned), without
+/// changing results.
+#[test]
+fn declared_partition_key_reduces_shipping() {
+    let cfg = SweepConfig {
+        fact_rows: 4000,
+        dim_rows: 100,
+        groups: 100,
+        match_fraction: 1.0,
+        skew: 0.0,
+    };
+    let build = || cfg.build().expect("build");
+    let mut plain = build();
+    let mut keyed = build();
+    keyed
+        .declare_partition_key("Fact", &["DimId"])
+        .expect("declare");
+    keyed
+        .declare_partition_key("Dim", &["DimId"])
+        .expect("declare");
+    let a = observe(&mut plain, PushdownPolicy::Never, 4, 1, false, cfg.query());
+    let b = observe(&mut keyed, PushdownPolicy::Never, 4, 1, false, cfg.query());
+    assert_eq!(a.rows, b.rows, "partition keys are physical only");
+    assert!(
+        b.shipped_bytes < a.shipped_bytes,
+        "declared keys must reduce shipping: {} vs {}",
+        b.shipped_bytes,
+        a.shipped_bytes
+    );
+}
+
+/// **The acceptance criterion.** On the fan-in workload at 4 shards
+/// with no declared partition keys, the certified eager plan (whose
+/// pre-aggregation runs as a combiner below the exchange) must ship
+/// strictly fewer bytes than the lazy plan — the paper's §7 claim as a
+/// measured number, not a model output.
+#[test]
+fn eager_combiner_ships_fewer_bytes_than_lazy_at_4_shards() {
+    let cfg = SweepConfig {
+        fact_rows: 10_000,
+        dim_rows: 100,
+        groups: 100,
+        match_fraction: 1.0,
+        skew: 0.0,
+    };
+    let mut db = cfg.build().expect("build");
+    let lazy = observe(&mut db, PushdownPolicy::Never, 4, 1, false, cfg.query());
+    let eager = observe(&mut db, PushdownPolicy::Always, 4, 1, false, cfg.query());
+    assert_eq!(lazy.rows, eager.rows, "shapes must agree on rows");
+    assert_eq!(lazy.choice, PlanChoice::Lazy);
+    assert_eq!(eager.choice, PlanChoice::Eager);
+    assert!(
+        eager.shipped_bytes < lazy.shipped_bytes,
+        "eager-below-exchange must ship strictly less: eager {} B vs lazy {} B",
+        eager.shipped_bytes,
+        lazy.shipped_bytes
+    );
+    // And the profile must show the combiner actually ran.
+    let m = db.last_query_metrics().expect("metrics");
+    assert!(
+        m.profile.find_operator("CombinerHashAggregate").is_some(),
+        "certified eager plan at 4 shards must run its pre-aggregation \
+         as a combiner:\n{}",
+        m.profile.display_tree_with_metrics()
+    );
+}
+
+/// The distribution planner's `shipped_rows` prediction must stay
+/// within a Q-error bound of the measured exchange counters, for both
+/// shapes — and absorbing a round of cardinality feedback must not make
+/// it materially worse.
+#[test]
+fn shipped_prediction_q_error_bounded_and_feedback_safe() {
+    // `groups` is coprime to every shard count so the round-robin scan
+    // distribution leaves every group represented on every shard — the
+    // distribution model's worst-case partial count is then exact
+    // rather than an upper bound.
+    let cfg = SweepConfig {
+        fact_rows: 6000,
+        dim_rows: 200,
+        groups: 101,
+        match_fraction: 1.0,
+        skew: 0.0,
+    };
+    let mut db = cfg.build().expect("build");
+    db.options_mut().adaptive = true;
+    for policy in [PushdownPolicy::Never, PushdownPolicy::Always] {
+        observe(&mut db, policy, 4, 1, false, cfg.query());
+        let first = db
+            .last_query_metrics()
+            .expect("metrics")
+            .shipped_q_error()
+            .expect("sharded run must carry a prediction");
+        assert!(
+            first <= 2.0,
+            "{policy:?}: predicted vs measured shipped rows q-error {first}"
+        );
+        // Second run plans with absorbed feedback: the audit must not
+        // degrade materially.
+        observe(&mut db, policy, 4, 1, false, cfg.query());
+        let second = db
+            .last_query_metrics()
+            .expect("metrics")
+            .shipped_q_error()
+            .expect("prediction");
+        assert!(
+            second <= first * 1.1,
+            "{policy:?}: feedback worsened the shipped audit: {first} -> {second}"
+        );
+    }
+}
+
+/// Seeded scan faults behave identically with and without shards: the
+/// sharded scan is the same serial cursor, so NULL flips produce the
+/// same rows and injected batch failures fail every configuration.
+#[test]
+fn faults_identical_across_shard_counts() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let cfg = SweepConfig {
+        fact_rows: 500,
+        dim_rows: 20,
+        groups: 20,
+        match_fraction: 1.0,
+        skew: 0.0,
+    };
+    let run = move |db: &mut Database, shards: usize| -> Result<Vec<Vec<gbj::Value>>, String> {
+        db.set_shards(std::num::NonZeroUsize::new(shards).expect("nonzero"));
+        if let Some(inj) = db.fault_injector() {
+            inj.reset();
+        }
+        match catch_unwind(AssertUnwindSafe(|| db.query(cfg.query()))) {
+            Ok(Ok(rows)) => Ok(common::canon(&rows)),
+            Ok(Err(e)) => Err(e.kind().to_string()),
+            Err(_) => Err("PANIC".to_string()),
+        }
+    };
+    for seed in 0..8u64 {
+        // NULL flips: same flipped cells at every shard count.
+        let mut db = cfg.build().expect("build");
+        db.set_fault_injector(Some(FaultInjector::new(FaultConfig {
+            seed,
+            null_flip_one_in: Some(3),
+            batch_size: Some(7),
+            ..FaultConfig::default()
+        })));
+        let oracle = run(&mut db, 1);
+        for shards in [2usize, 4, 8] {
+            assert_eq!(
+                run(&mut db, shards),
+                oracle,
+                "seed {seed}: NULL-flip divergence at {shards} shards"
+            );
+        }
+        // Batch failure: every shard count observes the same error.
+        db.set_fault_injector(Some(FaultInjector::new(FaultConfig {
+            seed,
+            fail_nth_batch: Some(0),
+            ..FaultConfig::default()
+        })));
+        let oracle = run(&mut db, 1);
+        assert!(
+            oracle.is_err(),
+            "seed {seed}: injected failure must surface"
+        );
+        for shards in [2usize, 4, 8] {
+            assert_eq!(
+                run(&mut db, shards),
+                oracle,
+                "seed {seed}: fault error divergence at {shards} shards"
+            );
+        }
+    }
+}
+
+/// Serving layer: a snapshot read covers all shards of one epoch —
+/// reconfiguring the server to 4 shards changes neither results nor
+/// the epoch/read-your-writes contract.
+#[test]
+fn server_snapshot_epoch_covers_all_shards() {
+    use gbj::server::{Server, ServerConfig};
+    let cfg = SweepConfig {
+        fact_rows: 1000,
+        dim_rows: 50,
+        groups: 50,
+        match_fraction: 1.0,
+        skew: 0.0,
+    };
+    let db = cfg.build().expect("build");
+    let single = {
+        let d = cfg.build().expect("build");
+        common::canon(&d.query(cfg.query()).expect("query"))
+    };
+    let server = Server::with_database(db, ServerConfig::default());
+    server.reconfigure(|d| d.set_shards(std::num::NonZeroUsize::new(4).expect("nonzero")));
+    let session = server.connect();
+    let resp = session.query(cfg.query()).expect("snapshot read");
+    assert_eq!(
+        common::canon(&resp.rows),
+        single,
+        "sharded snapshot read must equal single-shard"
+    );
+    assert_eq!(resp.epoch, server.epoch(), "read at the published epoch");
+    assert_eq!(resp.metrics.shards, 4, "metrics must reflect the shards");
+    // A write bumps the epoch; the next sharded read sees it.
+    let w = session
+        .execute_write("INSERT INTO Dim VALUES (100000, 'new')")
+        .expect("write");
+    assert!(w.epoch_after > resp.epoch, "write must advance the epoch");
+    let resp2 = session.query(cfg.query()).expect("second read");
+    assert_eq!(resp2.epoch, w.epoch_after, "read-your-writes across shards");
+}
+
+/// GBJ502: at shards > 1, a chosen plan with an uncertified aggregate
+/// below a join gets the combiner-not-certified lint; the same query at
+/// one shard stays clean, and a certified rewrite never triggers it.
+#[test]
+fn lint_flags_uncertified_aggregate_below_join_at_shards() {
+    let cfg = SweepConfig {
+        fact_rows: 100,
+        dim_rows: 10,
+        groups: 10,
+        match_fraction: 1.0,
+        skew: 0.0,
+    };
+    let mut db = cfg.build().expect("build");
+    // Written-form aggregate below a join that cannot be unfolded (the
+    // outer filter references the aggregate output, which would need a
+    // HAVING clause), hence no certificate.
+    db.execute("CREATE VIEW T (K, c) AS SELECT DimId, COUNT(FactId) FROM Fact GROUP BY DimId")
+        .expect("view");
+    let sql = "SELECT D.Cat, T.c FROM T, Dim D WHERE T.K = D.DimId AND T.c > 0";
+    let has_502 = |db: &Database| {
+        db.lint_select(sql)
+            .expect("lint")
+            .codes()
+            .contains(&gbj::analyze::Code::CombinerNotCertified)
+    };
+    // Pin one shard explicitly: GBJ_TEST_SHARDS changes the default.
+    db.set_shards(std::num::NonZeroUsize::MIN);
+    assert!(!has_502(&db), "single-shard must not warn");
+    db.set_shards(std::num::NonZeroUsize::new(4).expect("nonzero"));
+    assert!(
+        has_502(&db),
+        "uncertified aggregate-below-join at 4 shards must lint GBJ502"
+    );
+    // A certified eager rewrite carries its certificate: clean.
+    db.options_mut().policy = PushdownPolicy::Always;
+    let certified = db
+        .lint_select(cfg.query())
+        .expect("lint")
+        .codes()
+        .contains(&gbj::analyze::Code::CombinerNotCertified);
+    assert!(!certified, "certified rewrites must not lint GBJ502");
+}
