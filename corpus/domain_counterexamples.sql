@@ -1,0 +1,54 @@
+-- Domain-analysis counterexample corpus: each query trips exactly one
+-- GBJ6xx diagnostic from the range/NULL-ness/NDV abstract-interpretation
+-- pass (tests/analyzer_negative.rs pins the exact codes, one per
+-- query, in order). All findings are Warning/Info severity — the
+-- queries are well-typed and executable, just provably silly — so
+-- `gbj-lint` exits 0 over this file unless `--deny` says otherwise.
+
+-- GBJ601: a self-contradictory conjunction. No Age satisfies both
+-- bounds, so ⌊P⌋ keeps no rows and the whole subtree is provably
+-- empty.
+CREATE TABLE Person (
+    PersonId INTEGER PRIMARY KEY,
+    Age INTEGER);
+
+SELECT P.PersonId FROM Person P WHERE P.Age > 10 AND P.Age < 5;
+
+-- GBJ602: a tautology. Level is NOT NULL with CHECK (Level >= 1), so
+-- `Level >= 1` is true on every row — and because the column can
+-- never be NULL the claim is 2VL-safe (no `unknown` outcome exists to
+-- be discarded by ⌊P⌋).
+CREATE TABLE Clearance (
+    ClearanceId INTEGER PRIMARY KEY,
+    Level INTEGER NOT NULL CHECK (Level >= 1));
+
+SELECT C.ClearanceId FROM Clearance C WHERE C.Level >= 1;
+
+-- GBJ603: an equi-join over provably disjoint key domains. Archive
+-- years are CHECKed below 2000, Current years at or above it, so the
+-- join output is empty regardless of the stored data.
+CREATE TABLE ArchiveSale (
+    SaleId INTEGER PRIMARY KEY,
+    Yr INTEGER NOT NULL CHECK (Yr < 2000));
+CREATE TABLE CurrentSale (
+    SaleId INTEGER PRIMARY KEY,
+    Yr INTEGER NOT NULL CHECK (Yr >= 2000));
+
+SELECT A.SaleId FROM ArchiveSale A, CurrentSale C WHERE A.Yr = C.Yr;
+
+-- GBJ604: a redundant NULL check. BadgeNo is a PRIMARY KEY, hence
+-- proven non-NULL; `IS NOT NULL` is constantly true and 2VL-safe to
+-- delete (Libkin: no row's truth value changes under either logic).
+CREATE TABLE Guard (
+    BadgeNo INTEGER PRIMARY KEY,
+    Post VARCHAR(30));
+
+SELECT G.Post FROM Guard G WHERE G.BadgeNo IS NOT NULL;
+
+-- GBJ605: a comparison outside the column's proven domain. CHECK
+-- bounds Pct to [0,100]; comparing against 500 can never be true.
+CREATE TABLE Meter (
+    MeterId INTEGER PRIMARY KEY,
+    Pct INTEGER CHECK (Pct >= 0 AND Pct <= 100));
+
+SELECT M.MeterId FROM Meter M WHERE M.Pct > 500;

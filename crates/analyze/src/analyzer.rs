@@ -14,6 +14,7 @@ use gbj_plan::{LogicalPlan, QueryBlock};
 
 use crate::diag::{Report, Severity};
 use crate::fd_audit::{audit_eager_outcome, FdCertificate};
+use crate::range_pass::{analyze_plan, RangeAnalysis, SeedDomains};
 use crate::{exec_pass, null_pass, schema_pass};
 
 /// Accumulated analysis state for one query.
@@ -39,6 +40,17 @@ impl Analysis {
     pub fn check_logical(&mut self, plan: &LogicalPlan) {
         self.report.extend(schema_pass::check_plan(plan));
         self.report.extend(null_pass::check_plan(plan));
+    }
+
+    /// Pass 6 (range/NULL-ness/NDV domains): run the abstract
+    /// interpreter over a logical plan with the given seeds, folding
+    /// its GBJ6xx findings into the report and returning the full
+    /// [`RangeAnalysis`] (per-node domains and pruning facts) for the
+    /// engine to serialize and clamp estimates with.
+    pub fn check_domains(&mut self, plan: &LogicalPlan, seeds: &SeedDomains) -> RangeAnalysis {
+        let analysis = analyze_plan(plan, seeds);
+        self.report.extend(analysis.report.clone());
+        analysis
     }
 
     /// Pass 2: audit the eager-aggregation outcome, attaching the

@@ -13,7 +13,10 @@
 //! * `GBJ4xx` — physical-plan invariants (metrics, guards,
 //!   vectorization),
 //! * `GBJ5xx` — cost/statistics findings (the §7 cost decision vs. the
-//!   FD-certified rewrite set).
+//!   FD-certified rewrite set),
+//! * `GBJ6xx` — abstract-interpretation findings from the range/domain
+//!   pass (contradictions, tautologies, provably-empty joins, redundant
+//!   NULL checks, out-of-domain comparisons).
 
 use std::fmt;
 
@@ -110,6 +113,25 @@ pub enum Code {
     /// per-group partials (§7's distributed saving is forfeited).
     /// Informational — correctness is unaffected, only shipped bytes.
     CombinerNotCertified,
+    /// A predicate is provably never `true` under 3VL floor semantics:
+    /// the abstract domains of its columns admit no satisfying row, so
+    /// `⌊P⌋` discards the entire subtree.
+    AlwaysFalsePredicate,
+    /// A predicate is provably `true` (never `false`, never `unknown`)
+    /// on every possible row: the operands are proven non-null (the
+    /// Libkin 2VL-safety obligation), so the filter keeps everything.
+    TautologicalPredicate,
+    /// An equi-join whose key domains are provably disjoint: the join
+    /// output is empty regardless of the data.
+    ProvablyEmptyJoin,
+    /// An `IS [NOT] NULL` check on a column the domain pass proves
+    /// non-null (NOT NULL / PRIMARY KEY, or dominated by an earlier
+    /// comparison): the check is constant and 2VL-safe to delete.
+    RedundantNullCheck,
+    /// A comparison against a literal outside the column's proven
+    /// domain (CHECK constraint or domain bounds): it can never be
+    /// `true`.
+    OutOfDomainComparison,
 }
 
 impl Code {
@@ -138,6 +160,11 @@ impl Code {
             Code::UnguardedExecution => "GBJ405",
             Code::CostChoiceDivergence => "GBJ501",
             Code::CombinerNotCertified => "GBJ502",
+            Code::AlwaysFalsePredicate => "GBJ601",
+            Code::TautologicalPredicate => "GBJ602",
+            Code::ProvablyEmptyJoin => "GBJ603",
+            Code::RedundantNullCheck => "GBJ604",
+            Code::OutOfDomainComparison => "GBJ605",
         }
     }
 
@@ -161,11 +188,16 @@ impl Code {
             | Code::NotOverNullable
             | Code::FloorCeilDivergence
             | Code::MissingMetrics
-            | Code::UnguardedExecution => Severity::Warning,
+            | Code::UnguardedExecution
+            | Code::AlwaysFalsePredicate
+            | Code::TautologicalPredicate
+            | Code::ProvablyEmptyJoin
+            | Code::OutOfDomainComparison => Severity::Warning,
             Code::RewriteInapplicable
             | Code::UnboundedResources
             | Code::CostChoiceDivergence
-            | Code::CombinerNotCertified => Severity::Info,
+            | Code::CombinerNotCertified
+            | Code::RedundantNullCheck => Severity::Info,
         }
     }
 
@@ -202,6 +234,17 @@ impl Code {
             Code::CombinerNotCertified => {
                 "sharded aggregate-below-join without a certificate ships raw rows, not partials"
             }
+            Code::AlwaysFalsePredicate => {
+                "predicate is provably never true: the subtree is empty under floor semantics"
+            }
+            Code::TautologicalPredicate => {
+                "predicate is provably true on every row (2VL-safe: operands proven non-null)"
+            }
+            Code::ProvablyEmptyJoin => "equi-join key domains are disjoint: the join is empty",
+            Code::RedundantNullCheck => "NULL check on a column proven non-null is constant",
+            Code::OutOfDomainComparison => {
+                "comparison against a literal outside the column's proven domain"
+            }
         }
     }
 
@@ -231,6 +274,11 @@ impl Code {
             Code::UnguardedExecution,
             Code::CostChoiceDivergence,
             Code::CombinerNotCertified,
+            Code::AlwaysFalsePredicate,
+            Code::TautologicalPredicate,
+            Code::ProvablyEmptyJoin,
+            Code::RedundantNullCheck,
+            Code::OutOfDomainComparison,
         ]
     }
 }
@@ -508,6 +556,11 @@ mod tests {
         assert_eq!(Code::Fd2NotDerivable.as_str(), "GBJ203");
         assert_eq!(Code::NullLiteralComparison.as_str(), "GBJ301");
         assert_eq!(Code::BogusVectorizationClaim.as_str(), "GBJ402");
+        assert_eq!(Code::AlwaysFalsePredicate.as_str(), "GBJ601");
+        assert_eq!(Code::TautologicalPredicate.as_str(), "GBJ602");
+        assert_eq!(Code::ProvablyEmptyJoin.as_str(), "GBJ603");
+        assert_eq!(Code::RedundantNullCheck.as_str(), "GBJ604");
+        assert_eq!(Code::OutOfDomainComparison.as_str(), "GBJ605");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! # gbj-analyze
 //!
 //! Static analysis over logical and physical plans: a reusable
-//! diagnostics framework plus four passes that turn the paper's proof
+//! diagnostics framework plus five passes that turn the paper's proof
 //! obligations into machine-checked artifacts.
 //!
 //! ## Passes
@@ -39,6 +39,14 @@
 //!    MetricsSink wiring on every operator, and vectorization claimed
 //!    only where the error-free vectorization rule (DESIGN.md §11)
 //!    holds. Codes GBJ401–GBJ404.
+//! 5. **Range/NULL-ness/NDV domains** ([`range_pass`], lattice in
+//!    [`domain`]) — a bottom-up abstract interpreter seeding per-column
+//!    domains from the catalog (types, NOT NULL, CHECK) and data
+//!    statistics, transferring them through filter / project / join /
+//!    group under `=ⁿ` semantics. Proves predicate contradictions and
+//!    2VL-safe tautologies (GBJ601–GBJ605), emits per-scan
+//!    [`PruningFacts`] for zone-map pruning, and hands the engine hard
+//!    cardinality upper bounds that clamp the estimator.
 //!
 //! ## Diagnostics
 //!
@@ -54,11 +62,17 @@
 
 pub mod analyzer;
 pub mod diag;
+pub mod domain;
 pub mod exec_pass;
 pub mod fd_audit;
 pub mod null_pass;
+pub mod range_pass;
 pub mod schema_pass;
 
 pub use analyzer::Analysis;
 pub use diag::{Code, Diagnostic, PlanPath, Report, Severity};
+pub use domain::{ColumnDomain, Interval, Nullability, TruthSet};
 pub use fd_audit::{audit_eager_outcome, failure_code, DisjunctProof, FdAudit, FdCertificate};
+pub use range_pass::{
+    analyze_plan, DomainNode, PruningFact, PruningFacts, RangeAnalysis, SeedDomains,
+};

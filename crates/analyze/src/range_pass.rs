@@ -1,0 +1,1178 @@
+//! Pass 6: abstract interpretation of per-column range / NULL-ness /
+//! NDV domains over logical plans.
+//!
+//! A bottom-up walk assigns every plan node a [`DomainNode`]: one
+//! [`ColumnDomain`] per output column, seeded at the scans from the
+//! catalog ([`SeedDomains`] — column types, NOT NULL / PRIMARY KEY
+//! declarations and per-column `CHECK` constraints, optionally merged
+//! with observed data statistics by the engine) and transferred through
+//! filter / project / join / group. Grouping honours the paper's `=ⁿ`
+//! semantics: NULL forms its own group, so a nullable grouping column
+//! contributes `NDV + 1` possible groups and keeps its nullability in
+//! the output.
+//!
+//! On top of the domains the pass proves predicate facts in Kleene's
+//! three-valued logic (via [`TruthSet`]s) and reports the GBJ6xx
+//! diagnostic family:
+//!
+//! * **GBJ601** — a predicate provably never `true`: `⌊P⌋` discards
+//!   the whole subtree (e.g. `x > 10 AND x < 5`).
+//! * **GBJ602** — a provably-`true` predicate. The claim is only made
+//!   when `unknown` is impossible too (operands proven non-NULL) —
+//!   Libkin's 2VL-safety obligation — because `⌊P⌋` still drops the
+//!   `unknown` rows of a predicate that is `true` of every non-NULL
+//!   value.
+//! * **GBJ603** — an equality between two columns with provably
+//!   disjoint domains: the (join) output is empty regardless of data.
+//! * **GBJ604** — an `IS [NOT] NULL` check on a column proven
+//!   non-NULL: the check is constant and 2VL-safe to delete.
+//! * **GBJ605** — a comparison against a literal outside the column's
+//!   proven domain (`CHECK (Usage >= 0)` vs `Usage = -3`).
+//!
+//! Comparisons against a literal `NULL` are GBJ301's territory
+//! (`null_pass`); this pass suppresses its own node-level findings
+//! there so each defect gets exactly one code.
+//!
+//! Two side products feed the planner: [`PruningFacts`] — per-scan
+//! predicate→range implications for the future zone-map storage layer
+//! — and the per-node domains themselves, from which the engine
+//! derives hard cardinality upper bounds (`groups ≤ Π NDV`,
+//! empty-subtree proofs) that clamp the estimator.
+
+use std::collections::BTreeMap;
+
+use gbj_catalog::Catalog;
+use gbj_expr::{AggregateFunction, BinaryOp, Expr};
+use gbj_plan::LogicalPlan;
+use gbj_types::{ColumnRef, Field, Schema, Value};
+
+use crate::diag::{Code, Diagnostic, PlanPath, Report};
+use crate::domain::{
+    compare_domain_literal, compare_domains, flip_op, refine_by_literal, ColumnDomain, Interval,
+    Nullability, TruthSet,
+};
+
+/// The canonical map key of a schema field: `qualifier.name` (or the
+/// bare name), lowercase.
+#[must_use]
+pub fn field_key(f: &Field) -> String {
+    match &f.qualifier {
+        Some(q) => format!("{}.{}", q.to_lowercase(), f.name.to_lowercase()),
+        None => f.name.to_lowercase(),
+    }
+}
+
+/// Seed domains per base table, keyed by lowercase table and column
+/// names. Built from the catalog (types, NOT NULL / PRIMARY KEY,
+/// per-column CHECK constraints); the engine can merge observed data
+/// statistics (min/max, distinct counts) on top for estimate clamping.
+#[derive(Debug, Clone, Default)]
+pub struct SeedDomains {
+    tables: BTreeMap<String, BTreeMap<String, ColumnDomain>>,
+}
+
+impl SeedDomains {
+    /// Derive seeds for every catalog table: the column type bounds the
+    /// interval shape, NOT NULL (incl. PRIMARY KEY, forced by
+    /// validation) bounds nullability, and each per-column `CHECK`
+    /// restricts the non-NULL values. The CHECK restriction is sound
+    /// under 3VL because a constraint passes when its predicate is *not
+    /// false* — a NULL satisfies `CHECK (x > 0)` vacuously, so the
+    /// check constrains only the non-NULL values and the declared
+    /// nullability is kept.
+    #[must_use]
+    pub fn from_catalog(catalog: &Catalog) -> SeedDomains {
+        let mut seeds = SeedDomains::default();
+        for table in catalog.tables() {
+            for col in &table.columns {
+                let mut dom = ColumnDomain::for_type(col.data_type, col.nullable);
+                for check in &col.checks {
+                    refine_by_check(&mut dom, &col.name, check);
+                }
+                // CHECK passes on UNKNOWN: restore declared nullability.
+                dom.nullability = if col.nullable {
+                    Nullability::Maybe
+                } else {
+                    Nullability::Never
+                };
+                seeds.insert(&table.name, &col.name, dom);
+            }
+        }
+        seeds
+    }
+
+    /// Insert (replacing) a seed for `table.column`.
+    pub fn insert(&mut self, table: &str, column: &str, domain: ColumnDomain) {
+        self.tables
+            .entry(table.to_lowercase())
+            .or_default()
+            .insert(column.to_lowercase(), domain);
+    }
+
+    /// Meet a fact into an existing seed (used by the engine to merge
+    /// data statistics on top of the catalog seed).
+    pub fn merge(&mut self, table: &str, column: &str, fact: &ColumnDomain) {
+        let entry = self
+            .tables
+            .entry(table.to_lowercase())
+            .or_default()
+            .entry(column.to_lowercase())
+            .or_insert_with(|| ColumnDomain::top(true));
+        *entry = entry.intersect(fact);
+    }
+
+    /// The seed for `table.column`, if any.
+    #[must_use]
+    pub fn get(&self, table: &str, column: &str) -> Option<&ColumnDomain> {
+        self.tables
+            .get(&table.to_lowercase())?
+            .get(&column.to_lowercase())
+    }
+}
+
+/// Refine `dom` by a per-column CHECK expression over the bare column
+/// name: only conjunctions of `col op literal` shapes are interpreted;
+/// anything else is conservatively ignored.
+fn refine_by_check(dom: &mut ColumnDomain, column: &str, check: &Expr) {
+    match check {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            refine_by_check(dom, column, left);
+            refine_by_check(dom, column, right);
+        }
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(c), Expr::Literal(v))
+                    if c.column.eq_ignore_ascii_case(column) && !matches!(v, Value::Null) =>
+                {
+                    refine_by_literal(dom, *op, v);
+                }
+                (Expr::Literal(v), Expr::Column(c))
+                    if c.column.eq_ignore_ascii_case(column) && !matches!(v, Value::Null) =>
+                {
+                    refine_by_literal(dom, flip_op(*op), v);
+                }
+                _ => {}
+            }
+        }
+        _ => {}
+    }
+}
+
+/// One predicate→range implication at a base scan: rows surviving the
+/// plan's predicates have `column` inside `domain`. The future zone-map
+/// storage layer can skip any block whose min/max lies outside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruningFact {
+    /// Catalog table name.
+    pub table: String,
+    /// The qualifier the plan knows the scan by (alias or name).
+    pub qualifier: String,
+    /// Column name.
+    pub column: String,
+    /// The implied restriction, rendered via [`ColumnDomain::render`].
+    pub domain: String,
+}
+
+/// The per-scan predicate→range side-table, sorted by
+/// `(table, qualifier, column)` for deterministic rendering.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PruningFacts {
+    /// The facts, in sorted order.
+    pub facts: Vec<PruningFact>,
+}
+
+impl PruningFacts {
+    /// Whether any fact was derived.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// One-line deterministic text form:
+    /// `Emp.E.Age: [31,+inf] not-null; ...`.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let parts: Vec<String> = self
+            .facts
+            .iter()
+            .map(|f| format!("{}.{}.{}: {}", f.table, f.qualifier, f.column, f.domain))
+            .collect();
+        parts.join("; ")
+    }
+
+    /// JSON array form (hand-rolled, stable key order).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, f) in self.facts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"table\":\"{}\",\"qualifier\":\"{}\",\"column\":\"{}\",\"domain\":\"{}\"}}",
+                crate::diag::json_escape(&f.table),
+                crate::diag::json_escape(&f.qualifier),
+                crate::diag::json_escape(&f.column),
+                crate::diag::json_escape(&f.domain),
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// The abstract state at one plan node.
+#[derive(Debug, Clone, Default)]
+pub struct DomainNode {
+    /// Per-output-column domains, keyed by [`field_key`].
+    pub columns: BTreeMap<String, ColumnDomain>,
+    /// Whether this node's own predicate is provably never `true`
+    /// (the node's output is empty under `⌊P⌋`).
+    pub never_true: bool,
+    /// Child states, in plan order.
+    pub children: Vec<DomainNode>,
+}
+
+impl DomainNode {
+    /// The domain of a column reference, resolved against the node's
+    /// output schema.
+    #[must_use]
+    pub fn domain_of(&self, schema: &Schema, col: &ColumnRef) -> Option<&ColumnDomain> {
+        let (_, field) = schema.resolve(col).ok()?;
+        self.columns.get(&field_key(field))
+    }
+
+    /// Deterministic one-line rendering of the non-trivial column
+    /// facts, in `schema` field order: `E.Age: [31,+inf] not-null; ...`.
+    /// Empty string when nothing is known.
+    #[must_use]
+    pub fn render_columns(&self, schema: &Schema) -> String {
+        let mut parts: Vec<String> = vec![];
+        for f in schema.fields() {
+            if let Some(dom) = self.columns.get(&field_key(f)) {
+                let rendered = dom.render();
+                if !rendered.is_empty() {
+                    let name = match &f.qualifier {
+                        Some(q) => format!("{q}.{}", f.name),
+                        None => f.name.clone(),
+                    };
+                    parts.push(format!("{name}: {rendered}"));
+                }
+            }
+        }
+        parts.join("; ")
+    }
+}
+
+/// The pass output: diagnostics, the root abstract state (children
+/// nested inside, mirroring the plan shape), and the per-scan pruning
+/// side-table.
+#[derive(Debug, Clone)]
+pub struct RangeAnalysis {
+    /// GBJ6xx findings.
+    pub report: Report,
+    /// The root node's abstract state.
+    pub root: DomainNode,
+    /// Predicate→range implications per base scan.
+    pub pruning: PruningFacts,
+}
+
+/// Run the abstract interpreter over a plan.
+#[must_use]
+pub fn analyze_plan(plan: &LogicalPlan, seeds: &SeedDomains) -> RangeAnalysis {
+    let mut ctx = Ctx {
+        report: Report::new(String::new()),
+        pruning: BTreeMap::new(),
+        scans: BTreeMap::new(),
+    };
+    let root = walk(plan, &PlanPath::root(plan.label()), seeds, &mut ctx);
+    RangeAnalysis {
+        report: ctx.report,
+        root,
+        pruning: PruningFacts {
+            facts: ctx.pruning.into_values().collect(),
+        },
+    }
+}
+
+struct Ctx {
+    report: Report,
+    /// `(table, qualifier, column)` → fact; BTreeMap gives the sorted,
+    /// deduplicated (last-refinement-wins) side-table.
+    pruning: BTreeMap<(String, String, String), PruningFact>,
+    /// Lowercase scan qualifier → catalog table name.
+    scans: BTreeMap<String, String>,
+}
+
+type DomainMap = BTreeMap<String, ColumnDomain>;
+
+fn walk(plan: &LogicalPlan, path: &PlanPath, seeds: &SeedDomains, ctx: &mut Ctx) -> DomainNode {
+    let children: Vec<DomainNode> = plan
+        .children()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| walk(c, &path.child(i, c.label()), seeds, ctx))
+        .collect();
+    let mut node = DomainNode {
+        columns: BTreeMap::new(),
+        never_true: false,
+        children,
+    };
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            qualifier,
+            schema,
+        } => {
+            ctx.scans.insert(qualifier.to_lowercase(), table.clone());
+            for f in schema.fields() {
+                let mut dom = seeds
+                    .get(table, &f.name)
+                    .cloned()
+                    .unwrap_or_else(|| ColumnDomain::for_type(f.data_type, f.nullable));
+                if !f.nullable {
+                    dom.nullability = Nullability::Never;
+                }
+                node.columns.insert(field_key(f), dom);
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut map = node
+                .children
+                .first()
+                .map(|c| c.columns.clone())
+                .unwrap_or_default();
+            if let Ok(schema) = input.schema() {
+                node.never_true = apply_predicate(&mut map, &schema, predicate, path, ctx, true);
+            }
+            node.columns = map;
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            condition,
+        } => {
+            let mut map = merged_children(&node);
+            if let (Ok(ls), Ok(rs)) = (left.schema(), right.schema()) {
+                let schema = ls.join(&rs);
+                node.never_true = apply_predicate(&mut map, &schema, condition, path, ctx, true);
+            }
+            node.columns = map;
+        }
+        LogicalPlan::CrossJoin { .. } => {
+            node.columns = merged_children(&node);
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let child_map = node.children.first().map(|c| &c.columns);
+            if let (Ok(in_schema), Ok(out_schema), Some(child_map)) =
+                (input.schema(), plan.schema(), child_map)
+            {
+                for ((e, _alias), out_field) in exprs.iter().zip(out_schema.fields()) {
+                    let dom = match e {
+                        Expr::Column(c) => in_schema
+                            .resolve(c)
+                            .ok()
+                            .and_then(|(_, f)| child_map.get(&field_key(f)))
+                            .cloned(),
+                        Expr::Literal(v) => Some(ColumnDomain::of_literal(v)),
+                        _ => None,
+                    };
+                    if let Some(dom) = dom {
+                        node.columns.insert(field_key(out_field), dom);
+                    }
+                }
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let child_map = node
+                .children
+                .first()
+                .map(|c| c.columns.clone())
+                .unwrap_or_default();
+            if let (Ok(in_schema), Ok(out_schema)) = (input.schema(), plan.schema()) {
+                // Group keys keep their domains — including nullability:
+                // under `=ⁿ` the NULL group survives grouping.
+                for g in group_by {
+                    if let Expr::Column(c) = g {
+                        if let Ok((_, f)) = in_schema.resolve(c) {
+                            if let Some(dom) = child_map.get(&field_key(f)) {
+                                node.columns.insert(field_key(f), dom.clone());
+                            }
+                        }
+                    }
+                }
+                let agg_fields = out_schema.fields().iter().skip(group_by.len());
+                for ((call, _alias), out_field) in aggregates.iter().zip(agg_fields) {
+                    let dom = aggregate_domain(call, &in_schema, &child_map, !group_by.is_empty());
+                    node.columns.insert(field_key(out_field), dom);
+                }
+            }
+        }
+        LogicalPlan::SubqueryAlias { input, .. } => {
+            let child_map = node.children.first().map(|c| &c.columns);
+            if let (Ok(in_schema), Ok(out_schema), Some(child_map)) =
+                (input.schema(), plan.schema(), child_map)
+            {
+                for (in_f, out_f) in in_schema.fields().iter().zip(out_schema.fields()) {
+                    if let Some(dom) = child_map.get(&field_key(in_f)) {
+                        node.columns.insert(field_key(out_f), dom.clone());
+                    }
+                }
+            }
+        }
+        LogicalPlan::Sort { .. } => {
+            node.columns = node
+                .children
+                .first()
+                .map(|c| c.columns.clone())
+                .unwrap_or_default();
+        }
+    }
+    node
+}
+
+fn merged_children(node: &DomainNode) -> DomainMap {
+    let mut map = DomainMap::new();
+    for c in &node.children {
+        for (k, v) in &c.columns {
+            map.insert(k.clone(), v.clone());
+        }
+    }
+    map
+}
+
+/// The abstract value of one aggregate output column.
+fn aggregate_domain(
+    call: &gbj_expr::AggregateCall,
+    in_schema: &Schema,
+    child_map: &DomainMap,
+    grouped: bool,
+) -> ColumnDomain {
+    let arg_dom = match &call.arg {
+        Some(Expr::Column(c)) => in_schema
+            .resolve(c)
+            .ok()
+            .and_then(|(_, f)| child_map.get(&field_key(f))),
+        _ => None,
+    };
+    // With GROUP BY every group holds ≥ 1 row, so an aggregate over a
+    // non-NULL argument is itself non-NULL; scalar aggregates can see
+    // an empty input (NULL result for everything but COUNT).
+    let arg_never_null = grouped && arg_dom.is_some_and(|d| d.nullability == Nullability::Never);
+    match call.func {
+        AggregateFunction::CountStar | AggregateFunction::Count => {
+            let lo = if grouped && call.func == AggregateFunction::CountStar {
+                1.0
+            } else {
+                0.0
+            };
+            ColumnDomain {
+                interval: Some(Interval {
+                    lo: Some(lo),
+                    hi: None,
+                    integral: true,
+                }),
+                values: None,
+                nullability: Nullability::Never,
+                ndv: None,
+            }
+        }
+        AggregateFunction::Min | AggregateFunction::Max => {
+            let mut dom = arg_dom.cloned().unwrap_or_else(|| ColumnDomain::top(true));
+            dom.nullability = if arg_never_null {
+                Nullability::Never
+            } else {
+                Nullability::Maybe
+            };
+            dom
+        }
+        AggregateFunction::Sum => {
+            let mut dom = ColumnDomain::top(true);
+            if let Some(i) = arg_dom.and_then(|d| d.interval) {
+                // A sum of ≥ 1 same-signed values stays beyond the
+                // nearest bound; mixed signs are unbounded.
+                dom.interval = Some(Interval {
+                    lo: i.lo.filter(|l| *l >= 0.0),
+                    hi: i.hi.filter(|h| *h <= 0.0),
+                    integral: i.integral,
+                });
+            }
+            dom.nullability = if arg_never_null {
+                Nullability::Never
+            } else {
+                Nullability::Maybe
+            };
+            dom
+        }
+        AggregateFunction::Avg => {
+            let mut dom = ColumnDomain::top(true);
+            if let Some(i) = arg_dom.and_then(|d| d.interval) {
+                // The mean stays inside the argument's range.
+                dom.interval = Some(Interval {
+                    lo: i.lo,
+                    hi: i.hi,
+                    integral: false,
+                });
+            }
+            dom.nullability = if arg_never_null {
+                Nullability::Never
+            } else {
+                Nullability::Maybe
+            };
+            dom
+        }
+    }
+}
+
+/// Analyze one Filter/Join predicate: emit atom-level diagnostics
+/// (GBJ603/604/605) against the node's *input* domains, prove the
+/// conjunction-level verdict with progressive refinement (GBJ601/602),
+/// refine `map` assuming the predicate held, and return whether the
+/// node's output is provably empty.
+fn apply_predicate(
+    map: &mut DomainMap,
+    schema: &Schema,
+    predicate: &Expr,
+    path: &PlanPath,
+    ctx: &mut Ctx,
+    emit: bool,
+) -> bool {
+    let snapshot = map.clone();
+    let conjuncts = flatten_conjuncts(predicate);
+    let mut running = TruthSet::two_valued(true, false);
+    let mut atom_fired = false;
+    let mut saw_null_literal = false;
+    for c in &conjuncts {
+        if contains_null_literal_cmp(c) {
+            // GBJ301's territory (null_pass): suppress our diagnostics,
+            // but the conjunct still proves the subtree empty.
+            saw_null_literal = true;
+            running = running.and(&TruthSet {
+                can_true: false,
+                can_false: false,
+                can_unknown: true,
+            });
+            continue;
+        }
+        if emit && atom_diagnostics(&snapshot, schema, c, path, ctx) {
+            atom_fired = true;
+        }
+        let ts = truth_set_of(map, schema, c);
+        running = running.and(&ts);
+        refine_assuming_true(map, schema, c, ctx);
+    }
+    if emit && !saw_null_literal && !atom_fired {
+        if running.never_true() {
+            ctx.report.push(
+                Diagnostic::new(
+                    Code::AlwaysFalsePredicate,
+                    format!(
+                        "predicate `{predicate}` is provably never true: no value in the \
+                         columns' domains satisfies it, so ⌊P⌋ keeps no rows"
+                    ),
+                )
+                .at(path.clone())
+                .note("the subtree under this predicate is provably empty"),
+            );
+        } else if running.always_true() {
+            ctx.report.push(
+                Diagnostic::new(
+                    Code::TautologicalPredicate,
+                    format!(
+                        "predicate `{predicate}` is provably true on every row — the \
+                         operands are non-NULL (2VL-safe) and their domains admit no \
+                         other outcome"
+                    ),
+                )
+                .at(path.clone())
+                .note("the filter keeps everything; it can be deleted without changing answers"),
+            );
+        }
+    }
+    running.never_true()
+}
+
+/// Flatten nested `AND`s into a conjunct list.
+fn flatten_conjuncts(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            let mut v = flatten_conjuncts(left);
+            v.extend(flatten_conjuncts(right));
+            v
+        }
+        other => vec![other],
+    }
+}
+
+/// Whether the expression contains a comparison against a literal NULL.
+fn contains_null_literal_cmp(e: &Expr) -> bool {
+    match e {
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            matches!(left.as_ref(), Expr::Literal(Value::Null))
+                || matches!(right.as_ref(), Expr::Literal(Value::Null))
+        }
+        Expr::Binary { left, right, .. } => {
+            contains_null_literal_cmp(left) || contains_null_literal_cmp(right)
+        }
+        Expr::Not(inner) | Expr::Neg(inner) => contains_null_literal_cmp(inner),
+        _ => false,
+    }
+}
+
+/// Look up (or reconstruct from the schema) the domain of a column.
+fn domain_of<'a>(
+    map: &'a DomainMap,
+    schema: &Schema,
+    c: &ColumnRef,
+) -> Option<ColumnDomainRef<'a>> {
+    let (_, field) = schema.resolve(c).ok()?;
+    let key = field_key(field);
+    Some(match map.get(&key) {
+        Some(dom) => ColumnDomainRef::Known(dom),
+        None => ColumnDomainRef::Fresh(ColumnDomain::for_type(field.data_type, field.nullable)),
+    })
+}
+
+enum ColumnDomainRef<'a> {
+    Known(&'a ColumnDomain),
+    Fresh(ColumnDomain),
+}
+
+impl ColumnDomainRef<'_> {
+    fn get(&self) -> &ColumnDomain {
+        match self {
+            ColumnDomainRef::Known(d) => d,
+            ColumnDomainRef::Fresh(d) => d,
+        }
+    }
+}
+
+/// Fire atom-level diagnostics for one conjunct against the node's
+/// input domains; returns whether any fired (which suppresses the
+/// node-level GBJ601/602 so each defect gets exactly one code).
+fn atom_diagnostics(
+    snapshot: &DomainMap,
+    schema: &Schema,
+    atom: &Expr,
+    path: &PlanPath,
+    ctx: &mut Ctx,
+) -> bool {
+    match atom {
+        Expr::IsNull { expr, negated } => {
+            if let Expr::Column(c) = expr.as_ref() {
+                if let Some(dom) = domain_of(snapshot, schema, c) {
+                    if dom.get().nullability == Nullability::Never {
+                        let verdict = if *negated { "true" } else { "false" };
+                        ctx.report.push(
+                            Diagnostic::new(
+                                Code::RedundantNullCheck,
+                                format!(
+                                    "`{atom}` is constantly {verdict}: `{c}` is proven \
+                                     non-NULL, so the check is redundant and 2VL-safe to \
+                                     delete"
+                                ),
+                            )
+                            .at(path.clone()),
+                        );
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(c), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(c))
+                    if !matches!(v, Value::Null) =>
+                {
+                    let effective = if matches!(left.as_ref(), Expr::Column(_)) {
+                        *op
+                    } else {
+                        flip_op(*op)
+                    };
+                    let Some(dom) = domain_of(snapshot, schema, c) else {
+                        return false;
+                    };
+                    let ts = compare_domain_literal(dom.get(), effective, v);
+                    if ts.never_true() && !dom.get().is_value_empty() {
+                        let rendered = dom.get().render();
+                        ctx.report.push(
+                            Diagnostic::new(
+                                Code::OutOfDomainComparison,
+                                format!(
+                                    "`{atom}` can never be true: the proven domain of \
+                                     `{c}` is `{rendered}`"
+                                ),
+                            )
+                            .at(path.clone())
+                            .note("the literal lies outside the column's proven domain"),
+                        );
+                        return true;
+                    }
+                    false
+                }
+                (Expr::Column(a), Expr::Column(b)) if *op == BinaryOp::Eq => {
+                    let (Some(da), Some(db)) = (
+                        domain_of(snapshot, schema, a),
+                        domain_of(snapshot, schema, b),
+                    ) else {
+                        return false;
+                    };
+                    let ts = compare_domains(da.get(), BinaryOp::Eq, db.get());
+                    if ts.never_true() && !da.get().is_value_empty() && !db.get().is_value_empty() {
+                        ctx.report.push(
+                            Diagnostic::new(
+                                Code::ProvablyEmptyJoin,
+                                format!(
+                                    "equi-join key domains are disjoint: `{a}` in \
+                                     `{}` never equals `{b}` in `{}`",
+                                    da.get().render(),
+                                    db.get().render()
+                                ),
+                            )
+                            .at(path.clone())
+                            .note("the join output is provably empty regardless of the data"),
+                        );
+                        return true;
+                    }
+                    false
+                }
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// The possible Kleene outcomes of an expression given the domains.
+fn truth_set_of(map: &DomainMap, schema: &Schema, e: &Expr) -> TruthSet {
+    match e {
+        Expr::Literal(Value::Bool(b)) => TruthSet::two_valued(*b, !*b),
+        Expr::Literal(Value::Null) => TruthSet {
+            can_true: false,
+            can_false: false,
+            can_unknown: true,
+        },
+        Expr::Literal(_) => TruthSet::TOP,
+        Expr::Column(c) => {
+            let nullable =
+                domain_of(map, schema, c).is_none_or(|d| d.get().nullability.can_be_null());
+            TruthSet {
+                can_true: true,
+                can_false: true,
+                can_unknown: nullable,
+            }
+        }
+        Expr::Not(inner) => truth_set_of(map, schema, inner).not(),
+        Expr::Neg(_) => TruthSet::TOP,
+        Expr::IsNull { expr, negated } => {
+            if let Expr::Column(c) = expr.as_ref() {
+                if let Some(dom) = domain_of(map, schema, c) {
+                    let n = dom.get().nullability;
+                    let (can_true, can_false) = if *negated {
+                        (n != Nullability::Always, n != Nullability::Never)
+                    } else {
+                        (n != Nullability::Never, n != Nullability::Always)
+                    };
+                    return TruthSet::two_valued(can_true, can_false);
+                }
+            }
+            TruthSet::two_valued(true, true)
+        }
+        Expr::Binary { left, op, right } => match op {
+            BinaryOp::And => truth_set_of(map, schema, left).and(&truth_set_of(map, schema, right)),
+            BinaryOp::Or => truth_set_of(map, schema, left).or(&truth_set_of(map, schema, right)),
+            op if op.is_comparison() => {
+                match (left.as_ref(), right.as_ref()) {
+                    (_, Expr::Literal(Value::Null)) | (Expr::Literal(Value::Null), _) => TruthSet {
+                        can_true: false,
+                        can_false: false,
+                        can_unknown: true,
+                    },
+                    (Expr::Column(c), Expr::Literal(v)) => domain_of(map, schema, c)
+                        .map_or(TruthSet::TOP, |d| compare_domain_literal(d.get(), *op, v)),
+                    (Expr::Literal(v), Expr::Column(c)) => domain_of(map, schema, c)
+                        .map_or(TruthSet::TOP, |d| {
+                            compare_domain_literal(d.get(), flip_op(*op), v)
+                        }),
+                    (Expr::Column(a), Expr::Column(b)) => {
+                        // A column compared with itself is decided by
+                        // reflexivity, modulo the NULL→UNKNOWN case.
+                        if let (Ok((ia, fa)), Ok((ib, _))) = (schema.resolve(a), schema.resolve(b))
+                        {
+                            if ia == ib {
+                                let nullable = map
+                                    .get(&field_key(fa))
+                                    .map_or(fa.nullable, |d| d.nullability.can_be_null());
+                                let holds =
+                                    matches!(op, BinaryOp::Eq | BinaryOp::GtEq | BinaryOp::LtEq);
+                                return TruthSet {
+                                    can_true: holds,
+                                    can_false: !holds,
+                                    can_unknown: nullable,
+                                };
+                            }
+                        }
+                        match (domain_of(map, schema, a), domain_of(map, schema, b)) {
+                            (Some(da), Some(db)) => compare_domains(da.get(), *op, db.get()),
+                            _ => TruthSet::TOP,
+                        }
+                    }
+                    (Expr::Literal(l), Expr::Literal(r)) => {
+                        match gbj_expr::compare_values(l, *op, r) {
+                            gbj_types::Truth::True => TruthSet::two_valued(true, false),
+                            gbj_types::Truth::False => TruthSet::two_valued(false, true),
+                            gbj_types::Truth::Unknown => TruthSet {
+                                can_true: false,
+                                can_false: false,
+                                can_unknown: true,
+                            },
+                        }
+                    }
+                    _ => TruthSet::TOP,
+                }
+            }
+            _ => TruthSet::TOP,
+        },
+    }
+}
+
+/// Refine the domains under the assumption that one conjunct evaluated
+/// to `true`, recording per-scan pruning facts along the way.
+fn refine_assuming_true(map: &mut DomainMap, schema: &Schema, conjunct: &Expr, ctx: &mut Ctx) {
+    match conjunct {
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(c), Expr::Literal(v)) if !matches!(v, Value::Null) => {
+                    refine_column(map, schema, c, ctx, |dom| refine_by_literal(dom, *op, v));
+                }
+                (Expr::Literal(v), Expr::Column(c)) if !matches!(v, Value::Null) => {
+                    refine_column(map, schema, c, ctx, |dom| {
+                        refine_by_literal(dom, flip_op(*op), v);
+                    });
+                }
+                (Expr::Column(a), Expr::Column(b)) => {
+                    // A true comparison proves both operands non-NULL;
+                    // equality also meets the two domains.
+                    let met = if *op == BinaryOp::Eq {
+                        match (
+                            domain_of(map, schema, a).map(|d| d.get().clone()),
+                            domain_of(map, schema, b).map(|d| d.get().clone()),
+                        ) {
+                            (Some(da), Some(db)) => Some(da.intersect(&db)),
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
+                    for col in [a, b] {
+                        refine_column(map, schema, col, ctx, |dom| {
+                            if let Some(met) = &met {
+                                *dom = met.clone();
+                            }
+                            dom.nullability = Nullability::Never;
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            if let Expr::Column(c) = expr.as_ref() {
+                refine_column(map, schema, c, ctx, |dom| {
+                    if *negated {
+                        dom.nullability = Nullability::Never;
+                    } else {
+                        dom.nullability = Nullability::Always;
+                        dom.clear_values();
+                    }
+                });
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Apply a refinement to one column's map entry and record the pruning
+/// fact when the column belongs to a base scan.
+fn refine_column(
+    map: &mut DomainMap,
+    schema: &Schema,
+    c: &ColumnRef,
+    ctx: &mut Ctx,
+    f: impl FnOnce(&mut ColumnDomain),
+) {
+    let Ok((_, field)) = schema.resolve(c) else {
+        return;
+    };
+    let key = field_key(field);
+    let dom = map
+        .entry(key)
+        .or_insert_with(|| ColumnDomain::for_type(field.data_type, field.nullable));
+    f(dom);
+    if let Some(qualifier) = &field.qualifier {
+        if let Some(table) = ctx.scans.get(&qualifier.to_lowercase()) {
+            let rendered = dom.render();
+            if !rendered.is_empty() {
+                ctx.pruning.insert(
+                    (table.clone(), qualifier.clone(), field.name.clone()),
+                    PruningFact {
+                        table: table.clone(),
+                        qualifier: qualifier.clone(),
+                        column: field.name.clone(),
+                        domain: rendered,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbj_catalog::{ColumnDef, TableDef};
+    use gbj_types::DataType;
+
+    fn scan(nullable_a: bool) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "T".into(),
+            qualifier: "T".into(),
+            schema: Schema::new(vec![
+                Field::new("A", DataType::Int64, nullable_a).with_qualifier("T"),
+                Field::new("B", DataType::Int64, false).with_qualifier("T"),
+                Field::new("S", DataType::Utf8, true).with_qualifier("T"),
+            ]),
+        }
+    }
+
+    fn filter(pred: Expr, nullable_a: bool) -> LogicalPlan {
+        LogicalPlan::Filter {
+            input: Box::new(scan(nullable_a)),
+            predicate: pred,
+        }
+    }
+
+    fn run(plan: &LogicalPlan) -> RangeAnalysis {
+        analyze_plan(plan, &SeedDomains::default())
+    }
+
+    #[test]
+    fn contradictory_conjunction_is_gbj601() {
+        let pred = Expr::col("T", "A")
+            .binary(BinaryOp::Gt, Expr::lit(10i64))
+            .and(Expr::col("T", "A").binary(BinaryOp::Lt, Expr::lit(5i64)));
+        let r = run(&filter(pred, true));
+        assert_eq!(r.report.codes(), vec![Code::AlwaysFalsePredicate]);
+        assert!(r.root.never_true);
+    }
+
+    #[test]
+    fn satisfiable_conjunction_is_clean_and_refines() {
+        let pred = Expr::col("T", "A")
+            .binary(BinaryOp::GtEq, Expr::lit(0i64))
+            .and(Expr::col("T", "A").binary(BinaryOp::LtEq, Expr::lit(9i64)));
+        let plan = filter(pred, true);
+        let r = run(&plan);
+        assert!(r.report.is_empty(), "{}", r.report.render_text());
+        let schema = plan.schema().unwrap();
+        let dom = r
+            .root
+            .domain_of(&schema, &ColumnRef::qualified("T", "A"))
+            .unwrap();
+        assert_eq!(dom.group_ndv_upper(), Some(10.0));
+        assert_eq!(dom.nullability, Nullability::Never);
+        // The restriction lands in the pruning side-table for the scan.
+        assert_eq!(r.pruning.facts.len(), 1);
+        assert_eq!(r.pruning.render_text(), "T.T.A: [0,9] not-null");
+    }
+
+    #[test]
+    fn tautology_on_non_nullable_is_gbj602() {
+        let pred = Expr::col("T", "B").binary(BinaryOp::GtEq, Expr::col("T", "B"));
+        let r = run(&filter(pred, true));
+        assert_eq!(r.report.codes(), vec![Code::TautologicalPredicate]);
+    }
+
+    #[test]
+    fn tautology_claim_requires_non_null_operands() {
+        // `A >= A` is true of every non-NULL value but UNKNOWN on NULL:
+        // claiming a tautology would not be 2VL-safe.
+        let pred = Expr::col("T", "A").binary(BinaryOp::GtEq, Expr::col("T", "A"));
+        let r = run(&filter(pred, true));
+        assert!(r.report.is_empty(), "{}", r.report.render_text());
+    }
+
+    #[test]
+    fn redundant_null_check_is_gbj604() {
+        let pred = Expr::IsNull {
+            expr: Box::new(Expr::col("T", "B")),
+            negated: true,
+        };
+        let r = run(&filter(pred, true));
+        assert_eq!(r.report.codes(), vec![Code::RedundantNullCheck]);
+        // The same check on a nullable column is fine.
+        let pred = Expr::IsNull {
+            expr: Box::new(Expr::col("T", "A")),
+            negated: true,
+        };
+        assert!(run(&filter(pred, true)).report.is_empty());
+    }
+
+    #[test]
+    fn null_literal_comparisons_are_left_to_gbj301() {
+        let pred = Expr::col("T", "A").eq(Expr::Literal(Value::Null));
+        let r = run(&filter(pred, true));
+        assert!(r.report.is_empty(), "{}", r.report.render_text());
+        // ...but the subtree is still proven empty for the bounds.
+        assert!(r.root.never_true);
+    }
+
+    #[test]
+    fn check_seeded_out_of_domain_is_gbj605() {
+        let mut catalog = Catalog::new();
+        catalog
+            .create_table(
+                TableDef::new(
+                    "T",
+                    vec![
+                        ColumnDef::new("A", DataType::Int64)
+                            .with_check(Expr::bare("A").binary(BinaryOp::GtEq, Expr::lit(0i64))),
+                        ColumnDef::new("B", DataType::Int64).not_null(),
+                        ColumnDef::new("S", DataType::Utf8),
+                    ],
+                )
+                .validate()
+                .unwrap(),
+            )
+            .unwrap();
+        let seeds = SeedDomains::from_catalog(&catalog);
+        // CHECK restricts the non-NULL values but keeps nullability.
+        let seeded = seeds.get("t", "a").unwrap();
+        assert_eq!(seeded.nullability, Nullability::Maybe);
+        assert_eq!(seeded.interval.unwrap().lo, Some(0.0));
+
+        let pred = Expr::col("T", "A").eq(Expr::lit(-3i64));
+        let plan = filter(pred, true);
+        let r = analyze_plan(&plan, &seeds);
+        assert_eq!(r.report.codes(), vec![Code::OutOfDomainComparison]);
+    }
+
+    #[test]
+    fn disjoint_join_keys_are_gbj603() {
+        let old = LogicalPlan::Scan {
+            table: "Old".into(),
+            qualifier: "O".into(),
+            schema: Schema::new(vec![
+                Field::new("Year", DataType::Int64, false).with_qualifier("O")
+            ]),
+        };
+        let new = LogicalPlan::Scan {
+            table: "New".into(),
+            qualifier: "N".into(),
+            schema: Schema::new(vec![
+                Field::new("Year", DataType::Int64, false).with_qualifier("N")
+            ]),
+        };
+        let mut seeds = SeedDomains::default();
+        let mut lo = ColumnDomain::for_type(DataType::Int64, false);
+        refine_by_literal(&mut lo, BinaryOp::Lt, &Value::Int(2000));
+        seeds.insert("Old", "Year", lo);
+        let mut hi = ColumnDomain::for_type(DataType::Int64, false);
+        refine_by_literal(&mut hi, BinaryOp::GtEq, &Value::Int(2000));
+        seeds.insert("New", "Year", hi);
+        let plan = LogicalPlan::Join {
+            left: Box::new(old),
+            right: Box::new(new),
+            condition: Expr::col("O", "Year").eq(Expr::col("N", "Year")),
+        };
+        let r = analyze_plan(&plan, &seeds);
+        assert_eq!(r.report.codes(), vec![Code::ProvablyEmptyJoin]);
+        assert!(r.root.never_true);
+    }
+
+    #[test]
+    fn grouping_preserves_null_group_and_bounds_groups() {
+        // GROUP BY a nullable column bounded to [0,9]: ≤ 11 groups
+        // under =ⁿ (ten values plus the NULL group).
+        let pred = Expr::col("T", "A")
+            .binary(BinaryOp::GtEq, Expr::lit(0i64))
+            .and(Expr::col("T", "A").binary(BinaryOp::LtEq, Expr::lit(9i64)));
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(scan(true)),
+            group_by: vec![Expr::col("T", "A")],
+            aggregates: vec![(gbj_expr::AggregateCall::count_star(), "cnt".to_string())],
+        };
+        // No filter: unbounded.
+        let r = run(&agg);
+        let schema = agg.schema().unwrap();
+        let dom = r
+            .root
+            .domain_of(&schema, &ColumnRef::qualified("T", "A"))
+            .unwrap();
+        assert_eq!(dom.group_ndv_upper(), None);
+        assert_eq!(
+            dom.nullability,
+            Nullability::Maybe,
+            "=ⁿ keeps the NULL group"
+        );
+        // COUNT(*) over a grouped query is ≥ 1 and non-NULL.
+        let cnt = r.root.domain_of(&schema, &ColumnRef::bare("cnt")).unwrap();
+        assert_eq!(cnt.nullability, Nullability::Never);
+        assert_eq!(cnt.interval.unwrap().lo, Some(1.0));
+
+        // With the filter below: bounded groups.
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(filter(pred, true)),
+            group_by: vec![Expr::col("T", "A")],
+            aggregates: vec![(gbj_expr::AggregateCall::count_star(), "cnt".to_string())],
+        };
+        let r = run(&agg);
+        let dom = r
+            .root
+            .domain_of(&schema, &ColumnRef::qualified("T", "A"))
+            .unwrap();
+        // The filter proves A non-NULL, so no NULL group survives.
+        assert_eq!(dom.group_ndv_upper(), Some(10.0));
+    }
+
+    #[test]
+    fn alias_rekeys_domains() {
+        let pred = Expr::col("T", "A").binary(BinaryOp::GtEq, Expr::lit(5i64));
+        let plan = LogicalPlan::SubqueryAlias {
+            input: Box::new(filter(pred, true)),
+            alias: "X".into(),
+        };
+        let r = run(&plan);
+        let schema = plan.schema().unwrap();
+        let dom = r
+            .root
+            .domain_of(&schema, &ColumnRef::qualified("X", "A"))
+            .unwrap();
+        assert_eq!(dom.interval.unwrap().lo, Some(5.0));
+    }
+
+    #[test]
+    fn rendered_domains_line_is_deterministic() {
+        let pred = Expr::col("T", "A").binary(BinaryOp::GtEq, Expr::lit(0i64));
+        let plan = filter(pred, true);
+        let r = run(&plan);
+        let schema = plan.schema().unwrap();
+        let line = r.root.render_columns(&schema);
+        assert_eq!(line, "T.A: [0,+inf] not-null; T.B: not-null");
+        let again = run(&plan).root.render_columns(&schema);
+        assert_eq!(line, again);
+    }
+}

@@ -3,7 +3,9 @@
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use gbj_analyze::{Analysis, FdCertificate};
+use gbj_analyze::{
+    analyze_plan, Analysis, ColumnDomain, FdCertificate, Nullability, PruningFacts, SeedDomains,
+};
 use gbj_catalog::{Assertion, Catalog};
 use gbj_core::{
     eager_aggregate, reverse_transform, CostModel, EagerOutcome, Partition, PlanCost,
@@ -60,6 +62,14 @@ pub struct EngineOptions {
     /// counts. Off by default — callers that want stable plan-cache
     /// behaviour opt in per database (or via `GBJ_ADAPTIVE=1`).
     pub adaptive: bool,
+    /// Clamp cardinality estimates to the hard upper bounds proven by
+    /// the range/NDV abstract-interpretation pass (pass 6): `groups ≤ Π
+    /// NDV`, `join ≤ |L|·|R|`, zero for provably-empty subtrees. The
+    /// bounds are sound (never below the true cardinality), so
+    /// `min(estimate, bound)` can only move an estimate toward the
+    /// truth. On by default; `GBJ_CLAMP_ESTIMATES=0` disables for A/B
+    /// accuracy comparisons.
+    pub clamp_estimates: bool,
 }
 
 impl Default for EngineOptions {
@@ -88,6 +98,10 @@ impl Default for EngineOptions {
             _ => cfg!(debug_assertions),
         };
         let adaptive = matches!(std::env::var("GBJ_ADAPTIVE").ok().as_deref(), Some("1"));
+        let clamp_estimates = !matches!(
+            std::env::var("GBJ_CLAMP_ESTIMATES").ok().as_deref(),
+            Some("0")
+        );
         EngineOptions {
             policy: PushdownPolicy::default(),
             transform: TransformOptions::default(),
@@ -95,6 +109,7 @@ impl Default for EngineOptions {
             exec,
             verify_rewrites,
             adaptive,
+            clamp_estimates,
         }
     }
 }
@@ -140,6 +155,13 @@ pub struct QueryReport {
     /// The rendered FD1/FD2 certificate (the replayed TestFD
     /// derivation), attached to every eager-aggregation rewrite.
     pub certificate: Option<String>,
+    /// Per-column facts the range pass proved for the chosen plan's
+    /// output (catalog-seeded, data-independent), rendered as one
+    /// deterministic line. Empty when nothing non-trivial is known.
+    pub domains: String,
+    /// Per-scan predicate→range implications from the range pass — the
+    /// side-table the zone-map storage layer consumes to skip blocks.
+    pub pruning: PruningFacts,
 }
 
 impl QueryReport {
@@ -179,6 +201,12 @@ impl QueryReport {
         }
         if let Some(c) = &self.certificate {
             out.push_str(c);
+        }
+        if !self.domains.is_empty() {
+            out.push_str(&format!("domains: {}\n", self.domains));
+        }
+        if !self.pruning.is_empty() {
+            out.push_str(&format!("pruning: {}\n", self.pruning.render_text()));
         }
         out.push_str("plan:\n");
         out.push_str(&self.plan.display_tree());
@@ -563,7 +591,11 @@ impl Database {
         let (rows, profile, summary) = executor.execute_metered(&report.plan)?;
         let execution = exec_start.elapsed();
         let fb = self.feedback_snapshot();
-        let estimates = Estimator::with_feedback(&self.storage, &fb).estimate_plan(&report.plan);
+        let mut estimates =
+            Estimator::with_feedback(&self.storage, &fb).estimate_plan(&report.plan);
+        if self.options.clamp_estimates {
+            clamp_plan_estimate(&mut estimates, &self.bound_tree_for(&report.plan));
+        }
         let predicted_shipped_rows = self.predict_shipped(&report.plan, &estimates, &exec_opts);
         let feedback = delta_from_profile(&report.plan, &profile);
         if self.options.adaptive {
@@ -674,7 +706,11 @@ impl Database {
         let (rows, profile, summary) = executor.execute_metered_with_guard(&report.plan, guard)?;
         let execution = exec_start.elapsed();
         let fb = self.feedback_snapshot();
-        let estimates = Estimator::with_feedback(&self.storage, &fb).estimate_plan(&report.plan);
+        let mut estimates =
+            Estimator::with_feedback(&self.storage, &fb).estimate_plan(&report.plan);
+        if self.options.clamp_estimates {
+            clamp_plan_estimate(&mut estimates, &self.bound_tree_for(&report.plan));
+        }
         let predicted_shipped_rows = self.predict_shipped(&report.plan, &estimates, &exec_opts);
         let feedback = delta_from_profile(&report.plan, &profile);
         if self.options.adaptive {
@@ -780,6 +816,11 @@ impl Database {
         }
         let report = self.plan_bound_inner(bound)?;
         analysis.check_logical(&report.plan);
+        // Pass 6 (range/NULL-ness/NDV domains): catalog-only seeds so
+        // lint findings are data-independent — the same corpus yields
+        // the same report whether or not the tables are populated.
+        let seeds = SeedDomains::from_catalog(self.storage.catalog());
+        analysis.check_domains(&report.plan, &seeds);
         // GBJ501: the cost model declined a *certified* eager rewrite.
         // Only when the decision was data-driven — cost-based policy,
         // an FD1/FD2 certificate, and at least one populated base table
@@ -979,7 +1020,22 @@ impl Database {
         Ok(report)
     }
 
+    /// Plan the query, then annotate the report with the range pass's
+    /// catalog-seeded per-column domains and pruning side-table (both
+    /// data-independent, so EXPLAIN output stays deterministic across
+    /// data variations).
     fn plan_bound_inner(&self, bound: &BoundSelect) -> Result<QueryReport> {
+        let mut report = self.plan_bound_shapes(bound)?;
+        let seeds = SeedDomains::from_catalog(self.storage.catalog());
+        let analysis = analyze_plan(&report.plan, &seeds);
+        if let Ok(schema) = report.plan.schema() {
+            report.domains = analysis.root.render_columns(&schema);
+        }
+        report.pruning = analysis.pruning;
+        Ok(report)
+    }
+
+    fn plan_bound_shapes(&self, bound: &BoundSelect) -> Result<QueryReport> {
         let block = &bound.block;
         let fd_ctx = self.build_fd_context(block);
         let assertion_exprs: Vec<Expr> = self
@@ -1033,6 +1089,8 @@ impl Database {
                         plan,
                         alternative: None,
                         certificate: None,
+                        domains: String::new(),
+                        pruning: PruningFacts::default(),
                     });
                 }
             }
@@ -1091,6 +1149,8 @@ impl Database {
                     plan,
                     alternative: None,
                     certificate: None,
+                    domains: String::new(),
+                    pruning: PruningFacts::default(),
                 })
             }
         }
@@ -1176,16 +1236,17 @@ impl Database {
         // every operator each shape would actually run.
         let lazy_plan = self.lower(lazy_block, &bound.order_by)?;
         let eager_plan = self.lower(eager_block, &bound.order_by)?;
-        let lazy_shape = shape_cost(
-            &self.options.cost_model,
-            &lazy_plan,
-            &card_tree(&estimator.estimate_plan(&lazy_plan)),
-        );
-        let eager_shape = shape_cost(
-            &self.options.cost_model,
-            &eager_plan,
-            &card_tree(&estimator.estimate_plan(&eager_plan)),
-        );
+        let mut lazy_card = card_tree(&estimator.estimate_plan(&lazy_plan));
+        let mut eager_card = card_tree(&estimator.estimate_plan(&eager_plan));
+        if self.options.clamp_estimates {
+            // Both candidates costed against bound-clamped cardinality
+            // trees: a shape can never be charged more rows at an
+            // operator than the domains prove possible.
+            lazy_card.clamp(&self.bound_tree_for(&lazy_plan));
+            eager_card.clamp(&self.bound_tree_for(&eager_plan));
+        }
+        let lazy_shape = shape_cost(&self.options.cost_model, &lazy_plan, &lazy_card);
+        let eager_shape = shape_cost(&self.options.cost_model, &eager_plan, &eager_card);
 
         let (pick_eager, why) = match self.options.policy {
             PushdownPolicy::Always => (true, "policy = Always".to_string()),
@@ -1222,6 +1283,8 @@ impl Database {
             plan,
             alternative,
             certificate: None,
+            domains: String::new(),
+            pruning: PruningFacts::default(),
         })
     }
 
@@ -1241,6 +1304,30 @@ impl Database {
             };
         }
         Optimizer::standard().optimize(&plan)
+    }
+
+    /// The proven cardinality upper-bound tree for a plan: catalog
+    /// seeds met with per-column facts scanned from the stored rows of
+    /// the plan's base tables, pushed through the range pass.
+    /// `INFINITY` marks nodes with no proven bound.
+    fn bound_tree_for(&self, plan: &LogicalPlan) -> CardTree {
+        let mut seeds = SeedDomains::from_catalog(self.storage.catalog());
+        let mut tables = std::collections::BTreeSet::new();
+        plan_scan_tables(plan, &mut tables);
+        for table in &tables {
+            let (Some(def), Some(data)) = (
+                self.storage.catalog().table(table),
+                self.storage.table_data(table),
+            ) else {
+                continue;
+            };
+            for (idx, col) in def.columns.iter().enumerate() {
+                let observed = observed_domain(data, idx, col.data_type);
+                seeds.merge(&def.name, &col.name, &observed);
+            }
+        }
+        let analysis = analyze_plan(plan, &seeds);
+        bound_tree(plan, &analysis.root, &self.storage)
     }
 
     fn build_fd_context(&self, block: &QueryBlock) -> FdContext {
@@ -1296,6 +1383,184 @@ fn card_tree(e: &PlanEstimate) -> CardTree {
     CardTree {
         rows: e.rows,
         children: e.children.iter().map(card_tree).collect(),
+    }
+}
+
+/// The per-column facts actually observed in a stored table's rows:
+/// min/max (numeric), the distinct non-NULL count, whether any NULL is
+/// present, and (for small string columns) the exact value set. Met
+/// with the catalog seed, these give the range pass the tightest sound
+/// base domains for estimate clamping.
+fn observed_domain(
+    data: &gbj_storage::Table,
+    idx: usize,
+    data_type: gbj_types::DataType,
+) -> ColumnDomain {
+    use gbj_types::Value;
+    let mut lo: Option<f64> = None;
+    let mut hi: Option<f64> = None;
+    let mut saw_null = false;
+    let mut distinct: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for row in data.value_rows() {
+        let Some(v) = row.get(idx) else { continue };
+        match v {
+            Value::Null => saw_null = true,
+            other => {
+                let n = match other {
+                    Value::Int(i) => Some(*i as f64),
+                    Value::Float(f) => Some(*f),
+                    _ => None,
+                };
+                if let Some(n) = n {
+                    lo = Some(lo.map_or(n, |l| l.min(n)));
+                    hi = Some(hi.map_or(n, |h| h.max(n)));
+                }
+                distinct.insert(match other {
+                    Value::Str(s) => s.clone(),
+                    other => format!("{other:?}"),
+                });
+            }
+        }
+    }
+    let integral = matches!(data_type, gbj_types::DataType::Int64);
+    let interval = match data_type {
+        gbj_types::DataType::Int64 | gbj_types::DataType::Float64 => Some(match (lo, hi) {
+            (Some(lo), Some(hi)) => gbj_analyze::Interval {
+                lo: Some(lo),
+                hi: Some(hi),
+                integral,
+            },
+            // No non-NULL value stored: the non-NULL domain is empty.
+            _ => gbj_analyze::Interval::empty(integral),
+        }),
+        _ => None,
+    };
+    let values = (data_type == gbj_types::DataType::Utf8
+        && distinct.len() <= gbj_analyze::domain::MAX_VALUE_SET)
+        .then(|| distinct.clone());
+    ColumnDomain {
+        interval,
+        values,
+        nullability: if saw_null {
+            Nullability::Maybe
+        } else {
+            Nullability::Never
+        },
+        ndv: Some(distinct.len() as f64),
+    }
+}
+
+/// The base-table names a plan scans, deduplicated.
+fn plan_scan_tables(plan: &LogicalPlan, out: &mut std::collections::BTreeSet<String>) {
+    if let LogicalPlan::Scan { table, .. } = plan {
+        out.insert(table.clone());
+    }
+    for child in plan.children() {
+        plan_scan_tables(child, out);
+    }
+}
+
+/// Build the proven cardinality upper-bound tree for a plan from its
+/// domain analysis: `INFINITY` means "no bound at this node". Every
+/// finite entry is an upper bound on the node's *true* output
+/// cardinality against the current stored data, so clamping estimates
+/// with it can only move them toward the truth.
+fn bound_tree(plan: &LogicalPlan, node: &gbj_analyze::DomainNode, storage: &Storage) -> CardTree {
+    let children: Vec<CardTree> = plan
+        .children()
+        .iter()
+        .zip(&node.children)
+        .map(|(p, n)| bound_tree(p, n, storage))
+        .collect();
+    let child_rows = |i: usize| children.get(i).map_or(f64::INFINITY, |c| c.rows);
+    let rows = match plan {
+        LogicalPlan::Scan { table, .. } => storage
+            .table_data(table)
+            .map_or(f64::INFINITY, |d| d.len() as f64),
+        LogicalPlan::Filter { .. } => {
+            if node.never_true {
+                0.0
+            } else {
+                child_rows(0)
+            }
+        }
+        LogicalPlan::Join { .. } | LogicalPlan::CrossJoin { .. } => {
+            if node.never_true {
+                0.0
+            } else {
+                child_rows(0) * child_rows(1)
+            }
+        }
+        LogicalPlan::Project { distinct, .. } => {
+            let mut bound = child_rows(0);
+            if *distinct {
+                if let Some(groups) = groups_bound_from(node, plan) {
+                    bound = bound.min(groups);
+                }
+            }
+            bound
+        }
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
+            if group_by.is_empty() {
+                1.0
+            } else {
+                let mut bound = child_rows(0);
+                // Π over the group keys' per-column group counts
+                // (NDV, interval width, value-set size — each +1 for
+                // the NULL group under `=ⁿ`), read from the child's
+                // domains.
+                if let (Ok(schema), Some(child_node)) = (input.schema(), node.children.first()) {
+                    let mut product = 1.0_f64;
+                    let mut all_known = true;
+                    for g in group_by {
+                        let per_col = match g {
+                            Expr::Column(c) => child_node
+                                .domain_of(&schema, c)
+                                .and_then(gbj_analyze::ColumnDomain::group_ndv_upper),
+                            _ => None,
+                        };
+                        match per_col {
+                            Some(n) => product *= n,
+                            None => {
+                                all_known = false;
+                                break;
+                            }
+                        }
+                    }
+                    if all_known {
+                        bound = bound.min(product);
+                    }
+                }
+                bound
+            }
+        }
+        LogicalPlan::SubqueryAlias { .. } | LogicalPlan::Sort { .. } => child_rows(0),
+    };
+    CardTree { rows, children }
+}
+
+/// The `Π group_ndv_upper` bound over a DISTINCT projection's output
+/// columns, when every column's group count is known.
+fn groups_bound_from(node: &gbj_analyze::DomainNode, plan: &LogicalPlan) -> Option<f64> {
+    let schema = plan.schema().ok()?;
+    let mut product = 1.0_f64;
+    for f in schema.fields() {
+        let dom = node.columns.get(&gbj_analyze::range_pass::field_key(f))?;
+        product *= dom.group_ndv_upper()?;
+    }
+    Some(product)
+}
+
+/// Clamp the estimator's per-node predictions to the proven bound tree
+/// (shape-congruent; `INFINITY` = unbounded).
+fn clamp_plan_estimate(est: &mut PlanEstimate, bound: &CardTree) {
+    if bound.rows.is_finite() && est.rows > bound.rows {
+        est.rows = bound.rows;
+    }
+    for (child, b) in est.children.iter_mut().zip(&bound.children) {
+        clamp_plan_estimate(child, b);
     }
 }
 

@@ -41,6 +41,21 @@ impl CardTree {
             children: vec![],
         }
     }
+
+    /// Clamp every node's estimate to a proven upper bound from a
+    /// shape-congruent bound tree (`INFINITY` = no bound at that node).
+    /// Bounds are upper bounds on the *true* cardinality, so
+    /// `min(estimate, bound)` can only move estimates toward the truth
+    /// — costs folded over a clamped tree never charge an operator more
+    /// input than it can possibly receive.
+    pub fn clamp(&mut self, bound: &CardTree) {
+        if bound.rows.is_finite() && self.rows > bound.rows {
+            self.rows = bound.rows;
+        }
+        for (child, b) in self.children.iter_mut().zip(&bound.children) {
+            child.clamp(b);
+        }
+    }
 }
 
 /// The itemised cost of one lowered plan shape under the model. Mirrors
@@ -369,5 +384,23 @@ mod tests {
         // Sort touch (7) + scan touch (7); projection adds nothing.
         assert_eq!(cost.scan_rows, 14.0);
         assert_eq!(cost.total, 14.0);
+    }
+
+    /// Clamping takes the node-wise minimum with a bound tree;
+    /// `INFINITY` bounds (unknown) leave the estimate alone.
+    #[test]
+    fn clamp_is_nodewise_min_with_infinity_as_no_bound() {
+        let mut card = CardTree {
+            rows: 100.0,
+            children: vec![CardTree::leaf(50.0), CardTree::leaf(8.0)],
+        };
+        let bound = CardTree {
+            rows: 10.0,
+            children: vec![CardTree::leaf(f64::INFINITY), CardTree::leaf(3.0)],
+        };
+        card.clamp(&bound);
+        assert_eq!(card.rows, 10.0);
+        assert_eq!(card.children[0].rows, 50.0, "unbounded child unchanged");
+        assert_eq!(card.children[1].rows, 3.0);
     }
 }

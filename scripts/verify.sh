@@ -106,6 +106,10 @@ if grep -q 'warning\[\|error\[' /tmp/gbj_lint_valid.txt; then
 fi
 cargo run --release -q --bin gbj-lint -- --codes corpus/counterexamples.sql \
   | diff <(printf 'GBJ202\nGBJ203\nGBJ206\nGBJ301\nGBJ303\n') -
+# Domain-analysis corpus: each query trips exactly one GBJ6xx proof
+# diagnostic from the range/NULL-ness/NDV pass, in file order.
+cargo run --release -q --bin gbj-lint -- --codes corpus/domain_counterexamples.sql \
+  | diff <(printf 'GBJ601\nGBJ602\nGBJ603\nGBJ604\nGBJ605\n') -
 # Unsafe-code gate: every crate forbids unsafe, no unsafe blocks.
 scripts/check_unsafe.sh
 cargo clippy --all-targets

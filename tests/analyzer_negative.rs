@@ -170,6 +170,91 @@ fn shipped_corpus_matches_expectations() {
         reports.iter().all(|r| !r.has_severity(Severity::Error)),
         "counterexamples document refusals; none is an engine invariant break"
     );
+
+    // The domain-analysis corpus: five queries, each tripping exactly
+    // one GBJ6xx code from the range pass, in file order.
+    let domain = std::fs::read_to_string("corpus/domain_counterexamples.sql").unwrap();
+    let mut db = Database::new();
+    let reports = db.lint_script(&domain).unwrap();
+    assert_eq!(reports.len(), 5, "five linted queries in domain corpus");
+    let codes: Vec<Vec<Code>> = reports.iter().map(gbj::analyze::Report::codes).collect();
+    assert_eq!(
+        codes,
+        vec![
+            vec![Code::AlwaysFalsePredicate],
+            vec![Code::TautologicalPredicate],
+            vec![Code::ProvablyEmptyJoin],
+            vec![Code::RedundantNullCheck],
+            vec![Code::OutOfDomainComparison],
+        ],
+        "each domain counterexample yields exactly its own GBJ6xx code"
+    );
+    assert!(
+        reports.iter().all(|r| !r.has_severity(Severity::Error)),
+        "GBJ6xx findings are advisory (Warning/Info), never Error"
+    );
+}
+
+/// GBJ601–GBJ605 minimal inline triggers, each checked against its
+/// satisfiable twin so the pass proves facts rather than
+/// pattern-matching shapes.
+#[test]
+fn domain_lints_fire_on_proofs_not_shapes() {
+    // GBJ601 needs an actual contradiction; a satisfiable conjunction
+    // over the same column is clean.
+    let schema = "CREATE TABLE T (Id INTEGER PRIMARY KEY, C INTEGER NOT NULL);";
+    assert_eq!(
+        lint(schema, "SELECT T.Id FROM T WHERE T.C > 10 AND T.C < 5"),
+        vec![Code::AlwaysFalsePredicate]
+    );
+    assert_eq!(
+        lint(schema, "SELECT T.Id FROM T WHERE T.C > 5 AND T.C < 10"),
+        Vec::<Code>::new()
+    );
+
+    // GBJ602 requires 2VL-safety: the same CHECK-implied predicate
+    // over a *nullable* column can still be UNKNOWN, so no tautology
+    // may be claimed.
+    assert_eq!(
+        lint(
+            "CREATE TABLE T (Id INTEGER PRIMARY KEY, C INTEGER NOT NULL CHECK (C >= 1));",
+            "SELECT T.Id FROM T WHERE T.C >= 1"
+        ),
+        vec![Code::TautologicalPredicate]
+    );
+    assert_eq!(
+        lint(
+            "CREATE TABLE T (Id INTEGER PRIMARY KEY, C INTEGER CHECK (C >= 1));",
+            "SELECT T.Id FROM T WHERE T.C >= 1"
+        ),
+        Vec::<Code>::new()
+    );
+
+    // GBJ604 on IS NULL over a PRIMARY KEY (constantly false) as well
+    // as IS NOT NULL (constantly true); nullable columns are clean.
+    assert_eq!(
+        lint(schema, "SELECT T.Id FROM T WHERE T.Id IS NULL"),
+        vec![Code::RedundantNullCheck]
+    );
+    assert_eq!(
+        lint(
+            "CREATE TABLE T (Id INTEGER PRIMARY KEY, C INTEGER);",
+            "SELECT T.Id FROM T WHERE T.C IS NOT NULL"
+        ),
+        Vec::<Code>::new()
+    );
+
+    // GBJ605 fires only outside the proven domain.
+    let meter = "CREATE TABLE M (Id INTEGER PRIMARY KEY, \
+                 Pct INTEGER CHECK (Pct >= 0 AND Pct <= 100));";
+    assert_eq!(
+        lint(meter, "SELECT M.Id FROM M WHERE M.Pct = 500"),
+        vec![Code::OutOfDomainComparison]
+    );
+    assert_eq!(
+        lint(meter, "SELECT M.Id FROM M WHERE M.Pct = 50"),
+        Vec::<Code>::new()
+    );
 }
 
 /// Serving-layer counterexample (corpus/unguarded_execution.sql): a

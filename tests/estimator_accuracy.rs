@@ -273,3 +273,123 @@ fn audits_are_well_formed() {
     );
     assert!(audits[0].depth == 0 && audits.iter().skip(1).all(|a| a.depth >= 1));
 }
+
+/// Build the per-node audit for one (config, policy, clamp) cell.
+fn audits_with_clamp(cfg: &SweepConfig, policy: PushdownPolicy, clamp: bool) -> Vec<NodeAudit> {
+    let mut db = cfg.build().expect("build");
+    db.options_mut().clamp_estimates = clamp;
+    audits_for(&mut db, cfg.query(), policy)
+}
+
+/// Domain clamps are sound upper bounds, so `min(estimate, bound)` can
+/// only move estimates toward the truth: across the cardinality-audit
+/// sweep matrix (fan-in × selectivity × skew, every policy), max and
+/// median Q-error with clamps enabled are never worse than without.
+#[test]
+fn clamps_never_increase_q_error_on_the_audit_workloads() {
+    let sweeps = [
+        SweepConfig {
+            fact_rows: 10_000,
+            dim_rows: 1000,
+            groups: 10,
+            match_fraction: 1.0,
+            skew: 0.0,
+        },
+        SweepConfig {
+            fact_rows: 10_000,
+            dim_rows: 1000,
+            groups: 1000,
+            match_fraction: 1.0,
+            skew: 0.0,
+        },
+        SweepConfig {
+            fact_rows: 10_000,
+            dim_rows: 100,
+            groups: 100,
+            match_fraction: 0.1,
+            skew: 0.0,
+        },
+        SweepConfig {
+            fact_rows: 10_000,
+            dim_rows: 100,
+            groups: 100,
+            match_fraction: 1.0,
+            skew: 1.5,
+        },
+    ];
+    for (i, cfg) in sweeps.iter().enumerate() {
+        for policy in [
+            PushdownPolicy::Never,
+            PushdownPolicy::Always,
+            PushdownPolicy::CostBased,
+        ] {
+            let unclamped = audits_with_clamp(cfg, policy, false);
+            let clamped = audits_with_clamp(cfg, policy, true);
+            assert!(
+                max_q(&clamped) <= max_q(&unclamped) + 1e-9,
+                "sweep {i} {policy:?}: clamp worsened max q: {} -> {}",
+                max_q(&unclamped),
+                max_q(&clamped)
+            );
+            assert!(
+                median_q(&clamped) <= median_q(&unclamped) + 1e-9,
+                "sweep {i} {policy:?}: clamp worsened median q: {} -> {}",
+                median_q(&unclamped),
+                median_q(&clamped)
+            );
+        }
+    }
+}
+
+/// The fan-in workload where the clamp *strictly* tightens: the lazy
+/// plan groups on `D.DimId` after the join, and the estimator's
+/// NDV-based group count says 1000 (every dimension key). But the join
+/// equality propagates `F.DimId ∈ [0,9]` onto `D.DimId`, so the range
+/// pass proves at most 10 groups — the clamped estimate drops from
+/// 1000 to 10 and the aggregate's Q-error collapses from 100 to exact.
+#[test]
+fn clamp_strictly_tightens_the_fan_in_group_estimate() {
+    let cfg = SweepConfig {
+        fact_rows: 10_000,
+        dim_rows: 1000,
+        groups: 10,
+        match_fraction: 1.0,
+        skew: 0.0,
+    };
+    let agg_of = |audits: &[NodeAudit]| -> (f64, f64) {
+        let a = audits
+            .iter()
+            .find(|a| a.operator.contains("Aggregate"))
+            .expect("aggregate node in audit");
+        (a.estimated, a.q_error)
+    };
+    let (est_off, q_off) = agg_of(&audits_with_clamp(&cfg, PushdownPolicy::Never, false));
+    let (est_on, q_on) = agg_of(&audits_with_clamp(&cfg, PushdownPolicy::Never, true));
+    assert!(
+        est_on < est_off,
+        "clamp must strictly tighten the group estimate: {est_off} -> {est_on}"
+    );
+    assert!(
+        q_on < q_off,
+        "tightening must improve the aggregate's Q-error: {q_off} -> {q_on}"
+    );
+    assert_eq!(est_on, 10.0, "the proven bound is the 10 live keys");
+    assert_eq!(q_on, 1.0, "the clamped estimate is exact here");
+}
+
+/// `GBJ_CLAMP_ESTIMATES=0` maps onto the same switch the tests above
+/// flip programmatically: a freshly-defaulted database honours the
+/// option field.
+#[test]
+fn clamp_option_defaults_on() {
+    let db = Database::new();
+    // The suite never sets GBJ_CLAMP_ESTIMATES, so the default is on.
+    assert!(
+        std::env::var("GBJ_CLAMP_ESTIMATES").is_err(),
+        "suite assumes the env override is unset"
+    );
+    drop(db);
+    let cfg = SweepConfig::default();
+    let db = cfg.build().expect("build");
+    drop(db);
+}

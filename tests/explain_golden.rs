@@ -279,3 +279,57 @@ fn both_plan_shapes_produce_audit_sections() {
         );
     }
 }
+
+/// The range pass annotates EXPLAIN with a `domains:` line (inferred
+/// per-column facts for the plan's output) and, when the predicates
+/// imply per-scan restrictions, a `pruning:` side-table line. Both are
+/// catalog-derived and must be byte-stable across runs.
+#[test]
+fn explain_carries_domains_and_pruning_annotations() {
+    let (mut db, sql) = build();
+    let text = explain_text(&mut db, &format!("EXPLAIN {sql}"));
+    let domains: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("domains: "))
+        .collect();
+    assert_eq!(domains.len(), 1, "one domains line in:\n{text}");
+    // The join/group columns are proven non-NULL from the catalog.
+    assert!(
+        domains[0].contains("not-null"),
+        "inferred NULL-ness on {:?}",
+        domains[0]
+    );
+    for run in 0..3 {
+        let again = explain_text(&mut db, &format!("EXPLAIN {sql}"));
+        assert_eq!(
+            stable_lines(&text),
+            stable_lines(&again),
+            "run {run}: domains annotation drifted"
+        );
+    }
+}
+
+/// Byte-exact golden for the annotation lines on a fully-controlled
+/// schema: CHECK constraints plus the query's own predicates land in
+/// `domains:` (output facts) and `pruning:` (per-scan implications).
+#[test]
+fn domains_and_pruning_lines_golden() {
+    let mut db = gbj::Database::new();
+    db.run_script(
+        "CREATE TABLE Meter (MeterId INTEGER PRIMARY KEY, \
+         Pct INTEGER CHECK (Pct >= 0 AND Pct <= 100));",
+    )
+    .unwrap();
+    let text = explain_text(
+        &mut db,
+        "EXPLAIN SELECT M.MeterId FROM Meter M WHERE M.Pct >= 10 AND M.Pct <= 20",
+    );
+    assert!(
+        text.contains("\ndomains: M.MeterId: not-null\n"),
+        "output-domain line in:\n{text}"
+    );
+    assert!(
+        text.contains("\npruning: Meter.M.Pct: [10,20] not-null\n"),
+        "pruning side-table line in:\n{text}"
+    );
+}

@@ -123,3 +123,69 @@ fn spans_point_into_the_plan() {
         "span/node fields present:\n{json}"
     );
 }
+
+/// A schema whose CHECK constraints feed the range pass: `Pct` is
+/// proven to live in `[0,100]`.
+const METER_SCHEMA: &str = "CREATE TABLE Meter (MeterId INTEGER PRIMARY KEY, \
+     Pct INTEGER CHECK (Pct >= 0 AND Pct <= 100));";
+
+/// An out-of-domain comparison for the GBJ605 goldens.
+const METER_QUERY: &str = "SELECT M.MeterId FROM Meter M WHERE M.Pct > 500";
+
+fn meter_db() -> Database {
+    let mut db = Database::new();
+    db.run_script(METER_SCHEMA).unwrap();
+    db
+}
+
+/// Full byte-for-byte golden of the range pass's text rendering: the
+/// diagnostic quotes the predicate AND the proven domain, so a lattice
+/// or rendering regression shows up as a diff here.
+#[test]
+fn domain_lint_text_golden() {
+    let report = meter_db().lint_select(METER_QUERY).unwrap();
+    assert_eq!(
+        report.render_text(),
+        "lint: SELECT M.MeterId FROM Meter M WHERE M.Pct > 500\n\
+         warning[GBJ605] at $.0 (Filter (M.Pct > 500)): `(M.Pct > 500)` can never be true: \
+         the proven domain of `M.Pct` is `[0,100]`\n\
+         \x20   note: the literal lies outside the column's proven domain\n\
+         1 diagnostic(s): 0 error(s), 1 warning(s)\n"
+    );
+}
+
+/// Full byte-for-byte golden of the same report's JSON rendering.
+#[test]
+fn domain_lint_json_golden() {
+    let report = meter_db().lint_select(METER_QUERY).unwrap();
+    assert_eq!(
+        report.render_json(),
+        "{\"subject\":\"SELECT M.MeterId FROM Meter M WHERE M.Pct > 500\",\
+         \"diagnostics\":[{\"code\":\"GBJ605\",\"severity\":\"warning\",\
+         \"span\":\"$.0\",\"node\":\"Filter (M.Pct > 500)\",\
+         \"message\":\"`(M.Pct > 500)` can never be true: the proven domain of `M.Pct` is `[0,100]`\",\
+         \"notes\":[\"the literal lies outside the column's proven domain\"]}]}"
+    );
+}
+
+/// The rendered domain reports are byte-stable across repeated runs
+/// and across a rebuilt catalog (BTreeMap ordering, no hash leakage).
+#[test]
+fn domain_lint_rendering_is_deterministic() {
+    let db = meter_db();
+    let text = db.lint_select(METER_QUERY).unwrap().render_text();
+    let json = db.lint_select(METER_QUERY).unwrap().render_json();
+    for _ in 0..3 {
+        assert_eq!(text, db.lint_select(METER_QUERY).unwrap().render_text());
+        assert_eq!(json, db.lint_select(METER_QUERY).unwrap().render_json());
+    }
+    let rebuilt = meter_db();
+    assert_eq!(
+        text,
+        rebuilt.lint_select(METER_QUERY).unwrap().render_text()
+    );
+    assert_eq!(
+        json,
+        rebuilt.lint_select(METER_QUERY).unwrap().render_json()
+    );
+}
